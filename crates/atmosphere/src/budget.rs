@@ -1,0 +1,319 @@
+use gps_geodesy::Geodetic;
+use gps_time::GpsTime;
+use rand::Rng;
+
+use crate::multipath::gaussian;
+use crate::{Klobuchar, MultipathModel, ReceiverNoise, Saastamoinen};
+
+/// One drawn satellite-dependent error, broken into its physical
+/// contributors (all metres, all applied to the pseudorange).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorSample {
+    /// Residual ionospheric delay after the broadcast correction.
+    pub iono: f64,
+    /// Residual tropospheric delay after receiver modeling.
+    pub tropo: f64,
+    /// Multipath error.
+    pub multipath: f64,
+    /// Receiver tracking noise.
+    pub noise: f64,
+    /// Satellite clock/broadcast-ephemeris residual.
+    pub sat_clock: f64,
+}
+
+impl ErrorSample {
+    /// The total satellite-dependent error `εᵢˢ` (paper eq. 3-5), metres.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.iono + self.tropo + self.multipath + self.noise + self.sat_clock
+    }
+}
+
+/// Composite error budget: draws the satellite-dependent error `εᵢˢ` of
+/// the paper's pseudorange model (eq. 3-5) for one observation.
+///
+/// Every contributor is zero-mean and drawn independently per observation,
+/// matching the optimality assumptions the paper places on the residuals
+/// (eq. 4-14: zero-mean, common variance; eq. 4-15: independence across
+/// satellites). The *scale* of each contributor follows the standard GPS
+/// error budget for a 2009-era single-frequency geodetic receiver with
+/// broadcast corrections applied.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::ErrorBudget;
+/// use gps_geodesy::Geodetic;
+/// use gps_time::GpsTime;
+/// use rand::SeedableRng;
+///
+/// let budget = ErrorBudget::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sample = budget.draw(
+///     Geodetic::from_deg(45.0, 7.0, 200.0),
+///     40f64.to_radians(),
+///     120f64.to_radians(),
+///     GpsTime::new(1544, 120.0),
+///     &mut rng,
+/// );
+/// assert!(sample.total().abs() < 30.0); // metre-level, not km-level
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    iono: Klobuchar,
+    tropo: Saastamoinen,
+    multipath: MultipathModel,
+    noise: ReceiverNoise,
+    /// RMS of the fractional ionospheric mismodeling (≈0.35: Klobuchar
+    /// removes 50-60 % of the delay).
+    iono_residual_fraction: f64,
+    /// RMS of the fractional tropospheric mismodeling (≈0.05).
+    tropo_residual_fraction: f64,
+    /// RMS of the satellite clock + ephemeris residual, metres.
+    sat_clock_sigma: f64,
+}
+
+impl ErrorBudget {
+    /// Builds a budget from explicit component models.
+    #[must_use]
+    pub fn new(
+        iono: Klobuchar,
+        tropo: Saastamoinen,
+        multipath: MultipathModel,
+        noise: ReceiverNoise,
+        iono_residual_fraction: f64,
+        tropo_residual_fraction: f64,
+        sat_clock_sigma: f64,
+    ) -> Self {
+        assert!(iono_residual_fraction >= 0.0, "fractions must be non-negative");
+        assert!(tropo_residual_fraction >= 0.0, "fractions must be non-negative");
+        assert!(sat_clock_sigma >= 0.0, "sigma must be non-negative");
+        ErrorBudget {
+            iono,
+            tropo,
+            multipath,
+            noise,
+            iono_residual_fraction,
+            tropo_residual_fraction,
+            sat_clock_sigma,
+        }
+    }
+
+    /// A budget in which every error source is (numerically) switched off.
+    /// Useful for exact-recovery tests: with no errors, every solver must
+    /// reproduce the station coordinates to numerical precision.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ErrorBudget {
+            iono: Klobuchar::default(),
+            tropo: Saastamoinen::default(),
+            multipath: MultipathModel::new(1e-30, 1.0),
+            noise: ReceiverNoise::new(1e-30, 0.0),
+            iono_residual_fraction: 0.0,
+            tropo_residual_fraction: 0.0,
+            sat_clock_sigma: 0.0,
+        }
+    }
+
+    /// The default budget with every error source scaled by `factor` —
+    /// the sensitivity-study knob ("would the paper's rates survive a
+    /// noisier receiver / stormier ionosphere?").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn scaled(factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        ErrorBudget::new(
+            Klobuchar::default(),
+            Saastamoinen::default(),
+            MultipathModel::new(0.5 * factor, 15.0f64.to_radians()),
+            ReceiverNoise::new(0.25 * factor, 1.0),
+            0.35 * factor,
+            0.05 * factor,
+            1.2 * factor,
+        )
+    }
+
+    /// A reduced-noise budget approximating a DGPS-corrected receiver
+    /// (paper §3.3 mentions DGPS compensation of satellite-dependent
+    /// errors): atmospheric residuals shrink by ~5x, clock/ephemeris
+    /// residual almost vanishes.
+    #[must_use]
+    pub fn dgps_corrected() -> Self {
+        ErrorBudget {
+            iono_residual_fraction: 0.07,
+            tropo_residual_fraction: 0.01,
+            sat_clock_sigma: 0.2,
+            ..ErrorBudget::default()
+        }
+    }
+
+    /// Draws the satellite-dependent error for one observation.
+    pub fn draw<R: Rng + ?Sized>(
+        &self,
+        station: Geodetic,
+        elevation_rad: f64,
+        azimuth_rad: f64,
+        t: GpsTime,
+        rng: &mut R,
+    ) -> ErrorSample {
+        let iono_frac = gaussian(rng) * self.iono_residual_fraction;
+        let tropo_frac = gaussian(rng) * self.tropo_residual_fraction;
+        ErrorSample {
+            iono: self
+                .iono
+                .residual_delay(station, elevation_rad, azimuth_rad, t, iono_frac),
+            tropo: self.tropo.residual_delay(elevation_rad, tropo_frac),
+            multipath: self.multipath.draw(elevation_rad, rng),
+            noise: self.noise.draw(elevation_rad, rng),
+            sat_clock: gaussian(rng) * self.sat_clock_sigma,
+        }
+    }
+
+    /// Approximate 1-σ of the total error at the given elevation, by
+    /// root-sum-square of the contributors (iono evaluated at the given
+    /// geometry).
+    #[must_use]
+    pub fn sigma_estimate(
+        &self,
+        station: Geodetic,
+        elevation_rad: f64,
+        azimuth_rad: f64,
+        t: GpsTime,
+    ) -> f64 {
+        let iono_sigma = self.iono_residual_fraction
+            * self.iono.slant_delay(station, elevation_rad, azimuth_rad, t);
+        let tropo_sigma = self.tropo_residual_fraction * self.tropo.slant_delay(elevation_rad);
+        let mp = self.multipath.sigma(elevation_rad);
+        let noise = self.noise.sigma(elevation_rad);
+        (iono_sigma * iono_sigma
+            + tropo_sigma * tropo_sigma
+            + mp * mp
+            + noise * noise
+            + self.sat_clock_sigma * self.sat_clock_sigma)
+            .sqrt()
+    }
+}
+
+impl Default for ErrorBudget {
+    /// Standard 2009-era single-frequency budget with broadcast
+    /// corrections applied.
+    fn default() -> Self {
+        ErrorBudget::new(
+            Klobuchar::default(),
+            Saastamoinen::default(),
+            MultipathModel::default(),
+            ReceiverNoise::default(),
+            0.35,
+            0.05,
+            1.2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Geodetic, GpsTime) {
+        (Geodetic::from_deg(45.0, 7.0, 200.0), GpsTime::new(1544, 30_000.0))
+    }
+
+    #[test]
+    fn disabled_budget_draws_zero() {
+        let (station, t) = setup();
+        let b = ErrorBudget::disabled();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let s = b.draw(station, 0.7, 1.0, t, &mut rng);
+            assert!(s.total().abs() < 1e-20, "total {}", s.total());
+        }
+    }
+
+    #[test]
+    fn default_draws_zero_mean_metre_level() {
+        let (station, t) = setup();
+        let b = ErrorBudget::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let el = 40f64.to_radians();
+        let n = 5_000;
+        let totals: Vec<f64> = (0..n)
+            .map(|_| b.draw(station, el, 1.0, t, &mut rng).total())
+            .collect();
+        let mean = totals.iter().sum::<f64>() / n as f64;
+        let std =
+            (totals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        assert!(std > 0.5 && std < 6.0, "std {std}");
+        // Sigma estimate should be in the same ballpark as the sample std.
+        let est = b.sigma_estimate(station, el, 1.0, t);
+        assert!((est - std).abs() / std < 0.35, "est {est} vs std {std}");
+    }
+
+    #[test]
+    fn low_elevation_errors_larger() {
+        let (station, t) = setup();
+        let b = ErrorBudget::default();
+        let low = b.sigma_estimate(station, 8f64.to_radians(), 1.0, t);
+        let high = b.sigma_estimate(station, 80f64.to_radians(), 1.0, t);
+        assert!(low > high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn dgps_budget_is_tighter() {
+        let (station, t) = setup();
+        let full = ErrorBudget::default();
+        let dgps = ErrorBudget::dgps_corrected();
+        let el = 30f64.to_radians();
+        assert!(dgps.sigma_estimate(station, el, 1.0, t) < full.sigma_estimate(station, el, 1.0, t));
+    }
+
+    #[test]
+    fn sample_components_sum_to_total() {
+        let (station, t) = setup();
+        let b = ErrorBudget::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = b.draw(station, 0.9, 2.0, t, &mut rng);
+        let sum = s.iono + s.tropo + s.multipath + s.noise + s.sat_clock;
+        assert!((s.total() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_budget_scales_sigma() {
+        let (station, t) = setup();
+        let el = 30f64.to_radians();
+        let base = ErrorBudget::scaled(1.0).sigma_estimate(station, el, 1.0, t);
+        let double = ErrorBudget::scaled(2.0).sigma_estimate(station, el, 1.0, t);
+        let half = ErrorBudget::scaled(0.5).sigma_estimate(station, el, 1.0, t);
+        assert!((double / base - 2.0).abs() < 1e-9);
+        assert!((half / base - 0.5).abs() < 1e-9);
+        // scaled(1.0) is the default budget.
+        assert!(
+            (base - ErrorBudget::default().sigma_estimate(station, el, 1.0, t)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_zero() {
+        let _ = ErrorBudget::scaled(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_fraction() {
+        let _ = ErrorBudget::new(
+            Klobuchar::default(),
+            Saastamoinen::default(),
+            MultipathModel::default(),
+            ReceiverNoise::default(),
+            -0.1,
+            0.05,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Dual-frequency observables: the ionosphere-free and geometry-free
+//! combinations.
+//!
+//! The paper's datasets are single-frequency L1, so the Klobuchar model
+//! must remove the ionosphere approximately. A dual-frequency receiver
+//! does better: the ionospheric group delay scales as `1/f²`, so a fixed
+//! linear combination of L1 and L2 pseudoranges cancels it *exactly* (to
+//! first order). These functions provide that path, letting the dataset
+//! generator's iono errors be eliminated instead of merely modeled — the
+//! natural "what if the stations were dual-frequency" extension study.
+
+/// GPS L1 carrier frequency, Hz.
+pub const L1_FREQUENCY: f64 = 1_575.42e6;
+
+/// GPS L2 carrier frequency, Hz.
+pub const L2_FREQUENCY: f64 = 1_227.60e6;
+
+/// `γ = (f₁/f₂)²`, the iono scale factor between L2 and L1.
+#[must_use]
+pub fn gamma() -> f64 {
+    let r = L1_FREQUENCY / L2_FREQUENCY;
+    r * r
+}
+
+/// The ionosphere-free pseudorange combination
+/// `ρ_IF = (f₁²·ρ₁ − f₂²·ρ₂) / (f₁² − f₂²)`.
+///
+/// First-order ionospheric delay cancels exactly; every
+/// frequency-independent term (geometry, clocks, troposphere) passes
+/// through unchanged. The price is noise amplification: the combination's
+/// noise is ≈ 3× the single-frequency noise.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::dualfreq::{ionosphere_free, iono_delay_on_l2};
+///
+/// let geometry = 2.2e7;
+/// let iono_l1 = 5.0;
+/// let p1 = geometry + iono_l1;
+/// let p2 = geometry + iono_delay_on_l2(iono_l1);
+/// let p_if = ionosphere_free(p1, p2);
+/// assert!((p_if - geometry).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn ionosphere_free(p1: f64, p2: f64) -> f64 {
+    let f1sq = L1_FREQUENCY * L1_FREQUENCY;
+    let f2sq = L2_FREQUENCY * L2_FREQUENCY;
+    (f1sq * p1 - f2sq * p2) / (f1sq - f2sq)
+}
+
+/// The geometry-free combination `ρ_GF = ρ₂ − ρ₁`: all geometry cancels,
+/// leaving `(γ − 1)` times the L1 ionospheric delay (plus differential
+/// noise) — the standard way to *measure* the ionosphere.
+#[must_use]
+pub fn geometry_free(p1: f64, p2: f64) -> f64 {
+    p2 - p1
+}
+
+/// Estimates the L1 ionospheric delay from the geometry-free combination.
+#[must_use]
+pub fn iono_from_geometry_free(gf: f64) -> f64 {
+    gf / (gamma() - 1.0)
+}
+
+/// Scales an L1 ionospheric delay to the delay the same electron content
+/// produces on L2 (`γ` times larger).
+#[must_use]
+pub fn iono_delay_on_l2(iono_l1: f64) -> f64 {
+    iono_l1 * gamma()
+}
+
+/// Noise amplification factor of the ionosphere-free combination relative
+/// to equal, independent L1/L2 noise: `sqrt(a² + b²)` with
+/// `a = f₁²/(f₁²−f₂²)`, `b = f₂²/(f₁²−f₂²)`.
+#[must_use]
+pub fn iono_free_noise_factor() -> f64 {
+    let f1sq = L1_FREQUENCY * L1_FREQUENCY;
+    let f2sq = L2_FREQUENCY * L2_FREQUENCY;
+    let a = f1sq / (f1sq - f2sq);
+    let b = f2sq / (f1sq - f2sq);
+    (a * a + b * b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_value() {
+        // (1575.42 / 1227.60)² ≈ 1.6469
+        assert!((gamma() - 1.6469).abs() < 1e-3);
+    }
+
+    #[test]
+    fn iono_cancels_exactly() {
+        for iono in [0.5, 5.0, 30.0, 100.0] {
+            let geometry = 2.3e7;
+            let p1 = geometry + iono;
+            let p2 = geometry + iono_delay_on_l2(iono);
+            assert!(
+                (ionosphere_free(p1, p2) - geometry).abs() < 1e-6,
+                "iono {iono}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_independent_terms_pass_through() {
+        // Troposphere + clocks are identical on both frequencies.
+        let geometry = 2.1e7;
+        let tropo = 8.0;
+        let clock = 300.0;
+        let p1 = geometry + tropo + clock;
+        let p2 = geometry + tropo + clock;
+        assert!((ionosphere_free(p1, p2) - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometry_free_measures_iono() {
+        let geometry = 2.4e7;
+        let iono = 12.0;
+        let p1 = geometry + iono;
+        let p2 = geometry + iono_delay_on_l2(iono);
+        let gf = geometry_free(p1, p2);
+        assert!((iono_from_geometry_free(gf) - iono).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_factor_is_about_three() {
+        let k = iono_free_noise_factor();
+        assert!(k > 2.5 && k < 3.5, "factor {k}");
+    }
+
+    #[test]
+    fn combination_is_linear() {
+        let (p1a, p2a) = (2.0e7, 2.0e7 + 3.0);
+        let (p1b, p2b) = (2.1e7, 2.1e7 - 1.0);
+        let combined = ionosphere_free(p1a + p1b, p2a + p2b);
+        let separate = ionosphere_free(p1a, p2a) + ionosphere_free(p1b, p2b);
+        assert!((combined - separate).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,173 @@
+/// The Hopfield tropospheric delay model — the classic alternative to
+/// [`crate::Saastamoinen`], included for the model-choice ablation.
+///
+/// Hopfield models the dry and wet refractivity as quartic profiles up to
+/// effective layer heights (`hd ≈ 40 km`, `hw ≈ 11 km`) and maps each to
+/// the slant with its own elevation function. Sea-level zenith delays
+/// agree with Saastamoinen to a few centimetres; the models diverge at
+/// low elevation, which is exactly where the dataset error budget is
+/// sensitive — hence the ablation.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::{Hopfield, Saastamoinen};
+///
+/// let hop = Hopfield::standard_at_height(0.0);
+/// let saas = Saastamoinen::standard_at_height(0.0);
+/// let el = 45f64.to_radians();
+/// let diff = (hop.slant_delay(el) - saas.slant_delay(el)).abs();
+/// assert!(diff < 0.3, "models agree to decimetres at mid elevation");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hopfield {
+    /// Total pressure at the site, millibars.
+    pressure: f64,
+    /// Temperature at the site, kelvin.
+    temperature: f64,
+    /// Partial pressure of water vapour, millibars.
+    vapour_pressure: f64,
+}
+
+impl Hopfield {
+    /// Creates the model from explicit surface meteorology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pressure or temperature is non-positive.
+    #[must_use]
+    pub fn new(pressure_mbar: f64, temperature_k: f64, vapour_pressure_mbar: f64) -> Self {
+        assert!(pressure_mbar > 0.0, "pressure must be positive");
+        assert!(temperature_k > 0.0, "temperature must be positive");
+        Hopfield {
+            pressure: pressure_mbar,
+            temperature: temperature_k,
+            vapour_pressure: vapour_pressure_mbar.max(0.0),
+        }
+    }
+
+    /// Standard-atmosphere meteorology at the given height (same profile
+    /// as [`crate::Saastamoinen::standard_at_height`]).
+    #[must_use]
+    pub fn standard_at_height(height_m: f64) -> Self {
+        let h = height_m.max(0.0);
+        let p = 1013.25 * (1.0 - 2.2557e-5 * h).powf(5.2568);
+        let t = 291.15 - 6.5e-3 * h;
+        let rh = 0.5 * (-6.396e-4 * h).exp();
+        let e = rh * 6.108 * ((17.15 * t - 4_684.0) / (t - 38.45)).exp();
+        Hopfield::new(p, t, e)
+    }
+
+    /// Zenith dry delay, metres (Hopfield's quartic-profile integral).
+    #[must_use]
+    pub fn zenith_dry_delay(&self) -> f64 {
+        // Kd = 1.552e-5 · P/T · hd, hd = 40136 + 148.72 (T − 273.16).
+        let hd = 40_136.0 + 148.72 * (self.temperature - 273.16);
+        1.552e-5 * self.pressure / self.temperature * hd
+    }
+
+    /// Zenith wet delay, metres.
+    #[must_use]
+    pub fn zenith_wet_delay(&self) -> f64 {
+        // Kw = 7.46512e-2 · e/T² · hw, hw ≈ 11 000 m.
+        let hw = 11_000.0;
+        7.465_12e-2 * self.vapour_pressure / (self.temperature * self.temperature) * hw
+    }
+
+    /// Total slant delay (metres) at elevation `elevation_rad`, with
+    /// Hopfield's separate dry/wet mapping functions
+    /// `1/sin(sqrt(el² + cᵢ))`.
+    #[must_use]
+    pub fn slant_delay(&self, elevation_rad: f64) -> f64 {
+        let el = elevation_rad.max(3.0f64.to_radians());
+        let dry =
+            self.zenith_dry_delay() / (el.powi(2) + 2.5f64.to_radians().powi(2)).sqrt().sin();
+        let wet =
+            self.zenith_wet_delay() / (el.powi(2) + 1.5f64.to_radians().powi(2)).sqrt().sin();
+        dry + wet
+    }
+
+    /// Residual slant delay after receiver modeling with fractional
+    /// mismodeling `imperfection` (cf.
+    /// [`crate::Saastamoinen::residual_delay`]).
+    #[must_use]
+    pub fn residual_delay(&self, elevation_rad: f64, imperfection: f64) -> f64 {
+        imperfection * self.slant_delay(elevation_rad)
+    }
+}
+
+impl Default for Hopfield {
+    /// Standard atmosphere at sea level.
+    fn default() -> Self {
+        Hopfield::standard_at_height(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Saastamoinen;
+
+    #[test]
+    fn sea_level_zenith_delays_sane() {
+        let h = Hopfield::default();
+        assert!((h.zenith_dry_delay() - 2.3).abs() < 0.1, "dry {}", h.zenith_dry_delay());
+        assert!(h.zenith_wet_delay() > 0.05 && h.zenith_wet_delay() < 0.45);
+    }
+
+    #[test]
+    fn agrees_with_saastamoinen_at_zenith() {
+        for height in [0.0, 500.0, 2_000.0] {
+            let hop = Hopfield::standard_at_height(height);
+            let saas = Saastamoinen::standard_at_height(height);
+            let zh = hop.zenith_dry_delay() + hop.zenith_wet_delay();
+            let zs = saas.zenith_dry_delay() + saas.zenith_wet_delay();
+            assert!((zh - zs).abs() < 0.15, "height {height}: {zh} vs {zs}");
+        }
+    }
+
+    #[test]
+    fn diverges_from_saastamoinen_at_low_elevation() {
+        let hop = Hopfield::default();
+        let saas = Saastamoinen::default();
+        let low = 5f64.to_radians();
+        let mid = 45f64.to_radians();
+        let low_gap = (hop.slant_delay(low) - saas.slant_delay(low)).abs();
+        let mid_gap = (hop.slant_delay(mid) - saas.slant_delay(mid)).abs();
+        assert!(low_gap > mid_gap, "low {low_gap} vs mid {mid_gap}");
+    }
+
+    #[test]
+    fn slant_monotone_and_finite() {
+        let h = Hopfield::default();
+        let mut prev = f64::INFINITY;
+        for deg in [3.0, 5.0, 10.0, 20.0, 45.0, 90.0] {
+            let d = h.slant_delay(f64::to_radians(deg));
+            assert!(d.is_finite() && d > 0.0);
+            assert!(d <= prev, "not monotone at {deg}");
+            prev = d;
+        }
+        // Below the clamp everything equals the 3° value.
+        assert_eq!(h.slant_delay(0.0), h.slant_delay(3.0f64.to_radians()));
+    }
+
+    #[test]
+    fn height_reduces_delay() {
+        let sea = Hopfield::standard_at_height(0.0);
+        let alt = Hopfield::standard_at_height(3_000.0);
+        assert!(alt.slant_delay(0.8) < sea.slant_delay(0.8));
+    }
+
+    #[test]
+    fn residual_scaling() {
+        let h = Hopfield::default();
+        let el = 30f64.to_radians();
+        assert!((h.residual_delay(el, 0.1) - 0.1 * h.slant_delay(el)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure")]
+    fn rejects_bad_pressure() {
+        let _ = Hopfield::new(-1.0, 290.0, 10.0);
+    }
+}

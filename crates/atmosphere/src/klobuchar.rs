@@ -1,0 +1,256 @@
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_geodesy::Geodetic;
+use gps_time::GpsTime;
+
+/// The eight broadcast coefficients (α₀..α₃, β₀..β₃) of the Klobuchar
+/// ionospheric model, as carried in the GPS navigation message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlobucharCoefficients {
+    /// Amplitude coefficients α₀..α₃ (seconds, s/semicircle, ...).
+    pub alpha: [f64; 4],
+    /// Period coefficients β₀..β₃ (seconds, s/semicircle, ...).
+    pub beta: [f64; 4],
+}
+
+impl Default for KlobucharCoefficients {
+    /// Representative mid-solar-cycle broadcast values.
+    fn default() -> Self {
+        KlobucharCoefficients {
+            alpha: [1.118e-8, 2.235e-8, -1.192e-7, -1.192e-7],
+            beta: [1.167e5, 1.802e5, -1.311e5, -4.588e5],
+        }
+    }
+}
+
+/// The Klobuchar single-layer ionospheric delay model (IS-GPS-200,
+/// 20.3.3.5.2.5).
+///
+/// Models the L1 group delay as a half-cosine diurnal bump over a constant
+/// 5 ns night floor, evaluated at the ionospheric pierce point. Real
+/// receivers *apply* this broadcast model as a correction; the residual
+/// (typically 40–50 % of the raw delay) is what survives into `εᵢˢ`.
+/// [`Klobuchar::residual_delay`] models that remainder.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::Klobuchar;
+/// use gps_geodesy::Geodetic;
+/// use gps_time::GpsTime;
+///
+/// let iono = Klobuchar::default();
+/// let station = Geodetic::from_deg(45.0, 7.0, 0.0);
+/// let delay = iono.slant_delay(
+///     station,
+///     50f64.to_radians(), // elevation
+///     180f64.to_radians(), // azimuth
+///     GpsTime::new(1544, 43_200.0), // local noon-ish
+/// );
+/// // L1 iono delay is between ~1.5 m (night floor) and ~30 m.
+/// assert!(delay > 1.0 && delay < 40.0, "{delay}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Klobuchar {
+    coefficients: KlobucharCoefficients,
+}
+
+impl Klobuchar {
+    /// Creates the model from explicit broadcast coefficients.
+    #[must_use]
+    pub fn new(coefficients: KlobucharCoefficients) -> Self {
+        Klobuchar { coefficients }
+    }
+
+    /// The broadcast coefficients in use.
+    #[must_use]
+    pub fn coefficients(&self) -> KlobucharCoefficients {
+        self.coefficients
+    }
+
+    /// Slant ionospheric delay (metres on L1) for a signal received at
+    /// `station` from a satellite at the given `elevation` and `azimuth`
+    /// (radians), at GPS time `t`.
+    ///
+    /// Follows the IS-GPS-200 algorithm; angles inside the algorithm are in
+    /// semicircles, as specified.
+    #[must_use]
+    pub fn slant_delay(
+        &self,
+        station: Geodetic,
+        elevation: f64,
+        azimuth: f64,
+        t: GpsTime,
+    ) -> f64 {
+        let el_sc = elevation / std::f64::consts::PI; // semicircles
+        let lat_sc = station.latitude() / std::f64::consts::PI;
+        let lon_sc = station.longitude() / std::f64::consts::PI;
+
+        // Earth-centred angle between station and ionospheric pierce point.
+        let psi = 0.0137 / (el_sc + 0.11) - 0.022;
+
+        // Pierce-point geodetic latitude, clamped to ±0.416 semicircles.
+        let mut lat_i = lat_sc + psi * azimuth.cos();
+        lat_i = lat_i.clamp(-0.416, 0.416);
+
+        // Pierce-point longitude.
+        let lon_i = lon_sc + psi * azimuth.sin() / (lat_i * std::f64::consts::PI).cos();
+
+        // Geomagnetic latitude of the pierce point.
+        let lat_m = lat_i + 0.064 * ((lon_i - 1.617) * std::f64::consts::PI).cos();
+
+        // Local time at the pierce point (seconds).
+        let mut t_local = 4.32e4 * lon_i + t.seconds_of_day();
+        t_local = t_local.rem_euclid(86_400.0);
+
+        // Amplitude and period from the broadcast polynomials in
+        // geomagnetic latitude.
+        let mut amp = 0.0;
+        let mut per = 0.0;
+        let mut lat_pow = 1.0;
+        for n in 0..4 {
+            amp += self.coefficients.alpha[n] * lat_pow;
+            per += self.coefficients.beta[n] * lat_pow;
+            lat_pow *= lat_m;
+        }
+        amp = amp.max(0.0);
+        per = per.max(72_000.0);
+
+        // Phase of the half-cosine.
+        let x = std::f64::consts::TAU * (t_local - 50_400.0) / per;
+
+        // Obliquity (slant) factor.
+        let f = 1.0 + 16.0 * (0.53 - el_sc).powi(3);
+
+        let t_iono = if x.abs() < 1.57 {
+            let x2 = x * x;
+            f * (5.0e-9 + amp * (1.0 - x2 / 2.0 + x2 * x2 / 24.0))
+        } else {
+            f * 5.0e-9
+        };
+        t_iono * SPEED_OF_LIGHT
+    }
+
+    /// Residual slant delay left over after a receiver applies this same
+    /// broadcast model as a correction.
+    ///
+    /// The Klobuchar model removes roughly half the true delay; we model
+    /// the truth as `(1 + imperfection) × broadcast` so the residual is
+    /// `imperfection × broadcast`. `imperfection` is a per-satellite,
+    /// slowly varying factor the dataset generator draws once per pass
+    /// (typical magnitude 0.3–0.5).
+    #[must_use]
+    pub fn residual_delay(
+        &self,
+        station: Geodetic,
+        elevation: f64,
+        azimuth: f64,
+        t: GpsTime,
+        imperfection: f64,
+    ) -> f64 {
+        imperfection * self.slant_delay(station, elevation, azimuth, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid_lat_station() -> Geodetic {
+        Geodetic::from_deg(40.0, -105.0, 1600.0)
+    }
+
+    /// Noon at the station's local time: station longitude -105° means
+    /// local noon ≈ 19:00 UTC; seconds-of-day 68 400.
+    fn local_noon() -> GpsTime {
+        GpsTime::new(1544, 68_400.0)
+    }
+
+    fn local_night() -> GpsTime {
+        GpsTime::new(1544, 68_400.0 - 43_200.0)
+    }
+
+    #[test]
+    fn day_exceeds_night() {
+        let k = Klobuchar::default();
+        let s = mid_lat_station();
+        let el = 60f64.to_radians();
+        let az = 90f64.to_radians();
+        let day = k.slant_delay(s, el, az, local_noon());
+        let night = k.slant_delay(s, el, az, local_night());
+        assert!(day > night, "day {day} night {night}");
+        // Night floor is 5 ns × obliquity ≈ 1.6-2 m at 60° elevation.
+        assert!(night > 1.0 && night < 3.0, "night {night}");
+        assert!(day > 3.0 && day < 40.0, "day {day}");
+    }
+
+    #[test]
+    fn low_elevation_increases_delay() {
+        let k = Klobuchar::default();
+        let s = mid_lat_station();
+        let az = 180f64.to_radians();
+        let t = local_noon();
+        let high = k.slant_delay(s, 80f64.to_radians(), az, t);
+        let low = k.slant_delay(s, 10f64.to_radians(), az, t);
+        assert!(low > high, "low {low} high {high}");
+        // Obliquity at 5-10° elevation is ≈ 3x zenith.
+        assert!(low / high > 1.5 && low / high < 5.0);
+    }
+
+    #[test]
+    fn delay_always_positive_and_bounded() {
+        let k = Klobuchar::default();
+        let s = mid_lat_station();
+        for hour in 0..24 {
+            for el_deg in [5.0, 15.0, 45.0, 85.0] {
+                for az_deg in [0.0, 90.0, 180.0, 270.0] {
+                    let t = GpsTime::new(1544, f64::from(hour) * 3_600.0);
+                    let d = k.slant_delay(
+                        s,
+                        f64::to_radians(el_deg),
+                        f64::to_radians(az_deg),
+                        t,
+                    );
+                    assert!(d > 0.0 && d < 120.0, "delay {d} at h{hour} el{el_deg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equatorial_delay_exceeds_polar() {
+        // The geomagnetic-latitude polynomials give larger amplitude near
+        // the magnetic equator.
+        let k = Klobuchar::default();
+        let el = 60f64.to_radians();
+        let az = 0.0;
+        // Compare at the same *local* solar time (noon): t_utc = noon − lon/15°·3600.
+        let eq_station = Geodetic::from_deg(0.0, 0.0, 0.0);
+        let polar_station = Geodetic::from_deg(70.0, 0.0, 0.0);
+        let noon_utc = GpsTime::new(1544, 43_200.0);
+        let eq = k.slant_delay(eq_station, el, az, noon_utc);
+        let pol = k.slant_delay(polar_station, el, az, noon_utc);
+        assert!(eq > pol, "equator {eq} polar {pol}");
+    }
+
+    #[test]
+    fn residual_scales_with_imperfection() {
+        let k = Klobuchar::default();
+        let s = mid_lat_station();
+        let el = 45f64.to_radians();
+        let full = k.slant_delay(s, el, 0.0, local_noon());
+        let resid = k.residual_delay(s, el, 0.0, local_noon(), 0.4);
+        assert!((resid - 0.4 * full).abs() < 1e-12);
+        let neg = k.residual_delay(s, el, 0.0, local_noon(), -0.4);
+        assert!((neg + 0.4 * full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_coefficients_round_trip() {
+        let coeffs = KlobucharCoefficients {
+            alpha: [1e-8, 0.0, 0.0, 0.0],
+            beta: [9e4, 0.0, 0.0, 0.0],
+        };
+        let k = Klobuchar::new(coeffs);
+        assert_eq!(k.coefficients(), coeffs);
+    }
+}

@@ -1,0 +1,44 @@
+//! GPS signal propagation error models.
+//!
+//! The paper's error model (§3.2, eq. 3-5) splits the measured pseudorange
+//! into the true range plus a **receiver-dependent error** `εᴿ` (clock
+//! bias, handled by the `gps-clock` crate) and a **satellite-dependent
+//! error** `εᵢˢ`. The physical contributors to `εᵢˢ` that a real L1
+//! observation carries are simulated here:
+//!
+//! * [`Klobuchar`] — ionospheric group delay (the full IS-GPS-200 broadcast
+//!   model, including the receiver-side correction so *residual* iono error
+//!   can be formed exactly the way a real receiver leaves it);
+//! * [`Saastamoinen`] — tropospheric delay with a standard-atmosphere
+//!   height profile and elevation mapping;
+//! * [`MultipathModel`] — elevation-dependent multipath;
+//! * [`ReceiverNoise`] — thermal noise as a function of C/N₀-like quality;
+//! * [`SatelliteClockModel`] — per-SV clock polynomial plus broadcast
+//!   residual;
+//! * [`ErrorBudget`] — wires them together and draws one total
+//!   satellite-dependent error per observation.
+//!
+//! The defining property the paper's proofs rely on (eq. 4-14/4-15) is that
+//! residual satellite-dependent errors are zero-mean, equal-variance and
+//! independent across satellites; [`ErrorBudget::draw`] produces exactly
+//! that structure while keeping each contributor physically scaled.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod budget;
+pub mod dualfreq;
+mod hopfield;
+mod klobuchar;
+mod multipath;
+mod noise;
+mod satclock;
+mod troposphere;
+
+pub use budget::{ErrorBudget, ErrorSample};
+pub use hopfield::Hopfield;
+pub use klobuchar::{Klobuchar, KlobucharCoefficients};
+pub use multipath::MultipathModel;
+pub use noise::ReceiverNoise;
+pub use satclock::SatelliteClockModel;
+pub use troposphere::Saastamoinen;

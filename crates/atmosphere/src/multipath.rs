@@ -1,0 +1,140 @@
+use rand::Rng;
+
+/// Elevation-dependent multipath error model.
+///
+/// Reflected signal paths bias the code measurement; the effect shrinks
+/// rapidly with elevation because reflections arrive from near the ground.
+/// The standard budget model is a zero-mean error whose standard deviation
+/// decays exponentially with elevation:
+///
+/// `σ(el) = σ₀ · exp(−el / el₀)`
+///
+/// with `σ₀ ≈ 0.5 m` of code multipath at the horizon and a decay constant
+/// `el₀ ≈ 15°` for an open-sky geodetic station (CORS stations, as in the
+/// paper's Table 5.1, use choke-ring antennas — low multipath).
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::MultipathModel;
+///
+/// let mp = MultipathModel::default();
+/// assert!(mp.sigma(10f64.to_radians()) > mp.sigma(60f64.to_radians()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultipathModel {
+    /// Standard deviation at zero elevation, metres.
+    sigma_horizon: f64,
+    /// Elevation decay constant, radians.
+    decay: f64,
+}
+
+impl MultipathModel {
+    /// Creates a model with the given horizon sigma (m) and decay constant
+    /// (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    #[must_use]
+    pub fn new(sigma_horizon_m: f64, decay_rad: f64) -> Self {
+        assert!(sigma_horizon_m > 0.0, "sigma must be positive");
+        assert!(decay_rad > 0.0, "decay constant must be positive");
+        MultipathModel {
+            sigma_horizon: sigma_horizon_m,
+            decay: decay_rad,
+        }
+    }
+
+    /// Standard deviation (metres) of the multipath error at the given
+    /// elevation (radians).
+    #[must_use]
+    pub fn sigma(&self, elevation_rad: f64) -> f64 {
+        self.sigma_horizon * (-elevation_rad.max(0.0) / self.decay).exp()
+    }
+
+    /// Draws one multipath error sample (metres) at the given elevation.
+    pub fn draw<R: Rng + ?Sized>(&self, elevation_rad: f64, rng: &mut R) -> f64 {
+        let sigma = self.sigma(elevation_rad);
+        gaussian(rng) * sigma
+    }
+}
+
+impl Default for MultipathModel {
+    /// Geodetic-station defaults: 0.5 m at the horizon, 15° decay.
+    fn default() -> Self {
+        MultipathModel::new(0.5, 15.0f64.to_radians())
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids pulling in
+/// `rand_distr` — `rand` alone is in the allowed dependency set).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_decays_with_elevation() {
+        let mp = MultipathModel::default();
+        assert!((mp.sigma(0.0) - 0.5).abs() < 1e-12);
+        let at_15 = mp.sigma(15f64.to_radians());
+        assert!((at_15 - 0.5 / std::f64::consts::E).abs() < 1e-12);
+        assert!(mp.sigma(80f64.to_radians()) < 0.01);
+    }
+
+    #[test]
+    fn negative_elevation_clamped() {
+        let mp = MultipathModel::default();
+        assert_eq!(mp.sigma(-0.5), mp.sigma(0.0));
+    }
+
+    #[test]
+    fn draws_are_zero_mean_with_right_spread() {
+        let mp = MultipathModel::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let el = 20f64.to_radians();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| mp.draw(el, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let sigma = mp.sigma(el);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() / sigma < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_nonpositive_sigma() {
+        let _ = MultipathModel::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn rejects_nonpositive_decay() {
+        let _ = MultipathModel::new(0.5, 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+use rand::Rng;
+
+use crate::multipath::gaussian;
+
+/// Receiver thermal (tracking-loop) noise on the code pseudorange.
+///
+/// DLL tracking noise depends on the received carrier-to-noise density:
+/// strong, high-elevation signals track more tightly than weak,
+/// low-elevation ones. The budget model used here is
+///
+/// `σ(el) = σ_zenith · sqrt(1 + k·(1/sin(el) − 1))`
+///
+/// with `σ_zenith ≈ 0.25 m` for an L1 C/A geodetic receiver.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::ReceiverNoise;
+///
+/// let noise = ReceiverNoise::default();
+/// let zenith = noise.sigma(90f64.to_radians());
+/// assert!((zenith - 0.25).abs() < 1e-12);
+/// assert!(noise.sigma(10f64.to_radians()) > zenith);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverNoise {
+    /// Standard deviation at zenith, metres.
+    sigma_zenith: f64,
+    /// Elevation-amplification weight.
+    elevation_weight: f64,
+}
+
+impl ReceiverNoise {
+    /// Creates a model from the zenith sigma (m) and elevation weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_zenith_m` is non-positive or the weight is
+    /// negative.
+    #[must_use]
+    pub fn new(sigma_zenith_m: f64, elevation_weight: f64) -> Self {
+        assert!(sigma_zenith_m > 0.0, "sigma must be positive");
+        assert!(elevation_weight >= 0.0, "weight must be non-negative");
+        ReceiverNoise {
+            sigma_zenith: sigma_zenith_m,
+            elevation_weight,
+        }
+    }
+
+    /// Noise standard deviation (m) at the given elevation (radians).
+    #[must_use]
+    pub fn sigma(&self, elevation_rad: f64) -> f64 {
+        let el = elevation_rad.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
+        let amplification = 1.0 + self.elevation_weight * (1.0 / el.sin() - 1.0);
+        self.sigma_zenith * amplification.sqrt()
+    }
+
+    /// Draws one noise sample (m) at the given elevation.
+    pub fn draw<R: Rng + ?Sized>(&self, elevation_rad: f64, rng: &mut R) -> f64 {
+        gaussian(rng) * self.sigma(elevation_rad)
+    }
+}
+
+impl Default for ReceiverNoise {
+    /// Geodetic L1 receiver: 0.25 m at zenith, weight 1.
+    fn default() -> Self {
+        ReceiverNoise::new(0.25, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_monotone_decreasing_in_elevation() {
+        let n = ReceiverNoise::default();
+        let mut prev = f64::INFINITY;
+        for el_deg in [5.0, 15.0, 30.0, 60.0, 90.0] {
+            let s = n.sigma(f64::to_radians(el_deg));
+            assert!(s <= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn zenith_sigma_is_baseline() {
+        let n = ReceiverNoise::new(0.3, 2.0);
+        assert!((n.sigma(std::f64::consts::FRAC_PI_2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_is_elevation_independent() {
+        let n = ReceiverNoise::new(0.25, 0.0);
+        assert_eq!(n.sigma(0.1), n.sigma(1.0));
+    }
+
+    #[test]
+    fn clamped_below_three_degrees() {
+        let n = ReceiverNoise::default();
+        assert_eq!(n.sigma(0.0), n.sigma(3.0f64.to_radians()));
+        assert!(n.sigma(0.0).is_finite());
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let n = ReceiverNoise::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let el = 45f64.to_radians();
+        let count = 20_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.draw(el, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let std =
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64).sqrt();
+        assert!(mean.abs() < 0.01);
+        assert!((std - n.sigma(el)).abs() / n.sigma(el) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_bad_sigma() {
+        let _ = ReceiverNoise::new(-0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_negative_weight() {
+        let _ = ReceiverNoise::new(0.25, -1.0);
+    }
+}

@@ -1,0 +1,160 @@
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_time::GpsTime;
+use rand::Rng;
+
+use crate::multipath::gaussian;
+
+/// Per-satellite clock error model: the broadcast polynomial plus the
+/// residual the broadcast correction cannot remove.
+///
+/// Each GPS satellite carries an atomic clock whose offset from GPS time is
+/// broadcast as a quadratic polynomial `af0 + af1·Δt + af2·Δt²`. Receivers
+/// *apply* that correction, so what survives into the paper's
+/// satellite-dependent error `εᵢˢ` is only the broadcast-ephemeris residual
+/// — zero-mean, metre-level (≈1–2 m RMS for the 2009-era legacy
+/// accuracy), and independent across satellites, which is exactly the
+/// structure assumed by the paper's eq. 4-14/4-15.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::SatelliteClockModel;
+/// use gps_time::GpsTime;
+///
+/// let clock = SatelliteClockModel::new(1e-5, 1e-11, 0.0, GpsTime::EPOCH, 1.2);
+/// // Raw offset near the reference epoch is close to af0 (in seconds).
+/// let raw = clock.raw_offset_seconds(GpsTime::EPOCH);
+/// assert!((raw - 1e-5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatelliteClockModel {
+    /// Clock bias at the reference epoch, seconds.
+    af0: f64,
+    /// Clock drift, s/s.
+    af1: f64,
+    /// Clock drift rate, s/s².
+    af2: f64,
+    /// Reference epoch of the polynomial.
+    reference: GpsTime,
+    /// RMS of the residual left after applying the broadcast correction,
+    /// metres.
+    residual_sigma: f64,
+}
+
+impl SatelliteClockModel {
+    /// Creates a satellite clock model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual_sigma_m` is negative.
+    #[must_use]
+    pub fn new(
+        af0: f64,
+        af1: f64,
+        af2: f64,
+        reference: GpsTime,
+        residual_sigma_m: f64,
+    ) -> Self {
+        assert!(residual_sigma_m >= 0.0, "residual sigma must be non-negative");
+        SatelliteClockModel {
+            af0,
+            af1,
+            af2,
+            reference,
+            residual_sigma: residual_sigma_m,
+        }
+    }
+
+    /// A typical 2009-era satellite clock: random af0 within ±1 ms, drift
+    /// within ±1e-11 s/s, and a 1.2 m broadcast residual RMS.
+    pub fn typical<R: Rng + ?Sized>(reference: GpsTime, rng: &mut R) -> Self {
+        SatelliteClockModel {
+            af0: (rng.gen::<f64>() - 0.5) * 2e-3,
+            af1: (rng.gen::<f64>() - 0.5) * 2e-11,
+            af2: 0.0,
+            reference,
+            residual_sigma: 1.2,
+        }
+    }
+
+    /// The raw clock offset (seconds) at time `t` — what the broadcast
+    /// polynomial models.
+    #[must_use]
+    pub fn raw_offset_seconds(&self, t: GpsTime) -> f64 {
+        let dt = (t - self.reference).as_seconds();
+        self.af0 + self.af1 * dt + self.af2 * dt * dt
+    }
+
+    /// The raw clock offset expressed as a range error, metres.
+    #[must_use]
+    pub fn raw_offset_meters(&self, t: GpsTime) -> f64 {
+        self.raw_offset_seconds(t) * SPEED_OF_LIGHT
+    }
+
+    /// RMS (metres) of the post-correction residual.
+    #[must_use]
+    pub fn residual_sigma(&self) -> f64 {
+        self.residual_sigma
+    }
+
+    /// Draws the residual range error (metres) that remains *after* the
+    /// receiver applies the broadcast correction.
+    pub fn draw_residual<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gaussian(rng) * self.residual_sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_time::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn polynomial_evaluation() {
+        let c = SatelliteClockModel::new(1e-4, 1e-9, 1e-15, GpsTime::EPOCH, 1.0);
+        let t = GpsTime::EPOCH + Duration::from_seconds(1_000.0);
+        let expected = 1e-4 + 1e-9 * 1_000.0 + 1e-15 * 1.0e6;
+        assert!((c.raw_offset_seconds(t) - expected).abs() < 1e-18);
+        assert!(
+            (c.raw_offset_meters(t) - expected * SPEED_OF_LIGHT).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn typical_clocks_in_spec() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let c = SatelliteClockModel::typical(GpsTime::EPOCH, &mut rng);
+            assert!(c.raw_offset_seconds(GpsTime::EPOCH).abs() <= 1e-3);
+            assert_eq!(c.residual_sigma(), 1.2);
+        }
+    }
+
+    #[test]
+    fn residual_statistics() {
+        let c = SatelliteClockModel::new(0.0, 0.0, 0.0, GpsTime::EPOCH, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| c.draw_residual(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std =
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((std - 1.5).abs() < 0.1, "std {std}");
+    }
+
+    #[test]
+    fn zero_sigma_residual_is_zero() {
+        let c = SatelliteClockModel::new(0.0, 0.0, 0.0, GpsTime::EPOCH, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(c.draw_residual(&mut rng), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = SatelliteClockModel::new(0.0, 0.0, 0.0, GpsTime::EPOCH, -1.0);
+    }
+}

@@ -1,0 +1,186 @@
+/// The Saastamoinen tropospheric delay model with a standard-atmosphere
+/// height profile.
+///
+/// The troposphere is non-dispersive: its delay cannot be removed with a
+/// second frequency and is instead modeled. The zenith delay splits into a
+/// **hydrostatic** part (~2.3 m at sea level, very predictable) and a
+/// **wet** part (~0.1–0.4 m, humid-weather dependent); both are mapped to
+/// the line of sight with a `1/sin(el)`-type mapping. Receivers model most
+/// of it; [`Saastamoinen::residual_delay`] returns the unmodeled remainder
+/// that feeds the paper's satellite-dependent error `εᵢˢ`.
+///
+/// # Example
+///
+/// ```
+/// use gps_atmosphere::Saastamoinen;
+///
+/// let tropo = Saastamoinen::standard_at_height(200.0);
+/// let zenith = tropo.slant_delay(90f64.to_radians());
+/// assert!(zenith > 2.0 && zenith < 3.0); // ≈ 2.3 m near sea level
+/// let slant = tropo.slant_delay(10f64.to_radians());
+/// assert!(slant > 5.0 * zenith); // strongly amplified near the horizon
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saastamoinen {
+    /// Total pressure at the site, millibars.
+    pressure: f64,
+    /// Temperature at the site, kelvin.
+    temperature: f64,
+    /// Partial pressure of water vapour, millibars.
+    vapour_pressure: f64,
+}
+
+impl Saastamoinen {
+    /// Creates the model from explicit surface meteorology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pressure or temperature is non-positive.
+    #[must_use]
+    pub fn new(pressure_mbar: f64, temperature_k: f64, vapour_pressure_mbar: f64) -> Self {
+        assert!(pressure_mbar > 0.0, "pressure must be positive");
+        assert!(temperature_k > 0.0, "temperature must be positive");
+        Saastamoinen {
+            pressure: pressure_mbar,
+            temperature: temperature_k,
+            vapour_pressure: vapour_pressure_mbar.max(0.0),
+        }
+    }
+
+    /// Standard-atmosphere meteorology at the given orthometric height
+    /// (m): 1013.25 mbar / 291.15 K / 50 % relative humidity at sea level,
+    /// lapsed with the usual exponential/linear profiles.
+    #[must_use]
+    pub fn standard_at_height(height_m: f64) -> Self {
+        let h = height_m.max(0.0);
+        let p = 1013.25 * (1.0 - 2.2557e-5 * h).powf(5.2568);
+        let t = 291.15 - 6.5e-3 * h;
+        // 50% relative humidity mapped through the saturation pressure.
+        let rh = 0.5 * (-6.396e-4 * h).exp();
+        let e = rh * 6.108 * ((17.15 * t - 4_684.0) / (t - 38.45)).exp();
+        Saastamoinen::new(p, t, e)
+    }
+
+    /// Zenith hydrostatic (dry) delay, metres.
+    #[must_use]
+    pub fn zenith_dry_delay(&self) -> f64 {
+        0.002_277 * self.pressure
+    }
+
+    /// Zenith wet delay, metres.
+    #[must_use]
+    pub fn zenith_wet_delay(&self) -> f64 {
+        0.002_277 * (1_255.0 / self.temperature + 0.05) * self.vapour_pressure
+    }
+
+    /// Total slant delay (metres) at the given elevation angle (radians).
+    ///
+    /// Uses Saastamoinen's simple mapping `1 / sin(el + small)` with a
+    /// floor keeping the model finite through the horizon.
+    #[must_use]
+    pub fn slant_delay(&self, elevation_rad: f64) -> f64 {
+        let zenith = self.zenith_dry_delay() + self.zenith_wet_delay();
+        zenith * Self::mapping(elevation_rad)
+    }
+
+    /// The elevation mapping factor shared by the total and residual
+    /// delays.
+    fn mapping(elevation_rad: f64) -> f64 {
+        // Clamp below 3°: the simple mapping diverges at the horizon and
+        // datasets mask such satellites out anyway.
+        let el = elevation_rad.max(3.0f64.to_radians());
+        1.0 / (el.sin() + 0.003)
+    }
+
+    /// Residual slant delay after a receiver models the troposphere with
+    /// the same functional form but imperfect meteorology.
+    ///
+    /// `imperfection` is the fractional mismodeling (typically 0.02–0.10,
+    /// dominated by the wet component); the residual keeps the full
+    /// elevation dependence, which is what makes low-elevation satellites
+    /// noisier — visible in the paper's accuracy figures as the penalty for
+    /// adding satellite number 9 and 10 of an epoch.
+    #[must_use]
+    pub fn residual_delay(&self, elevation_rad: f64, imperfection: f64) -> f64 {
+        imperfection * self.slant_delay(elevation_rad)
+    }
+}
+
+impl Default for Saastamoinen {
+    /// Standard atmosphere at sea level.
+    fn default() -> Self {
+        Saastamoinen::standard_at_height(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sea_level_zenith_delay() {
+        let t = Saastamoinen::default();
+        let dry = t.zenith_dry_delay();
+        let wet = t.zenith_wet_delay();
+        assert!((dry - 2.31).abs() < 0.05, "dry {dry}");
+        assert!(wet > 0.05 && wet < 0.45, "wet {wet}");
+    }
+
+    #[test]
+    fn delay_decreases_with_height() {
+        let sea = Saastamoinen::standard_at_height(0.0);
+        let mountain = Saastamoinen::standard_at_height(3_000.0);
+        let el = 45f64.to_radians();
+        assert!(mountain.slant_delay(el) < sea.slant_delay(el));
+        // Pressure at 3000 m ≈ 700 mbar → dry delay ≈ 1.6 m.
+        assert!((mountain.zenith_dry_delay() - 1.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn mapping_monotone_in_elevation() {
+        let t = Saastamoinen::default();
+        let mut prev = f64::INFINITY;
+        for el_deg in [5.0, 10.0, 20.0, 40.0, 60.0, 90.0] {
+            let d = t.slant_delay(f64::to_radians(el_deg));
+            assert!(d < prev, "not monotone at {el_deg}");
+            assert!(d > 0.0);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn horizon_is_clamped_finite() {
+        let t = Saastamoinen::default();
+        let horizon = t.slant_delay(0.0);
+        let below = t.slant_delay(-0.2);
+        assert!(horizon.is_finite() && horizon < 60.0);
+        assert_eq!(horizon, below);
+    }
+
+    #[test]
+    fn residual_proportional_to_imperfection() {
+        let t = Saastamoinen::default();
+        let el = 30f64.to_radians();
+        let full = t.slant_delay(el);
+        assert!((t.residual_delay(el, 0.05) - 0.05 * full).abs() < 1e-12);
+        assert_eq!(t.residual_delay(el, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure")]
+    fn rejects_nonpositive_pressure() {
+        let _ = Saastamoinen::new(0.0, 290.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn rejects_nonpositive_temperature() {
+        let _ = Saastamoinen::new(1000.0, -1.0, 10.0);
+    }
+
+    #[test]
+    fn negative_vapour_clamped() {
+        let t = Saastamoinen::new(1013.0, 291.0, -5.0);
+        assert_eq!(t.zenith_wet_delay(), 0.0);
+    }
+}

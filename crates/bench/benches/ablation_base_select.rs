@@ -1,0 +1,69 @@
+//! Ablation — base-satellite selection (paper §6, extension 1).
+//!
+//! The paper: "the accuracy can be further improved if we can identify a
+//! 'good' satellite to be used as the base ... this satellite is randomly
+//! chosen." This bench (a) prints the accuracy effect of each
+//! [`BaseSelection`] strategy on noisy epochs, and (b) confirms the
+//! selection cost itself is negligible by timing DLO under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::{fixture_dataset, fixture_epochs};
+use gps_core::metrics::Summary;
+use gps_core::{BaseSelection, Dlo, PositionSolver};
+use std::hint::black_box;
+
+const STRATEGIES: [(&str, BaseSelection); 4] = [
+    ("first(paper)", BaseSelection::First),
+    ("highest-elev", BaseSelection::HighestElevation),
+    ("lowest-elev", BaseSelection::LowestElevation),
+    ("shortest-range", BaseSelection::ShortestRange),
+];
+
+fn print_accuracy_ablation() {
+    let data = fixture_dataset(0, 61);
+    let truth = data.station().position();
+    println!("base-selection ablation (DLO, m=8, true clock bias fed in):");
+    for (name, strategy) in STRATEGIES {
+        let dlo = Dlo::new().with_base_selection(strategy);
+        let mut errors = Summary::new();
+        for epoch in data.epochs() {
+            if epoch.observations().len() < 8 {
+                continue;
+            }
+            let meas = gps_sim::to_measurements(&gps_sim::select_subset(truth, epoch, 8));
+            let bias_m =
+                epoch.truth().clock_bias * gps_geodesy::wgs84::SPEED_OF_LIGHT;
+            if let Ok(fix) = dlo.solve(&meas, bias_m) {
+                errors.push(fix.position.distance_to(truth));
+            }
+        }
+        println!(
+            "  {:<15} mean {:>7.2} m  rms {:>7.2} m  (n={})",
+            name,
+            errors.mean(),
+            errors.rms(),
+            errors.count()
+        );
+    }
+}
+
+fn bench_base_selection(c: &mut Criterion) {
+    print_accuracy_ablation();
+
+    let epochs = fixture_epochs(8, 61);
+    let mut group = c.benchmark_group("ablation_base_select");
+    for (name, strategy) in STRATEGIES {
+        let dlo = Dlo::new().with_base_selection(strategy);
+        group.bench_with_input(BenchmarkId::new("dlo", name), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(dlo.solve(black_box(meas), 12.0));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_base_selection);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation — clock-bias prediction model (paper §6, extension 2).
+//!
+//! Compares three predictors feeding DLO's eq. 4-1 correction:
+//! no prediction (ε̂ᴿ = 0), the paper's linear `D + r·t` model (eq. 4-3),
+//! and the Kalman-filter extension. Prints the resulting position error
+//! (the accuracy dimension) and benchmarks the per-epoch prediction cost
+//! (the time dimension — all three are cheap; the point is that the
+//! *accuracy* differs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gps_bench::fixture_dataset;
+use gps_clock::{ClockBiasPredictor, KalmanClockPredictor};
+use gps_core::metrics::Summary;
+use gps_core::{Dlo, NewtonRaphson, PositionSolver};
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use std::hint::black_box;
+
+fn print_accuracy_ablation() {
+    let data = fixture_dataset(3, 62); // KYCP: the drifting threshold clock
+    let truth = data.station().position();
+    let nr = NewtonRaphson::default();
+    let dlo = Dlo::default();
+
+    // Bootstrap both predictors from the first 20 epochs of NR biases.
+    let mut samples = Vec::new();
+    for epoch in &data.epochs()[..20] {
+        let meas = gps_sim::to_measurements(epoch.observations());
+        if let Ok(fix) = nr.solve(&meas, 0.0) {
+            if let Some(b) = fix.receiver_bias_m {
+                samples.push((epoch.time(), b / SPEED_OF_LIGHT));
+            }
+        }
+    }
+    let mut linear = ClockBiasPredictor::new(data.epochs()[0].time());
+    linear.fit_drift(&samples);
+    if let Some(&(t, b)) = samples.first() {
+        linear.calibrate(t, b);
+    }
+    let mut kalman = KalmanClockPredictor::default_tcxo(data.epochs()[0].time());
+    for &(t, b) in &samples {
+        kalman.update(t, b);
+    }
+
+    let mut err_none = Summary::new();
+    let mut err_linear = Summary::new();
+    let mut err_kalman = Summary::new();
+    for epoch in &data.epochs()[20..] {
+        if epoch.observations().len() < 8 {
+            continue;
+        }
+        let meas = gps_sim::to_measurements(&gps_sim::select_subset(truth, epoch, 8));
+        let t = epoch.time();
+        for (predicted, sink) in [
+            (0.0, &mut err_none),
+            (linear.predict_range_bias(t), &mut err_linear),
+            (kalman.predict_range_bias(t), &mut err_kalman),
+        ] {
+            if let Ok(fix) = dlo.solve(&meas, predicted) {
+                sink.push(fix.position.distance_to(truth));
+            }
+        }
+        // Keep the Kalman filter adapting from per-epoch NR biases
+        // (approach 2 of §4.2); the linear model stays as initialized.
+        if let Ok(fix) = nr.solve(&gps_sim::to_measurements(epoch.observations()), 0.0) {
+            if let Some(b) = fix.receiver_bias_m {
+                if epoch.truth().clock_reset {
+                    kalman.reset_bias(t, b / SPEED_OF_LIGHT);
+                    linear.calibrate(t, b / SPEED_OF_LIGHT);
+                } else {
+                    kalman.update(t, b / SPEED_OF_LIGHT);
+                }
+            }
+        }
+    }
+    println!("clock-model ablation (DLO, m=8, KYCP threshold clock):");
+    println!("  no prediction   mean {:>10.2} m (n={})", err_none.mean(), err_none.count());
+    println!("  linear D + r·t  mean {:>10.2} m (n={})", err_linear.mean(), err_linear.count());
+    println!("  Kalman filter   mean {:>10.2} m (n={})", err_kalman.mean(), err_kalman.count());
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    print_accuracy_ablation();
+
+    let t0 = gps_time::GpsTime::EPOCH;
+    let mut linear = ClockBiasPredictor::new(t0);
+    linear.calibrate(t0, 1e-6);
+    let mut kalman = KalmanClockPredictor::default_tcxo(t0);
+    kalman.update(t0, 1e-6);
+    let query = t0 + gps_time::Duration::from_seconds(300.0);
+
+    let mut group = c.benchmark_group("ablation_clock_model");
+    group.bench_function("linear_predict", |b| {
+        b.iter(|| black_box(linear.predict_range_bias(black_box(query))))
+    });
+    group.bench_function("kalman_predict", |b| {
+        b.iter(|| black_box(kalman.predict_range_bias(black_box(query))))
+    });
+    group.bench_function("kalman_update", |b| {
+        b.iter(|| {
+            let mut kf = kalman;
+            kf.update(query, 1.1e-6);
+            black_box(kf)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

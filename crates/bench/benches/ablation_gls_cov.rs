@@ -1,0 +1,68 @@
+//! Ablation — the DLG covariance structure (paper Theorems 4.1/4.2).
+//!
+//! How much of DLG's accuracy edge comes from modeling the *correlation*
+//! (the `ρ₁²` off-diagonals of eq. 4-26) versus merely the unequal
+//! variances? Prints the accuracy of DLG under Full / DiagonalOnly /
+//! Identity covariances, then benchmarks each (Identity ≡ DLO, so the
+//! timing also brackets the GLS overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::{fixture_dataset, fixture_epochs};
+use gps_core::metrics::Summary;
+use gps_core::{CovarianceModel, Dlg, PositionSolver};
+use std::hint::black_box;
+
+const MODELS: [(&str, CovarianceModel); 4] = [
+    ("full(paper)", CovarianceModel::Full),
+    ("diagonal", CovarianceModel::DiagonalOnly),
+    ("identity(=DLO)", CovarianceModel::Identity),
+    ("elevation-scaled", CovarianceModel::ElevationScaled),
+];
+
+fn print_accuracy_ablation() {
+    let data = fixture_dataset(1, 64);
+    let truth = data.station().position();
+    println!("GLS-covariance ablation (DLG, m=10, true clock bias fed in):");
+    for (name, model) in MODELS {
+        let dlg = Dlg::new().with_covariance_model(model);
+        let mut errors = Summary::new();
+        for epoch in data.epochs() {
+            if epoch.observations().len() < 10 {
+                continue;
+            }
+            let meas = gps_sim::to_measurements(&gps_sim::select_subset(truth, epoch, 10));
+            let bias_m = epoch.truth().clock_bias * gps_geodesy::wgs84::SPEED_OF_LIGHT;
+            if let Ok(fix) = dlg.solve(&meas, bias_m) {
+                errors.push(fix.position.distance_to(truth));
+            }
+        }
+        println!(
+            "  {:<15} mean {:>7.2} m  rms {:>7.2} m  (n={})",
+            name,
+            errors.mean(),
+            errors.rms(),
+            errors.count()
+        );
+    }
+}
+
+fn bench_covariances(c: &mut Criterion) {
+    print_accuracy_ablation();
+
+    let epochs = fixture_epochs(10, 64);
+    let mut group = c.benchmark_group("ablation_gls_cov");
+    for (name, model) in MODELS {
+        let dlg = Dlg::new().with_covariance_model(model);
+        group.bench_with_input(BenchmarkId::new("dlg", name), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(dlg.solve(black_box(meas), 12.0));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_covariances);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation — linear-algebra path (paper §6, extension 3: "optimize the
+//! matrix operations ... so the computation time may be further reduced").
+//!
+//! Compares, on the actual GPS-shaped systems:
+//!
+//! * OLS via normal equations + Cholesky (the crate default, what the
+//!   paper's eq. 4-12 literally writes) vs Householder QR;
+//! * GLS via whitening (the crate default) vs the explicit `M⁻¹`
+//!   formulation of eq. 4-21.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::fixture_epochs;
+use gps_core::{linearize, BaseSelection, Dlg};
+use gps_linalg::lstsq;
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_linalg_path");
+    for m in [6usize, 10] {
+        // Pre-linearize every epoch so only the estimator is measured.
+        let systems: Vec<_> = fixture_epochs(m, 63)
+            .iter()
+            .map(|meas| linearize(meas, 12.0, BaseSelection::First).expect("fixture is valid"))
+            .collect();
+        let dlg = Dlg::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("ols_normal_eq", m),
+            &systems,
+            |b, systems| {
+                b.iter(|| {
+                    for sys in systems {
+                        let _ = black_box(lstsq::ols(&sys.a, &sys.d));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ols3_cramer", m), &systems, |b, systems| {
+            b.iter(|| {
+                for sys in systems {
+                    let _ = black_box(lstsq::ols3(&sys.a, &sys.d));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ols_qr", m), &systems, |b, systems| {
+            b.iter(|| {
+                for sys in systems {
+                    let _ = black_box(lstsq::ols_qr(&sys.a, &sys.d));
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("gls_whitened", m),
+            &systems,
+            |b, systems| {
+                b.iter(|| {
+                    for sys in systems {
+                        let cov = dlg.covariance_matrix(sys);
+                        let _ = black_box(lstsq::gls(&sys.a, &sys.d, &cov));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gls_explicit_inverse", m),
+            &systems,
+            |b, systems| {
+                b.iter(|| {
+                    for sys in systems {
+                        let cov = dlg.covariance_matrix(sys);
+                        let _ = black_box(lstsq::gls_explicit_inverse(&sys.a, &sys.d, &cov));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

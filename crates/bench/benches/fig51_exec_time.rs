@@ -1,0 +1,78 @@
+//! Figure 5.1 — Execution Time Comparisons.
+//!
+//! Benchmarks one positioning solve per algorithm (NR, DLO, DLG, plus the
+//! Bancroft baseline) for each satellite count in the paper's sweep
+//! `m = 4..=10`, over realistic epochs from the SRZN dataset. The ratio
+//! `DLO/NR` and `DLG/NR` of the reported times is the paper's
+//! `θ = τ_O/τ_NR × 100 %` (eq. 5-3); the full four-dataset series is
+//! printed by `cargo run --release --example reproduce_paper -- fig51`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gps_bench::fixture_epochs;
+use gps_core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig51_exec_time");
+    for m in [4usize, 5, 6, 7, 8, 9, 10] {
+        let epochs = fixture_epochs(m, 51);
+        if epochs.is_empty() {
+            continue;
+        }
+        group.throughput(Throughput::Elements(epochs.len() as u64));
+
+        let nr = NewtonRaphson::default();
+        group.bench_with_input(BenchmarkId::new("NR", m), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(nr.solve(black_box(meas), 0.0));
+                }
+            })
+        });
+
+        // Warm-started NR (previous epoch's fix as the initial guess):
+        // quantifies how much of NR's cost is the paper's cold start.
+        group.bench_with_input(BenchmarkId::new("NR-warm", m), &epochs, |b, epochs| {
+            b.iter(|| {
+                let mut warm = NewtonRaphson::default();
+                for meas in epochs {
+                    if let Ok(fix) = black_box(warm.solve(black_box(meas), 0.0)) {
+                        warm = NewtonRaphson::default()
+                            .with_initial(fix.position, fix.receiver_bias_m.unwrap_or(0.0));
+                    }
+                }
+            })
+        });
+
+        let dlo = Dlo::default();
+        group.bench_with_input(BenchmarkId::new("DLO", m), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(dlo.solve(black_box(meas), 12.0));
+                }
+            })
+        });
+
+        let dlg = Dlg::default();
+        group.bench_with_input(BenchmarkId::new("DLG", m), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(dlg.solve(black_box(meas), 12.0));
+                }
+            })
+        });
+
+        let bancroft = Bancroft::default();
+        group.bench_with_input(BenchmarkId::new("Bancroft", m), &epochs, |b, epochs| {
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(bancroft.solve(black_box(meas), 0.0));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

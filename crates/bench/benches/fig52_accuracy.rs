@@ -1,0 +1,54 @@
+//! Figure 5.2 — Accuracy Comparisons.
+//!
+//! Accuracy is a statistic, not a duration, so this bench does two
+//! things: (a) it *prints* the reproduced accuracy-rate series
+//! `η = d_O/d_NR × 100 %` (eq. 5-2) for a one-hour slice of each dataset
+//! before measuring, and (b) it benchmarks the full evaluation pipeline
+//! (`run_dataset`: solve three algorithms over every epoch and aggregate
+//! errors) that produces those series. The full-day four-dataset figure
+//! is printed by `cargo run --release --example reproduce_paper -- fig52`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::fixture_dataset;
+use gps_sim::{run_dataset, ExperimentConfig};
+use std::hint::black_box;
+
+fn print_accuracy_series() {
+    let mut cfg = ExperimentConfig::quick(52);
+    cfg.calibration_epochs = 20;
+    println!("fig52 preview (one-hour slices): m  eta_DLO%  eta_DLG%");
+    for idx in 0..4 {
+        let data = fixture_dataset(idx, 52);
+        println!("  dataset {} ({})", idx + 1, data.station().id());
+        for m in [4usize, 6, 8, 10] {
+            let r = run_dataset(&data, m, &cfg);
+            if r.nr.solves > 0 && r.nr.error.mean() > 0.0 {
+                println!(
+                    "    {:>2}  {:>7.1}  {:>7.1}",
+                    m,
+                    r.eta_dlo(),
+                    r.eta_dlg()
+                );
+            }
+        }
+    }
+}
+
+fn bench_accuracy_pipeline(c: &mut Criterion) {
+    print_accuracy_series();
+
+    let mut cfg = ExperimentConfig::quick(52);
+    cfg.calibration_epochs = 20;
+    let data = fixture_dataset(0, 52);
+    let mut group = c.benchmark_group("fig52_accuracy_pipeline");
+    group.sample_size(20);
+    for m in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("run_dataset", m), &m, |b, &m| {
+            b.iter(|| black_box(run_dataset(black_box(&data), m, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table 5.1 — Data Set Specifications.
+//!
+//! Benchmarks the substitute for the paper's CORS downloads: generating
+//! one station's observation stream (constellation propagation +
+//! atmosphere + clock + pseudorange assembly), per epoch, and the
+//! visibility query that determines the 8–12 satellites per data item.
+//! The table itself is printed by
+//! `cargo run --release --example reproduce_paper -- table51`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gps_obs::{paper_stations, DatasetGenerator};
+use gps_orbits::Constellation;
+use gps_time::GpsTime;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let stations = paper_stations();
+    let mut group = c.benchmark_group("table51_datagen");
+
+    // Per-station generation throughput (epochs/second).
+    let epochs = 120usize;
+    group.throughput(Throughput::Elements(epochs as u64));
+    for station in &stations {
+        group.bench_with_input(
+            BenchmarkId::new("generate", station.id()),
+            station,
+            |b, station| {
+                let generator = DatasetGenerator::new(7)
+                    .epoch_interval_s(30.0)
+                    .epoch_count(epochs);
+                b.iter(|| black_box(generator.generate(black_box(station))))
+            },
+        );
+    }
+
+    // The underlying visibility query.
+    let constellation = Constellation::gps_nominal();
+    let srzn = stations[0].position();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("visible_from", |b| {
+        b.iter(|| {
+            black_box(constellation.visible_from(
+                black_box(srzn),
+                GpsTime::new(1544, 4_242.0),
+                5.0f64.to_radians(),
+            ))
+        })
+    });
+
+    // RINEX-lite persistence throughput (bytes/second).
+    let data = DatasetGenerator::new(7)
+        .epoch_interval_s(30.0)
+        .epoch_count(epochs)
+        .generate(&stations[0]);
+    let text = gps_obs::format::write(&data);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("rinex_lite_write", |b| {
+        b.iter(|| black_box(gps_obs::format::write(black_box(&data))))
+    });
+    group.bench_function("rinex_lite_parse", |b| {
+        b.iter(|| black_box(gps_obs::format::parse(black_box(&text)).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

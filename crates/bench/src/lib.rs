@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench regenerates the workload of one paper table/figure (or one
+//! ablation from DESIGN.md). The fixtures here build realistic epochs
+//! once, outside the measured region.
+
+use gps_core::Measurement;
+use gps_obs::{paper_stations, DataSet, DatasetGenerator};
+use gps_sim::{select_subset, to_measurements};
+
+/// A small but representative dataset for station `idx` (0..4): one hour
+/// at 30 s cadence with the standard error budget.
+#[must_use]
+pub fn fixture_dataset(idx: usize, seed: u64) -> DataSet {
+    DatasetGenerator::new(seed)
+        .epoch_interval_s(30.0)
+        .epoch_count(120)
+        .elevation_mask_deg(5.0)
+        .generate(&paper_stations()[idx])
+}
+
+/// Measurement sets with exactly `m` satellites, one per epoch that has
+/// enough in view, drawn from the SRZN fixture.
+#[must_use]
+pub fn fixture_epochs(m: usize, seed: u64) -> Vec<Vec<Measurement>> {
+    let data = fixture_dataset(0, seed);
+    let station = data.station().position();
+    data.epochs()
+        .iter()
+        .filter(|e| e.observations().len() >= m)
+        .map(|e| to_measurements(&select_subset(station, e, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_sized() {
+        let epochs = fixture_epochs(8, 1);
+        assert!(!epochs.is_empty());
+        assert!(epochs.iter().all(|e| e.len() == 8));
+    }
+
+    #[test]
+    fn dataset_fixture_covers_all_stations() {
+        for idx in 0..4 {
+            let data = fixture_dataset(idx, 2);
+            assert_eq!(data.epochs().len(), 120);
+        }
+    }
+}

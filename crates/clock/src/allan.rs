@@ -1,0 +1,170 @@
+//! Allan deviation: the standard stability characterization for clocks.
+//!
+//! The paper's clock-bias predictor works because receiver oscillators
+//! have a *stable frequency* over the prediction horizon (§4.2: "a clock
+//! has a constant drift due to its stability on frequency"). The Allan
+//! deviation quantifies exactly that stability as a function of the
+//! averaging interval τ, making it the right tool to validate that a
+//! simulated clock behaves like the hardware class it models — and to
+//! choose the recalibration cadence.
+
+/// Computes the overlapping Allan deviation of a phase (time-error)
+/// record.
+///
+/// `phase` holds clock bias samples `x(k·tau0)` in seconds at a constant
+/// spacing `tau0` (seconds); `m` is the averaging factor, so the returned
+/// deviation is at `τ = m·tau0`.
+///
+/// Returns `None` when the record is too short (needs at least `2m + 1`
+/// samples).
+///
+/// # Panics
+///
+/// Panics if `tau0` is not strictly positive or `m` is zero.
+///
+/// # Example
+///
+/// ```
+/// use gps_clock::allan::allan_deviation;
+///
+/// // A perfectly linear phase ramp (pure frequency offset) has zero
+/// // Allan deviation at every τ.
+/// let phase: Vec<f64> = (0..100).map(|k| 1e-9 * k as f64).collect();
+/// let adev = allan_deviation(&phase, 1.0, 10).unwrap();
+/// assert!(adev < 1e-18);
+/// ```
+#[must_use]
+pub fn allan_deviation(phase: &[f64], tau0: f64, m: usize) -> Option<f64> {
+    assert!(tau0 > 0.0, "sample spacing must be positive");
+    assert!(m > 0, "averaging factor must be positive");
+    let n = phase.len();
+    if n < 2 * m + 1 {
+        return None;
+    }
+    let tau = m as f64 * tau0;
+    // Overlapping estimator:
+    // σ²(τ) = 1/(2τ²(N−2m)) Σ (x[k+2m] − 2x[k+m] + x[k])².
+    let terms = n - 2 * m;
+    let mut sum = 0.0;
+    for k in 0..terms {
+        let d = phase[k + 2 * m] - 2.0 * phase[k + m] + phase[k];
+        sum += d * d;
+    }
+    Some((sum / (2.0 * tau * tau * terms as f64)).sqrt())
+}
+
+/// Computes the Allan deviation over a log-spaced ladder of averaging
+/// factors, returning `(τ, σ(τ))` pairs — the standard stability plot.
+///
+/// # Panics
+///
+/// Panics if `tau0` is not strictly positive.
+#[must_use]
+pub fn allan_ladder(phase: &[f64], tau0: f64) -> Vec<(f64, f64)> {
+    assert!(tau0 > 0.0, "sample spacing must be positive");
+    let mut out = Vec::new();
+    let mut m = 1usize;
+    while let Some(adev) = allan_deviation(phase, tau0, m) {
+        out.push((m as f64 * tau0, adev));
+        // Log-spaced: 1, 2, 4, 8, ...
+        m *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReceiverClock, SteeringClock, ThresholdClock};
+    use gps_time::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_ramp_has_zero_adev() {
+        let phase: Vec<f64> = (0..1_000).map(|k| 5e-8 + 2e-9 * k as f64).collect();
+        for m in [1, 4, 16, 64] {
+            let adev = allan_deviation(&phase, 1.0, m).unwrap();
+            assert!(adev < 1e-17, "m={m}: {adev}");
+        }
+    }
+
+    #[test]
+    fn white_phase_noise_slope_is_minus_one() {
+        // For white phase noise, σ(τ) ∝ τ⁻¹: quadrupling τ divides the
+        // deviation by ~4.
+        let mut state = 88172645463325252u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let phase: Vec<f64> = (0..20_000).map(|_| 1e-9 * next()).collect();
+        let a1 = allan_deviation(&phase, 1.0, 4).unwrap();
+        let a4 = allan_deviation(&phase, 1.0, 16).unwrap();
+        let slope = (a4 / a1).log2() / 2.0; // per octave-of-4
+        assert!(
+            (slope + 1.0).abs() < 0.25,
+            "white-PM slope {slope}, expected ≈ -1"
+        );
+    }
+
+    #[test]
+    fn short_record_returns_none() {
+        let phase = [0.0; 10];
+        assert!(allan_deviation(&phase, 1.0, 5).is_none());
+        assert!(allan_deviation(&phase, 1.0, 4).is_some());
+    }
+
+    #[test]
+    fn ladder_is_log_spaced_and_bounded() {
+        let phase: Vec<f64> = (0..512).map(|k| (k as f64).sin() * 1e-9).collect();
+        let ladder = allan_ladder(&phase, 2.0);
+        assert!(!ladder.is_empty());
+        for pair in ladder.windows(2) {
+            assert!((pair[1].0 / pair[0].0 - 2.0).abs() < 1e-12);
+        }
+        // Largest m still satisfies 2m+1 <= n.
+        let max_tau = ladder.last().unwrap().0;
+        assert!(max_tau <= 512.0);
+    }
+
+    #[test]
+    fn steering_clock_is_stable_at_long_tau() {
+        // A steered clock's phase wander is bounded, so σ(τ) falls with τ.
+        let mut clock = SteeringClock::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let phase: Vec<f64> = (0..4_000)
+            .map(|_| {
+                clock.advance(Duration::from_seconds(30.0), &mut rng);
+                clock.bias()
+            })
+            .collect();
+        let short = allan_deviation(&phase, 30.0, 2).unwrap();
+        let long = allan_deviation(&phase, 30.0, 256).unwrap();
+        assert!(long < short, "long {long} should be below short {short}");
+    }
+
+    #[test]
+    fn threshold_clock_dominated_by_drift_between_resets() {
+        // Pure deterministic drift (no reset within the record): the
+        // second difference is exactly zero.
+        let mut clock = ThresholdClock::new(0.0, 2e-8, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let phase: Vec<f64> = (0..500)
+            .map(|_| {
+                clock.advance(Duration::from_seconds(1.0), &mut rng);
+                clock.bias()
+            })
+            .collect();
+        let adev = allan_deviation(&phase, 1.0, 8).unwrap();
+        assert!(adev < 1e-16, "drift-only adev {adev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn rejects_bad_tau0() {
+        let _ = allan_deviation(&[0.0; 10], 0.0, 1);
+    }
+}

@@ -1,0 +1,256 @@
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_time::GpsTime;
+
+/// Two-state (bias, drift) Kalman-filter clock predictor — the paper's §6
+/// second extension ("consider better clock bias models so the clock
+/// prediction can be further improved").
+///
+/// State `x = [Δt, ṙ]` with constant-drift dynamics
+/// `Δt(t+dt) = Δt + ṙ·dt`, white frequency/aging process noise, and scalar
+/// measurements of the bias (e.g. NR-derived `εᴿ/c`). Compared to the
+/// static linear fit of [`crate::ClockBiasPredictor`], the filter keeps
+/// adapting to drift changes instead of trusting a once-fitted slope.
+///
+/// # Example
+///
+/// ```
+/// use gps_clock::KalmanClockPredictor;
+/// use gps_time::{Duration, GpsTime};
+///
+/// let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+/// // Feed a ramp of measurements with drift 1e-9 s/s:
+/// for k in 0..50 {
+///     let t = GpsTime::EPOCH + Duration::from_seconds(k as f64 * 30.0);
+///     kf.update(t, 1e-9 * (k as f64 * 30.0));
+/// }
+/// assert!((kf.drift() - 1e-9).abs() < 2e-10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanClockPredictor {
+    /// State estimate: bias (s) and drift (s/s).
+    bias: f64,
+    drift: f64,
+    /// Covariance entries (symmetric 2×2).
+    p00: f64,
+    p01: f64,
+    p11: f64,
+    /// White phase process noise density (s²/s).
+    q_phase: f64,
+    /// Drift (frequency random walk) process noise density ((s/s)²/s).
+    q_drift: f64,
+    /// Measurement noise variance (s²).
+    r_meas: f64,
+    /// Time of the last update.
+    last: GpsTime,
+    /// Whether at least one measurement has been absorbed.
+    initialized: bool,
+}
+
+impl KalmanClockPredictor {
+    /// Creates a filter with explicit noise densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any noise parameter is negative or `r_meas` is zero.
+    #[must_use]
+    pub fn new(t0: GpsTime, q_phase: f64, q_drift: f64, r_meas: f64) -> Self {
+        assert!(q_phase >= 0.0 && q_drift >= 0.0, "process noise must be non-negative");
+        assert!(r_meas > 0.0, "measurement noise must be positive");
+        KalmanClockPredictor {
+            bias: 0.0,
+            drift: 0.0,
+            // Large initial uncertainty: first measurement dominates.
+            p00: 1.0,
+            p01: 0.0,
+            p11: 1e-6,
+            q_phase,
+            q_drift,
+            r_meas,
+            last: t0,
+            initialized: false,
+        }
+    }
+
+    /// Sensible tuning for a TCXO-grade receiver clock measured through
+    /// NR-derived biases (≈ 10 ns measurement noise).
+    #[must_use]
+    pub fn default_tcxo(t0: GpsTime) -> Self {
+        KalmanClockPredictor::new(t0, 1e-21, 1e-24, 1e-16)
+    }
+
+    /// Current bias estimate, seconds.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Current drift estimate, s/s.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Returns `true` once at least one measurement has been absorbed.
+    #[must_use]
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Propagates the state to time `t` without measurement (in place).
+    fn propagate(&mut self, t: GpsTime) {
+        let dt = (t - self.last).as_seconds().max(0.0);
+        if dt == 0.0 {
+            return;
+        }
+        // x ← F x with F = [[1, dt], [0, 1]].
+        self.bias += self.drift * dt;
+        // P ← F P Fᵀ + Q.
+        let p00 = self.p00 + dt * (2.0 * self.p01 + dt * self.p11);
+        let p01 = self.p01 + dt * self.p11;
+        self.p00 = p00 + self.q_phase * dt;
+        self.p01 = p01;
+        self.p11 += self.q_drift * dt;
+        self.last = t;
+    }
+
+    /// Absorbs a bias measurement (seconds) at time `t`, e.g. an
+    /// NR-derived `εᴿ/c`.
+    pub fn update(&mut self, t: GpsTime, measured_bias: f64) {
+        if !self.initialized {
+            self.bias = measured_bias;
+            self.last = t;
+            self.initialized = true;
+            return;
+        }
+        self.propagate(t);
+        // Scalar update with H = [1, 0].
+        let s = self.p00 + self.r_meas;
+        let k0 = self.p00 / s;
+        let k1 = self.p01 / s;
+        let innovation = measured_bias - self.bias;
+        self.bias += k0 * innovation;
+        self.drift += k1 * innovation;
+        // Joseph-free covariance update (sufficient for scalar case).
+        let p00 = (1.0 - k0) * self.p00;
+        let p01 = (1.0 - k0) * self.p01;
+        let p11 = self.p11 - k1 * self.p01;
+        self.p00 = p00;
+        self.p01 = p01;
+        self.p11 = p11;
+    }
+
+    /// Handles a threshold reset: the bias state is re-anchored to the
+    /// given measured value while the drift estimate is kept (the
+    /// oscillator frequency does not change at a reset).
+    pub fn reset_bias(&mut self, t: GpsTime, measured_bias: f64) {
+        self.propagate(t);
+        self.bias = measured_bias;
+        self.p00 = self.r_meas.max(self.p00.min(1e-12));
+        self.p01 = 0.0;
+    }
+
+    /// Predicted bias `Δt̂` (seconds) at a (future) time `t`, without
+    /// mutating the filter.
+    #[must_use]
+    pub fn predict(&self, t: GpsTime) -> f64 {
+        let dt = (t - self.last).as_seconds();
+        self.bias + self.drift * dt
+    }
+
+    /// Predicted receiver range error `ε̂ᴿ = c·Δt̂` (metres).
+    #[must_use]
+    pub fn predict_range_bias(&self, t: GpsTime) -> f64 {
+        self.predict(t) * SPEED_OF_LIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_time::Duration;
+
+    fn t(k: f64) -> GpsTime {
+        GpsTime::EPOCH + Duration::from_seconds(k)
+    }
+
+    #[test]
+    fn first_measurement_initializes() {
+        let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+        assert!(!kf.is_initialized());
+        kf.update(t(0.0), 5e-7);
+        assert!(kf.is_initialized());
+        assert_eq!(kf.bias(), 5e-7);
+        assert_eq!(kf.drift(), 0.0);
+    }
+
+    #[test]
+    fn converges_to_constant_drift() {
+        let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+        let true_drift = 3e-9;
+        for k in 0..200 {
+            let tk = f64::from(k) * 30.0;
+            kf.update(t(tk), true_drift * tk);
+        }
+        assert!((kf.drift() - true_drift).abs() < 1e-10, "drift {}", kf.drift());
+        // Prediction 5 minutes ahead should be tight.
+        let ahead = t(200.0 * 30.0 + 300.0);
+        let expected = true_drift * (200.0 * 30.0 + 300.0);
+        assert!((kf.predict(ahead) - expected).abs() < 5e-9);
+    }
+
+    #[test]
+    fn tracks_drift_change_better_than_static_fit() {
+        // Drift flips sign halfway; the filter should re-converge.
+        let mut kf = KalmanClockPredictor::new(GpsTime::EPOCH, 1e-21, 1e-22, 1e-16);
+        let mut bias = 0.0;
+        let mut now = 0.0;
+        for _ in 0..300 {
+            bias += 2e-9 * 30.0;
+            now += 30.0;
+            kf.update(t(now), bias);
+        }
+        for _ in 0..300 {
+            bias -= 2e-9 * 30.0;
+            now += 30.0;
+            kf.update(t(now), bias);
+        }
+        assert!((kf.drift() + 2e-9).abs() < 5e-10, "drift {}", kf.drift());
+    }
+
+    #[test]
+    fn reset_keeps_drift() {
+        let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+        for k in 0..100 {
+            let tk = f64::from(k) * 10.0;
+            kf.update(t(tk), 1e-9 * tk);
+        }
+        let drift_before = kf.drift();
+        kf.reset_bias(t(1_000.0), 0.0);
+        assert_eq!(kf.bias(), 0.0);
+        assert_eq!(kf.drift(), drift_before);
+    }
+
+    #[test]
+    fn predict_does_not_mutate() {
+        let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+        kf.update(t(0.0), 1e-7);
+        kf.update(t(30.0), 1e-7);
+        let before = kf;
+        let _ = kf.predict(t(300.0));
+        assert_eq!(kf, before);
+    }
+
+    #[test]
+    fn range_bias_scaling() {
+        let mut kf = KalmanClockPredictor::default_tcxo(GpsTime::EPOCH);
+        kf.update(t(0.0), 1e-7);
+        let range = kf.predict_range_bias(t(0.0));
+        assert!((range - 1e-7 * SPEED_OF_LIGHT).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement noise")]
+    fn rejects_zero_measurement_noise() {
+        let _ = KalmanClockPredictor::new(GpsTime::EPOCH, 1e-21, 1e-24, 0.0);
+    }
+}

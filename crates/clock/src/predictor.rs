@@ -1,0 +1,208 @@
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_time::GpsTime;
+
+/// The paper's linear clock-bias predictor: `Δt̂ = D + r·tᵉ` (eq. 4-3),
+/// giving the range-domain prediction `ε̂ᴿ = c·Δt̂` (eq. 4-4).
+///
+/// Usage follows §5.2.2 of the paper:
+///
+/// * `D` is **calibrated** from an externally supplied bias — in practice
+///   the clock bias that a Newton–Raphson solve produces
+///   (`D ≈ εᴿ/c`, eq. 5-4). For steering clocks this happens once at
+///   initialization; for threshold clocks it happens again at every reset.
+/// * `r` is **fitted** from a short window of `(t, bias)` samples at
+///   initialization ("a small set of data items at the initialization time
+///   is used to compute it") via an ordinary least-squares line fit.
+///
+/// # Example
+///
+/// ```
+/// use gps_clock::ClockBiasPredictor;
+/// use gps_time::{Duration, GpsTime};
+///
+/// let t0 = GpsTime::EPOCH;
+/// let mut p = ClockBiasPredictor::new(t0);
+/// // Fit drift from a startup window of NR-derived biases:
+/// let samples: Vec<(GpsTime, f64)> = (0..10)
+///     .map(|k| {
+///         let t = t0 + Duration::from_seconds(k as f64 * 30.0);
+///         (t, 1e-6 + 2e-9 * (k as f64 * 30.0))
+///     })
+///     .collect();
+/// p.fit_drift(&samples);
+/// p.calibrate(t0, 1e-6);
+/// let predicted = p.predict(t0 + Duration::from_seconds(300.0));
+/// assert!((predicted - (1e-6 + 2e-9 * 300.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockBiasPredictor {
+    /// Offset `D` at the calibration instant, seconds.
+    offset: f64,
+    /// Drift `r`, s/s.
+    drift: f64,
+    /// The instant at which `offset` was calibrated.
+    calibrated_at: GpsTime,
+}
+
+impl ClockBiasPredictor {
+    /// Creates a predictor with zero offset and zero drift, anchored at
+    /// `t0`.
+    #[must_use]
+    pub fn new(t0: GpsTime) -> Self {
+        ClockBiasPredictor {
+            offset: 0.0,
+            drift: 0.0,
+            calibrated_at: t0,
+        }
+    }
+
+    /// The current offset `D`, seconds.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The current drift `r`, s/s.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Re-anchors the offset `D` at time `t` from an externally obtained
+    /// bias (seconds) — e.g. an NR-derived `εᴿ/c` (paper eq. 5-4).
+    ///
+    /// Called once at initialization for steering clocks, and at every
+    /// reset for threshold clocks.
+    pub fn calibrate(&mut self, t: GpsTime, bias_seconds: f64) {
+        self.offset = bias_seconds;
+        self.calibrated_at = t;
+    }
+
+    /// Re-anchors the offset from a range-domain bias `εᴿ` (metres),
+    /// applying eq. 5-4 `D ≈ εᴿ/c`.
+    pub fn calibrate_from_range_bias(&mut self, t: GpsTime, epsilon_r_meters: f64) {
+        self.calibrate(t, epsilon_r_meters / SPEED_OF_LIGHT);
+    }
+
+    /// Fits the drift `r` by an ordinary least-squares line through
+    /// `(t, bias)` samples (the paper's startup window). The offset is NOT
+    /// modified — call [`ClockBiasPredictor::calibrate`] separately.
+    ///
+    /// Returns the fitted drift. With fewer than two samples (or zero time
+    /// spread) the drift is left unchanged.
+    pub fn fit_drift(&mut self, samples: &[(GpsTime, f64)]) -> f64 {
+        if samples.len() >= 2 {
+            let t0 = samples[0].0;
+            let n = samples.len() as f64;
+            let (mut sum_t, mut sum_b, mut sum_tt, mut sum_tb) = (0.0, 0.0, 0.0, 0.0);
+            for (t, b) in samples {
+                let dt = (*t - t0).as_seconds();
+                sum_t += dt;
+                sum_b += b;
+                sum_tt += dt * dt;
+                sum_tb += dt * b;
+            }
+            let denom = n * sum_tt - sum_t * sum_t;
+            if denom.abs() > f64::EPSILON {
+                self.drift = (n * sum_tb - sum_t * sum_b) / denom;
+            }
+        }
+        self.drift
+    }
+
+    /// Predicted clock bias `Δt̂` (seconds) at time `t` (eq. 4-3, with the
+    /// elapsed time measured from the last calibration).
+    #[must_use]
+    pub fn predict(&self, t: GpsTime) -> f64 {
+        self.offset + self.drift * (t - self.calibrated_at).as_seconds()
+    }
+
+    /// Predicted receiver-dependent range error `ε̂ᴿ = c·Δt̂` (metres,
+    /// eq. 4-4).
+    #[must_use]
+    pub fn predict_range_bias(&self, t: GpsTime) -> f64 {
+        self.predict(t) * SPEED_OF_LIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_time::Duration;
+
+    fn t(k: f64) -> GpsTime {
+        GpsTime::EPOCH + Duration::from_seconds(k)
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        assert_eq!(p.offset(), 0.0);
+        assert_eq!(p.drift(), 0.0);
+        assert_eq!(p.predict(t(1_000.0)), 0.0);
+    }
+
+    #[test]
+    fn calibration_anchors_offset() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        p.calibrate(t(100.0), 5e-7);
+        assert_eq!(p.predict(t(100.0)), 5e-7);
+        // Zero drift: constant prediction.
+        assert_eq!(p.predict(t(1_000.0)), 5e-7);
+    }
+
+    #[test]
+    fn range_domain_round_trip() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        p.calibrate_from_range_bias(t(0.0), 30.0); // 30 m ≈ 100 ns
+        assert!((p.predict(t(0.0)) - 30.0 / SPEED_OF_LIGHT).abs() < 1e-20);
+        assert!((p.predict_range_bias(t(0.0)) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_fit_exact_line() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        let samples: Vec<(GpsTime, f64)> = (0..20)
+            .map(|k| (t(f64::from(k)), 3e-6 + 4e-9 * f64::from(k)))
+            .collect();
+        let r = p.fit_drift(&samples);
+        assert!((r - 4e-9).abs() < 1e-15, "drift {r}");
+        p.calibrate(t(0.0), 3e-6);
+        assert!((p.predict(t(10.0)) - (3e-6 + 4e-8)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn drift_fit_rejects_degenerate_input() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        p.fit_drift(&[]);
+        assert_eq!(p.drift(), 0.0);
+        p.fit_drift(&[(t(0.0), 1e-6)]);
+        assert_eq!(p.drift(), 0.0);
+        // All samples at the same instant: zero spread.
+        p.fit_drift(&[(t(5.0), 1e-6), (t(5.0), 2e-6)]);
+        assert_eq!(p.drift(), 0.0);
+    }
+
+    #[test]
+    fn drift_fit_averages_noise() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        // Line 1e-8·t plus alternating ±1e-9 noise.
+        let samples: Vec<(GpsTime, f64)> = (0..100)
+            .map(|k| {
+                let noise = if k % 2 == 0 { 1e-9 } else { -1e-9 };
+                (t(f64::from(k) * 10.0), 1e-8 * f64::from(k) * 10.0 + noise)
+            })
+            .collect();
+        let r = p.fit_drift(&samples);
+        assert!((r - 1e-8).abs() < 2e-11, "drift {r}");
+    }
+
+    #[test]
+    fn recalibration_moves_anchor() {
+        let mut p = ClockBiasPredictor::new(GpsTime::EPOCH);
+        p.fit_drift(&[(t(0.0), 0.0), (t(10.0), 1e-8)]); // r = 1e-9
+        p.calibrate(t(100.0), 7e-7);
+        // Prediction counts drift from the new anchor.
+        assert!((p.predict(t(110.0)) - (7e-7 + 1e-8)).abs() < 1e-16);
+    }
+}

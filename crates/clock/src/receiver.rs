@@ -1,0 +1,374 @@
+use std::fmt;
+
+use gps_time::Duration;
+use rand::Rng;
+
+/// The clock-correction discipline a station applies, as listed in the
+/// paper's Table 5.1 ("Clock Correction Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrectionType {
+    /// The receiver continuously steers its oscillator toward GPS time,
+    /// keeping the bias inside a small band (datasets 1–3 of the paper).
+    Steering,
+    /// The clock drifts freely and is step-reset whenever the bias crosses
+    /// a preset threshold (dataset 4 of the paper).
+    Threshold,
+}
+
+impl fmt::Display for CorrectionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrectionType::Steering => write!(f, "Steering"),
+            CorrectionType::Threshold => write!(f, "Threshold"),
+        }
+    }
+}
+
+/// A simulated receiver clock: a source of the true bias `Δt` of the
+/// paper's eq. 3-7 (`tᵉ = t + Δt`), advanced epoch by epoch.
+///
+/// Implementations are stateful simulators; [`ReceiverClock::advance`]
+/// steps the internal oscillator model and [`ReceiverClock::bias`] reads
+/// the current offset from true GPS time in seconds.
+pub trait ReceiverClock {
+    /// Current clock bias `Δt`, seconds (receiver reads fast for positive
+    /// bias).
+    fn bias(&self) -> f64;
+
+    /// Advances the simulation by `dt`, updating the bias.
+    fn advance(&mut self, dt: Duration, rng: &mut dyn rand::RngCore);
+
+    /// The correction discipline this clock applies.
+    fn correction_type(&self) -> CorrectionType;
+
+    /// `true` if the *last* call to [`ReceiverClock::advance`] performed a
+    /// discontinuous correction (a threshold reset). Predictors must
+    /// re-calibrate their offset when this fires (paper §5.2.2: "D is
+    /// calculated whenever clock bias is reset").
+    fn was_reset(&self) -> bool;
+
+    /// Nominal frequency offset (bias growth rate), s/s. Shows up as a
+    /// common term in all Doppler measurements; zero for disciplined
+    /// (steered) clocks.
+    fn drift_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Gaussian draw via Box–Muller (keeps `rand` as the only RNG dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// A steered receiver clock: a control loop keeps the bias close to a
+/// fixed setpoint, so the bias is `offset + slowly-varying wander`.
+///
+/// Matches the paper's description: "With the steering approach, the
+/// system manages to control `r·tᵉ` within a small range of standard
+/// time", and its consequence for prediction: "D is calculated only once
+/// at the initialization time".
+///
+/// The wander is a mean-reverting (Ornstein–Uhlenbeck–style) process:
+/// white frequency noise integrated into phase, pulled back by the
+/// steering gain.
+#[derive(Debug, Clone)]
+pub struct SteeringClock {
+    /// Fixed setpoint offset `D`, seconds.
+    offset: f64,
+    /// Current deviation from the setpoint, seconds.
+    wander: f64,
+    /// Steady-state RMS of the wander, seconds.
+    wander_sigma: f64,
+    /// Mean-reversion time constant, seconds.
+    tau: f64,
+    reset_flag: bool,
+}
+
+impl SteeringClock {
+    /// Creates a steering clock.
+    ///
+    /// * `offset_s` — the setpoint bias `D` (seconds);
+    /// * `wander_sigma_s` — steady-state RMS of the residual wander;
+    /// * `tau_s` — steering time constant (how fast excursions are pulled
+    ///   back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wander_sigma_s` is negative or `tau_s` non-positive.
+    #[must_use]
+    pub fn new(offset_s: f64, wander_sigma_s: f64, tau_s: f64) -> Self {
+        assert!(wander_sigma_s >= 0.0, "wander sigma must be non-negative");
+        assert!(tau_s > 0.0, "steering time constant must be positive");
+        SteeringClock {
+            offset: offset_s,
+            wander: 0.0,
+            wander_sigma: wander_sigma_s,
+            tau: tau_s,
+            reset_flag: false,
+        }
+    }
+
+    /// The fixed setpoint offset `D`, seconds.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl Default for SteeringClock {
+    /// A CORS-style steered clock: 50 ns setpoint, 10 ns wander RMS
+    /// (≈ 3 m of range), 300 s steering constant.
+    fn default() -> Self {
+        SteeringClock::new(5e-8, 1e-8, 300.0)
+    }
+}
+
+impl ReceiverClock for SteeringClock {
+    fn bias(&self) -> f64 {
+        self.offset + self.wander
+    }
+
+    fn advance(&mut self, dt: Duration, rng: &mut dyn rand::RngCore) {
+        let dt_s = dt.as_seconds();
+        assert!(dt_s >= 0.0, "cannot advance a clock backwards");
+        // Exact OU discretization: x' = a·x + sqrt(1-a²)·σ·ξ.
+        let a = (-dt_s / self.tau).exp();
+        let noise_scale = self.wander_sigma * (1.0 - a * a).max(0.0).sqrt();
+        self.wander = a * self.wander + noise_scale * gaussian(rng);
+        self.reset_flag = false;
+    }
+
+    fn correction_type(&self) -> CorrectionType {
+        CorrectionType::Steering
+    }
+
+    fn was_reset(&self) -> bool {
+        self.reset_flag
+    }
+}
+
+/// A free-running receiver clock with threshold resets: the oscillator
+/// drifts at a (slowly wandering) rate, and whenever `|bias|` crosses the
+/// threshold the clock is step-corrected back toward zero.
+///
+/// Matches the paper's dataset 4: "With the threshold approach, `r·tᵉ`
+/// will change as the passage of time. Whenever the clock error reaches a
+/// pre-set threshold, the clock will be adjusted."
+#[derive(Debug, Clone)]
+pub struct ThresholdClock {
+    /// Current bias, seconds.
+    bias: f64,
+    /// Nominal frequency offset (drift rate `r`), s/s.
+    drift: f64,
+    /// White frequency noise density: RMS of drift fluctuation per step.
+    freq_noise: f64,
+    /// Reset threshold, seconds.
+    threshold: f64,
+    /// Residual bias right after a reset (steering is imperfect), seconds.
+    reset_residual: f64,
+    reset_flag: bool,
+}
+
+impl ThresholdClock {
+    /// Creates a threshold clock.
+    ///
+    /// * `initial_bias_s` — bias at simulation start;
+    /// * `drift_s_per_s` — nominal frequency offset `r` (s/s);
+    /// * `threshold_s` — reset threshold (|bias| at which a step
+    ///   correction fires);
+    /// * `freq_noise` — RMS of white frequency noise (s/s per √s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_s` is non-positive or `freq_noise` negative.
+    #[must_use]
+    pub fn new(initial_bias_s: f64, drift_s_per_s: f64, threshold_s: f64, freq_noise: f64) -> Self {
+        assert!(threshold_s > 0.0, "threshold must be positive");
+        assert!(freq_noise >= 0.0, "frequency noise must be non-negative");
+        ThresholdClock {
+            bias: initial_bias_s,
+            drift: drift_s_per_s,
+            freq_noise,
+            threshold: threshold_s,
+            reset_residual: threshold_s * 1e-3,
+            reset_flag: false,
+        }
+    }
+
+    /// The nominal drift rate `r`, s/s.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// The reset threshold, seconds.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Default for ThresholdClock {
+    /// A TCXO-grade clock: 2×10⁻⁸ s/s drift (≈ 1.7 ms/day), 1 ms reset
+    /// threshold (reset roughly every 14 h), small frequency noise.
+    fn default() -> Self {
+        ThresholdClock::new(1e-7, 2e-8, 1e-3, 1e-11)
+    }
+}
+
+impl ReceiverClock for ThresholdClock {
+    fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    fn advance(&mut self, dt: Duration, rng: &mut dyn rand::RngCore) {
+        let dt_s = dt.as_seconds();
+        assert!(dt_s >= 0.0, "cannot advance a clock backwards");
+        // Integrate phase: bias += drift·dt + white-frequency random walk.
+        self.bias += self.drift * dt_s + self.freq_noise * dt_s.sqrt() * gaussian(rng);
+        self.reset_flag = false;
+        if self.bias.abs() >= self.threshold {
+            // Step correction back to (nearly) zero, on the side the clock
+            // is drifting away from so the next segment is a fresh ramp.
+            self.bias = self.reset_residual * gaussian(rng);
+            self.reset_flag = true;
+        }
+    }
+
+    fn correction_type(&self) -> CorrectionType {
+        CorrectionType::Threshold
+    }
+
+    fn was_reset(&self) -> bool {
+        self.reset_flag
+    }
+
+    fn drift_rate(&self) -> f64 {
+        self.drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steering_stays_bounded() {
+        let mut clock = SteeringClock::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let step = Duration::from_seconds(30.0);
+        for _ in 0..5_000 {
+            clock.advance(step, &mut rng);
+            let dev = (clock.bias() - clock.offset()).abs();
+            assert!(dev < 1e-7, "wander escaped: {dev}");
+            assert!(!clock.was_reset());
+        }
+        assert_eq!(clock.correction_type(), CorrectionType::Steering);
+    }
+
+    #[test]
+    fn steering_wander_has_configured_rms() {
+        let mut clock = SteeringClock::new(0.0, 1e-8, 100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let step = Duration::from_seconds(50.0);
+        let mut sum_sq = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            clock.advance(step, &mut rng);
+            sum_sq += clock.bias() * clock.bias();
+        }
+        let rms = (sum_sq / f64::from(n)).sqrt();
+        assert!((rms - 1e-8).abs() / 1e-8 < 0.15, "rms {rms}");
+    }
+
+    #[test]
+    fn threshold_clock_ramps_then_resets() {
+        // Deterministic drift (no noise): bias ramps at `drift` and resets
+        // when crossing the threshold.
+        let mut clock = ThresholdClock::new(0.0, 1e-6, 1e-3, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let step = Duration::from_seconds(1.0);
+        let mut resets = 0;
+        let mut steps_since_reset = 0;
+        for _ in 0..3_000 {
+            clock.advance(step, &mut rng);
+            steps_since_reset += 1;
+            if clock.was_reset() {
+                resets += 1;
+                // 1e-3 / 1e-6 = 1000 steps per ramp.
+                assert!((steps_since_reset as i64 - 1_000).abs() <= 1);
+                steps_since_reset = 0;
+            }
+        }
+        assert_eq!(resets, 3, "expected 3 resets in 3000 s");
+        assert_eq!(clock.correction_type(), CorrectionType::Threshold);
+    }
+
+    #[test]
+    fn threshold_bias_piecewise_linear() {
+        let mut clock = ThresholdClock::new(0.0, 1e-6, 1e-3, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        clock.advance(Duration::from_seconds(100.0), &mut rng);
+        assert!((clock.bias() - 1e-4).abs() < 1e-12);
+        assert_eq!(clock.drift(), 1e-6);
+        assert_eq!(clock.threshold(), 1e-3);
+    }
+
+    #[test]
+    fn default_threshold_resets_are_rare_per_day() {
+        let mut clock = ThresholdClock::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let step = Duration::from_seconds(30.0);
+        let mut resets = 0;
+        for _ in 0..2_880 {
+            // one day at 30 s cadence
+            clock.advance(step, &mut rng);
+            if clock.was_reset() {
+                resets += 1;
+            }
+        }
+        assert!(resets >= 1 && resets <= 4, "resets {resets}");
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_negative_dt() {
+        let mut clock = SteeringClock::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        clock.advance(Duration::from_seconds(-1.0), &mut rng);
+    }
+
+    #[test]
+    fn correction_type_display() {
+        assert_eq!(CorrectionType::Steering.to_string(), "Steering");
+        assert_eq!(CorrectionType::Threshold.to_string(), "Threshold");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_clock_rejects_bad_threshold() {
+        let _ = ThresholdClock::new(0.0, 1e-7, 0.0, 0.0);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut clocks: Vec<Box<dyn ReceiverClock>> = vec![
+            Box::new(SteeringClock::default()),
+            Box::new(ThresholdClock::default()),
+        ];
+        for c in &mut clocks {
+            c.advance(Duration::from_seconds(1.0), &mut rng);
+            assert!(c.bias().abs() < 1.0);
+        }
+    }
+}

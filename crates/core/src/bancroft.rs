@@ -1,0 +1,258 @@
+use gps_geodesy::Ecef;
+use gps_linalg::{lstsq, Matrix, Vector};
+
+use crate::measurement::validate;
+use crate::{Measurement, PositionSolver, Solution, SolveError};
+
+/// Bancroft's algebraic closed-form GPS solution (the paper's related work
+/// \[2\]: S. Bancroft, "An algebraic solution of the GPS equations", 1986).
+///
+/// Included as a second baseline: like DLO/DLG it is non-iterative, but
+/// unlike them it solves for the receiver clock bias as an unknown, so it
+/// needs no clock prediction. The trade-off is a heavier algebraic path
+/// (a 4-column pseudo-inverse plus a quadratic root selection) and the
+/// deterministic-system assumption the paper's §2 criticizes in direct
+/// methods.
+///
+/// Formulation: with satellite 4-vectors `aᵢ = (sᵢ; ρᵢ)` under the Lorentz
+/// inner product `⟨u,v⟩ = u·v − u₄v₄`, the unknown `y = (x; b)` satisfies
+/// `B M y = r + Λ e` with `rᵢ = ½⟨aᵢ,aᵢ⟩` and `Λ = ½⟨y,y⟩`, which reduces
+/// to a scalar quadratic in `Λ`.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{Bancroft, Measurement, PositionSolver};
+/// use gps_geodesy::Ecef;
+///
+/// # fn main() -> Result<(), gps_core::SolveError> {
+/// let truth = Ecef::new(6.37e6, 1.0e5, -2.0e5);
+/// let bias = 450.0;
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+/// ];
+/// let meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth) + bias))
+///     .collect();
+/// let fix = Bancroft::default().solve(&meas, 0.0)?;
+/// assert!(fix.position.distance_to(truth) < 1e-2);
+/// assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bancroft;
+
+/// Lorentz (Minkowski) inner product on 4-vectors.
+fn lorentz(u: &[f64; 4], v: &[f64; 4]) -> f64 {
+    u[0] * v[0] + u[1] * v[1] + u[2] * v[2] - u[3] * v[3]
+}
+
+impl Bancroft {
+    /// Creates a Bancroft solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Bancroft
+    }
+
+    /// Post-fit residual RMS for a candidate `(position, bias)`.
+    fn residual_rms(measurements: &[Measurement], pos: Ecef, bias: f64) -> f64 {
+        let sum: f64 = measurements
+            .iter()
+            .map(|m| {
+                let r = m.pseudorange - (pos.distance_to(m.position) + bias);
+                r * r
+            })
+            .sum();
+        (sum / measurements.len() as f64).sqrt()
+    }
+}
+
+impl PositionSolver for Bancroft {
+    fn solve(
+        &self,
+        measurements: &[Measurement],
+        _predicted_receiver_bias_m: f64,
+    ) -> Result<Solution, SolveError> {
+        validate(measurements, self.min_satellites())?;
+        let m = measurements.len();
+
+        // B has rows (sᵢ, ρᵢ); r_i = ½⟨aᵢ,aᵢ⟩.
+        let mut b = Matrix::zeros(m, 4);
+        let mut r = Vector::zeros(m);
+        for (i, meas) in measurements.iter().enumerate() {
+            let row = b.row_mut(i);
+            row[0] = meas.position.x;
+            row[1] = meas.position.y;
+            row[2] = meas.position.z;
+            row[3] = meas.pseudorange;
+            r[i] = 0.5 * (meas.position.norm_squared() - meas.pseudorange * meas.pseudorange);
+        }
+
+        // B⁺ applied to e and to r via least squares (exact inverse when
+        // m = 4).
+        let ones = Vector::from_fn(m, |_| 1.0);
+        let bplus_e = lstsq::ols(&b, &ones)?;
+        let bplus_r = lstsq::ols(&b, &r)?;
+
+        // u = M B⁺ e, v = M B⁺ r (M = diag(1,1,1,−1)).
+        let u = [bplus_e[0], bplus_e[1], bplus_e[2], -bplus_e[3]];
+        let v = [bplus_r[0], bplus_r[1], bplus_r[2], -bplus_r[3]];
+
+        // Quadratic ⟨u,u⟩Λ² + 2(⟨u,v⟩ − 1)Λ + ⟨v,v⟩ = 0.
+        let qa = lorentz(&u, &u);
+        let qb = 2.0 * (lorentz(&u, &v) - 1.0);
+        let qc = lorentz(&v, &v);
+
+        let lambdas: Vec<f64> = if qa.abs() < 1e-18 {
+            if qb.abs() < 1e-30 {
+                return Err(SolveError::NoRealRoot);
+            }
+            vec![-qc / qb]
+        } else {
+            let disc = qb * qb - 4.0 * qa * qc;
+            if disc < 0.0 {
+                return Err(SolveError::NoRealRoot);
+            }
+            let sq = disc.sqrt();
+            // Numerically stable pair of roots.
+            let q = -0.5 * (qb + sq.copysign(qb));
+            let mut roots = vec![q / qa];
+            if q.abs() > 0.0 {
+                roots.push(qc / q);
+            }
+            roots
+        };
+
+        // Evaluate each root; keep the candidate with the smallest post-fit
+        // residual (the spurious root places the receiver far from the
+        // measurements' consistent geometry).
+        let mut best: Option<(Ecef, f64, f64)> = None;
+        for lambda in lambdas {
+            let y = [
+                lambda * u[0] + v[0],
+                lambda * u[1] + v[1],
+                lambda * u[2] + v[2],
+                lambda * u[3] + v[3],
+            ];
+            let pos = Ecef::new(y[0], y[1], y[2]);
+            let bias = y[3];
+            if !pos.is_finite() || !bias.is_finite() {
+                continue;
+            }
+            let rms = Bancroft::residual_rms(measurements, pos, bias);
+            if best.as_ref().map_or(true, |(_, _, best_rms)| rms < *best_rms) {
+                best = Some((pos, bias, rms));
+            }
+        }
+        match best {
+            Some((pos, bias, rms)) => Ok(Solution::new(pos, Some(bias), 1, rms)),
+            None => Err(SolveError::NoRealRoot),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Bancroft"
+    }
+
+    fn min_satellites(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sats() -> Vec<Ecef> {
+        vec![
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        ]
+    }
+
+    fn exact(truth: Ecef, bias: f64, n: usize) -> Vec<Measurement> {
+        sats()
+            .into_iter()
+            .take(n)
+            .map(|s| Measurement::new(s, s.distance_to(truth) + bias))
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_with_bias() {
+        let truth = Ecef::new(6.371e6, -1.0e5, 3.0e5);
+        for n in [4, 5, 6] {
+            for bias in [-500.0, 0.0, 777.0] {
+                let fix = Bancroft::new().solve(&exact(truth, bias, n), 0.0).unwrap();
+                assert!(
+                    fix.position.distance_to(truth) < 1e-2,
+                    "n={n} bias={bias}: err {}",
+                    fix.position.distance_to(truth)
+                );
+                assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_newton_raphson_on_noisy_data() {
+        let truth = Ecef::new(3.6e6, -5.2e6, 6.0e5);
+        let mut meas = exact(truth, 120.0, 6);
+        for (k, m) in meas.iter_mut().enumerate() {
+            m.pseudorange += ((k as f64) - 2.5) * 1.5; // few-metre errors
+        }
+        let ban = Bancroft::new().solve(&meas, 0.0).unwrap();
+        let nr = crate::NewtonRaphson::default().solve(&meas, 0.0).unwrap();
+        // Both least-squares-consistent solutions land close together.
+        assert!(
+            ban.position.distance_to(nr.position) < 15.0,
+            "disagree by {}",
+            ban.position.distance_to(nr.position)
+        );
+    }
+
+    #[test]
+    fn rejects_too_few() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        assert_eq!(
+            Bancroft::new().solve(&exact(truth, 0.0, 3), 0.0).unwrap_err(),
+            SolveError::TooFewSatellites { got: 3, need: 4 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let mut meas = exact(truth, 0.0, 4);
+        meas[0].pseudorange = f64::INFINITY;
+        assert_eq!(
+            Bancroft::new().solve(&meas, 0.0).unwrap_err(),
+            SolveError::NonFinite
+        );
+    }
+
+    #[test]
+    fn degenerate_geometry_detected() {
+        let s = Ecef::new(2.0e7, 0.0, 0.0);
+        let meas = vec![Measurement::new(s, 1.5e7); 4];
+        assert!(matches!(
+            Bancroft::new().solve(&meas, 0.0).unwrap_err(),
+            SolveError::DegenerateGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn trait_metadata() {
+        assert_eq!(Bancroft::new().name(), "Bancroft");
+        assert_eq!(Bancroft::new().min_satellites(), 4);
+    }
+}

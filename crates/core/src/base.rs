@@ -1,0 +1,218 @@
+use gps_linalg::{Matrix, SymmetricEigen};
+
+use crate::Measurement;
+
+/// Strategy for choosing the **base satellite** — the equation subtracted
+/// from all others in the direct linearization (paper eq. 4-7 subtracts
+/// "the first equation").
+///
+/// The paper notes in §6 that "the accuracy can be further improved if we
+/// can identify a 'good' satellite to be used as the base to construct the
+/// linear system. In the algorithm we propose in this paper, this
+/// satellite is randomly chosen." These strategies implement that
+/// extension; the `ablation_base_select` benchmark quantifies the
+/// difference.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{BaseSelection, Measurement};
+/// use gps_geodesy::Ecef;
+///
+/// let ms = vec![
+///     Measurement::new(Ecef::new(1.0, 0.0, 0.0), 1.0).with_elevation(0.2),
+///     Measurement::new(Ecef::new(0.0, 1.0, 0.0), 1.0).with_elevation(0.9),
+/// ];
+/// assert_eq!(BaseSelection::First.select(&ms), 0);
+/// assert_eq!(BaseSelection::HighestElevation.select(&ms), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BaseSelection {
+    /// Use the first measurement as supplied — the paper's own choice
+    /// (effectively random, since datasets carry no privileged order).
+    #[default]
+    First,
+    /// Use the satellite with the highest elevation: smallest atmospheric
+    /// and multipath error, hence the cleanest base equation.
+    HighestElevation,
+    /// Use the satellite with the lowest elevation — the adversarial
+    /// choice, included so the ablation brackets the effect.
+    LowestElevation,
+    /// Use the satellite with the *shortest pseudorange* (closest to
+    /// zenith geometrically) — an elevation-free proxy usable when
+    /// elevations are not annotated.
+    ShortestRange,
+    /// Use the base that minimizes the spectral condition number of the
+    /// resulting differenced design matrix `A` (eq. 4-9) — the
+    /// geometry-optimal choice, at the cost of an `m`-fold eigenvalue
+    /// scan per solve.
+    BestConditioned,
+}
+
+/// Condition number of the `(m−1)×3` design matrix that results from
+/// using measurement `base` as the base (via the eigenvalues of `AᵀA`).
+fn base_condition(measurements: &[Measurement], base: usize) -> f64 {
+    let s1 = measurements[base].position;
+    let rows: Vec<[f64; 3]> = measurements
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != base)
+        .map(|(_, m)| {
+            let d = m.position - s1;
+            [d.x, d.y, d.z]
+        })
+        .collect();
+    let a = Matrix::from_fn(rows.len(), 3, |r, c| rows[r][c]);
+    match SymmetricEigen::new(&a.gram()) {
+        // Condition of A is sqrt(condition of AᵀA).
+        Ok(eig) => eig.condition_number().sqrt(),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+impl BaseSelection {
+    /// Returns the index of the base measurement under this strategy.
+    ///
+    /// Measurements without elevation annotation are treated as having
+    /// elevation −∞ for [`BaseSelection::HighestElevation`] (and +∞ for
+    /// [`BaseSelection::LowestElevation`]), so annotated satellites win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurements` is empty.
+    #[must_use]
+    pub fn select(&self, measurements: &[Measurement]) -> usize {
+        assert!(!measurements.is_empty(), "no measurements to select from");
+        match self {
+            BaseSelection::First => 0,
+            BaseSelection::HighestElevation => measurements
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    let ea = a.elevation.unwrap_or(f64::NEG_INFINITY);
+                    let eb = b.elevation.unwrap_or(f64::NEG_INFINITY);
+                    ea.partial_cmp(&eb).expect("validated finite elevations")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            BaseSelection::LowestElevation => measurements
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ea = a.elevation.unwrap_or(f64::INFINITY);
+                    let eb = b.elevation.unwrap_or(f64::INFINITY);
+                    ea.partial_cmp(&eb).expect("validated finite elevations")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            BaseSelection::ShortestRange => measurements
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.pseudorange
+                        .partial_cmp(&b.pseudorange)
+                        .expect("validated finite pseudoranges")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            BaseSelection::BestConditioned => {
+                if measurements.len() < 4 {
+                    // Fewer rows than unknowns: every base is singular;
+                    // fall back to the first.
+                    return 0;
+                }
+                (0..measurements.len())
+                    .min_by(|&a, &b| {
+                        base_condition(measurements, a)
+                            .partial_cmp(&base_condition(measurements, b))
+                            .expect("conditions are comparable")
+                    })
+                    .expect("non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_geodesy::Ecef;
+
+    fn meas(el: Option<f64>, range: f64) -> Measurement {
+        let mut m = Measurement::new(Ecef::new(range, 0.0, 0.0), range);
+        m.elevation = el;
+        m
+    }
+
+    #[test]
+    fn first_is_index_zero() {
+        let ms = vec![meas(Some(0.1), 3.0), meas(Some(0.9), 2.0)];
+        assert_eq!(BaseSelection::First.select(&ms), 0);
+    }
+
+    #[test]
+    fn highest_and_lowest_elevation() {
+        let ms = vec![
+            meas(Some(0.3), 3.0),
+            meas(Some(1.2), 2.0),
+            meas(Some(0.7), 1.0),
+        ];
+        assert_eq!(BaseSelection::HighestElevation.select(&ms), 1);
+        assert_eq!(BaseSelection::LowestElevation.select(&ms), 0);
+    }
+
+    #[test]
+    fn missing_elevations_lose() {
+        let ms = vec![meas(None, 3.0), meas(Some(0.1), 2.0)];
+        assert_eq!(BaseSelection::HighestElevation.select(&ms), 1);
+        assert_eq!(BaseSelection::LowestElevation.select(&ms), 1);
+    }
+
+    #[test]
+    fn shortest_range() {
+        let ms = vec![meas(None, 3.0), meas(None, 1.5), meas(None, 2.0)];
+        assert_eq!(BaseSelection::ShortestRange.select(&ms), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurements")]
+    fn empty_input_panics() {
+        let _ = BaseSelection::First.select(&[]);
+    }
+
+    #[test]
+    fn default_is_first() {
+        assert_eq!(BaseSelection::default(), BaseSelection::First);
+    }
+
+    #[test]
+    fn best_conditioned_picks_valid_index_and_beats_worst() {
+        use gps_geodesy::Ecef;
+        // Five satellites, well spread except one near-duplicate pair.
+        let positions = [
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        ];
+        let ms: Vec<Measurement> = positions
+            .iter()
+            .map(|&p| Measurement::new(p, 2.2e7))
+            .collect();
+        let idx = BaseSelection::BestConditioned.select(&ms);
+        assert!(idx < ms.len());
+        // Its condition is minimal among all candidate bases.
+        let best = base_condition(&ms, idx);
+        for cand in 0..ms.len() {
+            assert!(best <= base_condition(&ms, cand) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_conditioned_falls_back_below_four() {
+        let ms = vec![meas(None, 1.0), meas(None, 2.0), meas(None, 3.0)];
+        assert_eq!(BaseSelection::BestConditioned.select(&ms), 0);
+    }
+}

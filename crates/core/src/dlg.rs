@@ -1,0 +1,405 @@
+use gps_geodesy::Ecef;
+use gps_linalg::{lstsq, Matrix};
+
+use crate::dlo::{linearize, system_residual_rms, LinearSystem};
+use crate::{BaseSelection, Measurement, PositionSolver, Solution, SolveError};
+
+/// Which covariance structure DLG feeds to the general least-squares
+/// estimator — the subject of the `ablation_gls_cov` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum CovarianceModel {
+    /// The paper's full matrix `Ψᵢⱼ = ρ₁² + δᵢⱼ·ρᵢ₊₁²` (eq. 4-26): every
+    /// pair of differenced equations shares the base-satellite term, so
+    /// all off-diagonals equal `ρ₁²`. Theorem 4.2 proves this makes GLS
+    /// optimal.
+    #[default]
+    Full,
+    /// Keep only the diagonal of Ψ — i.e. acknowledge unequal variances
+    /// but ignore the correlation that Theorem 4.1 identifies.
+    DiagonalOnly,
+    /// The identity — reduces DLG to DLO exactly (useful as a consistency
+    /// check and as the ablation baseline).
+    Identity,
+    /// The paper's Ψ with per-satellite variance factors from the
+    /// elevation angle: `Ψᵢⱼ = w₁ρ₁² + δᵢⱼ·wᵢ₊₁ρᵢ₊₁²` where
+    /// `wᵢ = 1 + (1/sin(elᵢ) − 1)` models the elevation-dependent error
+    /// budget (atmosphere and multipath grow toward the horizon). A
+    /// beyond-the-paper refinement: Theorem 4.2's derivation assumes equal
+    /// variances (eq. 4-14); real budgets are not equal, and this variant
+    /// feeds that structure to the GLS estimator. Measurements without
+    /// elevation annotations get weight 1.
+    ElevationScaled,
+}
+
+/// Algorithm **DLG**: Direct Linearization with the General Least Squares
+/// method (paper §4.4, 4.5).
+///
+/// DLG shares [`linearize`] with [`crate::Dlo`] but replaces OLS with GLS
+/// (eq. 4-21):
+///
+/// `Xᵉ = (Aᵀ M⁻¹ A)⁻¹ Aᵀ M⁻¹ Dᵉ`
+///
+/// where `M = cov(Δβ)` (eq. 4-22). The need for GLS is the paper's
+/// Theorem 4.1: subtracting the base equation injects the *same* base
+/// error into every differenced equation, so the right-hand-side errors
+/// are correlated (`cov(Δβᵢ, Δβⱼ) = ½σ²ρ₁² ≠ 0`) and the OLS optimality
+/// condition (3-35) fails. Theorem 4.2 shows the covariance (eq. 4-25/4-26)
+///
+/// `Ψᵢⱼ = ρ₁² + δᵢⱼ·ρᵢ₊₁²`
+///
+/// is positive definite, so GLS with `M ∝ Ψ` is optimal. The true ranges
+/// `ρᵢ` in Ψ are unknown; following the paper's own construction the
+/// clock-corrected measured pseudoranges `ρᴱᵢ` stand in for them (the
+/// relative error of that substitution is ~10⁻⁶).
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{Dlg, Measurement, PositionSolver};
+/// use gps_geodesy::Ecef;
+///
+/// # fn main() -> Result<(), gps_core::SolveError> {
+/// let truth = Ecef::new(6.37e6, 1.0e4, -3.0e4);
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+///     Ecef::new(0.8e7, 1.4e7, 2.0e7),
+/// ];
+/// let meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth)))
+///     .collect();
+/// let fix = Dlg::default().solve(&meas, 0.0)?;
+/// assert!(fix.position.distance_to(truth) < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dlg {
+    base: BaseSelection,
+    covariance: CovarianceModel,
+}
+
+impl Dlg {
+    /// Creates a DLG solver with the paper's defaults (first-satellite
+    /// base, full Ψ covariance).
+    #[must_use]
+    pub fn new() -> Self {
+        Dlg::default()
+    }
+
+    /// Sets the base-satellite selection strategy.
+    #[must_use]
+    pub fn with_base_selection(mut self, base: BaseSelection) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the covariance structure (ablation hook; the paper's algorithm
+    /// is [`CovarianceModel::Full`]).
+    #[must_use]
+    pub fn with_covariance_model(mut self, covariance: CovarianceModel) -> Self {
+        self.covariance = covariance;
+        self
+    }
+
+    /// The configured covariance model.
+    #[must_use]
+    pub fn covariance_model(&self) -> CovarianceModel {
+        self.covariance
+    }
+
+    /// Builds the covariance matrix `M ∝ Ψ` of eq. 4-26 for a linearized
+    /// system (step 3 of the paper's DLG pseudo-code).
+    ///
+    /// Exposed for the GLS-covariance ablation and for tests.
+    #[must_use]
+    pub fn covariance_matrix(&self, sys: &LinearSystem) -> Matrix {
+        let m = sys.corrected_ranges.len();
+        let rho1 = sys.corrected_ranges[sys.base_index];
+        let rho1_sq = rho1 * rho1;
+        // Scale Ψ by the squared mean range: GLS is scale-invariant, and
+        // normalizing keeps the Cholesky well inside f64 range (raw
+        // entries would be ~10¹⁴).
+        let scale = 1.0 / rho1_sq.max(1.0);
+        let others: Vec<f64> = sys
+            .corrected_ranges
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != sys.base_index)
+            .map(|(_, r)| r * r * scale)
+            .collect();
+        let rho1_scaled = rho1_sq * scale;
+        match self.covariance {
+            CovarianceModel::Full => Matrix::from_fn(m - 1, m - 1, |r, c| {
+                if r == c {
+                    rho1_scaled + others[r]
+                } else {
+                    rho1_scaled
+                }
+            }),
+            CovarianceModel::DiagonalOnly => {
+                Matrix::from_fn(
+                    m - 1,
+                    m - 1,
+                    |r, c| if r == c { rho1_scaled + others[r] } else { 0.0 },
+                )
+            }
+            CovarianceModel::Identity => Matrix::identity(m - 1),
+            CovarianceModel::ElevationScaled => {
+                // Per-satellite variance weight from the elevation budget
+                // (same 1/sin(el) shape as the receiver-noise model).
+                let weight = |el: Option<f64>| {
+                    el.map_or(1.0, |e| {
+                        let clamped =
+                            e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
+                        1.0 / clamped.sin()
+                    })
+                };
+                let w1 = weight(sys.elevations[sys.base_index]);
+                let w_others: Vec<f64> = sys
+                    .elevations
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != sys.base_index)
+                    .map(|(_, &el)| weight(el))
+                    .collect();
+                Matrix::from_fn(m - 1, m - 1, |r, c| {
+                    if r == c {
+                        w1 * rho1_scaled + w_others[r] * others[r]
+                    } else {
+                        w1 * rho1_scaled
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl PositionSolver for Dlg {
+    fn solve(
+        &self,
+        measurements: &[Measurement],
+        predicted_receiver_bias_m: f64,
+    ) -> Result<Solution, SolveError> {
+        let sys = linearize(measurements, predicted_receiver_bias_m, self.base)?;
+        let m_cov = self.covariance_matrix(&sys);
+        let x = lstsq::gls(&sys.a, &sys.d, &m_cov)?;
+        let position = Ecef::new(x[0], x[1], x[2]);
+        let rms = system_residual_rms(&sys, position);
+        Ok(Solution::new(position, None, 1, rms))
+    }
+
+    fn name(&self) -> &'static str {
+        "DLG"
+    }
+
+    fn min_satellites(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dlo;
+
+    fn sats() -> Vec<Ecef> {
+        vec![
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+            Ecef::new(1.2e7, -0.4e7, 2.2e7),
+            Ecef::new(2.2e7, 1.2e7, 0.2e7),
+        ]
+    }
+
+    fn exact(truth: Ecef, bias: f64, n: usize) -> Vec<Measurement> {
+        sats()
+            .into_iter()
+            .take(n)
+            .map(|s| Measurement::new(s, s.distance_to(truth) + bias))
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_all_counts() {
+        let truth = Ecef::new(6.371e6, -3.0e5, 1.0e5);
+        for n in 4..=8 {
+            let fix = Dlg::new().solve(&exact(truth, 0.0, n), 0.0).unwrap();
+            assert!(
+                fix.position.distance_to(truth) < 1e-2,
+                "n={n}: err {}",
+                fix.position.distance_to(truth)
+            );
+        }
+    }
+
+    #[test]
+    fn identity_covariance_reduces_to_dlo() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let mut meas = exact(truth, 0.0, 7);
+        // Make the system inconsistent so the estimators actually differ.
+        meas[1].pseudorange += 4.0;
+        meas[5].pseudorange -= 6.0;
+        let dlo = Dlo::new().solve(&meas, 0.0).unwrap();
+        let dlg_id = Dlg::new()
+            .with_covariance_model(CovarianceModel::Identity)
+            .solve(&meas, 0.0)
+            .unwrap();
+        assert!(
+            dlg_id.position.distance_to(dlo.position) < 1e-6,
+            "differ by {}",
+            dlg_id.position.distance_to(dlo.position)
+        );
+        // Full covariance gives a *different* estimate on inconsistent data.
+        let dlg_full = Dlg::new().solve(&meas, 0.0).unwrap();
+        assert!(dlg_full.position.distance_to(dlo.position) > 1e-6);
+    }
+
+    #[test]
+    fn covariance_matrix_structure() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let meas = exact(truth, 0.0, 5);
+        let sys = linearize(&meas, 0.0, BaseSelection::First).unwrap();
+        let dlg = Dlg::new();
+        let cov = dlg.covariance_matrix(&sys);
+        assert_eq!(cov.shape(), (4, 4));
+        // All off-diagonals identical (= scaled ρ₁²), diagonals strictly
+        // larger.
+        let off = cov[(0, 1)];
+        for r in 0..4 {
+            for c in 0..4 {
+                if r == c {
+                    assert!(cov[(r, c)] > off);
+                } else {
+                    assert!((cov[(r, c)] - off).abs() < 1e-12);
+                }
+            }
+        }
+        assert!(cov.is_symmetric(1e-12));
+        // And positive definite, per Theorem 4.2.
+        assert!(gps_linalg::Cholesky::new(&cov).is_ok());
+    }
+
+    #[test]
+    fn diagonal_model_zeroes_off_diagonals() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let meas = exact(truth, 0.0, 5);
+        let sys = linearize(&meas, 0.0, BaseSelection::First).unwrap();
+        let cov = Dlg::new()
+            .with_covariance_model(CovarianceModel::DiagonalOnly)
+            .covariance_matrix(&sys);
+        assert_eq!(cov[(0, 1)], 0.0);
+        assert!(cov[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn elevation_scaled_covariance_is_spd_and_solves() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let meas: Vec<Measurement> = exact(truth, 0.0, 7)
+            .into_iter()
+            .enumerate()
+            .map(|(k, m)| m.with_elevation(0.15 + 0.12 * k as f64))
+            .collect();
+        let dlg = Dlg::new().with_covariance_model(CovarianceModel::ElevationScaled);
+        let sys = linearize(&meas, 0.0, BaseSelection::First).unwrap();
+        let cov = dlg.covariance_matrix(&sys);
+        assert!(cov.is_symmetric(1e-12));
+        assert!(gps_linalg::Cholesky::new(&cov).is_ok());
+        // Lower-elevation satellites get larger variances.
+        assert!(cov[(0, 0)] - cov[(0, 1)] > cov[(5, 5)] - cov[(5, 0)]);
+        // Exact data still recovers exactly.
+        let fix = dlg.solve(&meas, 0.0).unwrap();
+        assert!(fix.position.distance_to(truth) < 1e-2);
+    }
+
+    #[test]
+    fn elevation_scaled_without_annotations_matches_full() {
+        let truth = Ecef::new(6.371e6, 1.0e5, 0.0);
+        let mut meas = exact(truth, 0.0, 6); // no elevations
+        meas[2].pseudorange += 3.0;
+        let full = Dlg::new().solve(&meas, 0.0).unwrap();
+        let scaled = Dlg::new()
+            .with_covariance_model(CovarianceModel::ElevationScaled)
+            .solve(&meas, 0.0)
+            .unwrap();
+        // All weights collapse to 1 → same covariance up to the identical
+        // structure, hence the same solution.
+        assert!(full.position.distance_to(scaled.position) < 1e-6);
+    }
+
+    #[test]
+    fn bias_prediction_applied() {
+        let truth = Ecef::new(3.6e6, -5.2e6, 6.0e5);
+        let bias = -275.0;
+        let meas = exact(truth, bias, 6);
+        let fix = Dlg::new().solve(&meas, bias).unwrap();
+        assert!(fix.position.distance_to(truth) < 1e-2);
+    }
+
+    #[test]
+    fn gls_beats_ols_under_correlated_noise() {
+        // Monte-Carlo check of Theorem 4.2: with errors matching the
+        // paper's model (independent per-satellite pseudorange errors,
+        // which become *correlated* after differencing), DLG's RMS
+        // position error must not exceed DLO's.
+        let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+        let base = exact(truth, 0.0, 8);
+        let mut rms_dlo = 0.0;
+        let mut rms_dlg = 0.0;
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            // xorshift for a cheap deterministic pseudo-gaussian (sum of 12
+            // uniforms − 6).
+            let mut s = 0.0;
+            for _ in 0..12 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            s - 6.0
+        };
+        let trials = 400;
+        for _ in 0..trials {
+            let noisy: Vec<Measurement> = base
+                .iter()
+                .map(|m| Measurement::new(m.position, m.pseudorange + 3.0 * next()))
+                .collect();
+            let dlo = Dlo::new().solve(&noisy, 0.0).unwrap();
+            let dlg = Dlg::new().solve(&noisy, 0.0).unwrap();
+            rms_dlo += dlo.position.distance_to(truth).powi(2);
+            rms_dlg += dlg.position.distance_to(truth).powi(2);
+        }
+        rms_dlo = (rms_dlo / f64::from(trials)).sqrt();
+        rms_dlg = (rms_dlg / f64::from(trials)).sqrt();
+        assert!(
+            rms_dlg <= rms_dlo * 1.02,
+            "DLG {rms_dlg} should not exceed DLO {rms_dlo}"
+        );
+    }
+
+    #[test]
+    fn rejects_too_few() {
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        assert_eq!(
+            Dlg::new().solve(&exact(truth, 0.0, 3), 0.0).unwrap_err(),
+            SolveError::TooFewSatellites { got: 3, need: 4 }
+        );
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let dlg = Dlg::new();
+        assert_eq!(dlg.name(), "DLG");
+        assert_eq!(dlg.min_satellites(), 4);
+        assert_eq!(dlg.covariance_model(), CovarianceModel::Full);
+    }
+}

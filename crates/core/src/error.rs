@@ -1,0 +1,130 @@
+use std::error::Error;
+use std::fmt;
+
+use gps_linalg::LinalgError;
+
+/// Error returned by the positioning solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// Fewer satellites than the algorithm requires.
+    TooFewSatellites {
+        /// Number of measurements supplied.
+        got: usize,
+        /// Minimum the algorithm needs.
+        need: usize,
+    },
+    /// Satellite geometry is degenerate (e.g. coplanar satellites, or two
+    /// measurements from the same position), making the underlying linear
+    /// system singular.
+    DegenerateGeometry(LinalgError),
+    /// A pseudorange or satellite coordinate was NaN/∞.
+    NonFinite,
+    /// The Newton–Raphson iteration did not converge.
+    NonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iterate, metres.
+        residual: f64,
+    },
+    /// Bancroft's quadratic had no real root (inconsistent measurements).
+    NoRealRoot,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::TooFewSatellites { got, need } => {
+                write!(f, "too few satellites: got {got}, need at least {need}")
+            }
+            SolveError::DegenerateGeometry(e) => {
+                write!(f, "degenerate satellite geometry: {e}")
+            }
+            SolveError::NonFinite => write!(f, "measurement contains a non-finite value"),
+            SolveError::NonConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:.3} m)"
+            ),
+            SolveError::NoRealRoot => {
+                write!(f, "closed-form quadratic has no real root")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::DegenerateGeometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SolveError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::NonFinite => SolveError::NonFinite,
+            other => SolveError::DegenerateGeometry(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(SolveError, &str)> = vec![
+            (
+                SolveError::TooFewSatellites { got: 2, need: 4 },
+                "too few",
+            ),
+            (
+                SolveError::DegenerateGeometry(LinalgError::Singular),
+                "degenerate",
+            ),
+            (SolveError::NonFinite, "non-finite"),
+            (
+                SolveError::NonConvergence {
+                    iterations: 25,
+                    residual: 1.5,
+                },
+                "converge",
+            ),
+            (SolveError::NoRealRoot, "real root"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn linalg_conversion() {
+        assert_eq!(
+            SolveError::from(LinalgError::NonFinite),
+            SolveError::NonFinite
+        );
+        assert!(matches!(
+            SolveError::from(LinalgError::Singular),
+            SolveError::DegenerateGeometry(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn source_chains_to_linalg() {
+        let e = SolveError::DegenerateGeometry(LinalgError::Singular);
+        assert!(e.source().is_some());
+        assert!(SolveError::NonFinite.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

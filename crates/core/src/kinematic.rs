@@ -1,0 +1,283 @@
+//! Kinematic position filtering for moving receivers.
+//!
+//! The paper's motivation (§1) is positioning objects that "move at a
+//! high speed" in real time. The closed-form solvers deliver the raw
+//! per-epoch fix quickly; a moving platform then usually smooths those
+//! fixes through a constant-velocity Kalman filter, trading a little
+//! latency-free smoothing for substantially lower noise. [`PvFilter`] is
+//! that filter: a 6-state (position, velocity) estimator consuming the
+//! position fixes any [`crate::PositionSolver`] produces.
+
+use gps_geodesy::Ecef;
+use gps_linalg::{LinalgError, Matrix, Vector};
+
+/// A constant-velocity (PV) Kalman filter over ECEF position fixes.
+///
+/// State `x = [p, v] ∈ R⁶` with dynamics `p ← p + v·dt`, white
+/// acceleration process noise (spectral density `q_accel`, (m/s²)²/Hz),
+/// and per-axis position measurements with variance `r_pos` (m²).
+///
+/// # Example
+///
+/// ```
+/// use gps_core::PvFilter;
+/// use gps_geodesy::Ecef;
+///
+/// let mut filter = PvFilter::new(1.0, 25.0);
+/// // Feed fixes of a receiver moving +100 m/s in x, 1 Hz:
+/// for k in 0..30 {
+///     let fix = Ecef::new(100.0 * k as f64, 0.0, 0.0);
+///     filter.update(fix, 1.0).unwrap();
+/// }
+/// let v = filter.velocity().unwrap();
+/// assert!((v.x - 100.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PvFilter {
+    /// State [px, py, pz, vx, vy, vz].
+    state: Vector,
+    /// 6×6 covariance.
+    p: Matrix,
+    /// White-acceleration spectral density, (m/s²)²/Hz.
+    q_accel: f64,
+    /// Position measurement variance per axis, m².
+    r_pos: f64,
+    initialized: bool,
+}
+
+impl PvFilter {
+    /// Creates a filter from the white-acceleration density
+    /// (`q_accel`, (m/s²)²/Hz; ~1 for a maneuvering vehicle, ~0.01 for a
+    /// cruising aircraft) and the per-axis fix variance (`r_pos`, m²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    #[must_use]
+    pub fn new(q_accel: f64, r_pos: f64) -> Self {
+        assert!(q_accel > 0.0, "process noise must be positive");
+        assert!(r_pos > 0.0, "measurement noise must be positive");
+        PvFilter {
+            state: Vector::zeros(6),
+            p: Matrix::identity(6).scaled(1e12),
+            q_accel,
+            r_pos,
+            initialized: false,
+        }
+    }
+
+    /// Returns `true` once at least one fix has been absorbed.
+    #[must_use]
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Current position estimate, or `None` before initialization.
+    #[must_use]
+    pub fn position(&self) -> Option<Ecef> {
+        self.initialized
+            .then(|| Ecef::new(self.state[0], self.state[1], self.state[2]))
+    }
+
+    /// Current velocity estimate (m/s), or `None` before initialization.
+    #[must_use]
+    pub fn velocity(&self) -> Option<Ecef> {
+        self.initialized
+            .then(|| Ecef::new(self.state[3], self.state[4], self.state[5]))
+    }
+
+    /// Predicts the position `dt` seconds ahead without mutating the
+    /// filter, or `None` before initialization.
+    #[must_use]
+    pub fn predict_position(&self, dt: f64) -> Option<Ecef> {
+        self.position()
+            .zip(self.velocity())
+            .map(|(p, v)| p + v * dt)
+    }
+
+    /// Absorbs one position fix taken `dt` seconds after the previous one.
+    ///
+    /// The first call initializes the position states directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError`] if the innovation covariance cannot be
+    /// factored (cannot happen with valid `r_pos`, kept for robustness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive or `fix` is non-finite.
+    pub fn update(&mut self, fix: Ecef, dt: f64) -> Result<(), LinalgError> {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(fix.is_finite(), "fix must be finite");
+        if !self.initialized {
+            self.state = Vector::from_slice(&[fix.x, fix.y, fix.z, 0.0, 0.0, 0.0]);
+            // Position known to fix accuracy; velocity unknown.
+            self.p = Matrix::from_diagonal(&[
+                self.r_pos,
+                self.r_pos,
+                self.r_pos,
+                1.0e6,
+                1.0e6,
+                1.0e6,
+            ]);
+            self.initialized = true;
+            return Ok(());
+        }
+
+        // --- Predict: x ← F x, P ← F P Fᵀ + Q ---
+        let mut f = Matrix::identity(6);
+        for axis in 0..3 {
+            f[(axis, axis + 3)] = dt;
+        }
+        self.state = f.matvec(&self.state)?;
+        let fp = f.matmul(&self.p)?;
+        let mut p_pred = fp.matmul(&f.transpose())?;
+        // Discrete white-acceleration Q per axis:
+        // [[dt³/3, dt²/2], [dt²/2, dt]] · q.
+        let q3 = self.q_accel * dt * dt * dt / 3.0;
+        let q2 = self.q_accel * dt * dt / 2.0;
+        let q1 = self.q_accel * dt;
+        for axis in 0..3 {
+            p_pred[(axis, axis)] += q3;
+            p_pred[(axis, axis + 3)] += q2;
+            p_pred[(axis + 3, axis)] += q2;
+            p_pred[(axis + 3, axis + 3)] += q1;
+        }
+        self.p = p_pred;
+
+        // --- Update with H = [I₃ 0₃]: per-axis scalar-block update ---
+        // S = H P Hᵀ + R (3×3), K = P Hᵀ S⁻¹ (6×3).
+        let s = Matrix::from_fn(3, 3, |r, c| {
+            self.p[(r, c)] + if r == c { self.r_pos } else { 0.0 }
+        });
+        let s_chol = gps_linalg::Cholesky::new(&s)?;
+        let p_ht = Matrix::from_fn(6, 3, |r, c| self.p[(r, c)]);
+        // K = P Hᵀ S⁻¹ → solve Sᵀ Kᵀ = (P Hᵀ)ᵀ; S symmetric.
+        let k_t = s_chol.solve_matrix(&p_ht.transpose())?; // 3×6
+        let k = k_t.transpose(); // 6×3
+
+        let innovation = Vector::from_slice(&[
+            fix.x - self.state[0],
+            fix.y - self.state[1],
+            fix.z - self.state[2],
+        ]);
+        let correction = k.matvec(&innovation)?;
+        self.state = &self.state + &correction;
+
+        // P ← (I − K H) P.
+        let mut kh = Matrix::zeros(6, 6);
+        for r in 0..6 {
+            for c in 0..3 {
+                kh[(r, c)] = k[(r, c)];
+            }
+        }
+        let i_kh = &Matrix::identity(6) - &kh;
+        self.p = i_kh.matmul(&self.p)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_from_first_fix() {
+        let mut f = PvFilter::new(1.0, 25.0);
+        assert!(!f.is_initialized());
+        assert!(f.position().is_none());
+        assert!(f.velocity().is_none());
+        f.update(Ecef::new(1.0, 2.0, 3.0), 1.0).unwrap();
+        assert!(f.is_initialized());
+        assert_eq!(f.position().unwrap(), Ecef::new(1.0, 2.0, 3.0));
+        assert_eq!(f.velocity().unwrap(), Ecef::ORIGIN);
+    }
+
+    #[test]
+    fn learns_constant_velocity() {
+        let mut f = PvFilter::new(0.1, 25.0);
+        for k in 0..60 {
+            let truth = Ecef::new(50.0 * k as f64, -20.0 * k as f64, 5.0 * k as f64);
+            f.update(truth, 1.0).unwrap();
+        }
+        let v = f.velocity().unwrap();
+        assert!((v.x - 50.0).abs() < 2.0, "vx {}", v.x);
+        assert!((v.y + 20.0).abs() < 2.0, "vy {}", v.y);
+        assert!((v.z - 5.0).abs() < 2.0, "vz {}", v.z);
+    }
+
+    #[test]
+    fn smooths_noisy_fixes() {
+        // Static receiver, ±10 m alternating noise: the filtered position
+        // must beat the raw fixes.
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let mut f = PvFilter::new(0.01, 100.0);
+        let mut filtered_err = 0.0;
+        let mut raw_err = 0.0;
+        let mut count = 0;
+        for k in 0..200 {
+            let noise = if k % 2 == 0 { 10.0 } else { -10.0 };
+            let fix = truth + Ecef::new(noise, -noise, noise * 0.5);
+            f.update(fix, 1.0).unwrap();
+            if k >= 20 {
+                filtered_err += f.position().unwrap().distance_to(truth);
+                raw_err += fix.distance_to(truth);
+                count += 1;
+            }
+        }
+        assert!(
+            filtered_err / f64::from(count) < 0.3 * raw_err / f64::from(count),
+            "filtered {filtered_err} vs raw {raw_err}"
+        );
+    }
+
+    #[test]
+    fn prediction_extrapolates_velocity() {
+        let mut f = PvFilter::new(0.1, 1.0);
+        for k in 0..40 {
+            f.update(Ecef::new(10.0 * k as f64, 0.0, 0.0), 1.0).unwrap();
+        }
+        let ahead = f.predict_position(5.0).unwrap();
+        let now = f.position().unwrap();
+        assert!((ahead.x - now.x - 50.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn tracks_maneuver_with_high_process_noise() {
+        let mut f = PvFilter::new(10.0, 25.0);
+        // Constant velocity then a turn.
+        let mut pos = Ecef::ORIGIN;
+        for _ in 0..30 {
+            pos += Ecef::new(100.0, 0.0, 0.0);
+            f.update(pos, 1.0).unwrap();
+        }
+        for _ in 0..30 {
+            pos += Ecef::new(0.0, 100.0, 0.0);
+            f.update(pos, 1.0).unwrap();
+        }
+        let v = f.velocity().unwrap();
+        assert!(v.y > 80.0, "vy {} after the turn", v.y);
+        assert!(v.x < 20.0, "vx {} after the turn", v.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_non_positive_dt() {
+        let mut f = PvFilter::new(1.0, 1.0);
+        f.update(Ecef::ORIGIN, 0.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_fix() {
+        let mut f = PvFilter::new(1.0, 1.0);
+        f.update(Ecef::new(f64::NAN, 0.0, 0.0), 1.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "process noise")]
+    fn rejects_bad_parameters() {
+        let _ = PvFilter::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+use gps_geodesy::Ecef;
+
+/// One satellite's input to a positioning solve: its ECEF position and the
+/// measured pseudorange, optionally annotated with the elevation angle.
+///
+/// This is the entire per-satellite content of a "data item" in the
+/// paper's datasets (§5.2.1). The elevation annotation is not used by the
+/// solvers' mathematics — only by [`crate::BaseSelection`] strategies (the
+/// paper's §6 "good satellite" extension) and by diagnostic weighting.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::Measurement;
+/// use gps_geodesy::Ecef;
+///
+/// let m = Measurement::new(Ecef::new(2.0e7, 0.0, 1.0e7), 2.1e7);
+/// assert_eq!(m.pseudorange, 2.1e7);
+/// assert!(m.elevation.is_none());
+/// let annotated = m.with_elevation(0.7);
+/// assert_eq!(annotated.elevation, Some(0.7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Satellite ECEF position `(xᵢ, yᵢ, zᵢ)`, metres.
+    pub position: Ecef,
+    /// Measured pseudorange `ρᵉᵢ`, metres.
+    pub pseudorange: f64,
+    /// Elevation above the receiver's horizon, radians, if known.
+    pub elevation: Option<f64>,
+}
+
+impl Measurement {
+    /// Creates a measurement without elevation annotation.
+    #[must_use]
+    pub fn new(position: Ecef, pseudorange: f64) -> Self {
+        Measurement {
+            position,
+            pseudorange,
+            elevation: None,
+        }
+    }
+
+    /// Returns a copy annotated with the elevation angle (radians).
+    #[must_use]
+    pub fn with_elevation(mut self, elevation_rad: f64) -> Self {
+        self.elevation = Some(elevation_rad);
+        self
+    }
+
+    /// Returns `true` if position and pseudorange are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite()
+            && self.pseudorange.is_finite()
+            && self.elevation.map_or(true, f64::is_finite)
+    }
+}
+
+/// Validates a measurement batch: finiteness and minimum count.
+pub(crate) fn validate(
+    measurements: &[Measurement],
+    need: usize,
+) -> Result<(), crate::SolveError> {
+    if measurements.len() < need {
+        return Err(crate::SolveError::TooFewSatellites {
+            got: measurements.len(),
+            need,
+        });
+    }
+    if measurements.iter().any(|m| !m.is_finite()) {
+        return Err(crate::SolveError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveError;
+
+    fn m(p: f64) -> Measurement {
+        Measurement::new(Ecef::new(p, 0.0, 0.0), p)
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(m(1.0).is_finite());
+        assert!(!Measurement::new(Ecef::new(f64::NAN, 0.0, 0.0), 1.0).is_finite());
+        assert!(!Measurement::new(Ecef::ORIGIN, f64::INFINITY).is_finite());
+        assert!(!m(1.0).with_elevation(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn validate_count() {
+        let ms = vec![m(1.0), m(2.0)];
+        assert_eq!(
+            validate(&ms, 4).unwrap_err(),
+            SolveError::TooFewSatellites { got: 2, need: 4 }
+        );
+        assert!(validate(&ms, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_finiteness() {
+        let ms = vec![m(1.0), Measurement::new(Ecef::ORIGIN, f64::NAN)];
+        assert_eq!(validate(&ms, 1).unwrap_err(), SolveError::NonFinite);
+    }
+}

@@ -1,0 +1,325 @@
+//! The paper's evaluation metrics (§5.1) and summary statistics.
+//!
+//! * [`absolute_error`] — eq. 5-1: Euclidean distance between the
+//!   estimated and true receiver positions.
+//! * [`accuracy_rate`] — eq. 5-2: `η = d_O / d_NR × 100 %`. Above 100 %
+//!   means algorithm `O` is less accurate than the NR baseline.
+//! * [`execution_time_rate`] — eq. 5-3: `θ = τ_O / τ_NR × 100 %`. Below
+//!   100 % means algorithm `O` is faster than NR.
+//! * [`Summary`] — running mean/min/max/RMS over a series (e.g. the
+//!   86 400 epochs of one dataset).
+
+use gps_geodesy::{Ecef, LocalFrame};
+
+/// A position error split into its horizontal and vertical components in
+/// the local tangent frame at the true position.
+///
+/// The paper reports only the 3-D error (eq. 5-1); practitioners usually
+/// track HPE/VPE separately because vertical accuracy is systematically
+/// worse (satellites are only above the receiver) and because the §2
+/// citation \[27\] ties clock handling specifically to *vertical* accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizontalVertical {
+    /// Horizontal (east-north plane) error, metres, non-negative.
+    pub horizontal: f64,
+    /// Vertical (up axis) error, metres, signed (positive = estimate too
+    /// high).
+    pub vertical: f64,
+}
+
+/// Splits the position error into horizontal and vertical components at
+/// the true position.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::metrics::horizontal_vertical_error;
+/// use gps_geodesy::{Geodetic, LocalFrame, Enu};
+///
+/// let truth = Geodetic::from_deg(45.0, 7.0, 100.0).to_ecef();
+/// let frame = LocalFrame::new(truth);
+/// let est = frame.to_ecef(Enu::new(3.0, 4.0, -2.0));
+/// let hv = horizontal_vertical_error(est, truth);
+/// assert!((hv.horizontal - 5.0).abs() < 1e-9);
+/// assert!((hv.vertical + 2.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn horizontal_vertical_error(estimate: Ecef, truth: Ecef) -> HorizontalVertical {
+    let enu = LocalFrame::new(truth).to_enu(estimate);
+    HorizontalVertical {
+        horizontal: enu.horizontal_norm(),
+        vertical: enu.up,
+    }
+}
+
+/// Absolute positioning error `d_O` (paper eq. 5-1), metres.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::metrics::absolute_error;
+/// use gps_geodesy::Ecef;
+///
+/// let truth = Ecef::new(1.0, 2.0, 2.0);
+/// assert_eq!(absolute_error(Ecef::ORIGIN, truth), 3.0);
+/// ```
+#[must_use]
+pub fn absolute_error(estimate: Ecef, truth: Ecef) -> f64 {
+    estimate.distance_to(truth)
+}
+
+/// Accuracy rate `η = d_O / d_NR × 100 %` (paper eq. 5-2).
+///
+/// # Panics
+///
+/// Panics if `d_nr` is not strictly positive (the rate is undefined).
+#[must_use]
+pub fn accuracy_rate(d_o: f64, d_nr: f64) -> f64 {
+    assert!(d_nr > 0.0, "NR error must be positive to form a rate");
+    d_o / d_nr * 100.0
+}
+
+/// Execution-time rate `θ = τ_O / τ_NR × 100 %` (paper eq. 5-3).
+///
+/// # Panics
+///
+/// Panics if `tau_nr` is not strictly positive.
+#[must_use]
+pub fn execution_time_rate(tau_o: f64, tau_nr: f64) -> f64 {
+    assert!(tau_nr > 0.0, "NR time must be positive to form a rate");
+    tau_o / tau_nr * 100.0
+}
+
+/// Streaming summary statistics over a series of scalar observations.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::metrics::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean. Returns 0 for an empty summary.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Root mean square. Returns 0 for an empty summary.
+    #[must_use]
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.count as f64).sqrt()
+        }
+    }
+
+    /// Population standard deviation. Returns 0 for an empty summary.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty summary.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty summary");
+        self.min
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty summary.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty summary");
+        self.max
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_is_distance() {
+        let e = absolute_error(Ecef::new(3.0, 4.0, 0.0), Ecef::ORIGIN);
+        assert_eq!(e, 5.0);
+    }
+
+    #[test]
+    fn hv_decomposition_consistent_with_3d() {
+        use gps_geodesy::{Enu, Geodetic};
+        let truth = Geodetic::from_deg(-33.0, 151.0, 50.0).to_ecef();
+        let frame = gps_geodesy::LocalFrame::new(truth);
+        let est = frame.to_ecef(Enu::new(-6.0, 8.0, 12.0));
+        let hv = horizontal_vertical_error(est, truth);
+        assert!((hv.horizontal - 10.0).abs() < 1e-6);
+        assert!((hv.vertical - 12.0).abs() < 1e-6);
+        // 3-D error is the RSS of the components.
+        let d3 = absolute_error(est, truth);
+        assert!((d3 - (hv.horizontal.powi(2) + hv.vertical.powi(2)).sqrt()).abs() < 1e-6);
+        // Zero error decomposes to zero.
+        let zero = horizontal_vertical_error(truth, truth);
+        assert_eq!(zero.horizontal, 0.0);
+        assert_eq!(zero.vertical, 0.0);
+    }
+
+    #[test]
+    fn rates_follow_paper_conventions() {
+        // η > 100% ⇒ worse than NR.
+        assert_eq!(accuracy_rate(2.0, 1.0), 200.0);
+        assert_eq!(accuracy_rate(1.0, 1.0), 100.0);
+        // θ < 100% ⇒ faster than NR.
+        assert_eq!(execution_time_rate(1.0, 5.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn accuracy_rate_rejects_zero_baseline() {
+        let _ = accuracy_rate(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn time_rate_rejects_zero_baseline() {
+        let _ = execution_time_rate(1.0, 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.rms() - (29.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.rms(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_min_panics() {
+        let _ = Summary::new().min();
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let all: Summary = (0..100).map(f64::from).collect();
+        let mut a: Summary = (0..50).map(f64::from).collect();
+        let b: Summary = (50..100).map(f64::from).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.rms() - all.rms()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Merging an empty summary is a no-op.
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

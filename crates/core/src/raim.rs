@@ -1,0 +1,307 @@
+//! Receiver Autonomous Integrity Monitoring (RAIM).
+//!
+//! The paper's error model assumes well-behaved zero-mean errors
+//! (eq. 4-14/4-15); a real receiver must also survive the occasional
+//! *faulted* measurement (a satellite clock anomaly, a cycle slip, a
+//! decoding error) that violates the model by tens or thousands of
+//! metres. RAIM closes that gap: with `m ≥ 5` satellites the solution is
+//! redundant, so the post-fit residuals expose an inconsistent
+//! measurement, and with `m ≥ 6` the faulty satellite can be identified
+//! and excluded.
+//!
+//! [`Raim`] wraps any [`PositionSolver`] with the classic
+//! residual-testing fault detection and exclusion (FDE) loop:
+//!
+//! 1. solve with all satellites, compute the residual RMS;
+//! 2. if it exceeds the detection threshold, re-solve `m` times leaving
+//!    one satellite out, and adopt the subset whose residual is smallest;
+//! 3. repeat until the test passes or too few satellites remain.
+
+use crate::{Measurement, PositionSolver, Solution, SolveError};
+
+/// Outcome of a RAIM-protected solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaimSolution {
+    /// The accepted solution.
+    pub solution: Solution,
+    /// Indices (into the original measurement slice) that were excluded
+    /// as faulty. Empty when the first solve already passed.
+    pub excluded: Vec<usize>,
+    /// Residual RMS of the accepted solve, metres.
+    pub residual_rms: f64,
+}
+
+/// Residual-testing fault detection and exclusion around an inner solver.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{Measurement, NewtonRaphson, Raim};
+/// use gps_geodesy::Ecef;
+///
+/// # fn main() -> Result<(), gps_core::SolveError> {
+/// let truth = Ecef::new(6.37e6, 1.0e5, -2.0e5);
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+///     Ecef::new(1.9e7, 0.9e7, 1.6e7),
+///     Ecef::new(0.8e7, 1.4e7, 2.0e7),
+/// ];
+/// let mut meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth)))
+///     .collect();
+/// meas[3].pseudorange += 500.0; // fault one satellite by half a km
+/// let raim = Raim::new(NewtonRaphson::default(), 10.0);
+/// let result = raim.solve(&meas, 0.0)?;
+/// assert_eq!(result.excluded, vec![3]);
+/// assert!(result.solution.position.distance_to(truth) < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Raim<S> {
+    inner: S,
+    /// Residual-RMS detection threshold, metres.
+    threshold_m: f64,
+    /// Maximum satellites to exclude before giving up.
+    max_exclusions: usize,
+}
+
+impl<S: PositionSolver> Raim<S> {
+    /// Wraps `inner` with a residual-RMS detection threshold (metres).
+    ///
+    /// A sensible threshold is 3–5× the expected pseudorange noise sigma
+    /// (≈ 10 m for the standard single-frequency budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_m` is not strictly positive.
+    #[must_use]
+    pub fn new(inner: S, threshold_m: f64) -> Self {
+        assert!(threshold_m > 0.0, "threshold must be positive");
+        Raim {
+            inner,
+            threshold_m,
+            max_exclusions: 2,
+        }
+    }
+
+    /// Sets how many satellites may be excluded before the solve is
+    /// declared failed (default 2).
+    #[must_use]
+    pub fn with_max_exclusions(mut self, max_exclusions: usize) -> Self {
+        self.max_exclusions = max_exclusions;
+        self
+    }
+
+    /// Borrows the inner solver.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Solves with fault detection and exclusion.
+    ///
+    /// # Errors
+    ///
+    /// * Any error from the inner solver on the full set.
+    /// * [`SolveError::TooFewSatellites`] if exclusion would drop below
+    ///   the inner solver's minimum plus one redundancy.
+    /// * [`SolveError::NonConvergence`] if the residual test still fails
+    ///   after `max_exclusions` exclusions (reported with the residual).
+    pub fn solve(
+        &self,
+        measurements: &[Measurement],
+        predicted_receiver_bias_m: f64,
+    ) -> Result<RaimSolution, SolveError> {
+        let mut active: Vec<usize> = (0..measurements.len()).collect();
+        let mut excluded = Vec::new();
+
+        loop {
+            let subset: Vec<Measurement> =
+                active.iter().map(|&i| measurements[i]).collect();
+            let solution = self.inner.solve(&subset, predicted_receiver_bias_m)?;
+            if solution.residual_rms <= self.threshold_m {
+                return Ok(RaimSolution {
+                    solution,
+                    excluded,
+                    residual_rms: solution.residual_rms,
+                });
+            }
+            // Detection fired. Can we exclude?
+            if excluded.len() >= self.max_exclusions {
+                return Err(SolveError::NonConvergence {
+                    iterations: excluded.len(),
+                    residual: solution.residual_rms,
+                });
+            }
+            // Identification needs one satellite of redundancy after
+            // removal: m−1 ≥ min+1.
+            if active.len() <= self.inner.min_satellites() + 1 {
+                return Err(SolveError::TooFewSatellites {
+                    got: active.len(),
+                    need: self.inner.min_satellites() + 2,
+                });
+            }
+            // Leave-one-out: adopt the exclusion with the smallest
+            // residual.
+            let mut best: Option<(usize, f64)> = None;
+            for (k, _) in active.iter().enumerate() {
+                let subset: Vec<Measurement> = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != k)
+                    .map(|(_, &i)| measurements[i])
+                    .collect();
+                if let Ok(sol) = self.inner.solve(&subset, predicted_receiver_bias_m) {
+                    if best.map_or(true, |(_, r)| sol.residual_rms < r) {
+                        best = Some((k, sol.residual_rms));
+                    }
+                }
+            }
+            match best {
+                Some((k, _)) => {
+                    excluded.push(active.remove(k));
+                }
+                None => {
+                    // No leave-one-out subset solved: surface the original
+                    // failure mode.
+                    return Err(SolveError::NonConvergence {
+                        iterations: excluded.len(),
+                        residual: solution.residual_rms,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dlg, NewtonRaphson};
+    use gps_geodesy::Ecef;
+
+    fn sats() -> Vec<Ecef> {
+        vec![
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+            Ecef::new(1.2e7, -0.4e7, 2.2e7),
+        ]
+    }
+
+    fn truth() -> Ecef {
+        Ecef::new(6.371e6, 1.0e5, -2.0e5)
+    }
+
+    fn clean_measurements(n: usize) -> Vec<Measurement> {
+        sats()
+            .into_iter()
+            .take(n)
+            .map(|s| Measurement::new(s, s.distance_to(truth())))
+            .collect()
+    }
+
+    #[test]
+    fn clean_data_passes_without_exclusion() {
+        let raim = Raim::new(NewtonRaphson::default(), 10.0);
+        let result = raim.solve(&clean_measurements(6), 0.0).unwrap();
+        assert!(result.excluded.is_empty());
+        assert!(result.solution.position.distance_to(truth()) < 1e-3);
+    }
+
+    #[test]
+    fn detects_and_excludes_single_fault() {
+        for faulty in 0..6 {
+            let mut meas = clean_measurements(6);
+            meas[faulty].pseudorange += 800.0;
+            let raim = Raim::new(NewtonRaphson::default(), 10.0);
+            let result = raim.solve(&meas, 0.0).unwrap();
+            assert_eq!(result.excluded, vec![faulty], "fault at {faulty}");
+            assert!(result.solution.position.distance_to(truth()) < 1e-2);
+        }
+    }
+
+    #[test]
+    fn excludes_two_faults_when_allowed() {
+        let mut meas = clean_measurements(7);
+        meas[1].pseudorange += 600.0;
+        meas[4].pseudorange -= 900.0;
+        let raim = Raim::new(NewtonRaphson::default(), 10.0).with_max_exclusions(2);
+        let result = raim.solve(&meas, 0.0).unwrap();
+        let mut excluded = result.excluded.clone();
+        excluded.sort_unstable();
+        assert_eq!(excluded, vec![1, 4]);
+        assert!(result.solution.position.distance_to(truth()) < 1e-2);
+    }
+
+    #[test]
+    fn refuses_to_exclude_beyond_cap() {
+        let mut meas = clean_measurements(7);
+        meas[0].pseudorange += 500.0;
+        meas[2].pseudorange += 700.0;
+        meas[5].pseudorange -= 600.0;
+        let raim = Raim::new(NewtonRaphson::default(), 10.0).with_max_exclusions(1);
+        let err = raim.solve(&meas, 0.0).unwrap_err();
+        assert!(matches!(err, SolveError::NonConvergence { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn refuses_exclusion_without_redundancy() {
+        // 5 satellites: detection is possible, but exclusion needs 6.
+        let mut meas = clean_measurements(5);
+        meas[2].pseudorange += 900.0;
+        let raim = Raim::new(NewtonRaphson::default(), 10.0);
+        let err = raim.solve(&meas, 0.0).unwrap_err();
+        assert_eq!(err, SolveError::TooFewSatellites { got: 5, need: 6 });
+    }
+
+    #[test]
+    fn works_with_direct_solvers_too() {
+        let mut meas = clean_measurements(7);
+        meas[3].pseudorange += 700.0;
+        let raim = Raim::new(Dlg::default(), 10.0);
+        let result = raim.solve(&meas, 0.0).unwrap();
+        assert_eq!(result.excluded, vec![3]);
+        assert!(result.solution.position.distance_to(truth()) < 0.1);
+    }
+
+    #[test]
+    fn small_faults_below_threshold_tolerated() {
+        let mut meas = clean_measurements(6);
+        meas[2].pseudorange += 5.0; // within the noise budget
+        let raim = Raim::new(NewtonRaphson::default(), 10.0);
+        let result = raim.solve(&meas, 0.0).unwrap();
+        assert!(result.excluded.is_empty());
+        // Position absorbs a few metres of error.
+        assert!(result.solution.position.distance_to(truth()) < 15.0);
+    }
+
+    #[test]
+    fn propagates_inner_errors() {
+        let raim = Raim::new(NewtonRaphson::default(), 10.0);
+        assert_eq!(
+            raim.solve(&clean_measurements(3), 0.0).unwrap_err(),
+            SolveError::TooFewSatellites { got: 3, need: 4 }
+        );
+    }
+
+    #[test]
+    fn accessor_and_builder() {
+        let raim = Raim::new(NewtonRaphson::default(), 7.5).with_max_exclusions(3);
+        assert_eq!(raim.inner().name(), "NR");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_threshold() {
+        let _ = Raim::new(NewtonRaphson::default(), 0.0);
+    }
+}

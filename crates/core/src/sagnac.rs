@@ -1,0 +1,104 @@
+//! Earth-rotation (Sagnac) correction of satellite coordinates.
+//!
+//! A GPS signal is in flight for ~70 ms; while it travels, the ECEF frame
+//! rotates ~35 m under it at the equator. Precise processing therefore
+//! rotates the satellite's transmission-time position by `ωₑ·τ` before
+//! forming the range equation. The synthetic datasets in this workspace
+//! tabulate satellite positions at *reception* time in the reception-time
+//! frame — exactly what the solvers consume — so no correction is needed
+//! there; these utilities exist for callers bringing real broadcast
+//! ephemerides, where positions come out at transmission time.
+
+use gps_geodesy::wgs84::{EARTH_ROTATION_RATE, SPEED_OF_LIGHT};
+use gps_geodesy::Ecef;
+
+/// Rotates a satellite position given at transmission time into the ECEF
+/// frame at reception time, for a signal with flight time `tau_s`
+/// (seconds): a rotation by `−ωₑ·τ` about +Z.
+///
+/// # Panics
+///
+/// Panics if `tau_s` is not finite.
+#[must_use]
+pub fn rotate_to_reception_frame(position_at_tx: Ecef, tau_s: f64) -> Ecef {
+    assert!(tau_s.is_finite(), "flight time must be finite");
+    let angle = EARTH_ROTATION_RATE * tau_s;
+    let (s, c) = angle.sin_cos();
+    Ecef::new(
+        c * position_at_tx.x + s * position_at_tx.y,
+        -s * position_at_tx.x + c * position_at_tx.y,
+        position_at_tx.z,
+    )
+}
+
+/// Applies the Sagnac correction using the signal flight time implied by
+/// the measured pseudorange (`τ ≈ ρ/c`) — the standard first-order form.
+#[must_use]
+pub fn sagnac_correct(position_at_tx: Ecef, pseudorange_m: f64) -> Ecef {
+    rotate_to_reception_frame(position_at_tx, pseudorange_m / SPEED_OF_LIGHT)
+}
+
+/// The magnitude (metres) of the range error committed by *ignoring* the
+/// Sagnac correction for a given receiver/satellite pair — handy for
+/// error-budget accounting and for tests.
+#[must_use]
+pub fn sagnac_range_error(receiver: Ecef, satellite: Ecef) -> f64 {
+    let tau = receiver.distance_to(satellite) / SPEED_OF_LIGHT;
+    let rotated = rotate_to_reception_frame(satellite, tau);
+    (receiver.distance_to(rotated) - receiver.distance_to(satellite)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_flight_time_is_identity() {
+        let p = Ecef::new(2.0e7, 1.0e7, 0.5e7);
+        assert_eq!(rotate_to_reception_frame(p, 0.0), p);
+    }
+
+    #[test]
+    fn rotation_preserves_radius_and_z() {
+        let p = Ecef::new(2.0e7, -1.0e7, 1.5e7);
+        let q = rotate_to_reception_frame(p, 0.075);
+        assert!((p.norm() - q.norm()).abs() < 1e-6);
+        assert_eq!(p.z, q.z);
+        // 75 ms of Earth rotation moves an equatorial-radius point ~
+        // ωₑ·τ·ρ_xy ≈ 122 m.
+        let horizontal = (p.x * p.x + p.y * p.y).sqrt();
+        let expected = EARTH_ROTATION_RATE * 0.075 * horizontal;
+        assert!((p.distance_to(q) - expected).abs() / expected < 1e-4);
+    }
+
+    #[test]
+    fn correction_magnitude_is_tens_of_metres() {
+        // The classic number: ~10-40 m of range effect.
+        let receiver = Ecef::new(6.371e6, 0.0, 0.0);
+        let satellite = Ecef::new(1.5e7, 1.8e7, 0.9e7);
+        let err = sagnac_range_error(receiver, satellite);
+        assert!(err > 5.0 && err < 80.0, "sagnac {err}");
+    }
+
+    #[test]
+    fn sagnac_correct_uses_pseudorange_flight_time() {
+        let sat = Ecef::new(2.0e7, 0.0, 1.7e7);
+        let rho = 2.2e7;
+        let direct = rotate_to_reception_frame(sat, rho / SPEED_OF_LIGHT);
+        assert_eq!(sagnac_correct(sat, rho), direct);
+    }
+
+    #[test]
+    fn inverse_rotation_round_trips() {
+        let p = Ecef::new(1.2e7, 2.3e7, -0.4e7);
+        let q = rotate_to_reception_frame(p, 0.07);
+        let back = rotate_to_reception_frame(q, -0.07);
+        assert!(p.distance_to(back) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_flight_time() {
+        let _ = rotate_to_reception_frame(Ecef::ORIGIN, f64::NAN);
+    }
+}

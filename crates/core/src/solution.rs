@@ -1,0 +1,67 @@
+use std::fmt;
+
+use gps_geodesy::Ecef;
+
+/// The result of one positioning solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Solution {
+    /// Estimated receiver position `(xᵉ, yᵉ, zᵉ)`, metres ECEF.
+    pub position: Ecef,
+    /// Estimated receiver range bias `εᴿ` (metres), for algorithms that
+    /// solve for it (NR, Bancroft). `None` for DLO/DLG, which consume an
+    /// external prediction instead.
+    pub receiver_bias_m: Option<f64>,
+    /// Iterations performed (1 for the closed-form algorithms).
+    pub iterations: usize,
+    /// RMS of the post-fit measurement residuals, metres. For NR this is
+    /// the RMS of the residual function `Pᵢ` at the accepted iterate; for
+    /// the direct methods it is the RMS of the linear-system residual.
+    pub residual_rms: f64,
+}
+
+impl Solution {
+    /// Creates a solution record.
+    #[must_use]
+    pub fn new(
+        position: Ecef,
+        receiver_bias_m: Option<f64>,
+        iterations: usize,
+        residual_rms: f64,
+    ) -> Self {
+        Solution {
+            position,
+            receiver_bias_m,
+            iterations,
+            residual_rms,
+        }
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "position {} ({} iter, residual {:.3} m",
+            self.position, self.iterations, self.residual_rms
+        )?;
+        if let Some(b) = self.receiver_bias_m {
+            write!(f, ", clock bias {b:.3} m")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_bias() {
+        let s = Solution::new(Ecef::new(1.0, 2.0, 3.0), Some(4.5), 6, 0.25);
+        let text = s.to_string();
+        assert!(text.contains("6 iter"));
+        assert!(text.contains("4.500"));
+        let s2 = Solution::new(Ecef::ORIGIN, None, 1, 0.0);
+        assert!(!s2.to_string().contains("clock bias"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Receiver velocity estimation from range-rate (Doppler) measurements.
+//!
+//! A receiver tracking carrier Doppler observes the range rate to each
+//! satellite:
+//!
+//! `ρ̇ᵢ = (vᵢ − v) · uᵢ + c·Δṫ`
+//!
+//! where `vᵢ` is the satellite's ECEF velocity, `v` the receiver's, `uᵢ`
+//! the unit line of sight and `c·Δṫ` the receiver clock *drift* in range
+//! units. Given a position fix (from any [`crate::PositionSolver`]) the
+//! system is already linear — no linearization tricks needed — and one
+//! OLS solve yields velocity plus drift. This closes the loop on the
+//! paper's high-speed-object motivation: position *and* velocity at
+//! closed-form cost.
+
+use gps_geodesy::Ecef;
+use gps_linalg::{lstsq, Matrix, Vector};
+
+use crate::SolveError;
+
+/// One satellite's contribution to a velocity solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateMeasurement {
+    /// Satellite ECEF position, metres.
+    pub position: Ecef,
+    /// Satellite ECEF velocity, m/s.
+    pub velocity: Ecef,
+    /// Measured range rate `ρ̇ᵢ` (from Doppler), m/s.
+    pub range_rate: f64,
+}
+
+impl RateMeasurement {
+    /// Creates a rate measurement.
+    #[must_use]
+    pub fn new(position: Ecef, velocity: Ecef, range_rate: f64) -> Self {
+        RateMeasurement {
+            position,
+            velocity,
+            range_rate,
+        }
+    }
+
+    /// Returns `true` if all fields are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite() && self.velocity.is_finite() && self.range_rate.is_finite()
+    }
+}
+
+/// A velocity solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VelocitySolution {
+    /// Receiver ECEF velocity, m/s.
+    pub velocity: Ecef,
+    /// Receiver clock drift as a range rate (`c·Δṫ`), m/s.
+    pub clock_drift_m_s: f64,
+    /// RMS of the post-fit range-rate residuals, m/s.
+    pub residual_rms: f64,
+}
+
+/// Estimates receiver velocity and clock drift from range rates, given
+/// the receiver's (already solved) position.
+///
+/// # Errors
+///
+/// * [`SolveError::TooFewSatellites`] with fewer than 4 measurements.
+/// * [`SolveError::NonFinite`] on NaN/∞ input.
+/// * [`SolveError::DegenerateGeometry`] for rank-deficient line-of-sight
+///   geometry.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{solve_velocity, RateMeasurement};
+/// use gps_geodesy::Ecef;
+///
+/// # fn main() -> Result<(), gps_core::SolveError> {
+/// let receiver = Ecef::new(6.37e6, 0.0, 0.0);
+/// let v_true = Ecef::new(30.0, -50.0, 10.0);
+/// let sats = [
+///     (Ecef::new(2.0e7, 0.0, 1.7e7), Ecef::new(100.0, 2_600.0, 900.0)),
+///     (Ecef::new(1.5e7, 1.8e7, 0.9e7), Ecef::new(-1_900.0, 800.0, 2_500.0)),
+///     (Ecef::new(1.6e7, -1.7e7, 1.0e7), Ecef::new(2_000.0, 1_500.0, -800.0)),
+///     (Ecef::new(2.5e7, 0.4e7, -0.6e7), Ecef::new(400.0, -2_400.0, 1_800.0)),
+///     (Ecef::new(0.8e7, 1.4e7, 2.0e7), Ecef::new(-2_700.0, 300.0, 1_000.0)),
+/// ];
+/// let meas: Vec<RateMeasurement> = sats
+///     .iter()
+///     .map(|&(p, v)| {
+///         let u = (p - receiver).normalized();
+///         RateMeasurement::new(p, v, (v - v_true).dot(u) + 2.5)
+///     })
+///     .collect();
+/// let sol = solve_velocity(&meas, receiver)?;
+/// assert!((sol.velocity - v_true).norm() < 1e-6);
+/// assert!((sol.clock_drift_m_s - 2.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_velocity(
+    measurements: &[RateMeasurement],
+    receiver_position: Ecef,
+) -> Result<VelocitySolution, SolveError> {
+    if measurements.len() < 4 {
+        return Err(SolveError::TooFewSatellites {
+            got: measurements.len(),
+            need: 4,
+        });
+    }
+    if !receiver_position.is_finite() || measurements.iter().any(|m| !m.is_finite()) {
+        return Err(SolveError::NonFinite);
+    }
+    let m = measurements.len();
+    let mut a = Matrix::zeros(m, 4);
+    let mut b = Vector::zeros(m);
+    for (i, meas) in measurements.iter().enumerate() {
+        let los = meas.position - receiver_position;
+        let range = los.norm();
+        if range < 1.0 {
+            return Err(SolveError::NonFinite);
+        }
+        let u = los / range;
+        let row = a.row_mut(i);
+        row[0] = -u.x;
+        row[1] = -u.y;
+        row[2] = -u.z;
+        row[3] = 1.0;
+        b[i] = meas.range_rate - meas.velocity.dot(u);
+    }
+    let x = lstsq::ols(&a, &b)?;
+    let residual = lstsq::residual(&a, &b, &x).expect("shapes match by construction");
+    Ok(VelocitySolution {
+        velocity: Ecef::new(x[0], x[1], x[2]),
+        clock_drift_m_s: x[3],
+        residual_rms: (residual.norm_squared() / m as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn receiver() -> Ecef {
+        Ecef::new(6.371e6, 1.0e5, -2.0e5)
+    }
+
+    fn sats() -> Vec<(Ecef, Ecef)> {
+        vec![
+            (Ecef::new(2.0e7, 0.0, 1.7e7), Ecef::new(100.0, 2_600.0, 900.0)),
+            (Ecef::new(1.5e7, 1.8e7, 0.9e7), Ecef::new(-1_900.0, 800.0, 2_500.0)),
+            (Ecef::new(1.6e7, -1.7e7, 1.0e7), Ecef::new(2_000.0, 1_500.0, -800.0)),
+            (Ecef::new(2.5e7, 0.4e7, -0.6e7), Ecef::new(400.0, -2_400.0, 1_800.0)),
+            (Ecef::new(0.8e7, 1.4e7, 2.0e7), Ecef::new(-2_700.0, 300.0, 1_000.0)),
+            (Ecef::new(1.2e7, -0.4e7, 2.2e7), Ecef::new(900.0, 2_900.0, -200.0)),
+        ]
+    }
+
+    fn exact(v_rx: Ecef, drift: f64, n: usize) -> Vec<RateMeasurement> {
+        sats()
+            .into_iter()
+            .take(n)
+            .map(|(p, v)| {
+                let u = (p - receiver()).normalized();
+                RateMeasurement::new(p, v, (v - v_rx).dot(u) + drift)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_recovery_static_and_moving() {
+        for v_rx in [Ecef::ORIGIN, Ecef::new(250.0, -30.0, 5.0)] {
+            for drift in [0.0, -1.7, 4.2] {
+                for n in [4, 5, 6] {
+                    let sol = solve_velocity(&exact(v_rx, drift, n), receiver()).unwrap();
+                    assert!((sol.velocity - v_rx).norm() < 1e-6);
+                    assert!((sol.clock_drift_m_s - drift).abs() < 1e-6);
+                    assert!(sol.residual_rms < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_rates_give_bounded_velocity_error() {
+        let v_rx = Ecef::new(100.0, 0.0, 0.0);
+        let mut meas = exact(v_rx, 1.0, 6);
+        for (k, m) in meas.iter_mut().enumerate() {
+            // ±5 cm/s of Doppler noise — typical carrier tracking.
+            m.range_rate += if k % 2 == 0 { 0.05 } else { -0.05 };
+        }
+        let sol = solve_velocity(&meas, receiver()).unwrap();
+        assert!((sol.velocity - v_rx).norm() < 0.5, "err {}", (sol.velocity - v_rx).norm());
+        assert!(sol.residual_rms > 0.001);
+    }
+
+    #[test]
+    fn wrong_position_biases_but_degrades_gracefully() {
+        // 100 m of position error tilts the unit vectors by ~5 µrad —
+        // harmless for velocity.
+        let v_rx = Ecef::new(50.0, 50.0, 0.0);
+        let meas = exact(v_rx, 0.0, 6);
+        let off = receiver() + Ecef::new(100.0, -50.0, 30.0);
+        let sol = solve_velocity(&meas, off).unwrap();
+        assert!((sol.velocity - v_rx).norm() < 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let meas = exact(Ecef::ORIGIN, 0.0, 3);
+        assert_eq!(
+            solve_velocity(&meas, receiver()).unwrap_err(),
+            SolveError::TooFewSatellites { got: 3, need: 4 }
+        );
+        let mut meas = exact(Ecef::ORIGIN, 0.0, 4);
+        meas[1].range_rate = f64::NAN;
+        assert_eq!(
+            solve_velocity(&meas, receiver()).unwrap_err(),
+            SolveError::NonFinite
+        );
+        let meas = exact(Ecef::ORIGIN, 0.0, 4);
+        assert_eq!(
+            solve_velocity(&meas, Ecef::new(f64::INFINITY, 0.0, 0.0)).unwrap_err(),
+            SolveError::NonFinite
+        );
+    }
+
+    #[test]
+    fn degenerate_geometry_detected() {
+        // All satellites in the same spot.
+        let (p, v) = sats()[0];
+        let u = (p - receiver()).normalized();
+        let meas = vec![RateMeasurement::new(p, v, v.dot(u)); 5];
+        assert!(matches!(
+            solve_velocity(&meas, receiver()).unwrap_err(),
+            SolveError::DegenerateGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn static_receiver_recovers_zero_velocity() {
+        let sol = solve_velocity(&exact(Ecef::ORIGIN, 0.0, 6), receiver()).unwrap();
+        assert!(sol.velocity.norm() < 1e-6);
+        assert!(sol.clock_drift_m_s.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests for the positioning algorithms.
+//!
+//! The central invariant: on **error-free** pseudoranges, every solver
+//! must recover the receiver position (and, where applicable, the clock
+//! bias) to numerical precision, for any receiver location on the Earth
+//! and any sane satellite geometry.
+
+use gps_core::{Bancroft, Dlg, Dlo, Measurement, NewtonRaphson, PositionSolver};
+use gps_geodesy::{Ecef, Geodetic};
+use proptest::prelude::*;
+
+/// A receiver somewhere on (or near) the Earth's surface.
+fn receiver_strategy() -> impl Strategy<Value = Ecef> {
+    (-60.0f64..60.0, -179.0f64..179.0, -100.0f64..9_000.0)
+        .prop_map(|(lat, lon, h)| Geodetic::from_deg(lat, lon, h).to_ecef())
+}
+
+/// A set of `n` satellites spread over the receiver's sky: azimuths
+/// roughly even with jitter, elevations drawn from 10°..85°.
+fn sky_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..1.0, 10.0f64..85.0), n).prop_map(move |pairs| {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(k, (jitter, el))| {
+                let az = (k as f64 + jitter) / n as f64 * std::f64::consts::TAU;
+                (az, el.to_radians())
+            })
+            .collect()
+    })
+}
+
+/// Places satellites at GPS range along the given look angles.
+fn make_measurements(receiver: Ecef, sky: &[(f64, f64)], bias: f64) -> Vec<Measurement> {
+    let frame = gps_geodesy::LocalFrame::new(receiver);
+    sky.iter()
+        .map(|&(az, el)| {
+            let range = 2.2e7;
+            let enu = gps_geodesy::Enu::new(
+                range * el.cos() * az.sin(),
+                range * el.cos() * az.cos(),
+                range * el.sin(),
+            );
+            let sat = frame.to_ecef(enu);
+            Measurement::new(sat, sat.distance_to(receiver) + bias).with_elevation(el)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nr_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(6), bias in -1000.0f64..1000.0) {
+        let meas = make_measurements(receiver, &sky, bias);
+        match NewtonRaphson::default().solve(&meas, 0.0) {
+            Ok(fix) => {
+                prop_assert!(fix.position.distance_to(receiver) < 1e-2,
+                    "err {}", fix.position.distance_to(receiver));
+                prop_assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 1e-2);
+            }
+            // Random skies can be near-degenerate; rejection is acceptable,
+            // silent wrong answers are not.
+            Err(e) => prop_assert!(
+                matches!(e, gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NonConvergence { .. }),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn dlo_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(7)) {
+        let meas = make_measurements(receiver, &sky, 0.0);
+        match Dlo::default().solve(&meas, 0.0) {
+            Ok(fix) => prop_assert!(fix.position.distance_to(receiver) < 0.05,
+                "err {}", fix.position.distance_to(receiver)),
+            Err(e) => prop_assert!(
+                matches!(e, gps_core::SolveError::DegenerateGeometry(_)),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn dlg_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(7)) {
+        let meas = make_measurements(receiver, &sky, 0.0);
+        match Dlg::default().solve(&meas, 0.0) {
+            Ok(fix) => prop_assert!(fix.position.distance_to(receiver) < 0.05,
+                "err {}", fix.position.distance_to(receiver)),
+            Err(e) => prop_assert!(
+                matches!(e, gps_core::SolveError::DegenerateGeometry(_)),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn dlo_dlg_with_perfect_clock_prediction(
+        receiver in receiver_strategy(),
+        sky in sky_strategy(8),
+        bias in -500.0f64..500.0,
+    ) {
+        let meas = make_measurements(receiver, &sky, bias);
+        if let (Ok(dlo), Ok(dlg)) = (
+            Dlo::default().solve(&meas, bias),
+            Dlg::default().solve(&meas, bias),
+        ) {
+            prop_assert!(dlo.position.distance_to(receiver) < 0.05);
+            prop_assert!(dlg.position.distance_to(receiver) < 0.05);
+        }
+    }
+
+    #[test]
+    fn bancroft_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(5), bias in -1000.0f64..1000.0) {
+        let meas = make_measurements(receiver, &sky, bias);
+        match Bancroft::default().solve(&meas, 0.0) {
+            Ok(fix) => {
+                prop_assert!(fix.position.distance_to(receiver) < 0.05,
+                    "err {}", fix.position.distance_to(receiver));
+                prop_assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 0.05);
+            }
+            Err(e) => prop_assert!(
+                matches!(e, gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NoRealRoot),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_noisy_data(
+        receiver in receiver_strategy(),
+        sky in sky_strategy(8),
+        noise_seed in 0u64..1_000,
+    ) {
+        // Metre-level deterministic "noise" derived from the seed.
+        let mut meas = make_measurements(receiver, &sky, 0.0);
+        for (k, m) in meas.iter_mut().enumerate() {
+            let pseudo_noise = (((noise_seed + k as u64 * 7919) % 997) as f64 / 997.0 - 0.5) * 6.0;
+            m.pseudorange += pseudo_noise;
+        }
+        let results: Vec<Ecef> = [
+            NewtonRaphson::default().solve(&meas, 0.0),
+            Dlo::default().solve(&meas, 0.0),
+            Dlg::default().solve(&meas, 0.0),
+            Bancroft::default().solve(&meas, 0.0),
+        ]
+        .into_iter()
+        .filter_map(|r| r.ok().map(|s| s.position))
+        .collect();
+        prop_assume!(results.len() == 4);
+        // All four estimates within tens of metres of each other and of
+        // the truth (noise is ±3 m, DOP is modest).
+        for p in &results {
+            prop_assert!(p.distance_to(receiver) < 100.0, "err {}", p.distance_to(receiver));
+        }
+    }
+
+    #[test]
+    fn trilaterate3_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(3), bias in -500.0f64..500.0) {
+        let meas = make_measurements(receiver, &sky, bias);
+        match gps_core::trilaterate3(&meas, bias) {
+            Ok(roots) => prop_assert!(
+                roots.near_earth.distance_to(receiver) < 0.05,
+                "err {}", roots.near_earth.distance_to(receiver)
+            ),
+            Err(e) => prop_assert!(
+                matches!(
+                    e,
+                    gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NoRealRoot
+                ),
+                "unexpected error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn velocity_exact_recovery(
+        receiver in receiver_strategy(),
+        sky in sky_strategy(6),
+        vx in -300.0f64..300.0,
+        vy in -300.0f64..300.0,
+        vz in -50.0f64..50.0,
+        drift in -10.0f64..10.0,
+    ) {
+        let v_rx = Ecef::new(vx, vy, vz);
+        let meas = make_measurements(receiver, &sky, 0.0);
+        let rates: Vec<gps_core::RateMeasurement> = meas
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                // Deterministic pseudo-random satellite velocities.
+                let v_sat = Ecef::new(
+                    ((k * 911) % 500) as f64 * 10.0 - 2_000.0,
+                    ((k * 577) % 500) as f64 * 10.0 - 2_000.0,
+                    ((k * 353) % 500) as f64 * 10.0 - 2_000.0,
+                );
+                let u = (m.position - receiver).normalized();
+                gps_core::RateMeasurement::new(m.position, v_sat, (v_sat - v_rx).dot(u) + drift)
+            })
+            .collect();
+        if let Ok(sol) = gps_core::solve_velocity(&rates, receiver) {
+            prop_assert!((sol.velocity - v_rx).norm() < 1e-3,
+                "err {}", (sol.velocity - v_rx).norm());
+            prop_assert!((sol.clock_drift_m_s - drift).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn measurement_order_does_not_change_nr(receiver in receiver_strategy(), sky in sky_strategy(6)) {
+        let meas = make_measurements(receiver, &sky, 42.0);
+        let mut reversed = meas.clone();
+        reversed.reverse();
+        if let (Ok(a), Ok(b)) = (
+            NewtonRaphson::default().solve(&meas, 0.0),
+            NewtonRaphson::default().solve(&reversed, 0.0),
+        ) {
+            prop_assert!(a.position.distance_to(b.position) < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An Earth-Centered Earth-Fixed Cartesian position or vector, in metres.
+///
+/// This is the coordinate type of the paper's trilateration model: the
+/// satellite coordinates `(xᵢ, yᵢ, zᵢ)` and the receiver estimate
+/// `(xᵉ, yᵉ, zᵉ)` of eq. 3-1 are `Ecef` values, with the Earth's center as
+/// origin.
+///
+/// # Example
+///
+/// ```
+/// use gps_geodesy::Ecef;
+///
+/// let a = Ecef::new(1.0, 2.0, 2.0);
+/// assert_eq!(a.norm(), 3.0);
+/// assert_eq!(a.distance_to(Ecef::ORIGIN), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Ecef {
+    /// X coordinate (m): towards the intersection of equator and prime
+    /// meridian.
+    pub x: f64,
+    /// Y coordinate (m): 90° east in the equatorial plane.
+    pub y: f64,
+    /// Z coordinate (m): towards the north pole.
+    pub z: f64,
+}
+
+impl Ecef {
+    /// The Earth's center, the origin of eq. 3-1.
+    pub const ORIGIN: Ecef = Ecef {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a position from its components in metres.
+    #[must_use]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Ecef { x, y, z }
+    }
+
+    /// Euclidean norm (distance from the Earth's center).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Squared norm; avoids the square root when comparing distances.
+    #[must_use]
+    pub fn norm_squared(&self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Geometric distance to another point — the left side of the paper's
+    /// eq. 3-1.
+    #[must_use]
+    pub fn distance_to(&self, other: Ecef) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(&self, other: Ecef) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[must_use]
+    pub fn cross(&self, other: Ecef) -> Ecef {
+        Ecef {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is zero.
+    #[must_use]
+    pub fn normalized(&self) -> Ecef {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        *self / n
+    }
+
+    /// Returns `true` if every component is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Components as an array `[x, y, z]`.
+    #[must_use]
+    pub fn to_array(&self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 3]> for Ecef {
+    fn from(a: [f64; 3]) -> Self {
+        Ecef::new(a[0], a[1], a[2])
+    }
+}
+
+impl fmt::Display for Ecef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3}) m", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Ecef {
+    type Output = Ecef;
+
+    fn add(self, rhs: Ecef) -> Ecef {
+        Ecef::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Ecef {
+    fn add_assign(&mut self, rhs: Ecef) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ecef {
+    type Output = Ecef;
+
+    fn sub(self, rhs: Ecef) -> Ecef {
+        Ecef::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Ecef {
+    fn sub_assign(&mut self, rhs: Ecef) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Ecef {
+    type Output = Ecef;
+
+    fn mul(self, s: f64) -> Ecef {
+        Ecef::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Ecef {
+    type Output = Ecef;
+
+    fn div(self, s: f64) -> Ecef {
+        Ecef::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Ecef {
+    type Output = Ecef;
+
+    fn neg(self) -> Ecef {
+        Ecef::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_distance() {
+        let p = Ecef::new(3.0, 4.0, 0.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm_squared(), 25.0);
+        assert_eq!(p.distance_to(Ecef::new(3.0, 0.0, 0.0)), 4.0);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Ecef::new(1.0, 0.0, 0.0);
+        let b = Ecef::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Ecef::new(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(a), Ecef::new(0.0, 0.0, -1.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!((a + b).norm_squared(), 2.0);
+        assert_eq!((a - b).dot(a + b), 0.0);
+        assert_eq!((-a).x, -1.0);
+        assert_eq!((a * 2.0).norm(), 2.0);
+        assert_eq!((a / 2.0).norm(), 0.5);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut p = Ecef::new(1.0, 1.0, 1.0);
+        p += Ecef::new(1.0, 0.0, 0.0);
+        assert_eq!(p.x, 2.0);
+        p -= Ecef::new(0.0, 1.0, 0.0);
+        assert_eq!(p.y, 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Ecef::new(0.0, 0.0, 7.0).normalized();
+        assert_eq!(v, Ecef::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Ecef::ORIGIN.normalized();
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let p = Ecef::new(1.0, 2.0, 3.0);
+        assert_eq!(Ecef::from(p.to_array()), p);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Ecef::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Ecef::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Ecef::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert!(Ecef::ORIGIN.to_string().ends_with('m'));
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+
+use crate::{Ecef, Geodetic};
+
+/// A vector expressed in a local East-North-Up tangent frame, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Enu {
+    /// East component (m).
+    pub east: f64,
+    /// North component (m).
+    pub north: f64,
+    /// Up component (m).
+    pub up: f64,
+}
+
+impl Enu {
+    /// Creates an ENU vector from its components.
+    #[must_use]
+    pub fn new(east: f64, north: f64, up: f64) -> Self {
+        Enu { east, north, up }
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        (self.east * self.east + self.north * self.north + self.up * self.up).sqrt()
+    }
+
+    /// Horizontal (east-north plane) norm.
+    #[must_use]
+    pub fn horizontal_norm(&self) -> f64 {
+        (self.east * self.east + self.north * self.north).sqrt()
+    }
+}
+
+impl fmt::Display for Enu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E {:.3} N {:.3} U {:.3} m",
+            self.east, self.north, self.up
+        )
+    }
+}
+
+/// A local East-North-Up tangent frame anchored at a reference point.
+///
+/// Used to compute satellite **elevation** and **azimuth** as seen from a
+/// ground station — the inputs to visibility masks, the atmospheric mapping
+/// functions, and the "good satellite" base-selection extension the paper
+/// sketches in §6.
+///
+/// # Example
+///
+/// ```
+/// use gps_geodesy::{Ecef, Geodetic, LocalFrame};
+///
+/// let station = Geodetic::from_deg(45.0, 0.0, 0.0);
+/// let frame = LocalFrame::new(station.to_ecef());
+/// // A point straight above the station has elevation ≈ 90°.
+/// let above = Geodetic::from_deg(45.0, 0.0, 100_000.0).to_ecef();
+/// let elev = frame.elevation(above);
+/// assert!((elev.to_degrees() - 90.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalFrame {
+    origin: Ecef,
+    /// Unit east axis in ECEF.
+    east: Ecef,
+    /// Unit north axis in ECEF.
+    north: Ecef,
+    /// Unit up axis in ECEF (ellipsoid normal).
+    up: Ecef,
+}
+
+impl LocalFrame {
+    /// Creates the tangent frame at `origin` (the frame axes follow the
+    /// WGS-84 ellipsoid normal at that point).
+    #[must_use]
+    pub fn new(origin: Ecef) -> Self {
+        let g = Geodetic::from_ecef(origin);
+        let (slat, clat) = g.latitude().sin_cos();
+        let (slon, clon) = g.longitude().sin_cos();
+        LocalFrame {
+            origin,
+            east: Ecef::new(-slon, clon, 0.0),
+            north: Ecef::new(-slat * clon, -slat * slon, clat),
+            up: Ecef::new(clat * clon, clat * slon, slat),
+        }
+    }
+
+    /// The anchor point in ECEF.
+    #[must_use]
+    pub fn origin(&self) -> Ecef {
+        self.origin
+    }
+
+    /// Expresses the ECEF point `p` in this frame.
+    #[must_use]
+    pub fn to_enu(&self, p: Ecef) -> Enu {
+        let d = p - self.origin;
+        Enu {
+            east: d.dot(self.east),
+            north: d.dot(self.north),
+            up: d.dot(self.up),
+        }
+    }
+
+    /// Converts a local ENU vector back to an ECEF point.
+    #[must_use]
+    pub fn to_ecef(&self, v: Enu) -> Ecef {
+        self.origin + self.east * v.east + self.north * v.north + self.up * v.up
+    }
+
+    /// Elevation angle of `p` above the local horizon, radians, in
+    /// `[-π/2, π/2]`.
+    #[must_use]
+    pub fn elevation(&self, p: Ecef) -> f64 {
+        let enu = self.to_enu(p);
+        enu.up.atan2(enu.horizontal_norm())
+    }
+
+    /// Azimuth of `p`, radians clockwise from north, in `[0, 2π)`.
+    #[must_use]
+    pub fn azimuth(&self, p: Ecef) -> f64 {
+        let enu = self.to_enu(p);
+        let az = enu.east.atan2(enu.north);
+        if az < 0.0 {
+            az + std::f64::consts::TAU
+        } else {
+            az
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_at(lat: f64, lon: f64) -> LocalFrame {
+        LocalFrame::new(Geodetic::from_deg(lat, lon, 0.0).to_ecef())
+    }
+
+    #[test]
+    fn axes_are_orthonormal() {
+        let f = frame_at(37.0, -122.0);
+        for v in [f.east, f.north, f.up] {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(f.east.dot(f.north).abs() < 1e-12);
+        assert!(f.east.dot(f.up).abs() < 1e-12);
+        assert!(f.north.dot(f.up).abs() < 1e-12);
+        // Right-handed: east × north = up.
+        assert!((f.east.cross(f.north) - f.up).norm() < 1e-12);
+    }
+
+    #[test]
+    fn enu_round_trip() {
+        let f = frame_at(45.0, 10.0);
+        let v = Enu::new(100.0, -200.0, 300.0);
+        let p = f.to_ecef(v);
+        let back = f.to_enu(p);
+        assert!((back.east - v.east).abs() < 1e-6);
+        assert!((back.north - v.north).abs() < 1e-6);
+        assert!((back.up - v.up).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zenith_has_90_degree_elevation() {
+        let f = frame_at(52.0, 13.0);
+        let above = f.to_ecef(Enu::new(0.0, 0.0, 1_000.0));
+        assert!((f.elevation(above).to_degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_has_zero_elevation() {
+        let f = frame_at(0.0, 0.0);
+        let east_point = f.to_ecef(Enu::new(5_000.0, 0.0, 0.0));
+        assert!(f.elevation(east_point).to_degrees().abs() < 1e-9);
+        // Below horizon is negative.
+        let below = f.to_ecef(Enu::new(1_000.0, 0.0, -100.0));
+        assert!(f.elevation(below) < 0.0);
+    }
+
+    #[test]
+    fn azimuth_cardinal_directions() {
+        let f = frame_at(30.0, 50.0);
+        let north = f.to_ecef(Enu::new(0.0, 1_000.0, 0.0));
+        let east = f.to_ecef(Enu::new(1_000.0, 0.0, 0.0));
+        let south = f.to_ecef(Enu::new(0.0, -1_000.0, 0.0));
+        let west = f.to_ecef(Enu::new(-1_000.0, 0.0, 0.0));
+        let wrap_err = |az: f64, expected: f64| {
+            let diff = (az.to_degrees() - expected).rem_euclid(360.0);
+            diff.min(360.0 - diff)
+        };
+        assert!(wrap_err(f.azimuth(north), 0.0) < 1e-9);
+        assert!(wrap_err(f.azimuth(east), 90.0) < 1e-9);
+        assert!(wrap_err(f.azimuth(south), 180.0) < 1e-9);
+        assert!(wrap_err(f.azimuth(west), 270.0) < 1e-9);
+    }
+
+    #[test]
+    fn north_pole_direction_at_equator() {
+        // From the equator/prime meridian, the +Z ECEF axis is due north at
+        // zero elevation.
+        let f = frame_at(0.0, 0.0);
+        let enu = f.to_enu(f.origin() + Ecef::new(0.0, 0.0, 1_000.0));
+        assert!((enu.north - 1_000.0).abs() < 1e-6);
+        assert!(enu.east.abs() < 1e-9);
+        assert!(enu.up.abs() < 1e-6);
+    }
+
+    #[test]
+    fn enu_norms() {
+        let v = Enu::new(3.0, 4.0, 12.0);
+        assert_eq!(v.horizontal_norm(), 5.0);
+        assert_eq!(v.norm(), 13.0);
+        assert!(v.to_string().contains('E'));
+    }
+}

@@ -1,0 +1,243 @@
+use std::fmt;
+
+use crate::wgs84;
+use crate::Ecef;
+
+/// A position on (or above) the WGS-84 ellipsoid: geodetic latitude,
+/// longitude and ellipsoidal height.
+///
+/// The positioning algorithms themselves work in [`Ecef`]; geodetic
+/// coordinates are needed by the atmospheric error models (Klobuchar takes
+/// geodetic latitude/longitude, Saastamoinen takes height) and for
+/// human-readable station descriptions.
+///
+/// # Example
+///
+/// ```
+/// use gps_geodesy::Geodetic;
+///
+/// let p = Geodetic::from_deg(45.0, 7.0, 250.0);
+/// let e = p.to_ecef();
+/// let back = Geodetic::from_ecef(e);
+/// assert!((back.latitude_deg() - 45.0).abs() < 1e-9);
+/// assert!((back.height() - 250.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Geodetic {
+    /// Geodetic latitude, radians, in `[-π/2, π/2]`.
+    lat: f64,
+    /// Longitude, radians, in `(-π, π]`.
+    lon: f64,
+    /// Height above the ellipsoid, metres.
+    height: f64,
+}
+
+impl Geodetic {
+    /// Creates a geodetic position from radians and metres.
+    #[must_use]
+    pub fn new(lat_rad: f64, lon_rad: f64, height_m: f64) -> Self {
+        Geodetic {
+            lat: lat_rad,
+            lon: lon_rad,
+            height: height_m,
+        }
+    }
+
+    /// Creates a geodetic position from degrees and metres.
+    #[must_use]
+    pub fn from_deg(lat_deg: f64, lon_deg: f64, height_m: f64) -> Self {
+        Geodetic::new(lat_deg.to_radians(), lon_deg.to_radians(), height_m)
+    }
+
+    /// Geodetic latitude in radians.
+    #[must_use]
+    pub fn latitude(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in radians.
+    #[must_use]
+    pub fn longitude(&self) -> f64 {
+        self.lon
+    }
+
+    /// Height above the ellipsoid in metres.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Geodetic latitude in degrees.
+    #[must_use]
+    pub fn latitude_deg(&self) -> f64 {
+        self.lat.to_degrees()
+    }
+
+    /// Longitude in degrees.
+    #[must_use]
+    pub fn longitude_deg(&self) -> f64 {
+        self.lon.to_degrees()
+    }
+
+    /// Converts to ECEF Cartesian coordinates (exact closed form).
+    #[must_use]
+    pub fn to_ecef(&self) -> Ecef {
+        let n = wgs84::prime_vertical_radius(self.lat);
+        let (slat, clat) = self.lat.sin_cos();
+        let (slon, clon) = self.lon.sin_cos();
+        Ecef {
+            x: (n + self.height) * clat * clon,
+            y: (n + self.height) * clat * slon,
+            z: (n * (1.0 - wgs84::ECCENTRICITY_SQ) + self.height) * slat,
+        }
+    }
+
+    /// Converts from ECEF using Bowring's method with iterative refinement.
+    ///
+    /// Accurate to well below a millimetre for any point from the Earth's
+    /// surface out past GPS orbital altitude.
+    #[must_use]
+    pub fn from_ecef(p: Ecef) -> Self {
+        let a = wgs84::SEMI_MAJOR_AXIS;
+        let b = wgs84::SEMI_MINOR_AXIS;
+        let e2 = wgs84::ECCENTRICITY_SQ;
+        let ep2 = wgs84::SECOND_ECCENTRICITY_SQ;
+
+        let rho = (p.x * p.x + p.y * p.y).sqrt();
+        let lon = p.y.atan2(p.x);
+
+        if rho < 1e-9 {
+            // On the polar axis: latitude is ±90°, height from |z|.
+            let lat = if p.z >= 0.0 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                -std::f64::consts::FRAC_PI_2
+            };
+            return Geodetic::new(lat, lon, p.z.abs() - b);
+        }
+
+        // Bowring's initial parametric latitude guess.
+        let mut beta = (p.z * a).atan2(rho * b);
+        let mut lat = 0.0;
+        for _ in 0..5 {
+            let (sb, cb) = beta.sin_cos();
+            lat = (p.z + ep2 * b * sb * sb * sb).atan2(rho - e2 * a * cb * cb * cb);
+            let new_beta = ((1.0 - wgs84::FLATTENING) * lat.sin()).atan2(lat.cos());
+            if (new_beta - beta).abs() < 1e-15 {
+                break;
+            }
+            beta = new_beta;
+        }
+
+        let (slat, clat) = lat.sin_cos();
+        let n = wgs84::prime_vertical_radius(lat);
+        // Use whichever projection is better conditioned.
+        let height = if clat.abs() > 0.1 {
+            rho / clat - n
+        } else {
+            p.z / slat - n * (1.0 - e2)
+        };
+        Geodetic::new(lat, lon, height)
+    }
+}
+
+impl fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6}°, {:.6}°, {:.3} m",
+            self.latitude_deg(),
+            self.longitude_deg(),
+            self.height
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn equator_prime_meridian() {
+        let p = Geodetic::from_deg(0.0, 0.0, 0.0).to_ecef();
+        assert_close(p.x, wgs84::SEMI_MAJOR_AXIS, 1e-9, "x");
+        assert_close(p.y, 0.0, 1e-9, "y");
+        assert_close(p.z, 0.0, 1e-9, "z");
+    }
+
+    #[test]
+    fn north_pole() {
+        let p = Geodetic::from_deg(90.0, 0.0, 0.0).to_ecef();
+        assert_close(p.z, wgs84::SEMI_MINOR_AXIS, 1e-8, "z");
+        assert!(p.x.abs() < 1e-8);
+        // Round trip at the pole exercises the axis special case.
+        let g = Geodetic::from_ecef(Ecef::new(0.0, 0.0, wgs84::SEMI_MINOR_AXIS + 100.0));
+        assert_close(g.latitude_deg(), 90.0, 1e-9, "lat");
+        assert_close(g.height(), 100.0, 1e-6, "height");
+        let s = Geodetic::from_ecef(Ecef::new(0.0, 0.0, -wgs84::SEMI_MINOR_AXIS));
+        assert_close(s.latitude_deg(), -90.0, 1e-9, "south lat");
+    }
+
+    #[test]
+    fn round_trip_surface_points() {
+        for &(lat, lon, h) in &[
+            (45.0, 7.0, 250.0),
+            (-33.9, 151.2, 20.0),
+            (64.9, -147.5, 180.0),
+            (5.4, -55.2, 10.0),
+            (0.0, 180.0, 0.0),
+            (-89.0, 10.0, 3000.0),
+            (89.9, -170.0, -50.0),
+        ] {
+            let g = Geodetic::from_deg(lat, lon, h);
+            let back = Geodetic::from_ecef(g.to_ecef());
+            assert_close(back.latitude_deg(), lat, 1e-9, "lat");
+            let lon_err = ((back.longitude_deg() - lon + 540.0) % 360.0) - 180.0;
+            assert!(lon_err.abs() < 1e-9, "lon {lon}");
+            assert_close(back.height(), h, 1e-6, "height");
+        }
+    }
+
+    #[test]
+    fn round_trip_at_gps_altitude() {
+        let g = Geodetic::from_deg(30.0, -100.0, 20_200_000.0);
+        let back = Geodetic::from_ecef(g.to_ecef());
+        assert_close(back.latitude_deg(), 30.0, 1e-9, "lat");
+        assert_close(back.height(), 20_200_000.0, 1e-5, "height");
+    }
+
+    #[test]
+    fn paper_station_coordinates_make_sense() {
+        // Table 5.1 station ECEF coordinates → plausible geography.
+        let cases = [
+            // SRZN: Suriname, ~5.4° N.
+            (Ecef::new(3_623_420.032, -5_214_015.434, 602_359.096), 5.0, 6.0),
+            // YYR1: Goose Bay, Canada, ~53.3° N.
+            (Ecef::new(1_885_341.558, -3_321_428.098, 5_091_171.168), 53.0, 54.0),
+            // FAI1: Fairbanks, Alaska, ~64.9° N.
+            (Ecef::new(-2_304_740.630, -1_448_716.218, 5_748_842.956), 64.0, 66.0),
+            // KYCP: ~37.3° N.
+            (Ecef::new(411_598.861, -5_060_514.896, 3_847_795.506), 37.0, 38.0),
+        ];
+        for (ecef, lat_min, lat_max) in cases {
+            let g = Geodetic::from_ecef(ecef);
+            assert!(
+                g.latitude_deg() > lat_min && g.latitude_deg() < lat_max,
+                "latitude {} outside [{lat_min}, {lat_max}]",
+                g.latitude_deg()
+            );
+            // Station heights should be within a few km of the ellipsoid.
+            assert!(g.height().abs() < 5_000.0, "height {}", g.height());
+        }
+    }
+
+    #[test]
+    fn display_contains_degrees() {
+        let g = Geodetic::from_deg(1.0, 2.0, 3.0);
+        assert!(g.to_string().contains('°'));
+    }
+}

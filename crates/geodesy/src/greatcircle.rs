@@ -1,0 +1,134 @@
+//! Great-circle (spherical) navigation utilities.
+//!
+//! Trajectory analysis and station bookkeeping occasionally need
+//! along-surface distances and bearings. These use the mean-Earth-radius
+//! spherical approximation (haversine), accurate to ~0.5 % — ample for
+//! simulation bookkeeping (position *solutions* stay in exact ECEF).
+
+use crate::wgs84::MEAN_EARTH_RADIUS;
+use crate::Geodetic;
+
+/// Surface (great-circle) distance between two geodetic points, metres,
+/// by the haversine formula on the mean-radius sphere.
+///
+/// # Example
+///
+/// ```
+/// use gps_geodesy::{great_circle_distance, Geodetic};
+///
+/// let turin = Geodetic::from_deg(45.07, 7.69, 0.0);
+/// let paris = Geodetic::from_deg(48.86, 2.35, 0.0);
+/// let d = great_circle_distance(turin, paris);
+/// assert!((d - 585_000.0).abs() < 10_000.0); // ≈ 585 km
+/// ```
+#[must_use]
+pub fn great_circle_distance(a: Geodetic, b: Geodetic) -> f64 {
+    let dlat = b.latitude() - a.latitude();
+    let dlon = b.longitude() - a.longitude();
+    let h = (dlat / 2.0).sin().powi(2)
+        + a.latitude().cos() * b.latitude().cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * MEAN_EARTH_RADIUS * h.sqrt().min(1.0).asin()
+}
+
+/// Initial bearing (forward azimuth) from `a` to `b`, radians clockwise
+/// from north, in `[0, 2π)`.
+#[must_use]
+pub fn initial_bearing(a: Geodetic, b: Geodetic) -> f64 {
+    let dlon = b.longitude() - a.longitude();
+    let y = dlon.sin() * b.latitude().cos();
+    let x = a.latitude().cos() * b.latitude().sin()
+        - a.latitude().sin() * b.latitude().cos() * dlon.cos();
+    let bearing = y.atan2(x);
+    if bearing < 0.0 {
+        bearing + std::f64::consts::TAU
+    } else {
+        bearing
+    }
+}
+
+/// The point reached by travelling `distance_m` from `start` along the
+/// given initial bearing (radians from north), on the mean-radius sphere.
+/// Height is carried through unchanged.
+#[must_use]
+pub fn destination(start: Geodetic, bearing_rad: f64, distance_m: f64) -> Geodetic {
+    let delta = distance_m / MEAN_EARTH_RADIUS;
+    let (sin_lat, cos_lat) = start.latitude().sin_cos();
+    let (sin_d, cos_d) = delta.sin_cos();
+    let lat2 = (sin_lat * cos_d + cos_lat * sin_d * bearing_rad.cos()).asin();
+    let lon2 = start.longitude()
+        + (bearing_rad.sin() * sin_d * cos_lat).atan2(cos_d - sin_lat * lat2.sin());
+    // Normalize longitude into (−π, π].
+    let lon2 = (lon2 + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
+        - std::f64::consts::PI;
+    Geodetic::new(lat2, lon2, start.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = Geodetic::from_deg(45.0, 7.0, 100.0);
+        assert_eq!(great_circle_distance(p, p), 0.0);
+    }
+
+    #[test]
+    fn equator_degree_is_about_111_km() {
+        let a = Geodetic::from_deg(0.0, 0.0, 0.0);
+        let b = Geodetic::from_deg(0.0, 1.0, 0.0);
+        let d = great_circle_distance(a, b);
+        assert!((d - 111_195.0).abs() < 500.0, "d {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Geodetic::from_deg(52.0, 13.0, 0.0);
+        let b = Geodetic::from_deg(-33.9, 151.2, 0.0);
+        assert!((great_circle_distance(a, b) - great_circle_distance(b, a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = Geodetic::from_deg(10.0, 20.0, 0.0);
+        let b = Geodetic::from_deg(-10.0, -160.0, 0.0);
+        let d = great_circle_distance(a, b);
+        let half = std::f64::consts::PI * MEAN_EARTH_RADIUS;
+        assert!((d - half).abs() < 1_000.0, "d {d} vs {half}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = Geodetic::from_deg(0.0, 0.0, 0.0);
+        let north = Geodetic::from_deg(1.0, 0.0, 0.0);
+        let east = Geodetic::from_deg(0.0, 1.0, 0.0);
+        let south = Geodetic::from_deg(-1.0, 0.0, 0.0);
+        assert!(initial_bearing(origin, north).abs() < 1e-9);
+        assert!((initial_bearing(origin, east).to_degrees() - 90.0).abs() < 1e-9);
+        assert!((initial_bearing(origin, south).to_degrees() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = Geodetic::from_deg(45.0, 7.0, 250.0);
+        for bearing_deg in [0.0, 45.0, 133.0, 280.0] {
+            let bearing = f64::to_radians(bearing_deg);
+            let end = destination(start, bearing, 100_000.0);
+            assert!((great_circle_distance(start, end) - 100_000.0).abs() < 1.0);
+            let back = initial_bearing(start, end);
+            let diff = (back - bearing + std::f64::consts::PI)
+                .rem_euclid(std::f64::consts::TAU)
+                - std::f64::consts::PI;
+            assert!(diff.abs() < 1e-3, "bearing {bearing_deg}: diff {diff}");
+            assert_eq!(end.height(), 250.0);
+        }
+    }
+
+    #[test]
+    fn destination_crossing_dateline_normalizes() {
+        let start = Geodetic::from_deg(0.0, 179.5, 0.0);
+        let end = destination(start, 90f64.to_radians(), 200_000.0);
+        assert!(end.longitude_deg() <= 180.0);
+        assert!(end.longitude_deg() > -180.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! WGS-84 geodesy for the ICDCS 2010 GPS reproduction.
+//!
+//! The paper's positioning problem lives entirely in **ECEF** (Earth
+//! Centered, Earth Fixed) Cartesian coordinates — Table 5.1 gives the
+//! ground-truth station positions as ECEF triples, and the trilateration
+//! equations (3-1)–(3-4) are Euclidean distances in that frame. This crate
+//! provides:
+//!
+//! * [`Ecef`] — the Cartesian position/vector type;
+//! * [`Geodetic`] — latitude/longitude/height on the WGS-84 ellipsoid with
+//!   conversions in both directions (needed by the atmosphere models, which
+//!   are parameterized by geodetic latitude and by elevation angle);
+//! * [`Enu`] — East-North-Up local tangent frames, elevation and azimuth
+//!   (needed for visibility masks and elevation-dependent error models);
+//! * [`wgs84`] — ellipsoid and physical constants, including the speed of
+//!   light used to convert clock bias to range error (paper eq. 4-4).
+//!
+//! # Example
+//!
+//! ```
+//! use gps_geodesy::{Ecef, Geodetic};
+//!
+//! // Station SRZN from the paper's Table 5.1.
+//! let srzn = Ecef::new(3_623_420.032, -5_214_015.434, 602_359.096);
+//! let geo = Geodetic::from_ecef(srzn);
+//! assert!(geo.latitude_deg() > 5.0 && geo.latitude_deg() < 6.0);
+//! let back = geo.to_ecef();
+//! assert!(srzn.distance_to(back) < 1e-6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod ecef;
+mod enu;
+mod greatcircle;
+mod geodetic;
+pub mod wgs84;
+
+pub use ecef::Ecef;
+pub use enu::{Enu, LocalFrame};
+pub use greatcircle::{destination, great_circle_distance, initial_bearing};
+pub use geodetic::Geodetic;

@@ -1,0 +1,67 @@
+//! WGS-84 ellipsoid and physical constants.
+
+/// Speed of light in vacuum (m/s). Converts clock bias to range error:
+/// `ε̂ᴿ = c·Δt̂` (paper eq. 4-4).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// WGS-84 semi-major axis (equatorial radius), metres.
+pub const SEMI_MAJOR_AXIS: f64 = 6_378_137.0;
+
+/// WGS-84 flattening `f = (a − b) / a`.
+pub const FLATTENING: f64 = 1.0 / 298.257_223_563;
+
+/// WGS-84 semi-minor axis (polar radius), metres.
+pub const SEMI_MINOR_AXIS: f64 = SEMI_MAJOR_AXIS * (1.0 - FLATTENING);
+
+/// First eccentricity squared `e² = f(2 − f)`.
+pub const ECCENTRICITY_SQ: f64 = FLATTENING * (2.0 - FLATTENING);
+
+/// Second eccentricity squared `e'² = e² / (1 − e²)`.
+pub const SECOND_ECCENTRICITY_SQ: f64 = ECCENTRICITY_SQ / (1.0 - ECCENTRICITY_SQ);
+
+/// Earth's rotation rate (rad/s), IS-GPS-200 value.
+pub const EARTH_ROTATION_RATE: f64 = 7.292_115_146_7e-5;
+
+/// Earth's gravitational parameter μ = GM (m³/s²), IS-GPS-200 value.
+pub const EARTH_GRAVITATIONAL_PARAMETER: f64 = 3.986_005e14;
+
+/// Mean Earth radius (m), used by the Klobuchar ionospheric model.
+pub const MEAN_EARTH_RADIUS: f64 = 6_371_000.0;
+
+/// Prime vertical radius of curvature `N(φ)` at geodetic latitude `φ`
+/// (radians): the distance from the surface to the polar axis along the
+/// ellipsoid normal.
+#[must_use]
+pub fn prime_vertical_radius(lat_rad: f64) -> f64 {
+    let s = lat_rad.sin();
+    SEMI_MAJOR_AXIS / (1.0 - ECCENTRICITY_SQ * s * s).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ellipsoid_self_consistency() {
+        // b = a(1-f) ⇒ e² = 1 − (b/a)².
+        let ratio = SEMI_MINOR_AXIS / SEMI_MAJOR_AXIS;
+        assert!((ECCENTRICITY_SQ - (1.0 - ratio * ratio)).abs() < 1e-15);
+        assert!((SEMI_MINOR_AXIS - 6_356_752.314_245).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prime_vertical_radius_limits() {
+        // At the equator N = a; at the pole N = a / sqrt(1 − e²).
+        assert!((prime_vertical_radius(0.0) - SEMI_MAJOR_AXIS).abs() < 1e-9);
+        let polar = SEMI_MAJOR_AXIS / (1.0 - ECCENTRICITY_SQ).sqrt();
+        assert!((prime_vertical_radius(std::f64::consts::FRAC_PI_2) - polar).abs() < 1e-6);
+        // Monotonically increasing from equator to pole.
+        assert!(prime_vertical_radius(0.5) > prime_vertical_radius(0.1));
+    }
+
+    #[test]
+    fn second_eccentricity_relation() {
+        let expected = ECCENTRICITY_SQ / (1.0 - ECCENTRICITY_SQ);
+        assert!((SECOND_ECCENTRICITY_SQ - expected).abs() < 1e-18);
+    }
+}

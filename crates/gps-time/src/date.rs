@@ -1,0 +1,257 @@
+use std::error::Error;
+use std::fmt;
+
+/// A Gregorian calendar date (proleptic, year ≥ 1980).
+///
+/// Used to express dataset collection dates (paper Table 5.1). Conversion
+/// to the GPS time scale goes through the day count since the GPS epoch
+/// 1980-01-06.
+///
+/// # Example
+///
+/// ```
+/// use gps_time::Date;
+///
+/// # fn main() -> Result<(), gps_time::DateError> {
+/// let d = Date::new(2009, 8, 12)?;
+/// assert_eq!(d.to_string(), "2009/08/12");
+/// assert_eq!(d.days_since_gps_epoch(), 10_811);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: u16,
+    month: u8,
+    day: u8,
+}
+
+/// Error returned when constructing an invalid [`Date`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DateError {
+    /// Year before the GPS epoch year (1980).
+    YearBeforeGpsEpoch {
+        /// The offending year.
+        year: u16,
+    },
+    /// Month outside 1..=12.
+    InvalidMonth {
+        /// The offending month.
+        month: u8,
+    },
+    /// Day outside the valid range for the given month/year.
+    InvalidDay {
+        /// The offending day.
+        day: u8,
+    },
+    /// The date precedes 1980-01-06 (the GPS epoch).
+    BeforeGpsEpoch,
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DateError::YearBeforeGpsEpoch { year } => {
+                write!(f, "year {year} precedes the GPS epoch year 1980")
+            }
+            DateError::InvalidMonth { month } => write!(f, "month {month} is not in 1..=12"),
+            DateError::InvalidDay { day } => write!(f, "day {day} is invalid for this month"),
+            DateError::BeforeGpsEpoch => write!(f, "date precedes the GPS epoch 1980-01-06"),
+        }
+    }
+}
+
+impl Error for DateError {}
+
+/// Returns `true` for Gregorian leap years.
+fn is_leap_year(year: u16) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in the given month of the given year.
+fn days_in_month(year: u16, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month validated at construction"),
+    }
+}
+
+impl Date {
+    /// Creates a date, validating the calendar fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DateError`] if the year precedes 1980, the month is not in
+    /// `1..=12`, the day is invalid for the month, or the date precedes the
+    /// GPS epoch 1980-01-06.
+    pub fn new(year: u16, month: u8, day: u8) -> Result<Self, DateError> {
+        if year < 1980 {
+            return Err(DateError::YearBeforeGpsEpoch { year });
+        }
+        if !(1..=12).contains(&month) {
+            return Err(DateError::InvalidMonth { month });
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError::InvalidDay { day });
+        }
+        let d = Date { year, month, day };
+        if d.rata_die() < Date::GPS_EPOCH_RATA_DIE {
+            return Err(DateError::BeforeGpsEpoch);
+        }
+        Ok(d)
+    }
+
+    /// Year component.
+    #[must_use]
+    pub fn year(&self) -> u16 {
+        self.year
+    }
+
+    /// Month component (1..=12).
+    #[must_use]
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component.
+    #[must_use]
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Rata die of 1980-01-06 (computed with the same algorithm as
+    /// [`Date::rata_die`]).
+    const GPS_EPOCH_RATA_DIE: i64 = 723_431;
+
+    /// Days since 0001-01-01 (proleptic Gregorian, "rata die" convention,
+    /// day 1 = 0001-01-01).
+    fn rata_die(&self) -> i64 {
+        let y = i64::from(self.year);
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        // Standard civil-from-days inverse (Howard Hinnant's algorithm).
+        let y_adj = if m <= 2 { y - 1 } else { y };
+        let era = y_adj.div_euclid(400);
+        let yoe = y_adj - era * 400;
+        let mp = (m + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe + 306
+    }
+
+    /// Whole days elapsed since the GPS epoch 1980-01-06.
+    #[must_use]
+    pub fn days_since_gps_epoch(&self) -> i64 {
+        self.rata_die() - Date::GPS_EPOCH_RATA_DIE
+    }
+
+    /// Day of week with 0 = Sunday (the GPS week starts on Sunday).
+    #[must_use]
+    pub fn day_of_week(&self) -> u8 {
+        // 1980-01-06 was a Sunday.
+        (self.days_since_gps_epoch().rem_euclid(7)) as u8
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}/{:02}/{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gps_epoch_is_day_zero() {
+        let epoch = Date::new(1980, 1, 6).unwrap();
+        assert_eq!(epoch.days_since_gps_epoch(), 0);
+        assert_eq!(epoch.day_of_week(), 0); // Sunday
+    }
+
+    #[test]
+    fn known_day_counts() {
+        // 1980-01-07 is one day after the epoch.
+        assert_eq!(Date::new(1980, 1, 7).unwrap().days_since_gps_epoch(), 1);
+        // 1981-01-06 is 366 days later (1980 is a leap year).
+        assert_eq!(Date::new(1981, 1, 6).unwrap().days_since_gps_epoch(), 366);
+        // Paper dataset date: 2009-08-12.
+        let d = Date::new(2009, 8, 12).unwrap();
+        assert_eq!(d.days_since_gps_epoch(), 10_811);
+        // 2009-08-12 was a Wednesday.
+        assert_eq!(d.day_of_week(), 3);
+    }
+
+    #[test]
+    fn paper_dataset_dates_valid() {
+        for (y, m, d) in [(2009, 8, 12), (2009, 10, 23), (2009, 10, 29), (2009, 10, 10)] {
+            assert!(Date::new(y, m, d).is_ok(), "{y}/{m}/{d}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000)); // divisible by 400
+        assert!(!is_leap_year(1900)); // divisible by 100 only
+        assert!(is_leap_year(2008));
+        assert!(!is_leap_year(2009));
+        assert!(Date::new(2008, 2, 29).is_ok());
+        assert_eq!(
+            Date::new(2009, 2, 29).unwrap_err(),
+            DateError::InvalidDay { day: 29 }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        assert_eq!(
+            Date::new(1979, 6, 1).unwrap_err(),
+            DateError::YearBeforeGpsEpoch { year: 1979 }
+        );
+        assert_eq!(
+            Date::new(2009, 13, 1).unwrap_err(),
+            DateError::InvalidMonth { month: 13 }
+        );
+        assert_eq!(
+            Date::new(2009, 4, 31).unwrap_err(),
+            DateError::InvalidDay { day: 31 }
+        );
+        assert_eq!(
+            Date::new(2009, 4, 0).unwrap_err(),
+            DateError::InvalidDay { day: 0 }
+        );
+        // 1980-01-05 is one day before the GPS epoch.
+        assert_eq!(
+            Date::new(1980, 1, 5).unwrap_err(),
+            DateError::BeforeGpsEpoch
+        );
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::new(2009, 8, 12).unwrap();
+        let b = Date::new(2009, 10, 10).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Date::new(2009, 8, 2).unwrap().to_string(), "2009/08/02");
+    }
+
+    #[test]
+    fn month_lengths_cover_all_months() {
+        let lens: Vec<u8> = (1..=12).map(|m| days_in_month(2009, m)).collect();
+        assert_eq!(lens, vec![31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]);
+    }
+}

@@ -1,0 +1,180 @@
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A signed span of time in seconds (`f64`), the difference type of
+/// [`crate::GpsTime`].
+///
+/// # Example
+///
+/// ```
+/// use gps_time::Duration;
+///
+/// let d = Duration::from_minutes(2.0) + Duration::from_seconds(30.0);
+/// assert_eq!(d.as_seconds(), 150.0);
+/// assert_eq!((d / 2.0).as_seconds(), 75.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Duration {
+    seconds: f64,
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration { seconds: 0.0 };
+
+    /// Creates a duration from seconds.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        Duration { seconds }
+    }
+
+    /// Creates a duration from minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Duration {
+            seconds: minutes * 60.0,
+        }
+    }
+
+    /// Creates a duration from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Duration {
+            seconds: hours * 3_600.0,
+        }
+    }
+
+    /// Creates a duration from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Duration {
+            seconds: days * 86_400.0,
+        }
+    }
+
+    /// The span in seconds.
+    #[must_use]
+    pub fn as_seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// The span in minutes.
+    #[must_use]
+    pub fn as_minutes(&self) -> f64 {
+        self.seconds / 60.0
+    }
+
+    /// The span in hours.
+    #[must_use]
+    pub fn as_hours(&self) -> f64 {
+        self.seconds / 3_600.0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Duration {
+        Duration {
+            seconds: self.seconds.abs(),
+        }
+    }
+
+    /// Returns `true` for a strictly positive span.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.seconds > 0.0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.seconds)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            seconds: self.seconds + rhs.seconds,
+        }
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            seconds: self.seconds - rhs.seconds,
+        }
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, s: f64) -> Duration {
+        Duration {
+            seconds: self.seconds * s,
+        }
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+
+    fn div(self, s: f64) -> Duration {
+        Duration {
+            seconds: self.seconds / s,
+        }
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+
+    fn neg(self) -> Duration {
+        Duration {
+            seconds: -self.seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Duration::from_minutes(1.0).as_seconds(), 60.0);
+        assert_eq!(Duration::from_hours(1.0).as_minutes(), 60.0);
+        assert_eq!(Duration::from_days(1.0).as_hours(), 24.0);
+        assert_eq!(Duration::from_seconds(7_200.0).as_hours(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from_seconds(10.0);
+        let b = Duration::from_seconds(4.0);
+        assert_eq!((a + b).as_seconds(), 14.0);
+        assert_eq!((a - b).as_seconds(), 6.0);
+        assert_eq!((a * 3.0).as_seconds(), 30.0);
+        assert_eq!((a / 2.0).as_seconds(), 5.0);
+        assert_eq!((-a).as_seconds(), -10.0);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn predicates_and_ordering() {
+        assert!(Duration::from_seconds(1.0).is_positive());
+        assert!(!Duration::ZERO.is_positive());
+        assert!(!Duration::from_seconds(-1.0).is_positive());
+        assert!(Duration::from_seconds(1.0) < Duration::from_seconds(2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_seconds(1.5).to_string(), "1.500s");
+    }
+}

@@ -1,0 +1,280 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::{Date, Duration};
+
+/// Seconds in a GPS week.
+pub const SECONDS_PER_WEEK: f64 = 604_800.0;
+
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// An instant on the GPS time scale: week number plus seconds-of-week.
+///
+/// The representation is normalized so that `0 ≤ tow < 604 800`. GPS time
+/// has no leap seconds; differences are exact [`Duration`]s.
+///
+/// # Example
+///
+/// ```
+/// use gps_time::{Date, Duration, GpsTime};
+///
+/// # fn main() -> Result<(), gps_time::DateError> {
+/// let midnight = GpsTime::from_date(Date::new(2009, 10, 10)?);
+/// let one_hour_in = midnight + Duration::from_hours(1.0);
+/// assert_eq!(one_hour_in.seconds_of_day(), 3_600.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsTime {
+    week: i32,
+    /// Seconds into the week, in `[0, SECONDS_PER_WEEK)`.
+    tow: f64,
+}
+
+impl GpsTime {
+    /// The GPS epoch itself: week 0, second 0 (1980-01-06 00:00:00).
+    pub const EPOCH: GpsTime = GpsTime { week: 0, tow: 0.0 };
+
+    /// Creates a time from a week number and seconds-of-week, normalizing
+    /// out-of-range seconds into adjacent weeks.
+    #[must_use]
+    pub fn new(week: i32, tow: f64) -> Self {
+        let mut t = GpsTime { week, tow };
+        t.normalize();
+        t
+    }
+
+    /// Midnight (00:00:00 GPS) at the start of the given calendar date.
+    #[must_use]
+    pub fn from_date(date: Date) -> Self {
+        let days = date.days_since_gps_epoch();
+        let week = (days / 7) as i32;
+        let tow = (days % 7) as f64 * SECONDS_PER_DAY;
+        GpsTime { week, tow }
+    }
+
+    /// Total seconds since the GPS epoch.
+    #[must_use]
+    pub fn seconds_since_epoch(&self) -> f64 {
+        f64::from(self.week) * SECONDS_PER_WEEK + self.tow
+    }
+
+    /// Week number (can exceed 1023; no 10-bit rollover is applied).
+    #[must_use]
+    pub fn week(&self) -> i32 {
+        self.week
+    }
+
+    /// Seconds of week, in `[0, 604 800)`.
+    #[must_use]
+    pub fn seconds_of_week(&self) -> f64 {
+        self.tow
+    }
+
+    /// Seconds since the most recent midnight.
+    #[must_use]
+    pub fn seconds_of_day(&self) -> f64 {
+        self.tow % SECONDS_PER_DAY
+    }
+
+    /// Iterator over equally spaced epochs: `count` instants starting at
+    /// `self`, separated by `step`.
+    ///
+    /// This mirrors the paper's datasets: "for every second, all available
+    /// satellites' coordinates and pseudo-ranges are contained in one data
+    /// item" — i.e. `start.epochs(Duration::from_seconds(1.0), 86_400)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    #[must_use]
+    pub fn epochs(&self, step: Duration, count: usize) -> EpochIter {
+        assert!(step.is_positive(), "epoch step must be positive");
+        EpochIter {
+            next: *self,
+            step,
+            remaining: count,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.tow < 0.0 {
+            self.tow += SECONDS_PER_WEEK;
+            self.week -= 1;
+        }
+        while self.tow >= SECONDS_PER_WEEK {
+            self.tow -= SECONDS_PER_WEEK;
+            self.week += 1;
+        }
+    }
+}
+
+impl fmt::Display for GpsTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPS week {} tow {:.3}", self.week, self.tow)
+    }
+}
+
+impl PartialOrd for GpsTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.week.cmp(&other.week) {
+            Ordering::Equal => self.tow.partial_cmp(&other.tow),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl Add<Duration> for GpsTime {
+    type Output = GpsTime;
+
+    fn add(self, d: Duration) -> GpsTime {
+        GpsTime::new(self.week, self.tow + d.as_seconds())
+    }
+}
+
+impl AddAssign<Duration> for GpsTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Duration> for GpsTime {
+    type Output = GpsTime;
+
+    fn sub(self, d: Duration) -> GpsTime {
+        GpsTime::new(self.week, self.tow - d.as_seconds())
+    }
+}
+
+impl Sub for GpsTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: GpsTime) -> Duration {
+        Duration::from_seconds(
+            f64::from(self.week - rhs.week) * SECONDS_PER_WEEK + (self.tow - rhs.tow),
+        )
+    }
+}
+
+/// Iterator of equally spaced [`GpsTime`] epochs, created by
+/// [`GpsTime::epochs`].
+#[derive(Debug, Clone)]
+pub struct EpochIter {
+    next: GpsTime,
+    step: Duration,
+    remaining: usize,
+}
+
+impl Iterator for EpochIter {
+    type Item = GpsTime;
+
+    fn next(&mut self) -> Option<GpsTime> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = self.next;
+        self.next += self.step;
+        self.remaining -= 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for EpochIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_constants() {
+        assert_eq!(GpsTime::EPOCH.seconds_since_epoch(), 0.0);
+        assert_eq!(SECONDS_PER_WEEK, 7.0 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn normalization_forward_and_backward() {
+        let t = GpsTime::new(10, SECONDS_PER_WEEK + 5.0);
+        assert_eq!(t.week(), 11);
+        assert_eq!(t.seconds_of_week(), 5.0);
+        let u = GpsTime::new(10, -5.0);
+        assert_eq!(u.week(), 9);
+        assert_eq!(u.seconds_of_week(), SECONDS_PER_WEEK - 5.0);
+    }
+
+    #[test]
+    fn from_date_week_boundaries() {
+        // The epoch date is week 0, tow 0.
+        let epoch = GpsTime::from_date(Date::new(1980, 1, 6).unwrap());
+        assert_eq!(epoch, GpsTime::EPOCH);
+        // One week later.
+        let w1 = GpsTime::from_date(Date::new(1980, 1, 13).unwrap());
+        assert_eq!(w1.week(), 1);
+        assert_eq!(w1.seconds_of_week(), 0.0);
+        // Mid-week: Wednesday 2009-08-12 is day-of-week 3.
+        let d = GpsTime::from_date(Date::new(2009, 8, 12).unwrap());
+        assert_eq!(d.seconds_of_week(), 3.0 * SECONDS_PER_DAY);
+        // GPS week of 2009-08-12 is 1544.
+        assert_eq!(d.week(), 1544);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let t = GpsTime::new(100, 1_000.0);
+        let d = Duration::from_hours(200.0); // crosses a week boundary
+        let u = t + d;
+        assert_eq!(u - t, d);
+        assert_eq!(u - d, t);
+    }
+
+    #[test]
+    fn difference_across_weeks() {
+        let a = GpsTime::new(5, SECONDS_PER_WEEK - 1.0);
+        let b = GpsTime::new(6, 1.0);
+        assert_eq!((b - a).as_seconds(), 2.0);
+        assert_eq!((a - b).as_seconds(), -2.0);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = GpsTime::new(5, 100.0);
+        let b = GpsTime::new(5, 200.0);
+        let c = GpsTime::new(6, 0.0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn seconds_of_day_wraps() {
+        let t = GpsTime::new(0, 2.5 * SECONDS_PER_DAY);
+        assert_eq!(t.seconds_of_day(), 0.5 * SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn epoch_iterator_spacing_and_len() {
+        let t0 = GpsTime::EPOCH;
+        let epochs: Vec<GpsTime> = t0.epochs(Duration::from_seconds(30.0), 5).collect();
+        assert_eq!(epochs.len(), 5);
+        assert_eq!(epochs[0], t0);
+        assert_eq!((epochs[4] - epochs[0]).as_seconds(), 120.0);
+        let it = t0.epochs(Duration::from_seconds(1.0), 10);
+        assert_eq!(it.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn epoch_iterator_rejects_zero_step() {
+        let _ = GpsTime::EPOCH.epochs(Duration::ZERO, 3);
+    }
+
+    #[test]
+    fn display_mentions_week() {
+        let t = GpsTime::new(1544, 259_200.0);
+        assert!(t.to_string().contains("1544"));
+    }
+}

@@ -1,0 +1,32 @@
+//! GPS time scale for the ICDCS 2010 reproduction.
+//!
+//! GPS runs its own continuous time scale: no leap seconds, counted as a
+//! **week number** plus **seconds of week** (0 ≤ tow < 604 800), with the
+//! origin at the GPS epoch 1980-01-06 00:00:00. This crate provides
+//! [`GpsTime`] plus a small [`Duration`] type and a calendar converter used
+//! to express the paper's dataset collection dates (Table 5.1:
+//! 2009/08/12, 2009/10/23, 2009/10/29, 2009/10/10).
+//!
+//! # Example
+//!
+//! ```
+//! use gps_time::{Date, GpsTime, Duration};
+//!
+//! # fn main() -> Result<(), gps_time::DateError> {
+//! let t0 = GpsTime::from_date(Date::new(2009, 8, 12)?);
+//! let t1 = t0 + Duration::from_seconds(86_400.0);
+//! assert_eq!(t1 - t0, Duration::from_seconds(86_400.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod date;
+mod duration;
+mod gpstime;
+
+pub use date::{Date, DateError};
+pub use duration::Duration;
+pub use gpstime::{EpochIter, GpsTime, SECONDS_PER_DAY, SECONDS_PER_WEEK};

@@ -1,0 +1,332 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// This is the fast path for the normal equations of ordinary least squares
+/// (`AᵀA x = Aᵀb`, paper eq. 4-12) and for applying the inverse covariance
+/// in general least squares (`M⁻¹`, paper eq. 4-21): the covariance Ψ of
+/// eq. 4-26 is proven positive definite by the paper's Theorem 4.2, so
+/// Cholesky always applies there.
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{Cholesky, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&Vector::from_slice(&[6.0, 5.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor; entries above the diagonal are zero.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strict upper triangle is
+    /// assumed to mirror it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::EmptyDimension`] if `a` is 0×0.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            // Below-diagonal entries of column j.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> crate::Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky solve",
+            });
+        }
+        // Forward: L y = b.
+        let mut y = b.clone();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> crate::Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "cholesky solve_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let x = self.solve(&b.col(c))?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Cholesky::solve_matrix`]; cannot fail in
+    /// practice for a successfully constructed factorization.
+    pub fn inverse(&self) -> crate::Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Solves the triangular system `L y = b` only (a *whitening*
+    /// half-solve).
+    ///
+    /// If `M = L Lᵀ` is an error covariance, `L⁻¹ A` and `L⁻¹ b` transform a
+    /// generalized least-squares problem into an ordinary one — the standard
+    /// reduction used by [`crate::lstsq::gls`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &Vector) -> crate::Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "cholesky solve_lower",
+            });
+        }
+        let mut y = b.clone();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Applies `L⁻¹` to every column of `b` (matrix version of
+    /// [`Cholesky::solve_lower`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> crate::Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "cholesky solve_lower_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let y = self.solve_lower(&b.col(c))?;
+            for r in 0..n {
+                out[(r, c)] = y[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Log-determinant of `A` (`2 · Σ log L[i][i]`), numerically stable for
+    /// large dimensions.
+    #[must_use]
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, 2.0], &[3.0, 0.0, 1.0]]).unwrap();
+        &b.gram() + &Matrix::identity(3)
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.l();
+        let reconstructed = l.matmul(&l.transpose()).unwrap();
+        assert!((&reconstructed - &a).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let l = chol.l();
+        for r in 0..3 {
+            for c in (r + 1)..3 {
+                assert_eq!(l[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd3();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let x_chol = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        assert!((&x_chol - &x_lu).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert_eq!(
+            Cholesky::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::EmptyDimension
+        );
+        let mut m = Matrix::identity(2);
+        m[(1, 1)] = f64::INFINITY;
+        assert_eq!(Cholesky::new(&m).unwrap_err(), LinalgError::NonFinite);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn whitening_half_solve() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -1.0, 0.5]);
+        let y = chol.solve_lower(&b).unwrap();
+        // L y should equal b.
+        let ly = chol.l().matvec(&y).unwrap();
+        assert!((&ly - &b).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn whitened_gram_is_identity() {
+        // L⁻¹ A (L⁻¹)ᵀ = I when A = L Lᵀ.
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let w = chol.solve_lower_matrix(&a).unwrap(); // L⁻¹ A = Lᵀ
+        let lt = chol.l().transpose();
+        assert!((&w - &lt).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn log_determinant_matches_lu() {
+        let a = spd3();
+        let chol_ld = Cholesky::new(&a).unwrap().log_determinant();
+        let lu_det = crate::LuDecomposition::new(&a).unwrap().determinant();
+        assert!((chol_ld - lu_det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let chol = Cholesky::new(&Matrix::identity(2)).unwrap();
+        assert!(chol.solve(&Vector::zeros(3)).is_err());
+        assert!(chol.solve_lower(&Vector::zeros(1)).is_err());
+        assert!(chol.solve_matrix(&Matrix::zeros(3, 2)).is_err());
+        assert!(chol.solve_lower_matrix(&Matrix::zeros(3, 2)).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+use crate::{LinalgError, Matrix};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Jacobi rotation is the method of choice for the small symmetric
+/// matrices this workspace produces (Gram matrices, DOP cofactors, DLG
+/// covariances): unconditionally convergent, and accurate to machine
+/// precision for well-separated and clustered eigenvalues alike.
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{Matrix, SymmetricEigen};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// let mut vals = eig.eigenvalues().to_vec();
+/// vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Columns are the corresponding orthonormal eigenvectors.
+    eigenvectors: Matrix,
+}
+
+/// Off-diagonal Frobenius mass below which the iteration stops.
+const CONVERGENCE_TOL: f64 = 1e-14;
+
+/// Sweep cap; Jacobi converges quadratically, ~8 sweeps suffice for any
+/// double-precision matrix of the sizes used here.
+const MAX_SWEEPS: usize = 50;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Only the lower triangle is read; the strict upper triangle is
+    /// assumed to mirror it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::EmptyDimension`] if `a` is 0×0.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        // Symmetrize from the lower triangle.
+        let mut work = Matrix::from_fn(n, n, |r, c| if r >= c { a[(r, c)] } else { a[(c, r)] });
+        let mut v = Matrix::identity(n);
+        let scale = work.norm_max().max(f64::MIN_POSITIVE);
+
+        for _sweep in 0..MAX_SWEEPS {
+            // Off-diagonal mass.
+            let mut off = 0.0;
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    off += work[(r, c)] * work[(r, c)];
+                }
+            }
+            if off.sqrt() <= CONVERGENCE_TOL * scale {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = work[(p, q)];
+                    if apq.abs() <= f64::MIN_POSITIVE {
+                        continue;
+                    }
+                    let app = work[(p, p)];
+                    let aqq = work[(q, q)];
+                    // Rotation angle: tan(2θ) = 2apq / (app − aqq).
+                    let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                    let (s, c) = theta.sin_cos();
+                    // Apply Jᵀ A J on rows/cols p and q.
+                    for k in 0..n {
+                        let akp = work[(k, p)];
+                        let akq = work[(k, q)];
+                        work[(k, p)] = c * akp + s * akq;
+                        work[(k, q)] = -s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = work[(p, k)];
+                        let aqk = work[(q, k)];
+                        work[(p, k)] = c * apk + s * aqk;
+                        work[(q, k)] = -s * apk + c * aqk;
+                    }
+                    // Accumulate eigenvectors: V ← V J.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp + s * vkq;
+                        v[(k, q)] = -s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let eigenvalues = (0..n).map(|i| work[(i, i)]).collect();
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors: v,
+        })
+    }
+
+    /// The eigenvalues, in the order matching [`SymmetricEigen::eigenvectors`]
+    /// columns (not sorted).
+    #[must_use]
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The orthonormal eigenvector matrix (eigenvectors as columns).
+    #[must_use]
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Largest eigenvalue.
+    #[must_use]
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.eigenvalues.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Smallest eigenvalue.
+    #[must_use]
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.eigenvalues.iter().fold(f64::INFINITY, |m, &x| m.min(x))
+    }
+
+    /// Spectral (2-norm) condition number `|λ|max / |λ|min`; infinite for
+    /// a singular matrix.
+    #[must_use]
+    pub fn condition_number(&self) -> f64 {
+        let max_abs = self.eigenvalues.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let min_abs = self
+            .eigenvalues
+            .iter()
+            .fold(f64::INFINITY, |m, &x| m.min(x.abs()));
+        if min_abs == 0.0 {
+            f64::INFINITY
+        } else {
+            max_abs / min_abs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd4() -> Matrix {
+        let b = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0, 1.0],
+            &[0.0, 1.0, 3.0, -1.0],
+            &[2.0, 0.5, 1.0, 0.0],
+            &[1.0, 1.0, 1.0, 2.0],
+            &[0.0, -1.0, 0.5, 1.5],
+        ])
+        .unwrap();
+        b.gram()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let d = Matrix::from_diagonal(&[3.0, -1.0, 7.0]);
+        let eig = SymmetricEigen::new(&d).unwrap();
+        let mut vals = eig.eigenvalues().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![-1.0, 3.0, 7.0]);
+        assert_eq!(eig.max_eigenvalue(), 7.0);
+        assert_eq!(eig.min_eigenvalue(), -1.0);
+        assert_eq!(eig.condition_number(), 7.0);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let a = spd4();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let v = eig.eigenvectors();
+        let lambda = Matrix::from_diagonal(eig.eigenvalues());
+        let rec = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        let err = (&rec - &a).norm_max() / a.norm_max();
+        assert!(err < 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let eig = SymmetricEigen::new(&spd4()).unwrap();
+        let v = eig.eigenvectors();
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!((&vtv - &Matrix::identity(4)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = spd4();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for (i, &lambda) in eig.eigenvalues().iter().enumerate() {
+            let x = eig.eigenvectors().col(i);
+            let ax = a.matvec(&x).unwrap();
+            let lx = x.scaled(lambda);
+            assert!(
+                (&ax - &lx).norm_inf() < 1e-10 * a.norm_max(),
+                "eigenpair {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_and_determinant_invariants() {
+        let a = spd4();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert!((trace - sum).abs() < 1e-10 * trace.abs());
+        let det = a.determinant().unwrap();
+        let prod: f64 = eig.eigenvalues().iter().product();
+        assert!((det - prod).abs() < 1e-8 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn spd_eigenvalues_positive_and_match_cholesky_conditioning() {
+        let a = spd4();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.min_eigenvalue() > 0.0);
+        assert!(eig.condition_number() >= 1.0);
+    }
+
+    #[test]
+    fn indefinite_matrix_has_mixed_signs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.min_eigenvalue() < 0.0);
+        assert!(eig.max_eigenvalue() > 0.0);
+    }
+
+    #[test]
+    fn singular_matrix_infinite_condition() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        // One eigenvalue is 0 (numerically tiny), condition → huge.
+        assert!(eig.condition_number() > 1e12);
+    }
+
+    #[test]
+    fn only_lower_triangle_is_read() {
+        let mut a = spd4();
+        a[(0, 3)] = 999.0; // poison the upper triangle
+        let clean = SymmetricEigen::new(&spd4()).unwrap();
+        let poisoned = SymmetricEigen::new(&a).unwrap();
+        let mut v1 = clean.eigenvalues().to_vec();
+        let mut v2 = poisoned.eigenvalues().to_vec();
+        v1.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        v2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (a, b) in v1.iter().zip(&v2) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+        let mut m = Matrix::identity(2);
+        m[(0, 0)] = f64::NAN;
+        assert!(SymmetricEigen::new(&m).is_err());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[5.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[5.0]);
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries the shapes `(rows, cols)` of the left and right operand.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factored or inverted.
+    Singular,
+    /// Cholesky factorization was attempted on a matrix that is not
+    /// (numerically) symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot where positive-definiteness failed.
+        pivot: usize,
+    },
+    /// A least-squares system had fewer rows than columns.
+    Underdetermined {
+        /// Number of rows (equations).
+        rows: usize,
+        /// Number of columns (unknowns).
+        cols: usize,
+    },
+    /// A dimension argument was zero where a positive size is required.
+    EmptyDimension,
+    /// An input contained a NaN or infinite entry.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite { pivot } => write!(
+                f,
+                "matrix is not positive definite (failed at pivot {pivot})"
+            ),
+            LinalgError::Underdetermined { rows, cols } => write!(
+                f,
+                "least-squares system is under-determined: {rows} equations, {cols} unknowns"
+            ),
+            LinalgError::EmptyDimension => write!(f, "dimension must be positive"),
+            LinalgError::NonFinite => write!(f, "input contains a non-finite value"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            LinalgError::ShapeMismatch {
+                left: (2, 3),
+                right: (4, 5),
+                op: "mul",
+            },
+            LinalgError::NotSquare { shape: (2, 3) },
+            LinalgError::Singular,
+            LinalgError::NotPositiveDefinite { pivot: 1 },
+            LinalgError::Underdetermined { rows: 2, cols: 3 },
+            LinalgError::EmptyDimension,
+            LinalgError::NonFinite,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

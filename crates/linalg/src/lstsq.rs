@@ -1,0 +1,458 @@
+//! High-level least-squares solvers.
+//!
+//! Three estimators, matching the paper's terminology:
+//!
+//! * [`ols`] — **Ordinary Least Squares** `x = (AᵀA)⁻¹ Aᵀ b` (paper
+//!   eq. 4-12), optimal when residual errors are zero-mean, homoscedastic
+//!   and *uncorrelated* (paper eq. 3-33/3-34/3-35).
+//! * [`wls`] — **Weighted Least Squares** with a diagonal weight matrix,
+//!   the common special case of GLS.
+//! * [`gls`] — **General Least Squares** `x = (AᵀM⁻¹A)⁻¹ AᵀM⁻¹ b` (paper
+//!   eq. 4-21), optimal whenever the error covariance `M = σ²Ω` is known up
+//!   to scale with `Ω` positive definite (paper eq. 4-23/4-24) — exactly
+//!   the situation Theorem 4.2 establishes for the direct-linearization
+//!   system.
+//!
+//! Implementation notes: the default paths solve the (whitened) normal
+//! equations through Cholesky — the matrices involved are tiny (`m ≤ ~12`
+//! satellites) and well-conditioned, so this is both the fastest and the
+//! most faithful rendering of what the paper's formulas prescribe.
+//! [`ols_qr`] offers a Householder-QR alternative for the linalg-path
+//! ablation and for ill-conditioned geometry.
+
+use crate::{Cholesky, LinalgError, Matrix, QrDecomposition, Vector};
+
+/// Validates common least-squares preconditions.
+fn check_system(a: &Matrix, b: &Vector, op: &'static str) -> crate::Result<()> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyDimension);
+    }
+    if m < n {
+        return Err(LinalgError::Underdetermined { rows: m, cols: n });
+    }
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (b.len(), 1),
+            op,
+        });
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Ordinary least squares: minimizes `‖A x − b‖₂` via the normal equations
+/// `(AᵀA) x = Aᵀ b` solved by Cholesky.
+///
+/// This is the literal implementation of the paper's eq. 4-12
+/// `Xᵉ = (AᵀA)⁻¹ Aᵀ Dᵉ` (without materializing the inverse).
+///
+/// # Errors
+///
+/// * [`LinalgError::Underdetermined`] if `a` has fewer rows than columns.
+/// * [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+/// * [`LinalgError::NonFinite`] on NaN/∞ input.
+/// * [`LinalgError::NotPositiveDefinite`] if `a` is rank-deficient.
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{lstsq, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let b = Vector::from_slice(&[6.0, 9.0, 12.0]);
+/// let x = lstsq::ols(&a, &b)?; // intercept 3, slope 3
+/// assert!((x[0] - 3.0).abs() < 1e-10);
+/// assert!((x[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ols(a: &Matrix, b: &Vector) -> crate::Result<Vector> {
+    // Three-unknown systems (the direct-linearization shape) take the
+    // allocation-free specialized path; identical mathematics.
+    if a.cols() == 3 && a.rows() >= 3 {
+        let x = ols3(a, b)?;
+        return Ok(Vector::from_slice(&x));
+    }
+    check_system(a, b, "ols")?;
+    let gram = a.gram();
+    let rhs = a.transpose_matvec(b)?;
+    Cholesky::new(&gram)?.solve(&rhs)
+}
+
+/// Ordinary least squares specialized to **three unknowns**: forms the
+/// 3×3 normal equations with scalar accumulators and solves by Cramer's
+/// rule — no heap allocation, no factorization loop.
+///
+/// This is the paper's §6 third extension ("optimize the matrix
+/// operations in the context of our problem") applied to the DLO hot
+/// path: the direct linearization always produces exactly 3 columns, so
+/// the general machinery can be bypassed. Results agree with [`ols`] to
+/// rounding.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`]; rank deficiency surfaces as
+/// [`LinalgError::Singular`].
+pub fn ols3(a: &Matrix, b: &Vector) -> crate::Result<[f64; 3]> {
+    let (m, n) = a.shape();
+    if n != 3 {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (m, 3),
+            op: "ols3",
+        });
+    }
+    check_system(a, b, "ols3")?;
+    // Accumulate AᵀA (symmetric) and Aᵀb.
+    let (mut g00, mut g01, mut g02, mut g11, mut g12, mut g22) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut c0, mut c1, mut c2) = (0.0, 0.0, 0.0);
+    for r in 0..m {
+        let row = a.row(r);
+        let (x, y, z) = (row[0], row[1], row[2]);
+        let w = b[r];
+        g00 += x * x;
+        g01 += x * y;
+        g02 += x * z;
+        g11 += y * y;
+        g12 += y * z;
+        g22 += z * z;
+        c0 += x * w;
+        c1 += y * w;
+        c2 += z * w;
+    }
+    // Cramer's rule on the symmetric 3×3 system.
+    let det = g00 * (g11 * g22 - g12 * g12) - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02);
+    let scale = [g00, g11, g22].into_iter().fold(0.0f64, f64::max);
+    if det.abs() <= 1e-13 * scale * scale * scale.max(f64::MIN_POSITIVE) {
+        return Err(LinalgError::Singular);
+    }
+    let x0 = (c0 * (g11 * g22 - g12 * g12) - g01 * (c1 * g22 - g12 * c2)
+        + g02 * (c1 * g12 - g11 * c2))
+        / det;
+    let x1 = (g00 * (c1 * g22 - c2 * g12) - c0 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * c2 - c1 * g02))
+        / det;
+    let x2 = (g00 * (g11 * c2 - g12 * c1) - g01 * (g01 * c2 - c1 * g02)
+        + c0 * (g01 * g12 - g11 * g02))
+        / det;
+    Ok([x0, x1, x2])
+}
+
+/// Ordinary least squares solved through Householder QR instead of the
+/// normal equations.
+///
+/// Numerically more robust than [`ols`] when `A` is ill-conditioned (the
+/// normal equations square the condition number); used by the
+/// `ablation_linalg_path` benchmark, and a sensible choice under degenerate
+/// satellite geometry.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`] (rank deficiency surfaces as
+/// [`LinalgError::Singular`]).
+pub fn ols_qr(a: &Matrix, b: &Vector) -> crate::Result<Vector> {
+    check_system(a, b, "ols_qr")?;
+    QrDecomposition::new(a)?.solve_least_squares(b)
+}
+
+/// Weighted least squares: minimizes `Σ wᵢ (A x − b)ᵢ²` for positive
+/// weights `w`.
+///
+/// Equivalent to [`gls`] with `M = diag(1/w)`, but avoids the dense
+/// factorization of `M`.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`], plus [`LinalgError::NotPositiveDefinite`]
+/// (pivot 0) if any weight is non-positive, and
+/// [`LinalgError::ShapeMismatch`] if `weights.len() != a.rows()`.
+pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
+    check_system(a, b, "wls")?;
+    let (m, n) = a.shape();
+    if weights.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (weights.len(), 1),
+            op: "wls weights",
+        });
+    }
+    if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+        return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+    }
+    // Scale each row of A and entry of b by sqrt(w), then run OLS.
+    let aw = Matrix::from_fn(m, n, |r, c| a[(r, c)] * weights[r].sqrt());
+    let bw = Vector::from_fn(m, |r| b[r] * weights[r].sqrt());
+    ols(&aw, &bw)
+}
+
+/// General least squares: minimizes `(A x − b)ᵀ M⁻¹ (A x − b)` for a
+/// symmetric positive-definite error covariance `M`.
+///
+/// This is the paper's eq. 4-21, `Xᵉ = (AᵀM⁻¹A)⁻¹ AᵀM⁻¹ Dᵉ`, implemented by
+/// *whitening*: factor `M = L Lᵀ`, transform `Ã = L⁻¹A`, `b̃ = L⁻¹b`, and
+/// solve the ordinary problem `min ‖Ã x − b̃‖₂`. The two formulations are
+/// algebraically identical; whitening does one triangular solve per column
+/// instead of a full inverse and keeps conditioning in check.
+///
+/// # Errors
+///
+/// * All conditions of [`ols`].
+/// * [`LinalgError::ShapeMismatch`] if `m.rows() != a.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if `m` is not SPD (the paper's
+///   Theorem 4.2 guarantees the DLG covariance Ψ is SPD, so this signals a
+///   caller bug).
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{lstsq, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0], &[1.0]])?;
+/// let b = Vector::from_slice(&[1.0, 3.0]);
+/// // Second observation has 4x the variance: estimate leans toward 1.
+/// let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 4.0]])?;
+/// let x = lstsq::gls(&a, &b, &m)?;
+/// assert!((x[0] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gls(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
+    check_system(a, b, "gls")?;
+    if m.rows() != a.rows() || m.cols() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: m.shape(),
+            op: "gls covariance",
+        });
+    }
+    let chol = Cholesky::new(m)?;
+    let a_w = chol.solve_lower_matrix(a)?;
+    let b_w = chol.solve_lower(b)?;
+    ols(&a_w, &b_w)
+}
+
+/// General least squares computed exactly as the paper's eq. 4-21 writes
+/// it: `x = (AᵀM⁻¹A)⁻¹ AᵀM⁻¹ b` with an explicit `M⁻¹`.
+///
+/// Mathematically identical to [`gls`] but does strictly more work
+/// (a dense `(m−1)×(m−1)` inverse). Kept as a faithful-to-the-text variant
+/// and exercised by the `ablation_linalg_path` benchmark to quantify what
+/// the paper's §6 "optimize the matrix operations" extension would buy.
+///
+/// # Errors
+///
+/// Same conditions as [`gls`].
+pub fn gls_explicit_inverse(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
+    check_system(a, b, "gls_explicit_inverse")?;
+    if m.rows() != a.rows() || m.cols() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: m.shape(),
+            op: "gls covariance",
+        });
+    }
+    let m_inv = Cholesky::new(m)?.inverse()?;
+    let at = a.transpose();
+    let at_minv = at.matmul(&m_inv)?;
+    let lhs = at_minv.matmul(a)?; // AᵀM⁻¹A
+    let rhs = at_minv.matvec(b)?; // AᵀM⁻¹b
+    Cholesky::new(&lhs)?.solve(&rhs)
+}
+
+/// Residual vector `b − A x` for a candidate solution.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on incompatible shapes.
+pub fn residual(a: &Matrix, b: &Vector, x: &Vector) -> crate::Result<Vector> {
+    let ax = a.matvec(x)?;
+    b.check_same_len(&ax, "residual")?;
+    Ok(b - &ax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall_system() -> (Matrix, Vector) {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0],
+            &[2.0, -1.0, 1.0],
+            &[0.5, 0.5, 2.0],
+        ])
+        .unwrap();
+        let x_true = Vector::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.matvec(&x_true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn ols_recovers_exact_solution() {
+        let (a, b) = tall_system();
+        let x = ols(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!((x[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ols3_agrees_with_general_ols() {
+        let (a, mut b) = tall_system();
+        b[0] += 0.7;
+        b[2] -= 1.3;
+        let general = ols(&a, &b).unwrap();
+        let fast = ols3(&a, &b).unwrap();
+        for k in 0..3 {
+            assert!((fast[k] - general[k]).abs() < 1e-9, "x[{k}]");
+        }
+    }
+
+    #[test]
+    fn ols3_rejects_wrong_width_and_singular() {
+        let a2 = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        assert!(matches!(
+            ols3(&a2, &Vector::zeros(3)).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        // Rank-deficient: second column is twice the first.
+        let dep = Matrix::from_fn(4, 3, |r, c| match c {
+            0 => (r + 1) as f64,
+            1 => 2.0 * (r + 1) as f64,
+            _ => (r * r) as f64,
+        });
+        assert_eq!(
+            ols3(&dep, &Vector::zeros(4)).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn ols_qr_agrees_with_ols() {
+        let (a, mut b) = tall_system();
+        // Perturb so the system is inconsistent.
+        b[0] += 0.7;
+        b[3] -= 0.3;
+        let x1 = ols(&a, &b).unwrap();
+        let x2 = ols_qr(&a, &b).unwrap();
+        assert!((&x1 - &x2).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn ols_residual_is_orthogonal_to_columns() {
+        let (a, mut b) = tall_system();
+        b[1] += 1.0;
+        let x = ols(&a, &b).unwrap();
+        let r = residual(&a, &b, &x).unwrap();
+        let atr = a.transpose_matvec(&r).unwrap();
+        assert!(atr.norm_inf() < 1e-9, "Aᵀr = {atr:?}");
+    }
+
+    #[test]
+    fn gls_with_identity_equals_ols() {
+        let (a, mut b) = tall_system();
+        b[2] -= 0.5;
+        let x_ols = ols(&a, &b).unwrap();
+        let x_gls = gls(&a, &b, &Matrix::identity(5)).unwrap();
+        assert!((&x_ols - &x_gls).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn gls_explicit_matches_whitened() {
+        let (a, mut b) = tall_system();
+        b[0] += 2.0;
+        // A valid SPD covariance with correlation, like the paper's Ψ.
+        let m = Matrix::from_fn(5, 5, |r, c| if r == c { 2.0 } else { 1.0 });
+        let x1 = gls(&a, &b, &m).unwrap();
+        let x2 = gls_explicit_inverse(&a, &b, &m).unwrap();
+        assert!((&x1 - &x2).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn wls_equals_gls_with_diagonal_covariance() {
+        let (a, mut b) = tall_system();
+        b[4] += 1.5;
+        let weights = [1.0, 2.0, 0.5, 4.0, 1.0];
+        let x_wls = wls(&a, &b, &weights).unwrap();
+        let m = Matrix::from_diagonal(&weights.map(|w| 1.0 / w));
+        let x_gls = gls(&a, &b, &m).unwrap();
+        assert!((&x_wls - &x_gls).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn wls_downweights_outlier() {
+        // y = const model; one wild observation with tiny weight.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let b = Vector::from_slice(&[10.0, 10.0, 1000.0]);
+        let x = wls(&a, &b, &[1.0, 1.0, 1e-9]).unwrap();
+        assert!((x[0] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wls_rejects_bad_weights() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let b = Vector::zeros(2);
+        assert!(wls(&a, &b, &[1.0]).is_err());
+        assert!(wls(&a, &b, &[1.0, 0.0]).is_err());
+        assert!(wls(&a, &b, &[1.0, -1.0]).is_err());
+        assert!(wls(&a, &b, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn gls_is_blue_for_correlated_noise() {
+        // With strongly correlated errors, GLS with the true covariance must
+        // not do worse (in exact arithmetic, on average) — here we check the
+        // deterministic property that GLS reproduces an exact solution and
+        // differs from OLS on an inconsistent one.
+        let (a, mut b) = tall_system();
+        let m = Matrix::from_fn(5, 5, |r, c| if r == c { 3.0 } else { 2.0 });
+        let x_exact = gls(&a, &b, &m).unwrap();
+        assert!((x_exact[2] - 3.0).abs() < 1e-9);
+        b[0] += 1.0;
+        let x_gls = gls(&a, &b, &m).unwrap();
+        let x_ols = ols(&a, &b).unwrap();
+        assert!((&x_gls - &x_ols).norm_inf() > 1e-6);
+    }
+
+    #[test]
+    fn solvers_reject_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        let b = Vector::zeros(2);
+        assert!(matches!(
+            ols(&a, &b).unwrap_err(),
+            LinalgError::Underdetermined { .. }
+        ));
+        assert!(ols_qr(&a, &b).is_err());
+        assert!(gls(&a, &b, &Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn solvers_reject_shape_mismatch_and_nonfinite() {
+        let a = Matrix::identity(3);
+        assert!(ols(&a, &Vector::zeros(2)).is_err());
+        let b = Vector::from_slice(&[1.0, f64::NAN, 0.0]);
+        assert_eq!(ols(&a, &b).unwrap_err(), LinalgError::NonFinite);
+        // Covariance of wrong size.
+        assert!(gls(&a, &Vector::zeros(3), &Matrix::identity(2)).is_err());
+        assert!(gls_explicit_inverse(&a, &Vector::zeros(3), &Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn gls_rejects_indefinite_covariance() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let b = Vector::zeros(2);
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            gls(&a, &b, &m).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+}

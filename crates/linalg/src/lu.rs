@@ -1,0 +1,312 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU decomposition with partial (row) pivoting: `P·A = L·U`.
+///
+/// The decomposition is computed once and can then solve any number of
+/// right-hand sides, compute the inverse, or the determinant. This is the
+/// general-purpose square solver used by the Newton–Raphson baseline when
+/// the system is exactly determined (`m = 4` satellites, paper eq. 3-26) and
+/// by the GLS path to apply `M⁻¹` (paper eq. 4-21).
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{LuDecomposition, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&Vector::from_slice(&[3.0, 5.0]))?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: strictly-lower part holds L (unit diagonal
+    /// implied), upper part (incl. diagonal) holds U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by the determinant.
+    perm_sign: f64,
+}
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::EmptyDimension`] if `a` is 0×0.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    /// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k (rows
+            // k..n) to the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= SINGULARITY_TOL * scale {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> crate::Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu solve",
+            });
+        }
+        // Apply permutation, then forward-substitute L y = P b.
+        let mut y = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 1..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back-substitute U x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side (column by column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> crate::Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "lu solve_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let x = self.solve(&b.col(c))?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve_matrix`]; in practice
+    /// this cannot fail for a successfully constructed decomposition.
+    pub fn inverse(&self) -> crate::Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix (product of U's diagonal times the
+    /// permutation sign).
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Rough reciprocal condition estimate `1 / (‖A‖∞ · ‖A⁻¹‖∞)`.
+    ///
+    /// Useful to detect near-degenerate satellite geometry before trusting a
+    /// solution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::inverse`].
+    pub fn rcond_estimate(&self, a: &Matrix) -> crate::Result<f64> {
+        let inv = self.inverse()?;
+        let denom = a.norm_inf() * inv.norm_inf();
+        Ok(if denom == 0.0 { 0.0 } else { 1.0 / denom })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(a: &Matrix, b: &Vector) -> Vector {
+        LuDecomposition::new(a).unwrap().solve(b).unwrap()
+    }
+
+    #[test]
+    fn solves_known_3x3() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]).unwrap();
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        let x = solve(&a, &b);
+        // Verify A x == b.
+        let r = &a.matvec(&x).unwrap() - &b;
+        assert!(r.norm_inf() < 1e-12, "residual {}", r.norm_inf());
+        assert!((x[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let b = Vector::from_slice(&[2.0, 3.0]);
+        let x = solve(&a, &b);
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_non_square_empty_nonfinite() {
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert_eq!(
+            LuDecomposition::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::EmptyDimension
+        );
+        let mut m = Matrix::identity(2);
+        m[(0, 0)] = f64::NAN;
+        assert_eq!(
+            LuDecomposition::new(&m).unwrap_err(),
+            LinalgError::NonFinite
+        );
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - (-14.0)).abs() < 1e-12);
+        // Identity has determinant one.
+        let i = Matrix::identity(5);
+        assert!((LuDecomposition::new(&i).unwrap().determinant() - 1.0).abs() < 1e-15);
+        // Permutation sign: swapping two rows of I gives -1.
+        let mut p = Matrix::identity(3);
+        p.swap_rows(0, 2);
+        assert!((LuDecomposition::new(&p).unwrap().determinant() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matrix_determinant_of_singular_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let err = (&prod - &Matrix::identity(2)).norm_max();
+        assert!(err < 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[5.0, 10.0]]).unwrap();
+        let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
+        assert_eq!(x, Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap());
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn rcond_estimate_sane() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let rc = lu.rcond_estimate(&a).unwrap();
+        assert!((rc - 1.0).abs() < 1e-12);
+        // Ill-conditioned matrix has small rcond.
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-10]]).unwrap();
+        let lub = LuDecomposition::new(&b).unwrap();
+        assert!(lub.rcond_estimate(&b).unwrap() < 1e-8);
+    }
+}

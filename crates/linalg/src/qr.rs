@@ -1,0 +1,265 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// Householder QR decomposition `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`.
+///
+/// QR is the numerically robust way to solve least-squares problems: it
+/// avoids squaring the condition number the way the normal equations
+/// (`AᵀA`) do. The GPS solvers use the normal-equation path by default (the
+/// matrices are tiny and well-conditioned, and it is what the paper's
+/// eq. 4-12 literally writes), but [`crate::lstsq::ols_qr`] exposes this
+/// path for the `ablation_linalg_path` benchmark and for callers facing
+/// poor satellite geometry.
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{QrDecomposition, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let qr = QrDecomposition::new(&a)?;
+/// let x = qr.solve_least_squares(&Vector::from_slice(&[1.0, 1.0, 2.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Householder vectors stored below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scalar β for each Householder reflector `H = I − β v vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factors an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Underdetermined`] if `m < n`.
+    /// * [`LinalgError::EmptyDimension`] if `a` has zero rows or columns.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    /// * [`LinalgError::Singular`] if `a` is (numerically) rank-deficient.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder reflector annihilating column k below
+            // the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = qr[(i, k)];
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            if norm <= 1e-13 * scale {
+                return Err(LinalgError::Singular);
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x − α e₁; store v (normalized so v[0] = 1) below diagonal.
+            let v0 = qr[(k, k)] - alpha;
+            let beta = -v0 / alpha; // β = vᵀv / (2 v0²) simplification
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha; // R diagonal
+            betas.push(beta);
+
+            // Apply H to the remaining columns.
+            for c in (k + 1)..n {
+                // w = vᵀ x  (with v[0] = 1 implicit)
+                let mut w = qr[(k, c)];
+                for i in (k + 1)..m {
+                    w += qr[(i, k)] * qr[(i, c)];
+                }
+                w *= beta;
+                qr[(k, c)] -= w;
+                for i in (k + 1)..m {
+                    let vk = qr[(i, k)];
+                    qr[(i, c)] -= w * vk;
+                }
+            }
+        }
+        Ok(QrDecomposition { qr, betas })
+    }
+
+    /// Shape `(m, n)` of the factored matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Extracts the upper-triangular `n × n` factor `R`.
+    #[must_use]
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector in place of forming `Q` explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != m`.
+    pub fn q_transpose_apply(&self, b: &Vector) -> crate::Result<Vector> {
+        let (m, n) = self.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: (m, n),
+                right: (b.len(), 1),
+                op: "qr q_transpose_apply",
+            });
+        }
+        let mut y = b.clone();
+        for k in 0..n {
+            let beta = self.betas[k];
+            let mut w = y[k];
+            for i in (k + 1)..m {
+                w += self.qr[(i, k)] * y[i];
+            }
+            w *= beta;
+            y[k] -= w;
+            for i in (k + 1)..m {
+                let vk = self.qr[(i, k)];
+                y[i] -= w * vk;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != m`.
+    pub fn solve_least_squares(&self, b: &Vector) -> crate::Result<Vector> {
+        let n = self.qr.cols();
+        let y = self.q_transpose_apply(b)?;
+        // Back-substitute R x = y[..n].
+        let mut x = Vector::from_fn(n, |i| y[i]);
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_is_upper_triangular_and_reconstructs_gram() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ])
+        .unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..2 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // RᵀR must equal AᵀA (Q orthogonal).
+        let rtr = r.gram();
+        let ata = a.gram();
+        assert!((&rtr - &ata).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5, 2.0],
+            &[0.0, 1.5, -1.0],
+            &[2.0, 1.0, 0.0],
+            &[1.0, -1.0, 1.0],
+            &[0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let x_qr = QrDecomposition::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let g = a.gram();
+        let rhs = a.transpose_matvec(&b).unwrap();
+        let x_ne = crate::Cholesky::new(&g).unwrap().solve(&rhs).unwrap();
+        assert!((&x_qr - &x_ne).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn exact_solve_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x_true = Vector::from_slice(&[1.5, -0.5]);
+        let b = a.matvec(&x_true).unwrap();
+        let x = QrDecomposition::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        assert!((&x - &x_true).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_empty() {
+        assert!(matches!(
+            QrDecomposition::new(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::Underdetermined { rows: 2, cols: 3 }
+        ));
+        assert_eq!(
+            QrDecomposition::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::EmptyDimension
+        );
+    }
+
+    #[test]
+    fn rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(QrDecomposition::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert_eq!(QrDecomposition::new(&a).unwrap_err(), LinalgError::NonFinite);
+    }
+
+    #[test]
+    fn q_transpose_preserves_norm() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let y = qr.q_transpose_apply(&b).unwrap();
+        assert!((y.norm() - b.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let a = Matrix::identity(3);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(2)).is_err());
+    }
+}

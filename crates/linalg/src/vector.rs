@@ -1,0 +1,356 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::LinalgError;
+
+/// A dense column vector of `f64` entries.
+///
+/// `Vector` is the right-hand-side / solution type for the solvers in this
+/// crate. It supports element access by `[]`, the usual arithmetic
+/// operators, dot products and norms.
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::Vector;
+///
+/// let v = Vector::from_slice(&[3.0, 4.0]);
+/// assert_eq!(v.norm(), 5.0);
+/// assert_eq!(v.dot(&v), 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gps_linalg::Vector;
+    /// let v = Vector::zeros(3);
+    /// assert_eq!(v.len(), 3);
+    /// assert_eq!(v[1], 0.0);
+    /// ```
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector by copying `data`.
+    #[must_use]
+    pub fn from_slice(data: &[f64]) -> Self {
+        Vector {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a vector of length `n` from a function of the index.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gps_linalg::Vector;
+    /// let v = Vector::from_fn(3, |i| i as f64 * 2.0);
+    /// assert_eq!(v.as_slice(), &[0.0, 2.0, 4.0]);
+    /// ```
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..n).map(|i| f(i)).collect(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the entries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the entries as a slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns `true` if every entry is finite (no NaN / ±∞).
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot product requires equal lengths"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean (L2) norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Vector::norm`] when the square
+    /// is what is needed (e.g. sum of squared residuals, paper eq. 3-32).
+    #[must_use]
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Maximum absolute entry (L∞ norm). Returns 0 for an empty vector.
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Returns a scaled copy `s * self`.
+    #[must_use]
+    pub fn scaled(&self, s: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Checks that two vectors have the same length, for fallible APIs.
+    pub(crate) fn check_same_len(&self, other: &Vector, op: &'static str) -> crate::Result<()> {
+        if self.len() == other.len() {
+            Ok(())
+        } else {
+            Err(LinalgError::ShapeMismatch {
+                left: (self.len(), 1),
+                right: (other.len(), 1),
+                op,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector addition length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector subtraction length mismatch");
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector addition length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector subtraction length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+
+    fn mul(self, s: f64) -> Vector {
+        self.scaled(s)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = Vector::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn from_fn_builds_expected_entries() {
+        let v = Vector::from_fn(5, |i| (i * i) as f64);
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let v = Vector::from_slice(&[1.0, -2.0, 2.0]);
+        assert_eq!(v.dot(&v), 9.0);
+        assert_eq!(v.norm(), 3.0);
+        assert_eq!(v.norm_squared(), 9.0);
+        assert_eq!(v.norm_inf(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_length_mismatch_panics() {
+        let _ = &Vector::zeros(2) + &Vector::zeros(3);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vector::from_slice(&[1.0, 2.0]).is_finite());
+        assert!(!Vector::from_slice(&[1.0, f64::NAN]).is_finite());
+        assert!(!Vector::from_slice(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut v = Vector::zeros(2);
+        v[1] = 7.0;
+        assert_eq!(v[1], 7.0);
+        v.as_mut_slice()[0] = 3.0;
+        assert_eq!(v.into_vec(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let total: f64 = (&v).into_iter().sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let v = Vector::from_slice(&[1.5]);
+        assert_eq!(v.to_string(), "[1.500000]");
+    }
+}

@@ -1,0 +1,286 @@
+use gps_geodesy::Ecef;
+use gps_orbits::SatId;
+use gps_time::GpsTime;
+
+use crate::Station;
+
+/// One satellite's contribution to a data item: "all available satellites'
+/// coordinates and pseudo-ranges" (paper §5.2.1).
+///
+/// This is the *entire* solver input per satellite — the algorithms never
+/// see the error decomposition. The paper's experiments need only the
+/// code observables; the optional [`ExtendedObservables`] carry what a
+/// full receiver also tracks (satellite velocity, Doppler range rate,
+/// carrier phase-range), enabling the velocity-solving and
+/// carrier-smoothing extensions on generated datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatObservation {
+    /// Which satellite.
+    pub sat: SatId,
+    /// Satellite ECEF position `(xᵢ, yᵢ, zᵢ)`, metres.
+    pub position: Ecef,
+    /// Measured pseudorange `ρᵉᵢ`, metres (paper eq. 3-5: true range +
+    /// satellite-dependent error + receiver clock error).
+    pub pseudorange: f64,
+    /// Elevation above the station horizon, radians. Real receivers know
+    /// this (they computed the satellite position); base-selection
+    /// strategies and elevation weighting use it.
+    pub elevation: f64,
+    /// Optional Doppler/carrier observables.
+    pub extended: Option<ExtendedObservables>,
+}
+
+/// The optional per-satellite observables beyond code pseudorange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedObservables {
+    /// Satellite ECEF velocity (from ephemeris), m/s.
+    pub velocity: Ecef,
+    /// Measured range rate from Doppler, m/s (includes receiver clock
+    /// drift).
+    pub doppler: f64,
+    /// Carrier phase-range, metres (includes an arbitrary constant
+    /// ambiguity per satellite; only its change is meaningful).
+    pub phase: f64,
+}
+
+/// Hidden per-epoch ground truth carried alongside the observations for
+/// evaluation only (never shown to a solver).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochTruth {
+    /// True receiver clock bias `Δt`, seconds.
+    pub clock_bias: f64,
+    /// Whether the receiver clock was step-reset at this epoch (threshold
+    /// discipline only).
+    pub clock_reset: bool,
+}
+
+/// One data item: everything observed at a single instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    time: GpsTime,
+    observations: Vec<SatObservation>,
+    truth: EpochTruth,
+}
+
+impl Epoch {
+    /// Creates an epoch from its parts.
+    #[must_use]
+    pub fn new(time: GpsTime, observations: Vec<SatObservation>, truth: EpochTruth) -> Self {
+        Epoch {
+            time,
+            observations,
+            truth,
+        }
+    }
+
+    /// Observation instant (receiver time scale is handled inside the
+    /// pseudoranges; this is the nominal GPS time of the data item).
+    #[must_use]
+    pub fn time(&self) -> GpsTime {
+        self.time
+    }
+
+    /// The per-satellite observations, sorted by descending elevation.
+    #[must_use]
+    pub fn observations(&self) -> &[SatObservation] {
+        &self.observations
+    }
+
+    /// Evaluation-only ground truth.
+    #[must_use]
+    pub fn truth(&self) -> EpochTruth {
+        self.truth
+    }
+
+    /// A copy of the first `m` observations (the m best-placed satellites
+    /// when the epoch is elevation-sorted) — the satellite-count sweep of
+    /// the paper's Figures 5.1/5.2. Returns all observations if `m`
+    /// exceeds the count.
+    #[must_use]
+    pub fn take_satellites(&self, m: usize) -> Vec<SatObservation> {
+        self.observations[..m.min(self.observations.len())].to_vec()
+    }
+}
+
+/// A full observation dataset: one station, many epochs — the in-memory
+/// form of one of the paper's Table 5.1 data files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSet {
+    station: Station,
+    epochs: Vec<Epoch>,
+}
+
+impl DataSet {
+    /// Creates a dataset from a station and its epochs.
+    #[must_use]
+    pub fn new(station: Station, epochs: Vec<Epoch>) -> Self {
+        DataSet { station, epochs }
+    }
+
+    /// The observed station (carries the ground-truth coordinates).
+    #[must_use]
+    pub fn station(&self) -> &Station {
+        &self.station
+    }
+
+    /// All epochs in time order.
+    #[must_use]
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// A copy restricted to epochs with `start ≤ time < end`.
+    ///
+    /// Useful for splitting a day into calibration and evaluation
+    /// windows, or isolating a clock-reset event.
+    #[must_use]
+    pub fn window(&self, start: GpsTime, end: GpsTime) -> DataSet {
+        DataSet {
+            station: self.station.clone(),
+            epochs: self
+                .epochs
+                .iter()
+                .filter(|e| e.time() >= start && e.time() < end)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A copy keeping every `n`-th epoch (cadence reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn decimate(&self, n: usize) -> DataSet {
+        assert!(n > 0, "decimation factor must be positive");
+        DataSet {
+            station: self.station.clone(),
+            epochs: self.epochs.iter().step_by(n).cloned().collect(),
+        }
+    }
+
+    /// Minimum and maximum satellites-per-epoch over the dataset.
+    ///
+    /// The paper reports 8–12 for its CORS data.
+    #[must_use]
+    pub fn satellite_count_range(&self) -> (usize, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for e in &self.epochs {
+            min = min.min(e.observations().len());
+            max = max.max(e.observations().len());
+        }
+        if self.epochs.is_empty() {
+            (0, 0)
+        } else {
+            (min, max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_clock::CorrectionType;
+    use gps_time::Date;
+
+    fn obs(prn: u8, el: f64) -> SatObservation {
+        SatObservation {
+            sat: SatId::new(prn),
+            position: Ecef::new(2.0e7, 1.0e7, 5.0e6),
+            pseudorange: 2.2e7,
+            elevation: el,
+            extended: None,
+        }
+    }
+
+    fn station() -> Station {
+        Station::new(
+            "TEST",
+            Ecef::new(3_623_420.0, -5_214_015.0, 602_359.0),
+            Date::new(2009, 8, 12).unwrap(),
+            CorrectionType::Steering,
+        )
+    }
+
+    #[test]
+    fn take_satellites_prefix() {
+        let e = Epoch::new(
+            GpsTime::EPOCH,
+            vec![obs(1, 1.2), obs(2, 0.9), obs(3, 0.5)],
+            EpochTruth::default(),
+        );
+        assert_eq!(e.take_satellites(2).len(), 2);
+        assert_eq!(e.take_satellites(2)[0].sat.prn(), 1);
+        // Requesting more than available returns all.
+        assert_eq!(e.take_satellites(10).len(), 3);
+        assert_eq!(e.take_satellites(0).len(), 0);
+    }
+
+    #[test]
+    fn dataset_count_range() {
+        let e1 = Epoch::new(GpsTime::EPOCH, vec![obs(1, 1.0)], EpochTruth::default());
+        let e2 = Epoch::new(
+            GpsTime::EPOCH,
+            vec![obs(1, 1.0), obs(2, 0.4)],
+            EpochTruth::default(),
+        );
+        let ds = DataSet::new(station(), vec![e1, e2]);
+        assert_eq!(ds.satellite_count_range(), (1, 2));
+        assert_eq!(ds.station().id(), "TEST");
+    }
+
+    #[test]
+    fn empty_dataset_range_is_zero() {
+        let ds = DataSet::new(station(), vec![]);
+        assert_eq!(ds.satellite_count_range(), (0, 0));
+    }
+
+    #[test]
+    fn window_selects_half_open_range() {
+        let mk = |tow: f64| Epoch::new(GpsTime::new(0, tow), vec![], EpochTruth::default());
+        let ds = DataSet::new(
+            station(),
+            vec![mk(0.0), mk(30.0), mk(60.0), mk(90.0), mk(120.0)],
+        );
+        let w = ds.window(GpsTime::new(0, 30.0), GpsTime::new(0, 90.0));
+        assert_eq!(w.epochs().len(), 2);
+        assert_eq!(w.epochs()[0].time(), GpsTime::new(0, 30.0));
+        assert_eq!(w.epochs()[1].time(), GpsTime::new(0, 60.0));
+        assert_eq!(w.station(), ds.station());
+        // Empty window.
+        assert!(ds
+            .window(GpsTime::new(1, 0.0), GpsTime::new(2, 0.0))
+            .epochs()
+            .is_empty());
+    }
+
+    #[test]
+    fn decimate_keeps_every_nth() {
+        let mk = |tow: f64| Epoch::new(GpsTime::new(0, tow), vec![], EpochTruth::default());
+        let ds = DataSet::new(station(), (0..10).map(|k| mk(k as f64)).collect());
+        let d = ds.decimate(3);
+        assert_eq!(d.epochs().len(), 4); // 0, 3, 6, 9
+        assert_eq!(d.epochs()[1].time(), GpsTime::new(0, 3.0));
+        assert_eq!(ds.decimate(1), ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decimate_rejects_zero() {
+        let ds = DataSet::new(station(), vec![]);
+        let _ = ds.decimate(0);
+    }
+
+    #[test]
+    fn truth_round_trip() {
+        let truth = EpochTruth {
+            clock_bias: 1e-6,
+            clock_reset: true,
+        };
+        let e = Epoch::new(GpsTime::EPOCH, vec![], truth);
+        assert_eq!(e.truth(), truth);
+        assert_eq!(e.time(), GpsTime::EPOCH);
+    }
+}

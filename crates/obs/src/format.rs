@@ -1,0 +1,397 @@
+//! RINEX-lite: a line-oriented text format for observation datasets.
+//!
+//! Real CORS data ships as RINEX observation files; this crate's datasets
+//! are synthetic, but persisting them matters for reproducibility (re-run
+//! an experiment on the *same* draw) and for exchanging datasets between
+//! the examples and benches. The format is a deliberately simple subset:
+//!
+//! ```text
+//! GPS-OBS 1
+//! STATION SRZN
+//! POSITION 3623420.032 -5214015.434 602359.096
+//! DATE 2009/08/12
+//! CLOCK Steering
+//! > 1544 259200 9 1.2e-7 0          # week tow nsats clock-bias reset
+//! G01 <x> <y> <z> <pseudorange> <elevation>
+//! ...
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! `write` → `parse` reproduces the dataset bit-for-bit
+//! (see the `round_trip` tests).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use gps_clock::CorrectionType;
+use gps_geodesy::Ecef;
+use gps_orbits::SatId;
+use gps_time::{Date, GpsTime};
+
+use crate::{DataSet, Epoch, EpochTruth, SatObservation, Station};
+
+/// Error produced when parsing a RINEX-lite document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// The document did not start with the `GPS-OBS 1` magic line.
+    BadMagic,
+    /// A header field is missing or malformed.
+    BadHeader {
+        /// Description of the offending header line.
+        what: String,
+    },
+    /// An epoch or observation line is malformed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "missing GPS-OBS magic header"),
+            FormatError::BadHeader { what } => write!(f, "bad header: {what}"),
+            FormatError::BadLine { line, what } => write!(f, "bad line {line}: {what}"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+/// Serializes a dataset to the RINEX-lite text format.
+#[must_use]
+pub fn write(data: &DataSet) -> String {
+    let mut out = String::new();
+    let st = data.station();
+    out.push_str("GPS-OBS 1\n");
+    out.push_str(&format!("STATION {}\n", st.id()));
+    let p = st.position();
+    out.push_str(&format!("POSITION {} {} {}\n", p.x, p.y, p.z));
+    out.push_str(&format!("DATE {}\n", st.date()));
+    out.push_str(&format!("CLOCK {}\n", st.correction_type()));
+    for e in data.epochs() {
+        let truth = e.truth();
+        out.push_str(&format!(
+            "> {} {} {} {} {}\n",
+            e.time().week(),
+            e.time().seconds_of_week(),
+            e.observations().len(),
+            truth.clock_bias,
+            u8::from(truth.clock_reset),
+        ));
+        for o in e.observations() {
+            match &o.extended {
+                None => out.push_str(&format!(
+                    "{} {} {} {} {} {}\n",
+                    o.sat, o.position.x, o.position.y, o.position.z, o.pseudorange, o.elevation
+                )),
+                Some(ext) => out.push_str(&format!(
+                    "{} {} {} {} {} {} {} {} {} {} {}\n",
+                    o.sat,
+                    o.position.x,
+                    o.position.y,
+                    o.position.z,
+                    o.pseudorange,
+                    o.elevation,
+                    ext.velocity.x,
+                    ext.velocity.y,
+                    ext.velocity.z,
+                    ext.doppler,
+                    ext.phase
+                )),
+            }
+        }
+    }
+    out
+}
+
+fn parse_f64(s: &str, line: usize, what: &str) -> Result<f64, FormatError> {
+    f64::from_str(s).map_err(|_| FormatError::BadLine {
+        line,
+        what: format!("{what}: `{s}` is not a number"),
+    })
+}
+
+fn header_value<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> Result<&'a str, FormatError> {
+    let line = lines.next().ok_or_else(|| FormatError::BadHeader {
+        what: format!("missing {key}"),
+    })?;
+    line.strip_prefix(key)
+        .map(str::trim)
+        .ok_or_else(|| FormatError::BadHeader {
+            what: format!("expected `{key}`, got `{line}`"),
+        })
+}
+
+/// Parses a RINEX-lite document back into a [`DataSet`].
+///
+/// # Errors
+///
+/// Returns [`FormatError`] when the magic line, a header, or any
+/// epoch/observation line is malformed or counts disagree.
+pub fn parse(text: &str) -> Result<DataSet, FormatError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("GPS-OBS 1") {
+        return Err(FormatError::BadMagic);
+    }
+    let id = header_value(&mut lines, "STATION")?.to_owned();
+    let pos_line = header_value(&mut lines, "POSITION")?;
+    let pos_parts: Vec<&str> = pos_line.split_whitespace().collect();
+    if pos_parts.len() != 3 {
+        return Err(FormatError::BadHeader {
+            what: format!("POSITION needs 3 numbers, got `{pos_line}`"),
+        });
+    }
+    let position = Ecef::new(
+        parse_f64(pos_parts[0], 3, "position x")?,
+        parse_f64(pos_parts[1], 3, "position y")?,
+        parse_f64(pos_parts[2], 3, "position z")?,
+    );
+    let date_line = header_value(&mut lines, "DATE")?;
+    let date_parts: Vec<&str> = date_line.split('/').collect();
+    let date = match date_parts.as_slice() {
+        [y, m, d] => {
+            let parse_part = |s: &str, what: &str| {
+                s.parse::<u16>().map_err(|_| FormatError::BadHeader {
+                    what: format!("bad date {what}: `{s}`"),
+                })
+            };
+            let (y, m, d) = (
+                parse_part(y, "year")?,
+                parse_part(m, "month")?,
+                parse_part(d, "day")?,
+            );
+            Date::new(y, m as u8, d as u8).map_err(|e| FormatError::BadHeader {
+                what: format!("invalid date: {e}"),
+            })?
+        }
+        _ => {
+            return Err(FormatError::BadHeader {
+                what: format!("DATE must be y/m/d, got `{date_line}`"),
+            })
+        }
+    };
+    let clock_line = header_value(&mut lines, "CLOCK")?;
+    let correction = match clock_line {
+        "Steering" => CorrectionType::Steering,
+        "Threshold" => CorrectionType::Threshold,
+        other => {
+            return Err(FormatError::BadHeader {
+                what: format!("unknown clock type `{other}`"),
+            })
+        }
+    };
+    let station = Station::new(id, position, date, correction);
+
+    let mut epochs = Vec::new();
+    let mut line_no = 5usize;
+    let mut lines = lines.peekable();
+    while let Some(line) = lines.next() {
+        line_no += 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line.strip_prefix("> ").ok_or_else(|| FormatError::BadLine {
+            line: line_no,
+            what: "expected epoch line starting with `>`".to_owned(),
+        })?;
+        let parts: Vec<&str> = body.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err(FormatError::BadLine {
+                line: line_no,
+                what: "epoch line needs 5 fields".to_owned(),
+            });
+        }
+        let week: i32 = parts[0].parse().map_err(|_| FormatError::BadLine {
+            line: line_no,
+            what: format!("bad week `{}`", parts[0]),
+        })?;
+        let tow = parse_f64(parts[1], line_no, "tow")?;
+        let nsats: usize = parts[2].parse().map_err(|_| FormatError::BadLine {
+            line: line_no,
+            what: format!("bad satellite count `{}`", parts[2]),
+        })?;
+        let clock_bias = parse_f64(parts[3], line_no, "clock bias")?;
+        let clock_reset = match parts[4] {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(FormatError::BadLine {
+                    line: line_no,
+                    what: format!("bad reset flag `{other}`"),
+                })
+            }
+        };
+
+        let mut observations = Vec::with_capacity(nsats);
+        for _ in 0..nsats {
+            let obs_line = lines.next().ok_or_else(|| FormatError::BadLine {
+                line: line_no,
+                what: "unexpected end of file inside epoch".to_owned(),
+            })?;
+            line_no += 1;
+            let fields: Vec<&str> = obs_line.split_whitespace().collect();
+            if fields.len() != 6 && fields.len() != 11 {
+                return Err(FormatError::BadLine {
+                    line: line_no,
+                    what: "observation line needs 6 fields (code-only) or 11 (extended)"
+                        .to_owned(),
+                });
+            }
+            let prn_str = fields[0]
+                .strip_prefix('G')
+                .ok_or_else(|| FormatError::BadLine {
+                    line: line_no,
+                    what: format!("bad satellite id `{}`", fields[0]),
+                })?;
+            let prn: u8 = prn_str.parse().map_err(|_| FormatError::BadLine {
+                line: line_no,
+                what: format!("bad PRN `{prn_str}`"),
+            })?;
+            if prn == 0 {
+                return Err(FormatError::BadLine {
+                    line: line_no,
+                    what: "PRN 0 is invalid".to_owned(),
+                });
+            }
+            let extended = if fields.len() == 11 {
+                Some(crate::ExtendedObservables {
+                    velocity: Ecef::new(
+                        parse_f64(fields[6], line_no, "sat vx")?,
+                        parse_f64(fields[7], line_no, "sat vy")?,
+                        parse_f64(fields[8], line_no, "sat vz")?,
+                    ),
+                    doppler: parse_f64(fields[9], line_no, "doppler")?,
+                    phase: parse_f64(fields[10], line_no, "phase")?,
+                })
+            } else {
+                None
+            };
+            observations.push(SatObservation {
+                sat: SatId::new(prn),
+                position: Ecef::new(
+                    parse_f64(fields[1], line_no, "sat x")?,
+                    parse_f64(fields[2], line_no, "sat y")?,
+                    parse_f64(fields[3], line_no, "sat z")?,
+                ),
+                pseudorange: parse_f64(fields[4], line_no, "pseudorange")?,
+                elevation: parse_f64(fields[5], line_no, "elevation")?,
+                extended,
+            });
+        }
+        epochs.push(Epoch::new(
+            GpsTime::new(week, tow),
+            observations,
+            EpochTruth {
+                clock_bias,
+                clock_reset,
+            },
+        ));
+    }
+    Ok(DataSet::new(station, epochs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_stations, DatasetGenerator};
+
+    fn sample() -> DataSet {
+        DatasetGenerator::new(11)
+            .epoch_interval_s(30.0)
+            .epoch_count(6)
+            .generate(&paper_stations()[3])
+    }
+
+    #[test]
+    fn round_trip_bit_exact() {
+        let data = sample();
+        let text = write(&data);
+        let back = parse(&text).expect("parse back");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn round_trip_all_paper_stations() {
+        for st in &paper_stations() {
+            let data = DatasetGenerator::new(12).epoch_count(3).generate(st);
+            assert_eq!(parse(&write(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(parse("nonsense\n"), Err(FormatError::BadMagic));
+        assert_eq!(parse(""), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let text = "GPS-OBS 1\nSTATION X\n";
+        assert!(matches!(
+            parse(text).unwrap_err(),
+            FormatError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_position() {
+        let text = "GPS-OBS 1\nSTATION X\nPOSITION 1 2\nDATE 2009/08/12\nCLOCK Steering\n";
+        assert!(matches!(
+            parse(text).unwrap_err(),
+            FormatError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_clock() {
+        let data = sample();
+        let text = write(&data).replace("CLOCK Threshold", "CLOCK Atomic");
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            FormatError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_epoch() {
+        let data = sample();
+        let mut text = write(&data);
+        // Drop the last observation line.
+        text.truncate(text.trim_end().rfind('\n').unwrap() + 1);
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            FormatError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_observation() {
+        let data = sample();
+        let text = write(&data);
+        let corrupted = text.replacen("G0", "X0", 1);
+        assert!(matches!(
+            parse(&corrupted).unwrap_err(),
+            FormatError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FormatError::BadLine {
+            line: 17,
+            what: "nope".to_owned(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(FormatError::BadMagic.to_string().contains("GPS-OBS"));
+    }
+}

@@ -1,0 +1,458 @@
+use gps_atmosphere::ErrorBudget;
+use gps_clock::{CorrectionType, ReceiverClock, SteeringClock, ThresholdClock};
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_orbits::Constellation;
+use gps_time::{Duration, GpsTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DataSet, Epoch, EpochTruth, SatObservation, Station};
+
+/// Standard normal draw (Box–Muller), for the extended observables'
+/// tracking noise.
+fn gaussian_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Synthetic dataset generator: the substitute for the paper's CORS
+/// downloads.
+///
+/// Implements the paper's pseudorange model (eq. 3-5):
+///
+/// `ρᵉᵢ = ρᵢ + εᵢˢ + εᴿ`
+///
+/// where `ρᵢ` is the geometric range from the station's ground-truth
+/// coordinates to the simulated satellite position, `εᵢˢ` is drawn from
+/// the composite [`ErrorBudget`] independently per satellite (matching
+/// eq. 4-14/4-15), and `εᴿ = c·Δt` comes from a simulated receiver clock
+/// with the station's Table 5.1 correction discipline.
+///
+/// The generator is a non-consuming builder; call
+/// [`DatasetGenerator::generate`] for any number of stations.
+///
+/// # Example
+///
+/// ```
+/// use gps_obs::{paper_stations, DatasetGenerator};
+///
+/// let data = DatasetGenerator::new(7)
+///     .epoch_interval_s(60.0)
+///     .epoch_count(5)
+///     .generate(&paper_stations()[1]);
+/// let (min, max) = data.satellite_count_range();
+/// assert!(min >= 5 && max <= 14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetGenerator {
+    seed: u64,
+    epoch_interval: Duration,
+    epoch_count: usize,
+    elevation_mask: f64,
+    budget: ErrorBudget,
+    steering_template: SteeringClock,
+    threshold_template: ThresholdClock,
+    extended_observables: bool,
+}
+
+impl DatasetGenerator {
+    /// Creates a generator with the paper-like defaults: 30 s epochs, one
+    /// day of data (2 880 epochs), 10° elevation mask, the standard error
+    /// budget, and default clock models.
+    ///
+    /// (The paper's files are 1 Hz / 86 400 epochs; pass
+    /// `.epoch_interval_s(1.0).epoch_count(86_400)` for the full-rate
+    /// equivalent. Rates and ratios are insensitive to the cadence.)
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DatasetGenerator {
+            seed,
+            epoch_interval: Duration::from_seconds(30.0),
+            epoch_count: 2_880,
+            elevation_mask: 10.0f64.to_radians(),
+            budget: ErrorBudget::default(),
+            steering_template: SteeringClock::default(),
+            threshold_template: ThresholdClock::default(),
+            extended_observables: false,
+        }
+    }
+
+    /// Also generates the extended observables (satellite velocity,
+    /// Doppler range rate, carrier phase-range) per satellite — the
+    /// inputs to velocity solving and carrier smoothing. Default off
+    /// (the paper's datasets are code-only).
+    #[must_use]
+    pub fn extended_observables(mut self, enabled: bool) -> Self {
+        self.extended_observables = enabled;
+        self
+    }
+
+    /// Sets the epoch spacing in seconds (default 30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    #[must_use]
+    pub fn epoch_interval_s(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "epoch interval must be positive");
+        self.epoch_interval = Duration::from_seconds(seconds);
+        self
+    }
+
+    /// Sets the number of epochs to generate (default 2 880).
+    #[must_use]
+    pub fn epoch_count(mut self, count: usize) -> Self {
+        self.epoch_count = count;
+        self
+    }
+
+    /// Sets the elevation mask in degrees (default 10°).
+    #[must_use]
+    pub fn elevation_mask_deg(mut self, degrees: f64) -> Self {
+        self.elevation_mask = degrees.to_radians();
+        self
+    }
+
+    /// Replaces the satellite-dependent error budget (default
+    /// [`ErrorBudget::default`]); use [`ErrorBudget::disabled`] for
+    /// noise-free data.
+    #[must_use]
+    pub fn error_budget(mut self, budget: ErrorBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the steering-clock template used for steering stations.
+    #[must_use]
+    pub fn steering_clock(mut self, clock: SteeringClock) -> Self {
+        self.steering_template = clock;
+        self
+    }
+
+    /// Replaces the threshold-clock template used for threshold stations.
+    #[must_use]
+    pub fn threshold_clock(mut self, clock: ThresholdClock) -> Self {
+        self.threshold_template = clock;
+        self
+    }
+
+    /// Generates the dataset for one station.
+    ///
+    /// Each station gets an independent RNG stream derived from the seed
+    /// and the station id, so regenerating one station is reproducible
+    /// regardless of generation order.
+    #[must_use]
+    pub fn generate(&self, station: &Station) -> DataSet {
+        // Derive a per-station seed (FNV-style mix of id bytes).
+        let mut station_seed = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in station.id().bytes() {
+            station_seed = station_seed
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(u64::from(b));
+        }
+        let mut rng = StdRng::seed_from_u64(station_seed);
+
+        let start = GpsTime::from_date(station.date());
+        let constellation = Constellation::gps_nominal_at(GpsTime::EPOCH);
+        let station_geo = station.geodetic();
+        let station_pos = station.position();
+
+        let mut clock: Box<dyn ReceiverClock> = match station.correction_type() {
+            CorrectionType::Steering => Box::new(self.steering_template.clone()),
+            CorrectionType::Threshold => Box::new(self.threshold_template.clone()),
+        };
+
+        // Carrier ambiguities are constant per satellite pass; one draw
+        // per satellite for the whole dataset (no cycle slips simulated).
+        let mut ambiguities: std::collections::HashMap<gps_orbits::SatId, f64> =
+            std::collections::HashMap::new();
+
+        let mut epochs = Vec::with_capacity(self.epoch_count);
+        for t in start.epochs(self.epoch_interval, self.epoch_count) {
+            if !epochs.is_empty() {
+                clock.advance(self.epoch_interval, &mut rng);
+            }
+            let clock_bias = clock.bias();
+            let epsilon_r = clock_bias * SPEED_OF_LIGHT;
+
+            let visible = constellation.visible_from(station_pos, t, self.elevation_mask);
+            let observations: Vec<SatObservation> = visible
+                .iter()
+                .map(|v| {
+                    let error = self
+                        .budget
+                        .draw(station_geo, v.elevation, v.azimuth, t, &mut rng);
+                    let extended = self.extended_observables.then(|| {
+                        let (_, sat_vel) = constellation
+                            .get(v.id)
+                            .expect("visible satellite exists")
+                            .position_velocity_at(t);
+                        let u = (v.position - station_pos) / v.range;
+                        // Static station: range rate = u·v_sat, plus the
+                        // receiver clock drift common to all channels,
+                        // plus ~5 cm/s of tracking noise.
+                        let doppler = sat_vel.dot(u)
+                            + clock.drift_rate() * SPEED_OF_LIGHT
+                            + 0.05 * gaussian_sample(&mut rng);
+                        // Carrier phase: same geometry and clock, the
+                        // *dispersive* iono term flips sign, code-only
+                        // errors (multipath, DLL noise) are absent, plus
+                        // a per-satellite constant ambiguity and mm noise.
+                        let ambiguity = ambiguities
+                            .entry(v.id)
+                            .or_insert_with(|| (rng.gen::<f64>() - 0.5) * 4.0e5);
+                        let phase = v.range + epsilon_r - error.iono + error.tropo
+                            + error.sat_clock
+                            + *ambiguity
+                            + 0.003 * gaussian_sample(&mut rng);
+                        crate::ExtendedObservables {
+                            velocity: sat_vel,
+                            doppler,
+                            phase,
+                        }
+                    });
+                    SatObservation {
+                        sat: v.id,
+                        position: v.position,
+                        pseudorange: v.range + error.total() + epsilon_r,
+                        elevation: v.elevation,
+                        extended,
+                    }
+                })
+                .collect();
+
+            epochs.push(Epoch::new(
+                t,
+                observations,
+                EpochTruth {
+                    clock_bias,
+                    clock_reset: clock.was_reset(),
+                },
+            ));
+        }
+        DataSet::new(station.clone(), epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_stations;
+    use gps_atmosphere::ErrorBudget;
+
+    fn quick(seed: u64) -> DatasetGenerator {
+        DatasetGenerator::new(seed)
+            .epoch_interval_s(30.0)
+            .epoch_count(20)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let station = &paper_stations()[0];
+        let a = quick(1).generate(station);
+        let b = quick(1).generate(station);
+        assert_eq!(a, b);
+        let c = quick(2).generate(station);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pseudoranges_near_geometric_range() {
+        let station = &paper_stations()[0];
+        let data = quick(3).generate(station);
+        for e in data.epochs() {
+            for o in e.observations() {
+                let range = station.position().distance_to(o.position);
+                let diff = o.pseudorange - range;
+                // Errors are metre-level plus clock (≤ ms → ≤ 300 km);
+                // with the default steering clock ≤ ~0.1 ms → ≤ 30 km.
+                assert!(diff.abs() < 5.0e4, "diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_free_data_equals_range_plus_clock() {
+        let station = &paper_stations()[0];
+        let data = DatasetGenerator::new(4)
+            .epoch_count(5)
+            .error_budget(ErrorBudget::disabled())
+            .generate(station);
+        for e in data.epochs() {
+            let eps_r = e.truth().clock_bias * SPEED_OF_LIGHT;
+            for o in e.observations() {
+                let range = station.position().distance_to(o.position);
+                assert!(
+                    (o.pseudorange - range - eps_r).abs() < 1e-6,
+                    "residual {}",
+                    o.pseudorange - range - eps_r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observations_elevation_sorted_and_masked() {
+        let station = &paper_stations()[1];
+        let data = quick(5).elevation_mask_deg(15.0).generate(station);
+        for e in data.epochs() {
+            for pair in e.observations().windows(2) {
+                assert!(pair[0].elevation >= pair[1].elevation);
+            }
+            for o in e.observations() {
+                assert!(o.elevation >= 15.0f64.to_radians() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn satellite_counts_in_paper_band() {
+        for station in &paper_stations() {
+            let data = DatasetGenerator::new(6)
+                .epoch_interval_s(600.0)
+                .epoch_count(144) // full day coverage at 10-min cadence
+                .generate(station);
+            let (min, max) = data.satellite_count_range();
+            assert!(min >= 5, "{}: min {min}", station.id());
+            assert!(max <= 15, "{}: max {max}", station.id());
+        }
+    }
+
+    #[test]
+    fn threshold_station_records_resets() {
+        // KYCP uses the threshold discipline; with the default clock the
+        // bias ramps and resets roughly every ~14 h.
+        let station = &paper_stations()[3];
+        let data = DatasetGenerator::new(7)
+            .epoch_interval_s(60.0)
+            .epoch_count(1_440) // one day
+            .generate(station);
+        let resets: usize = data
+            .epochs()
+            .iter()
+            .filter(|e| e.truth().clock_reset)
+            .count();
+        assert!(resets >= 1, "expected at least one reset");
+        // Bias magnitude bounded by the threshold.
+        for e in data.epochs() {
+            assert!(e.truth().clock_bias.abs() <= 1.1e-3);
+        }
+    }
+
+    #[test]
+    fn steering_station_has_no_resets_and_small_bias() {
+        let station = &paper_stations()[0];
+        let data = quick(8).generate(station);
+        for e in data.epochs() {
+            assert!(!e.truth().clock_reset);
+            assert!(e.truth().clock_bias.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_interval() {
+        let _ = DatasetGenerator::new(1).epoch_interval_s(0.0);
+    }
+
+    #[test]
+    fn extended_observables_off_by_default() {
+        let data = quick(41).generate(&paper_stations()[0]);
+        assert!(data
+            .epochs()
+            .iter()
+            .all(|e| e.observations().iter().all(|o| o.extended.is_none())));
+    }
+
+    #[test]
+    fn extended_doppler_matches_orbital_geometry() {
+        // Noise-free budget: Doppler = u·v_sat + c·drift exactly, up to
+        // the 5 cm/s tracking noise.
+        let station = &paper_stations()[0]; // steering: drift_rate = 0
+        let data = quick(42)
+            .error_budget(ErrorBudget::disabled())
+            .extended_observables(true)
+            .generate(station);
+        let constellation = gps_orbits::Constellation::gps_nominal_at(gps_time::GpsTime::EPOCH);
+        for epoch in data.epochs().iter().take(5) {
+            for o in epoch.observations() {
+                let ext = o.extended.expect("extended enabled");
+                let (sat_pos, sat_vel) = constellation
+                    .get(o.sat)
+                    .unwrap()
+                    .position_velocity_at(epoch.time());
+                assert!(sat_pos.distance_to(o.position) < 1e-6);
+                assert!((ext.velocity - sat_vel).norm() < 1e-9);
+                let u = (o.position - station.position()).normalized();
+                let geometric_rate = sat_vel.dot(u);
+                assert!(
+                    (ext.doppler - geometric_rate).abs() < 0.3,
+                    "doppler err {}",
+                    ext.doppler - geometric_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_phase_tracks_range_changes() {
+        // Phase differences between consecutive epochs track true range
+        // changes to centimetres (ambiguity cancels).
+        let station = &paper_stations()[0];
+        let data = quick(43)
+            .error_budget(ErrorBudget::disabled())
+            .extended_observables(true)
+            .generate(station);
+        let e0 = &data.epochs()[0];
+        let e1 = &data.epochs()[1];
+        let eps0 = e0.truth().clock_bias * SPEED_OF_LIGHT;
+        let eps1 = e1.truth().clock_bias * SPEED_OF_LIGHT;
+        for o0 in e0.observations() {
+            if let Some(o1) = e1.observations().iter().find(|o| o.sat == o0.sat) {
+                let dphase = o1.extended.unwrap().phase - o0.extended.unwrap().phase;
+                let drange = station.position().distance_to(o1.position)
+                    - station.position().distance_to(o0.position)
+                    + (eps1 - eps0);
+                assert!(
+                    (dphase - drange).abs() < 0.05,
+                    "{}: dphase {dphase} vs drange {drange}",
+                    o0.sat
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_station_doppler_carries_clock_drift() {
+        // KYCP's clock drifts at 2e-8 s/s → every Doppler is offset by
+        // c·2e-8 ≈ 6 m/s relative to pure geometry.
+        let station = &paper_stations()[3];
+        let data = quick(44)
+            .error_budget(ErrorBudget::disabled())
+            .extended_observables(true)
+            .generate(station);
+        let epoch = &data.epochs()[0];
+        let mut offsets = Vec::new();
+        for o in epoch.observations() {
+            let ext = o.extended.unwrap();
+            let u = (o.position - station.position()).normalized();
+            offsets.push(ext.doppler - ext.velocity.dot(u));
+        }
+        let mean: f64 = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        let expected = 2e-8 * SPEED_OF_LIGHT;
+        assert!((mean - expected).abs() < 0.5, "mean offset {mean} vs {expected}");
+    }
+
+    #[test]
+    fn extended_round_trips_through_format() {
+        let data = quick(45)
+            .epoch_count(4)
+            .extended_observables(true)
+            .generate(&paper_stations()[1]);
+        assert!(data.epochs()[0].observations()[0].extended.is_some());
+        let text = crate::format::write(&data);
+        let back = crate::format::parse(&text).expect("round trip");
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,52 @@
+//! Observation data model and synthetic dataset generation.
+//!
+//! The paper evaluates on four 24-hour observation files from CORS land
+//! observation stations (Table 5.1): per second, "all available
+//! satellites' coordinates and pseudo-ranges are contained in one data
+//! item. Generally each item contains data for 8 to 12 satellites." Those
+//! files are not redistributable, so this crate regenerates statistically
+//! equivalent data:
+//!
+//! * [`Station`] — station metadata; [`paper_stations`] returns the four
+//!   Table 5.1 stations with their **exact published ECEF coordinates**,
+//!   collection dates and clock-correction types;
+//! * [`SatObservation`] / [`Epoch`] / [`DataSet`] — the in-memory data
+//!   model consumed by the solvers (coordinates + pseudoranges only; the
+//!   generator's hidden truth is carried separately for evaluation);
+//! * [`DatasetGenerator`] — wires the `gps-orbits` constellation,
+//!   `gps-atmosphere` error budget and `gps-clock` receiver clocks into the
+//!   paper's pseudorange model `ρᵉᵢ = ρᵢ + εᵢˢ + εᴿ` (eq. 3-5);
+//! * [`format`](mod@format) — a RINEX-inspired line-oriented text format so datasets
+//!   can be persisted and reloaded.
+//!
+//! # Example
+//!
+//! ```
+//! use gps_obs::{paper_stations, DatasetGenerator};
+//!
+//! let station = &paper_stations()[0]; // SRZN
+//! let data = DatasetGenerator::new(42)
+//!     .epoch_interval_s(30.0)
+//!     .epoch_count(10)
+//!     .generate(station);
+//! assert_eq!(data.epochs().len(), 10);
+//! // Every epoch sees the 6+ satellites the paper reports.
+//! assert!(data.epochs().iter().all(|e| e.observations().len() >= 6));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod data;
+pub mod dgps;
+pub mod format;
+mod generator;
+mod station;
+mod trajectory;
+
+pub use data::{DataSet, Epoch, EpochTruth, ExtendedObservables, SatObservation};
+pub use generator::DatasetGenerator;
+pub use station::{paper_stations, Station};
+pub use trajectory::{
+    CircularTrajectory, GreatCircleTrajectory, KinematicGenerator, StaticTrajectory, Trajectory,
+};

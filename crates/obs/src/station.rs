@@ -1,0 +1,185 @@
+use std::fmt;
+
+use gps_clock::CorrectionType;
+use gps_geodesy::{Ecef, Geodetic};
+use gps_time::Date;
+
+/// A GPS observation station: the ground-truth receiver whose position the
+/// algorithms estimate.
+///
+/// Mirrors one row of the paper's Table 5.1 (site id, ECEF coordinates,
+/// date of collection, clock correction type).
+///
+/// # Example
+///
+/// ```
+/// use gps_obs::paper_stations;
+///
+/// let stations = paper_stations();
+/// assert_eq!(stations.len(), 4);
+/// assert_eq!(stations[0].id(), "SRZN");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    id: String,
+    position: Ecef,
+    date: Date,
+    correction: CorrectionType,
+}
+
+impl Station {
+    /// Creates a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not near the Earth's surface (within
+    /// ±100 km of the WGS-84 ellipsoid) — a plausibility check that catches
+    /// unit mistakes (km vs m) early.
+    #[must_use]
+    pub fn new(id: impl Into<String>, position: Ecef, date: Date, correction: CorrectionType) -> Self {
+        let height = Geodetic::from_ecef(position).height();
+        assert!(
+            height.abs() < 100_000.0,
+            "station height {height} m is not near the Earth's surface"
+        );
+        Station {
+            id: id.into(),
+            position,
+            date,
+            correction,
+        }
+    }
+
+    /// Site identifier (e.g. `"SRZN"`).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Ground-truth ECEF position — the `(x, y, z)` of the paper's
+    /// eq. 5-1 against which absolute errors are measured.
+    #[must_use]
+    pub fn position(&self) -> Ecef {
+        self.position
+    }
+
+    /// Geodetic form of the position (for atmosphere models).
+    #[must_use]
+    pub fn geodetic(&self) -> Geodetic {
+        Geodetic::from_ecef(self.position)
+    }
+
+    /// Date of data collection.
+    #[must_use]
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// Clock-correction discipline the station's receiver applies.
+    #[must_use]
+    pub fn correction_type(&self) -> CorrectionType {
+        self.correction
+    }
+}
+
+impl fmt::Display for Station {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.id, self.position, self.date, self.correction
+        )
+    }
+}
+
+/// The four stations of the paper's Table 5.1, with the exact published
+/// ECEF coordinates, collection dates and clock-correction types.
+///
+/// | No. | Site | Clock correction |
+/// |-----|------|------------------|
+/// | 1 | SRZN | Steering |
+/// | 2 | YYR1 | Steering |
+/// | 3 | FAI1 | Steering |
+/// | 4 | KYCP | Threshold |
+#[must_use]
+pub fn paper_stations() -> Vec<Station> {
+    vec![
+        Station::new(
+            "SRZN",
+            Ecef::new(3_623_420.032, -5_214_015.434, 602_359.096),
+            Date::new(2009, 8, 12).expect("valid date"),
+            CorrectionType::Steering,
+        ),
+        Station::new(
+            "YYR1",
+            Ecef::new(1_885_341.558, -3_321_428.098, 5_091_171.168),
+            Date::new(2009, 10, 23).expect("valid date"),
+            CorrectionType::Steering,
+        ),
+        Station::new(
+            "FAI1",
+            Ecef::new(-2_304_740.630, -1_448_716.218, 5_748_842.956),
+            Date::new(2009, 10, 29).expect("valid date"),
+            CorrectionType::Steering,
+        ),
+        Station::new(
+            "KYCP",
+            Ecef::new(411_598.861, -5_060_514.896, 3_847_795.506),
+            Date::new(2009, 10, 10).expect("valid date"),
+            CorrectionType::Threshold,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stations_match_table_51() {
+        let s = paper_stations();
+        assert_eq!(s.len(), 4);
+        let ids: Vec<&str> = s.iter().map(Station::id).collect();
+        assert_eq!(ids, vec!["SRZN", "YYR1", "FAI1", "KYCP"]);
+        // Exactly one threshold-corrected station (No. 4).
+        let thresholds: Vec<&Station> = s
+            .iter()
+            .filter(|st| st.correction_type() == CorrectionType::Threshold)
+            .collect();
+        assert_eq!(thresholds.len(), 1);
+        assert_eq!(thresholds[0].id(), "KYCP");
+        // Coordinates exactly as published.
+        assert_eq!(s[0].position().x, 3_623_420.032);
+        assert_eq!(s[3].position().z, 3_847_795.506);
+        // Dates as published.
+        assert_eq!(s[1].date().to_string(), "2009/10/23");
+    }
+
+    #[test]
+    fn stations_on_earth_surface() {
+        for st in paper_stations() {
+            let h = st.geodetic().height();
+            assert!(h.abs() < 5_000.0, "{}: height {h}", st.id());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "surface")]
+    fn rejects_km_scale_mistake() {
+        // Coordinates accidentally in kilometres.
+        let _ = Station::new(
+            "BAD",
+            Ecef::new(3_623.42, -5_214.015, 602.359),
+            Date::new(2009, 1, 1).unwrap(),
+            CorrectionType::Steering,
+        );
+    }
+
+    #[test]
+    fn display_includes_id_and_type() {
+        let s = &paper_stations()[0];
+        let text = s.to_string();
+        assert!(text.contains("SRZN"));
+        assert!(text.contains("Steering"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Moving-receiver trajectories and kinematic observation streams.
+//!
+//! The paper motivates its algorithms with objects that "move at a high
+//! speed" (§1). This module provides the moving-truth counterpart of the
+//! static dataset generator: a [`Trajectory`] describes where the
+//! receiver truly is at any time, and [`KinematicGenerator`] samples it
+//! into per-epoch observations with the same pseudorange model as the
+//! static path (eq. 3-5).
+
+use gps_atmosphere::ErrorBudget;
+use gps_clock::{ReceiverClock, SteeringClock};
+use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_geodesy::{Ecef, Enu, Geodetic, LocalFrame};
+use gps_orbits::Constellation;
+use gps_time::{Duration, GpsTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Epoch, EpochTruth, SatObservation};
+
+/// A receiver's true motion: position as a function of time.
+pub trait Trajectory {
+    /// True ECEF position at time `t`.
+    fn position_at(&self, t: GpsTime) -> Ecef;
+}
+
+/// A stationary receiver (reduces the kinematic generator to the static
+/// case; useful in tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticTrajectory {
+    /// The fixed position.
+    pub position: Ecef,
+}
+
+impl Trajectory for StaticTrajectory {
+    fn position_at(&self, _t: GpsTime) -> Ecef {
+        self.position
+    }
+}
+
+/// Constant ground velocity in a local ENU frame: the "vehicle on a
+/// straight road / aircraft on a leg" model.
+///
+/// # Example
+///
+/// ```
+/// use gps_obs::{GreatCircleTrajectory, Trajectory};
+/// use gps_geodesy::Geodetic;
+/// use gps_time::{Duration, GpsTime};
+///
+/// let start = Geodetic::from_deg(45.0, 7.6, 10_000.0).to_ecef();
+/// let traj = GreatCircleTrajectory::new(start, 60f64.to_radians(), 250.0, GpsTime::EPOCH);
+/// let t1 = GpsTime::EPOCH + Duration::from_seconds(10.0);
+/// let moved = traj.position_at(t1).distance_to(traj.position_at(GpsTime::EPOCH));
+/// assert!((moved - 2_500.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreatCircleTrajectory {
+    frame: LocalFrame,
+    /// Heading clockwise from north, radians.
+    heading: f64,
+    /// Ground speed, m/s.
+    speed: f64,
+    /// Departure time.
+    start: GpsTime,
+}
+
+impl GreatCircleTrajectory {
+    /// Creates a constant-velocity leg departing `start_position` at
+    /// `start` time with the given heading (radians from north) and speed
+    /// (m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative.
+    #[must_use]
+    pub fn new(start_position: Ecef, heading_rad: f64, speed_m_s: f64, start: GpsTime) -> Self {
+        assert!(speed_m_s >= 0.0, "speed must be non-negative");
+        GreatCircleTrajectory {
+            frame: LocalFrame::new(start_position),
+            heading: heading_rad,
+            speed: speed_m_s,
+            start,
+        }
+    }
+}
+
+impl Trajectory for GreatCircleTrajectory {
+    fn position_at(&self, t: GpsTime) -> Ecef {
+        let along = self.speed * (t - self.start).as_seconds();
+        self.frame.to_ecef(Enu::new(
+            along * self.heading.sin(),
+            along * self.heading.cos(),
+            0.0,
+        ))
+    }
+}
+
+/// A circular loop (orbit-track / holding-pattern model): constant speed
+/// on a circle of given radius in the local horizontal plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircularTrajectory {
+    frame: LocalFrame,
+    /// Loop radius, metres.
+    radius: f64,
+    /// Angular rate, rad/s (speed / radius).
+    rate: f64,
+    start: GpsTime,
+}
+
+impl CircularTrajectory {
+    /// Creates a circular loop centred on `center` with the given radius
+    /// (m) and ground speed (m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if radius or speed is not strictly positive.
+    #[must_use]
+    pub fn new(center: Ecef, radius_m: f64, speed_m_s: f64, start: GpsTime) -> Self {
+        assert!(radius_m > 0.0, "radius must be positive");
+        assert!(speed_m_s > 0.0, "speed must be positive");
+        CircularTrajectory {
+            frame: LocalFrame::new(center),
+            radius: radius_m,
+            rate: speed_m_s / radius_m,
+            start,
+        }
+    }
+}
+
+impl Trajectory for CircularTrajectory {
+    fn position_at(&self, t: GpsTime) -> Ecef {
+        let angle = self.rate * (t - self.start).as_seconds();
+        self.frame.to_ecef(Enu::new(
+            self.radius * angle.sin(),
+            self.radius * angle.cos(),
+            0.0,
+        ))
+    }
+}
+
+/// Generates kinematic observation epochs: per epoch, the true position
+/// comes from a [`Trajectory`] and pseudoranges follow the paper's
+/// eq. 3-5 error model.
+///
+/// Unlike the static [`crate::DatasetGenerator`], the output epochs carry
+/// a moving truth, so they are returned together with the true positions
+/// rather than as a station-anchored [`crate::DataSet`].
+#[derive(Debug, Clone)]
+pub struct KinematicGenerator {
+    seed: u64,
+    elevation_mask: f64,
+    budget: ErrorBudget,
+    clock: SteeringClock,
+}
+
+impl KinematicGenerator {
+    /// Creates a generator with a 7.5° mask, the standard error budget,
+    /// and a steered receiver clock.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        KinematicGenerator {
+            seed,
+            elevation_mask: 7.5f64.to_radians(),
+            budget: ErrorBudget::default(),
+            clock: SteeringClock::default(),
+        }
+    }
+
+    /// Sets the elevation mask in degrees.
+    #[must_use]
+    pub fn elevation_mask_deg(mut self, degrees: f64) -> Self {
+        self.elevation_mask = degrees.to_radians();
+        self
+    }
+
+    /// Replaces the error budget.
+    #[must_use]
+    pub fn error_budget(mut self, budget: ErrorBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Generates `count` epochs at `interval` spacing starting at
+    /// `start`, following `trajectory`. Returns `(epoch, true position)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not strictly positive.
+    #[must_use]
+    pub fn generate<T: Trajectory>(
+        &self,
+        trajectory: &T,
+        start: GpsTime,
+        interval: Duration,
+        count: usize,
+    ) -> Vec<(Epoch, Ecef)> {
+        assert!(interval.is_positive(), "interval must be positive");
+        let constellation = Constellation::gps_nominal_at(GpsTime::EPOCH);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut clock = self.clock.clone();
+
+        let mut out = Vec::with_capacity(count);
+        for (k, t) in start.epochs(interval, count).enumerate() {
+            if k > 0 {
+                clock.advance(interval, &mut rng);
+            }
+            let truth = trajectory.position_at(t);
+            let geo = Geodetic::from_ecef(truth);
+            let eps_r = clock.bias() * SPEED_OF_LIGHT;
+            let observations: Vec<SatObservation> = constellation
+                .visible_from(truth, t, self.elevation_mask)
+                .iter()
+                .map(|v| {
+                    let err = self
+                        .budget
+                        .draw(geo, v.elevation, v.azimuth, t, &mut rng)
+                        .total();
+                    SatObservation {
+                        sat: v.id,
+                        position: v.position,
+                        pseudorange: v.range + err + eps_r,
+                        elevation: v.elevation,
+                        extended: None,
+                    }
+                })
+                .collect();
+            out.push((
+                Epoch::new(
+                    t,
+                    observations,
+                    EpochTruth {
+                        clock_bias: clock.bias(),
+                        clock_reset: false,
+                    },
+                ),
+                truth,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_pos() -> Ecef {
+        Geodetic::from_deg(45.0, 7.6, 10_000.0).to_ecef()
+    }
+
+    #[test]
+    fn static_trajectory_is_constant() {
+        let traj = StaticTrajectory {
+            position: start_pos(),
+        };
+        let a = traj.position_at(GpsTime::EPOCH);
+        let b = traj.position_at(GpsTime::EPOCH + Duration::from_hours(5.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn great_circle_speed_is_exact_locally() {
+        let traj =
+            GreatCircleTrajectory::new(start_pos(), 1.0, 100.0, GpsTime::EPOCH);
+        let d = traj
+            .position_at(GpsTime::EPOCH + Duration::from_seconds(10.0))
+            .distance_to(traj.position_at(GpsTime::EPOCH));
+        assert!((d - 1_000.0).abs() < 0.5, "moved {d}");
+    }
+
+    #[test]
+    fn circular_trajectory_returns_to_start() {
+        let traj = CircularTrajectory::new(start_pos(), 5_000.0, 50.0, GpsTime::EPOCH);
+        let period = std::f64::consts::TAU * 5_000.0 / 50.0;
+        let a = traj.position_at(GpsTime::EPOCH);
+        let b = traj.position_at(GpsTime::EPOCH + Duration::from_seconds(period));
+        assert!(a.distance_to(b) < 1.0, "gap {}", a.distance_to(b));
+        // Half a loop is a diameter away.
+        let c = traj.position_at(GpsTime::EPOCH + Duration::from_seconds(period / 2.0));
+        assert!((a.distance_to(c) - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn kinematic_generation_tracks_truth() {
+        let traj = GreatCircleTrajectory::new(
+            start_pos(),
+            0.5,
+            250.0,
+            GpsTime::new(1544, 30_000.0),
+        );
+        let epochs = KinematicGenerator::new(4)
+            .error_budget(ErrorBudget::disabled())
+            .generate(
+                &traj,
+                GpsTime::new(1544, 30_000.0),
+                Duration::from_seconds(1.0),
+                20,
+            );
+        assert_eq!(epochs.len(), 20);
+        for (epoch, truth) in &epochs {
+            assert!(epoch.observations().len() >= 5);
+            // With errors disabled (and ~0 clock), pseudoranges equal the
+            // geometric range from the *moving* truth.
+            let eps_r = epoch.truth().clock_bias * SPEED_OF_LIGHT;
+            for o in epoch.observations() {
+                let range = truth.distance_to(o.position);
+                assert!((o.pseudorange - range - eps_r).abs() < 1e-6);
+            }
+        }
+        // Truth actually moves.
+        let total = epochs[19].1.distance_to(epochs[0].1);
+        assert!((total - 250.0 * 19.0).abs() < 5.0, "moved {total}");
+    }
+
+    #[test]
+    fn kinematic_generation_is_deterministic() {
+        let traj = GreatCircleTrajectory::new(start_pos(), 0.0, 50.0, GpsTime::EPOCH);
+        let a = KinematicGenerator::new(9).generate(
+            &traj,
+            GpsTime::EPOCH,
+            Duration::from_seconds(2.0),
+            5,
+        );
+        let b = KinematicGenerator::new(9).generate(
+            &traj,
+            GpsTime::EPOCH,
+            Duration::from_seconds(2.0),
+            5,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn circular_rejects_bad_radius() {
+        let _ = CircularTrajectory::new(start_pos(), 0.0, 50.0, GpsTime::EPOCH);
+    }
+}

@@ -1,0 +1,257 @@
+use gps_geodesy::{Ecef, LocalFrame};
+use gps_time::GpsTime;
+
+use crate::{KeplerianElements, SatId};
+
+/// One satellite visible from a station at some instant: its id, ECEF
+/// position, and look angles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisibleSatellite {
+    /// Satellite identifier.
+    pub id: SatId,
+    /// ECEF position at the query time, metres.
+    pub position: Ecef,
+    /// Elevation above the station's horizon, radians.
+    pub elevation: f64,
+    /// Azimuth clockwise from north, radians.
+    pub azimuth: f64,
+    /// Geometric range from the station, metres.
+    pub range: f64,
+}
+
+/// A set of satellites on Keplerian orbits — the GPS space segment of the
+/// paper's §3.1.
+///
+/// # Example
+///
+/// ```
+/// use gps_orbits::Constellation;
+///
+/// let gps = Constellation::gps_nominal();
+/// assert_eq!(gps.len(), 31); // active vehicles, March 2008 (paper fn. 2)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    satellites: Vec<(SatId, KeplerianElements)>,
+}
+
+/// In-plane slot phases (degrees) for a 6-plane GPS-like layout totalling
+/// 31 satellites: five planes carry 5 vehicles, one carries 6. Slots are
+/// unevenly spaced, as in the real constellation, to improve coverage
+/// robustness.
+const PLANE_SLOTS: [&[f64]; 6] = [
+    &[0.0, 65.0, 135.0, 200.0, 270.0, 330.0], // plane A: 6 vehicles
+    &[15.0, 85.0, 155.0, 225.0, 295.0],
+    &[40.0, 110.0, 180.0, 250.0, 320.0],
+    &[10.0, 80.0, 150.0, 220.0, 290.0],
+    &[55.0, 125.0, 195.0, 265.0, 335.0],
+    &[30.0, 100.0, 170.0, 240.0, 310.0],
+];
+
+impl Constellation {
+    /// Builds the nominal 31-vehicle GPS constellation: 6 planes at 60°
+    /// RAAN spacing, 55° inclination, near-circular 26 560 km orbits, with
+    /// reference epoch [`GpsTime::EPOCH`].
+    #[must_use]
+    pub fn gps_nominal() -> Self {
+        Self::gps_nominal_at(GpsTime::EPOCH)
+    }
+
+    /// Like [`Constellation::gps_nominal`] but with the orbital elements
+    /// referenced to the given epoch.
+    #[must_use]
+    pub fn gps_nominal_at(epoch: GpsTime) -> Self {
+        let mut satellites = Vec::with_capacity(31);
+        let mut prn = 1u8;
+        for (plane, slots) in PLANE_SLOTS.iter().enumerate() {
+            for &slot_deg in *slots {
+                satellites.push((
+                    SatId::new(prn),
+                    KeplerianElements::gps_circular(plane, slot_deg.to_radians(), epoch),
+                ));
+                prn += 1;
+            }
+        }
+        Constellation { satellites }
+    }
+
+    /// Builds a constellation from explicit `(id, elements)` pairs.
+    #[must_use]
+    pub fn from_elements(satellites: Vec<(SatId, KeplerianElements)>) -> Self {
+        Constellation { satellites }
+    }
+
+    /// Number of satellites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.satellites.len()
+    }
+
+    /// Returns `true` if the constellation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.satellites.is_empty()
+    }
+
+    /// Iterates over `(id, elements)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(SatId, KeplerianElements)> {
+        self.satellites.iter()
+    }
+
+    /// Looks up a satellite's orbital elements by id.
+    #[must_use]
+    pub fn get(&self, id: SatId) -> Option<&KeplerianElements> {
+        self.satellites
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, el)| el)
+    }
+
+    /// ECEF position of every satellite at time `t`.
+    #[must_use]
+    pub fn positions_at(&self, t: GpsTime) -> Vec<(SatId, Ecef)> {
+        self.satellites
+            .iter()
+            .map(|(id, el)| (*id, el.position_at(t)))
+            .collect()
+    }
+
+    /// Satellites visible from `station` at time `t` with elevation above
+    /// `mask_rad`, sorted by **descending elevation**.
+    ///
+    /// The descending order makes "take the m best-placed satellites" (the
+    /// satellite-count sweep of the paper's Figures 5.1/5.2) a simple
+    /// prefix truncation.
+    #[must_use]
+    pub fn visible_from(&self, station: Ecef, t: GpsTime, mask_rad: f64) -> Vec<VisibleSatellite> {
+        let frame = LocalFrame::new(station);
+        let mut visible: Vec<VisibleSatellite> = self
+            .satellites
+            .iter()
+            .filter_map(|(id, el)| {
+                let pos = el.position_at(t);
+                let elevation = frame.elevation(pos);
+                if elevation >= mask_rad {
+                    Some(VisibleSatellite {
+                        id: *id,
+                        position: pos,
+                        elevation,
+                        azimuth: frame.azimuth(pos),
+                        range: station.distance_to(pos),
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        visible.sort_by(|a, b| {
+            b.elevation
+                .partial_cmp(&a.elevation)
+                .expect("elevations are finite")
+        });
+        visible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_geodesy::Geodetic;
+    use gps_time::Duration;
+
+    fn station_mid_latitude() -> Ecef {
+        Geodetic::from_deg(45.0, 7.0, 200.0).to_ecef()
+    }
+
+    #[test]
+    fn nominal_has_31_unique_prns() {
+        let c = Constellation::gps_nominal();
+        assert_eq!(c.len(), 31);
+        assert!(!c.is_empty());
+        let mut prns: Vec<u8> = c.iter().map(|(id, _)| id.prn()).collect();
+        prns.sort_unstable();
+        prns.dedup();
+        assert_eq!(prns.len(), 31);
+        assert_eq!(prns[0], 1);
+        assert_eq!(prns[30], 31);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let c = Constellation::gps_nominal();
+        assert!(c.get(SatId::new(7)).is_some());
+        assert!(c.get(SatId::new(32)).is_none());
+    }
+
+    #[test]
+    fn visibility_counts_realistic_over_a_day() {
+        let c = Constellation::gps_nominal();
+        let station = station_mid_latitude();
+        let mask = 10.0f64.to_radians();
+        let mut min_seen = usize::MAX;
+        let mut max_seen = 0;
+        for hour in 0..24 {
+            let t = GpsTime::EPOCH + Duration::from_hours(hour as f64);
+            let n = c.visible_from(station, t, mask).len();
+            min_seen = min_seen.min(n);
+            max_seen = max_seen.max(n);
+        }
+        // The paper's data items contain 8-12 satellites; a nominal
+        // constellation should always show at least 6 and rarely above 14.
+        assert!(min_seen >= 5, "min visible {min_seen}");
+        assert!(max_seen <= 15, "max visible {max_seen}");
+    }
+
+    #[test]
+    fn visible_sorted_by_descending_elevation() {
+        let c = Constellation::gps_nominal();
+        let vis = c.visible_from(station_mid_latitude(), GpsTime::EPOCH, 0.0);
+        for pair in vis.windows(2) {
+            assert!(pair[0].elevation >= pair[1].elevation);
+        }
+    }
+
+    #[test]
+    fn visible_ranges_physically_plausible() {
+        let c = Constellation::gps_nominal();
+        let vis = c.visible_from(
+            station_mid_latitude(),
+            GpsTime::EPOCH,
+            5.0f64.to_radians(),
+        );
+        for v in &vis {
+            // Range between ~20 000 km (zenith) and ~26 000 km (horizon).
+            assert!(v.range > 1.9e7 && v.range < 2.7e7, "range {}", v.range);
+            assert!(v.elevation >= 5.0f64.to_radians());
+            assert!((0.0..std::f64::consts::TAU).contains(&v.azimuth));
+        }
+    }
+
+    #[test]
+    fn higher_mask_reduces_visibility() {
+        let c = Constellation::gps_nominal();
+        let station = station_mid_latitude();
+        let low = c.visible_from(station, GpsTime::EPOCH, 0.0).len();
+        let high = c.visible_from(station, GpsTime::EPOCH, 30.0f64.to_radians()).len();
+        assert!(high <= low);
+    }
+
+    #[test]
+    fn polar_station_still_sees_satellites() {
+        // 55° inclination leaves a polar hole overhead, but slant
+        // visibility keeps several vehicles in view.
+        let c = Constellation::gps_nominal();
+        let pole = Geodetic::from_deg(89.0, 0.0, 0.0).to_ecef();
+        let n = c.visible_from(pole, GpsTime::EPOCH, 10.0f64.to_radians()).len();
+        assert!(n >= 4, "polar visibility {n}");
+    }
+
+    #[test]
+    fn from_elements_round_trip() {
+        let el = KeplerianElements::gps_circular(0, 0.0, GpsTime::EPOCH);
+        let c = Constellation::from_elements(vec![(SatId::new(9), el)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.positions_at(GpsTime::EPOCH).len(), 1);
+        assert_eq!(c.positions_at(GpsTime::EPOCH)[0].0, SatId::new(9));
+    }
+}

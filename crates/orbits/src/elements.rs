@@ -1,0 +1,247 @@
+use gps_geodesy::wgs84::{EARTH_GRAVITATIONAL_PARAMETER, EARTH_ROTATION_RATE};
+use gps_geodesy::Ecef;
+use gps_time::{Duration, GpsTime};
+
+use crate::kepler;
+
+/// Classical Keplerian orbital elements of one satellite, with an epoch.
+///
+/// Propagation follows the standard two-body model plus the rotation into
+/// the Earth-fixed frame: the Right Ascension of the Ascending Node is
+/// measured against a frame that rotates with the Earth at the IS-GPS-200
+/// rate, exactly as GPS almanacs define it. Perturbations (J₂, lunisolar)
+/// are deliberately omitted — the positioning algorithms consume satellite
+/// coordinates as given (paper eq. 3-1), so unmodeled perturbations would
+/// only relabel the simulated truth without changing any compared quantity.
+///
+/// # Example
+///
+/// ```
+/// use gps_orbits::KeplerianElements;
+/// use gps_time::GpsTime;
+///
+/// let orbit = KeplerianElements::gps_circular(0, 0.0, GpsTime::EPOCH);
+/// let pos = orbit.position_at(GpsTime::EPOCH);
+/// // GPS orbital radius ≈ 26 560 km (±a·e for a slightly eccentric orbit).
+/// assert!((pos.norm() - 2.656e7).abs() < 3.5e5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeplerianElements {
+    /// Semi-major axis, metres.
+    pub semi_major_axis: f64,
+    /// Eccentricity, dimensionless, `0 ≤ e < 1`.
+    pub eccentricity: f64,
+    /// Inclination, radians.
+    pub inclination: f64,
+    /// Right ascension of the ascending node at `epoch`, radians, measured
+    /// in the ECEF frame (i.e. against the Greenwich meridian at `epoch`).
+    pub raan: f64,
+    /// Argument of perigee, radians.
+    pub argument_of_perigee: f64,
+    /// Mean anomaly at `epoch`, radians.
+    pub mean_anomaly: f64,
+    /// Reference epoch for `raan` and `mean_anomaly`.
+    pub epoch: GpsTime,
+}
+
+/// Nominal GPS semi-major axis (m): 12-sidereal-hour orbits.
+pub const GPS_SEMI_MAJOR_AXIS: f64 = 26_559_710.0;
+
+/// Nominal GPS inclination (rad): 55°.
+pub const GPS_INCLINATION: f64 = 55.0 * std::f64::consts::PI / 180.0;
+
+/// Typical GPS eccentricity: orbits are nearly circular.
+pub const GPS_ECCENTRICITY: f64 = 0.01;
+
+impl KeplerianElements {
+    /// A nominal near-circular GPS orbit in plane `plane` (0..6, setting
+    /// RAAN at 60° spacing) with in-plane phase `phase_rad`.
+    #[must_use]
+    pub fn gps_circular(plane: usize, phase_rad: f64, epoch: GpsTime) -> Self {
+        KeplerianElements {
+            semi_major_axis: GPS_SEMI_MAJOR_AXIS,
+            eccentricity: GPS_ECCENTRICITY,
+            inclination: GPS_INCLINATION,
+            raan: (plane as f64) * 60.0f64.to_radians(),
+            argument_of_perigee: 0.0,
+            mean_anomaly: phase_rad,
+            epoch,
+        }
+    }
+
+    /// Mean motion `n = sqrt(μ/a³)`, rad/s.
+    #[must_use]
+    pub fn mean_motion(&self) -> f64 {
+        (EARTH_GRAVITATIONAL_PARAMETER / self.semi_major_axis.powi(3)).sqrt()
+    }
+
+    /// Orbital period, seconds.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        Duration::from_seconds(std::f64::consts::TAU / self.mean_motion())
+    }
+
+    /// Satellite ECEF position at time `t`.
+    #[must_use]
+    pub fn position_at(&self, t: GpsTime) -> Ecef {
+        self.position_velocity_at(t).0
+    }
+
+    /// Satellite ECEF position and velocity at time `t`.
+    ///
+    /// The velocity is the ECEF-frame velocity (it includes the frame
+    /// rotation term), useful for range-rate/Doppler simulation.
+    #[must_use]
+    pub fn position_velocity_at(&self, t: GpsTime) -> (Ecef, Ecef) {
+        let dt = (t - self.epoch).as_seconds();
+        let n = self.mean_motion();
+        let e = self.eccentricity;
+
+        // Anomalies.
+        let m = self.mean_anomaly + n * dt;
+        let big_e = kepler::solve_kepler(m, e);
+        let nu = kepler::true_anomaly(big_e, e);
+
+        // Orbital-plane polar coordinates.
+        let r = self.semi_major_axis * (1.0 - e * big_e.cos());
+        let arg_lat = self.argument_of_perigee + nu; // argument of latitude
+
+        // RAAN in the Earth-fixed frame drifts backwards at the Earth
+        // rotation rate.
+        let omega = self.raan - EARTH_ROTATION_RATE * dt;
+
+        let (s_al, c_al) = arg_lat.sin_cos();
+        let (s_om, c_om) = omega.sin_cos();
+        let (s_i, c_i) = self.inclination.sin_cos();
+
+        // In-plane position components.
+        let x_p = r * c_al;
+        let y_p = r * s_al;
+
+        let pos = Ecef::new(
+            x_p * c_om - y_p * c_i * s_om,
+            x_p * s_om + y_p * c_i * c_om,
+            y_p * s_i,
+        );
+
+        // Velocity: differentiate r and arg_lat.
+        let e_dot = n / (1.0 - e * big_e.cos());
+        let r_dot = self.semi_major_axis * e * big_e.sin() * e_dot;
+        let nu_dot = e_dot * (1.0 - e * e).sqrt() / (1.0 - e * big_e.cos());
+        let x_p_dot = r_dot * c_al - r * s_al * nu_dot;
+        let y_p_dot = r_dot * s_al + r * c_al * nu_dot;
+        let om_dot = -EARTH_ROTATION_RATE;
+
+        let vel = Ecef::new(
+            x_p_dot * c_om - y_p_dot * c_i * s_om - om_dot * (x_p * s_om + y_p * c_i * c_om),
+            x_p_dot * s_om + y_p_dot * c_i * c_om + om_dot * (x_p * c_om - y_p * c_i * s_om),
+            y_p_dot * s_i,
+        );
+
+        (pos, vel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> KeplerianElements {
+        KeplerianElements::gps_circular(2, 1.0, GpsTime::EPOCH)
+    }
+
+    #[test]
+    fn gps_period_is_half_sidereal_day() {
+        let p = nominal().period().as_seconds();
+        // Half a sidereal day ≈ 43 082 s.
+        assert!((p - 43_082.0).abs() < 60.0, "period {p}");
+    }
+
+    #[test]
+    fn radius_stays_near_semi_major_axis() {
+        let orbit = nominal();
+        for k in 0..24 {
+            let t = GpsTime::EPOCH + Duration::from_hours(k as f64);
+            let r = orbit.position_at(t).norm();
+            let bound = orbit.semi_major_axis * orbit.eccentricity * 1.01;
+            assert!(
+                (r - orbit.semi_major_axis).abs() <= bound,
+                "r {r} at hour {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_extent_matches_inclination() {
+        // |z| never exceeds a(1+e)·sin i, and gets close to a·sin i.
+        let orbit = nominal();
+        let mut max_z: f64 = 0.0;
+        for k in 0..720 {
+            let t = GpsTime::EPOCH + Duration::from_minutes(k as f64);
+            max_z = max_z.max(orbit.position_at(t).z.abs());
+        }
+        let limit = orbit.semi_major_axis * (1.0 + orbit.eccentricity) * GPS_INCLINATION.sin();
+        assert!(max_z <= limit * 1.0001, "max_z {max_z}");
+        assert!(
+            max_z > orbit.semi_major_axis * GPS_INCLINATION.sin() * 0.97,
+            "max_z {max_z}"
+        );
+    }
+
+    #[test]
+    fn equatorial_orbit_stays_in_plane() {
+        let mut orbit = nominal();
+        orbit.inclination = 0.0;
+        for k in 0..12 {
+            let t = GpsTime::EPOCH + Duration::from_hours(k as f64);
+            assert!(orbit.position_at(t).z.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn velocity_matches_finite_difference() {
+        let orbit = nominal();
+        let t = GpsTime::EPOCH + Duration::from_hours(3.0);
+        let h = 0.05;
+        let (pos, vel) = orbit.position_velocity_at(t);
+        let ahead = orbit.position_at(t + Duration::from_seconds(h));
+        let behind = orbit.position_at(t - Duration::from_seconds(h));
+        let fd = (ahead - behind) / (2.0 * h);
+        assert!((fd - vel).norm() < 1e-2, "fd err {}", (fd - vel).norm());
+        let _ = pos;
+    }
+
+    #[test]
+    fn speed_is_orbital() {
+        // GPS inertial orbital speed ≈ 3.87 km/s; ECEF speed differs by the
+        // frame rotation (≤ ω·r ≈ 1.94 km/s) but stays in the same ballpark.
+        let (_, vel) = nominal().position_velocity_at(GpsTime::EPOCH);
+        let v = vel.norm();
+        assert!(v > 2_000.0 && v < 6_000.0, "speed {v}");
+    }
+
+    #[test]
+    fn planes_are_rotated_copies() {
+        // Two satellites in different planes with the same phase have the
+        // same geocentric radius at the same time.
+        let a = KeplerianElements::gps_circular(0, 0.5, GpsTime::EPOCH);
+        let b = KeplerianElements::gps_circular(3, 0.5, GpsTime::EPOCH);
+        let t = GpsTime::EPOCH + Duration::from_hours(5.0);
+        assert!((a.position_at(t).norm() - b.position_at(t).norm()).abs() < 1e-6);
+        assert!(a.position_at(t).distance_to(b.position_at(t)) > 1e6);
+    }
+
+    #[test]
+    fn period_repeats_in_rotating_frame_after_sidereal_day() {
+        // After exactly two orbital periods (one sidereal day), the ground
+        // track repeats: ECEF position returns to (almost) the same place.
+        let orbit = nominal();
+        let p = orbit.period();
+        let t0 = GpsTime::EPOCH + Duration::from_hours(1.0);
+        let t1 = t0 + p * 2.0;
+        let d = orbit.position_at(t0).distance_to(orbit.position_at(t1));
+        // Not exact because mean motion and Earth rate aren't commensurate
+        // to machine precision, but within a few km.
+        assert!(d < 20_000.0, "repeat distance {d}");
+    }
+}

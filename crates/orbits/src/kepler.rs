@@ -1,0 +1,179 @@
+//! Kepler-equation solver: mean anomaly → eccentric anomaly.
+//!
+//! Kepler's equation `M = E − e·sin E` has no closed-form inverse; the
+//! orbit propagator solves it by Newton iteration, which converges
+//! quadratically for the near-circular orbits of GPS (e ≈ 0.01) and
+//! remains robust for any elliptical eccentricity `0 ≤ e < 1`.
+
+/// Convergence tolerance on the eccentric anomaly, radians.
+const TOLERANCE: f64 = 1e-13;
+
+/// Iteration cap; Newton on Kepler's equation converges in < 10 steps for
+/// any `e < 0.99` with the starting guesses used below.
+const MAX_ITERATIONS: usize = 30;
+
+/// Solves Kepler's equation `M = E − e·sin E` for the eccentric anomaly
+/// `E`, given mean anomaly `m` (radians) and eccentricity `e`.
+///
+/// # Panics
+///
+/// Panics if `e` is not in `[0, 1)` or `m` is not finite.
+///
+/// # Example
+///
+/// ```
+/// use gps_orbits::kepler::solve_kepler;
+///
+/// // Circular orbit: E == M.
+/// assert_eq!(solve_kepler(1.234, 0.0), 1.234);
+/// // Residual of the defining equation is tiny.
+/// let e = 0.0123;
+/// let big_e = solve_kepler(2.5, e);
+/// assert!((big_e - e * big_e.sin() - 2.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn solve_kepler(m: f64, e: f64) -> f64 {
+    assert!((0.0..1.0).contains(&e), "eccentricity must be in [0, 1)");
+    assert!(m.is_finite(), "mean anomaly must be finite");
+    if e == 0.0 {
+        return m;
+    }
+    // Reduce M to (-π, π] for a well-behaved starting guess, remembering
+    // the offset so the returned E is continuous with the input M.
+    let two_pi = std::f64::consts::TAU;
+    let m_wrapped = m - two_pi * (m / two_pi).round();
+    let offset = m - m_wrapped;
+
+    // Starting guess: E₀ = M + e·sin M works well for small e; for larger e
+    // near M = 0 use the cubic-root guess to avoid slow starts.
+    let mut big_e = if e < 0.8 {
+        m_wrapped + e * m_wrapped.sin()
+    } else {
+        std::f64::consts::PI.copysign(m_wrapped.max(f64::MIN_POSITIVE))
+    };
+
+    let mut converged = false;
+    for _ in 0..MAX_ITERATIONS {
+        let f = big_e - e * big_e.sin() - m_wrapped;
+        let fp = 1.0 - e * big_e.cos();
+        let delta = f / fp;
+        big_e -= delta;
+        if delta.abs() < TOLERANCE {
+            converged = true;
+            break;
+        }
+    }
+    if !converged || (big_e - e * big_e.sin() - m_wrapped).abs() > 1e-10 {
+        // Guaranteed fallback: f(E) = E − e·sin E − M is strictly
+        // increasing and bracketed by [M − e, M + e], so bisect.
+        let mut lo = m_wrapped - e;
+        let mut hi = m_wrapped + e;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mid - e * mid.sin() - m_wrapped < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < TOLERANCE {
+                break;
+            }
+        }
+        big_e = 0.5 * (lo + hi);
+    }
+    big_e + offset
+}
+
+/// True anomaly `ν` from eccentric anomaly `E` and eccentricity `e`.
+///
+/// # Panics
+///
+/// Panics if `e` is not in `[0, 1)`.
+#[must_use]
+pub fn true_anomaly(big_e: f64, e: f64) -> f64 {
+    assert!((0.0..1.0).contains(&e), "eccentricity must be in [0, 1)");
+    let (s, c) = big_e.sin_cos();
+    let sin_nu = (1.0 - e * e).sqrt() * s;
+    let cos_nu = c - e;
+    sin_nu.atan2(cos_nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_orbit_identity() {
+        for m in [-3.0, 0.0, 0.5, 2.0, 6.0] {
+            assert_eq!(solve_kepler(m, 0.0), m);
+        }
+    }
+
+    #[test]
+    fn residual_small_across_parameter_space() {
+        for &e in &[1e-6, 0.001, 0.0123, 0.1, 0.3, 0.7, 0.95] {
+            for i in 0..48 {
+                let m = -7.0 + 14.0 * (i as f64) / 47.0;
+                let big_e = solve_kepler(m, e);
+                let resid = big_e - e * big_e.sin() - m;
+                assert!(
+                    resid.abs() < 1e-10,
+                    "e={e} m={m}: residual {resid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_with_wrapping() {
+        // E(M + 2π) = E(M) + 2π: wrapping must not introduce jumps.
+        let e = 0.05;
+        let m = 1.3;
+        let a = solve_kepler(m, e);
+        let b = solve_kepler(m + std::f64::consts::TAU, e);
+        assert!((b - a - std::f64::consts::TAU).abs() < 1e-10);
+    }
+
+    #[test]
+    fn symmetric_about_zero() {
+        let e = 0.2;
+        assert!((solve_kepler(-1.0, e) + solve_kepler(1.0, e)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_anomaly_limits() {
+        // At perigee (E = 0) and apogee (E = π) true anomaly equals E.
+        assert_eq!(true_anomaly(0.0, 0.3), 0.0);
+        assert!((true_anomaly(std::f64::consts::PI, 0.3) - std::f64::consts::PI).abs() < 1e-12);
+        // For a circular orbit, ν = E everywhere.
+        for i in 0..8 {
+            let big_e = -3.0 + i as f64;
+            let nu = true_anomaly(big_e, 0.0);
+            let wrapped =
+                (big_e - nu + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU);
+            assert!((wrapped - std::f64::consts::PI).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn true_anomaly_leads_eccentric_ahead_of_perigee() {
+        // For 0 < E < π the true anomaly is ahead of E (body moves faster
+        // near perigee).
+        let e = 0.4;
+        for big_e in [0.3, 1.0, 2.0] {
+            assert!(true_anomaly(big_e, e) > big_e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eccentricity")]
+    fn rejects_hyperbolic() {
+        let _ = solve_kepler(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_mean_anomaly() {
+        let _ = solve_kepler(f64::NAN, 0.1);
+    }
+}

@@ -1,0 +1,46 @@
+//! GPS satellite constellation simulation.
+//!
+//! The paper evaluates its algorithms on observation files from real CORS
+//! stations; each one-second data item carries "all available satellites'
+//! coordinates and pseudo-ranges". To regenerate equivalent inputs without
+//! the proprietary downloads, this crate simulates the **space segment**
+//! the paper describes in §3.1: a constellation of satellites "orbiting in
+//! 6 circular orbital planes around the earth" (31 active vehicles as of
+//! March 2008, the paper's own footnote 2).
+//!
+//! The pieces:
+//!
+//! * [`kepler`] — the Kepler-equation solver (mean → eccentric anomaly);
+//! * [`KeplerianElements`] — one satellite's orbit, propagated to an ECEF
+//!   position at any [`GpsTime`](gps_time::GpsTime) (rotation into the Earth-fixed frame uses
+//!   the IS-GPS-200 Earth-rotation rate);
+//! * [`Constellation`] — the full 31-vehicle GPS almanac-style layout with
+//!   per-plane RAAN spacing and in-plane phasing, plus visibility queries
+//!   (`visible_from`) that feed the dataset generator.
+//!
+//! # Example
+//!
+//! ```
+//! use gps_orbits::Constellation;
+//! use gps_geodesy::Geodetic;
+//! use gps_time::GpsTime;
+//!
+//! let gps = Constellation::gps_nominal();
+//! let station = Geodetic::from_deg(45.0, 7.0, 200.0).to_ecef();
+//! let visible = gps.visible_from(station, GpsTime::EPOCH, 10f64.to_radians());
+//! // A ground station always sees roughly 6-12 satellites.
+//! assert!(visible.len() >= 6 && visible.len() <= 14);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod constellation;
+mod elements;
+pub mod kepler;
+mod satid;
+pub mod yuma;
+
+pub use constellation::{Constellation, VisibleSatellite};
+pub use elements::KeplerianElements;
+pub use satid::SatId;

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// A GPS satellite identifier (PRN number, 1..=32 for the GPS
+/// constellation).
+///
+/// # Example
+///
+/// ```
+/// use gps_orbits::SatId;
+///
+/// let id = SatId::new(7);
+/// assert_eq!(id.prn(), 7);
+/// assert_eq!(id.to_string(), "G07");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SatId(u8);
+
+impl SatId {
+    /// Creates a satellite id from a PRN number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prn` is 0 (PRNs are 1-based).
+    #[must_use]
+    pub fn new(prn: u8) -> Self {
+        assert!(prn > 0, "PRN numbers are 1-based");
+        SatId(prn)
+    }
+
+    /// The PRN number.
+    #[must_use]
+    pub fn prn(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{:02}", self.0)
+    }
+}
+
+impl From<SatId> for u8 {
+    fn from(id: SatId) -> u8 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prn_round_trip() {
+        let id = SatId::new(31);
+        assert_eq!(id.prn(), 31);
+        assert_eq!(u8::from(id), 31);
+    }
+
+    #[test]
+    fn display_zero_pads() {
+        assert_eq!(SatId::new(3).to_string(), "G03");
+        assert_eq!(SatId::new(12).to_string(), "G12");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_prn_rejected() {
+        let _ = SatId::new(0);
+    }
+
+    #[test]
+    fn ordering_by_prn() {
+        assert!(SatId::new(1) < SatId::new(2));
+    }
+}

@@ -1,0 +1,351 @@
+//! YUMA almanac text format: the standard human-readable GPS almanac
+//! exchange format, as published weekly by the US Coast Guard.
+//!
+//! Writing lets a constellation built here be inspected with standard GPS
+//! tooling; parsing lets real published almanacs (when available) replace
+//! the nominal constellation without code changes. Only the orbital
+//! fields this crate models are interpreted; clock fields are carried
+//! through verbatim.
+//!
+//! # Example
+//!
+//! ```
+//! use gps_orbits::{yuma, Constellation};
+//!
+//! let gps = Constellation::gps_nominal();
+//! let text = yuma::write(&gps);
+//! let back = yuma::parse(&text).unwrap();
+//! assert_eq!(back.len(), gps.len());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use gps_time::GpsTime;
+
+use crate::{Constellation, KeplerianElements, SatId};
+
+/// Error produced when parsing a YUMA document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum YumaError {
+    /// A record was missing a required field.
+    MissingField {
+        /// The field label.
+        field: &'static str,
+        /// Index of the record (0-based).
+        record: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// The field label.
+        field: &'static str,
+        /// The offending text.
+        text: String,
+    },
+    /// A PRN was outside 1..=63.
+    BadPrn {
+        /// The offending value.
+        prn: i64,
+    },
+    /// The document contained no records.
+    Empty,
+}
+
+impl fmt::Display for YumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YumaError::MissingField { field, record } => {
+                write!(f, "record {record} is missing field `{field}`")
+            }
+            YumaError::BadNumber { field, text } => {
+                write!(f, "field `{field}`: `{text}` is not a number")
+            }
+            YumaError::BadPrn { prn } => write!(f, "PRN {prn} outside 1..=63"),
+            YumaError::Empty => write!(f, "no almanac records found"),
+        }
+    }
+}
+
+impl Error for YumaError {}
+
+/// Serializes a constellation as a YUMA almanac document.
+///
+/// Week numbers are written modulo 1024 (the YUMA convention). RAAN is
+/// written as the "Right Ascen at Week" field; the omitted clock fields
+/// are zeroed.
+#[must_use]
+pub fn write(constellation: &Constellation) -> String {
+    let mut out = String::new();
+    for (id, el) in constellation.iter() {
+        let week = el.epoch.week().rem_euclid(1024);
+        out.push_str(&format!(
+            "******** Week {week} almanac for PRN-{:02} ********\n",
+            id.prn()
+        ));
+        out.push_str(&format!("ID:                         {:02}\n", id.prn()));
+        out.push_str("Health:                     000\n");
+        out.push_str(&format!(
+            "Eccentricity:               {:.10E}\n",
+            el.eccentricity
+        ));
+        out.push_str(&format!(
+            "Time of Applicability(s):  {:.4}\n",
+            el.epoch.seconds_of_week()
+        ));
+        out.push_str(&format!(
+            "Orbital Inclination(rad):   {:.10}\n",
+            el.inclination
+        ));
+        out.push_str("Rate of Right Ascen(r/s):   0.0000000000E+00\n");
+        out.push_str(&format!(
+            "SQRT(A)  (m 1/2):           {:.6}\n",
+            el.semi_major_axis.sqrt()
+        ));
+        out.push_str(&format!(
+            "Right Ascen at Week(rad):   {:.10E}\n",
+            el.raan
+        ));
+        out.push_str(&format!(
+            "Argument of Perigee(rad):   {:.9}\n",
+            el.argument_of_perigee
+        ));
+        out.push_str(&format!("Mean Anom(rad):             {:.10E}\n", el.mean_anomaly));
+        out.push_str("Af0(s):                     0.0000000000E+00\n");
+        out.push_str("Af1(s/s):                   0.0000000000E+00\n");
+        out.push_str(&format!("week:                       {week}\n"));
+        out.push('\n');
+    }
+    out
+}
+
+/// One partially parsed record.
+#[derive(Default)]
+struct RawRecord {
+    id: Option<i64>,
+    eccentricity: Option<f64>,
+    toa: Option<f64>,
+    inclination: Option<f64>,
+    sqrt_a: Option<f64>,
+    raan: Option<f64>,
+    arg_perigee: Option<f64>,
+    mean_anomaly: Option<f64>,
+    week: Option<i64>,
+}
+
+impl RawRecord {
+    fn is_empty(&self) -> bool {
+        self.id.is_none()
+            && self.eccentricity.is_none()
+            && self.toa.is_none()
+            && self.week.is_none()
+    }
+
+    fn finish(self, record: usize) -> Result<(SatId, KeplerianElements), YumaError> {
+        let need = |field: &'static str, v: Option<f64>| {
+            v.ok_or(YumaError::MissingField { field, record })
+        };
+        let prn = self
+            .id
+            .ok_or(YumaError::MissingField {
+                field: "ID",
+                record,
+            })?;
+        if !(1..=63).contains(&prn) {
+            return Err(YumaError::BadPrn { prn });
+        }
+        let sqrt_a = need("SQRT(A)", self.sqrt_a)?;
+        let week = self.week.ok_or(YumaError::MissingField {
+            field: "week",
+            record,
+        })?;
+        let toa = need("Time of Applicability", self.toa)?;
+        Ok((
+            SatId::new(prn as u8),
+            KeplerianElements {
+                semi_major_axis: sqrt_a * sqrt_a,
+                eccentricity: need("Eccentricity", self.eccentricity)?,
+                inclination: need("Orbital Inclination", self.inclination)?,
+                raan: need("Right Ascen at Week", self.raan)?,
+                argument_of_perigee: need("Argument of Perigee", self.arg_perigee)?,
+                mean_anomaly: need("Mean Anom", self.mean_anomaly)?,
+                epoch: GpsTime::new(week as i32, toa),
+            },
+        ))
+    }
+}
+
+fn parse_value(field: &'static str, text: &str) -> Result<f64, YumaError> {
+    text.trim()
+        .parse::<f64>()
+        .map_err(|_| YumaError::BadNumber {
+            field,
+            text: text.trim().to_owned(),
+        })
+}
+
+/// Parses a YUMA almanac document, resolving the 10-bit week numbers
+/// against a full reference week (the standard rollover disambiguation:
+/// each record's week is lifted into the 1024-week window centred on
+/// `reference_week`).
+///
+/// # Errors
+///
+/// Returns [`YumaError`] for missing/malformed fields, bad PRNs, or an
+/// empty document.
+pub fn parse_with_reference(
+    text: &str,
+    reference_week: i32,
+) -> Result<Constellation, YumaError> {
+    let constellation = parse(text)?;
+    let resolved = constellation
+        .iter()
+        .map(|(id, el)| {
+            let mut el = *el;
+            let short = el.epoch.week().rem_euclid(1024);
+            let base = reference_week - 512;
+            let week = base + (short - base).rem_euclid(1024);
+            el.epoch = GpsTime::new(week, el.epoch.seconds_of_week());
+            (*id, el)
+        })
+        .collect();
+    Ok(Constellation::from_elements(resolved))
+}
+
+/// Parses a YUMA almanac document into a [`Constellation`].
+///
+/// Week numbers are taken as written (mod 1024, per the format). Use
+/// [`parse_with_reference`] to resolve the week rollover against a known
+/// full week number.
+///
+/// # Errors
+///
+/// Returns [`YumaError`] for missing/malformed fields, bad PRNs, or an
+/// empty document.
+pub fn parse(text: &str) -> Result<Constellation, YumaError> {
+    let mut satellites = Vec::new();
+    let mut current = RawRecord::default();
+    let mut record = 0usize;
+
+    let flush = |current: &mut RawRecord,
+                     satellites: &mut Vec<(SatId, KeplerianElements)>,
+                     record: &mut usize|
+     -> Result<(), YumaError> {
+        if !current.is_empty() {
+            let finished = std::mem::take(current).finish(*record)?;
+            satellites.push(finished);
+            *record += 1;
+        }
+        Ok(())
+    };
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("****") {
+            flush(&mut current, &mut satellites, &mut record)?;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim();
+        if key.starts_with("ID") {
+            current.id = Some(parse_value("ID", value)? as i64);
+        } else if key.starts_with("Eccentricity") {
+            current.eccentricity = Some(parse_value("Eccentricity", value)?);
+        } else if key.starts_with("Time of Applicability") {
+            current.toa = Some(parse_value("Time of Applicability", value)?);
+        } else if key.starts_with("Orbital Inclination") {
+            current.inclination = Some(parse_value("Orbital Inclination", value)?);
+        } else if key.starts_with("SQRT(A)") {
+            current.sqrt_a = Some(parse_value("SQRT(A)", value)?);
+        } else if key.starts_with("Right Ascen at Week") {
+            current.raan = Some(parse_value("Right Ascen at Week", value)?);
+        } else if key.starts_with("Argument of Perigee") {
+            current.arg_perigee = Some(parse_value("Argument of Perigee", value)?);
+        } else if key.starts_with("Mean Anom") {
+            current.mean_anomaly = Some(parse_value("Mean Anom", value)?);
+        } else if key.starts_with("week") {
+            current.week = Some(parse_value("week", value)? as i64);
+        }
+        // Health / Af0 / Af1 / Rate of Right Ascen are accepted and
+        // ignored: this crate does not model them.
+    }
+    flush(&mut current, &mut satellites, &mut record)?;
+
+    if satellites.is_empty() {
+        return Err(YumaError::Empty);
+    }
+    Ok(Constellation::from_elements(satellites))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_time::Duration;
+
+    #[test]
+    fn round_trip_preserves_orbits() {
+        let gps = Constellation::gps_nominal_at(GpsTime::new(1544, 259_200.0));
+        let text = write(&gps);
+        let back = parse_with_reference(&text, 1544).expect("round trip");
+        assert_eq!(back.len(), gps.len());
+        // Propagated positions agree to numerical precision of the
+        // printed fields.
+        let t = GpsTime::new(1544, 260_000.0) + Duration::from_hours(3.0);
+        for ((id_a, el_a), (id_b, el_b)) in gps.iter().zip(back.iter()) {
+            assert_eq!(id_a, id_b);
+            let d = el_a.position_at(t).distance_to(el_b.position_at(t));
+            assert!(d < 1.0, "{id_a}: positions differ by {d} m");
+        }
+    }
+
+    #[test]
+    fn week_written_modulo_1024() {
+        let gps = Constellation::gps_nominal_at(GpsTime::new(1544, 0.0));
+        let text = write(&gps);
+        assert!(text.contains("Week 520"), "1544 mod 1024 = 520");
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_garbage() {
+        assert_eq!(parse("").unwrap_err(), YumaError::Empty);
+        assert_eq!(parse("hello\nworld\n").unwrap_err(), YumaError::Empty);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        let text = "ID: 05\nweek: 100\n";
+        assert!(matches!(
+            parse(text).unwrap_err(),
+            YumaError::MissingField { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_prn_and_numbers() {
+        let gps = Constellation::gps_nominal();
+        let text = write(&gps).replacen("ID:                         01", "ID: 99", 1);
+        assert_eq!(parse(&text).unwrap_err(), YumaError::BadPrn { prn: 99 });
+
+        let text2 = write(&gps).replacen("Eccentricity:               1", "Eccentricity: X", 1);
+        assert!(matches!(
+            parse(&text2).unwrap_err(),
+            YumaError::BadNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(YumaError::Empty.to_string().contains("no almanac"));
+        assert!(YumaError::BadPrn { prn: 0 }.to_string().contains('0'));
+        assert!(
+            YumaError::MissingField {
+                field: "week",
+                record: 3
+            }
+            .to_string()
+            .contains("week")
+        );
+    }
+}

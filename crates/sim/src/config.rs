@@ -1,0 +1,109 @@
+/// Configuration shared by the experiment reproductions.
+///
+/// The paper's runs use 24 h of 1 Hz data (86 400 epochs per dataset).
+/// That is reproducible here (`ExperimentConfig::paper_scale`), but the
+/// rates θ and η converge long before that; the default uses a 30 s
+/// cadence over a full day (2 880 epochs) and
+/// [`ExperimentConfig::quick`] shrinks further for tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+    /// Epoch spacing, seconds.
+    pub epoch_interval_s: f64,
+    /// Number of epochs per dataset.
+    pub epoch_count: usize,
+    /// Elevation mask, degrees. The experiments need epochs with up to 10
+    /// usable satellites, so the mask is slightly lower than the
+    /// generator's 10° default.
+    pub elevation_mask_deg: f64,
+    /// Satellite-count sweep, inclusive (the paper's figures run 4..=10).
+    pub min_satellites: usize,
+    /// Upper end of the sweep, inclusive.
+    pub max_satellites: usize,
+    /// Epochs used to fit the clock drift `r` at startup (§5.2.2).
+    pub calibration_epochs: usize,
+    /// Re-anchor the predictor offset `D` from an NR-derived bias every
+    /// this many seconds (the paper's §4.2 approach 1: "periodically
+    /// acquire an accurate standard time"; approach 2 supplies the value
+    /// from the NR method). `None` disables periodic re-anchoring, leaving
+    /// only the initialization (and threshold resets).
+    pub recalibration_interval_s: Option<f64>,
+}
+
+impl ExperimentConfig {
+    /// Paper-scale configuration: 86 400 epochs at 1 Hz. Slow — use for
+    /// the final full reproduction run.
+    #[must_use]
+    pub fn paper_scale(seed: u64) -> Self {
+        ExperimentConfig {
+            epoch_interval_s: 1.0,
+            epoch_count: 86_400,
+            ..ExperimentConfig::new(seed)
+        }
+    }
+
+    /// Default configuration: full-day coverage at 30 s cadence.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ExperimentConfig {
+            seed,
+            epoch_interval_s: 30.0,
+            epoch_count: 2_880,
+            elevation_mask_deg: 5.0,
+            min_satellites: 4,
+            max_satellites: 10,
+            calibration_epochs: 60,
+            recalibration_interval_s: Some(900.0),
+        }
+    }
+
+    /// A small configuration for tests and smoke runs: 2 h at 60 s
+    /// cadence.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        ExperimentConfig {
+            epoch_interval_s: 60.0,
+            epoch_count: 120,
+            calibration_epochs: 20,
+            ..ExperimentConfig::new(seed)
+        }
+    }
+
+    /// The inclusive satellite-count sweep as an iterator.
+    pub fn satellite_counts(&self) -> impl Iterator<Item = usize> {
+        self.min_satellites..=self.max_satellites
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper() {
+        let cfg = ExperimentConfig::new(1);
+        let counts: Vec<usize> = cfg.satellite_counts().collect();
+        assert_eq!(counts, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn paper_scale_is_full_rate() {
+        let cfg = ExperimentConfig::paper_scale(1);
+        assert_eq!(cfg.epoch_interval_s, 1.0);
+        assert_eq!(cfg.epoch_count, 86_400);
+    }
+
+    #[test]
+    fn quick_is_small() {
+        let cfg = ExperimentConfig::quick(1);
+        assert!(cfg.epoch_count <= 200);
+        assert!(cfg.calibration_epochs < cfg.epoch_count);
+    }
+}

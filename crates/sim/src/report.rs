@@ -1,0 +1,198 @@
+use std::fmt;
+
+/// One point of a figure series: satellite count → rates for DLO and DLG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Number of satellites `m`.
+    pub m: usize,
+    /// Rate (θ or η) for DLO, percent.
+    pub dlo: f64,
+    /// Rate (θ or η) for DLG, percent.
+    pub dlg: f64,
+    /// Epochs contributing to this point.
+    pub epochs: usize,
+}
+
+/// A reproduced figure: one sub-plot per dataset, each a series over the
+/// satellite count, rendered as aligned ASCII tables.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Figure title (e.g. "Figure 5.1 Execution Time Comparisons").
+    pub title: String,
+    /// What the rate column means (e.g. "θ = τ_O/τ_NR × 100%").
+    pub rate_legend: String,
+    /// `(dataset label, series)` pairs, one per sub-plot (a)–(d).
+    pub datasets: Vec<(String, Vec<SeriesPoint>)>,
+}
+
+impl FigureReport {
+    /// Looks up one dataset's series by label.
+    #[must_use]
+    pub fn series(&self, label: &str) -> Option<&[SeriesPoint]> {
+        self.datasets
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| s.as_slice())
+    }
+
+    /// Renders the figure as CSV (`dataset,m,dlo,dlg,epochs`) for
+    /// external plotting tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("dataset,m,dlo_rate_pct,dlg_rate_pct,epochs\n");
+        for (label, series) in &self.datasets {
+            for p in series {
+                out.push_str(&format!(
+                    "{},{},{:.3},{:.3},{}\n",
+                    label, p.m, p.dlo, p.dlg, p.epochs
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "  rate: {}", self.rate_legend)?;
+        for (idx, (label, series)) in self.datasets.iter().enumerate() {
+            let sub = (b'a' + idx as u8) as char;
+            writeln!(f, "\n  ({sub}) Data Set {} — {label}", idx + 1)?;
+            writeln!(f, "    {:>4} {:>10} {:>10} {:>8}", "m", "DLO %", "DLG %", "epochs")?;
+            for p in series {
+                writeln!(
+                    f,
+                    "    {:>4} {:>10.1} {:>10.1} {:>8}",
+                    p.m, p.dlo, p.dlg, p.epochs
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The reproduced Table 5.1: dataset specifications.
+#[derive(Debug, Clone)]
+pub struct Table51Report {
+    /// One row per dataset.
+    pub rows: Vec<Table51Row>,
+}
+
+/// One row of Table 5.1 plus the generated dataset's satellite statistics
+/// (the paper quotes "8 to 12 satellites" per data item).
+#[derive(Debug, Clone)]
+pub struct Table51Row {
+    /// Row number (1-4).
+    pub no: usize,
+    /// Site id.
+    pub site: String,
+    /// ECEF coordinates as published.
+    pub ecef: (f64, f64, f64),
+    /// Date of collection.
+    pub date: String,
+    /// Clock correction type.
+    pub clock: String,
+    /// Epochs generated.
+    pub epochs: usize,
+    /// Min/max satellites per epoch in the generated data.
+    pub sat_range: (usize, usize),
+}
+
+impl fmt::Display for Table51Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 5.1. Data Set Specifications")?;
+        writeln!(
+            f,
+            "{:>3} {:<6} {:<42} {:<11} {:<10} {:>7} {:>7}",
+            "No.", "Site", "ECEF Coordinates (X, Y, Z) (m)", "Date", "Clock", "epochs", "sats"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>3} {:<6} ({:.3}, {:.3}, {:.3}) {:<11} {:<10} {:>7} {:>4}-{}",
+                r.no,
+                r.site,
+                r.ecef.0,
+                r.ecef.1,
+                r.ecef.2,
+                r.date,
+                r.clock,
+                r.epochs,
+                r.sat_range.0,
+                r.sat_range.1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> FigureReport {
+        FigureReport {
+            title: "Figure X".to_owned(),
+            rate_legend: "θ".to_owned(),
+            datasets: vec![
+                (
+                    "SRZN".to_owned(),
+                    vec![SeriesPoint {
+                        m: 4,
+                        dlo: 18.0,
+                        dlg: 31.5,
+                        epochs: 100,
+                    }],
+                ),
+                ("YYR1".to_owned(), vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn figure_display_contains_series() {
+        let text = sample_figure().to_string();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("(a) Data Set 1 — SRZN"));
+        assert!(text.contains("(b) Data Set 2 — YYR1"));
+        assert!(text.contains("18.0"));
+        assert!(text.contains("31.5"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let fig = sample_figure();
+        assert_eq!(fig.series("SRZN").unwrap().len(), 1);
+        assert!(fig.series("NOPE").is_none());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "dataset,m,dlo_rate_pct,dlg_rate_pct,epochs");
+        assert_eq!(lines.len(), 2); // header + one point (YYR1 is empty)
+        assert_eq!(lines[1], "SRZN,4,18.000,31.500,100");
+    }
+
+    #[test]
+    fn table_display_lists_rows() {
+        let report = Table51Report {
+            rows: vec![Table51Row {
+                no: 1,
+                site: "SRZN".to_owned(),
+                ecef: (3_623_420.032, -5_214_015.434, 602_359.096),
+                date: "2009/08/12".to_owned(),
+                clock: "Steering".to_owned(),
+                epochs: 2_880,
+                sat_range: (8, 12),
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("Table 5.1"));
+        assert!(text.contains("SRZN"));
+        assert!(text.contains("3623420.032"));
+        assert!(text.contains("8-12"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Moving receiver: the paper's motivating scenario.
+//!
+//! ```text
+//! cargo run --release --example moving_receiver
+//! ```
+//!
+//! §1: "in many application systems, the object to be positioned may move
+//! at a high speed. It is then necessary to reduce the computation time
+//! overhead in order to provide real-time response for positioning
+//! requests." This example flies an aircraft leg at 250 m/s with 10 Hz
+//! epochs from [`gps_obs::KinematicGenerator`], solves every epoch with
+//! NR and with DLO, smooths the DLO fixes with the constant-velocity
+//! Kalman filter, and reports track accuracy plus the per-fix latency
+//! that determines the sustainable fix rate.
+
+use std::time::Instant;
+
+use gps_clock::ClockBiasPredictor;
+use gps_core::metrics::Summary;
+use gps_core::{Dlo, NewtonRaphson, PositionSolver, PvFilter};
+use gps_geodesy::Geodetic;
+use gps_obs::{GreatCircleTrajectory, KinematicGenerator};
+use gps_sim::to_measurements;
+use gps_time::{Duration, GpsTime};
+
+fn main() {
+    let t0 = GpsTime::new(1544, 30_000.0);
+    let start = Geodetic::from_deg(45.0, 7.6, 10_000.0).to_ecef();
+    let trajectory = GreatCircleTrajectory::new(start, 60f64.to_radians(), 250.0, t0);
+    let epochs = KinematicGenerator::new(2010).generate(
+        &trajectory,
+        t0,
+        Duration::from_seconds(0.1),
+        3_000, // five minutes of flight at 10 Hz
+    );
+
+    let nr = NewtonRaphson::default();
+    let dlo = Dlo::default();
+    let mut filter = PvFilter::new(1.0, 25.0);
+    let mut predictor = ClockBiasPredictor::new(t0);
+
+    let mut nr_err = Summary::new();
+    let mut dlo_err = Summary::new();
+    let mut filtered_err = Summary::new();
+    let mut nr_time_ns = Summary::new();
+    let mut dlo_time_ns = Summary::new();
+
+    for (k, (epoch, truth)) in epochs.iter().enumerate() {
+        let meas = to_measurements(epoch.observations());
+        let t = epoch.time();
+
+        let started = Instant::now();
+        let nr_fix = nr.solve(&meas, 0.0);
+        nr_time_ns.push(started.elapsed().as_nanos() as f64);
+
+        // Bootstrap the clock predictor from the very first NR solve, as
+        // §5.2.2 prescribes for a steering clock: once, at initialization.
+        if k == 0 {
+            if let Ok(fix) = &nr_fix {
+                if let Some(bias) = fix.receiver_bias_m {
+                    predictor.calibrate_from_range_bias(t, bias);
+                }
+            }
+        }
+
+        let predicted = predictor.predict_range_bias(t);
+        let started = Instant::now();
+        let dlo_fix = dlo.solve(&meas, predicted);
+        dlo_time_ns.push(started.elapsed().as_nanos() as f64);
+
+        if let (Ok(nr_sol), Ok(dlo_sol)) = (nr_fix, dlo_fix) {
+            nr_err.push(nr_sol.position.distance_to(*truth));
+            dlo_err.push(dlo_sol.position.distance_to(*truth));
+            filter.update(dlo_sol.position, 0.1).expect("fix is finite");
+            if let Some(smoothed) = filter.position() {
+                if k >= 50 {
+                    filtered_err.push(smoothed.distance_to(*truth));
+                }
+            }
+        }
+    }
+
+    println!("flew 75.0 km at 250 m/s, {} fixes at 10 Hz\n", epochs.len());
+    println!(
+        "{:<12} {:>10} {:>10} {:>13} {:>13}",
+        "algo", "mean err", "max err", "mean latency", "fixes/second"
+    );
+    for (name, err, time) in [
+        ("NR", &nr_err, Some(&nr_time_ns)),
+        ("DLO", &dlo_err, Some(&dlo_time_ns)),
+        ("DLO+filter", &filtered_err, None),
+    ] {
+        match time {
+            Some(time) => println!(
+                "{:<12} {:>8.2} m {:>8.2} m {:>10.2} µs {:>13.0}",
+                name,
+                err.mean(),
+                err.max(),
+                time.mean() / 1_000.0,
+                1.0e9 / time.mean(),
+            ),
+            None => println!(
+                "{:<12} {:>8.2} m {:>8.2} m {:>13} {:>13}",
+                name,
+                err.mean(),
+                err.max(),
+                "—",
+                "—"
+            ),
+        }
+    }
+    if let Some(v) = filter.velocity() {
+        println!(
+            "\nfiltered ground speed estimate: {:.1} m/s (true 250.0)",
+            v.norm()
+        );
+    }
+    println!(
+        "DLO sustains {:.1}x NR's fix rate — the real-time headroom the paper argues for.",
+        nr_time_ns.mean() / dlo_time_ns.mean()
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: position a receiver from one epoch of measurements.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a small synthetic epoch (five satellites, a 300 m receiver
+//! clock error, metre-level measurement noise) and solves it with all
+//! four algorithms, printing the estimates and their errors.
+
+use gps_core::{Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver};
+use gps_geodesy::{Ecef, Geodetic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: a receiver in Turin, Italy.
+    let truth = Geodetic::from_deg(45.07, 7.69, 240.0).to_ecef();
+    let clock_bias_m = 300.0; // ≈ 1 µs of receiver clock error
+
+    // Five satellites in plausible GPS geometry.
+    let sats = [
+        Ecef::new(2.0e7, 0.0, 1.7e7),
+        Ecef::new(1.5e7, 1.8e7, 0.9e7),
+        Ecef::new(1.6e7, -1.7e7, 1.0e7),
+        Ecef::new(2.5e7, 0.4e7, -0.6e7),
+        Ecef::new(0.8e7, 1.4e7, 2.0e7),
+    ];
+    // Pseudoranges: true range + clock bias + a deterministic few metres
+    // of "measurement error".
+    let measurements: Vec<Measurement> = sats
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| {
+            let noise = ((k as f64) - 2.0) * 1.5;
+            Measurement::new(s, s.distance_to(truth) + clock_bias_m + noise)
+        })
+        .collect();
+
+    println!("truth: {}", Geodetic::from_ecef(truth));
+    println!("geometry: {}\n", Dop::compute(&measurements, truth)?);
+
+    // NR and Bancroft estimate the clock bias themselves.
+    for solver in [&NewtonRaphson::default() as &dyn PositionSolver, &Bancroft::default()] {
+        let fix = solver.solve(&measurements, 0.0)?;
+        println!(
+            "{:<8} error {:7.2} m, clock bias {:7.2} m, {} iteration(s)",
+            solver.name(),
+            fix.position.distance_to(truth),
+            fix.receiver_bias_m.unwrap_or(f64::NAN),
+            fix.iterations,
+        );
+    }
+
+    // DLO and DLG consume an external clock prediction (here: a prediction
+    // that is 2 m off, as a real D + r·t model would be).
+    let predicted_bias = clock_bias_m - 2.0;
+    for solver in [&Dlo::default() as &dyn PositionSolver, &Dlg::default()] {
+        let fix = solver.solve(&measurements, predicted_bias)?;
+        println!(
+            "{:<8} error {:7.2} m, closed-form (predicted bias fed in)",
+            solver.name(),
+            fix.position.distance_to(truth),
+        );
+    }
+    Ok(())
+}

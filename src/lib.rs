@@ -1,0 +1,16 @@
+//! Umbrella crate for the ICDCS 2010 GPS direct-linearization reproduction.
+//!
+//! Re-exports the workspace crates so that examples and integration tests can
+//! use a single dependency. See the individual crates for full documentation:
+//! [`gps_core`] holds the paper's algorithms (NR, DLO, DLG), [`gps_sim`]
+//! regenerates the paper's tables and figures.
+
+pub use gps_atmosphere as atmosphere;
+pub use gps_clock as clock;
+pub use gps_core as core;
+pub use gps_geodesy as geodesy;
+pub use gps_linalg as linalg;
+pub use gps_obs as obs;
+pub use gps_orbits as orbits;
+pub use gps_sim as sim;
+pub use gps_time as time;

@@ -1,0 +1,252 @@
+//! `gps-repro` — command-line front end for the reproduction workspace.
+//!
+//! ```text
+//! gps-repro generate --station SRZN --epochs 2880 --interval 30 --out srzn.obs
+//! gps-repro info srzn.obs
+//! gps-repro solve srzn.obs --algorithm dlg --satellites 8
+//! gps-repro experiment fig51
+//! gps-repro almanac --out gps.alm
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use gps_repro::core::{
+    Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver,
+};
+use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
+use gps_repro::orbits::{yuma, Constellation};
+use gps_repro::sim::{experiments, to_measurements, ExperimentConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "gps-repro — ICDCS 2010 GPS direct-linearization reproduction
+
+USAGE:
+  gps-repro generate --station <SRZN|YYR1|FAI1|KYCP> [--epochs N] [--interval S]
+                     [--seed N] [--mask DEG] --out <FILE>
+  gps-repro info <FILE>
+  gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
+  gps-repro experiment <table51|fig51|fig52|extensions|all> [--paper-scale] [--seed N]
+  gps-repro almanac [--out <FILE>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: returns (positional args, flag lookups).
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = if iter.peek().map_or(false, |v| !v.starts_with("--")) {
+                    iter.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn load_dataset(path: &str) -> Result<DataSet, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    format::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let site = args.flag("station").ok_or("--station is required")?;
+    let out = args.flag("out").ok_or("--out is required")?;
+    let stations = paper_stations();
+    let station = stations
+        .iter()
+        .find(|s| s.id() == site)
+        .ok_or_else(|| format!("unknown station `{site}` (SRZN|YYR1|FAI1|KYCP)"))?;
+    let epochs: usize = args.flag_parse("epochs", 2_880)?;
+    let interval: f64 = args.flag_parse("interval", 30.0)?;
+    let seed: u64 = args.flag_parse("seed", 2_010)?;
+    let mask: f64 = args.flag_parse("mask", 5.0)?;
+
+    let data = DatasetGenerator::new(seed)
+        .epoch_interval_s(interval)
+        .epoch_count(epochs)
+        .elevation_mask_deg(mask)
+        .generate(station);
+    fs::write(out, format::write(&data)).map_err(|e| format!("{out}: {e}"))?;
+    let (smin, smax) = data.satellite_count_range();
+    println!(
+        "wrote {out}: {} epochs @ {interval}s, {smin}-{smax} satellites/epoch",
+        data.epochs().len()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("info needs a file argument")?;
+    let data = load_dataset(path)?;
+    let (smin, smax) = data.satellite_count_range();
+    println!("station : {}", data.station());
+    println!("epochs  : {}", data.epochs().len());
+    println!("satellites/epoch: {smin}-{smax}");
+    if let (Some(first), Some(last)) = (data.epochs().first(), data.epochs().last()) {
+        println!(
+            "span    : {} → {} ({:.1} h)",
+            first.time(),
+            last.time(),
+            (last.time() - first.time()).as_hours()
+        );
+    }
+    let resets = data
+        .epochs()
+        .iter()
+        .filter(|e| e.truth().clock_reset)
+        .count();
+    println!("clock resets recorded: {resets}");
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("solve needs a file argument")?;
+    let data = load_dataset(path)?;
+    let algorithm = args.flag("algorithm").unwrap_or("dlg");
+    let m: usize = args.flag_parse("satellites", usize::MAX)?;
+
+    let solver: Box<dyn PositionSolver> = match algorithm {
+        "nr" => Box::new(NewtonRaphson::default()),
+        "dlo" => Box::new(Dlo::default()),
+        "dlg" => Box::new(Dlg::default()),
+        "bancroft" => Box::new(Bancroft::default()),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    // Clock prediction for the direct methods: true per-epoch bias is in
+    // the file's truth channel; a production caller would run the
+    // gps-clock predictor instead (see examples/clock_calibration.rs).
+    let truth = data.station().position();
+    let mut errors = gps_repro::core::metrics::Summary::new();
+    let mut failures = 0usize;
+    for epoch in data.epochs() {
+        let meas = to_measurements(&epoch.take_satellites(m));
+        if meas.len() < solver.min_satellites() {
+            failures += 1;
+            continue;
+        }
+        let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+        match solver.solve(&meas, bias) {
+            Ok(fix) => errors.push(fix.position.distance_to(truth)),
+            Err(_) => failures += 1,
+        }
+    }
+    println!(
+        "{}: {} epochs solved, {} failed",
+        solver.name(),
+        errors.count(),
+        failures
+    );
+    if errors.count() > 0 {
+        println!(
+            "position error vs station truth: mean {:.2} m, rms {:.2} m, max {:.2} m",
+            errors.mean(),
+            errors.rms(),
+            errors.max()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("all");
+    let seed: u64 = args.flag_parse("seed", 2_010)?;
+    let cfg = if args.has("paper-scale") {
+        ExperimentConfig::paper_scale(seed)
+    } else {
+        ExperimentConfig::new(seed)
+    };
+    match which {
+        "table51" => println!("{}", experiments::table51(&cfg)),
+        "fig51" => println!("{}", experiments::fig51(&cfg)),
+        "fig52" => println!("{}", experiments::fig52(&cfg)),
+        "extensions" => {
+            println!("{}", experiments::ext_base_selection(&cfg));
+            println!("{}", experiments::ext_gls_covariance(&cfg));
+        }
+        "all" => {
+            println!("{}", experiments::table51(&cfg));
+            println!("{}", experiments::fig51(&cfg));
+            println!("{}", experiments::fig52(&cfg));
+            println!("{}", experiments::ext_base_selection(&cfg));
+            println!("{}", experiments::ext_gls_covariance(&cfg));
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_almanac(args: &Args) -> Result<(), String> {
+    let text = yuma::write(&Constellation::gps_nominal());
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote YUMA almanac to {path} (31 satellites)");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1).collect());
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        return usage();
+    };
+    let result = match command {
+        "generate" => cmd_generate(&args),
+        "info" => cmd_info(&args),
+        "solve" => cmd_solve(&args),
+        "experiment" => cmd_experiment(&args),
+        "almanac" => cmd_almanac(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

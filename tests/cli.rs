@@ -1,0 +1,129 @@
+//! Integration tests for the `gps-repro` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gps-repro"))
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_info_solve_pipeline() {
+    let dir = std::env::temp_dir().join(format!("gps_repro_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let obs = dir.join("yyr1.obs");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--station",
+            "YYR1",
+            "--epochs",
+            "40",
+            "--interval",
+            "60",
+            "--seed",
+            "5",
+            "--out",
+        ])
+        .arg(&obs)
+        .output()
+        .expect("generate runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(obs.exists());
+
+    let out = bin().arg("info").arg(&obs).output().expect("info runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("YYR1"), "{text}");
+    assert!(text.contains("epochs  : 40"), "{text}");
+
+    for algorithm in ["nr", "dlo", "dlg", "bancroft"] {
+        let out = bin()
+            .arg("solve")
+            .arg(&obs)
+            .args(["--algorithm", algorithm, "--satellites", "7"])
+            .output()
+            .expect("solve runs");
+        assert!(
+            out.status.success(),
+            "{algorithm}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("position error"), "{algorithm}: {text}");
+        assert!(text.contains("epochs solved"), "{algorithm}: {text}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_rejects_unknown_station() {
+    let out = bin()
+        .args(["generate", "--station", "NOPE", "--out", "/tmp/never.obs"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown station"));
+}
+
+#[test]
+fn solve_rejects_missing_file_and_bad_algorithm() {
+    let out = bin()
+        .args(["solve", "/definitely/not/there.obs"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let dir = std::env::temp_dir().join(format!("gps_repro_cli2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let obs = dir.join("srzn.obs");
+    let gen = bin()
+        .args(["generate", "--station", "SRZN", "--epochs", "3", "--out"])
+        .arg(&obs)
+        .output()
+        .expect("generate runs");
+    assert!(gen.status.success());
+    let out = bin()
+        .arg("solve")
+        .arg(&obs)
+        .args(["--algorithm", "magic"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn almanac_round_trips_through_yuma_parser() {
+    let out = bin().arg("almanac").output().expect("almanac runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let constellation = gps_repro::orbits::yuma::parse(&text).expect("valid YUMA");
+    assert_eq!(constellation.len(), 31);
+}
+
+#[test]
+fn experiment_rejects_unknown_name() {
+    let out = bin()
+        .args(["experiment", "fig99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}

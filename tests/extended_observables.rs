@@ -1,0 +1,105 @@
+//! End-to-end extended observables: datasets with Doppler + carrier phase
+//! feed velocity solving and Hatch smoothing through the public APIs.
+
+use gps_repro::core::metrics::Summary;
+use gps_repro::core::{solve_velocity, Dlo, HatchFilter, PositionSolver};
+use gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_repro::obs::{paper_stations, DatasetGenerator, SatObservation};
+use gps_repro::sim::{to_measurements, to_rate_measurements};
+use std::collections::HashMap;
+
+fn extended_dataset(station_idx: usize, seed: u64, epochs: usize) -> gps_repro::obs::DataSet {
+    DatasetGenerator::new(seed)
+        .epoch_interval_s(30.0)
+        .epoch_count(epochs)
+        .extended_observables(true)
+        .generate(&paper_stations()[station_idx])
+}
+
+#[test]
+fn static_station_velocity_is_near_zero() {
+    let data = extended_dataset(0, 71, 40); // SRZN: steering clock, 0 drift
+    let truth = data.station().position();
+    let mut speed = Summary::new();
+    let mut drift = Summary::new();
+    for epoch in data.epochs() {
+        let rates = to_rate_measurements(epoch.observations()).expect("extended enabled");
+        let sol = solve_velocity(&rates, truth).expect("good geometry");
+        speed.push(sol.velocity.norm());
+        drift.push(sol.clock_drift_m_s);
+    }
+    // 5 cm/s Doppler noise over ~10 satellites → dm/s-level velocity.
+    assert!(speed.mean() < 0.2, "speed {}", speed.mean());
+    assert!(drift.mean().abs() < 0.2, "drift {}", drift.mean());
+}
+
+#[test]
+fn threshold_station_clock_drift_recovered_from_doppler() {
+    let data = extended_dataset(3, 72, 40); // KYCP: drift 2e-8 s/s
+    let truth = data.station().position();
+    let mut drift = Summary::new();
+    for epoch in data.epochs() {
+        let rates = to_rate_measurements(epoch.observations()).expect("extended enabled");
+        let sol = solve_velocity(&rates, truth).expect("good geometry");
+        drift.push(sol.clock_drift_m_s);
+    }
+    let expected = 2e-8 * SPEED_OF_LIGHT; // ≈ 6.0 m/s
+    assert!(
+        (drift.mean() - expected).abs() < 0.3,
+        "drift {} vs expected {expected}",
+        drift.mean()
+    );
+}
+
+#[test]
+fn code_only_dataset_yields_no_rate_measurements() {
+    let data = DatasetGenerator::new(73)
+        .epoch_count(2)
+        .generate(&paper_stations()[1]);
+    assert!(to_rate_measurements(data.epochs()[0].observations()).is_none());
+}
+
+#[test]
+fn hatch_smoothing_on_generated_phase_beats_raw_code() {
+    let data = extended_dataset(1, 74, 120);
+    let truth = data.station().position();
+    let dlo = Dlo::default();
+    let mut filters: HashMap<u8, HatchFilter> = HashMap::new();
+    let mut raw = Summary::new();
+    let mut smoothed = Summary::new();
+
+    for (k, epoch) in data.epochs().iter().enumerate() {
+        let bias = epoch.truth().clock_bias * SPEED_OF_LIGHT;
+        let raw_meas = to_measurements(epoch.observations());
+
+        let smoothed_obs: Vec<SatObservation> = epoch
+            .observations()
+            .iter()
+            .map(|o| {
+                let ext = o.extended.expect("extended enabled");
+                let filter = filters
+                    .entry(o.sat.prn())
+                    .or_insert_with(|| HatchFilter::new(60));
+                let mut smoothed_o = *o;
+                smoothed_o.pseudorange = filter.update(o.pseudorange, ext.phase);
+                smoothed_o
+            })
+            .collect();
+        let smoothed_meas = to_measurements(&smoothed_obs);
+
+        if k < 20 {
+            continue; // convergence window
+        }
+        if let (Ok(a), Ok(b)) = (dlo.solve(&raw_meas, bias), dlo.solve(&smoothed_meas, bias)) {
+            raw.push(a.position.distance_to(truth));
+            smoothed.push(b.position.distance_to(truth));
+        }
+    }
+    assert!(raw.count() > 80);
+    assert!(
+        smoothed.mean() < raw.mean(),
+        "smoothed {} vs raw {}",
+        smoothed.mean(),
+        raw.mean()
+    );
+}

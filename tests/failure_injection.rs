@@ -1,0 +1,185 @@
+//! Failure injection: degenerate and hostile inputs through the public
+//! API must produce typed errors, never panics or silent garbage.
+
+use gps_repro::core::{
+    Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver, SolveError,
+};
+use gps_repro::geodesy::Ecef;
+use gps_repro::obs::format;
+
+fn all_solvers() -> Vec<Box<dyn PositionSolver>> {
+    vec![
+        Box::new(NewtonRaphson::default()),
+        Box::new(Dlo::default()),
+        Box::new(Dlg::default()),
+        Box::new(Bancroft::default()),
+    ]
+}
+
+fn good_sats() -> Vec<Ecef> {
+    vec![
+        Ecef::new(2.0e7, 0.0, 1.7e7),
+        Ecef::new(1.5e7, 1.8e7, 0.9e7),
+        Ecef::new(1.6e7, -1.7e7, 1.0e7),
+        Ecef::new(2.5e7, 0.4e7, -0.6e7),
+        Ecef::new(0.8e7, 1.4e7, 2.0e7),
+    ]
+}
+
+#[test]
+fn too_few_satellites_rejected_by_all() {
+    let truth = Ecef::new(6.371e6, 0.0, 0.0);
+    let meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .take(3)
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    for solver in all_solvers() {
+        assert_eq!(
+            solver.solve(&meas, 0.0).unwrap_err(),
+            SolveError::TooFewSatellites { got: 3, need: 4 },
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn nan_pseudorange_rejected_by_all() {
+    let truth = Ecef::new(6.371e6, 0.0, 0.0);
+    let mut meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    meas[2].pseudorange = f64::NAN;
+    for solver in all_solvers() {
+        assert_eq!(
+            solver.solve(&meas, 0.0).unwrap_err(),
+            SolveError::NonFinite,
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn infinite_satellite_position_rejected_by_all() {
+    let truth = Ecef::new(6.371e6, 0.0, 0.0);
+    let mut meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    meas[0].position.z = f64::INFINITY;
+    for solver in all_solvers() {
+        assert_eq!(
+            solver.solve(&meas, 0.0).unwrap_err(),
+            SolveError::NonFinite,
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn duplicate_satellites_degenerate_for_direct_methods() {
+    // Four copies of the same satellite: the differenced design matrix is
+    // all zeros.
+    let s = Ecef::new(2.0e7, 1.0e7, 1.0e7);
+    let meas = vec![Measurement::new(s, 2.3e7); 5];
+    for solver in [&Dlo::default() as &dyn PositionSolver, &Dlg::default()] {
+        assert!(
+            matches!(
+                solver.solve(&meas, 0.0).unwrap_err(),
+                SolveError::DegenerateGeometry(_)
+            ),
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn collinear_satellites_degenerate() {
+    // Satellites along one line: rank-2 geometry.
+    let meas: Vec<Measurement> = (0..6)
+        .map(|k| {
+            let s = Ecef::new(2.0e7, k as f64 * 1.0e6, 0.5e7);
+            Measurement::new(s, 2.1e7)
+        })
+        .collect();
+    for solver in [&Dlo::default() as &dyn PositionSolver, &Dlg::default()] {
+        assert!(
+            solver.solve(&meas, 0.0).is_err(),
+            "{} accepted collinear geometry",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn nr_nonconvergence_is_reported_not_hung() {
+    // A wildly inconsistent system (random-ish pseudoranges) must either
+    // converge to *some* least-squares point or report NonConvergence —
+    // within the iteration cap either way.
+    let meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| Measurement::new(s, 1.0e7 + k as f64 * 3.7e6))
+        .collect();
+    match NewtonRaphson::new(8, 1e-4).solve(&meas, 0.0) {
+        Ok(fix) => assert!(fix.iterations <= 8),
+        Err(SolveError::NonConvergence { iterations, .. }) => assert!(iterations <= 8),
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn dop_rejects_degenerate_and_bad_input() {
+    let truth = Ecef::new(6.371e6, 0.0, 0.0);
+    let meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    assert!(Dop::compute(&meas[..3], truth).is_err());
+    assert!(Dop::compute(&meas, Ecef::new(f64::NAN, 0.0, 0.0)).is_err());
+    // Receiver colocated with a satellite.
+    assert!(Dop::compute(&meas, meas[0].position).is_err());
+}
+
+#[test]
+fn rinex_lite_parser_survives_fuzzing_lite() {
+    // Every prefix truncation of a valid document must parse or fail
+    // cleanly — never panic.
+    let data = gps_repro::obs::DatasetGenerator::new(5)
+        .epoch_count(3)
+        .generate(&gps_repro::obs::paper_stations()[0]);
+    let text = format::write(&data);
+    for cut in (0..text.len()).step_by(97) {
+        let _ = format::parse(&text[..cut]);
+    }
+    // Random byte corruption (printable substitutions) must also be safe.
+    for (pos, replacement) in [(10, 'X'), (50, '9'), (200, ' '), (500, '-')] {
+        if pos < text.len() {
+            let mut corrupted = text.clone();
+            corrupted.replace_range(pos..=pos, &replacement.to_string());
+            let _ = format::parse(&corrupted);
+        }
+    }
+}
+
+#[test]
+fn predicted_bias_nan_rejected_by_direct_methods() {
+    let truth = Ecef::new(6.371e6, 0.0, 0.0);
+    let meas: Vec<Measurement> = good_sats()
+        .into_iter()
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    for solver in [&Dlo::default() as &dyn PositionSolver, &Dlg::default()] {
+        assert_eq!(
+            solver.solve(&meas, f64::NAN).unwrap_err(),
+            SolveError::NonFinite,
+            "{}",
+            solver.name()
+        );
+    }
+}

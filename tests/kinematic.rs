@@ -1,0 +1,113 @@
+//! Kinematic end-to-end: moving-receiver generation → closed-form
+//! position + velocity solving → PV-filter smoothing, through the public
+//! APIs only.
+
+use gps_repro::atmosphere::ErrorBudget;
+use gps_repro::core::metrics::Summary;
+use gps_repro::core::{solve_velocity, Dlo, PositionSolver, PvFilter, RateMeasurement};
+use gps_repro::geodesy::Geodetic;
+use gps_repro::obs::{CircularTrajectory, GreatCircleTrajectory, KinematicGenerator, Trajectory};
+use gps_repro::orbits::Constellation;
+use gps_repro::sim::to_measurements;
+use gps_repro::time::{Duration, GpsTime};
+
+fn start_time() -> GpsTime {
+    GpsTime::new(1544, 36_000.0)
+}
+
+fn start_position() -> gps_repro::geodesy::Ecef {
+    Geodetic::from_deg(45.0, 7.6, 8_000.0).to_ecef()
+}
+
+#[test]
+fn straight_leg_tracked_within_budget() {
+    let trajectory =
+        GreatCircleTrajectory::new(start_position(), 0.8, 200.0, start_time());
+    let epochs = KinematicGenerator::new(33).generate(
+        &trajectory,
+        start_time(),
+        Duration::from_seconds(1.0),
+        120,
+    );
+    let dlo = Dlo::default();
+    let mut raw = Summary::new();
+    for (epoch, truth) in &epochs {
+        let meas = to_measurements(epoch.observations());
+        let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+        let fix = dlo.solve(&meas, bias).expect("solvable epoch");
+        raw.push(fix.position.distance_to(*truth));
+    }
+    assert_eq!(raw.count(), 120);
+    assert!(raw.mean() < 20.0, "raw mean {}", raw.mean());
+}
+
+#[test]
+fn pv_filter_beats_raw_fixes_on_circular_loop() {
+    let trajectory = CircularTrajectory::new(start_position(), 8_000.0, 60.0, start_time());
+    let epochs = KinematicGenerator::new(34).generate(
+        &trajectory,
+        start_time(),
+        Duration::from_seconds(1.0),
+        300,
+    );
+    let dlo = Dlo::default();
+    let mut filter = PvFilter::new(0.5, 25.0);
+    let mut raw = Summary::new();
+    let mut smoothed = Summary::new();
+    for (k, (epoch, truth)) in epochs.iter().enumerate() {
+        let meas = to_measurements(epoch.observations());
+        let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+        let fix = dlo.solve(&meas, bias).expect("solvable epoch");
+        filter.update(fix.position, 1.0).expect("finite fix");
+        if k >= 30 {
+            raw.push(fix.position.distance_to(*truth));
+            smoothed.push(filter.position().expect("initialized").distance_to(*truth));
+        }
+    }
+    assert!(
+        smoothed.mean() < raw.mean(),
+        "smoothed {} vs raw {}",
+        smoothed.mean(),
+        raw.mean()
+    );
+    // The filter's speed estimate tracks the commanded 60 m/s.
+    let speed = filter.velocity().expect("initialized").norm();
+    assert!((speed - 60.0).abs() < 10.0, "speed {speed}");
+}
+
+#[test]
+fn velocity_solution_consistent_with_trajectory() {
+    // Noise-free kinematic epochs + propagator velocities: the Doppler
+    // solver must recover the trajectory's velocity to mm/s.
+    let trajectory =
+        GreatCircleTrajectory::new(start_position(), 2.1, 150.0, start_time());
+    let constellation = Constellation::gps_nominal_at(GpsTime::EPOCH);
+    let epochs = KinematicGenerator::new(35)
+        .error_budget(ErrorBudget::disabled())
+        .generate(&trajectory, start_time(), Duration::from_seconds(1.0), 10);
+
+    for (epoch, truth) in &epochs {
+        let t = epoch.time();
+        let dt = Duration::from_seconds(0.5);
+        let truth_vel =
+            (trajectory.position_at(t + dt) - trajectory.position_at(t - dt)) / 1.0;
+        let rates: Vec<RateMeasurement> = epoch
+            .observations()
+            .iter()
+            .map(|o| {
+                let (sat_pos, sat_vel) = constellation
+                    .get(o.sat)
+                    .expect("generated satellite exists")
+                    .position_velocity_at(t);
+                let u = (sat_pos - *truth).normalized();
+                RateMeasurement::new(sat_pos, sat_vel, (sat_vel - truth_vel).dot(u))
+            })
+            .collect();
+        let sol = solve_velocity(&rates, *truth).expect("good geometry");
+        assert!(
+            (sol.velocity - truth_vel).norm() < 1e-3,
+            "velocity error {}",
+            (sol.velocity - truth_vel).norm()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Empirical checks of the paper's mathematical claims.
+//!
+//! Theorem 4.1: after differencing against a base equation, the
+//! right-hand-side errors are *correlated* with covariance `½σ²ρ₁²` off
+//! the diagonal — so OLS's condition (3-35) fails.
+//!
+//! Theorem 4.2: the covariance matrix `Ψᵢⱼ = ρ₁² + δᵢⱼρᵢ₊₁²` is positive
+//! definite, so GLS applies and is optimal.
+//!
+//! These tests verify both claims numerically on Monte-Carlo draws of the
+//! paper's error model.
+
+use gps_repro::core::{linearize, BaseSelection, CovarianceModel, Dlg, Dlo, Measurement,
+    PositionSolver};
+use gps_repro::geodesy::Ecef;
+use gps_repro::linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn sats() -> Vec<Ecef> {
+    vec![
+        Ecef::new(2.0e7, 0.0, 1.7e7),
+        Ecef::new(1.5e7, 1.8e7, 0.9e7),
+        Ecef::new(1.6e7, -1.7e7, 1.0e7),
+        Ecef::new(2.5e7, 0.4e7, -0.6e7),
+        Ecef::new(1.9e7, 0.9e7, 1.6e7),
+        Ecef::new(0.8e7, 1.4e7, 2.0e7),
+    ]
+}
+
+/// Monte-Carlo estimate of the covariance of the differenced RHS errors
+/// Δβ, under the paper's error model (independent zero-mean pseudorange
+/// errors, eq. 4-14/4-15). Verifies the structure the proof of
+/// Theorem 4.1 derives: cov(Δβᵢ, Δβⱼ) ≈ σ²ρ₁² off the diagonal and
+/// ≈ σ²(ρ₁² + ρᵢ₊₁²)... up to the common scale.
+#[test]
+fn differenced_errors_are_correlated_as_theorem_41_predicts() {
+    let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+    let satellites = sats();
+    let sigma = 3.0;
+    let trials = 30_000;
+    let mut rng = StdRng::seed_from_u64(41);
+
+    // Noise-free linear system as the reference RHS.
+    let clean: Vec<Measurement> = satellites
+        .iter()
+        .map(|&s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    let clean_sys = linearize(&clean, 0.0, BaseSelection::First).expect("valid geometry");
+    let n = clean_sys.d.len();
+
+    let mut mean = vec![0.0; n];
+    let mut cov = Matrix::zeros(n, n);
+    for _ in 0..trials {
+        let noisy: Vec<Measurement> = satellites
+            .iter()
+            .map(|&s| Measurement::new(s, s.distance_to(truth) + sigma * gaussian(&mut rng)))
+            .collect();
+        let sys = linearize(&noisy, 0.0, BaseSelection::First).expect("valid geometry");
+        let delta: Vec<f64> = (0..n).map(|i| sys.d[i] - clean_sys.d[i]).collect();
+        for i in 0..n {
+            mean[i] += delta[i];
+            for j in 0..n {
+                cov[(i, j)] += delta[i] * delta[j];
+            }
+        }
+    }
+    for i in 0..n {
+        mean[i] /= trials as f64;
+    }
+    // E(Δβ) ≈ 0 (eq. 4-19). Scale: entries are ~σ·ρ ≈ 7e7, so the mean of
+    // 30k trials has standard error ~4e5.
+    for (i, m) in mean.iter().enumerate() {
+        assert!(m.abs() < 2.0e6, "mean[{i}] = {m}");
+    }
+
+    // Normalize to correlation-like units using the base range.
+    let rho1 = clean_sys.corrected_ranges[clean_sys.base_index];
+    let scale = sigma * sigma * rho1 * rho1;
+    let mut max_rel_err: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let sample = cov[(i, j)] / trials as f64;
+            let rho_i = clean_sys.corrected_ranges[i + 1];
+            let expected = if i == j {
+                // Var(Δβᵢ) = σ²(ρ₁² + ρᵢ₊₁²) to first order.
+                sigma * sigma * (rho1 * rho1 + rho_i * rho_i)
+            } else {
+                // cov(Δβᵢ, Δβⱼ) = σ²ρ₁² — the Theorem 4.1 correlation.
+                scale
+            };
+            max_rel_err = max_rel_err.max((sample - expected).abs() / expected);
+        }
+    }
+    assert!(
+        max_rel_err < 0.12,
+        "covariance structure off by {max_rel_err}"
+    );
+}
+
+/// Theorem 4.2: the Ψ matrix built by DLG is symmetric positive definite
+/// for any valid geometry (Cholesky succeeds), with and without the
+/// clock-corrected ranges differing.
+#[test]
+fn dlg_covariance_is_positive_definite() {
+    let truth = Ecef::new(6.371e6, -4.0e5, 2.0e5);
+    for bias in [0.0, 250.0, -900.0] {
+        let meas: Vec<Measurement> = sats()
+            .iter()
+            .map(|&s| Measurement::new(s, s.distance_to(truth) + bias))
+            .collect();
+        let sys = linearize(&meas, bias, BaseSelection::First).expect("valid geometry");
+        let psi = Dlg::new().covariance_matrix(&sys);
+        assert!(psi.is_symmetric(1e-9));
+        assert!(
+            Cholesky::new(&psi).is_ok(),
+            "Ψ not positive definite at bias {bias}"
+        );
+    }
+}
+
+/// The optimality pay-off: across many noisy epochs, DLG (full Ψ) has an
+/// RMS position error no larger than DLO, and the full covariance beats
+/// the diagonal-only ablation.
+#[test]
+fn gls_optimality_pay_off() {
+    let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+    let satellites = sats();
+    let mut rng = StdRng::seed_from_u64(42);
+    let sigma = 4.0;
+    let trials = 2_000;
+
+    let dlo = Dlo::default();
+    let dlg_full = Dlg::default();
+    let dlg_diag = Dlg::new().with_covariance_model(CovarianceModel::DiagonalOnly);
+
+    let mut sq = [0.0f64; 3];
+    for _ in 0..trials {
+        let meas: Vec<Measurement> = satellites
+            .iter()
+            .map(|&s| Measurement::new(s, s.distance_to(truth) + sigma * gaussian(&mut rng)))
+            .collect();
+        for (k, solver) in [&dlo as &dyn PositionSolver, &dlg_full, &dlg_diag]
+            .iter()
+            .enumerate()
+        {
+            let fix = solver.solve(&meas, 0.0).expect("good geometry");
+            sq[k] += fix.position.distance_to(truth).powi(2);
+        }
+    }
+    let rms: Vec<f64> = sq.iter().map(|s| (s / trials as f64).sqrt()).collect();
+    let (rms_dlo, rms_full, rms_diag) = (rms[0], rms[1], rms[2]);
+    assert!(
+        rms_full <= rms_dlo * 1.01,
+        "DLG {rms_full} should not exceed DLO {rms_dlo}"
+    );
+    assert!(
+        rms_full <= rms_diag * 1.01,
+        "full Ψ {rms_full} should not exceed diagonal {rms_diag}"
+    );
+}
+
+/// The Figure 5.2 observation at `m = 4`: the differenced system is
+/// exactly determined (3 equations, 3 unknowns), so OLS and GLS coincide
+/// and DLO ≡ DLG no matter how inconsistent the data.
+#[test]
+fn dlo_equals_dlg_at_four_satellites() {
+    let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+    let mut meas: Vec<Measurement> = sats()[..4]
+        .iter()
+        .map(|&s| Measurement::new(s, s.distance_to(truth)))
+        .collect();
+    meas[1].pseudorange += 12.0;
+    meas[3].pseudorange -= 7.0;
+    let dlo = Dlo::default().solve(&meas, 0.0).unwrap();
+    let dlg = Dlg::default().solve(&meas, 0.0).unwrap();
+    assert!(
+        dlo.position.distance_to(dlg.position) < 1e-6,
+        "differ by {}",
+        dlo.position.distance_to(dlg.position)
+    );
+}
+
+/// The classical cost model behind the paper's θ rates: NR from the
+/// paper's cold start (eq. 3-27, the Earth's center) needs ~5 iterations;
+/// each one re-solves an `m×4` least-squares problem, which is why a
+/// single closed-form solve lands near 1/5 of NR's time.
+#[test]
+fn nr_cold_start_takes_about_five_iterations() {
+    use gps_core::{NewtonRaphson, PositionSolver};
+    for truth in [
+        Ecef::new(6.371e6, 0.0, 0.0),
+        Ecef::new(3.6e6, -5.2e6, 6.0e5),
+        Ecef::new(-2.3e6, -1.4e6, 5.7e6),
+    ] {
+        for m in [4, 5, 6] {
+            let meas: Vec<Measurement> = sats()[..m]
+                .iter()
+                .map(|&s| Measurement::new(s, s.distance_to(truth) + 77.0))
+                .collect();
+            if let Ok(fix) = NewtonRaphson::default().solve(&meas, 0.0) {
+                assert!(
+                    (4..=7).contains(&fix.iterations),
+                    "m={m}: {} iterations",
+                    fix.iterations
+                );
+            }
+        }
+    }
+}
+
+/// The paper's eq. 4-2 consistency: plugging the true position into the
+/// linearized system with exact pseudoranges yields a (relatively) zero
+/// residual, regardless of base choice.
+#[test]
+fn linearization_consistent_for_all_bases() {
+    let truth = Ecef::new(3.6e6, -5.2e6, 6.0e5);
+    let meas: Vec<Measurement> = sats()
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| {
+            Measurement::new(s, s.distance_to(truth)).with_elevation(0.2 + 0.1 * k as f64)
+        })
+        .collect();
+    for base in [
+        BaseSelection::First,
+        BaseSelection::HighestElevation,
+        BaseSelection::LowestElevation,
+        BaseSelection::ShortestRange,
+    ] {
+        let sys = linearize(&meas, 0.0, base).expect("valid geometry");
+        let x = gps_repro::linalg::Vector::from_slice(&[truth.x, truth.y, truth.z]);
+        let r = gps_repro::linalg::lstsq::residual(&sys.a, &sys.d, &x).expect("shapes match");
+        let rel = r.norm_inf() / sys.d.norm_inf();
+        assert!(rel < 1e-12, "{base:?}: relative residual {rel}");
+    }
+}
