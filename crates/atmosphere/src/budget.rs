@@ -1,6 +1,6 @@
 use gps_geodesy::Geodetic;
+use gps_rng::Rng;
 use gps_time::GpsTime;
-use rand::Rng;
 
 use crate::multipath::gaussian;
 use crate::{Klobuchar, MultipathModel, ReceiverNoise, Saastamoinen};
@@ -45,10 +45,10 @@ impl ErrorSample {
 /// use gps_atmosphere::ErrorBudget;
 /// use gps_geodesy::Geodetic;
 /// use gps_time::GpsTime;
-/// use rand::SeedableRng;
+/// use gps_rng::SeedableRng;
 ///
 /// let budget = ErrorBudget::default();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = gps_rng::rngs::StdRng::seed_from_u64(1);
 /// let sample = budget.draw(
 ///     Geodetic::from_deg(45.0, 7.0, 200.0),
 ///     40f64.to_radians(),
@@ -85,8 +85,14 @@ impl ErrorBudget {
         tropo_residual_fraction: f64,
         sat_clock_sigma: f64,
     ) -> Self {
-        assert!(iono_residual_fraction >= 0.0, "fractions must be non-negative");
-        assert!(tropo_residual_fraction >= 0.0, "fractions must be non-negative");
+        assert!(
+            iono_residual_fraction >= 0.0,
+            "fractions must be non-negative"
+        );
+        assert!(
+            tropo_residual_fraction >= 0.0,
+            "fractions must be non-negative"
+        );
         assert!(sat_clock_sigma >= 0.0, "sigma must be non-negative");
         ErrorBudget {
             iono,
@@ -184,7 +190,9 @@ impl ErrorBudget {
         t: GpsTime,
     ) -> f64 {
         let iono_sigma = self.iono_residual_fraction
-            * self.iono.slant_delay(station, elevation_rad, azimuth_rad, t);
+            * self
+                .iono
+                .slant_delay(station, elevation_rad, azimuth_rad, t);
         let tropo_sigma = self.tropo_residual_fraction * self.tropo.slant_delay(elevation_rad);
         let mp = self.multipath.sigma(elevation_rad);
         let noise = self.noise.sigma(elevation_rad);
@@ -216,11 +224,14 @@ impl Default for ErrorBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_rng::rngs::StdRng;
+    use gps_rng::SeedableRng;
 
     fn setup() -> (Geodetic, GpsTime) {
-        (Geodetic::from_deg(45.0, 7.0, 200.0), GpsTime::new(1544, 30_000.0))
+        (
+            Geodetic::from_deg(45.0, 7.0, 200.0),
+            GpsTime::new(1544, 30_000.0),
+        )
     }
 
     #[test]
@@ -245,8 +256,7 @@ mod tests {
             .map(|_| b.draw(station, el, 1.0, t, &mut rng).total())
             .collect();
         let mean = totals.iter().sum::<f64>() / n as f64;
-        let std =
-            (totals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        let std = (totals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
         assert!(mean.abs() < 0.2, "mean {mean}");
         assert!(std > 0.5 && std < 6.0, "std {std}");
         // Sigma estimate should be in the same ballpark as the sample std.
@@ -269,7 +279,9 @@ mod tests {
         let full = ErrorBudget::default();
         let dgps = ErrorBudget::dgps_corrected();
         let el = 30f64.to_radians();
-        assert!(dgps.sigma_estimate(station, el, 1.0, t) < full.sigma_estimate(station, el, 1.0, t));
+        assert!(
+            dgps.sigma_estimate(station, el, 1.0, t) < full.sigma_estimate(station, el, 1.0, t)
+        );
     }
 
     #[test]
@@ -292,9 +304,7 @@ mod tests {
         assert!((double / base - 2.0).abs() < 1e-9);
         assert!((half / base - 0.5).abs() < 1e-9);
         // scaled(1.0) is the default budget.
-        assert!(
-            (base - ErrorBudget::default().sigma_estimate(station, el, 1.0, t)).abs() < 1e-12
-        );
+        assert!((base - ErrorBudget::default().sigma_estimate(station, el, 1.0, t)).abs() < 1e-12);
     }
 
     #[test]

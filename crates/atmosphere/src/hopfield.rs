@@ -80,10 +80,8 @@ impl Hopfield {
     #[must_use]
     pub fn slant_delay(&self, elevation_rad: f64) -> f64 {
         let el = elevation_rad.max(3.0f64.to_radians());
-        let dry =
-            self.zenith_dry_delay() / (el.powi(2) + 2.5f64.to_radians().powi(2)).sqrt().sin();
-        let wet =
-            self.zenith_wet_delay() / (el.powi(2) + 1.5f64.to_radians().powi(2)).sqrt().sin();
+        let dry = self.zenith_dry_delay() / (el.powi(2) + 2.5f64.to_radians().powi(2)).sqrt().sin();
+        let wet = self.zenith_wet_delay() / (el.powi(2) + 1.5f64.to_radians().powi(2)).sqrt().sin();
         dry + wet
     }
 
@@ -111,7 +109,11 @@ mod tests {
     #[test]
     fn sea_level_zenith_delays_sane() {
         let h = Hopfield::default();
-        assert!((h.zenith_dry_delay() - 2.3).abs() < 0.1, "dry {}", h.zenith_dry_delay());
+        assert!(
+            (h.zenith_dry_delay() - 2.3).abs() < 0.1,
+            "dry {}",
+            h.zenith_dry_delay()
+        );
         assert!(h.zenith_wet_delay() > 0.05 && h.zenith_wet_delay() < 0.45);
     }
 

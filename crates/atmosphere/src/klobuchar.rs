@@ -74,13 +74,7 @@ impl Klobuchar {
     /// Follows the IS-GPS-200 algorithm; angles inside the algorithm are in
     /// semicircles, as specified.
     #[must_use]
-    pub fn slant_delay(
-        &self,
-        station: Geodetic,
-        elevation: f64,
-        azimuth: f64,
-        t: GpsTime,
-    ) -> f64 {
+    pub fn slant_delay(&self, station: Geodetic, elevation: f64, azimuth: f64, t: GpsTime) -> f64 {
         let el_sc = elevation / std::f64::consts::PI; // semicircles
         let lat_sc = station.latitude() / std::f64::consts::PI;
         let lon_sc = station.longitude() / std::f64::consts::PI;
@@ -204,12 +198,7 @@ mod tests {
             for el_deg in [5.0, 15.0, 45.0, 85.0] {
                 for az_deg in [0.0, 90.0, 180.0, 270.0] {
                     let t = GpsTime::new(1544, f64::from(hour) * 3_600.0);
-                    let d = k.slant_delay(
-                        s,
-                        f64::to_radians(el_deg),
-                        f64::to_radians(az_deg),
-                        t,
-                    );
+                    let d = k.slant_delay(s, f64::to_radians(el_deg), f64::to_radians(az_deg), t);
                     assert!(d > 0.0 && d < 120.0, "delay {d} at h{hour} el{el_deg}");
                 }
             }

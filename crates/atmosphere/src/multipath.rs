@@ -1,4 +1,4 @@
-use rand::Rng;
+use gps_rng::Rng;
 
 /// Elevation-dependent multipath error model.
 ///
@@ -68,23 +68,16 @@ impl Default for MultipathModel {
 }
 
 /// Standard normal sample via Box–Muller (avoids pulling in
-/// `rand_distr` — `rand` alone is in the allowed dependency set).
+/// an external distributions crate — `gps-rng` is the only RNG dependency).
 pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.gen::<f64>();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    }
+    rng.standard_normal()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_rng::rngs::StdRng;
+    use gps_rng::SeedableRng;
 
     #[test]
     fn sigma_decays_with_elevation() {
@@ -112,7 +105,11 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let sigma = mp.sigma(el);
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var.sqrt() - sigma).abs() / sigma < 0.05, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() / sigma < 0.05,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use rand::Rng;
+use gps_rng::Rng;
 
 use crate::multipath::gaussian;
 
@@ -71,8 +71,8 @@ impl Default for ReceiverNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gps_rng::rngs::StdRng;
+    use gps_rng::SeedableRng;
 
     #[test]
     fn sigma_monotone_decreasing_in_elevation() {

@@ -1,6 +1,6 @@
 use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_rng::Rng;
 use gps_time::GpsTime;
-use rand::Rng;
 
 use crate::multipath::gaussian;
 
@@ -48,14 +48,11 @@ impl SatelliteClockModel {
     ///
     /// Panics if `residual_sigma_m` is negative.
     #[must_use]
-    pub fn new(
-        af0: f64,
-        af1: f64,
-        af2: f64,
-        reference: GpsTime,
-        residual_sigma_m: f64,
-    ) -> Self {
-        assert!(residual_sigma_m >= 0.0, "residual sigma must be non-negative");
+    pub fn new(af0: f64, af1: f64, af2: f64, reference: GpsTime, residual_sigma_m: f64) -> Self {
+        assert!(
+            residual_sigma_m >= 0.0,
+            "residual sigma must be non-negative"
+        );
         SatelliteClockModel {
             af0,
             af1,
@@ -107,9 +104,9 @@ impl SatelliteClockModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_rng::rngs::StdRng;
+    use gps_rng::SeedableRng;
     use gps_time::Duration;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn polynomial_evaluation() {
@@ -117,9 +114,7 @@ mod tests {
         let t = GpsTime::EPOCH + Duration::from_seconds(1_000.0);
         let expected = 1e-4 + 1e-9 * 1_000.0 + 1e-15 * 1.0e6;
         assert!((c.raw_offset_seconds(t) - expected).abs() < 1e-18);
-        assert!(
-            (c.raw_offset_meters(t) - expected * SPEED_OF_LIGHT).abs() < 1e-6
-        );
+        assert!((c.raw_offset_meters(t) - expected * SPEED_OF_LIGHT).abs() < 1e-6);
     }
 
     #[test]
@@ -139,8 +134,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| c.draw_residual(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let std =
-            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
+        let std = (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt();
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((std - 1.5).abs() < 0.1, "std {std}");
     }

@@ -1,101 +1,126 @@
-//! Property-based tests for the signal error models.
+//! Randomized property tests for the signal error models.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops so the properties
+//! still run in the fully offline build: each test draws its inputs
+//! from a deterministic xoshiro256++ stream, so failures reproduce
+//! exactly and need no external crates.
 
-use gps_atmosphere::{ErrorBudget, Hopfield, Klobuchar, MultipathModel, ReceiverNoise, Saastamoinen};
+use gps_atmosphere::{
+    ErrorBudget, Hopfield, Klobuchar, MultipathModel, ReceiverNoise, Saastamoinen,
+};
 use gps_geodesy::Geodetic;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 use gps_time::GpsTime;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn station_strategy() -> impl Strategy<Value = Geodetic> {
-    (-75.0f64..75.0, -179.0f64..179.0, 0.0f64..4_000.0)
-        .prop_map(|(lat, lon, h)| Geodetic::from_deg(lat, lon, h))
+const CASES: usize = 256;
+
+fn random_station(rng: &mut StdRng) -> Geodetic {
+    Geodetic::from_deg(
+        rng.gen_range(-75.0..75.0),
+        rng.gen_range(-179.0..179.0),
+        rng.gen_range(0.0..4_000.0),
+    )
 }
 
-proptest! {
-    #[test]
-    fn klobuchar_positive_and_bounded(
-        station in station_strategy(),
-        el_deg in 5.0f64..90.0,
-        az_deg in 0.0f64..360.0,
-        tow in 0.0f64..604_800.0,
-    ) {
-        let k = Klobuchar::default();
-        let d = k.slant_delay(station, el_deg.to_radians(), az_deg.to_radians(),
-            GpsTime::new(1544, tow));
-        prop_assert!(d > 0.0 && d < 150.0, "delay {d}");
+#[test]
+fn klobuchar_positive_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xA7_01);
+    let k = Klobuchar::default();
+    for _ in 0..CASES {
+        let station = random_station(&mut rng);
+        let el_deg = rng.gen_range(5.0..90.0);
+        let az_deg = rng.gen_range(0.0..360.0);
+        let tow = rng.gen_range(0.0..604_800.0);
+        let d = k.slant_delay(
+            station,
+            el_deg.to_radians(),
+            az_deg.to_radians(),
+            GpsTime::new(1544, tow),
+        );
+        assert!(d > 0.0 && d < 150.0, "delay {d}");
     }
+}
 
-    #[test]
-    fn troposphere_models_positive_and_ordered(
-        height in 0.0f64..5_000.0,
-        el_deg in 3.0f64..90.0,
-    ) {
+#[test]
+fn troposphere_models_positive_and_ordered() {
+    let mut rng = StdRng::seed_from_u64(0xA7_02);
+    for _ in 0..CASES {
+        let height = rng.gen_range(0.0..5_000.0);
+        let el_deg = rng.gen_range(3.0..90.0);
         let saas = Saastamoinen::standard_at_height(height);
         let hop = Hopfield::standard_at_height(height);
         let el = el_deg.to_radians();
         let ds = saas.slant_delay(el);
         let dh = hop.slant_delay(el);
-        prop_assert!(ds > 0.0 && ds < 60.0, "saastamoinen {ds}");
-        prop_assert!(dh > 0.0 && dh < 60.0, "hopfield {dh}");
+        assert!(ds > 0.0 && ds < 60.0, "saastamoinen {ds}");
+        assert!(dh > 0.0 && dh < 60.0, "hopfield {dh}");
         // Models agree within 30% everywhere above 3°.
-        prop_assert!((ds - dh).abs() / ds < 0.3, "{ds} vs {dh} at {el_deg}°");
+        assert!((ds - dh).abs() / ds < 0.3, "{ds} vs {dh} at {el_deg}°");
     }
+}
 
-    #[test]
-    fn troposphere_monotone_in_elevation(
-        height in 0.0f64..3_000.0,
-        lo in 4.0f64..45.0,
-        delta in 1.0f64..40.0,
-    ) {
+#[test]
+fn troposphere_monotone_in_elevation() {
+    let mut rng = StdRng::seed_from_u64(0xA7_03);
+    for _ in 0..CASES {
+        let height = rng.gen_range(0.0..3_000.0);
+        let lo: f64 = rng.gen_range(4.0..45.0);
+        let delta = rng.gen_range(1.0..40.0);
         let saas = Saastamoinen::standard_at_height(height);
         let hi = (lo + delta).min(90.0);
-        prop_assert!(saas.slant_delay(lo.to_radians()) >= saas.slant_delay(hi.to_radians()));
+        assert!(saas.slant_delay(lo.to_radians()) >= saas.slant_delay(hi.to_radians()));
     }
+}
 
-    #[test]
-    fn multipath_and_noise_sigmas_decrease_with_elevation(
-        lo in 0.0f64..0.5,
-        delta in 0.05f64..1.0,
-    ) {
-        let mp = MultipathModel::default();
-        let noise = ReceiverNoise::default();
+#[test]
+fn multipath_and_noise_sigmas_decrease_with_elevation() {
+    let mut rng = StdRng::seed_from_u64(0xA7_04);
+    let mp = MultipathModel::default();
+    let noise = ReceiverNoise::default();
+    for _ in 0..CASES {
+        let lo: f64 = rng.gen_range(0.0..0.5);
+        let delta = rng.gen_range(0.05..1.0);
         let hi = (lo + delta).min(std::f64::consts::FRAC_PI_2);
-        prop_assert!(mp.sigma(lo) >= mp.sigma(hi));
-        prop_assert!(noise.sigma(lo) >= noise.sigma(hi) - 1e-12);
+        assert!(mp.sigma(lo) >= mp.sigma(hi));
+        assert!(noise.sigma(lo) >= noise.sigma(hi) - 1e-12);
     }
+}
 
-    #[test]
-    fn budget_samples_bounded(
-        station in station_strategy(),
-        el_deg in 5.0f64..90.0,
-        seed in 0u64..1_000,
-    ) {
-        let budget = ErrorBudget::default();
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn budget_samples_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xA7_05);
+    let budget = ErrorBudget::default();
+    for _ in 0..CASES {
+        let station = random_station(&mut rng);
+        let el_deg = rng.gen_range(5.0..90.0);
+        let seed = rng.gen_range(0u64..1_000);
+        let mut draw_rng = StdRng::seed_from_u64(seed);
         let s = budget.draw(
             station,
             el_deg.to_radians(),
             1.0,
             GpsTime::new(1544, 40_000.0),
-            &mut rng,
+            &mut draw_rng,
         );
         // 6-sigma-ish bound on a metre-level budget.
-        prop_assert!(s.total().abs() < 60.0, "total {}", s.total());
-        prop_assert!(s.iono.abs() < 50.0 && s.tropo.abs() < 20.0);
+        assert!(s.total().abs() < 60.0, "total {}", s.total());
+        assert!(s.iono.abs() < 50.0 && s.tropo.abs() < 20.0);
     }
+}
 
-    #[test]
-    fn sigma_estimate_dominates_typical_components(
-        station in station_strategy(),
-        el_deg in 10.0f64..90.0,
-    ) {
-        let budget = ErrorBudget::default();
-        let t = GpsTime::new(1544, 50_000.0);
+#[test]
+fn sigma_estimate_dominates_typical_components() {
+    let mut rng = StdRng::seed_from_u64(0xA7_06);
+    let budget = ErrorBudget::default();
+    let dgps = ErrorBudget::dgps_corrected();
+    let t = GpsTime::new(1544, 50_000.0);
+    for _ in 0..CASES {
+        let station = random_station(&mut rng);
+        let el_deg = rng.gen_range(10.0..90.0);
         let sigma = budget.sigma_estimate(station, el_deg.to_radians(), 1.0, t);
-        prop_assert!(sigma > 0.3 && sigma < 30.0, "sigma {sigma}");
+        assert!(sigma > 0.3 && sigma < 30.0, "sigma {sigma}");
         // DGPS budget always tighter.
-        let dgps = ErrorBudget::dgps_corrected();
-        prop_assert!(dgps.sigma_estimate(station, el_deg.to_radians(), 1.0, t) < sigma);
+        assert!(dgps.sigma_estimate(station, el_deg.to_radians(), 1.0, t) < sigma);
     }
 }

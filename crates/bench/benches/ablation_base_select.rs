@@ -6,7 +6,7 @@
 //! [`BaseSelection`] strategy on noisy epochs, and (b) confirms the
 //! selection cost itself is negligible by timing DLO under each strategy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::harness::Harness;
 use gps_bench::{fixture_dataset, fixture_epochs};
 use gps_core::metrics::Summary;
 use gps_core::{BaseSelection, Dlo, PositionSolver};
@@ -31,8 +31,7 @@ fn print_accuracy_ablation() {
                 continue;
             }
             let meas = gps_sim::to_measurements(&gps_sim::select_subset(truth, epoch, 8));
-            let bias_m =
-                epoch.truth().clock_bias * gps_geodesy::wgs84::SPEED_OF_LIGHT;
+            let bias_m = epoch.truth().clock_bias * gps_geodesy::wgs84::SPEED_OF_LIGHT;
             if let Ok(fix) = dlo.solve(&meas, bias_m) {
                 errors.push(fix.position.distance_to(truth));
             }
@@ -47,14 +46,14 @@ fn print_accuracy_ablation() {
     }
 }
 
-fn bench_base_selection(c: &mut Criterion) {
+fn bench_base_selection(h: &mut Harness) {
     print_accuracy_ablation();
 
     let epochs = fixture_epochs(8, 61);
-    let mut group = c.benchmark_group("ablation_base_select");
+    let mut group = h.benchmark_group("ablation_base_select");
     for (name, strategy) in STRATEGIES {
         let dlo = Dlo::new().with_base_selection(strategy);
-        group.bench_with_input(BenchmarkId::new("dlo", name), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("dlo/{name}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(dlo.solve(black_box(meas), 12.0));
@@ -65,5 +64,7 @@ fn bench_base_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_base_selection);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_base_selection(&mut harness);
+}

@@ -7,8 +7,8 @@
 //! (the time dimension — all three are cheap; the point is that the
 //! *accuracy* differs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gps_bench::fixture_dataset;
+use gps_bench::harness::Harness;
 use gps_clock::{ClockBiasPredictor, KalmanClockPredictor};
 use gps_core::metrics::Summary;
 use gps_core::{Dlo, NewtonRaphson, PositionSolver};
@@ -73,12 +73,24 @@ fn print_accuracy_ablation() {
         }
     }
     println!("clock-model ablation (DLO, m=8, KYCP threshold clock):");
-    println!("  no prediction   mean {:>10.2} m (n={})", err_none.mean(), err_none.count());
-    println!("  linear D + r·t  mean {:>10.2} m (n={})", err_linear.mean(), err_linear.count());
-    println!("  Kalman filter   mean {:>10.2} m (n={})", err_kalman.mean(), err_kalman.count());
+    println!(
+        "  no prediction   mean {:>10.2} m (n={})",
+        err_none.mean(),
+        err_none.count()
+    );
+    println!(
+        "  linear D + r·t  mean {:>10.2} m (n={})",
+        err_linear.mean(),
+        err_linear.count()
+    );
+    println!(
+        "  Kalman filter   mean {:>10.2} m (n={})",
+        err_kalman.mean(),
+        err_kalman.count()
+    );
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn bench_predictors(h: &mut Harness) {
     print_accuracy_ablation();
 
     let t0 = gps_time::GpsTime::EPOCH;
@@ -88,7 +100,7 @@ fn bench_predictors(c: &mut Criterion) {
     kalman.update(t0, 1e-6);
     let query = t0 + gps_time::Duration::from_seconds(300.0);
 
-    let mut group = c.benchmark_group("ablation_clock_model");
+    let mut group = h.benchmark_group("ablation_clock_model");
     group.bench_function("linear_predict", |b| {
         b.iter(|| black_box(linear.predict_range_bias(black_box(query))))
     });
@@ -105,5 +117,7 @@ fn bench_predictors(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_predictors(&mut harness);
+}

@@ -6,7 +6,7 @@
 //! Identity covariances, then benchmarks each (Identity ≡ DLO, so the
 //! timing also brackets the GLS overhead).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::harness::Harness;
 use gps_bench::{fixture_dataset, fixture_epochs};
 use gps_core::metrics::Summary;
 use gps_core::{CovarianceModel, Dlg, PositionSolver};
@@ -46,14 +46,14 @@ fn print_accuracy_ablation() {
     }
 }
 
-fn bench_covariances(c: &mut Criterion) {
+fn bench_covariances(h: &mut Harness) {
     print_accuracy_ablation();
 
     let epochs = fixture_epochs(10, 64);
-    let mut group = c.benchmark_group("ablation_gls_cov");
+    let mut group = h.benchmark_group("ablation_gls_cov");
     for (name, model) in MODELS {
         let dlg = Dlg::new().with_covariance_model(model);
-        group.bench_with_input(BenchmarkId::new("dlg", name), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("dlg/{name}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(dlg.solve(black_box(meas), 12.0));
@@ -64,5 +64,7 @@ fn bench_covariances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_covariances);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_covariances(&mut harness);
+}

@@ -8,14 +8,14 @@
 //! * GLS via whitening (the crate default) vs the explicit `M⁻¹`
 //!   formulation of eq. 4-21.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gps_bench::fixture_epochs;
+use gps_bench::harness::Harness;
 use gps_core::{linearize, BaseSelection, Dlg};
 use gps_linalg::lstsq;
 use std::hint::black_box;
 
-fn bench_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_linalg_path");
+fn bench_paths(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_linalg_path");
     for m in [6usize, 10] {
         // Pre-linearize every epoch so only the estimator is measured.
         let systems: Vec<_> = fixture_epochs(m, 63)
@@ -24,45 +24,37 @@ fn bench_paths(c: &mut Criterion) {
             .collect();
         let dlg = Dlg::default();
 
-        group.bench_with_input(
-            BenchmarkId::new("ols_normal_eq", m),
-            &systems,
-            |b, systems| {
-                b.iter(|| {
-                    for sys in systems {
-                        let _ = black_box(lstsq::ols(&sys.a, &sys.d));
-                    }
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("ols3_cramer", m), &systems, |b, systems| {
+        group.bench_with_input(&format!("ols_normal_eq/{m}"), &systems, |b, systems| {
+            b.iter(|| {
+                for sys in systems {
+                    let _ = black_box(lstsq::ols(&sys.a, &sys.d));
+                }
+            })
+        });
+        group.bench_with_input(&format!("ols3_cramer/{m}"), &systems, |b, systems| {
             b.iter(|| {
                 for sys in systems {
                     let _ = black_box(lstsq::ols3(&sys.a, &sys.d));
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("ols_qr", m), &systems, |b, systems| {
+        group.bench_with_input(&format!("ols_qr/{m}"), &systems, |b, systems| {
             b.iter(|| {
                 for sys in systems {
                     let _ = black_box(lstsq::ols_qr(&sys.a, &sys.d));
                 }
             })
         });
+        group.bench_with_input(&format!("gls_whitened/{m}"), &systems, |b, systems| {
+            b.iter(|| {
+                for sys in systems {
+                    let cov = dlg.covariance_matrix(sys);
+                    let _ = black_box(lstsq::gls(&sys.a, &sys.d, &cov));
+                }
+            })
+        });
         group.bench_with_input(
-            BenchmarkId::new("gls_whitened", m),
-            &systems,
-            |b, systems| {
-                b.iter(|| {
-                    for sys in systems {
-                        let cov = dlg.covariance_matrix(sys);
-                        let _ = black_box(lstsq::gls(&sys.a, &sys.d, &cov));
-                    }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("gls_explicit_inverse", m),
+            &format!("gls_explicit_inverse/{m}"),
             &systems,
             |b, systems| {
                 b.iter(|| {
@@ -77,5 +69,7 @@ fn bench_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_paths);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_paths(&mut harness);
+}

@@ -7,13 +7,13 @@
 //! `θ = τ_O/τ_NR × 100 %` (eq. 5-3); the full four-dataset series is
 //! printed by `cargo run --release --example reproduce_paper -- fig51`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gps_bench::fixture_epochs;
+use gps_bench::harness::{Harness, Throughput};
 use gps_core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
 use std::hint::black_box;
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig51_exec_time");
+fn bench_solvers(h: &mut Harness) {
+    let mut group = h.benchmark_group("fig51_exec_time");
     for m in [4usize, 5, 6, 7, 8, 9, 10] {
         let epochs = fixture_epochs(m, 51);
         if epochs.is_empty() {
@@ -22,7 +22,7 @@ fn bench_solvers(c: &mut Criterion) {
         group.throughput(Throughput::Elements(epochs.len() as u64));
 
         let nr = NewtonRaphson::default();
-        group.bench_with_input(BenchmarkId::new("NR", m), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("NR/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(nr.solve(black_box(meas), 0.0));
@@ -32,7 +32,7 @@ fn bench_solvers(c: &mut Criterion) {
 
         // Warm-started NR (previous epoch's fix as the initial guess):
         // quantifies how much of NR's cost is the paper's cold start.
-        group.bench_with_input(BenchmarkId::new("NR-warm", m), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("NR-warm/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 let mut warm = NewtonRaphson::default();
                 for meas in epochs {
@@ -45,7 +45,7 @@ fn bench_solvers(c: &mut Criterion) {
         });
 
         let dlo = Dlo::default();
-        group.bench_with_input(BenchmarkId::new("DLO", m), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("DLO/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(dlo.solve(black_box(meas), 12.0));
@@ -54,7 +54,7 @@ fn bench_solvers(c: &mut Criterion) {
         });
 
         let dlg = Dlg::default();
-        group.bench_with_input(BenchmarkId::new("DLG", m), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("DLG/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(dlg.solve(black_box(meas), 12.0));
@@ -63,7 +63,7 @@ fn bench_solvers(c: &mut Criterion) {
         });
 
         let bancroft = Bancroft::default();
-        group.bench_with_input(BenchmarkId::new("Bancroft", m), &epochs, |b, epochs| {
+        group.bench_with_input(&format!("Bancroft/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(bancroft.solve(black_box(meas), 0.0));
@@ -74,5 +74,7 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_solvers(&mut harness);
+}

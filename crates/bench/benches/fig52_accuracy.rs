@@ -8,8 +8,8 @@
 //! errors) that produces those series. The full-day four-dataset figure
 //! is printed by `cargo run --release --example reproduce_paper -- fig52`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gps_bench::fixture_dataset;
+use gps_bench::harness::Harness;
 use gps_sim::{run_dataset, ExperimentConfig};
 use std::hint::black_box;
 
@@ -23,32 +23,29 @@ fn print_accuracy_series() {
         for m in [4usize, 6, 8, 10] {
             let r = run_dataset(&data, m, &cfg);
             if r.nr.solves > 0 && r.nr.error.mean() > 0.0 {
-                println!(
-                    "    {:>2}  {:>7.1}  {:>7.1}",
-                    m,
-                    r.eta_dlo(),
-                    r.eta_dlg()
-                );
+                println!("    {:>2}  {:>7.1}  {:>7.1}", m, r.eta_dlo(), r.eta_dlg());
             }
         }
     }
 }
 
-fn bench_accuracy_pipeline(c: &mut Criterion) {
+fn bench_accuracy_pipeline(h: &mut Harness) {
     print_accuracy_series();
 
     let mut cfg = ExperimentConfig::quick(52);
     cfg.calibration_epochs = 20;
     let data = fixture_dataset(0, 52);
-    let mut group = c.benchmark_group("fig52_accuracy_pipeline");
+    let mut group = h.benchmark_group("fig52_accuracy_pipeline");
     group.sample_size(20);
     for m in [4usize, 8] {
-        group.bench_with_input(BenchmarkId::new("run_dataset", m), &m, |b, &m| {
+        group.bench_with_input(&format!("run_dataset/{m}"), &m, |b, &m| {
             b.iter(|| black_box(run_dataset(black_box(&data), m, &cfg)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_accuracy_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_accuracy_pipeline(&mut harness);
+}

@@ -7,22 +7,22 @@
 //! The table itself is printed by
 //! `cargo run --release --example reproduce_paper -- table51`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gps_bench::harness::{Harness, Throughput};
 use gps_obs::{paper_stations, DatasetGenerator};
 use gps_orbits::Constellation;
 use gps_time::GpsTime;
 use std::hint::black_box;
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation(h: &mut Harness) {
     let stations = paper_stations();
-    let mut group = c.benchmark_group("table51_datagen");
+    let mut group = h.benchmark_group("table51_datagen");
 
     // Per-station generation throughput (epochs/second).
     let epochs = 120usize;
     group.throughput(Throughput::Elements(epochs as u64));
     for station in &stations {
         group.bench_with_input(
-            BenchmarkId::new("generate", station.id()),
+            &format!("generate/{}", station.id()),
             station,
             |b, station| {
                 let generator = DatasetGenerator::new(7)
@@ -63,5 +63,7 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_generation(&mut harness);
+}

@@ -1,0 +1,233 @@
+//! A hand-rolled benchmark harness (the offline stand-in for Criterion).
+//!
+//! Keeps the call-site shape Criterion established — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter` — so the bench
+//! files read the same, while staying dependency-free:
+//!
+//! * per-sample iteration counts are auto-calibrated so one sample costs
+//!   ≥ ~2 ms of wall clock (`std::time::Instant` is the only clock);
+//! * results report median / mean / min ns-per-iteration over the
+//!   samples, plus derived throughput when one is declared;
+//! * every result is also recorded into the `gps-telemetry` registry
+//!   (histogram `bench.<group>.<id>`, nanoseconds), so `--telemetry-out`
+//!   style tooling can consume bench runs too.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration unit used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured closure processes this many logical elements.
+    Elements(u64),
+    /// The measured closure processes this many bytes.
+    Bytes(u64),
+}
+
+/// Statistics of one benchmark: nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Median ns/iter over the samples.
+    pub median_ns: f64,
+    /// Mean ns/iter over the samples.
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Iterations per sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The timing callback handed to each benchmark closure.
+pub struct Bencher {
+    sample_count: usize,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count, then times `sample_count` samples
+    /// of `f` and stores ns-per-iteration statistics.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one sample costs ≥ ~2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some(Sampled {
+            median_ns,
+            mean_ns,
+            min_ns: samples[0],
+            iters_per_sample: iters,
+            samples: samples.len(),
+        });
+    }
+}
+
+/// A named group of related benchmarks; prints a header on creation and
+/// one line per finished benchmark.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the number of timed samples (default 15).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling the
+    /// derived elements/s or MB/s column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark, printing and recording the result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_count: self.sample_count,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some(s) = bencher.result else {
+            println!("  {id:<28} (no measurement: Bencher::iter never called)");
+            return self;
+        };
+        let metric = format!("bench.{}.{}", self.name, id.replace('/', "."));
+        gps_telemetry::histogram(&metric).record(s.median_ns);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / (s.median_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>8.1} MB/s", n as f64 / (s.median_ns * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {id:<28} median {:>12} mean {:>12} min {:>12}{rate}  ({} × {} iters)",
+            format_ns(s.median_ns),
+            format_ns(s.mean_ns),
+            format_ns(s.min_ns),
+            s.samples,
+            s.iters_per_sample,
+        );
+        self
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], with an explicit input
+    /// reference and an id suffix (Criterion's `BenchmarkId::new` shape).
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: &str,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Harness {}
+
+impl Harness {
+    /// Creates the harness.
+    #[must_use]
+    pub fn new() -> Self {
+        Harness {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("{name}:");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_count: 15,
+            throughput: None,
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut b = Bencher {
+            sample_count: 3,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        let s = b.result.expect("iter stores a result");
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn group_runs_and_records_metric() {
+        let mut h = Harness::new();
+        let mut g = h.benchmark_group("harness_selftest");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let snap = gps_telemetry::snapshot();
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|h| h.name == "bench.harness_selftest.noop"),
+            "bench result recorded into telemetry registry"
+        );
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

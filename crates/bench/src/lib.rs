@@ -1,8 +1,11 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the timing harness for the benchmarks.
 //!
 //! Each bench regenerates the workload of one paper table/figure (or one
 //! ablation from DESIGN.md). The fixtures here build realistic epochs
-//! once, outside the measured region.
+//! once, outside the measured region; [`harness`] provides the
+//! dependency-free measurement loop the benches run on.
+
+pub mod harness;
 
 use gps_core::Measurement;
 use gps_obs::{paper_stations, DataSet, DatasetGenerator};

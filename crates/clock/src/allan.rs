@@ -76,9 +76,9 @@ pub fn allan_ladder(phase: &[f64], tau0: f64) -> Vec<(f64, f64)> {
 mod tests {
     use super::*;
     use crate::{ReceiverClock, SteeringClock, ThresholdClock};
+    use gps_rng::rngs::StdRng;
+    use gps_rng::SeedableRng;
     use gps_time::Duration;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn linear_ramp_has_zero_adev() {

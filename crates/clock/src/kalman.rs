@@ -54,7 +54,10 @@ impl KalmanClockPredictor {
     /// Panics if any noise parameter is negative or `r_meas` is zero.
     #[must_use]
     pub fn new(t0: GpsTime, q_phase: f64, q_drift: f64, r_meas: f64) -> Self {
-        assert!(q_phase >= 0.0 && q_drift >= 0.0, "process noise must be non-negative");
+        assert!(
+            q_phase >= 0.0 && q_drift >= 0.0,
+            "process noise must be non-negative"
+        );
         assert!(r_meas > 0.0, "measurement noise must be positive");
         KalmanClockPredictor {
             bias: 0.0,
@@ -191,7 +194,11 @@ mod tests {
             let tk = f64::from(k) * 30.0;
             kf.update(t(tk), true_drift * tk);
         }
-        assert!((kf.drift() - true_drift).abs() < 1e-10, "drift {}", kf.drift());
+        assert!(
+            (kf.drift() - true_drift).abs() < 1e-10,
+            "drift {}",
+            kf.drift()
+        );
         // Prediction 5 minutes ahead should be tight.
         let ahead = t(200.0 * 30.0 + 300.0);
         let expected = true_drift * (200.0 * 30.0 + 300.0);

@@ -23,9 +23,9 @@
 //! ```
 //! use gps_clock::{ClockBiasPredictor, ReceiverClock, SteeringClock};
 //! use gps_time::{Duration, GpsTime};
-//! use rand::SeedableRng;
+//! use gps_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = gps_rng::rngs::StdRng::seed_from_u64(1);
 //! let mut clock = SteeringClock::default();
 //! let mut predictor = ClockBiasPredictor::new(GpsTime::EPOCH);
 //! // Bootstrap D from the clock's initial (e.g. NR-derived) bias:

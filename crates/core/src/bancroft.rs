@@ -145,7 +145,10 @@ impl PositionSolver for Bancroft {
                 continue;
             }
             let rms = Bancroft::residual_rms(measurements, pos, bias);
-            if best.as_ref().map_or(true, |(_, _, best_rms)| rms < *best_rms) {
+            if best
+                .as_ref()
+                .map_or(true, |(_, _, best_rms)| rms < *best_rms)
+            {
                 best = Some((pos, bias, rms));
             }
         }
@@ -224,7 +227,9 @@ mod tests {
     fn rejects_too_few() {
         let truth = Ecef::new(6.371e6, 0.0, 0.0);
         assert_eq!(
-            Bancroft::new().solve(&exact(truth, 0.0, 3), 0.0).unwrap_err(),
+            Bancroft::new()
+                .solve(&exact(truth, 0.0, 3), 0.0)
+                .unwrap_err(),
             SolveError::TooFewSatellites { got: 3, need: 4 }
         );
     }

@@ -2,7 +2,9 @@ use gps_geodesy::Ecef;
 use gps_linalg::{lstsq, Matrix};
 
 use crate::dlo::{linearize, system_residual_rms, LinearSystem};
+use crate::instrument;
 use crate::{BaseSelection, Measurement, PositionSolver, Solution, SolveError};
+use gps_telemetry::{Event, Level};
 
 /// Which covariance structure DLG feeds to the general least-squares
 /// estimator — the subject of the `ablation_gls_cov` benchmark.
@@ -141,21 +143,20 @@ impl Dlg {
                     rho1_scaled
                 }
             }),
-            CovarianceModel::DiagonalOnly => {
-                Matrix::from_fn(
-                    m - 1,
-                    m - 1,
-                    |r, c| if r == c { rho1_scaled + others[r] } else { 0.0 },
-                )
-            }
+            CovarianceModel::DiagonalOnly => Matrix::from_fn(m - 1, m - 1, |r, c| {
+                if r == c {
+                    rho1_scaled + others[r]
+                } else {
+                    0.0
+                }
+            }),
             CovarianceModel::Identity => Matrix::identity(m - 1),
             CovarianceModel::ElevationScaled => {
                 // Per-satellite variance weight from the elevation budget
                 // (same 1/sin(el) shape as the receiver-noise model).
                 let weight = |el: Option<f64>| {
                     el.map_or(1.0, |e| {
-                        let clamped =
-                            e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
+                        let clamped = e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
                         1.0 / clamped.sin()
                     })
                 };
@@ -186,10 +187,33 @@ impl PositionSolver for Dlg {
         predicted_receiver_bias_m: f64,
     ) -> Result<Solution, SolveError> {
         let sys = linearize(measurements, predicted_receiver_bias_m, self.base)?;
-        let m_cov = self.covariance_matrix(&sys);
+        // Covariance-assembly time and the design-matrix condition number
+        // both cost more to observe than DLG costs to run; gate them.
+        let detail = gps_telemetry::detail();
+        let m_cov = if detail {
+            let start = std::time::Instant::now();
+            let m_cov = self.covariance_matrix(&sys);
+            instrument::dlg_cov_assembly().record(start.elapsed().as_secs_f64() * 1e6);
+            m_cov
+        } else {
+            self.covariance_matrix(&sys)
+        };
         let x = lstsq::gls(&sys.a, &sys.d, &m_cov)?;
         let position = Ecef::new(x[0], x[1], x[2]);
         let rms = system_residual_rms(&sys, position);
+        instrument::dlg_solves().inc();
+        if detail {
+            if let Some(kappa) = instrument::design_condition_number(&sys.a) {
+                instrument::dlg_condition().record(kappa);
+                if gps_telemetry::enabled(Level::Debug) {
+                    Event::new(Level::Debug, "core.dlg", "solved")
+                        .with("condition_number", kappa)
+                        .with("base_index", sys.base_index)
+                        .with("residual_rms_m", rms)
+                        .emit();
+                }
+            }
+        }
         Ok(Solution::new(position, None, 1, rms))
     }
 

@@ -1,8 +1,10 @@
 use gps_geodesy::Ecef;
 use gps_linalg::{lstsq, Matrix, Vector};
 
+use crate::instrument;
 use crate::measurement::validate;
 use crate::{BaseSelection, Measurement, PositionSolver, Solution, SolveError};
+use gps_telemetry::{Event, Level};
 
 /// The directly linearized trilateration system `A·Xᵉ = Dᵉ` of the paper's
 /// eq. 4-8, before any least-squares estimator is applied.
@@ -52,6 +54,9 @@ pub fn linearize(
     }
     let base_index = base.select(measurements);
     let m = measurements.len();
+    if gps_telemetry::detail() {
+        instrument::base_index().record(base_index as f64);
+    }
 
     let corrected_ranges: Vec<f64> = measurements
         .iter()
@@ -151,6 +156,21 @@ impl PositionSolver for Dlo {
         let x = lstsq::ols(&sys.a, &sys.d)?;
         let position = Ecef::new(x[0], x[1], x[2]);
         let rms = system_residual_rms(&sys, position);
+        instrument::dlo_solves().inc();
+        // The eigendecomposition behind the condition number costs more
+        // than the solve itself; only observe it when detail is on.
+        if gps_telemetry::detail() {
+            if let Some(kappa) = instrument::design_condition_number(&sys.a) {
+                instrument::dlo_condition().record(kappa);
+                if gps_telemetry::enabled(Level::Debug) {
+                    Event::new(Level::Debug, "core.dlo", "solved")
+                        .with("condition_number", kappa)
+                        .with("base_index", sys.base_index)
+                        .with("residual_rms_m", rms)
+                        .emit();
+                }
+            }
+        }
         Ok(Solution::new(position, None, 1, rms))
     }
 
@@ -218,9 +238,7 @@ mod tests {
         let meas = exact(truth, bias, 6);
         let with_prediction = Dlo::new().solve(&meas, bias).unwrap();
         let without = Dlo::new().solve(&meas, 0.0).unwrap();
-        assert!(
-            without.position.distance_to(truth) > with_prediction.position.distance_to(truth)
-        );
+        assert!(without.position.distance_to(truth) > with_prediction.position.distance_to(truth));
         // 300 m of uncorrected common bias leaks into the position at
         // roughly the same order of magnitude.
         assert!(without.position.distance_to(truth) > 50.0);

@@ -80,10 +80,7 @@ mod tests {
     #[test]
     fn display_messages() {
         let cases: Vec<(SolveError, &str)> = vec![
-            (
-                SolveError::TooFewSatellites { got: 2, need: 4 },
-                "too few",
-            ),
+            (SolveError::TooFewSatellites { got: 2, need: 4 }, "too few"),
             (
                 SolveError::DegenerateGeometry(LinalgError::Singular),
                 "degenerate",

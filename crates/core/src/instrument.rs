@@ -1,0 +1,80 @@
+//! Telemetry instrumentation points for the solver pipeline.
+//!
+//! Every metric handle is cached in a `OnceLock`, so the solver hot
+//! paths pay one registry lookup per process and afterwards only the
+//! atomic record itself. Anything that costs real computation to
+//! *observe* — design-matrix condition numbers, covariance-assembly
+//! timing — is additionally gated on [`gps_telemetry::detail`], keeping
+//! the paper's execution-time comparisons (θ, eq. 5-3) undistorted
+//! unless the caller opts in.
+
+use std::sync::OnceLock;
+
+use gps_linalg::{Matrix, SymmetricEigen};
+use gps_telemetry::{Counter, Histogram};
+
+macro_rules! cached_metric {
+    ($fn_name:ident, Counter, $name:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: OnceLock<Counter> = OnceLock::new();
+            HANDLE.get_or_init(|| gps_telemetry::counter($name))
+        }
+    };
+    ($fn_name:ident, Histogram, $name:literal) => {
+        pub(crate) fn $fn_name() -> &'static Histogram {
+            static HANDLE: OnceLock<Histogram> = OnceLock::new();
+            HANDLE.get_or_init(|| gps_telemetry::histogram($name))
+        }
+    };
+}
+
+cached_metric!(nr_solves, Counter, "core.nr.solves");
+cached_metric!(nr_nonconvergence, Counter, "core.nr.nonconvergence");
+cached_metric!(nr_iterations, Histogram, "core.nr.iterations");
+cached_metric!(nr_residual_rms, Histogram, "core.nr.residual_rms_m");
+cached_metric!(dlo_solves, Counter, "core.dlo.solves");
+cached_metric!(dlo_condition, Histogram, "core.dlo.condition_number");
+cached_metric!(dlg_solves, Counter, "core.dlg.solves");
+cached_metric!(dlg_condition, Histogram, "core.dlg.condition_number");
+cached_metric!(dlg_cov_assembly, Histogram, "core.dlg.cov_assembly_us");
+cached_metric!(base_index, Histogram, "core.base.selected_index");
+cached_metric!(raim_exclusions, Counter, "core.raim.exclusions");
+
+/// 2-norm condition number of the design matrix `A`, via the symmetric
+/// eigendecomposition of its 3×3 Gram matrix: `κ₂(A) = √κ₂(AᵀA)`.
+/// `None` when the geometry is too degenerate for the QL iteration.
+pub(crate) fn design_condition_number(a: &Matrix) -> Option<f64> {
+    SymmetricEigen::new(&a.gram())
+        .ok()
+        .map(|eig| eig.condition_number().sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_linalg::Matrix;
+
+    #[test]
+    fn handles_are_cached_and_live() {
+        let a = nr_solves() as *const Counter;
+        let b = nr_solves() as *const Counter;
+        assert_eq!(a, b, "OnceLock must hand back the same handle");
+        let before = nr_solves().value();
+        nr_solves().inc();
+        assert_eq!(nr_solves().value(), before + 1);
+    }
+
+    #[test]
+    fn condition_number_matches_known_matrix() {
+        // Diagonal design matrix: singular values are the entries.
+        let a = Matrix::from_rows(&[
+            &[3.0, 0.0, 0.0],
+            &[0.0, 2.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let kappa = design_condition_number(&a).unwrap();
+        assert!((kappa - 3.0).abs() < 1e-9, "kappa {kappa}");
+    }
+}

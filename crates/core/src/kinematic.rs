@@ -113,14 +113,8 @@ impl PvFilter {
         if !self.initialized {
             self.state = Vector::from_slice(&[fix.x, fix.y, fix.z, 0.0, 0.0, 0.0]);
             // Position known to fix accuracy; velocity unknown.
-            self.p = Matrix::from_diagonal(&[
-                self.r_pos,
-                self.r_pos,
-                self.r_pos,
-                1.0e6,
-                1.0e6,
-                1.0e6,
-            ]);
+            self.p =
+                Matrix::from_diagonal(&[self.r_pos, self.r_pos, self.r_pos, 1.0e6, 1.0e6, 1.0e6]);
             self.initialized = true;
             return Ok(());
         }

@@ -60,6 +60,7 @@ mod dlo;
 mod dop;
 mod error;
 mod hatch;
+mod instrument;
 mod kinematic;
 mod measurement;
 pub mod metrics;

@@ -58,10 +58,7 @@ impl Measurement {
 }
 
 /// Validates a measurement batch: finiteness and minimum count.
-pub(crate) fn validate(
-    measurements: &[Measurement],
-    need: usize,
-) -> Result<(), crate::SolveError> {
+pub(crate) fn validate(measurements: &[Measurement], need: usize) -> Result<(), crate::SolveError> {
     if measurements.len() < need {
         return Err(crate::SolveError::TooFewSatellites {
             got: measurements.len(),

@@ -167,7 +167,9 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
+        (self.sum_sq / self.count as f64 - mean * mean)
+            .max(0.0)
+            .sqrt()
     }
 
     /// Smallest observation.
@@ -261,6 +263,32 @@ mod tests {
     }
 
     #[test]
+    fn rates_at_paper_typical_values() {
+        // Fig 5.2: DLG ≈ 110% of the NR error.
+        assert!((accuracy_rate(5.5, 5.0) - 110.0).abs() < 1e-12);
+        // Fig 5.1: DLO ≈ 18% of the NR time (300 ns vs 1666.67 ns).
+        assert!((execution_time_rate(300.0, 1_666.666_666_666_7) - 18.0).abs() < 1e-9);
+        // The rate is scale-free: nanoseconds and microseconds agree.
+        assert!(
+            (execution_time_rate(0.3, 1.666_666_666_666_7)
+                - execution_time_rate(300.0, 1_666.666_666_666_7))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn single_observation_summary_is_degenerate() {
+        let s: Summary = std::iter::once(4.25).collect();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 4.25);
+        assert_eq!(s.min(), 4.25);
+        assert_eq!(s.max(), 4.25);
+        assert_eq!(s.rms(), 4.25);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn accuracy_rate_rejects_zero_baseline() {
         let _ = accuracy_rate(1.0, 0.0);
@@ -274,7 +302,9 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.std_dev(), 2.0);

@@ -1,8 +1,10 @@
 use gps_geodesy::Ecef;
 use gps_linalg::{lstsq, Matrix, Vector};
 
+use crate::instrument;
 use crate::measurement::validate;
 use crate::{Measurement, PositionSolver, Solution, SolveError};
+use gps_telemetry::{Event, Level};
 
 /// The classic Newton–Raphson GPS solver (paper §3.4) — the baseline every
 /// rate in the evaluation is measured against.
@@ -169,6 +171,7 @@ impl PositionSolver for NewtonRaphson {
                 if range < 1.0 {
                     // Iterate collided with a satellite: geometry is
                     // hopeless from this start.
+                    instrument::nr_nonconvergence().inc();
                     return Err(SolveError::NonConvergence {
                         iterations: iteration,
                         residual: f64::INFINITY,
@@ -203,6 +206,7 @@ impl PositionSolver for NewtonRaphson {
             bias += step[3];
 
             if !pos.is_finite() || !bias.is_finite() {
+                instrument::nr_nonconvergence().inc();
                 return Err(SolveError::NonConvergence {
                     iterations: iteration,
                     residual: f64::INFINITY,
@@ -217,12 +221,11 @@ impl PositionSolver for NewtonRaphson {
                     let r = (pos - meas.position).norm() - meas.pseudorange + bias;
                     sum_sq += r * r;
                 }
-                return Ok(Solution::new(
-                    pos,
-                    Some(bias),
-                    iteration,
-                    (sum_sq / m as f64).sqrt(),
-                ));
+                let residual_rms = (sum_sq / m as f64).sqrt();
+                instrument::nr_solves().inc();
+                instrument::nr_iterations().record(iteration as f64);
+                instrument::nr_residual_rms().record(residual_rms);
+                return Ok(Solution::new(pos, Some(bias), iteration, residual_rms));
             }
         }
 
@@ -234,6 +237,14 @@ impl PositionSolver for NewtonRaphson {
             })
             .sum::<f64>()
             .sqrt();
+        instrument::nr_nonconvergence().inc();
+        if gps_telemetry::enabled(Level::Warn) {
+            Event::new(Level::Warn, "core.nr", "did not converge")
+                .with("iterations", self.max_iterations)
+                .with("residual_m", residual)
+                .with("satellites", m)
+                .emit();
+        }
         Err(SolveError::NonConvergence {
             iterations: self.max_iterations,
             residual,
@@ -297,7 +308,11 @@ mod tests {
         let meas = exact_measurements(truth, 0.0, 5);
         let fix = NewtonRaphson::default().solve(&meas, 0.0).unwrap();
         // The classic result: NR from the Earth's center needs ~5 steps.
-        assert!(fix.iterations >= 3 && fix.iterations <= 10, "{}", fix.iterations);
+        assert!(
+            fix.iterations >= 3 && fix.iterations <= 10,
+            "{}",
+            fix.iterations
+        );
     }
 
     #[test]

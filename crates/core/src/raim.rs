@@ -17,7 +17,9 @@
 //!    one satellite out, and adopt the subset whose residual is smallest;
 //! 3. repeat until the test passes or too few satellites remain.
 
+use crate::instrument;
 use crate::{Measurement, PositionSolver, Solution, SolveError};
+use gps_telemetry::{Event, Level};
 
 /// Outcome of a RAIM-protected solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,8 +123,7 @@ impl<S: PositionSolver> Raim<S> {
         let mut excluded = Vec::new();
 
         loop {
-            let subset: Vec<Measurement> =
-                active.iter().map(|&i| measurements[i]).collect();
+            let subset: Vec<Measurement> = active.iter().map(|&i| measurements[i]).collect();
             let solution = self.inner.solve(&subset, predicted_receiver_bias_m)?;
             if solution.residual_rms <= self.threshold_m {
                 return Ok(RaimSolution {
@@ -163,8 +164,18 @@ impl<S: PositionSolver> Raim<S> {
                 }
             }
             match best {
-                Some((k, _)) => {
-                    excluded.push(active.remove(k));
+                Some((k, subset_residual)) => {
+                    let index = active.remove(k);
+                    excluded.push(index);
+                    instrument::raim_exclusions().inc();
+                    if gps_telemetry::enabled(Level::Warn) {
+                        Event::new(Level::Warn, "core.raim", "excluded satellite")
+                            .with("measurement_index", index)
+                            .with("full_set_residual_m", solution.residual_rms)
+                            .with("subset_residual_m", subset_residual)
+                            .with("remaining", active.len())
+                            .emit();
+                    }
                 }
                 None => {
                     // No leave-one-out subset solved: surface the original

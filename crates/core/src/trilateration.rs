@@ -255,7 +255,10 @@ mod tests {
             .into_iter()
             .map(|m| Measurement::new(m.position, m.pseudorange * 0.5))
             .collect();
-        assert_eq!(trilaterate3(&meas, 0.0).unwrap_err(), SolveError::NoRealRoot);
+        assert_eq!(
+            trilaterate3(&meas, 0.0).unwrap_err(),
+            SolveError::NoRealRoot
+        );
     }
 
     #[test]

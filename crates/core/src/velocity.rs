@@ -146,12 +146,30 @@ mod tests {
 
     fn sats() -> Vec<(Ecef, Ecef)> {
         vec![
-            (Ecef::new(2.0e7, 0.0, 1.7e7), Ecef::new(100.0, 2_600.0, 900.0)),
-            (Ecef::new(1.5e7, 1.8e7, 0.9e7), Ecef::new(-1_900.0, 800.0, 2_500.0)),
-            (Ecef::new(1.6e7, -1.7e7, 1.0e7), Ecef::new(2_000.0, 1_500.0, -800.0)),
-            (Ecef::new(2.5e7, 0.4e7, -0.6e7), Ecef::new(400.0, -2_400.0, 1_800.0)),
-            (Ecef::new(0.8e7, 1.4e7, 2.0e7), Ecef::new(-2_700.0, 300.0, 1_000.0)),
-            (Ecef::new(1.2e7, -0.4e7, 2.2e7), Ecef::new(900.0, 2_900.0, -200.0)),
+            (
+                Ecef::new(2.0e7, 0.0, 1.7e7),
+                Ecef::new(100.0, 2_600.0, 900.0),
+            ),
+            (
+                Ecef::new(1.5e7, 1.8e7, 0.9e7),
+                Ecef::new(-1_900.0, 800.0, 2_500.0),
+            ),
+            (
+                Ecef::new(1.6e7, -1.7e7, 1.0e7),
+                Ecef::new(2_000.0, 1_500.0, -800.0),
+            ),
+            (
+                Ecef::new(2.5e7, 0.4e7, -0.6e7),
+                Ecef::new(400.0, -2_400.0, 1_800.0),
+            ),
+            (
+                Ecef::new(0.8e7, 1.4e7, 2.0e7),
+                Ecef::new(-2_700.0, 300.0, 1_000.0),
+            ),
+            (
+                Ecef::new(1.2e7, -0.4e7, 2.2e7),
+                Ecef::new(900.0, 2_900.0, -200.0),
+            ),
         ]
     }
 
@@ -189,7 +207,11 @@ mod tests {
             m.range_rate += if k % 2 == 0 { 0.05 } else { -0.05 };
         }
         let sol = solve_velocity(&meas, receiver()).unwrap();
-        assert!((sol.velocity - v_rx).norm() < 0.5, "err {}", (sol.velocity - v_rx).norm());
+        assert!(
+            (sol.velocity - v_rx).norm() < 0.5,
+            "err {}",
+            (sol.velocity - v_rx).norm()
+        );
         assert!(sol.residual_rms > 0.001);
     }
 

@@ -1,33 +1,41 @@
-//! Property-based tests for the positioning algorithms.
+//! Randomized property tests for the positioning algorithms.
 //!
 //! The central invariant: on **error-free** pseudoranges, every solver
 //! must recover the receiver position (and, where applicable, the clock
 //! bias) to numerical precision, for any receiver location on the Earth
 //! and any sane satellite geometry.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
 use gps_core::{Bancroft, Dlg, Dlo, Measurement, NewtonRaphson, PositionSolver};
 use gps_geodesy::{Ecef, Geodetic};
-use proptest::prelude::*;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
+
+const CASES: usize = 64;
 
 /// A receiver somewhere on (or near) the Earth's surface.
-fn receiver_strategy() -> impl Strategy<Value = Ecef> {
-    (-60.0f64..60.0, -179.0f64..179.0, -100.0f64..9_000.0)
-        .prop_map(|(lat, lon, h)| Geodetic::from_deg(lat, lon, h).to_ecef())
+fn random_receiver(rng: &mut StdRng) -> Ecef {
+    Geodetic::from_deg(
+        rng.gen_range(-60.0..60.0),
+        rng.gen_range(-179.0..179.0),
+        rng.gen_range(-100.0..9_000.0),
+    )
+    .to_ecef()
 }
 
 /// A set of `n` satellites spread over the receiver's sky: azimuths
 /// roughly even with jitter, elevations drawn from 10°..85°.
-fn sky_strategy(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.0f64..1.0, 10.0f64..85.0), n).prop_map(move |pairs| {
-        pairs
-            .iter()
-            .enumerate()
-            .map(|(k, (jitter, el))| {
-                let az = (k as f64 + jitter) / n as f64 * std::f64::consts::TAU;
-                (az, el.to_radians())
-            })
-            .collect()
-    })
+fn random_sky(rng: &mut StdRng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|k| {
+            let jitter = rng.gen_range(0.0..1.0);
+            let el: f64 = rng.gen_range(10.0..85.0);
+            let az = (k as f64 + jitter) / n as f64 * std::f64::consts::TAU;
+            (az, el.to_radians())
+        })
+        .collect()
 }
 
 /// Places satellites at GPS range along the given look angles.
@@ -47,91 +55,132 @@ fn make_measurements(receiver: Ecef, sky: &[(f64, f64)], bias: f64) -> Vec<Measu
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn nr_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(6), bias in -1000.0f64..1000.0) {
+#[test]
+fn nr_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_01);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 6);
+        let bias = rng.gen_range(-1000.0..1000.0);
         let meas = make_measurements(receiver, &sky, bias);
         match NewtonRaphson::default().solve(&meas, 0.0) {
             Ok(fix) => {
-                prop_assert!(fix.position.distance_to(receiver) < 1e-2,
-                    "err {}", fix.position.distance_to(receiver));
-                prop_assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 1e-2);
+                assert!(
+                    fix.position.distance_to(receiver) < 1e-2,
+                    "err {}",
+                    fix.position.distance_to(receiver)
+                );
+                assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 1e-2);
             }
             // Random skies can be near-degenerate; rejection is acceptable,
             // silent wrong answers are not.
-            Err(e) => prop_assert!(
-                matches!(e, gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NonConvergence { .. }),
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    gps_core::SolveError::DegenerateGeometry(_)
+                        | gps_core::SolveError::NonConvergence { .. }
+                ),
                 "unexpected error {e:?}"
             ),
         }
     }
+}
 
-    #[test]
-    fn dlo_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(7)) {
+#[test]
+fn dlo_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_02);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 7);
         let meas = make_measurements(receiver, &sky, 0.0);
         match Dlo::default().solve(&meas, 0.0) {
-            Ok(fix) => prop_assert!(fix.position.distance_to(receiver) < 0.05,
-                "err {}", fix.position.distance_to(receiver)),
-            Err(e) => prop_assert!(
+            Ok(fix) => assert!(
+                fix.position.distance_to(receiver) < 0.05,
+                "err {}",
+                fix.position.distance_to(receiver)
+            ),
+            Err(e) => assert!(
                 matches!(e, gps_core::SolveError::DegenerateGeometry(_)),
                 "unexpected error {e:?}"
             ),
         }
     }
+}
 
-    #[test]
-    fn dlg_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(7)) {
+#[test]
+fn dlg_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_03);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 7);
         let meas = make_measurements(receiver, &sky, 0.0);
         match Dlg::default().solve(&meas, 0.0) {
-            Ok(fix) => prop_assert!(fix.position.distance_to(receiver) < 0.05,
-                "err {}", fix.position.distance_to(receiver)),
-            Err(e) => prop_assert!(
+            Ok(fix) => assert!(
+                fix.position.distance_to(receiver) < 0.05,
+                "err {}",
+                fix.position.distance_to(receiver)
+            ),
+            Err(e) => assert!(
                 matches!(e, gps_core::SolveError::DegenerateGeometry(_)),
                 "unexpected error {e:?}"
             ),
         }
     }
+}
 
-    #[test]
-    fn dlo_dlg_with_perfect_clock_prediction(
-        receiver in receiver_strategy(),
-        sky in sky_strategy(8),
-        bias in -500.0f64..500.0,
-    ) {
+#[test]
+fn dlo_dlg_with_perfect_clock_prediction() {
+    let mut rng = StdRng::seed_from_u64(0xC0_04);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 8);
+        let bias = rng.gen_range(-500.0..500.0);
         let meas = make_measurements(receiver, &sky, bias);
         if let (Ok(dlo), Ok(dlg)) = (
             Dlo::default().solve(&meas, bias),
             Dlg::default().solve(&meas, bias),
         ) {
-            prop_assert!(dlo.position.distance_to(receiver) < 0.05);
-            prop_assert!(dlg.position.distance_to(receiver) < 0.05);
+            assert!(dlo.position.distance_to(receiver) < 0.05);
+            assert!(dlg.position.distance_to(receiver) < 0.05);
         }
     }
+}
 
-    #[test]
-    fn bancroft_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(5), bias in -1000.0f64..1000.0) {
+#[test]
+fn bancroft_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_05);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 5);
+        let bias = rng.gen_range(-1000.0..1000.0);
         let meas = make_measurements(receiver, &sky, bias);
         match Bancroft::default().solve(&meas, 0.0) {
             Ok(fix) => {
-                prop_assert!(fix.position.distance_to(receiver) < 0.05,
-                    "err {}", fix.position.distance_to(receiver));
-                prop_assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 0.05);
+                assert!(
+                    fix.position.distance_to(receiver) < 0.05,
+                    "err {}",
+                    fix.position.distance_to(receiver)
+                );
+                assert!((fix.receiver_bias_m.unwrap() - bias).abs() < 0.05);
             }
-            Err(e) => prop_assert!(
-                matches!(e, gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NoRealRoot),
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NoRealRoot
+                ),
                 "unexpected error {e:?}"
             ),
         }
     }
+}
 
-    #[test]
-    fn solvers_agree_on_noisy_data(
-        receiver in receiver_strategy(),
-        sky in sky_strategy(8),
-        noise_seed in 0u64..1_000,
-    ) {
+#[test]
+fn solvers_agree_on_noisy_data() {
+    let mut rng = StdRng::seed_from_u64(0xC0_06);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 8);
+        let noise_seed = rng.gen_range(0u64..1_000);
         // Metre-level deterministic "noise" derived from the seed.
         let mut meas = make_measurements(receiver, &sky, 0.0);
         for (k, m) in meas.iter_mut().enumerate() {
@@ -147,23 +196,36 @@ proptest! {
         .into_iter()
         .filter_map(|r| r.ok().map(|s| s.position))
         .collect();
-        prop_assume!(results.len() == 4);
+        if results.len() != 4 {
+            continue;
+        }
         // All four estimates within tens of metres of each other and of
         // the truth (noise is ±3 m, DOP is modest).
         for p in &results {
-            prop_assert!(p.distance_to(receiver) < 100.0, "err {}", p.distance_to(receiver));
+            assert!(
+                p.distance_to(receiver) < 100.0,
+                "err {}",
+                p.distance_to(receiver)
+            );
         }
     }
+}
 
-    #[test]
-    fn trilaterate3_exact_recovery(receiver in receiver_strategy(), sky in sky_strategy(3), bias in -500.0f64..500.0) {
+#[test]
+fn trilaterate3_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_07);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 3);
+        let bias = rng.gen_range(-500.0..500.0);
         let meas = make_measurements(receiver, &sky, bias);
         match gps_core::trilaterate3(&meas, bias) {
-            Ok(roots) => prop_assert!(
+            Ok(roots) => assert!(
                 roots.near_earth.distance_to(receiver) < 0.05,
-                "err {}", roots.near_earth.distance_to(receiver)
+                "err {}",
+                roots.near_earth.distance_to(receiver)
             ),
-            Err(e) => prop_assert!(
+            Err(e) => assert!(
                 matches!(
                     e,
                     gps_core::SolveError::DegenerateGeometry(_) | gps_core::SolveError::NoRealRoot
@@ -172,17 +234,20 @@ proptest! {
             ),
         }
     }
+}
 
-    #[test]
-    fn velocity_exact_recovery(
-        receiver in receiver_strategy(),
-        sky in sky_strategy(6),
-        vx in -300.0f64..300.0,
-        vy in -300.0f64..300.0,
-        vz in -50.0f64..50.0,
-        drift in -10.0f64..10.0,
-    ) {
-        let v_rx = Ecef::new(vx, vy, vz);
+#[test]
+fn velocity_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0xC0_08);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 6);
+        let v_rx = Ecef::new(
+            rng.gen_range(-300.0..300.0),
+            rng.gen_range(-300.0..300.0),
+            rng.gen_range(-50.0..50.0),
+        );
+        let drift = rng.gen_range(-10.0..10.0);
         let meas = make_measurements(receiver, &sky, 0.0);
         let rates: Vec<gps_core::RateMeasurement> = meas
             .iter()
@@ -199,14 +264,22 @@ proptest! {
             })
             .collect();
         if let Ok(sol) = gps_core::solve_velocity(&rates, receiver) {
-            prop_assert!((sol.velocity - v_rx).norm() < 1e-3,
-                "err {}", (sol.velocity - v_rx).norm());
-            prop_assert!((sol.clock_drift_m_s - drift).abs() < 1e-3);
+            assert!(
+                (sol.velocity - v_rx).norm() < 1e-3,
+                "err {}",
+                (sol.velocity - v_rx).norm()
+            );
+            assert!((sol.clock_drift_m_s - drift).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn measurement_order_does_not_change_nr(receiver in receiver_strategy(), sky in sky_strategy(6)) {
+#[test]
+fn measurement_order_does_not_change_nr() {
+    let mut rng = StdRng::seed_from_u64(0xC0_09);
+    for _ in 0..CASES {
+        let receiver = random_receiver(&mut rng);
+        let sky = random_sky(&mut rng, 6);
         let meas = make_measurements(receiver, &sky, 42.0);
         let mut reversed = meas.clone();
         reversed.reverse();
@@ -214,7 +287,7 @@ proptest! {
             NewtonRaphson::default().solve(&meas, 0.0),
             NewtonRaphson::default().solve(&reversed, 0.0),
         ) {
-            prop_assert!(a.position.distance_to(b.position) < 1e-3);
+            assert!(a.position.distance_to(b.position) < 1e-3);
         }
     }
 }

@@ -215,13 +215,29 @@ mod tests {
         // Table 5.1 station ECEF coordinates → plausible geography.
         let cases = [
             // SRZN: Suriname, ~5.4° N.
-            (Ecef::new(3_623_420.032, -5_214_015.434, 602_359.096), 5.0, 6.0),
+            (
+                Ecef::new(3_623_420.032, -5_214_015.434, 602_359.096),
+                5.0,
+                6.0,
+            ),
             // YYR1: Goose Bay, Canada, ~53.3° N.
-            (Ecef::new(1_885_341.558, -3_321_428.098, 5_091_171.168), 53.0, 54.0),
+            (
+                Ecef::new(1_885_341.558, -3_321_428.098, 5_091_171.168),
+                53.0,
+                54.0,
+            ),
             // FAI1: Fairbanks, Alaska, ~64.9° N.
-            (Ecef::new(-2_304_740.630, -1_448_716.218, 5_748_842.956), 64.0, 66.0),
+            (
+                Ecef::new(-2_304_740.630, -1_448_716.218, 5_748_842.956),
+                64.0,
+                66.0,
+            ),
             // KYCP: ~37.3° N.
-            (Ecef::new(411_598.861, -5_060_514.896, 3_847_795.506), 37.0, 38.0),
+            (
+                Ecef::new(411_598.861, -5_060_514.896, 3_847_795.506),
+                37.0,
+                38.0,
+            ),
         ];
         for (ecef, lat_min, lat_max) in cases {
             let g = Geodetic::from_ecef(ecef);

@@ -58,8 +58,8 @@ pub fn destination(start: Geodetic, bearing_rad: f64, distance_m: f64) -> Geodet
     let lon2 = start.longitude()
         + (bearing_rad.sin() * sin_d * cos_lat).atan2(cos_d - sin_lat * lat2.sin());
     // Normalize longitude into (−π, π].
-    let lon2 = (lon2 + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
-        - std::f64::consts::PI;
+    let lon2 =
+        (lon2 + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU) - std::f64::consts::PI;
     Geodetic::new(lat2, lon2, start.height())
 }
 
@@ -116,8 +116,7 @@ mod tests {
             let end = destination(start, bearing, 100_000.0);
             assert!((great_circle_distance(start, end) - 100_000.0).abs() < 1.0);
             let back = initial_bearing(start, end);
-            let diff = (back - bearing + std::f64::consts::PI)
-                .rem_euclid(std::f64::consts::TAU)
+            let diff = (back - bearing + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
                 - std::f64::consts::PI;
             assert!(diff.abs() < 1e-3, "bearing {bearing_deg}: diff {diff}");
             assert_eq!(end.height(), 250.0);

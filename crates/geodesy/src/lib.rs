@@ -33,11 +33,11 @@
 
 mod ecef;
 mod enu;
-mod greatcircle;
 mod geodetic;
+mod greatcircle;
 pub mod wgs84;
 
 pub use ecef::Ecef;
 pub use enu::{Enu, LocalFrame};
-pub use greatcircle::{destination, great_circle_distance, initial_bearing};
 pub use geodetic::Geodetic;
+pub use greatcircle::{destination, great_circle_distance, initial_bearing};

@@ -1,109 +1,160 @@
-//! Property-based tests for the geodesy substrate.
+//! Randomized property tests for the geodesy substrate.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
 use gps_geodesy::{Ecef, Enu, Geodetic, LocalFrame};
-use proptest::prelude::*;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 
-fn geodetic_strategy() -> impl Strategy<Value = Geodetic> {
-    (
-        -89.5f64..89.5,
-        -179.9f64..179.9,
-        -5_000.0f64..30_000_000.0,
+const CASES: usize = 256;
+
+fn random_geodetic(rng: &mut StdRng) -> Geodetic {
+    Geodetic::from_deg(
+        rng.gen_range(-89.5..89.5),
+        rng.gen_range(-179.9..179.9),
+        rng.gen_range(-5_000.0..30_000_000.0),
     )
-        .prop_map(|(lat, lon, h)| Geodetic::from_deg(lat, lon, h))
 }
 
-proptest! {
-    #[test]
-    fn ecef_geodetic_round_trip(g in geodetic_strategy()) {
+#[test]
+fn ecef_geodetic_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x9E_01);
+    for _ in 0..CASES {
+        let g = random_geodetic(&mut rng);
         let back = Geodetic::from_ecef(g.to_ecef());
-        prop_assert!((back.latitude_deg() - g.latitude_deg()).abs() < 1e-8);
+        assert!((back.latitude_deg() - g.latitude_deg()).abs() < 1e-8);
         let lon_err = ((back.longitude_deg() - g.longitude_deg() + 540.0) % 360.0) - 180.0;
-        prop_assert!(lon_err.abs() < 1e-8);
-        prop_assert!((back.height() - g.height()).abs() < 1e-4);
+        assert!(lon_err.abs() < 1e-8);
+        assert!((back.height() - g.height()).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn geodetic_ecef_round_trip(
-        x in -3.0e7f64..3.0e7,
-        y in -3.0e7f64..3.0e7,
-        z in -3.0e7f64..3.0e7,
-    ) {
-        let p = Ecef::new(x, y, z);
+#[test]
+fn geodetic_ecef_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x9E_02);
+    for _ in 0..CASES {
+        let p = Ecef::new(
+            rng.gen_range(-3.0e7..3.0e7),
+            rng.gen_range(-3.0e7..3.0e7),
+            rng.gen_range(-3.0e7..3.0e7),
+        );
         // Only meaningful for points well away from the Earth's center.
-        prop_assume!(p.norm() > 1.0e6);
+        if p.norm() <= 1.0e6 {
+            continue;
+        }
         let back = Geodetic::from_ecef(p).to_ecef();
-        prop_assert!(p.distance_to(back) < 1e-4, "err {}", p.distance_to(back));
+        assert!(p.distance_to(back) < 1e-4, "err {}", p.distance_to(back));
     }
+}
 
-    #[test]
-    fn local_frame_preserves_distance(g in geodetic_strategy(), e in -1e6f64..1e6, n in -1e6f64..1e6, u in -1e6f64..1e6) {
+#[test]
+fn local_frame_preserves_distance() {
+    let mut rng = StdRng::seed_from_u64(0x9E_03);
+    for _ in 0..CASES {
+        let g = random_geodetic(&mut rng);
+        let (e, n, u) = (
+            rng.gen_range(-1e6..1e6),
+            rng.gen_range(-1e6..1e6),
+            rng.gen_range(-1e6..1e6),
+        );
         let frame = LocalFrame::new(g.to_ecef());
         let v = Enu::new(e, n, u);
         let p = frame.to_ecef(v);
         // The transform is rigid: distances are preserved.
-        prop_assert!((p.distance_to(frame.origin()) - v.norm()).abs() < 1e-5);
+        assert!((p.distance_to(frame.origin()) - v.norm()).abs() < 1e-5);
         let back = frame.to_enu(p);
-        prop_assert!((back.east - e).abs() < 1e-4);
-        prop_assert!((back.north - n).abs() < 1e-4);
-        prop_assert!((back.up - u).abs() < 1e-4);
+        assert!((back.east - e).abs() < 1e-4);
+        assert!((back.north - n).abs() < 1e-4);
+        assert!((back.up - u).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn elevation_bounded(g in geodetic_strategy(), e in -1e7f64..1e7, n in -1e7f64..1e7, u in -1e7f64..1e7) {
-        prop_assume!(Enu::new(e, n, u).norm() > 1.0);
+#[test]
+fn elevation_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x9E_04);
+    for _ in 0..CASES {
+        let g = random_geodetic(&mut rng);
+        let (e, n, u) = (
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+        );
+        if Enu::new(e, n, u).norm() <= 1.0 {
+            continue;
+        }
         let frame = LocalFrame::new(g.to_ecef());
         let p = frame.to_ecef(Enu::new(e, n, u));
         let elev = frame.elevation(p);
-        prop_assert!((-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&elev));
+        assert!((-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&elev));
         let az = frame.azimuth(p);
-        prop_assert!((0.0..std::f64::consts::TAU).contains(&az));
+        assert!((0.0..std::f64::consts::TAU).contains(&az));
     }
+}
 
-    #[test]
-    fn great_circle_destination_round_trip(
-        lat in -80.0f64..80.0,
-        lon in -179.0f64..179.0,
-        bearing_deg in 0.0f64..360.0,
-        distance in 1_000.0f64..2_000_000.0,
-    ) {
+#[test]
+fn great_circle_destination_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x9E_05);
+    for _ in 0..CASES {
+        let lat: f64 = rng.gen_range(-80.0..80.0);
+        let lon = rng.gen_range(-179.0..179.0);
+        let bearing_deg: f64 = rng.gen_range(0.0..360.0);
+        let distance = rng.gen_range(1_000.0..2_000_000.0);
         let start = Geodetic::from_deg(lat, lon, 0.0);
         let bearing = bearing_deg.to_radians();
         let end = gps_geodesy::destination(start, bearing, distance);
         // Distance back matches what we travelled.
         let d = gps_geodesy::great_circle_distance(start, end);
-        prop_assert!((d - distance).abs() < 1.0, "distance {d} vs {distance}");
+        assert!((d - distance).abs() < 1.0, "distance {d} vs {distance}");
         // Initial bearing matches (mod 2π), except near the poles where
         // bearings degenerate.
         if lat.abs() < 70.0 {
             let b = gps_geodesy::initial_bearing(start, end);
-            let diff = ((b - bearing + std::f64::consts::PI)
-                .rem_euclid(std::f64::consts::TAU)
+            let diff = ((b - bearing + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
                 - std::f64::consts::PI)
                 .abs();
-            prop_assert!(diff < 0.05, "bearing diff {diff}");
+            assert!(diff < 0.05, "bearing diff {diff}");
         }
     }
+}
 
-    #[test]
-    fn great_circle_symmetric_and_bounded(
-        lat1 in -85.0f64..85.0, lon1 in -179.0f64..179.0,
-        lat2 in -85.0f64..85.0, lon2 in -179.0f64..179.0,
-    ) {
-        let a = Geodetic::from_deg(lat1, lon1, 0.0);
-        let b = Geodetic::from_deg(lat2, lon2, 0.0);
+#[test]
+fn great_circle_symmetric_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x9E_06);
+    for _ in 0..CASES {
+        let a = Geodetic::from_deg(
+            rng.gen_range(-85.0..85.0),
+            rng.gen_range(-179.0..179.0),
+            0.0,
+        );
+        let b = Geodetic::from_deg(
+            rng.gen_range(-85.0..85.0),
+            rng.gen_range(-179.0..179.0),
+            0.0,
+        );
         let d_ab = gps_geodesy::great_circle_distance(a, b);
         let d_ba = gps_geodesy::great_circle_distance(b, a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        assert!((d_ab - d_ba).abs() < 1e-6);
         // Bounded by half the circumference.
-        prop_assert!(d_ab <= std::f64::consts::PI * gps_geodesy::wgs84::MEAN_EARTH_RADIUS + 1.0);
+        assert!(d_ab <= std::f64::consts::PI * gps_geodesy::wgs84::MEAN_EARTH_RADIUS + 1.0);
     }
+}
 
-    #[test]
-    fn triangle_inequality(ax in -1e7f64..1e7, ay in -1e7f64..1e7, az in -1e7f64..1e7,
-                           bx in -1e7f64..1e7, by in -1e7f64..1e7, bz in -1e7f64..1e7) {
-        let a = Ecef::new(ax, ay, az);
-        let b = Ecef::new(bx, by, bz);
-        prop_assert!(a.distance_to(b) <= a.norm() + b.norm() + 1e-6);
-        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+#[test]
+fn triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x9E_07);
+    for _ in 0..CASES {
+        let a = Ecef::new(
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+        );
+        let b = Ecef::new(
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+            rng.gen_range(-1e7..1e7),
+        );
+        assert!(a.distance_to(b) <= a.norm() + b.norm() + 1e-6);
+        assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
     }
 }

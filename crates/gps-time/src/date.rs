@@ -194,7 +194,12 @@ mod tests {
 
     #[test]
     fn paper_dataset_dates_valid() {
-        for (y, m, d) in [(2009, 8, 12), (2009, 10, 23), (2009, 10, 29), (2009, 10, 10)] {
+        for (y, m, d) in [
+            (2009, 8, 12),
+            (2009, 10, 23),
+            (2009, 10, 29),
+            (2009, 10, 10),
+        ] {
             assert!(Date::new(y, m, d).is_ok(), "{y}/{m}/{d}");
         }
     }

@@ -1,77 +1,119 @@
-//! Property-based tests for the GPS time scale.
+//! Randomized property tests for the GPS time scale.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 use gps_time::{Date, Duration, GpsTime, SECONDS_PER_DAY, SECONDS_PER_WEEK};
-use proptest::prelude::*;
 
-fn gpstime_strategy() -> impl Strategy<Value = GpsTime> {
-    (0i32..3_000, 0.0f64..SECONDS_PER_WEEK).prop_map(|(w, tow)| GpsTime::new(w, tow))
+const CASES: usize = 256;
+
+fn random_gpstime(rng: &mut StdRng) -> GpsTime {
+    GpsTime::new(
+        rng.gen_range(0i32..3_000),
+        rng.gen_range(0.0..SECONDS_PER_WEEK),
+    )
 }
 
-proptest! {
-    #[test]
-    fn normalization_invariant(week in -100i32..3_000, tow in -1.0e7f64..1.0e7) {
+#[test]
+fn normalization_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x71_01);
+    for _ in 0..CASES {
+        let week = rng.gen_range(-100i32..3_000);
+        let tow = rng.gen_range(-1.0e7..1.0e7);
         let t = GpsTime::new(week, tow);
-        prop_assert!(t.seconds_of_week() >= 0.0);
-        prop_assert!(t.seconds_of_week() < SECONDS_PER_WEEK);
+        assert!(t.seconds_of_week() >= 0.0);
+        assert!(t.seconds_of_week() < SECONDS_PER_WEEK);
         // Total seconds preserved through normalization.
         let total = f64::from(week) * SECONDS_PER_WEEK + tow;
-        prop_assert!((t.seconds_since_epoch() - total).abs() < 1e-6);
+        assert!((t.seconds_since_epoch() - total).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn add_sub_round_trip(t in gpstime_strategy(), secs in -1.0e6f64..1.0e6) {
-        let d = Duration::from_seconds(secs);
+#[test]
+fn add_sub_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x71_02);
+    for _ in 0..CASES {
+        let t = random_gpstime(&mut rng);
+        let d = Duration::from_seconds(rng.gen_range(-1.0e6..1.0e6));
         let u = (t + d) - d;
-        prop_assert!(((u - t).as_seconds()).abs() < 1e-6);
+        assert!(((u - t).as_seconds()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn difference_antisymmetric(a in gpstime_strategy(), b in gpstime_strategy()) {
-        prop_assert!(((a - b).as_seconds() + (b - a).as_seconds()).abs() < 1e-6);
-        prop_assert_eq!(a < b, (a - b).as_seconds() < 0.0);
+#[test]
+fn difference_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(0x71_03);
+    for _ in 0..CASES {
+        let a = random_gpstime(&mut rng);
+        let b = random_gpstime(&mut rng);
+        assert!(((a - b).as_seconds() + (b - a).as_seconds()).abs() < 1e-6);
+        assert_eq!(a < b, (a - b).as_seconds() < 0.0);
     }
+}
 
-    #[test]
-    fn date_round_trip_through_gps_time(year in 1980u16..2100, month in 1u8..=12, day in 1u8..=28) {
+#[test]
+fn date_round_trip_through_gps_time() {
+    let mut rng = StdRng::seed_from_u64(0x71_04);
+    for _ in 0..CASES {
+        let year = rng.gen_range(1980u16..2100);
+        let month = rng.gen_range(1u8..13);
+        let day = rng.gen_range(1u8..29);
         let Ok(date) = Date::new(year, month, day) else {
             // Only the few days before 1980-01-06 are rejected.
-            prop_assume!(false);
-            unreachable!()
+            continue;
         };
         let t = GpsTime::from_date(date);
-        prop_assert_eq!(t.seconds_of_day(), 0.0);
+        assert_eq!(t.seconds_of_day(), 0.0);
         // Total days consistent with the date's day count.
         let days = t.seconds_since_epoch() / SECONDS_PER_DAY;
-        prop_assert_eq!(days as i64, date.days_since_gps_epoch());
+        assert_eq!(days as i64, date.days_since_gps_epoch());
     }
+}
 
-    #[test]
-    fn consecutive_dates_differ_by_one_day(year in 1980u16..2099, month in 1u8..=12, day in 1u8..=27) {
+#[test]
+fn consecutive_dates_differ_by_one_day() {
+    let mut rng = StdRng::seed_from_u64(0x71_05);
+    for _ in 0..CASES {
+        let year = rng.gen_range(1980u16..2099);
+        let month = rng.gen_range(1u8..13);
+        let day = rng.gen_range(1u8..28);
         let (Ok(a), Ok(b)) = (Date::new(year, month, day), Date::new(year, month, day + 1)) else {
-            prop_assume!(false);
-            unreachable!()
+            continue;
         };
-        prop_assert_eq!(b.days_since_gps_epoch() - a.days_since_gps_epoch(), 1);
-        prop_assert_eq!((b.day_of_week() + 6) % 7, a.day_of_week());
+        assert_eq!(b.days_since_gps_epoch() - a.days_since_gps_epoch(), 1);
+        assert_eq!((b.day_of_week() + 6) % 7, a.day_of_week());
     }
+}
 
-    #[test]
-    fn epoch_iterator_covers_expected_span(t in gpstime_strategy(), step in 1.0f64..3_600.0, count in 1usize..200) {
+#[test]
+fn epoch_iterator_covers_expected_span() {
+    let mut rng = StdRng::seed_from_u64(0x71_06);
+    for _ in 0..CASES {
+        let t = random_gpstime(&mut rng);
+        let step = rng.gen_range(1.0..3_600.0);
+        let count = rng.gen_range(1usize..200);
         let epochs: Vec<GpsTime> = t.epochs(Duration::from_seconds(step), count).collect();
-        prop_assert_eq!(epochs.len(), count);
+        assert_eq!(epochs.len(), count);
         if count > 1 {
             let span = (*epochs.last().unwrap() - epochs[0]).as_seconds();
-            prop_assert!((span - step * (count - 1) as f64).abs() < 1e-6);
+            assert!((span - step * (count - 1) as f64).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn duration_arithmetic_consistent(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+#[test]
+fn duration_arithmetic_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x71_07);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-1.0e6..1.0e6);
+        let b = rng.gen_range(-1.0e6..1.0e6);
         let da = Duration::from_seconds(a);
         let db = Duration::from_seconds(b);
-        prop_assert!(((da + db).as_seconds() - (a + b)).abs() < 1e-9);
-        prop_assert!(((da - db).as_seconds() - (a - b)).abs() < 1e-9);
-        prop_assert!((((da * 2.0) / 2.0).as_seconds() - a).abs() < 1e-9);
-        prop_assert_eq!((-da).as_seconds(), -a);
+        assert!(((da + db).as_seconds() - (a + b)).abs() < 1e-9);
+        assert!(((da - db).as_seconds() - (a - b)).abs() < 1e-9);
+        assert!((((da * 2.0) / 2.0).as_seconds() - a).abs() < 1e-9);
+        assert_eq!((-da).as_seconds(), -a);
     }
 }

@@ -131,13 +131,17 @@ impl SymmetricEigen {
     /// Largest eigenvalue.
     #[must_use]
     pub fn max_eigenvalue(&self) -> f64 {
-        self.eigenvalues.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+        self.eigenvalues
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &x| m.max(x))
     }
 
     /// Smallest eigenvalue.
     #[must_use]
     pub fn min_eigenvalue(&self) -> f64 {
-        self.eigenvalues.iter().fold(f64::INFINITY, |m, &x| m.min(x))
+        self.eigenvalues
+            .iter()
+            .fold(f64::INFINITY, |m, &x| m.min(x))
     }
 
     /// Spectral (2-norm) condition number `|λ|max / |λ|min`; infinite for

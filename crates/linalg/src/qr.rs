@@ -168,13 +168,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular_and_reconstructs_gram() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap();
         let qr = QrDecomposition::new(&a).unwrap();
         let r = qr.r();
         for i in 0..2 {
@@ -244,7 +238,10 @@ mod tests {
     fn rejects_non_finite() {
         let mut a = Matrix::identity(2);
         a[(0, 1)] = f64::NAN;
-        assert_eq!(QrDecomposition::new(&a).unwrap_err(), LinalgError::NonFinite);
+        assert_eq!(
+            QrDecomposition::new(&a).unwrap_err(),
+            LinalgError::NonFinite
+        );
     }
 
     #[test]

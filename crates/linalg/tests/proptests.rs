@@ -1,152 +1,213 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Randomized property tests for the linear-algebra substrate.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
 use gps_linalg::{lstsq, Cholesky, LuDecomposition, Matrix, QrDecomposition, Vector};
-use proptest::prelude::*;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 
-/// Strategy: a well-scaled `rows × cols` matrix with entries in [-10, 10].
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
+const CASES: usize = 256;
+
+/// A well-scaled `rows × cols` matrix with entries in [-10, 10].
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-10.0..10.0))
+        .collect();
+    Matrix::from_fn(rows, cols, |r, c| data[r * cols + c])
 }
 
-fn vector_strategy(n: usize) -> impl Strategy<Value = Vector> {
-    prop::collection::vec(-10.0f64..10.0, n).prop_map(|d| Vector::from(d))
+fn random_vector(rng: &mut StdRng, n: usize) -> Vector {
+    Vector::from(
+        (0..n)
+            .map(|_| rng.gen_range(-10.0..10.0))
+            .collect::<Vec<f64>>(),
+    )
 }
 
-/// Strategy: an SPD matrix built as `BᵀB + εI`.
-fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix_strategy(n + 1, n).prop_map(move |b| &b.gram() + &Matrix::identity(n).scaled(0.5))
+/// An SPD matrix built as `BᵀB + εI`.
+fn random_spd(rng: &mut StdRng, n: usize) -> Matrix {
+    let b = random_matrix(rng, n + 1, n);
+    &b.gram() + &Matrix::identity(n).scaled(0.5)
 }
 
-proptest! {
-    #[test]
-    fn lu_solve_residual_small(a in spd_strategy(4), b in vector_strategy(4)) {
+#[test]
+fn lu_solve_residual_small() {
+    let mut rng = StdRng::seed_from_u64(0x1A_01);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 4);
+        let b = random_vector(&mut rng, 4);
         // SPD matrices are never singular, so LU must succeed.
         let lu = LuDecomposition::new(&a).unwrap();
         let x = lu.solve(&b).unwrap();
         let r = &a.matvec(&x).unwrap() - &b;
         let scale = 1.0 + b.norm_inf() + a.norm_max() * x.norm_inf();
-        prop_assert!(r.norm_inf() / scale < 1e-9, "residual {}", r.norm_inf());
+        assert!(r.norm_inf() / scale < 1e-9, "residual {}", r.norm_inf());
     }
+}
 
-    #[test]
-    fn lu_inverse_round_trip(a in spd_strategy(3)) {
+#[test]
+fn lu_inverse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x1A_02);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 3);
         let inv = a.inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         let err = (&prod - &Matrix::identity(3)).norm_max();
-        prop_assert!(err < 1e-7, "err {err}");
+        assert!(err < 1e-7, "err {err}");
     }
+}
 
-    #[test]
-    fn cholesky_reconstructs(a in spd_strategy(5)) {
+#[test]
+fn cholesky_reconstructs() {
+    let mut rng = StdRng::seed_from_u64(0x1A_03);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 5);
         let chol = Cholesky::new(&a).unwrap();
         let l = chol.l();
         let rec = l.matmul(&l.transpose()).unwrap();
         let err = (&rec - &a).norm_max() / (1.0 + a.norm_max());
-        prop_assert!(err < 1e-10, "err {err}");
+        assert!(err < 1e-10, "err {err}");
     }
+}
 
-    #[test]
-    fn cholesky_agrees_with_lu(a in spd_strategy(4), b in vector_strategy(4)) {
+#[test]
+fn cholesky_agrees_with_lu() {
+    let mut rng = StdRng::seed_from_u64(0x1A_04);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 4);
+        let b = random_vector(&mut rng, 4);
         let x1 = Cholesky::new(&a).unwrap().solve(&b).unwrap();
         let x2 = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
         let err = (&x1 - &x2).norm_inf() / (1.0 + x1.norm_inf());
-        prop_assert!(err < 1e-8, "err {err}");
+        assert!(err < 1e-8, "err {err}");
     }
+}
 
-    #[test]
-    fn qr_preserves_gram(a in matrix_strategy(6, 3)) {
+#[test]
+fn qr_preserves_gram() {
+    let mut rng = StdRng::seed_from_u64(0x1A_05);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 6, 3);
         // Skip (rare) rank-deficient random draws.
         if let Ok(qr) = QrDecomposition::new(&a) {
             let r = qr.r();
             let err = (&r.gram() - &a.gram()).norm_max() / (1.0 + a.gram().norm_max());
-            prop_assert!(err < 1e-10, "err {err}");
+            assert!(err < 1e-10, "err {err}");
         }
     }
+}
 
-    #[test]
-    fn ols_exact_recovery(a in matrix_strategy(7, 3), x in vector_strategy(3)) {
+#[test]
+fn ols_exact_recovery() {
+    let mut rng = StdRng::seed_from_u64(0x1A_06);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 7, 3);
+        let x = random_vector(&mut rng, 3);
         let b = a.matvec(&x).unwrap();
         if let Ok(xh) = lstsq::ols(&a, &b) {
             let err = (&xh - &x).norm_inf() / (1.0 + x.norm_inf());
-            prop_assert!(err < 1e-6, "err {err}");
+            assert!(err < 1e-6, "err {err}");
         }
     }
+}
 
-    #[test]
-    fn ols_normal_equations_hold(a in matrix_strategy(6, 2), b in vector_strategy(6)) {
+#[test]
+fn ols_normal_equations_hold() {
+    let mut rng = StdRng::seed_from_u64(0x1A_07);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 6, 2);
+        let b = random_vector(&mut rng, 6);
         if let Ok(x) = lstsq::ols(&a, &b) {
             // Optimality: Aᵀ(b − Ax) = 0.
             let r = lstsq::residual(&a, &b, &x).unwrap();
             let atr = a.transpose_matvec(&r).unwrap();
             let scale = 1.0 + a.norm_max() * b.norm_inf();
-            prop_assert!(atr.norm_inf() / scale < 1e-9, "Aᵀr {}", atr.norm_inf());
+            assert!(atr.norm_inf() / scale < 1e-9, "Aᵀr {}", atr.norm_inf());
         }
     }
+}
 
-    #[test]
-    fn gls_identity_equals_ols(a in matrix_strategy(5, 2), b in vector_strategy(5)) {
+#[test]
+fn gls_identity_equals_ols() {
+    let mut rng = StdRng::seed_from_u64(0x1A_08);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 5, 2);
+        let b = random_vector(&mut rng, 5);
         let i = Matrix::identity(5);
-        match (lstsq::ols(&a, &b), lstsq::gls(&a, &b, &i)) {
-            (Ok(x1), Ok(x2)) => {
-                let err = (&x1 - &x2).norm_inf() / (1.0 + x1.norm_inf());
-                prop_assert!(err < 1e-8, "err {err}");
-            }
-            _ => {}
+        if let (Ok(x1), Ok(x2)) = (lstsq::ols(&a, &b), lstsq::gls(&a, &b, &i)) {
+            let err = (&x1 - &x2).norm_inf() / (1.0 + x1.norm_inf());
+            assert!(err < 1e-8, "err {err}");
         }
     }
+}
 
-    #[test]
-    fn gls_whitened_matches_explicit(
-        a in matrix_strategy(5, 2),
-        b in vector_strategy(5),
-        m in spd_strategy(5),
-    ) {
-        match (lstsq::gls(&a, &b, &m), lstsq::gls_explicit_inverse(&a, &b, &m)) {
+#[test]
+fn gls_whitened_matches_explicit() {
+    let mut rng = StdRng::seed_from_u64(0x1A_09);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 5, 2);
+        let b = random_vector(&mut rng, 5);
+        let m = random_spd(&mut rng, 5);
+        match (
+            lstsq::gls(&a, &b, &m),
+            lstsq::gls_explicit_inverse(&a, &b, &m),
+        ) {
             (Ok(x1), Ok(x2)) => {
                 let err = (&x1 - &x2).norm_inf() / (1.0 + x1.norm_inf());
-                prop_assert!(err < 1e-6, "err {err}");
+                assert!(err < 1e-6, "err {err}");
             }
-            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
-            (r1, r2) => prop_assert!(false, "disagree: {r1:?} vs {r2:?}"),
+            (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+            (r1, r2) => panic!("disagree: {r1:?} vs {r2:?}"),
         }
     }
+}
 
-    #[test]
-    fn gls_optimality_condition(
-        a in matrix_strategy(6, 3),
-        b in vector_strategy(6),
-        m in spd_strategy(6),
-    ) {
+#[test]
+fn gls_optimality_condition() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0A);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 6, 3);
+        let b = random_vector(&mut rng, 6);
+        let m = random_spd(&mut rng, 6);
         if let Ok(x) = lstsq::gls(&a, &b, &m) {
             // Optimality: Aᵀ M⁻¹ (b − Ax) = 0.
             let r = lstsq::residual(&a, &b, &x).unwrap();
             let minv_r = Cholesky::new(&m).unwrap().solve(&r).unwrap();
             let grad = a.transpose_matvec(&minv_r).unwrap();
             let scale = 1.0 + a.norm_max() * b.norm_inf();
-            prop_assert!(grad.norm_inf() / scale < 1e-6, "grad {}", grad.norm_inf());
+            assert!(grad.norm_inf() / scale < 1e-6, "grad {}", grad.norm_inf());
         }
     }
+}
 
-    #[test]
-    fn eigen_reconstruction_and_condition(a in spd_strategy(4)) {
+#[test]
+fn eigen_reconstruction_and_condition() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0B);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 4);
         let eig = gps_linalg::SymmetricEigen::new(&a).unwrap();
         // V Λ Vᵀ = A.
         let v = eig.eigenvectors();
         let lambda = Matrix::from_diagonal(eig.eigenvalues());
         let rec = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
-        prop_assert!((&rec - &a).norm_max() / (1.0 + a.norm_max()) < 1e-10);
+        assert!((&rec - &a).norm_max() / (1.0 + a.norm_max()) < 1e-10);
         // SPD ⇒ positive eigenvalues, condition ≥ 1.
-        prop_assert!(eig.min_eigenvalue() > 0.0);
-        prop_assert!(eig.condition_number() >= 1.0);
+        assert!(eig.min_eigenvalue() > 0.0);
+        assert!(eig.condition_number() >= 1.0);
         // Trace invariant.
         let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
         let sum: f64 = eig.eigenvalues().iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-9 * (1.0 + trace.abs()));
+        assert!((trace - sum).abs() < 1e-9 * (1.0 + trace.abs()));
     }
+}
 
-    #[test]
-    fn ols3_matches_general_path(a in matrix_strategy(7, 3), b in vector_strategy(7)) {
+#[test]
+fn ols3_matches_general_path() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0C);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 7, 3);
+        let b = random_vector(&mut rng, 7);
         // `ols` dispatches to the Cramer fast path for 3 columns; verify
         // against the explicit normal-equation route.
         if let Ok(fast) = lstsq::ols3(&a, &b) {
@@ -155,34 +216,54 @@ proptest! {
             if let Ok(general) = Cholesky::new(&g).and_then(|c| c.solve(&rhs)) {
                 for k in 0..3 {
                     let scale = 1.0 + general.norm_inf();
-                    prop_assert!((fast[k] - general[k]).abs() / scale < 1e-7,
-                        "x[{k}]: {} vs {}", fast[k], general[k]);
+                    assert!(
+                        (fast[k] - general[k]).abs() / scale < 1e-7,
+                        "x[{k}]: {} vs {}",
+                        fast[k],
+                        general[k]
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn determinant_multiplicativity(a in spd_strategy(3), b in spd_strategy(3)) {
+#[test]
+fn determinant_multiplicativity() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0D);
+    for _ in 0..CASES {
+        let a = random_spd(&mut rng, 3);
+        let b = random_spd(&mut rng, 3);
         let da = a.determinant().unwrap();
         let db = b.determinant().unwrap();
         let dab = a.matmul(&b).unwrap().determinant().unwrap();
         let err = (dab - da * db).abs() / (1.0 + dab.abs());
-        prop_assert!(err < 1e-6, "err {err}");
+        assert!(err < 1e-6, "err {err}");
     }
+}
 
-    #[test]
-    fn transpose_of_product(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+#[test]
+fn transpose_of_product() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0E);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 3, 4);
+        let b = random_matrix(&mut rng, 4, 2);
         // (AB)ᵀ = BᵀAᵀ
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!((&lhs - &rhs).norm_max() < 1e-10);
+        assert!((&lhs - &rhs).norm_max() < 1e-10);
     }
+}
 
-    #[test]
-    fn matvec_linearity(a in matrix_strategy(4, 3), x in vector_strategy(3), y in vector_strategy(3)) {
+#[test]
+fn matvec_linearity() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0F);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng, 4, 3);
+        let x = random_vector(&mut rng, 3);
+        let y = random_vector(&mut rng, 3);
         let lhs = a.matvec(&(&x + &y)).unwrap();
         let rhs = &a.matvec(&x).unwrap() + &a.matvec(&y).unwrap();
-        prop_assert!((&lhs - &rhs).norm_inf() < 1e-9);
+        assert!((&lhs - &rhs).norm_inf() < 1e-9);
     }
 }

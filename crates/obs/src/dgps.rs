@@ -23,9 +23,9 @@ use gps_clock::{ReceiverClock, SteeringClock};
 use gps_geodesy::wgs84::SPEED_OF_LIGHT;
 use gps_geodesy::{Ecef, Enu, LocalFrame};
 use gps_orbits::{Constellation, SatId};
+use gps_rng::rngs::StdRng;
+use gps_rng::SeedableRng;
 use gps_time::{Duration, GpsTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::{DataSet, Epoch, EpochTruth, SatObservation, Station};
 
@@ -157,7 +157,10 @@ impl DgpsPairGenerator {
 
         let mut ref_epochs = Vec::with_capacity(self.epoch_count);
         let mut rover_epochs = Vec::with_capacity(self.epoch_count);
-        for (k, t) in start.epochs(self.epoch_interval, self.epoch_count).enumerate() {
+        for (k, t) in start
+            .epochs(self.epoch_interval, self.epoch_count)
+            .enumerate()
+        {
             if k > 0 {
                 ref_clock.advance(self.epoch_interval, &mut rng);
                 rover_clock.advance(self.epoch_interval, &mut rng);
@@ -172,20 +175,22 @@ impl DgpsPairGenerator {
             let mut rover_obs = Vec::with_capacity(visible.len());
             for v in &visible {
                 // Shared (spatially correlated) components: one draw.
-                let shared = self.budget.draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
+                let shared = self
+                    .budget
+                    .draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
                 let common = shared.iono + shared.tropo + shared.sat_clock;
                 // Independent local components per receiver.
-                let ref_local = self.budget.draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
-                let rov_local = self.budget.draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
+                let ref_local = self
+                    .budget
+                    .draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
+                let rov_local = self
+                    .budget
+                    .draw(ref_geo, v.elevation, v.azimuth, t, &mut rng);
 
                 ref_obs.push(SatObservation {
                     sat: v.id,
                     position: v.position,
-                    pseudorange: v.range
-                        + common
-                        + ref_local.multipath
-                        + ref_local.noise
-                        + eps_ref,
+                    pseudorange: v.range + common + ref_local.multipath + ref_local.noise + eps_ref,
                     elevation: v.elevation,
                     extended: None,
                 });

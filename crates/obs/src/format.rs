@@ -200,10 +200,12 @@ pub fn parse(text: &str) -> Result<DataSet, FormatError> {
         if line.is_empty() {
             continue;
         }
-        let body = line.strip_prefix("> ").ok_or_else(|| FormatError::BadLine {
-            line: line_no,
-            what: "expected epoch line starting with `>`".to_owned(),
-        })?;
+        let body = line
+            .strip_prefix("> ")
+            .ok_or_else(|| FormatError::BadLine {
+                line: line_no,
+                what: "expected epoch line starting with `>`".to_owned(),
+            })?;
         let parts: Vec<&str> = body.split_whitespace().collect();
         if parts.len() != 5 {
             return Err(FormatError::BadLine {
@@ -243,8 +245,7 @@ pub fn parse(text: &str) -> Result<DataSet, FormatError> {
             if fields.len() != 6 && fields.len() != 11 {
                 return Err(FormatError::BadLine {
                     line: line_no,
-                    what: "observation line needs 6 fields (code-only) or 11 (extended)"
-                        .to_owned(),
+                    what: "observation line needs 6 fields (code-only) or 11 (extended)".to_owned(),
                 });
             }
             let prn_str = fields[0]

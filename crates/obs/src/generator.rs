@@ -2,18 +2,16 @@ use gps_atmosphere::ErrorBudget;
 use gps_clock::{CorrectionType, ReceiverClock, SteeringClock, ThresholdClock};
 use gps_geodesy::wgs84::SPEED_OF_LIGHT;
 use gps_orbits::Constellation;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 use gps_time::{Duration, GpsTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{DataSet, Epoch, EpochTruth, SatObservation, Station};
 
 /// Standard normal draw (Box–Muller), for the extended observables'
 /// tracking noise.
 fn gaussian_sample(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    rng.standard_normal()
 }
 
 /// Synthetic dataset generator: the substitute for the paper's CORS
@@ -202,7 +200,8 @@ impl DatasetGenerator {
                         let ambiguity = ambiguities
                             .entry(v.id)
                             .or_insert_with(|| (rng.gen::<f64>() - 0.5) * 4.0e5);
-                        let phase = v.range + epsilon_r - error.iono + error.tropo
+                        let phase = v.range + epsilon_r - error.iono
+                            + error.tropo
                             + error.sat_clock
                             + *ambiguity
                             + 0.003 * gaussian_sample(&mut rng);
@@ -441,7 +440,10 @@ mod tests {
         }
         let mean: f64 = offsets.iter().sum::<f64>() / offsets.len() as f64;
         let expected = 2e-8 * SPEED_OF_LIGHT;
-        assert!((mean - expected).abs() < 0.5, "mean offset {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean offset {mean} vs {expected}"
+        );
     }
 
     #[test]

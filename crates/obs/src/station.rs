@@ -36,7 +36,12 @@ impl Station {
     /// ±100 km of the WGS-84 ellipsoid) — a plausibility check that catches
     /// unit mistakes (km vs m) early.
     #[must_use]
-    pub fn new(id: impl Into<String>, position: Ecef, date: Date, correction: CorrectionType) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        position: Ecef,
+        date: Date,
+        correction: CorrectionType,
+    ) -> Self {
         let height = Geodetic::from_ecef(position).height();
         assert!(
             height.abs() < 100_000.0,

@@ -12,9 +12,9 @@ use gps_clock::{ReceiverClock, SteeringClock};
 use gps_geodesy::wgs84::SPEED_OF_LIGHT;
 use gps_geodesy::{Ecef, Enu, Geodetic, LocalFrame};
 use gps_orbits::Constellation;
+use gps_rng::rngs::StdRng;
+use gps_rng::SeedableRng;
 use gps_time::{Duration, GpsTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::{Epoch, EpochTruth, SatObservation};
 
@@ -262,8 +262,7 @@ mod tests {
 
     #[test]
     fn great_circle_speed_is_exact_locally() {
-        let traj =
-            GreatCircleTrajectory::new(start_pos(), 1.0, 100.0, GpsTime::EPOCH);
+        let traj = GreatCircleTrajectory::new(start_pos(), 1.0, 100.0, GpsTime::EPOCH);
         let d = traj
             .position_at(GpsTime::EPOCH + Duration::from_seconds(10.0))
             .distance_to(traj.position_at(GpsTime::EPOCH));
@@ -284,12 +283,8 @@ mod tests {
 
     #[test]
     fn kinematic_generation_tracks_truth() {
-        let traj = GreatCircleTrajectory::new(
-            start_pos(),
-            0.5,
-            250.0,
-            GpsTime::new(1544, 30_000.0),
-        );
+        let traj =
+            GreatCircleTrajectory::new(start_pos(), 0.5, 250.0, GpsTime::new(1544, 30_000.0));
         let epochs = KinematicGenerator::new(4)
             .error_budget(ErrorBudget::disabled())
             .generate(

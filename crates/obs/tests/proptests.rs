@@ -1,8 +1,14 @@
-//! Property-based tests for the observation layer.
+//! Randomized property tests for the observation layer.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
 use gps_obs::{format, paper_stations, DataSet, DatasetGenerator};
-use gps_time::{Duration, GpsTime};
-use proptest::prelude::*;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
+use gps_time::Duration;
+
+const CASES: usize = 24;
 
 fn small_dataset(seed: u64, station_idx: usize, epochs: usize) -> DataSet {
     DatasetGenerator::new(seed)
@@ -11,19 +17,26 @@ fn small_dataset(seed: u64, station_idx: usize, epochs: usize) -> DataSet {
         .generate(&paper_stations()[station_idx % 4])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn format_round_trip_bit_exact(seed in 0u64..500, idx in 0usize..4) {
+#[test]
+fn format_round_trip_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(0x0B_01);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
+        let idx = rng.gen_range(0usize..4);
         let data = small_dataset(seed, idx, 4);
         let text = format::write(&data);
         let back = format::parse(&text).expect("writer output must parse");
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_mutations(seed in 0u64..100, pos in 0usize..2_000, byte in 0x20u8..0x7f) {
+#[test]
+fn parser_never_panics_on_mutations() {
+    let mut rng = StdRng::seed_from_u64(0x0B_02);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let pos = rng.gen_range(0usize..2_000);
+        let byte = rng.gen_range(0x20u8..0x7f);
         let data = small_dataset(seed, 0, 2);
         let mut text = format::write(&data).into_bytes();
         if pos < text.len() {
@@ -33,9 +46,14 @@ proptest! {
             let _ = format::parse(&s); // any Result is fine; panics are not
         }
     }
+}
 
-    #[test]
-    fn pseudoranges_track_geometry(seed in 0u64..200, idx in 0usize..4) {
+#[test]
+fn pseudoranges_track_geometry() {
+    let mut rng = StdRng::seed_from_u64(0x0B_03);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
+        let idx = rng.gen_range(0usize..4);
         let data = small_dataset(seed, idx, 3);
         let station = data.station().position();
         for epoch in data.epochs() {
@@ -43,46 +61,62 @@ proptest! {
                 let range = station.distance_to(o.position);
                 // Within clock (≤ ms → 300 km) + metre errors; steering
                 // stations stay ≪ that, threshold up to the 1 ms cap.
-                prop_assert!((o.pseudorange - range).abs() < 3.2e5,
-                    "diff {}", o.pseudorange - range);
-                prop_assert!(o.pseudorange.is_finite());
+                assert!(
+                    (o.pseudorange - range).abs() < 3.2e5,
+                    "diff {}",
+                    o.pseudorange - range
+                );
+                assert!(o.pseudorange.is_finite());
             }
         }
     }
+}
 
-    #[test]
-    fn window_plus_complement_partitions(seed in 0u64..100) {
+#[test]
+fn window_plus_complement_partitions() {
+    let mut rng = StdRng::seed_from_u64(0x0B_04);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
         let data = small_dataset(seed, 1, 10);
         let t0 = data.epochs()[0].time();
         let split = t0 + Duration::from_seconds(5.0 * 60.0);
         let end = t0 + Duration::from_hours(10.0);
         let head = data.window(t0, split);
         let tail = data.window(split, end);
-        prop_assert_eq!(head.epochs().len() + tail.epochs().len(), data.epochs().len());
+        assert_eq!(
+            head.epochs().len() + tail.epochs().len(),
+            data.epochs().len()
+        );
         // Window start is inclusive: the first epoch belongs to head.
-        prop_assert_eq!(head.epochs()[0].time(), t0);
+        assert_eq!(head.epochs()[0].time(), t0);
     }
+}
 
-    #[test]
-    fn decimation_preserves_order_and_count(seed in 0u64..100, n in 1usize..5) {
+#[test]
+fn decimation_preserves_order_and_count() {
+    let mut rng = StdRng::seed_from_u64(0x0B_05);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let n = rng.gen_range(1usize..5);
         let data = small_dataset(seed, 2, 12);
         let d = data.decimate(n);
-        prop_assert_eq!(d.epochs().len(), (12 + n - 1) / n);
+        assert_eq!(d.epochs().len(), (12 + n - 1) / n);
         for pair in d.epochs().windows(2) {
-            prop_assert!(pair[0].time() < pair[1].time());
+            assert!(pair[0].time() < pair[1].time());
         }
     }
+}
 
-    #[test]
-    fn epochs_strictly_increasing(seed in 0u64..100, idx in 0usize..4) {
+#[test]
+fn epochs_strictly_increasing() {
+    let mut rng = StdRng::seed_from_u64(0x0B_06);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
+        let idx = rng.gen_range(0usize..4);
         let data = small_dataset(seed, idx, 6);
         for pair in data.epochs().windows(2) {
-            prop_assert!(pair[0].time() < pair[1].time());
-            prop_assert_eq!(
-                (pair[1].time() - pair[0].time()).as_seconds(),
-                60.0
-            );
+            assert!(pair[0].time() < pair[1].time());
+            assert_eq!((pair[1].time() - pair[0].time()).as_seconds(), 60.0);
         }
-        let _ = GpsTime::EPOCH; // keep import used under cfg variations
     }
 }

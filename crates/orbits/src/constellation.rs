@@ -214,11 +214,7 @@ mod tests {
     #[test]
     fn visible_ranges_physically_plausible() {
         let c = Constellation::gps_nominal();
-        let vis = c.visible_from(
-            station_mid_latitude(),
-            GpsTime::EPOCH,
-            5.0f64.to_radians(),
-        );
+        let vis = c.visible_from(station_mid_latitude(), GpsTime::EPOCH, 5.0f64.to_radians());
         for v in &vis {
             // Range between ~20 000 km (zenith) and ~26 000 km (horizon).
             assert!(v.range > 1.9e7 && v.range < 2.7e7, "range {}", v.range);
@@ -232,7 +228,9 @@ mod tests {
         let c = Constellation::gps_nominal();
         let station = station_mid_latitude();
         let low = c.visible_from(station, GpsTime::EPOCH, 0.0).len();
-        let high = c.visible_from(station, GpsTime::EPOCH, 30.0f64.to_radians()).len();
+        let high = c
+            .visible_from(station, GpsTime::EPOCH, 30.0f64.to_radians())
+            .len();
         assert!(high <= low);
     }
 
@@ -242,7 +240,9 @@ mod tests {
         // visibility keeps several vehicles in view.
         let c = Constellation::gps_nominal();
         let pole = Geodetic::from_deg(89.0, 0.0, 0.0).to_ecef();
-        let n = c.visible_from(pole, GpsTime::EPOCH, 10.0f64.to_radians()).len();
+        let n = c
+            .visible_from(pole, GpsTime::EPOCH, 10.0f64.to_radians())
+            .len();
         assert!(n >= 4, "polar visibility {n}");
     }
 

@@ -116,10 +116,7 @@ mod tests {
                 let m = -7.0 + 14.0 * (i as f64) / 47.0;
                 let big_e = solve_kepler(m, e);
                 let resid = big_e - e * big_e.sin() - m;
-                assert!(
-                    resid.abs() < 1e-10,
-                    "e={e} m={m}: residual {resid}"
-                );
+                assert!(resid.abs() < 1e-10, "e={e} m={m}: residual {resid}");
             }
         }
     }
@@ -149,8 +146,7 @@ mod tests {
         for i in 0..8 {
             let big_e = -3.0 + i as f64;
             let nu = true_anomaly(big_e, 0.0);
-            let wrapped =
-                (big_e - nu + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU);
+            let wrapped = (big_e - nu + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU);
             assert!((wrapped - std::f64::consts::PI).abs() < 1e-12);
         }
     }

@@ -102,15 +102,15 @@ pub fn write(constellation: &Constellation) -> String {
             "SQRT(A)  (m 1/2):           {:.6}\n",
             el.semi_major_axis.sqrt()
         ));
-        out.push_str(&format!(
-            "Right Ascen at Week(rad):   {:.10E}\n",
-            el.raan
-        ));
+        out.push_str(&format!("Right Ascen at Week(rad):   {:.10E}\n", el.raan));
         out.push_str(&format!(
             "Argument of Perigee(rad):   {:.9}\n",
             el.argument_of_perigee
         ));
-        out.push_str(&format!("Mean Anom(rad):             {:.10E}\n", el.mean_anomaly));
+        out.push_str(&format!(
+            "Mean Anom(rad):             {:.10E}\n",
+            el.mean_anomaly
+        ));
         out.push_str("Af0(s):                     0.0000000000E+00\n");
         out.push_str("Af1(s/s):                   0.0000000000E+00\n");
         out.push_str(&format!("week:                       {week}\n"));
@@ -145,12 +145,10 @@ impl RawRecord {
         let need = |field: &'static str, v: Option<f64>| {
             v.ok_or(YumaError::MissingField { field, record })
         };
-        let prn = self
-            .id
-            .ok_or(YumaError::MissingField {
-                field: "ID",
-                record,
-            })?;
+        let prn = self.id.ok_or(YumaError::MissingField {
+            field: "ID",
+            record,
+        })?;
         if !(1..=63).contains(&prn) {
             return Err(YumaError::BadPrn { prn });
         }
@@ -193,10 +191,7 @@ fn parse_value(field: &'static str, text: &str) -> Result<f64, YumaError> {
 ///
 /// Returns [`YumaError`] for missing/malformed fields, bad PRNs, or an
 /// empty document.
-pub fn parse_with_reference(
-    text: &str,
-    reference_week: i32,
-) -> Result<Constellation, YumaError> {
+pub fn parse_with_reference(text: &str, reference_week: i32) -> Result<Constellation, YumaError> {
     let constellation = parse(text)?;
     let resolved = constellation
         .iter()
@@ -228,8 +223,8 @@ pub fn parse(text: &str) -> Result<Constellation, YumaError> {
     let mut record = 0usize;
 
     let flush = |current: &mut RawRecord,
-                     satellites: &mut Vec<(SatId, KeplerianElements)>,
-                     record: &mut usize|
+                 satellites: &mut Vec<(SatId, KeplerianElements)>,
+                 record: &mut usize|
      -> Result<(), YumaError> {
         if !current.is_empty() {
             let finished = std::mem::take(current).finish(*record)?;
@@ -339,13 +334,11 @@ mod tests {
     fn error_display() {
         assert!(YumaError::Empty.to_string().contains("no almanac"));
         assert!(YumaError::BadPrn { prn: 0 }.to_string().contains('0'));
-        assert!(
-            YumaError::MissingField {
-                field: "week",
-                record: 3
-            }
-            .to_string()
-            .contains("week")
-        );
+        assert!(YumaError::MissingField {
+            field: "week",
+            record: 3
+        }
+        .to_string()
+        .contains("week"));
     }
 }

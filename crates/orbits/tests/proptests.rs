@@ -1,57 +1,79 @@
-//! Property-based tests for orbital propagation.
+//! Randomized property tests for orbital propagation.
+//!
+//! Ported off `proptest` onto seeded `gps-rng` loops for the offline
+//! build; inputs come from deterministic xoshiro256++ streams.
 
 use gps_orbits::{kepler, Constellation, KeplerianElements, SatId};
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 use gps_time::{Duration, GpsTime};
-use proptest::prelude::*;
 
-fn elements_strategy() -> impl Strategy<Value = KeplerianElements> {
-    (
-        2.0e7f64..4.0e7,              // semi-major axis
-        0.0f64..0.1,                  // eccentricity
-        0.0f64..1.2,                  // inclination
-        0.0f64..std::f64::consts::TAU, // raan
-        0.0f64..std::f64::consts::TAU, // arg perigee
-        0.0f64..std::f64::consts::TAU, // mean anomaly
-    )
-        .prop_map(|(a, e, i, raan, argp, m)| KeplerianElements {
-            semi_major_axis: a,
-            eccentricity: e,
-            inclination: i,
-            raan,
-            argument_of_perigee: argp,
-            mean_anomaly: m,
-            epoch: GpsTime::EPOCH,
-        })
+const CASES: usize = 256;
+
+fn random_elements(rng: &mut StdRng) -> KeplerianElements {
+    KeplerianElements {
+        semi_major_axis: rng.gen_range(2.0e7..4.0e7),
+        eccentricity: rng.gen_range(0.0..0.1),
+        inclination: rng.gen_range(0.0..1.2),
+        raan: rng.gen_range(0.0..std::f64::consts::TAU),
+        argument_of_perigee: rng.gen_range(0.0..std::f64::consts::TAU),
+        mean_anomaly: rng.gen_range(0.0..std::f64::consts::TAU),
+        epoch: GpsTime::EPOCH,
+    }
 }
 
-proptest! {
-    #[test]
-    fn kepler_residual_is_zero(m in -20.0f64..20.0, e in 0.0f64..0.95) {
+#[test]
+fn kepler_residual_is_zero() {
+    let mut rng = StdRng::seed_from_u64(0x0F_01);
+    for _ in 0..CASES {
+        let m = rng.gen_range(-20.0..20.0);
+        let e = rng.gen_range(0.0..0.95);
         let big_e = kepler::solve_kepler(m, e);
         let resid = big_e - e * big_e.sin() - m;
-        prop_assert!(resid.abs() < 1e-9, "residual {resid}");
+        assert!(resid.abs() < 1e-9, "residual {resid}");
     }
+}
 
-    #[test]
-    fn radius_bounded_by_apsides(el in elements_strategy(), hours in 0.0f64..48.0) {
+#[test]
+fn radius_bounded_by_apsides() {
+    let mut rng = StdRng::seed_from_u64(0x0F_02);
+    for _ in 0..CASES {
+        let el = random_elements(&mut rng);
+        let hours = rng.gen_range(0.0..48.0);
         let t = GpsTime::EPOCH + Duration::from_hours(hours);
         let r = el.position_at(t).norm();
         let perigee = el.semi_major_axis * (1.0 - el.eccentricity);
         let apogee = el.semi_major_axis * (1.0 + el.eccentricity);
-        prop_assert!(r >= perigee * 0.999_999 && r <= apogee * 1.000_001,
-            "r {r} outside [{perigee}, {apogee}]");
+        assert!(
+            r >= perigee * 0.999_999 && r <= apogee * 1.000_001,
+            "r {r} outside [{perigee}, {apogee}]"
+        );
     }
+}
 
-    #[test]
-    fn z_bounded_by_inclination(el in elements_strategy(), hours in 0.0f64..48.0) {
+#[test]
+fn z_bounded_by_inclination() {
+    let mut rng = StdRng::seed_from_u64(0x0F_03);
+    for _ in 0..CASES {
+        let el = random_elements(&mut rng);
+        let hours = rng.gen_range(0.0..48.0);
         let t = GpsTime::EPOCH + Duration::from_hours(hours);
         let pos = el.position_at(t);
         let bound = el.semi_major_axis * (1.0 + el.eccentricity) * el.inclination.sin();
-        prop_assert!(pos.z.abs() <= bound * 1.000_001 + 1.0, "z {} bound {bound}", pos.z);
+        assert!(
+            pos.z.abs() <= bound * 1.000_001 + 1.0,
+            "z {} bound {bound}",
+            pos.z
+        );
     }
+}
 
-    #[test]
-    fn velocity_consistent_with_finite_difference(el in elements_strategy(), hours in 0.1f64..24.0) {
+#[test]
+fn velocity_consistent_with_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(0x0F_04);
+    for _ in 0..CASES {
+        let el = random_elements(&mut rng);
+        let hours = rng.gen_range(0.1..24.0);
         let t = GpsTime::EPOCH + Duration::from_hours(hours);
         let (_, vel) = el.position_velocity_at(t);
         let h = 0.05;
@@ -60,33 +82,50 @@ proptest! {
             / (2.0 * h);
         // Acceleration is ~0.6 m/s², so the central difference is good to
         // ~a·h²/6 ≈ mm/s; allow cm/s.
-        prop_assert!((fd - vel).norm() < 0.5, "err {}", (fd - vel).norm());
+        assert!((fd - vel).norm() < 0.5, "err {}", (fd - vel).norm());
     }
+}
 
-    #[test]
-    fn yuma_round_trip_any_constellation(seed_phase in 0.0f64..6.0, week in 0i32..3000) {
+#[test]
+fn yuma_round_trip_any_constellation() {
+    let mut rng = StdRng::seed_from_u64(0x0F_05);
+    for _ in 0..CASES {
+        let seed_phase = rng.gen_range(0.0..6.0);
+        let week = rng.gen_range(0i32..3000);
         let epoch = GpsTime::new(week, 120_000.0);
         let c = Constellation::from_elements(vec![
-            (SatId::new(1), KeplerianElements::gps_circular(0, seed_phase, epoch)),
-            (SatId::new(2), KeplerianElements::gps_circular(3, seed_phase + 1.0, epoch)),
+            (
+                SatId::new(1),
+                KeplerianElements::gps_circular(0, seed_phase, epoch),
+            ),
+            (
+                SatId::new(2),
+                KeplerianElements::gps_circular(3, seed_phase + 1.0, epoch),
+            ),
         ]);
         let text = gps_orbits::yuma::write(&c);
         let back = gps_orbits::yuma::parse_with_reference(&text, week).unwrap();
         let t = epoch + Duration::from_hours(2.0);
         for ((_, a), (_, b)) in c.iter().zip(back.iter()) {
-            prop_assert!(a.position_at(t).distance_to(b.position_at(t)) < 1.0);
+            assert!(a.position_at(t).distance_to(b.position_at(t)) < 1.0);
         }
     }
+}
 
-    #[test]
-    fn visibility_range_bounds(lat in -80.0f64..80.0, lon in -179.0f64..179.0, hours in 0.0f64..24.0) {
-        let c = Constellation::gps_nominal();
+#[test]
+fn visibility_range_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x0F_06);
+    let c = Constellation::gps_nominal();
+    for _ in 0..CASES {
+        let lat = rng.gen_range(-80.0..80.0);
+        let lon = rng.gen_range(-179.0..179.0);
+        let hours = rng.gen_range(0.0..24.0);
         let station = gps_geodesy::Geodetic::from_deg(lat, lon, 0.0).to_ecef();
         let t = GpsTime::EPOCH + Duration::from_hours(hours);
         let visible = c.visible_from(station, t, 5.0f64.to_radians());
-        prop_assert!(visible.len() >= 4, "only {} visible", visible.len());
+        assert!(visible.len() >= 4, "only {} visible", visible.len());
         for v in &visible {
-            prop_assert!(v.range > 1.8e7 && v.range < 2.8e7, "range {}", v.range);
+            assert!(v.range > 1.8e7 && v.range < 2.8e7, "range {}", v.range);
         }
     }
 }

@@ -1,0 +1,284 @@
+//! Deterministic pseudo-random number generation with no external
+//! dependencies.
+//!
+//! The simulation pipeline needs reproducible noise streams (receiver
+//! clock wander, atmospheric delays, measurement noise) but the build
+//! environment is fully offline, so this crate replaces the `rand`
+//! crate with a small, well-understood generator stack:
+//!
+//! * [`SplitMix64`] — a 64-bit mixing generator used to expand a
+//!   single `u64` seed into a full generator state,
+//! * [`Xoshiro256PlusPlus`] — the workhorse generator (re-exported as
+//!   [`rngs::StdRng`] so call sites read like the `rand` API),
+//! * Box–Muller sampling of the standard normal via
+//!   [`Rng::standard_normal`].
+//!
+//! The API deliberately mirrors the subset of `rand 0.8` the rest of
+//! the workspace uses: an object-safe [`RngCore`], an extension trait
+//! [`Rng`] with `gen`/`gen_range`, and [`SeedableRng::seed_from_u64`].
+//!
+//! ```
+//! use gps_rng::rngs::StdRng;
+//! use gps_rng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let u: f64 = rng.gen(); // uniform in [0, 1)
+//! assert!((0.0..1.0).contains(&u));
+//! let n = rng.standard_normal(); // Box–Muller
+//! assert!(n.is_finite());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Distinct from `rand`'s ChaCha-based `StdRng`; streams produced
+    /// for a given seed differ from the `rand 0.8` era but remain
+    /// fully deterministic and portable across platforms.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+/// Object-safe source of pseudo-random 64-bit words.
+///
+/// `&mut dyn RngCore` is used where generators cross trait-object
+/// boundaries (e.g. receiver-clock models).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from `state`, expanding it
+    /// through SplitMix64 so that nearby seeds yield unrelated streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw bits.
+///
+/// The counterpart of `rand`'s `Standard` distribution: `f64`/`f32`
+/// are uniform in `[0, 1)`, integers take the full range, `bool` is a
+/// fair coin.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform on [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable as `gen_range` endpoints.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u = f64::sample(rng);
+        // Clamp guards against `lo + span` rounding up to `hi`.
+        let v = lo + (hi - lo) * u;
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Lemire's multiply-shift maps 64 random bits onto the
+                // span; bias is < span / 2^64, irrelevant at our sizes.
+                let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods for every [`RngCore`].
+///
+/// Blanket-implemented, so the methods are available on concrete
+/// generators and on `&mut dyn RngCore` alike.
+pub trait Rng: RngCore {
+    /// Draws one value of type `T` (see [`StandardSample`]).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a standard normal deviate via the Box–Muller transform.
+    fn standard_normal(&mut self) -> f64 {
+        // Re-draw until u1 is safely non-zero so ln(u1) is finite.
+        let mut u1: f64 = self.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.gen();
+        }
+        let u2: f64 = self.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws from `N(mean, std_dev²)`.
+    fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_doubles_stay_in_range_and_fill_it() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01, "min {lo}");
+        assert!(hi > 0.99, "max {hi}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5.0..3.0);
+            assert!((-5.0..3.0).contains(&x));
+            let n = rng.gen_range(2usize..17);
+            assert!((2..17).contains(&n));
+            let i = rng.gen_range(-40i32..-30);
+            assert!((-40..-30).contains(&i));
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(2010);
+        let n = 50_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.standard_normal();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x: f64 = dyn_rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let n = dyn_rng.standard_normal();
+        assert!(n.is_finite());
+    }
+}

@@ -1,0 +1,38 @@
+//! SplitMix64 — Steele, Lea & Flood's 64-bit mixing generator.
+//!
+//! Public-domain algorithm (Vigna's `splitmix64.c`). Statistically
+//! strong for its size and, crucially, able to turn *any* `u64` seed —
+//! including 0 — into a well-mixed stream, which is why it is the
+//! recommended seeder for the xoshiro family.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 generator; 8 bytes of state, one add + two xor-shifts
+/// per output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose stream starts at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}

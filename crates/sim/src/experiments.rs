@@ -1,6 +1,7 @@
 //! The three reproduced experiments, one per table/figure of §5.
 
 use gps_obs::{paper_stations, DataSet, DatasetGenerator};
+use gps_telemetry::{Event, Level};
 
 use crate::report::{FigureReport, SeriesPoint, Table51Report, Table51Row};
 use crate::{run_dataset, ExperimentConfig};
@@ -8,7 +9,7 @@ use crate::{run_dataset, ExperimentConfig};
 /// Generates the four paper datasets under the given configuration.
 ///
 /// Dataset generation is independent per station, so the four are built
-/// in parallel (one thread each via `crossbeam`).
+/// in parallel (one scoped thread each).
 #[must_use]
 pub fn generate_datasets(cfg: &ExperimentConfig) -> Vec<DataSet> {
     generate_datasets_with_budget(cfg, gps_atmosphere::ErrorBudget::default())
@@ -21,6 +22,7 @@ pub fn generate_datasets_with_budget(
     cfg: &ExperimentConfig,
     budget: gps_atmosphere::ErrorBudget,
 ) -> Vec<DataSet> {
+    let _span = gps_telemetry::span("generate_datasets");
     let stations = paper_stations();
     let generator = DatasetGenerator::new(cfg.seed)
         .epoch_interval_s(cfg.epoch_interval_s)
@@ -28,16 +30,26 @@ pub fn generate_datasets_with_budget(
         .elevation_mask_deg(cfg.elevation_mask_deg)
         .error_budget(budget);
     let mut slots: Vec<Option<DataSet>> = (0..stations.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, station) in slots.iter_mut().zip(&stations) {
             let generator = &generator;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(generator.generate(station));
             });
         }
-    })
-    .expect("dataset generation threads never panic");
-    slots.into_iter().map(|s| s.expect("filled by thread")).collect()
+    });
+    let datasets: Vec<DataSet> = slots
+        .into_iter()
+        .map(|s| s.expect("filled by thread"))
+        .collect();
+    if gps_telemetry::enabled(Level::Info) {
+        Event::new(Level::Info, "sim.experiments", "datasets generated")
+            .with("stations", datasets.len())
+            .with("epochs_per_station", cfg.epoch_count)
+            .with("seed", cfg.seed)
+            .emit();
+    }
+    datasets
 }
 
 /// Reproduces **Table 5.1** (dataset specifications): the four stations
@@ -45,6 +57,7 @@ pub fn generate_datasets_with_budget(
 /// generated data's epoch and satellite-count statistics.
 #[must_use]
 pub fn table51(cfg: &ExperimentConfig) -> Table51Report {
+    let _span = gps_telemetry::span("table51");
     let datasets = generate_datasets(cfg);
     let rows = datasets
         .iter()
@@ -97,6 +110,7 @@ where
 /// θ_DLG grows with the satellite count toward ≈50 % at `m = 10`.
 #[must_use]
 pub fn fig51(cfg: &ExperimentConfig) -> FigureReport {
+    let _span = gps_telemetry::span("fig51");
     let datasets = generate_datasets(cfg);
     FigureReport {
         title: "Figure 5.1 Execution Time Comparisons (reproduction)".to_owned(),
@@ -119,6 +133,7 @@ pub fn fig51(cfg: &ExperimentConfig) -> FigureReport {
 /// η_DLO degrades as satellites are added, reaching ≈120 % at `m = 10`.
 #[must_use]
 pub fn fig52(cfg: &ExperimentConfig) -> FigureReport {
+    let _span = gps_telemetry::span("fig52");
     let datasets = generate_datasets(cfg);
     FigureReport {
         title: "Figure 5.2 Accuracy Comparisons (reproduction)".to_owned(),
@@ -148,6 +163,7 @@ pub fn fig52(cfg: &ExperimentConfig) -> FigureReport {
 #[must_use]
 pub fn ext_base_selection(cfg: &ExperimentConfig) -> FigureReport {
     use gps_core::{BaseSelection, Dlo};
+    let _span = gps_telemetry::span("ext_base_selection");
     let datasets = generate_datasets(cfg);
     let worst_base = crate::SolverSet {
         dlo: Dlo::new().with_base_selection(BaseSelection::LowestElevation),
@@ -194,6 +210,7 @@ pub fn ext_base_selection(cfg: &ExperimentConfig) -> FigureReport {
 #[must_use]
 pub fn ext_gls_covariance(cfg: &ExperimentConfig) -> FigureReport {
     use gps_core::{CovarianceModel, Dlg};
+    let _span = gps_telemetry::span("ext_gls_covariance");
     let datasets = generate_datasets(cfg);
     let diagonal = crate::SolverSet {
         dlg: Dlg::new().with_covariance_model(CovarianceModel::DiagonalOnly),
@@ -236,6 +253,7 @@ pub fn ext_gls_covariance(cfg: &ExperimentConfig) -> FigureReport {
 /// scale in the returned figure.
 #[must_use]
 pub fn ext_noise_sensitivity(cfg: &ExperimentConfig) -> FigureReport {
+    let _span = gps_telemetry::span("ext_noise_sensitivity");
     let station = paper_stations().remove(1); // YYR1
     let datasets: Vec<(String, DataSet)> = [0.5, 1.0, 2.0]
         .iter()

@@ -40,6 +40,6 @@ mod runner;
 pub use config::ExperimentConfig;
 pub use report::{FigureReport, SeriesPoint, Table51Report};
 pub use runner::{
-    run_dataset, run_dataset_with, select_subset, to_measurements, to_rate_measurements,
-    AlgoStats, ClockCalibration, RunResult, SolverSet,
+    run_dataset, run_dataset_with, select_subset, to_measurements, to_rate_measurements, AlgoStats,
+    ClockCalibration, RunResult, SolverSet,
 };

@@ -59,7 +59,11 @@ impl fmt::Display for FigureReport {
         for (idx, (label, series)) in self.datasets.iter().enumerate() {
             let sub = (b'a' + idx as u8) as char;
             writeln!(f, "\n  ({sub}) Data Set {} — {label}", idx + 1)?;
-            writeln!(f, "    {:>4} {:>10} {:>10} {:>8}", "m", "DLO %", "DLG %", "epochs")?;
+            writeln!(
+                f,
+                "    {:>4} {:>10} {:>10} {:>8}",
+                "m", "DLO %", "DLG %", "epochs"
+            )?;
             for p in series {
                 writeln!(
                     f,

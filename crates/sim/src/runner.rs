@@ -4,6 +4,7 @@ use gps_clock::ClockBiasPredictor;
 use gps_core::metrics::Summary;
 use gps_core::{Dlg, Dlo, Measurement, NewtonRaphson, PositionSolver};
 use gps_obs::{DataSet, Epoch, SatObservation};
+use gps_telemetry::{Event, Level};
 
 use crate::ExperimentConfig;
 
@@ -118,10 +119,7 @@ impl ClockCalibration {
             let meas = to_measurements(epoch.observations());
             if let Ok(fix) = nr.solve(&meas, 0.0) {
                 if let Some(bias_m) = fix.receiver_bias_m {
-                    samples.push((
-                        epoch.time(),
-                        bias_m / gps_geodesy::wgs84::SPEED_OF_LIGHT,
-                    ));
+                    samples.push((epoch.time(), bias_m / gps_geodesy::wgs84::SPEED_OF_LIGHT));
                 }
             }
         }
@@ -187,9 +185,8 @@ pub fn to_rate_measurements(
     observations
         .iter()
         .map(|o| {
-            o.extended.map(|ext| {
-                gps_core::RateMeasurement::new(o.position, ext.velocity, ext.doppler)
-            })
+            o.extended
+                .map(|ext| gps_core::RateMeasurement::new(o.position, ext.velocity, ext.doppler))
         })
         .collect()
 }
@@ -289,6 +286,10 @@ pub fn run_dataset_with(
             result.epochs_skipped += 1;
             continue;
         }
+        // Spans the whole epoch (subset selection, the three solves, the
+        // clock bookkeeping). The θ timings below use their own `Instant`
+        // windows, so the span never sits inside a timed region.
+        let _epoch_span = gps_telemetry::span("epoch");
         let meas = to_measurements(&select_subset(truth, epoch, m));
         let t = epoch.time();
 
@@ -372,6 +373,19 @@ pub fn run_dataset_with(
         }
         result.epochs_used += 1;
     }
+    if gps_telemetry::enabled(Level::Info) {
+        Event::new(Level::Info, "sim.runner", "run complete")
+            .with("station", data.station().id().to_owned())
+            .with("m", m)
+            .with("epochs_used", result.epochs_used)
+            .with("epochs_skipped", result.epochs_skipped)
+            .with("nr_mean_iterations", result.nr_iterations.mean())
+            .with("theta_dlo_pct", result.theta_dlo())
+            .with("theta_dlg_pct", result.theta_dlg())
+            .with("eta_dlo_pct", result.eta_dlo())
+            .with("eta_dlg_pct", result.eta_dlg())
+            .emit();
+    }
     result
 }
 
@@ -404,7 +418,11 @@ mod tests {
         assert_eq!(result.dlo.failures, 0);
         assert_eq!(result.dlg.failures, 0);
         // NR with metre-level errors lands within tens of metres.
-        assert!(result.nr.error.mean() < 50.0, "nr {}", result.nr.error.mean());
+        assert!(
+            result.nr.error.mean() < 50.0,
+            "nr {}",
+            result.nr.error.mean()
+        );
         assert!(result.dlo.error.mean() < 200.0);
         assert!(result.dlg.error.mean() < 200.0);
         assert!(result.nr.total_time.as_nanos() > 0);
@@ -449,7 +467,11 @@ mod tests {
         let data = small_dataset(3);
         let cfg = quick_cfg();
         let result = run_dataset(&data, 7, &cfg);
-        assert!(result.dlo.error.mean() < 500.0, "dlo {}", result.dlo.error.mean());
+        assert!(
+            result.dlo.error.mean() < 500.0,
+            "dlo {}",
+            result.dlo.error.mean()
+        );
         assert!(result.nr.error.mean() < 50.0);
     }
 
@@ -515,10 +537,7 @@ mod tests {
                 gps_core::Dop::compute(&meas, station).map(|d| d.gdop)
             };
             if let (Ok(spread), Ok(topm)) = (dop(&subset), dop(&naive)) {
-                assert!(
-                    spread <= topm * 1.001,
-                    "spread {spread} vs top-m {topm}"
-                );
+                assert!(spread <= topm * 1.001, "spread {spread} vs top-m {topm}");
             }
         }
     }

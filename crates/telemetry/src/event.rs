@@ -1,0 +1,171 @@
+//! Structured events and the builder for emitting them.
+
+use std::borrow::Cow;
+
+use crate::{Level, Value};
+
+/// One structured log record: severity, a dotted target naming the
+/// subsystem (`core.nr`, `sim.runner`), a human message, and typed
+/// key/value fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Dotted subsystem path, e.g. `core.dlg`.
+    pub target: Cow<'static, str>,
+    /// Short human-readable description.
+    pub message: Cow<'static, str>,
+    /// Typed fields, in insertion order.
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+    /// Microseconds since the Unix epoch, stamped at dispatch.
+    pub ts_us: u64,
+}
+
+impl Event {
+    /// Starts building an event.
+    pub fn new(
+        level: Level,
+        target: impl Into<Cow<'static, str>>,
+        message: impl Into<Cow<'static, str>>,
+    ) -> Self {
+        Event {
+            level,
+            target: target.into(),
+            message: message.into(),
+            fields: Vec::new(),
+            ts_us: 0,
+        }
+    }
+
+    /// Attaches a typed field.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<Cow<'static, str>>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sends the event to every sink registered at this level or below.
+    ///
+    /// Cheap when nothing is listening, but the builder itself
+    /// allocates; guard hot paths with [`crate::enabled`] first.
+    pub fn emit(self) {
+        crate::sink::dispatcher().dispatch(self);
+    }
+
+    /// The event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.as_lower_str());
+        out.push_str("\",\"target\":");
+        crate::json::write_string(&mut out, &self.target);
+        out.push_str(",\"message\":");
+        crate::json::write_string(&mut out, &self.message);
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::json::write_string(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// The event as one CSV row: `ts_us,level,target,message,fields`
+    /// with `k=v;k=v` packed fields (no trailing newline).
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        let mut fields = String::new();
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                fields.push(';');
+            }
+            fields.push_str(k);
+            fields.push('=');
+            fields.push_str(&v.to_string());
+        }
+        format!(
+            "{},{},{},{},{}",
+            self.ts_us,
+            self.level.as_lower_str(),
+            csv_escape(&self.target),
+            csv_escape(&self.message),
+            csv_escape(&fields),
+        )
+    }
+
+    /// The event as a human-readable line (the stderr sink format).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = format!(
+            "[{:5} {}] {}",
+            self.level.as_str(),
+            self.target,
+            self.message
+        );
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+/// Quotes a CSV cell if it contains a comma, quote, or newline.
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        let mut e = Event::new(Level::Warn, "core.raim", "excluded satellite")
+            .with("sat", 17u64)
+            .with("residual_m", 42.5)
+            .with("note", "w-test \"peak\"");
+        e.ts_us = 1_700_000_000_000_000;
+        e
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        assert_eq!(
+            sample().to_json(),
+            "{\"ts_us\":1700000000000000,\"level\":\"warn\",\"target\":\"core.raim\",\
+             \"message\":\"excluded satellite\",\"fields\":{\"sat\":17,\
+             \"residual_m\":42.5,\"note\":\"w-test \\\"peak\\\"\"}}"
+        );
+    }
+
+    #[test]
+    fn csv_row_escapes_embedded_quotes() {
+        let row = sample().to_csv_row();
+        assert!(row.starts_with("1700000000000000,warn,core.raim,excluded satellite,"));
+        assert!(row.contains("\"sat=17;residual_m=42.5;note=w-test \"\"peak\"\"\""));
+    }
+
+    #[test]
+    fn human_line_lists_fields_in_order() {
+        assert_eq!(
+            sample().to_human(),
+            "[WARN  core.raim] excluded satellite sat=17 residual_m=42.5 note=w-test \"peak\""
+        );
+    }
+}

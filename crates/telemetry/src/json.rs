@@ -1,0 +1,68 @@
+//! Minimal hand-rolled JSON encoding (this crate has no serde).
+//!
+//! Only what the sinks and snapshots need: escaped strings and f64
+//! numbers. Rust's shortest round-trip float formatting (`{}`) is valid
+//! JSON for finite values; non-finite values become `null` since JSON
+//! has no representation for them.
+
+/// Appends `v` as a JSON number, or `null` if it is not finite.
+pub(crate) fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Integral-valued floats print as e.g. `3`, which JSON accepts.
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub(crate) fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn string_of(s: &str) -> String {
+        let mut out = String::new();
+        write_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string_of("plain"), "\"plain\"");
+        assert_eq!(string_of("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string_of("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string_of("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string_of("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        let mut out = String::new();
+        write_f64(&mut out, 0.1);
+        assert_eq!(out.parse::<f64>().unwrap(), 0.1);
+        out.clear();
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

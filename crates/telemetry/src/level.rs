@@ -1,0 +1,107 @@
+//! Event severity levels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity of an [`Event`](crate::Event), ordered `Trace < Debug <
+/// Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Per-iteration detail (NR step residuals, span interiors).
+    Trace = 0,
+    /// Per-epoch / per-solve detail (spans, condition numbers).
+    Debug = 1,
+    /// Run-level progress (dataset generated, experiment finished).
+    Info = 2,
+    /// Degraded but recoverable behavior (non-convergence, RAIM
+    /// exclusion).
+    Warn = 3,
+    /// Failures the caller will see as an error result.
+    Error = 4,
+}
+
+impl Level {
+    /// All levels, ascending.
+    pub const ALL: [Level; 5] = [
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// Upper-case fixed-width name (for the human-readable sink).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+
+    /// Lower-case name (for JSONL/CSV serialization).
+    #[must_use]
+    pub fn as_lower_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Ok(Level::Trace),
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" | "warning" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(format!(
+                "unknown log level `{other}` (expected trace|debug|info|warn|error)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_ascending_severity() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn parses_case_insensitively() {
+        assert_eq!("INFO".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn round_trips_through_lower_name() {
+        for l in Level::ALL {
+            assert_eq!(l.as_lower_str().parse::<Level>().unwrap(), l);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Zero-dependency structured tracing and metrics for the GPS solver
+//! pipeline.
+//!
+//! The paper's evaluation (§5) is entirely about *observing* solver
+//! behavior — execution-time rate θ (eq. 5-3) and accuracy rate η
+//! (eq. 5-2) — and this crate makes the inside of a run visible without
+//! pulling in `tracing`, `metrics`, or `serde` (the build is fully
+//! offline). Four pieces:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) in a global
+//!   [`Registry`]. Handles are `Arc`s obtained once (amortized; cache
+//!   them in a `OnceLock` on hot paths); recording is a handful of
+//!   atomic operations with **no heap allocation**, cheap enough for
+//!   per-epoch and per-solve call sites. Histograms are log₂-binned.
+//! * **Spans** ([`span`]) — monotonic timers on a thread-local stack,
+//!   so nested solver stages produce `span.epoch/nr`-style histograms
+//!   and (at `Debug` level) duration events.
+//! * **Events** ([`Event`]) — structured records with a severity
+//!   [`Level`], a target, a message, and typed fields, fanned out to
+//!   pluggable [`Sink`]s: a human-readable [`StderrSink`] and a
+//!   hand-rolled JSONL/CSV [`FileSink`].
+//! * **Snapshots** ([`Snapshot`]) — a serializable end-of-run summary
+//!   of the whole registry (table / JSONL / CSV).
+//!
+//! ```
+//! use gps_telemetry as telemetry;
+//!
+//! let solves = telemetry::counter("docs.solves");
+//! let residual = telemetry::histogram("docs.residual_m");
+//! {
+//!     let _epoch = telemetry::span("epoch");
+//!     solves.inc();
+//!     residual.record(0.42);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert!(snap.counters.iter().any(|c| c.name == "docs.solves"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod event;
+mod json;
+mod level;
+mod metrics;
+mod sink;
+mod snapshot;
+mod span;
+mod value;
+
+pub use event::Event;
+pub use level::Level;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use sink::{FileFormat, FileSink, MemorySink, Sink, StderrSink};
+pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+pub use span::{span, SpanGuard};
+pub use value::Value;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static DETAIL: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide metrics registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Fetches (registering on first use) the named counter from the global
+/// registry.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Fetches (registering on first use) the named gauge from the global
+/// registry.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Fetches (registering on first use) the named histogram from the
+/// global registry.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// Captures a point-in-time summary of every metric in the global
+/// registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// Registers a sink; events at `level` and above are delivered to it.
+pub fn add_sink(level: Level, sink: Box<dyn Sink>) {
+    sink::dispatcher().add(level, sink);
+}
+
+/// Removes every registered sink (flushing first). Used when
+/// re-configuring and by tests.
+pub fn clear_sinks() {
+    sink::dispatcher().clear();
+}
+
+/// `true` if at least one sink would receive an event at `level`.
+///
+/// Check this before assembling expensive event fields.
+pub fn enabled(level: Level) -> bool {
+    sink::dispatcher().enabled(level)
+}
+
+/// Flushes every registered sink (call before process exit so buffered
+/// JSONL/CSV lines reach disk).
+pub fn flush() {
+    sink::dispatcher().flush();
+}
+
+/// Turns detailed (per-solve) instrumentation on or off.
+///
+/// Hot paths that would otherwise pay real computation for telemetry —
+/// design-matrix condition numbers, covariance-assembly timing — check
+/// this flag (one relaxed atomic load) and skip the work when it is
+/// off, so timing experiments stay undistorted by default.
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Relaxed);
+}
+
+/// Whether detailed (per-solve) instrumentation is enabled.
+pub fn detail() -> bool {
+    DETAIL.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared_and_cumulative() {
+        let a = counter("lib.shared");
+        let b = counter("lib.shared");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+    }
+
+    #[test]
+    fn detail_flag_toggles() {
+        assert!(!detail() || detail()); // whatever other tests left behind
+        set_detail(true);
+        assert!(detail());
+        set_detail(false);
+        assert!(!detail());
+    }
+
+    #[test]
+    fn snapshot_sees_registered_metrics() {
+        counter("lib.snap.counter").add(7);
+        gauge("lib.snap.gauge").set(1.5);
+        histogram("lib.snap.hist").record(3.0);
+        let snap = snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|c| c.name == "lib.snap.counter")
+                .unwrap()
+                .value,
+            7
+        );
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "lib.snap.gauge")
+                .unwrap()
+                .value,
+            1.5
+        );
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "lib.snap.hist")
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 3.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Counters, gauges, log-binned histograms, and the registry that owns
+//! them.
+//!
+//! Handles are cheap `Arc` clones; the *record* path (`inc`, `add`,
+//! `set`, `record`) touches only atomics — no locks, no heap
+//! allocation — so it is safe to call from the timed interior of a
+//! solver. The only allocation happens once per metric name, at
+//! registration.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the gauge with `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram bins: one underflow bin plus log₂ bins covering
+/// 2⁻¹⁶ (≈ 1.5e-5) through 2⁴⁶ (≈ 7e13) — microseconds to condition
+/// numbers without configuration.
+const BINS: usize = 64;
+/// Exponent of the first log bin's lower bound.
+const MIN_EXP: i32 = -16;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    count: AtomicU64,
+    /// Running sum, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    bins: [AtomicU64; BINS],
+}
+
+/// A log₂-binned distribution of `f64` samples.
+///
+/// Exact count/sum/min/max; quantiles are approximated from the bin the
+/// quantile falls in (geometric bin midpoint), good to roughly a factor
+/// of √2 — plenty for "is DLO 3× or 30× faster than NR".
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// Index of the bin `v` falls into. Non-positive and non-finite samples
+/// land in the underflow bin 0.
+fn bin_index(v: f64) -> usize {
+    if !(v > 0.0) || !v.is_finite() {
+        return 0;
+    }
+    let e = v.log2().floor() as i64;
+    (e - i64::from(MIN_EXP) + 1).clamp(0, BINS as i64 - 1) as usize
+}
+
+/// Lower bound of bin `i` (bin 0 is the underflow bin).
+pub(crate) fn bin_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (2.0f64).powi(MIN_EXP + i as i32 - 1)
+    }
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    /// Records one sample. Atomics only — no locks, no allocation.
+    pub fn record(&self, v: f64) {
+        let core = &*self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.bins[bin_index(v)].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&core.sum_bits, |s| s + v);
+        atomic_f64_update(&core.min_bits, |m| m.min(v));
+        atomic_f64_update(&core.max_bits, |m| m.max(v));
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary of this histogram.
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(core.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(core.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(core.max_bits.load(Ordering::Relaxed));
+        let bins: Vec<u64> = core
+            .bins
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> f64 {
+            let total: u64 = bins.iter().sum();
+            if total == 0 {
+                return f64::NAN;
+            }
+            let target = (q * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &b) in bins.iter().enumerate() {
+                seen += b;
+                if seen >= target {
+                    let est = if i == 0 {
+                        min
+                    } else {
+                        // Geometric midpoint of [2^k, 2^(k+1)).
+                        bin_lower(i) * std::f64::consts::SQRT_2
+                    };
+                    return est.clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count,
+            sum,
+            min,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+        }
+    }
+}
+
+/// Owns every named metric. One global instance lives behind
+/// [`crate::registry`]; separate instances exist only in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    histograms: RwLock<HashMap<String, Histogram>>,
+}
+
+fn get_or_insert<T: Clone>(
+    map: &RwLock<HashMap<String, T>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> T {
+    if let Some(found) = map.read().expect("metrics lock").get(name) {
+        return found.clone();
+    }
+    map.write()
+        .expect("metrics lock")
+        .entry(name.to_owned())
+        .or_insert_with(make)
+        .clone()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Fetches (registering on first use) the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.counters, name, || {
+            Counter(Arc::new(AtomicU64::new(0)))
+        })
+    }
+
+    /// Fetches (registering on first use) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.gauges, name, || {
+            Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        })
+    }
+
+    /// Fetches (registering on first use) the named histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        get_or_insert(&self.histograms, name, Histogram::new)
+    }
+
+    /// Summarizes every metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<CounterSnapshot> = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.value(),
+            })
+            .collect();
+        let mut gauges: Vec<GaugeSnapshot> = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.value(),
+            })
+            .collect();
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let r = Registry::new();
+        let a = r.counter("c");
+        let b = r.counter("c");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("c").value(), 5);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let r = Registry::new();
+        r.gauge("g").set(2.5);
+        r.gauge("g").set(-1.0);
+        assert_eq!(r.gauge("g").value(), -1.0);
+    }
+
+    #[test]
+    fn bin_index_is_monotone_and_bounded() {
+        assert_eq!(bin_index(0.0), 0);
+        assert_eq!(bin_index(-3.0), 0);
+        assert_eq!(bin_index(f64::NAN), 0);
+        // Smallest covered magnitude lands just above underflow.
+        assert_eq!(bin_index(2.0f64.powi(MIN_EXP)), 1);
+        // Values below the first bin lower bound clamp into the frame.
+        assert!(bin_index(1e-30) <= 1);
+        // Huge values clamp to the top bin.
+        assert_eq!(bin_index(1e300), BINS - 1);
+        let mut last = 0;
+        for e in -20..60 {
+            let idx = bin_index(2.0f64.powi(e) * 1.1);
+            assert!(idx >= last, "bin index must be monotone in v");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bin_bounds_bracket_their_samples() {
+        for v in [1.5e-5, 0.02, 1.0, 3.7, 1000.0, 6.1e13] {
+            let i = bin_index(v);
+            assert!(v >= bin_lower(i), "v {v} below bin {i} lower bound");
+            if i + 1 < BINS {
+                assert!(v < bin_lower(i + 1), "v {v} above bin {i} upper bound");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics_are_exact() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        let s = h.snapshot("h");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 16.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mean(), 4.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bin() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        // 99 samples near 1.5, one outlier at 1000: p50 ≈ 1.5 (within
+        // its factor-of-√2 bin), p95 well below the outlier.
+        for _ in 0..99 {
+            h.record(1.5);
+        }
+        h.record(1000.0);
+        let s = h.snapshot("h");
+        assert!((1.0..4.0).contains(&s.p50), "p50 {}", s.p50);
+        assert!(s.p95 < 10.0, "p95 {}", s.p95);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_well_formed() {
+        let r = Registry::new();
+        let s = r.histogram("h").snapshot("h");
+        assert_eq!(s.count, 0);
+        assert!(s.p50.is_nan());
+        assert!(s.min.is_infinite());
+    }
+}

@@ -1,0 +1,264 @@
+//! Event sinks and the global dispatcher that fans events out to them.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::{Event, Level, Snapshot};
+
+/// A destination for events (and, optionally, end-of-run snapshots).
+pub trait Sink: Send + Sync {
+    /// Handles one event that passed this sink's level filter.
+    fn accept(&self, event: &Event);
+
+    /// Writes an end-of-run metrics snapshot (default: ignored).
+    fn write_snapshot(&self, _snapshot: &Snapshot) {}
+
+    /// Flushes any buffered output (default: no-op).
+    fn flush(&self) {}
+}
+
+/// Human-readable sink: one `[LEVEL target] message k=v` line per event
+/// on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn accept(&self, event: &Event) {
+        eprintln!("{}", event.to_human());
+    }
+}
+
+/// On-disk representation of a [`FileSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// One JSON object per line.
+    Jsonl,
+    /// `ts_us,level,target,message,fields` rows under a header.
+    Csv,
+}
+
+impl std::str::FromStr for FileFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "jsonl" | "json" => Ok(FileFormat::Jsonl),
+            "csv" => Ok(FileFormat::Csv),
+            other => Err(format!(
+                "unknown metrics format `{other}` (expected jsonl|csv)"
+            )),
+        }
+    }
+}
+
+/// Buffered file sink writing JSONL or CSV.
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+    format: FileFormat,
+}
+
+impl FileSink {
+    /// Creates (truncating) `path` and, for CSV, writes the header row.
+    pub fn create(path: &Path, format: FileFormat) -> io::Result<Self> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        if format == FileFormat::Csv {
+            writeln!(writer, "ts_us,level,target,message,fields")?;
+        }
+        Ok(FileSink {
+            writer: Mutex::new(writer),
+            format,
+        })
+    }
+}
+
+impl Sink for FileSink {
+    fn accept(&self, event: &Event) {
+        let line = match self.format {
+            FileFormat::Jsonl => event.to_json(),
+            FileFormat::Csv => event.to_csv_row(),
+        };
+        let mut writer = self.writer.lock().expect("file sink lock");
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn write_snapshot(&self, snapshot: &Snapshot) {
+        let body = match self.format {
+            FileFormat::Jsonl => snapshot.to_jsonl(),
+            FileFormat::Csv => snapshot.to_csv(),
+        };
+        let mut writer = self.writer.lock().expect("file sink lock");
+        let _ = write!(writer, "{body}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("file sink lock").flush();
+    }
+}
+
+/// Test sink that retains every accepted event in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copies out everything accepted so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn accept(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// `Level` floor meaning "no sinks registered".
+const FLOOR_NONE: u8 = u8::MAX;
+
+/// Fans events out to registered sinks; holds the fast-path level floor.
+pub(crate) struct Dispatcher {
+    /// Minimum level any sink accepts (`FLOOR_NONE` when empty), so the
+    /// disabled case is a single relaxed load.
+    floor: AtomicU8,
+    sinks: RwLock<Vec<(Level, Box<dyn Sink>)>>,
+}
+
+static DISPATCHER: OnceLock<Dispatcher> = OnceLock::new();
+
+pub(crate) fn dispatcher() -> &'static Dispatcher {
+    DISPATCHER.get_or_init(|| Dispatcher {
+        floor: AtomicU8::new(FLOOR_NONE),
+        sinks: RwLock::new(Vec::new()),
+    })
+}
+
+impl Dispatcher {
+    pub(crate) fn add(&self, level: Level, sink: Box<dyn Sink>) {
+        let mut sinks = self.sinks.write().expect("sink lock");
+        sinks.push((level, sink));
+        let floor = sinks
+            .iter()
+            .map(|(l, _)| *l as u8)
+            .min()
+            .unwrap_or(FLOOR_NONE);
+        self.floor.store(floor, Ordering::Relaxed);
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut sinks = self.sinks.write().expect("sink lock");
+        for (_, sink) in sinks.iter() {
+            sink.flush();
+        }
+        sinks.clear();
+        self.floor.store(FLOOR_NONE, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enabled(&self, level: Level) -> bool {
+        // With no sinks the floor is FLOOR_NONE (255), above any level.
+        level as u8 >= self.floor.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn dispatch(&self, mut event: Event) {
+        if !self.enabled(event.level) {
+            return;
+        }
+        event.ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        for (level, sink) in self.sinks.read().expect("sink lock").iter() {
+            if event.level >= *level {
+                sink.accept(&event);
+            }
+        }
+    }
+
+    pub(crate) fn write_snapshot(&self, snapshot: &Snapshot) {
+        for (_, sink) in self.sinks.read().expect("sink lock").iter() {
+            sink.write_snapshot(snapshot);
+        }
+    }
+
+    pub(crate) fn flush(&self) {
+        for (_, sink) in self.sinks.read().expect("sink lock").iter() {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Wraps a shared MemorySink so the test keeps a handle after
+    /// registration.
+    struct Shared(Arc<MemorySink>);
+
+    impl Sink for Shared {
+        fn accept(&self, event: &Event) {
+            self.0.accept(event);
+        }
+    }
+
+    #[test]
+    fn level_filter_and_timestamps() {
+        let mem = Arc::new(MemorySink::new());
+        crate::clear_sinks();
+        crate::add_sink(Level::Info, Box::new(Shared(Arc::clone(&mem))));
+        assert!(crate::enabled(Level::Info));
+        assert!(!crate::enabled(Level::Debug));
+
+        Event::new(Level::Debug, "t", "filtered out").emit();
+        Event::new(Level::Warn, "t", "kept").with("k", 1u64).emit();
+
+        let events = mem.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "kept");
+        assert!(events[0].ts_us > 0, "dispatch stamps a wall-clock time");
+        crate::clear_sinks();
+        assert!(!crate::enabled(Level::Error));
+    }
+
+    #[test]
+    fn file_format_parses() {
+        assert_eq!("jsonl".parse::<FileFormat>().unwrap(), FileFormat::Jsonl);
+        assert_eq!("CSV".parse::<FileFormat>().unwrap(), FileFormat::Csv);
+        assert!("yaml".parse::<FileFormat>().is_err());
+    }
+
+    #[test]
+    fn file_sink_writes_lines_and_snapshot() {
+        let dir = std::env::temp_dir().join("gps_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let sink = FileSink::create(&path, FileFormat::Jsonl).unwrap();
+        let mut e = Event::new(Level::Info, "t", "m").with("k", 2.5);
+        e.ts_us = 42;
+        sink.accept(&e);
+        let reg = crate::Registry::new();
+        reg.counter("c").add(3);
+        sink.write_snapshot(&reg.snapshot());
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"target\":\"t\""));
+        assert!(text.contains("\"type\":\"counter\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,301 @@
+//! Point-in-time summaries of the metrics registry, serializable to a
+//! human table, JSONL, or CSV (and parseable back from CSV).
+
+use crate::json;
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+    /// Approximate median (bin-midpoint estimate; `NaN` when empty).
+    pub p50: f64,
+    /// Approximate 95th percentile (`NaN` when empty).
+    pub p95: f64,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of the recorded samples (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything in the registry at one instant, each section sorted by
+/// name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// `true` if no metric was ever registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders an aligned, human-readable summary table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("  {:<44} {:>12}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("  {:<44} {:>12.6}\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "histograms:\n  {:<44} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "count", "mean", "min", "p50", "p95", "max"
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<44} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}\n",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.p50,
+                    h.p95,
+                    h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// One `{"type":"metric",...}` JSON object per line (with trailing
+    /// newline), ready to append to a JSONL event stream.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::write_string(&mut out, &c.name);
+            out.push_str(",\"value\":");
+            out.push_str(&c.value.to_string());
+            out.push_str("}\n");
+        }
+        for g in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json::write_string(&mut out, &g.name);
+            out.push_str(",\"value\":");
+            json::write_f64(&mut out, g.value);
+            out.push_str("}\n");
+        }
+        for h in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            json::write_string(&mut out, &h.name);
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+            for (key, v) in [
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p95", h.p95),
+            ] {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                json::write_f64(&mut out, v);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// CSV with a header row. Floats use Rust's shortest round-trip
+    /// formatting, so [`Snapshot::from_csv`] reproduces this snapshot
+    /// exactly.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,sum,min,max,p50,p95\n");
+        for c in &self.counters {
+            out.push_str(&format!("counter,{},{},,,,,,\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("gauge,{},{},,,,,,\n", g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "histogram,{},,{},{},{},{},{},{}\n",
+                h.name, h.count, h.sum, h.min, h.max, h.p50, h.p95
+            ));
+        }
+        out
+    }
+
+    /// Parses the output of [`Snapshot::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty snapshot CSV")?;
+        if header != "kind,name,value,count,sum,min,max,p50,p95" {
+            return Err(format!("unexpected snapshot CSV header `{header}`"));
+        }
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != 9 {
+                return Err(format!(
+                    "line {}: expected 9 cells, got {}",
+                    lineno + 2,
+                    cells.len()
+                ));
+            }
+            let f = |cell: &str| -> Result<f64, String> {
+                cell.parse::<f64>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 2))
+            };
+            match cells[0] {
+                "counter" => snap.counters.push(CounterSnapshot {
+                    name: cells[1].to_owned(),
+                    value: cells[2]
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+                }),
+                "gauge" => snap.gauges.push(GaugeSnapshot {
+                    name: cells[1].to_owned(),
+                    value: f(cells[2])?,
+                }),
+                "histogram" => snap.histograms.push(HistogramSnapshot {
+                    name: cells[1].to_owned(),
+                    count: cells[3]
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+                    sum: f(cells[4])?,
+                    min: f(cells[5])?,
+                    max: f(cells[6])?,
+                    p50: f(cells[7])?,
+                    p95: f(cells[8])?,
+                }),
+                other => return Err(format!("line {}: unknown kind `{other}`", lineno + 2)),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Forwards this snapshot to every registered sink (file sinks
+    /// append it in their own format; the stderr sink ignores it).
+    pub fn write_to_sinks(&self) {
+        crate::sink::dispatcher().write_snapshot(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn populated() -> Snapshot {
+        let r = Registry::new();
+        r.counter("runs").add(12);
+        r.gauge("theta").set(0.3125);
+        let h = r.histogram("solve_us");
+        for v in [1.25, 2.5, 40.0] {
+            h.record(v);
+        }
+        r.histogram("empty"); // registered, never recorded
+        r.snapshot()
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let snap = populated();
+        let back = Snapshot::from_csv(&snap.to_csv()).unwrap();
+        // NaN != NaN, so compare the empty histogram separately.
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms.len(), snap.histograms.len());
+        for (a, b) in back.histograms.iter().zip(&snap.histograms) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            assert_eq!(a.min.to_bits(), b.min.to_bits());
+            assert_eq!(a.max.to_bits(), b.max.to_bits());
+            assert_eq!(a.p50.to_bits(), b.p50.to_bits());
+            assert_eq!(a.p95.to_bits(), b.p95.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_input() {
+        assert!(Snapshot::from_csv("").is_err());
+        assert!(Snapshot::from_csv("bogus,header\n").is_err());
+        assert!(
+            Snapshot::from_csv("kind,name,value,count,sum,min,max,p50,p95\nwidget,x,,,,,,,\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_metric() {
+        let snap = populated();
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        assert!(jsonl.contains("{\"type\":\"counter\",\"name\":\"runs\",\"value\":12}"));
+        // The never-recorded histogram has ±inf min/max → JSON null.
+        assert!(jsonl.contains("\"name\":\"empty\",\"count\":0,\"sum\":0,\"min\":null"));
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let table = populated().render_table();
+        for name in ["runs", "theta", "solve_us", "empty"] {
+            assert!(table.contains(name), "table missing {name}:\n{table}");
+        }
+        assert!(Snapshot::default()
+            .render_table()
+            .contains("no metrics recorded"));
+    }
+}

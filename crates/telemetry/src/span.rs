@@ -1,0 +1,115 @@
+//! Monotonic timing spans on a thread-local stack.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::{Event, Level};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost
+    /// first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one named region of work.
+///
+/// Created by [`span`]; on drop it records the elapsed wall time into
+/// the histogram `span.<outer>/<inner>` (microseconds) and, when a sink
+/// listens at `Debug`, emits a `span` event with the duration.
+#[derive(Debug)]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name`, nested under any span already open on
+/// this thread. Hold the returned guard for the duration of the region:
+///
+/// ```
+/// let _epoch = gps_telemetry::span("epoch");
+/// {
+///     let _solve = gps_telemetry::span("nr"); // records span.epoch/nr
+/// }
+/// ```
+pub fn span(name: &str) -> SpanGuard {
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name.to_owned());
+        stack.join("/")
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl SpanGuard {
+    /// Full `/`-joined path of this span, e.g. `epoch/nr`.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let duration_us = self.start.elapsed().as_secs_f64() * 1e6;
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        crate::histogram(&format!("span.{}", self.path)).record(duration_us);
+        if crate::enabled(Level::Debug) {
+            Event::new(Level::Debug, "span", self.path.clone())
+                .with("duration_us", duration_us)
+                .emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let outer = span("span_outer");
+        assert_eq!(outer.path(), "span_outer");
+        {
+            let inner = span("inner");
+            assert_eq!(inner.path(), "span_outer/inner");
+        }
+        drop(outer);
+        let snap = crate::snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"span.span_outer"));
+        assert!(names.contains(&"span.span_outer/inner"));
+    }
+
+    #[test]
+    fn span_durations_are_positive_microseconds() {
+        {
+            let _s = span("span_timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = crate::snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "span.span_timed")
+            .unwrap();
+        assert!(
+            h.min >= 2_000.0,
+            "slept 2 ms but span recorded {} µs",
+            h.min
+        );
+    }
+
+    #[test]
+    fn stack_unwinds_after_drop() {
+        {
+            let _a = span("span_unwind");
+        }
+        let fresh = span("span_fresh");
+        assert_eq!(fresh.path(), "span_fresh", "previous span must have popped");
+    }
+}

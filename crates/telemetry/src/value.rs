@@ -1,0 +1,133 @@
+//! Typed event field values.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A typed field value attached to an [`Event`](crate::Event).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Cow<'static, str>),
+}
+
+impl Value {
+    /// Appends the JSON encoding of this value to `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) => crate::json::write_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => crate::json::write_string(out, s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Cow::Owned(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_kind() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-2i32), Value::I64(-2));
+        assert_eq!(Value::from(0.5f64), Value::F64(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str(Cow::Borrowed("x")));
+    }
+
+    #[test]
+    fn json_encoding_matches_type() {
+        let mut out = String::new();
+        Value::from(7u64).write_json(&mut out);
+        out.push(' ');
+        Value::from("a\"b").write_json(&mut out);
+        out.push(' ');
+        Value::from(false).write_json(&mut out);
+        assert_eq!(out, "7 \"a\\\"b\" false");
+    }
+}

@@ -1,0 +1,68 @@
+//! Proves the acceptance criterion that counter/gauge/histogram record
+//! paths perform no heap allocation, using a counting global allocator.
+//!
+//! The counters are thread-local so allocations made by libtest's
+//! harness threads (timers, output capture) don't pollute the window —
+//! only the thread actually exercising the record path is measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+fn note_allocation() {
+    // Cell-based, const-initialized, non-Drop TLS: reading it never
+    // allocates, so this is safe to call from inside the allocator.
+    if COUNTING.with(Cell::get) {
+        ALLOCATIONS.with(|a| a.set(a.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_allocation();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_allocation();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn record_path_does_not_allocate() {
+    // Registration (named lookups) may allocate; do it up front.
+    let counter = gps_telemetry::counter("noalloc.counter");
+    let gauge = gps_telemetry::gauge("noalloc.gauge");
+    let histogram = gps_telemetry::histogram("noalloc.histogram");
+    counter.inc();
+    gauge.set(1.0);
+    histogram.record(1.0);
+
+    COUNTING.with(|c| c.set(true));
+    for i in 0..10_000u64 {
+        counter.add(i & 3);
+        gauge.set(i as f64);
+        histogram.record(0.5 + i as f64);
+    }
+    COUNTING.with(|c| c.set(false));
+
+    let allocations = ALLOCATIONS.with(Cell::get);
+    assert_eq!(
+        allocations, 0,
+        "record path must be allocation-free, saw {allocations} allocations"
+    );
+}

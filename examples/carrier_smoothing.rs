@@ -14,15 +14,13 @@ use gps_core::metrics::Summary;
 use gps_core::{Dlo, HatchFilter, Measurement, PositionSolver};
 use gps_geodesy::Geodetic;
 use gps_orbits::{Constellation, SatId};
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 use gps_time::{Duration, GpsTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    rng.standard_normal()
 }
 
 fn main() {
@@ -53,12 +51,9 @@ fn main() {
             let phase = v.range + ambiguity + 0.003 * gaussian(&mut rng);
 
             raw_meas.push(Measurement::new(v.position, code).with_elevation(v.elevation));
-            let filter = filters
-                .entry(v.id)
-                .or_insert_with(|| HatchFilter::new(100));
+            let filter = filters.entry(v.id).or_insert_with(|| HatchFilter::new(100));
             let smoothed = filter.update(code, phase);
-            smoothed_meas
-                .push(Measurement::new(v.position, smoothed).with_elevation(v.elevation));
+            smoothed_meas.push(Measurement::new(v.position, smoothed).with_elevation(v.elevation));
         }
 
         if k < 30 {
@@ -72,7 +67,10 @@ fn main() {
         }
     }
 
-    println!("DLO on raw vs carrier-smoothed pseudoranges ({} scored epochs):", raw_err.count());
+    println!(
+        "DLO on raw vs carrier-smoothed pseudoranges ({} scored epochs):",
+        raw_err.count()
+    );
     println!(
         "  raw code        : mean {:.2} m, rms {:.2} m, max {:.2} m",
         raw_err.mean(),

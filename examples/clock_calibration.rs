@@ -15,9 +15,9 @@ use gps_clock::{
 };
 use gps_core::metrics::Summary;
 use gps_geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_rng::rngs::StdRng;
+use gps_rng::SeedableRng;
 use gps_time::{Duration, GpsTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Simulates NR-derived bias measurement: truth plus ~2 m of estimation
 /// error (what a 6-satellite NR solve typically leaves on the clock

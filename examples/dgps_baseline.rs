@@ -43,8 +43,7 @@ fn main() {
         // correction transferred). In a live system both come from the
         // §5.2.2 predictor chain.
         let rover_bias = ro.truth().clock_bias * SPEED_OF_LIGHT;
-        let differential_bias =
-            (ro.truth().clock_bias - re.truth().clock_bias) * SPEED_OF_LIGHT;
+        let differential_bias = (ro.truth().clock_bias - re.truth().clock_bias) * SPEED_OF_LIGHT;
 
         let raw_meas = to_measurements(ro.observations());
         let corr_meas = to_measurements(corrected.observations());

@@ -69,10 +69,7 @@ fn main() {
 
     println!("RAIM fault detection & exclusion — {station}");
     println!("fault: +500 m on one satellite during epochs 80..100\n");
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "", "mean error", "max error"
-    );
+    println!("{:<22} {:>12} {:>12}", "", "mean error", "max error");
     println!(
         "{:<22} {:>10.2} m {:>10.2} m",
         "NR unprotected",

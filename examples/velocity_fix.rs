@@ -55,19 +55,30 @@ fn main() {
                 .position_velocity_at(t);
             let u = (sat_pos - truth_pos).normalized();
             let true_rate = (sat_vel - truth_vel).dot(u);
-            rate.push(RateMeasurement::new(sat_pos, sat_vel, true_rate + sign * 0.03));
+            rate.push(RateMeasurement::new(
+                sat_pos,
+                sat_vel,
+                true_rate + sign * 0.03,
+            ));
         }
 
         // Closed-form chain: DLO position → linear velocity solve.
-        let Ok(fix) = dlo.solve(&code, 0.0) else { continue };
-        let Ok(vel) = solve_velocity(&rate, fix.position) else { continue };
+        let Ok(fix) = dlo.solve(&code, 0.0) else {
+            continue;
+        };
+        let Ok(vel) = solve_velocity(&rate, fix.position) else {
+            continue;
+        };
 
         pos_err.push(fix.position.distance_to(truth_pos));
         vel_err.push((vel.velocity - truth_vel).norm());
         speed_est.push(vel.velocity.norm());
     }
 
-    println!("closed-form position + velocity over {} epochs:", pos_err.count());
+    println!(
+        "closed-form position + velocity over {} epochs:",
+        pos_err.count()
+    );
     println!(
         "  position error: mean {:.2} m, max {:.2} m",
         pos_err.mean(),

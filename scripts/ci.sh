@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Offline CI gate for the workspace: formatting, a release build
+# (benches included, so the harness-based bench files stay compiling),
+# and the full test suite. No network access required.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release (workspace, all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "CI gate passed."

@@ -9,14 +9,14 @@
 //! ```
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 
-use gps_repro::core::{
-    Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver,
-};
+use gps_repro::core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
 use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
 use gps_repro::orbits::{yuma, Constellation};
 use gps_repro::sim::{experiments, to_measurements, ExperimentConfig};
+use gps_telemetry::{FileFormat, FileSink, Level, StderrSink};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -27,8 +27,15 @@ USAGE:
                      [--seed N] [--mask DEG] --out <FILE>
   gps-repro info <FILE>
   gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
-  gps-repro experiment <table51|fig51|fig52|extensions|all> [--paper-scale] [--seed N]
-  gps-repro almanac [--out <FILE>]"
+  gps-repro experiment <table51|fig51|fig52|extensions|all> [--paper-scale|--quick]
+                       [--seed N]
+  gps-repro almanac [--out <FILE>]
+
+TELEMETRY (any command):
+  --log-level <trace|debug|info|warn|error>   human-readable events on stderr
+  --telemetry-out <FILE>                      structured events + final metrics
+                                              snapshot (enables detailed metrics)
+  --metrics-format <jsonl|csv>                --telemetry-out format (default jsonl)"
     );
     ExitCode::FAILURE
 }
@@ -78,6 +85,36 @@ impl Args {
                 .map_err(|_| format!("--{name}: cannot parse `{v}`")),
         }
     }
+}
+
+/// Wires up the `--log-level` / `--telemetry-out` / `--metrics-format`
+/// sinks. Returns whether any sink was registered (so `main` knows to
+/// write the final metrics snapshot).
+fn init_telemetry(args: &Args) -> Result<bool, String> {
+    for name in ["log-level", "telemetry-out", "metrics-format"] {
+        if args.has(name) && args.flag(name).is_none() {
+            return Err(format!("--{name} requires a value"));
+        }
+    }
+    let mut active = false;
+    if let Some(level) = args.flag("log-level") {
+        let level: Level = level.parse()?;
+        gps_telemetry::add_sink(level, Box::new(StderrSink));
+        active = true;
+    }
+    if let Some(path) = args.flag("telemetry-out") {
+        let format: FileFormat = args.flag("metrics-format").unwrap_or("jsonl").parse()?;
+        let sink = FileSink::create(Path::new(path), format)
+            .map_err(|e| format!("--telemetry-out {path}: {e}"))?;
+        gps_telemetry::add_sink(Level::Trace, Box::new(sink));
+        // File capture wants the expensive observations too (condition
+        // numbers, covariance-assembly timing).
+        gps_telemetry::set_detail(true);
+        active = true;
+    } else if args.has("metrics-format") {
+        return Err("--metrics-format requires --telemetry-out".to_owned());
+    }
+    Ok(active)
 }
 
 fn load_dataset(path: &str) -> Result<DataSet, String> {
@@ -137,7 +174,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("solve needs a file argument")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("solve needs a file argument")?;
     let data = load_dataset(path)?;
     let algorithm = args.flag("algorithm").unwrap_or("dlg");
     let m: usize = args.flag_parse("satellites", usize::MAX)?;
@@ -186,14 +226,12 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_experiment(args: &Args) -> Result<(), String> {
-    let which = args
-        .positional
-        .get(1)
-        .map(String::as_str)
-        .unwrap_or("all");
+    let which = args.positional.get(1).map(String::as_str).unwrap_or("all");
     let seed: u64 = args.flag_parse("seed", 2_010)?;
     let cfg = if args.has("paper-scale") {
         ExperimentConfig::paper_scale(seed)
+    } else if args.has("quick") {
+        ExperimentConfig::quick(seed)
     } else {
         ExperimentConfig::new(seed)
     };
@@ -234,6 +272,13 @@ fn main() -> ExitCode {
     let Some(command) = args.positional.first().map(String::as_str) else {
         return usage();
     };
+    let telemetry = match init_telemetry(&args) {
+        Ok(active) => active,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match command {
         "generate" => cmd_generate(&args),
         "info" => cmd_info(&args),
@@ -242,6 +287,10 @@ fn main() -> ExitCode {
         "almanac" => cmd_almanac(&args),
         _ => return usage(),
     };
+    if telemetry {
+        gps_telemetry::snapshot().write_to_sinks();
+        gps_telemetry::flush();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {

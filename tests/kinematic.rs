@@ -21,8 +21,7 @@ fn start_position() -> gps_repro::geodesy::Ecef {
 
 #[test]
 fn straight_leg_tracked_within_budget() {
-    let trajectory =
-        GreatCircleTrajectory::new(start_position(), 0.8, 200.0, start_time());
+    let trajectory = GreatCircleTrajectory::new(start_position(), 0.8, 200.0, start_time());
     let epochs = KinematicGenerator::new(33).generate(
         &trajectory,
         start_time(),
@@ -79,8 +78,7 @@ fn pv_filter_beats_raw_fixes_on_circular_loop() {
 fn velocity_solution_consistent_with_trajectory() {
     // Noise-free kinematic epochs + propagator velocities: the Doppler
     // solver must recover the trajectory's velocity to mm/s.
-    let trajectory =
-        GreatCircleTrajectory::new(start_position(), 2.1, 150.0, start_time());
+    let trajectory = GreatCircleTrajectory::new(start_position(), 2.1, 150.0, start_time());
     let constellation = Constellation::gps_nominal_at(GpsTime::EPOCH);
     let epochs = KinematicGenerator::new(35)
         .error_budget(ErrorBudget::disabled())
@@ -89,8 +87,7 @@ fn velocity_solution_consistent_with_trajectory() {
     for (epoch, truth) in &epochs {
         let t = epoch.time();
         let dt = Duration::from_seconds(0.5);
-        let truth_vel =
-            (trajectory.position_at(t + dt) - trajectory.position_at(t - dt)) / 1.0;
+        let truth_vel = (trajectory.position_at(t + dt) - trajectory.position_at(t - dt)) / 1.0;
         let rates: Vec<RateMeasurement> = epoch
             .observations()
             .iter()

@@ -10,17 +10,16 @@
 //! These tests verify both claims numerically on Monte-Carlo draws of the
 //! paper's error model.
 
-use gps_repro::core::{linearize, BaseSelection, CovarianceModel, Dlg, Dlo, Measurement,
-    PositionSolver};
+use gps_repro::core::{
+    linearize, BaseSelection, CovarianceModel, Dlg, Dlo, Measurement, PositionSolver,
+};
 use gps_repro::geodesy::Ecef;
 use gps_repro::linalg::{Cholesky, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
 
 fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    rng.standard_normal()
 }
 
 fn sats() -> Vec<Ecef> {
