@@ -62,7 +62,7 @@ fn bench_solvers(h: &mut Harness) {
             })
         });
 
-        let bancroft = Bancroft::default();
+        let bancroft = Bancroft;
         group.bench_with_input(&format!("Bancroft/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {

@@ -332,7 +332,7 @@ mod tests {
                 resets += 1;
             }
         }
-        assert!(resets >= 1 && resets <= 4, "resets {resets}");
+        assert!((1..=4).contains(&resets), "resets {resets}");
     }
 
     #[test]

@@ -145,10 +145,7 @@ impl PositionSolver for Bancroft {
                 continue;
             }
             let rms = Bancroft::residual_rms(measurements, pos, bias);
-            if best
-                .as_ref()
-                .map_or(true, |(_, _, best_rms)| rms < *best_rms)
-            {
+            if best.as_ref().is_none_or(|(_, _, best_rms)| rms < *best_rms) {
                 best = Some((pos, bias, rms));
             }
         }

@@ -96,10 +96,31 @@ pub fn linearize(
 
 /// RMS of the linear-system residual `A·x − d`, normalized to a
 /// per-equation range-domain scale.
+///
+/// The raw residual lives in the squared-range domain of eq. 4-11
+/// (`dⱼ` is built from `ρⱼ²`), so its magnitude scales with the
+/// pseudoranges themselves: a δ-metre measurement error perturbs row `j`
+/// by `∂dⱼ/∂ρⱼ·δ = −ρⱼ·δ`. Dividing each component by its row's
+/// corrected range converts the residual back to equivalent metres of
+/// pseudorange, making [`crate::Solution::residual_rms`] comparable
+/// across NR, Bancroft and the direct methods — which is what RAIM
+/// thresholds and validation gates assume.
 pub(crate) fn system_residual_rms(sys: &LinearSystem, x: Ecef) -> f64 {
     let xv = Vector::from_slice(&[x.x, x.y, x.z]);
     let r = lstsq::residual(&sys.a, &sys.d, &xv).expect("shapes match by construction");
-    (r.norm_squared() / r.len() as f64).sqrt()
+    let scales = sys
+        .corrected_ranges
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != sys.base_index)
+        .map(|(_, rho)| rho.abs().max(1.0));
+    let sum: f64 = r
+        .as_slice()
+        .iter()
+        .zip(scales)
+        .map(|(component, scale)| (component / scale).powi(2))
+        .sum();
+    (sum / r.len() as f64).sqrt()
 }
 
 /// Algorithm **DLO**: Direct Linearization with the Ordinary Least Squares

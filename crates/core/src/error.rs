@@ -29,6 +29,17 @@ pub enum SolveError {
     },
     /// Bancroft's quadratic had no real root (inconsistent measurements).
     NoRealRoot,
+    /// RAIM detected an inconsistency it could not isolate: the residual
+    /// test still failed after every permitted exclusion (or no
+    /// leave-one-out subset solved), so no integrity-assured solution
+    /// exists for this epoch.
+    IntegrityFault {
+        /// Measurement indices (into the original slice) excluded before
+        /// giving up. Empty when identification never succeeded at all.
+        excluded: Vec<usize>,
+        /// Residual RMS of the last full-set solve, metres.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -51,6 +62,11 @@ impl fmt::Display for SolveError {
             SolveError::NoRealRoot => {
                 write!(f, "closed-form quadratic has no real root")
             }
+            SolveError::IntegrityFault { excluded, residual } => write!(
+                f,
+                "integrity fault: residual {residual:.3} m still fails the test after excluding {} satellite(s) {excluded:?}",
+                excluded.len()
+            ),
         }
     }
 }
@@ -94,6 +110,13 @@ mod tests {
                 "converge",
             ),
             (SolveError::NoRealRoot, "real root"),
+            (
+                SolveError::IntegrityFault {
+                    excluded: vec![2, 5],
+                    residual: 48.0,
+                },
+                "integrity",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");
@@ -117,6 +140,12 @@ mod tests {
         let e = SolveError::DegenerateGeometry(LinalgError::Singular);
         assert!(e.source().is_some());
         assert!(SolveError::NonFinite.source().is_none());
+        assert!(SolveError::IntegrityFault {
+            excluded: vec![],
+            residual: 1.0,
+        }
+        .source()
+        .is_none());
     }
 
     #[test]

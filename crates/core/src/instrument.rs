@@ -39,6 +39,20 @@ cached_metric!(dlg_condition, Histogram, "core.dlg.condition_number");
 cached_metric!(dlg_cov_assembly, Histogram, "core.dlg.cov_assembly_us");
 cached_metric!(base_index, Histogram, "core.base.selected_index");
 cached_metric!(raim_exclusions, Counter, "core.raim.exclusions");
+cached_metric!(resilient_nominal, Counter, "core.resilient.nominal");
+cached_metric!(resilient_degraded, Counter, "core.resilient.degraded");
+cached_metric!(resilient_holdover, Counter, "core.resilient.holdover");
+cached_metric!(resilient_no_fix, Counter, "core.resilient.no_fix");
+cached_metric!(
+    resilient_gate_failures,
+    Counter,
+    "core.resilient.gate_failures"
+);
+cached_metric!(
+    resilient_raim_retries,
+    Counter,
+    "core.resilient.raim_retries"
+);
 
 /// 2-norm condition number of the design matrix `A`, via the symmetric
 /// eigendecomposition of its 3×3 Gram matrix: `κ₂(A) = √κ₂(AᵀA)`.

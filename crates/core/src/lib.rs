@@ -66,6 +66,7 @@ mod measurement;
 pub mod metrics;
 mod nr;
 mod raim;
+mod resilient;
 pub mod sagnac;
 mod solution;
 mod trilateration;
@@ -82,6 +83,7 @@ pub use kinematic::PvFilter;
 pub use measurement::Measurement;
 pub use nr::{NewtonRaphson, Weighting};
 pub use raim::{Raim, RaimSolution};
+pub use resilient::{FixQuality, ResilientFix, ResilientSolver, ValidationGates};
 pub use solution::Solution;
 pub use trilateration::{trilaterate3, TrilaterationRoots};
 pub use velocity::{solve_velocity, RateMeasurement, VelocitySolution};

@@ -53,7 +53,7 @@ impl Measurement {
     pub fn is_finite(&self) -> bool {
         self.position.is_finite()
             && self.pseudorange.is_finite()
-            && self.elevation.map_or(true, f64::is_finite)
+            && self.elevation.is_none_or(f64::is_finite)
     }
 }
 

@@ -112,8 +112,9 @@ impl<S: PositionSolver> Raim<S> {
     /// * Any error from the inner solver on the full set.
     /// * [`SolveError::TooFewSatellites`] if exclusion would drop below
     ///   the inner solver's minimum plus one redundancy.
-    /// * [`SolveError::NonConvergence`] if the residual test still fails
-    ///   after `max_exclusions` exclusions (reported with the residual).
+    /// * [`SolveError::IntegrityFault`] if the residual test still fails
+    ///   after `max_exclusions` exclusions, or if no leave-one-out subset
+    ///   solves (reported with the exclusions made and the residual).
     pub fn solve(
         &self,
         measurements: &[Measurement],
@@ -134,8 +135,8 @@ impl<S: PositionSolver> Raim<S> {
             }
             // Detection fired. Can we exclude?
             if excluded.len() >= self.max_exclusions {
-                return Err(SolveError::NonConvergence {
-                    iterations: excluded.len(),
+                return Err(SolveError::IntegrityFault {
+                    excluded,
                     residual: solution.residual_rms,
                 });
             }
@@ -158,7 +159,7 @@ impl<S: PositionSolver> Raim<S> {
                     .map(|(_, &i)| measurements[i])
                     .collect();
                 if let Ok(sol) = self.inner.solve(&subset, predicted_receiver_bias_m) {
-                    if best.map_or(true, |(_, r)| sol.residual_rms < r) {
+                    if best.is_none_or(|(_, r)| sol.residual_rms < r) {
                         best = Some((k, sol.residual_rms));
                     }
                 }
@@ -178,10 +179,11 @@ impl<S: PositionSolver> Raim<S> {
                     }
                 }
                 None => {
-                    // No leave-one-out subset solved: surface the original
-                    // failure mode.
-                    return Err(SolveError::NonConvergence {
-                        iterations: excluded.len(),
+                    // No leave-one-out subset solved: identification is
+                    // impossible, so the epoch has no integrity-assured
+                    // solution.
+                    return Err(SolveError::IntegrityFault {
+                        excluded,
                         residual: solution.residual_rms,
                     });
                 }
@@ -261,7 +263,13 @@ mod tests {
         meas[5].pseudorange -= 600.0;
         let raim = Raim::new(NewtonRaphson::default(), 10.0).with_max_exclusions(1);
         let err = raim.solve(&meas, 0.0).unwrap_err();
-        assert!(matches!(err, SolveError::NonConvergence { .. }), "{err:?}");
+        match err {
+            SolveError::IntegrityFault { excluded, residual } => {
+                assert_eq!(excluded.len(), 1, "one exclusion spent: {excluded:?}");
+                assert!(residual > 10.0, "residual {residual} still above threshold");
+            }
+            other => panic!("expected IntegrityFault, got {other:?}"),
+        }
     }
 
     #[test]

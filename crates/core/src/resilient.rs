@@ -1,0 +1,666 @@
+//! Graceful degradation around the paper's solver stack.
+//!
+//! The closed-form DLO/DLG solvers buy their speed by trusting two
+//! inputs — the predicted clock bias (eq. 4-1) and the differenced base
+//! equation (eq. 4-7/4-8) — that are exactly what a receiver loses first
+//! under signal faults. [`ResilientSolver`] keeps producing *some*
+//! usable output when that trust breaks, by trading accuracy away in
+//! explicit, observable steps instead of failing the epoch:
+//!
+//! 1. **Sanitization** — non-finite measurements are removed up front
+//!    (a decoder bug must not take down the whole epoch);
+//! 2. **Degradation ladder** — DLG → DLO → NR → Bancroft: the optimal
+//!    estimator first, the prediction-free iterative solver and the
+//!    algebraic closed form as fallbacks;
+//! 3. **Validation gates** — every candidate fix must pass a residual
+//!    RMS ceiling, a GDOP ceiling ([`Dop`]) and a position-innovation
+//!    test against the kinematic model before it is believed;
+//! 4. **RAIM retry** — a rung whose residual gate fires is retried
+//!    through [`Raim`] fault exclusion while redundancy lasts;
+//! 5. **Bounded holdover** — when no rung produces an acceptable fix,
+//!    the last good state is propagated through the [`PvFilter`]
+//!    kinematic model for a bounded number of epochs, flagged
+//!    [`FixQuality::Holdover`].
+//!
+//! The result is a [`FixQuality`]-annotated [`ResilientFix`] instead of
+//! an all-or-nothing `Result`: callers learn *how much* to trust the
+//! output, and an availability report can distinguish nominal, degraded
+//! and holdover epochs (see `gps-sim`'s `fault_campaign`).
+
+use std::fmt;
+
+use gps_geodesy::Ecef;
+use gps_telemetry::{Event, Level};
+
+use crate::instrument;
+use crate::{
+    Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver, PvFilter, Raim, Solution,
+    SolveError,
+};
+
+/// How much a [`ResilientFix`] should be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FixQuality {
+    /// The first-choice solver passed every gate on the full measurement
+    /// set: full accuracy.
+    Nominal,
+    /// A usable measurement fix, but something had to give: a fallback
+    /// rung produced it, RAIM excluded satellites, non-finite
+    /// measurements were dropped, or the clock prediction disagreed with
+    /// the solved bias.
+    Degraded,
+    /// No acceptable measurement fix this epoch: the position is the
+    /// kinematic model's propagation of the last good state.
+    Holdover,
+}
+
+impl FixQuality {
+    /// Stable lowercase label for reports and telemetry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FixQuality::Nominal => "nominal",
+            FixQuality::Degraded => "degraded",
+            FixQuality::Holdover => "holdover",
+        }
+    }
+}
+
+impl fmt::Display for FixQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A quality-annotated position fix from [`ResilientSolver::solve_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientFix {
+    /// Estimated (or, in holdover, propagated) receiver position.
+    pub position: Ecef,
+    /// How much to trust it.
+    pub quality: FixQuality,
+    /// Which ladder rung produced it (`"DLG"`, `"DLO"`, `"NR"`,
+    /// `"Bancroft"`) or `"holdover"`.
+    pub source: &'static str,
+    /// Indices (into the *original* measurement slice) excluded by the
+    /// RAIM retry.
+    pub excluded: Vec<usize>,
+    /// Non-finite measurements removed before solving.
+    pub dropped_non_finite: usize,
+    /// Residual RMS of the accepted solve, metres (`None` in holdover).
+    pub residual_rms: Option<f64>,
+    /// GDOP of the satellite set behind the accepted solve (`None` in
+    /// holdover).
+    pub gdop: Option<f64>,
+    /// Receiver range bias estimated by the accepted rung, if it solves
+    /// for one (NR, Bancroft).
+    pub receiver_bias_m: Option<f64>,
+}
+
+/// Per-epoch solution validation thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationGates {
+    /// Residual-RMS ceiling, metres: above this the fix is inconsistent
+    /// with its own measurements (default 15 m ≈ 3× the single-frequency
+    /// noise budget).
+    pub max_residual_rms_m: f64,
+    /// GDOP ceiling: above this the geometry amplifies noise too much to
+    /// trust the fix (default 15).
+    pub max_gdop: f64,
+    /// Allowed disagreement between a rung's *solved* receiver bias and
+    /// the external clock prediction, metres (default 150 m ≈ 500 ns).
+    /// Firing marks the fix degraded — the solved bias wins, but the
+    /// prediction the direct solvers trusted is evidently stale.
+    pub max_clock_innovation_m: f64,
+    /// Allowed jump between the kinematic model's predicted position and
+    /// a candidate fix, metres (default 500 m). Rejects fixes the
+    /// receiver could not physically have reached.
+    pub max_position_innovation_m: f64,
+}
+
+impl Default for ValidationGates {
+    fn default() -> Self {
+        ValidationGates {
+            max_residual_rms_m: 15.0,
+            max_gdop: 15.0,
+            max_clock_innovation_m: 150.0,
+            max_position_innovation_m: 500.0,
+        }
+    }
+}
+
+/// The graceful-degradation pipeline: ladder + gates + RAIM retry +
+/// bounded holdover. See the [module docs](self) for the design.
+///
+/// The solver is stateful (kinematic filter, holdover budget) — use one
+/// instance per receiver track and feed epochs in time order.
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{FixQuality, Measurement, ResilientSolver};
+/// use gps_geodesy::Ecef;
+///
+/// let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+///     Ecef::new(1.9e7, 0.9e7, 1.6e7),
+///     Ecef::new(0.8e7, 1.4e7, 2.0e7),
+/// ];
+/// let meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth)))
+///     .collect();
+/// let mut solver = ResilientSolver::new();
+/// let fix = solver.solve_epoch(&meas, 0.0, 1.0).unwrap();
+/// assert_eq!(fix.quality, FixQuality::Nominal);
+/// assert!(fix.position.distance_to(truth) < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientSolver {
+    dlg: Dlg,
+    dlo: Dlo,
+    nr: NewtonRaphson,
+    bancroft: Bancroft,
+    gates: ValidationGates,
+    /// Residual-RMS threshold handed to the RAIM retry, metres.
+    raim_threshold_m: f64,
+    /// Exclusion budget of the RAIM retry.
+    max_raim_exclusions: usize,
+    /// Consecutive holdover epochs allowed before the solver reports an
+    /// outage.
+    max_holdover_epochs: usize,
+    filter: PvFilter,
+    holdover_used: usize,
+    /// Seconds since the filter last absorbed a real fix.
+    since_fix_s: f64,
+}
+
+impl Default for ResilientSolver {
+    fn default() -> Self {
+        ResilientSolver::new()
+    }
+}
+
+impl ResilientSolver {
+    /// Creates the pipeline with default solvers, gates, a 10 m RAIM
+    /// threshold (2 exclusions), a 5-epoch holdover budget and a
+    /// static-receiver kinematic model.
+    #[must_use]
+    pub fn new() -> Self {
+        ResilientSolver {
+            dlg: Dlg::default(),
+            dlo: Dlo::default(),
+            nr: NewtonRaphson::default(),
+            bancroft: Bancroft,
+            gates: ValidationGates::default(),
+            raim_threshold_m: 10.0,
+            max_raim_exclusions: 2,
+            max_holdover_epochs: 5,
+            filter: PvFilter::new(1.0, 25.0),
+            holdover_used: 0,
+            since_fix_s: 0.0,
+        }
+    }
+
+    /// Replaces the validation gates.
+    #[must_use]
+    pub fn with_gates(mut self, gates: ValidationGates) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// Sets the RAIM retry threshold (metres) and exclusion budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_m` is not strictly positive (same contract
+    /// as [`Raim::new`]).
+    #[must_use]
+    pub fn with_raim(mut self, threshold_m: f64, max_exclusions: usize) -> Self {
+        assert!(threshold_m > 0.0, "threshold must be positive");
+        self.raim_threshold_m = threshold_m;
+        self.max_raim_exclusions = max_exclusions;
+        self
+    }
+
+    /// Sets how many consecutive epochs may be bridged by holdover.
+    #[must_use]
+    pub fn with_max_holdover(mut self, epochs: usize) -> Self {
+        self.max_holdover_epochs = epochs;
+        self
+    }
+
+    /// Replaces the kinematic model (process noise / fix variance).
+    #[must_use]
+    pub fn with_kinematics(mut self, filter: PvFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Consecutive holdover epochs currently spent.
+    #[must_use]
+    pub fn holdover_used(&self) -> usize {
+        self.holdover_used
+    }
+
+    /// Produces the best available quality-annotated fix for one epoch.
+    ///
+    /// `predicted_receiver_bias_m` is the external clock prediction the
+    /// direct solvers consume (eq. 4-4); `dt_s` is the time since the
+    /// previous call (used by the kinematic model).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first ladder rung's error only when every rung fails
+    /// *and* holdover is unavailable (never initialized) or exhausted
+    /// (`max_holdover_epochs` consecutive misses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn solve_epoch(
+        &mut self,
+        measurements: &[Measurement],
+        predicted_receiver_bias_m: f64,
+        dt_s: f64,
+    ) -> Result<ResilientFix, SolveError> {
+        assert!(dt_s > 0.0, "dt must be positive");
+        self.since_fix_s += dt_s;
+
+        // 1. Sanitize: a NaN pseudorange must cost one satellite, not
+        // the epoch. Remember original indices for exclusion reporting.
+        let mut clean = Vec::with_capacity(measurements.len());
+        let mut original_index = Vec::with_capacity(measurements.len());
+        for (i, m) in measurements.iter().enumerate() {
+            if m.is_finite() {
+                clean.push(*m);
+                original_index.push(i);
+            }
+        }
+        let dropped_non_finite = measurements.len() - clean.len();
+
+        // 2-4. The ladder, with gates and RAIM retry per rung.
+        let mut first_error: Option<SolveError> = None;
+        let mut accepted: Option<(Solution, &'static str, Vec<usize>, usize)> = None;
+        for rung in 0..4 {
+            let (name, result) = self.run_rung(rung, &clean, predicted_receiver_bias_m);
+            match result {
+                Ok((solution, excluded_clean)) => {
+                    let excluded: Vec<usize> =
+                        excluded_clean.iter().map(|&k| original_index[k]).collect();
+                    accepted = Some((solution, name, excluded, rung));
+                    break;
+                }
+                Err(e) => {
+                    if gps_telemetry::enabled(Level::Debug) {
+                        Event::new(Level::Debug, "core.resilient", "rung failed")
+                            .with("rung", name)
+                            .with("error", e.to_string())
+                            .emit();
+                    }
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+
+        if let Some((solution, source, excluded, rung)) = accepted {
+            // Clock innovation: rungs that solve their own bias expose a
+            // stale predictor. The fix stands, but only as degraded.
+            let clock_innovation_fired = solution.receiver_bias_m.is_some_and(|bias| {
+                (bias - predicted_receiver_bias_m).abs() > self.gates.max_clock_innovation_m
+            });
+            if clock_innovation_fired && gps_telemetry::enabled(Level::Warn) {
+                Event::new(Level::Warn, "core.resilient", "clock innovation limit")
+                    .with("solved_bias_m", solution.receiver_bias_m.unwrap_or(0.0))
+                    .with("predicted_bias_m", predicted_receiver_bias_m)
+                    .emit();
+            }
+            let quality = if rung == 0
+                && excluded.is_empty()
+                && dropped_non_finite == 0
+                && !clock_innovation_fired
+            {
+                FixQuality::Nominal
+            } else {
+                FixQuality::Degraded
+            };
+            match quality {
+                FixQuality::Nominal => instrument::resilient_nominal().inc(),
+                _ => instrument::resilient_degraded().inc(),
+            }
+            // Feed the kinematic model and reset the holdover budget.
+            // The innovation covariance cannot fail to factor for a
+            // valid r_pos, so a filter error only skips the smoothing.
+            let _ = self.filter.update(solution.position, self.since_fix_s);
+            self.since_fix_s = 0.0;
+            self.holdover_used = 0;
+            let used: Vec<Measurement> = clean
+                .iter()
+                .zip(&original_index)
+                .filter(|(_, &i)| !excluded.contains(&i))
+                .map(|(m, _)| *m)
+                .collect();
+            let gdop = Dop::compute(&used, solution.position).ok().map(|d| d.gdop);
+            return Ok(ResilientFix {
+                position: solution.position,
+                quality,
+                source,
+                excluded,
+                dropped_non_finite,
+                residual_rms: Some(solution.residual_rms),
+                gdop,
+                receiver_bias_m: solution.receiver_bias_m,
+            });
+        }
+
+        // 5. Holdover: bridge the outage through the kinematic model.
+        if self.holdover_used < self.max_holdover_epochs {
+            if let Some(position) = self.filter.predict_position(self.since_fix_s) {
+                self.holdover_used += 1;
+                instrument::resilient_holdover().inc();
+                if gps_telemetry::enabled(Level::Warn) {
+                    Event::new(Level::Warn, "core.resilient", "holdover")
+                        .with("consecutive", self.holdover_used)
+                        .with("since_fix_s", self.since_fix_s)
+                        .emit();
+                }
+                return Ok(ResilientFix {
+                    position,
+                    quality: FixQuality::Holdover,
+                    source: "holdover",
+                    excluded: Vec::new(),
+                    dropped_non_finite,
+                    residual_rms: None,
+                    gdop: None,
+                    receiver_bias_m: None,
+                });
+            }
+        }
+        instrument::resilient_no_fix().inc();
+        Err(first_error.unwrap_or(SolveError::TooFewSatellites {
+            got: measurements.len(),
+            need: 4,
+        }))
+    }
+
+    /// Runs one ladder rung: solve, validate, RAIM-retry on residual
+    /// failure. Returns the accepted solution plus exclusions as indices
+    /// into `clean`.
+    fn run_rung(
+        &self,
+        rung: usize,
+        clean: &[Measurement],
+        predicted_bias_m: f64,
+    ) -> (&'static str, Result<(Solution, Vec<usize>), SolveError>) {
+        match rung {
+            0 => ("DLG", self.attempt(&self.dlg, clean, predicted_bias_m)),
+            1 => ("DLO", self.attempt(&self.dlo, clean, predicted_bias_m)),
+            2 => ("NR", self.attempt(&self.nr, clean, predicted_bias_m)),
+            _ => (
+                "Bancroft",
+                self.attempt(&self.bancroft, clean, predicted_bias_m),
+            ),
+        }
+    }
+
+    /// Solve + gates + RAIM retry for one concrete solver.
+    fn attempt<S: PositionSolver + Copy>(
+        &self,
+        solver: &S,
+        clean: &[Measurement],
+        predicted_bias_m: f64,
+    ) -> Result<(Solution, Vec<usize>), SolveError> {
+        let solution = solver.solve(clean, predicted_bias_m)?;
+        match self.validate(&solution, clean) {
+            GateVerdict::Pass => Ok((solution, Vec::new())),
+            GateVerdict::Fail(gate) => {
+                instrument::resilient_gate_failures().inc();
+                // A residual failure with redundancy to spare is the RAIM
+                // case: one bad measurement may be poisoning the fix.
+                if gate == Gate::Residual && clean.len() >= solver.min_satellites() + 2 {
+                    instrument::resilient_raim_retries().inc();
+                    let raim = Raim::new(*solver, self.raim_threshold_m)
+                        .with_max_exclusions(self.max_raim_exclusions);
+                    let outcome = raim.solve(clean, predicted_bias_m)?;
+                    let kept: Vec<Measurement> = clean
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| !outcome.excluded.contains(k))
+                        .map(|(_, m)| *m)
+                        .collect();
+                    match self.validate(&outcome.solution, &kept) {
+                        GateVerdict::Pass => Ok((outcome.solution, outcome.excluded)),
+                        GateVerdict::Fail(_) => Err(SolveError::IntegrityFault {
+                            excluded: outcome.excluded,
+                            residual: outcome.solution.residual_rms,
+                        }),
+                    }
+                } else {
+                    Err(gate.as_error(&solution))
+                }
+            }
+        }
+    }
+
+    /// Applies the residual / GDOP / position-innovation gates.
+    fn validate(&self, solution: &Solution, used: &[Measurement]) -> GateVerdict {
+        if solution.residual_rms > self.gates.max_residual_rms_m {
+            return GateVerdict::Fail(Gate::Residual);
+        }
+        match Dop::compute(used, solution.position) {
+            Ok(dop) if dop.gdop <= self.gates.max_gdop => {}
+            // Either the geometry is explicitly degenerate or GDOP blew
+            // through the ceiling — both mean "don't trust this fix".
+            _ => return GateVerdict::Fail(Gate::Geometry),
+        }
+        if let Some(predicted) = self.filter.predict_position(self.since_fix_s) {
+            if solution.position.distance_to(predicted) > self.gates.max_position_innovation_m {
+                return GateVerdict::Fail(Gate::Innovation);
+            }
+        }
+        GateVerdict::Pass
+    }
+}
+
+/// Which gate a candidate fix failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    Residual,
+    Geometry,
+    Innovation,
+}
+
+impl Gate {
+    fn as_error(self, solution: &Solution) -> SolveError {
+        match self {
+            // Residual failures that cannot be RAIM-retried surface as
+            // integrity faults with no exclusions made.
+            Gate::Residual => SolveError::IntegrityFault {
+                excluded: Vec::new(),
+                residual: solution.residual_rms,
+            },
+            Gate::Geometry => SolveError::DegenerateGeometry(gps_linalg::LinalgError::Singular),
+            Gate::Innovation => SolveError::IntegrityFault {
+                excluded: Vec::new(),
+                residual: solution.residual_rms,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateVerdict {
+    Pass,
+    Fail(Gate),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Ecef {
+        Ecef::new(6.371e6, 1.0e5, -2.0e5)
+    }
+
+    fn sats() -> Vec<Ecef> {
+        vec![
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+            Ecef::new(1.2e7, -0.4e7, 2.2e7),
+        ]
+    }
+
+    fn clean_measurements(n: usize) -> Vec<Measurement> {
+        sats()
+            .into_iter()
+            .take(n)
+            .map(|s| Measurement::new(s, s.distance_to(truth())))
+            .collect()
+    }
+
+    #[test]
+    fn clean_epoch_is_nominal_from_the_first_rung() {
+        let mut solver = ResilientSolver::new();
+        let fix = solver
+            .solve_epoch(&clean_measurements(6), 0.0, 1.0)
+            .unwrap();
+        assert_eq!(fix.quality, FixQuality::Nominal);
+        assert_eq!(fix.source, "DLG");
+        assert!(fix.excluded.is_empty());
+        assert_eq!(fix.dropped_non_finite, 0);
+        assert!(fix.position.distance_to(truth()) < 1.0);
+        assert!(fix.gdop.unwrap() < 15.0);
+    }
+
+    #[test]
+    fn faulted_satellite_is_excluded_and_fix_degraded() {
+        let mut meas = clean_measurements(7);
+        meas[3].pseudorange += 800.0;
+        let mut solver = ResilientSolver::new();
+        let fix = solver.solve_epoch(&meas, 0.0, 1.0).unwrap();
+        assert_eq!(fix.quality, FixQuality::Degraded);
+        assert_eq!(fix.excluded, vec![3]);
+        assert!(fix.position.distance_to(truth()) < 1.0, "fix error too big");
+    }
+
+    #[test]
+    fn non_finite_measurements_cost_one_satellite_not_the_epoch() {
+        let mut meas = clean_measurements(6);
+        meas[2].pseudorange = f64::NAN;
+        let mut solver = ResilientSolver::new();
+        let fix = solver.solve_epoch(&meas, 0.0, 1.0).unwrap();
+        assert_eq!(fix.quality, FixQuality::Degraded);
+        assert_eq!(fix.dropped_non_finite, 1);
+        assert!(fix.position.distance_to(truth()) < 1.0);
+    }
+
+    #[test]
+    fn exclusion_indices_refer_to_the_original_slice() {
+        let mut meas = clean_measurements(7);
+        meas[0].pseudorange = f64::NAN; // shifts all sanitized indices
+        meas[4].pseudorange += 900.0;
+        let mut solver = ResilientSolver::new();
+        let fix = solver.solve_epoch(&meas, 0.0, 1.0).unwrap();
+        assert_eq!(fix.dropped_non_finite, 1);
+        assert_eq!(fix.excluded, vec![4], "original-slice index expected");
+    }
+
+    #[test]
+    fn outage_bridges_through_holdover_then_errors() {
+        let mut solver = ResilientSolver::new().with_max_holdover(2);
+        // Two good epochs initialize the kinematic model.
+        for _ in 0..2 {
+            solver
+                .solve_epoch(&clean_measurements(6), 0.0, 1.0)
+                .unwrap();
+        }
+        // Outage: too few satellites.
+        let few = clean_measurements(3);
+        for expected in 1..=2 {
+            let fix = solver.solve_epoch(&few, 0.0, 1.0).unwrap();
+            assert_eq!(fix.quality, FixQuality::Holdover);
+            assert_eq!(fix.source, "holdover");
+            assert_eq!(solver.holdover_used(), expected);
+            // Static receiver: the propagated position stays close.
+            assert!(fix.position.distance_to(truth()) < 50.0);
+        }
+        // Budget exhausted: the outage surfaces as the rung error.
+        let err = solver.solve_epoch(&few, 0.0, 1.0).unwrap_err();
+        assert_eq!(err, SolveError::TooFewSatellites { got: 3, need: 4 });
+        // A good epoch resets the budget.
+        let fix = solver
+            .solve_epoch(&clean_measurements(6), 0.0, 1.0)
+            .unwrap();
+        assert_eq!(fix.quality, FixQuality::Nominal);
+        assert_eq!(solver.holdover_used(), 0);
+        let fix = solver.solve_epoch(&few, 0.0, 1.0).unwrap();
+        assert_eq!(fix.quality, FixQuality::Holdover);
+    }
+
+    #[test]
+    fn holdover_unavailable_before_any_fix() {
+        let mut solver = ResilientSolver::new();
+        let err = solver
+            .solve_epoch(&clean_measurements(3), 0.0, 1.0)
+            .unwrap_err();
+        assert_eq!(err, SolveError::TooFewSatellites { got: 3, need: 4 });
+    }
+
+    #[test]
+    fn stale_clock_prediction_degrades_but_does_not_drop_the_fix() {
+        // The direct solvers see a prediction that is stale by 1 ms of
+        // clock (300 km of range — the threshold-station failure mode)
+        // and produce garbage; NR only uses the prediction as an initial
+        // guess and recovers the position, but the innovation between its
+        // solved bias and the prediction flags the epoch degraded.
+        let mut solver = ResilientSolver::new();
+        let fix = solver
+            .solve_epoch(&clean_measurements(7), 3.0e5, 1.0)
+            .unwrap();
+        assert_eq!(fix.quality, FixQuality::Degraded);
+        assert!(
+            fix.source == "NR" || fix.source == "Bancroft",
+            "prediction-free rung expected, got {}",
+            fix.source
+        );
+        assert!(fix.position.distance_to(truth()) < 1.0);
+    }
+
+    #[test]
+    fn quality_ordering_and_names() {
+        assert!(FixQuality::Nominal < FixQuality::Degraded);
+        assert!(FixQuality::Degraded < FixQuality::Holdover);
+        assert_eq!(FixQuality::Nominal.to_string(), "nominal");
+        assert_eq!(FixQuality::Holdover.name(), "holdover");
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_non_positive_dt() {
+        let mut solver = ResilientSolver::new();
+        let _ = solver.solve_epoch(&clean_measurements(6), 0.0, 0.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let solver = ResilientSolver::new()
+            .with_gates(ValidationGates {
+                max_residual_rms_m: 5.0,
+                ..ValidationGates::default()
+            })
+            .with_raim(8.0, 1)
+            .with_max_holdover(3)
+            .with_kinematics(PvFilter::new(0.5, 16.0));
+        assert_eq!(solver.gates.max_residual_rms_m, 5.0);
+        assert_eq!(solver.max_raim_exclusions, 1);
+        assert_eq!(solver.max_holdover_epochs, 3);
+    }
+}

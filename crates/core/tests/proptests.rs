@@ -154,7 +154,7 @@ fn bancroft_exact_recovery() {
         let sky = random_sky(&mut rng, 5);
         let bias = rng.gen_range(-1000.0..1000.0);
         let meas = make_measurements(receiver, &sky, bias);
-        match Bancroft::default().solve(&meas, 0.0) {
+        match Bancroft.solve(&meas, 0.0) {
             Ok(fix) => {
                 assert!(
                     fix.position.distance_to(receiver) < 0.05,
@@ -191,7 +191,7 @@ fn solvers_agree_on_noisy_data() {
             NewtonRaphson::default().solve(&meas, 0.0),
             Dlo::default().solve(&meas, 0.0),
             Dlg::default().solve(&meas, 0.0),
-            Bancroft::default().solve(&meas, 0.0),
+            Bancroft.solve(&meas, 0.0),
         ]
         .into_iter()
         .filter_map(|r| r.ok().map(|s| s.position))

@@ -1,0 +1,54 @@
+//! Deterministic fault injection for GPS observation streams.
+//!
+//! The paper's evaluation feeds the solvers well-behaved data: zero-mean
+//! errors (eq. 4-14/4-15), a clock-bias prediction that is never stale,
+//! and a full complement of satellites every epoch. A deployed receiver
+//! enjoys none of that — satellites drop below the mask, a transmitter
+//! anomaly steps or ramps a pseudorange, the receiver clock jumps between
+//! calibrations, reflections corrupt low-elevation signals, and decoding
+//! bugs hand the solver NaN. This crate turns those failure modes into a
+//! reproducible test fixture:
+//!
+//! * [`FaultScenario`] — one configurable failure mode (satellite
+//!   dropout, signal blackout, pseudorange step/ramp, receiver clock
+//!   jump, multipath burst, NaN/∞ corruption, stale base-satellite
+//!   ephemeris);
+//! * [`FaultPlan`] — a seeded collection of scenarios applied to a
+//!   [`DataSet`] in one deterministic pass, producing the perturbed
+//!   dataset plus a [`FaultLog`] recording exactly what was injected
+//!   where (the ground truth for missed-detection / false-exclusion
+//!   accounting);
+//! * telemetry — every injection increments a `faults.injected.<kind>`
+//!   counter and (when a sink listens) emits a `faults.inject` event, so
+//!   injected faults can be correlated epoch-by-epoch with solver
+//!   behavior in the same capture.
+//!
+//! # Example
+//!
+//! ```
+//! use gps_faults::{FaultPlan, FaultScenario};
+//! use gps_obs::{paper_stations, DatasetGenerator};
+//!
+//! let data = DatasetGenerator::new(7)
+//!     .epoch_count(40)
+//!     .generate(&paper_stations()[0]);
+//! let plan = FaultPlan::new(42)
+//!     .with(FaultScenario::dropout())
+//!     .with(FaultScenario::ramp());
+//! let faulted = plan.apply(&data);
+//! assert_eq!(faulted.data.epochs().len(), data.epochs().len());
+//! assert!(faulted.log.total_injections() > 0);
+//! // Same plan, same input → identical output.
+//! assert_eq!(faulted.data, plan.apply(&data).data);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod log;
+mod plan;
+mod scenario;
+
+pub use log::{EpochFaults, FaultLog};
+pub use plan::{FaultPlan, FaultedDataSet};
+pub use scenario::{FaultKind, FaultScenario};

@@ -1,0 +1,162 @@
+use std::collections::BTreeMap;
+
+use gps_orbits::SatId;
+
+use crate::FaultKind;
+
+/// What was injected into one epoch — the evaluation-side ground truth a
+/// fault campaign scores detections against. Never shown to a solver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochFaults {
+    /// Satellites removed from the epoch (dropout + blackout).
+    pub dropped: usize,
+    /// Common-mode pseudorange offset active this epoch (clock jump),
+    /// metres. Zero when no jump has occurred yet.
+    pub clock_jump_m: f64,
+    /// Per-satellite measurement faults `(satellite, kind, magnitude in
+    /// metres)` present in the epoch handed to the solvers. For
+    /// [`FaultKind::Corruption`] the magnitude is NaN/∞ by construction.
+    pub faulted: Vec<(SatId, FaultKind, f64)>,
+}
+
+impl EpochFaults {
+    /// `true` if any per-satellite measurement fault is active (dropouts
+    /// and the common-mode clock jump are *not* measurement faults — no
+    /// individual satellite is inconsistent with the rest).
+    #[must_use]
+    pub fn has_measurement_fault(&self) -> bool {
+        !self.faulted.is_empty()
+    }
+
+    /// `true` if `sat` carries an injected measurement fault this epoch.
+    #[must_use]
+    pub fn is_faulted(&self, sat: SatId) -> bool {
+        self.faulted.iter().any(|(s, _, _)| *s == sat)
+    }
+
+    /// Largest injected per-satellite magnitude this epoch, metres
+    /// (NaN-safe: non-finite corruption counts as infinite).
+    #[must_use]
+    pub fn max_magnitude_m(&self) -> f64 {
+        self.faulted
+            .iter()
+            .map(|(_, _, m)| {
+                if m.is_finite() {
+                    m.abs()
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The complete injection record of one [`crate::FaultPlan::apply`] pass:
+/// one [`EpochFaults`] per epoch, in epoch order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultLog {
+    epochs: Vec<EpochFaults>,
+}
+
+impl FaultLog {
+    /// Builds a log from per-epoch records (crate-internal).
+    pub(crate) fn new(epochs: Vec<EpochFaults>) -> Self {
+        FaultLog { epochs }
+    }
+
+    /// Per-epoch records, aligned with the faulted dataset's epochs.
+    #[must_use]
+    pub fn epochs(&self) -> &[EpochFaults] {
+        &self.epochs
+    }
+
+    /// Total injections across the run (dropped satellites + per-sat
+    /// faults + epochs under an active clock jump).
+    #[must_use]
+    pub fn total_injections(&self) -> usize {
+        self.epochs
+            .iter()
+            .map(|e| e.dropped + e.faulted.len() + usize::from(e.clock_jump_m != 0.0))
+            .sum()
+    }
+
+    /// Epochs carrying at least one per-satellite measurement fault.
+    #[must_use]
+    pub fn epochs_with_measurement_faults(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.has_measurement_fault())
+            .count()
+    }
+
+    /// Injection counts per fault kind (measurement faults only; use
+    /// [`FaultLog::total_injections`] for the overall volume).
+    #[must_use]
+    pub fn counts_by_kind(&self) -> BTreeMap<FaultKind, usize> {
+        let mut counts = BTreeMap::new();
+        for epoch in &self.epochs {
+            for (_, kind, _) in &epoch.faulted {
+                *counts.entry(*kind).or_insert(0) += 1;
+            }
+            if epoch.dropped > 0 {
+                *counts.entry(FaultKind::Dropout).or_insert(0) += epoch.dropped;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(prn: u8) -> SatId {
+        SatId::new(prn)
+    }
+
+    #[test]
+    fn epoch_fault_queries() {
+        let e = EpochFaults {
+            dropped: 1,
+            clock_jump_m: 0.0,
+            faulted: vec![
+                (sat(3), FaultKind::Step, 150.0),
+                (sat(9), FaultKind::Corruption, f64::NAN),
+            ],
+        };
+        assert!(e.has_measurement_fault());
+        assert!(e.is_faulted(sat(3)));
+        assert!(!e.is_faulted(sat(4)));
+        assert_eq!(e.max_magnitude_m(), f64::INFINITY);
+    }
+
+    #[test]
+    fn log_aggregates() {
+        let log = FaultLog::new(vec![
+            EpochFaults {
+                dropped: 2,
+                clock_jump_m: 0.0,
+                faulted: vec![(sat(1), FaultKind::Ramp, 12.0)],
+            },
+            EpochFaults {
+                dropped: 0,
+                clock_jump_m: 90.0,
+                faulted: vec![],
+            },
+            EpochFaults::default(),
+        ]);
+        assert_eq!(log.total_injections(), 4);
+        assert_eq!(log.epochs_with_measurement_faults(), 1);
+        let counts = log.counts_by_kind();
+        assert_eq!(counts[&FaultKind::Ramp], 1);
+        assert_eq!(counts[&FaultKind::Dropout], 2);
+        assert!(!counts.contains_key(&FaultKind::ClockJump));
+    }
+
+    #[test]
+    fn clean_epoch_has_no_faults() {
+        let e = EpochFaults::default();
+        assert!(!e.has_measurement_fault());
+        assert_eq!(e.max_magnitude_m(), 0.0);
+    }
+}

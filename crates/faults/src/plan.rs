@@ -1,0 +1,592 @@
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+use gps_obs::{DataSet, Epoch, SatObservation};
+use gps_rng::{rngs::StdRng, Rng, SeedableRng};
+use gps_telemetry::{Counter, Event, Level};
+
+use crate::{EpochFaults, FaultKind, FaultLog, FaultScenario};
+
+/// The output of [`FaultPlan::apply`]: the perturbed dataset plus the
+/// injection record to score solver behavior against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedDataSet {
+    /// The perturbed observation stream (what the solvers see).
+    pub data: DataSet,
+    /// What was injected where (what the evaluator sees).
+    pub log: FaultLog,
+}
+
+/// A deterministic, seeded set of fault scenarios applied to an
+/// observation stream.
+///
+/// Two properties make a plan a usable test fixture:
+///
+/// 1. **Determinism** — `apply` consumes a private RNG seeded from
+///    `seed`, so the same plan on the same dataset reproduces the same
+///    perturbation bit-for-bit, independent of any other RNG use in the
+///    process.
+/// 2. **Ground truth** — every injection is recorded in the returned
+///    [`FaultLog`], so an integrity pipeline can be scored for missed
+///    detections and false exclusions, not just availability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    scenarios: Vec<FaultScenario>,
+}
+
+/// Cached telemetry counters, one per fault kind (hot loop: one registry
+/// lookup per process).
+fn injected_counter(kind: FaultKind) -> &'static Counter {
+    static HANDLES: OnceLock<Vec<(FaultKind, Counter)>> = OnceLock::new();
+    let all = HANDLES.get_or_init(|| {
+        [
+            FaultKind::Dropout,
+            FaultKind::Blackout,
+            FaultKind::Step,
+            FaultKind::Ramp,
+            FaultKind::ClockJump,
+            FaultKind::Multipath,
+            FaultKind::Corruption,
+            FaultKind::StaleBase,
+        ]
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                gps_telemetry::counter(&format!("faults.injected.{}", k.name())),
+            )
+        })
+        .collect()
+    });
+    // The list is complete by construction above.
+    &all.iter()
+        .find(|(k, _)| *k == kind)
+        .expect("all kinds cached")
+        .1
+}
+
+fn emit_injection(kind: FaultKind, epoch_index: usize, sat: Option<gps_orbits::SatId>, value: f64) {
+    injected_counter(kind).inc();
+    if gps_telemetry::enabled(Level::Debug) {
+        let mut event = Event::new(Level::Debug, "faults.inject", kind.name())
+            .with("epoch", epoch_index)
+            .with("magnitude_m", value);
+        if let Some(sat) = sat {
+            event = event.with("sat", sat.to_string());
+        }
+        event.emit();
+    }
+}
+
+/// A window over epoch indices, resolved from a run fraction.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    start: usize,
+    len: usize,
+}
+
+impl Window {
+    fn resolve(start_frac: f64, len: usize, total: usize) -> Self {
+        let start = (start_frac.clamp(0.0, 1.0) * total as f64) as usize;
+        Window {
+            start: start.min(total.saturating_sub(1)),
+            len,
+        }
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        index >= self.start && index - self.start < self.len
+    }
+}
+
+/// Per-scenario mutable state resolved once per `apply` pass.
+#[derive(Debug, Clone, Copy)]
+enum ScenarioState {
+    /// Target satellite not yet chosen (window scenarios pick the victim
+    /// at the first in-window epoch).
+    Unresolved,
+    /// Target satellite chosen.
+    Target(gps_orbits::SatId),
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Adds a scenario (builder style).
+    #[must_use]
+    pub fn with(mut self, scenario: FaultScenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Parses a comma-separated scenario list (e.g. `"dropout,ramp"`)
+    /// into a plan of default-parameter scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown scenario name, or of an
+    /// empty specification.
+    pub fn from_spec(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(seed);
+        for name in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            plan.scenarios.push(FaultScenario::from_str(name)?);
+        }
+        if plan.scenarios.is_empty() {
+            return Err("fault specification selects no scenarios".to_owned());
+        }
+        Ok(plan)
+    }
+
+    /// The paper-motivated default campaign: seeded dropout plus a
+    /// slow-drift ramp plus a blackout window (the scenario mix the
+    /// `fault_campaign` experiment runs when none is specified).
+    #[must_use]
+    pub fn default_campaign(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .with(FaultScenario::dropout())
+            .with(FaultScenario::ramp())
+            .with(FaultScenario::blackout())
+    }
+
+    /// The scenarios in application order.
+    #[must_use]
+    pub fn scenarios(&self) -> &[FaultScenario] {
+        &self.scenarios
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Applies every scenario to `data` in one deterministic pass,
+    /// returning the perturbed dataset and the injection log.
+    ///
+    /// Scenarios apply in a fixed order per epoch (blackout, dropout,
+    /// then per-satellite faults, then the common-mode clock jump), so
+    /// combining scenarios is well-defined: a satellite dropped by the
+    /// blackout cannot also take a step fault that epoch.
+    #[must_use]
+    pub fn apply(&self, data: &DataSet) -> FaultedDataSet {
+        let total = data.epochs().len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let windows: Vec<Window> = self
+            .scenarios
+            .iter()
+            .map(|s| match *s {
+                FaultScenario::Blackout {
+                    start_frac, epochs, ..
+                }
+                | FaultScenario::Step {
+                    start_frac, epochs, ..
+                }
+                | FaultScenario::Ramp {
+                    start_frac, epochs, ..
+                }
+                | FaultScenario::StaleBase {
+                    start_frac, epochs, ..
+                } => Window::resolve(start_frac, epochs, total),
+                FaultScenario::ClockJump { at_frac, .. } => {
+                    Window::resolve(at_frac, usize::MAX, total)
+                }
+                // Probabilistic scenarios are active everywhere.
+                _ => Window {
+                    start: 0,
+                    len: usize::MAX,
+                },
+            })
+            .collect();
+        let mut states = vec![ScenarioState::Unresolved; self.scenarios.len()];
+
+        let mut epochs = Vec::with_capacity(total);
+        let mut log = Vec::with_capacity(total);
+        for (index, epoch) in data.epochs().iter().enumerate() {
+            let mut obs: Vec<SatObservation> = epoch.observations().to_vec();
+            let mut record = EpochFaults::default();
+
+            // Pass 1: removals (blackout first — it is the dominant
+            // outage — then random dropout over the survivors).
+            for (scenario, window) in self.scenarios.iter().zip(&windows) {
+                match *scenario {
+                    FaultScenario::Blackout { keep, .. } if window.contains(index) => {
+                        let removed = obs.len().saturating_sub(keep);
+                        obs.truncate(keep); // observations are elevation-sorted
+                        record.dropped += removed;
+                        for _ in 0..removed {
+                            emit_injection(FaultKind::Blackout, index, None, 0.0);
+                        }
+                    }
+                    FaultScenario::Dropout { probability } => {
+                        obs.retain(|o| {
+                            let drop = rng.gen_bool(probability);
+                            if drop {
+                                record.dropped += 1;
+                                emit_injection(FaultKind::Dropout, index, Some(o.sat), 0.0);
+                            }
+                            !drop
+                        });
+                    }
+                    _ => {}
+                }
+            }
+
+            // Pass 2: per-satellite measurement faults on the survivors.
+            for ((scenario, window), state) in
+                self.scenarios.iter().zip(&windows).zip(states.iter_mut())
+            {
+                if !window.contains(index) {
+                    continue;
+                }
+                match *scenario {
+                    FaultScenario::Step { magnitude_m, .. } => {
+                        if let Some(o) = pick_target(&mut rng, &mut *state, &mut obs) {
+                            o.pseudorange += magnitude_m;
+                            record.faulted.push((o.sat, FaultKind::Step, magnitude_m));
+                            emit_injection(FaultKind::Step, index, Some(o.sat), magnitude_m);
+                        }
+                    }
+                    FaultScenario::Ramp { slope_m_per_s, .. } => {
+                        let elapsed = elapsed_in_window(data, windows_start(window), index);
+                        let magnitude = slope_m_per_s * elapsed;
+                        if let Some(o) = pick_target(&mut rng, &mut *state, &mut obs) {
+                            o.pseudorange += magnitude;
+                            record.faulted.push((o.sat, FaultKind::Ramp, magnitude));
+                            emit_injection(FaultKind::Ramp, index, Some(o.sat), magnitude);
+                        }
+                    }
+                    FaultScenario::Multipath {
+                        sigma_m,
+                        probability,
+                        max_elevation_rad,
+                    } => {
+                        for o in obs.iter_mut() {
+                            if o.elevation < max_elevation_rad && rng.gen_bool(probability) {
+                                let delay = rng.normal(0.0, sigma_m).abs();
+                                o.pseudorange += delay;
+                                record.faulted.push((o.sat, FaultKind::Multipath, delay));
+                                emit_injection(FaultKind::Multipath, index, Some(o.sat), delay);
+                            }
+                        }
+                    }
+                    FaultScenario::Corruption { probability }
+                        if !obs.is_empty() && rng.gen_bool(probability) =>
+                    {
+                        let victim = rng.gen_range(0..obs.len());
+                        let o = &mut obs[victim];
+                        if rng.gen_bool(0.5) {
+                            o.pseudorange = f64::NAN;
+                        } else {
+                            o.position.z = f64::INFINITY;
+                        }
+                        record
+                            .faulted
+                            .push((o.sat, FaultKind::Corruption, f64::NAN));
+                        emit_injection(FaultKind::Corruption, index, Some(o.sat), f64::NAN);
+                    }
+                    FaultScenario::StaleBase { staleness_s, .. } => {
+                        if let Some(o) = obs.first_mut() {
+                            if let Some(stale) = stale_position(data, index, o.sat, staleness_s) {
+                                let shift = stale.distance_to(o.position);
+                                o.position = stale;
+                                record.faulted.push((o.sat, FaultKind::StaleBase, shift));
+                                emit_injection(FaultKind::StaleBase, index, Some(o.sat), shift);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // Pass 3: the common-mode clock jump (applies to everything
+            // that survived, including already-faulted measurements).
+            for (scenario, window) in self.scenarios.iter().zip(&windows) {
+                if let FaultScenario::ClockJump { magnitude_m, .. } = *scenario {
+                    if window.contains(index) {
+                        for o in obs.iter_mut() {
+                            o.pseudorange += magnitude_m;
+                        }
+                        record.clock_jump_m += magnitude_m;
+                        if index == window.start {
+                            emit_injection(FaultKind::ClockJump, index, None, magnitude_m);
+                        }
+                    }
+                }
+            }
+
+            epochs.push(Epoch::new(epoch.time(), obs, epoch.truth()));
+            log.push(record);
+        }
+
+        if gps_telemetry::enabled(Level::Info) {
+            let log_ref = FaultLog::new(log.clone());
+            Event::new(Level::Info, "faults.plan", "plan applied")
+                .with("seed", self.seed)
+                .with("scenarios", self.scenarios.len())
+                .with("epochs", total)
+                .with("injections", log_ref.total_injections())
+                .emit();
+        }
+        FaultedDataSet {
+            data: DataSet::new(data.station().clone(), epochs),
+            log: FaultLog::new(log),
+        }
+    }
+}
+
+/// Start index of a window (helper so the ramp can measure elapsed time).
+fn windows_start(window: &Window) -> usize {
+    window.start
+}
+
+/// Seconds elapsed between the window-start epoch and epoch `index`.
+fn elapsed_in_window(data: &DataSet, start: usize, index: usize) -> f64 {
+    let epochs = data.epochs();
+    (epochs[index].time() - epochs[start].time()).as_seconds()
+}
+
+/// Picks (and remembers) the victim satellite for a windowed single-sat
+/// scenario, returning a mutable handle if it is visible this epoch.
+///
+/// The victim is chosen uniformly at the first epoch where the window is
+/// active, then tracked by [`gps_orbits::SatId`] for the rest of the
+/// window so the fault follows one satellite, as a real anomaly would.
+fn pick_target<'a>(
+    rng: &mut StdRng,
+    state: &mut ScenarioState,
+    obs: &'a mut [SatObservation],
+) -> Option<&'a mut SatObservation> {
+    if obs.is_empty() {
+        return None;
+    }
+    let target = match *state {
+        ScenarioState::Target(sat) => sat,
+        ScenarioState::Unresolved => {
+            // Prefer a mid-elevation satellite: high enough to be used at
+            // modest m, low enough not to be the base equation.
+            let pick = rng.gen_range(0..obs.len().clamp(1, 4));
+            let sat = obs[pick.min(obs.len() - 1)].sat;
+            *state = ScenarioState::Target(sat);
+            sat
+        }
+    };
+    obs.iter_mut().find(|o| o.sat == target)
+}
+
+/// The position `sat` reported `staleness_s` seconds before epoch
+/// `index`, if it was visible then.
+fn stale_position(
+    data: &DataSet,
+    index: usize,
+    sat: gps_orbits::SatId,
+    staleness_s: f64,
+) -> Option<gps_geodesy::Ecef> {
+    let now = data.epochs()[index].time();
+    data.epochs()[..index]
+        .iter()
+        .rev()
+        .find(|e| (now - e.time()).as_seconds() >= staleness_s)
+        .and_then(|e| {
+            e.observations()
+                .iter()
+                .find(|o| o.sat == sat)
+                .map(|o| o.position)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_obs::{paper_stations, DatasetGenerator};
+
+    fn dataset(epochs: usize) -> DataSet {
+        DatasetGenerator::new(11)
+            .epoch_interval_s(30.0)
+            .epoch_count(epochs)
+            .generate(&paper_stations()[0])
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let data = dataset(50);
+        let plan = FaultPlan::default_campaign(42);
+        let a = plan.apply(&data);
+        let b = plan.apply(&data);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.log, b.log);
+        // A different seed perturbs differently.
+        let c = FaultPlan::default_campaign(43).apply(&data);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let data = dataset(10);
+        let faulted = FaultPlan::new(1).apply(&data);
+        assert_eq!(faulted.data, data);
+        assert_eq!(faulted.log.total_injections(), 0);
+    }
+
+    #[test]
+    fn blackout_starves_the_window() {
+        let data = dataset(40);
+        let plan = FaultPlan::new(5).with(FaultScenario::Blackout {
+            start_frac: 0.5,
+            epochs: 5,
+            keep: 2,
+        });
+        let faulted = plan.apply(&data);
+        let counts: Vec<usize> = faulted
+            .data
+            .epochs()
+            .iter()
+            .map(|e| e.observations().len())
+            .collect();
+        for (index, &count) in counts.iter().enumerate().take(25).skip(20) {
+            assert_eq!(count, 2, "epoch {index} kept {count}");
+            assert!(faulted.log.epochs()[index].dropped > 0);
+        }
+        assert!(counts[19] > 2);
+        assert!(counts[25] > 2);
+    }
+
+    #[test]
+    fn step_faults_one_satellite_by_the_magnitude() {
+        let data = dataset(40);
+        let plan = FaultPlan::new(9).with(FaultScenario::Step {
+            magnitude_m: 500.0,
+            start_frac: 0.25,
+            epochs: 10,
+        });
+        let faulted = plan.apply(&data);
+        let mut seen = 0;
+        for (index, (clean, dirty)) in data.epochs().iter().zip(faulted.data.epochs()).enumerate() {
+            let record = &faulted.log.epochs()[index];
+            for (c, d) in clean.observations().iter().zip(dirty.observations()) {
+                assert_eq!(c.sat, d.sat);
+                let delta = d.pseudorange - c.pseudorange;
+                if record.is_faulted(c.sat) {
+                    assert!((delta - 500.0).abs() < 1e-9, "delta {delta}");
+                    seen += 1;
+                } else {
+                    assert_eq!(delta, 0.0);
+                }
+            }
+        }
+        assert_eq!(seen, 10, "one faulted satellite per window epoch");
+        // The same satellite is the victim throughout.
+        let victims: std::collections::BTreeSet<_> = faulted
+            .log
+            .epochs()
+            .iter()
+            .flat_map(|e| e.faulted.iter().map(|(s, _, _)| *s))
+            .collect();
+        assert_eq!(victims.len(), 1);
+    }
+
+    #[test]
+    fn ramp_magnitude_grows_with_time() {
+        let data = dataset(60);
+        let plan = FaultPlan::new(3).with(FaultScenario::Ramp {
+            slope_m_per_s: 2.0,
+            start_frac: 0.3,
+            epochs: 12,
+        });
+        let faulted = plan.apply(&data);
+        let magnitudes: Vec<f64> = faulted
+            .log
+            .epochs()
+            .iter()
+            .flat_map(|e| e.faulted.iter().map(|(_, _, m)| *m))
+            .collect();
+        assert_eq!(magnitudes.len(), 12);
+        assert_eq!(magnitudes[0], 0.0); // ramp starts from zero
+        for pair in magnitudes.windows(2) {
+            assert!(pair[1] > pair[0], "ramp must grow: {pair:?}");
+        }
+        // 30 s cadence × 2 m/s: last epoch is 11 intervals in.
+        assert!((magnitudes[11] - 2.0 * 11.0 * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_jump_is_common_mode_and_persistent() {
+        let data = dataset(20);
+        let plan = FaultPlan::new(8).with(FaultScenario::ClockJump {
+            magnitude_m: 90.0,
+            at_frac: 0.5,
+        });
+        let faulted = plan.apply(&data);
+        for (index, (clean, dirty)) in data.epochs().iter().zip(faulted.data.epochs()).enumerate() {
+            let expected = if index >= 10 { 90.0 } else { 0.0 };
+            assert_eq!(faulted.log.epochs()[index].clock_jump_m, expected);
+            for (c, d) in clean.observations().iter().zip(dirty.observations()) {
+                assert!((d.pseudorange - c.pseudorange - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_injects_non_finite_values() {
+        let data = dataset(60);
+        let plan = FaultPlan::new(17).with(FaultScenario::Corruption { probability: 0.5 });
+        let faulted = plan.apply(&data);
+        let corrupted = faulted
+            .data
+            .epochs()
+            .iter()
+            .flat_map(Epoch::observations)
+            .filter(|o| !o.pseudorange.is_finite() || !o.position.is_finite())
+            .count();
+        assert!(corrupted > 10, "corrupted {corrupted}");
+        assert_eq!(corrupted, faulted.log.epochs_with_measurement_faults());
+    }
+
+    #[test]
+    fn stale_base_shifts_the_highest_elevation_satellite() {
+        let data = dataset(60);
+        let plan = FaultPlan::new(2).with(FaultScenario::StaleBase {
+            staleness_s: 60.0,
+            start_frac: 0.5,
+            epochs: 5,
+        });
+        let faulted = plan.apply(&data);
+        let shifted: Vec<f64> = faulted
+            .log
+            .epochs()
+            .iter()
+            .flat_map(|e| e.faulted.iter().map(|(_, _, m)| *m))
+            .collect();
+        assert!(!shifted.is_empty());
+        for shift in &shifted {
+            // A GPS satellite moves ~3.9 km/s; 60 s of staleness is
+            // hundreds of km of position error.
+            assert!(*shift > 1.0e4, "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn from_spec_parses_lists() {
+        let plan = FaultPlan::from_spec(1, "dropout, ramp,clock-jump").unwrap();
+        assert_eq!(plan.scenarios().len(), 3);
+        assert!(FaultPlan::from_spec(1, "").is_err());
+        assert!(FaultPlan::from_spec(1, "dropout,asteroid").is_err());
+    }
+
+    #[test]
+    fn telemetry_counters_advance() {
+        let data = dataset(30);
+        let before = injected_counter(FaultKind::Dropout).value();
+        let _ = FaultPlan::new(6)
+            .with(FaultScenario::Dropout { probability: 0.5 })
+            .apply(&data);
+        assert!(injected_counter(FaultKind::Dropout).value() > before);
+    }
+}

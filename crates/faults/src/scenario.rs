@@ -1,0 +1,303 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The category of an injected fault, used in [`crate::FaultLog`] entries
+/// and telemetry counter names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A satellite silently vanished from the epoch.
+    Dropout,
+    /// Near-total signal loss: the epoch keeps too few satellites to
+    /// solve.
+    Blackout,
+    /// A constant pseudorange offset on one satellite (clock anomaly,
+    /// cycle slip).
+    Step,
+    /// A slowly growing pseudorange offset on one satellite (slow-drift
+    /// fault — the hardest case for snapshot RAIM).
+    Ramp,
+    /// A common-mode jump on every pseudorange (receiver clock step the
+    /// predictor does not know about).
+    ClockJump,
+    /// A burst of large positive errors on low-elevation satellites
+    /// (reflected-path delay).
+    Multipath,
+    /// A non-finite pseudorange or satellite coordinate (decoder bug,
+    /// uninitialized memory).
+    Corruption,
+    /// The highest-elevation satellite's broadcast position is stale —
+    /// it poisons the base equation the direct solvers subtract from all
+    /// others.
+    StaleBase,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used as the telemetry counter suffix
+    /// (`faults.injected.<name>`) and in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::Blackout => "blackout",
+            FaultKind::Step => "step",
+            FaultKind::Ramp => "ramp",
+            FaultKind::ClockJump => "clock-jump",
+            FaultKind::Multipath => "multipath",
+            FaultKind::Corruption => "corrupt",
+            FaultKind::StaleBase => "stale-base",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One configured failure mode within a [`crate::FaultPlan`].
+///
+/// Window-style scenarios (`Step`, `Ramp`, `Blackout`, `StaleBase`)
+/// position themselves by *fraction of the run* (`start_frac` ∈ [0, 1]),
+/// so the same scenario scales from a 40-epoch test to a paper-scale day
+/// without re-tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultScenario {
+    /// Each satellite independently vanishes from an epoch with
+    /// probability `probability`.
+    Dropout {
+        /// Per-satellite, per-epoch dropout probability.
+        probability: f64,
+    },
+    /// For `epochs` epochs starting at `start_frac` of the run, only the
+    /// `keep` highest-elevation satellites survive (keep < 4 makes the
+    /// epoch unsolvable — the holdover test case).
+    Blackout {
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, epochs.
+        epochs: usize,
+        /// Satellites that keep tracking through the blackout.
+        keep: usize,
+    },
+    /// A constant `magnitude_m` pseudorange offset on one satellite for
+    /// `epochs` epochs starting at `start_frac` of the run.
+    Step {
+        /// Offset magnitude, metres.
+        magnitude_m: f64,
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, epochs.
+        epochs: usize,
+    },
+    /// A pseudorange offset growing at `slope_m_per_s` on one satellite
+    /// for `epochs` epochs starting at `start_frac` of the run.
+    Ramp {
+        /// Drift rate, metres per second.
+        slope_m_per_s: f64,
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, epochs.
+        epochs: usize,
+    },
+    /// From `at_frac` of the run onward, every pseudorange carries an
+    /// extra `magnitude_m` (an unflagged receiver clock step).
+    ClockJump {
+        /// Common-mode offset, metres (90 m ≈ 300 ns of clock).
+        magnitude_m: f64,
+        /// Jump instant as a fraction of the run.
+        at_frac: f64,
+    },
+    /// Satellites below `max_elevation_rad` take an extra positive delay
+    /// `|N(0, sigma_m²)|` with probability `probability` per epoch.
+    Multipath {
+        /// Burst standard deviation, metres.
+        sigma_m: f64,
+        /// Per-satellite, per-epoch burst probability.
+        probability: f64,
+        /// Only satellites below this elevation (radians) are affected.
+        max_elevation_rad: f64,
+    },
+    /// With probability `probability` per epoch, one satellite's
+    /// pseudorange becomes NaN or a position coordinate becomes ∞.
+    Corruption {
+        /// Per-epoch corruption probability.
+        probability: f64,
+    },
+    /// For `epochs` epochs starting at `start_frac`, the
+    /// highest-elevation satellite's reported position is held
+    /// `staleness_s` seconds in the past (the measured pseudorange keeps
+    /// moving, the coordinates do not).
+    StaleBase {
+        /// How old the stale position is, seconds.
+        staleness_s: f64,
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, epochs.
+        epochs: usize,
+    },
+}
+
+impl FaultScenario {
+    /// Default dropout: 35 % per satellite per epoch — a deep urban-canyon
+    /// fade. Aggressive enough that a 10-satellite sky routinely thins
+    /// to the 4–5 range where RAIM loses its redundancy margin, which is
+    /// the regime the degradation ladder exists for.
+    #[must_use]
+    pub fn dropout() -> Self {
+        FaultScenario::Dropout { probability: 0.35 }
+    }
+
+    /// Default blackout: 9 epochs starting at 55 % of the run, 2
+    /// satellites kept (unsolvable — forces holdover and, once holdover
+    /// is exhausted, outages).
+    #[must_use]
+    pub fn blackout() -> Self {
+        FaultScenario::Blackout {
+            start_frac: 0.55,
+            epochs: 9,
+            keep: 2,
+        }
+    }
+
+    /// Default step: +150 m for 15 epochs starting at 25 % of the run.
+    #[must_use]
+    pub fn step() -> Self {
+        FaultScenario::Step {
+            magnitude_m: 150.0,
+            start_frac: 0.25,
+            epochs: 15,
+        }
+    }
+
+    /// Default ramp: 2.5 m/s for 30 epochs starting at 60 % of the run.
+    #[must_use]
+    pub fn ramp() -> Self {
+        FaultScenario::Ramp {
+            slope_m_per_s: 2.5,
+            start_frac: 0.6,
+            epochs: 30,
+        }
+    }
+
+    /// Default clock jump: +90 m (≈ 300 ns) at 40 % of the run.
+    #[must_use]
+    pub fn clock_jump() -> Self {
+        FaultScenario::ClockJump {
+            magnitude_m: 90.0,
+            at_frac: 0.4,
+        }
+    }
+
+    /// Default multipath: σ = 15 m bursts, 20 % probability, below 30°.
+    #[must_use]
+    pub fn multipath() -> Self {
+        FaultScenario::Multipath {
+            sigma_m: 15.0,
+            probability: 0.2,
+            max_elevation_rad: 30.0_f64.to_radians(),
+        }
+    }
+
+    /// Default corruption: 5 % of epochs get one NaN/∞ observation.
+    #[must_use]
+    pub fn corruption() -> Self {
+        FaultScenario::Corruption { probability: 0.05 }
+    }
+
+    /// Default stale base: position 60 s old for 10 epochs starting at
+    /// 75 % of the run.
+    #[must_use]
+    pub fn stale_base() -> Self {
+        FaultScenario::StaleBase {
+            staleness_s: 60.0,
+            start_frac: 0.75,
+            epochs: 10,
+        }
+    }
+
+    /// The category this scenario injects.
+    #[must_use]
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultScenario::Dropout { .. } => FaultKind::Dropout,
+            FaultScenario::Blackout { .. } => FaultKind::Blackout,
+            FaultScenario::Step { .. } => FaultKind::Step,
+            FaultScenario::Ramp { .. } => FaultKind::Ramp,
+            FaultScenario::ClockJump { .. } => FaultKind::ClockJump,
+            FaultScenario::Multipath { .. } => FaultKind::Multipath,
+            FaultScenario::Corruption { .. } => FaultKind::Corruption,
+            FaultScenario::StaleBase { .. } => FaultKind::StaleBase,
+        }
+    }
+}
+
+impl FromStr for FaultScenario {
+    type Err = String;
+
+    /// Parses a scenario *name* into its default-parameter form. Accepted
+    /// names are the [`FaultKind::name`] strings (hyphens optional).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().replace('-', "").as_str() {
+            "dropout" => Ok(FaultScenario::dropout()),
+            "blackout" => Ok(FaultScenario::blackout()),
+            "step" => Ok(FaultScenario::step()),
+            "ramp" => Ok(FaultScenario::ramp()),
+            "clockjump" => Ok(FaultScenario::clock_jump()),
+            "multipath" => Ok(FaultScenario::multipath()),
+            "corrupt" | "corruption" => Ok(FaultScenario::corruption()),
+            "stalebase" => Ok(FaultScenario::stale_base()),
+            other => Err(format!(
+                "unknown fault scenario `{other}` \
+                 (dropout|blackout|step|ramp|clock-jump|multipath|corrupt|stale-base)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parsing() {
+        for kind in [
+            FaultKind::Dropout,
+            FaultKind::Blackout,
+            FaultKind::Step,
+            FaultKind::Ramp,
+            FaultKind::ClockJump,
+            FaultKind::Multipath,
+            FaultKind::Corruption,
+            FaultKind::StaleBase,
+        ] {
+            let scenario: FaultScenario = kind.name().parse().unwrap();
+            assert_eq!(scenario.kind(), kind, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_and_hyphen_insensitive() {
+        assert_eq!(
+            "Clock-Jump".parse::<FaultScenario>().unwrap().kind(),
+            FaultKind::ClockJump
+        );
+        assert_eq!(
+            " STALEBASE ".parse::<FaultScenario>().unwrap().kind(),
+            FaultKind::StaleBase
+        );
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        let err = "meteor".parse::<FaultScenario>().unwrap_err();
+        assert!(err.contains("meteor"));
+        assert!(err.contains("dropout"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(FaultKind::ClockJump.to_string(), "clock-jump");
+        assert_eq!(FaultKind::StaleBase.to_string(), "stale-base");
+    }
+}

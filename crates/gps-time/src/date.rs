@@ -66,7 +66,7 @@ impl Error for DateError {}
 
 /// Returns `true` for Gregorian leap years.
 fn is_leap_year(year: u16) -> bool {
-    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
 }
 
 /// Days in the given month of the given year.

@@ -182,7 +182,7 @@ pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
             op: "wls weights",
         });
     }
-    if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+    if weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
         return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
     }
     // Scale each row of A and entry of b by sqrt(w), then run OLS.

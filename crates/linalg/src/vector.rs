@@ -59,7 +59,7 @@ impl Vector {
     #[must_use]
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
         Vector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(&mut f).collect(),
         }
     }
 

@@ -100,7 +100,7 @@ fn decimation_preserves_order_and_count() {
         let n = rng.gen_range(1usize..5);
         let data = small_dataset(seed, 2, 12);
         let d = data.decimate(n);
-        assert_eq!(d.epochs().len(), (12 + n - 1) / n);
+        assert_eq!(d.epochs().len(), 12usize.div_ceil(n));
         for pair in d.epochs().windows(2) {
             assert!(pair[0].time() < pair[1].time());
         }

@@ -247,6 +247,27 @@ pub fn ext_gls_covariance(cfg: &ExperimentConfig) -> FigureReport {
     }
 }
 
+/// Robustness experiment: applies a [`gps_faults::FaultPlan`] to the
+/// SRZN dataset and reports availability, degradation and integrity of
+/// the [`gps_core::ResilientSolver`] pipeline (plus per-algorithm bare
+/// RAIM scoring and the θ/η reference rates on the faulted data). See
+/// [`crate::run_campaign`] for the mechanics and docs/ROBUSTNESS.md for
+/// the fault taxonomy.
+#[must_use]
+pub fn fault_campaign(
+    cfg: &ExperimentConfig,
+    plan: &gps_faults::FaultPlan,
+) -> crate::CampaignReport {
+    let _span = gps_telemetry::span("fault_campaign_experiment");
+    let station = paper_stations().remove(0); // SRZN, the steering station
+    let data = DatasetGenerator::new(cfg.seed)
+        .epoch_interval_s(cfg.epoch_interval_s)
+        .epoch_count(cfg.epoch_count)
+        .elevation_mask_deg(cfg.elevation_mask_deg)
+        .generate(&station);
+    crate::run_campaign(&data, plan, cfg)
+}
+
 /// Sensitivity study: do the paper's accuracy rates survive a noisier (or
 /// cleaner) receiver? Re-runs the Fig 5.2 sweep on the YYR1 dataset with
 /// the whole error budget scaled by 0.5×, 1× and 2×. One "dataset" per

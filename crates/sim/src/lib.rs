@@ -11,6 +11,11 @@
 //! * [`experiments::fig52`] — **Figure 5.2**, Accuracy Comparisons: the
 //!   same sweep reporting the accuracy rate `η = d_O/d_NR × 100 %`.
 //!
+//! Beyond the paper's tables, [`experiments::fault_campaign`] measures
+//! availability and integrity under injected faults (a
+//! [`gps_faults::FaultPlan`] applied to a generated dataset, solved by
+//! the [`gps_core::ResilientSolver`] degradation pipeline).
+//!
 //! The pipeline matches §5.2: datasets are generated per station
 //! (substituting the paper's CORS downloads — see DESIGN.md), the clock
 //! predictor is bootstrapped exactly as §5.2.2 describes (`D` from an
@@ -32,11 +37,15 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod campaign;
 mod config;
 pub mod experiments;
 mod report;
 mod runner;
 
+pub use campaign::{
+    run_campaign, AlgoIntegrity, CampaignReport, IntegrityCounts, DETECTION_FLOOR_M,
+};
 pub use config::ExperimentConfig;
 pub use report::{FigureReport, SeriesPoint, Table51Report};
 pub use runner::{

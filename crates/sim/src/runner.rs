@@ -151,7 +151,7 @@ impl ClockCalibration {
     #[must_use]
     pub fn needs_recalibration(&self, epoch: &Epoch) -> bool {
         epoch.truth().clock_reset
-            || self.recalibration_interval_s.map_or(false, |interval| {
+            || self.recalibration_interval_s.is_some_and(|interval| {
                 (epoch.time() - self.last_recalibration).as_seconds() >= interval
             })
     }

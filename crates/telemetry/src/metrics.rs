@@ -9,7 +9,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+// Lock poisoning is deliberately shrugged off (`PoisonError::into_inner`):
+// telemetry must keep working after a panic on another thread, and every
+// guarded structure is valid after any partial mutation (map inserts,
+// vector pushes).
+use std::sync::{Arc, PoisonError, RwLock};
 
 use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 
@@ -80,7 +84,7 @@ pub struct Histogram(Arc<HistogramCore>);
 /// Index of the bin `v` falls into. Non-positive and non-finite samples
 /// land in the underflow bin 0.
 fn bin_index(v: f64) -> usize {
-    if !(v > 0.0) || !v.is_finite() {
+    if v <= 0.0 || !v.is_finite() {
         return 0;
     }
     let e = v.log2().floor() as i64;
@@ -194,11 +198,11 @@ fn get_or_insert<T: Clone>(
     name: &str,
     make: impl FnOnce() -> T,
 ) -> T {
-    if let Some(found) = map.read().expect("metrics lock").get(name) {
+    if let Some(found) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
         return found.clone();
     }
     map.write()
-        .expect("metrics lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .entry(name.to_owned())
         .or_insert_with(make)
         .clone()
@@ -236,7 +240,7 @@ impl Registry {
         let mut counters: Vec<CounterSnapshot> = self
             .counters
             .read()
-            .expect("metrics lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, c)| CounterSnapshot {
                 name: name.clone(),
@@ -246,7 +250,7 @@ impl Registry {
         let mut gauges: Vec<GaugeSnapshot> = self
             .gauges
             .read()
-            .expect("metrics lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, g)| GaugeSnapshot {
                 name: name.clone(),
@@ -256,7 +260,7 @@ impl Registry {
         let mut histograms: Vec<HistogramSnapshot> = self
             .histograms
             .read()
-            .expect("metrics lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
@@ -274,6 +278,23 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        // Panic while holding the write lock (the registration closure
+        // runs under it), then verify the registry still hands out
+        // metrics instead of propagating the poison.
+        let r = Registry::new();
+        r.counter("before").inc();
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            get_or_insert::<Counter>(&r.counters, "boom", || panic!("registration failed"))
+        }));
+        assert!(poison.is_err());
+        r.counter("after").add(2);
+        assert_eq!(r.counter("before").value(), 1);
+        assert_eq!(r.counter("after").value(), 2);
+        assert_eq!(r.snapshot().counters.len(), 2);
+    }
 
     #[test]
     fn counter_accumulates_across_clones() {

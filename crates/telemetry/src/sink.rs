@@ -4,7 +4,10 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock, RwLock};
+// Poisoned locks are recovered with `PoisonError::into_inner`: a sink
+// must keep accepting events after a panic on another thread, and every
+// guarded structure remains valid after any partial mutation.
+use std::sync::{Mutex, OnceLock, PoisonError, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::{Event, Level, Snapshot};
@@ -81,7 +84,7 @@ impl Sink for FileSink {
             FileFormat::Jsonl => event.to_json(),
             FileFormat::Csv => event.to_csv_row(),
         };
-        let mut writer = self.writer.lock().expect("file sink lock");
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = writeln!(writer, "{line}");
     }
 
@@ -90,12 +93,16 @@ impl Sink for FileSink {
             FileFormat::Jsonl => snapshot.to_jsonl(),
             FileFormat::Csv => snapshot.to_csv(),
         };
-        let mut writer = self.writer.lock().expect("file sink lock");
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = write!(writer, "{body}");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("file sink lock").flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
     }
 }
 
@@ -115,7 +122,10 @@ impl MemorySink {
     /// Copies out everything accepted so far.
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink lock").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -123,7 +133,7 @@ impl Sink for MemorySink {
     fn accept(&self, event: &Event) {
         self.events
             .lock()
-            .expect("memory sink lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(event.clone());
     }
 }
@@ -150,7 +160,7 @@ pub(crate) fn dispatcher() -> &'static Dispatcher {
 
 impl Dispatcher {
     pub(crate) fn add(&self, level: Level, sink: Box<dyn Sink>) {
-        let mut sinks = self.sinks.write().expect("sink lock");
+        let mut sinks = self.sinks.write().unwrap_or_else(PoisonError::into_inner);
         sinks.push((level, sink));
         let floor = sinks
             .iter()
@@ -161,7 +171,7 @@ impl Dispatcher {
     }
 
     pub(crate) fn clear(&self) {
-        let mut sinks = self.sinks.write().expect("sink lock");
+        let mut sinks = self.sinks.write().unwrap_or_else(PoisonError::into_inner);
         for (_, sink) in sinks.iter() {
             sink.flush();
         }
@@ -182,7 +192,12 @@ impl Dispatcher {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_micros() as u64)
             .unwrap_or(0);
-        for (level, sink) in self.sinks.read().expect("sink lock").iter() {
+        for (level, sink) in self
+            .sinks
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             if event.level >= *level {
                 sink.accept(&event);
             }
@@ -190,13 +205,23 @@ impl Dispatcher {
     }
 
     pub(crate) fn write_snapshot(&self, snapshot: &Snapshot) {
-        for (_, sink) in self.sinks.read().expect("sink lock").iter() {
+        for (_, sink) in self
+            .sinks
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             sink.write_snapshot(snapshot);
         }
     }
 
     pub(crate) fn flush(&self) {
-        for (_, sink) in self.sinks.read().expect("sink lock").iter() {
+        for (_, sink) in self
+            .sinks
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             sink.flush();
         }
     }

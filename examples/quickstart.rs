@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("geometry: {}\n", Dop::compute(&measurements, truth)?);
 
     // NR and Bancroft estimate the clock bias themselves.
-    for solver in [
-        &NewtonRaphson::default() as &dyn PositionSolver,
-        &Bancroft::default(),
-    ] {
+    for solver in [&NewtonRaphson::default() as &dyn PositionSolver, &Bancroft] {
         let fix = solver.solve(&measurements, 0.0)?;
         println!(
             "{:<8} error {:7.2} m, clock bias {:7.2} m, {} iteration(s)",

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Offline CI gate for the workspace: formatting, a release build
+# Offline CI gate for the workspace: formatting, lints, a release build
 # (benches included, so the harness-based bench files stay compiling),
-# and the full test suite. No network access required.
+# the full test suite, and a fault-campaign smoke run. No network access
+# required.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,10 +10,21 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --release (workspace, all targets)"
 cargo build --release --offline --workspace --all-targets
 
 echo "==> cargo test"
 cargo test -q --offline --workspace
+
+echo "==> fault campaign smoke (dropout+ramp must degrade, not panic)"
+out=$(cargo run --release --offline -q -- experiment fault_campaign --quick --faults dropout,ramp)
+echo "$out"
+echo "$out" | grep -q "availability" || { echo "smoke: no availability line"; exit 1; }
+echo "$out" | grep -q "availability 100.0%" && { echo "smoke: expected availability < 100%"; exit 1; }
+echo "$out" | grep -q "degraded 0 " && { echo "smoke: expected degraded > 0"; exit 1; }
+echo "$out" | grep -q "holdover 0 " && { echo "smoke: expected the holdover fallback path"; exit 1; }
 
 echo "CI gate passed."

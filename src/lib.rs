@@ -8,6 +8,7 @@
 pub use gps_atmosphere as atmosphere;
 pub use gps_clock as clock;
 pub use gps_core as core;
+pub use gps_faults as faults;
 pub use gps_geodesy as geodesy;
 pub use gps_linalg as linalg;
 pub use gps_obs as obs;

@@ -13,6 +13,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use gps_repro::core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
+use gps_repro::faults::FaultPlan;
 use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
 use gps_repro::orbits::{yuma, Constellation};
 use gps_repro::sim::{experiments, to_measurements, ExperimentConfig};
@@ -27,9 +28,17 @@ USAGE:
                      [--seed N] [--mask DEG] --out <FILE>
   gps-repro info <FILE>
   gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
-  gps-repro experiment <table51|fig51|fig52|extensions|all> [--paper-scale|--quick]
-                       [--seed N]
+  gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|all>
+                       [--paper-scale|--quick] [--seed N]
   gps-repro almanac [--out <FILE>]
+
+FAULT CAMPAIGN (experiment fault_campaign):
+  --faults <spec>       comma-separated scenarios to inject (default
+                        dropout,ramp,blackout). Known scenarios: dropout,
+                        blackout, step, ramp, clock-jump, multipath,
+                        corrupt, stale-base
+  --fault-seed N        fault-plan RNG seed (default 42), independent of
+                        the dataset seed
 
 TELEMETRY (any command):
   --log-level <trace|debug|info|warn|error>   human-readable events on stderr
@@ -53,7 +62,7 @@ impl Args {
         let mut iter = raw.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = if iter.peek().map_or(false, |v| !v.starts_with("--")) {
+                let value = if iter.peek().is_some_and(|v| !v.starts_with("--")) {
                     iter.next()
                 } else {
                     None
@@ -186,7 +195,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         "nr" => Box::new(NewtonRaphson::default()),
         "dlo" => Box::new(Dlo::default()),
         "dlg" => Box::new(Dlg::default()),
-        "bancroft" => Box::new(Bancroft::default()),
+        "bancroft" => Box::new(Bancroft),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
 
@@ -236,6 +245,14 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         ExperimentConfig::new(seed)
     };
     match which {
+        "fault_campaign" => {
+            let fault_seed: u64 = args.flag_parse("fault-seed", 42)?;
+            let plan = match args.flag("faults") {
+                Some(spec) => FaultPlan::from_spec(fault_seed, spec)?,
+                None => FaultPlan::default_campaign(fault_seed),
+            };
+            println!("{}", experiments::fault_campaign(&cfg, &plan));
+        }
         "table51" => println!("{}", experiments::table51(&cfg)),
         "fig51" => println!("{}", experiments::fig51(&cfg)),
         "fig52" => println!("{}", experiments::fig52(&cfg)),

@@ -28,7 +28,7 @@ fn noise_free_pipeline_recovers_station_exactly() {
                 &NewtonRaphson::default() as &dyn PositionSolver,
                 &Dlo::default(),
                 &Dlg::default(),
-                &Bancroft::default(),
+                &Bancroft,
             ] {
                 let fix = solver
                     .solve(&meas, 0.0)

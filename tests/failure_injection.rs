@@ -2,7 +2,7 @@
 //! API must produce typed errors, never panics or silent garbage.
 
 use gps_repro::core::{
-    Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver, SolveError,
+    Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver, Raim, SolveError,
 };
 use gps_repro::geodesy::Ecef;
 use gps_repro::obs::format;
@@ -12,7 +12,7 @@ fn all_solvers() -> Vec<Box<dyn PositionSolver>> {
         Box::new(NewtonRaphson::default()),
         Box::new(Dlo::default()),
         Box::new(Dlg::default()),
-        Box::new(Bancroft::default()),
+        Box::new(Bancroft),
     ]
 }
 
@@ -164,6 +164,109 @@ fn rinex_lite_parser_survives_fuzzing_lite() {
             corrupted.replace_range(pos..=pos, &replacement.to_string());
             let _ = format::parse(&corrupted);
         }
+    }
+}
+
+/// Eight well-spread satellites: enough redundancy for two RAIM
+/// exclusions (each identification round needs m − 1 ≥ min + 1).
+fn wide_sky() -> Vec<Ecef> {
+    vec![
+        Ecef::new(2.0e7, 0.0, 1.7e7),
+        Ecef::new(1.5e7, 1.8e7, 0.9e7),
+        Ecef::new(1.6e7, -1.7e7, 1.0e7),
+        Ecef::new(2.5e7, 0.4e7, -0.6e7),
+        Ecef::new(1.9e7, 0.9e7, 1.6e7),
+        Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        Ecef::new(1.2e7, -0.4e7, 2.2e7),
+        Ecef::new(0.9e7, -1.3e7, 2.1e7),
+    ]
+}
+
+fn wide_sky_measurements(truth: Ecef) -> Vec<Measurement> {
+    wide_sky()
+        .into_iter()
+        .map(|s| Measurement::new(s, s.distance_to(truth)))
+        .collect()
+}
+
+#[test]
+fn raim_excludes_two_simultaneous_faults_for_every_solver() {
+    let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+    for (name, solve) in [
+        (
+            "NR",
+            &(|m: &[Measurement]| {
+                Raim::new(NewtonRaphson::default(), 10.0)
+                    .with_max_exclusions(2)
+                    .solve(m, 0.0)
+            }) as &dyn Fn(&[Measurement]) -> _,
+        ),
+        ("DLO", &|m: &[Measurement]| {
+            Raim::new(Dlo::default(), 10.0)
+                .with_max_exclusions(2)
+                .solve(m, 0.0)
+        }),
+        ("DLG", &|m: &[Measurement]| {
+            Raim::new(Dlg::default(), 10.0)
+                .with_max_exclusions(2)
+                .solve(m, 0.0)
+        }),
+    ] {
+        let mut meas = wide_sky_measurements(truth);
+        meas[2].pseudorange += 700.0;
+        meas[6].pseudorange -= 950.0;
+        let result = solve(&meas).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let mut excluded = result.excluded.clone();
+        excluded.sort_unstable();
+        assert_eq!(excluded, vec![2, 6], "{name}");
+        assert!(
+            result.solution.position.distance_to(truth) < 0.5,
+            "{name}: {} m off",
+            result.solution.position.distance_to(truth)
+        );
+        assert!(result.residual_rms <= 10.0, "{name}");
+    }
+}
+
+#[test]
+fn raim_max_exclusions_boundary_is_exact() {
+    // Two simultaneous faults: a budget of 2 recovers the epoch, a budget
+    // of 1 spends its exclusion and must report the residual integrity
+    // fault, and a budget of 0 must not exclude at all. Opposite-sign
+    // faults keep the pair separable (same-sign pairs can masquerade as a
+    // clock shift and defeat leave-one-out identification).
+    let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+    let mut meas = wide_sky_measurements(truth);
+    meas[1].pseudorange += 900.0;
+    meas[5].pseudorange -= 750.0;
+
+    let recovered = Raim::new(NewtonRaphson::default(), 10.0)
+        .with_max_exclusions(2)
+        .solve(&meas, 0.0)
+        .unwrap();
+    assert_eq!(recovered.excluded.len(), 2);
+
+    match Raim::new(NewtonRaphson::default(), 10.0)
+        .with_max_exclusions(1)
+        .solve(&meas, 0.0)
+        .unwrap_err()
+    {
+        SolveError::IntegrityFault { excluded, residual } => {
+            assert_eq!(excluded.len(), 1, "exactly the budget spent");
+            assert!(residual > 10.0, "residual {residual} still failing");
+        }
+        other => panic!("expected IntegrityFault, got {other:?}"),
+    }
+
+    match Raim::new(NewtonRaphson::default(), 10.0)
+        .with_max_exclusions(0)
+        .solve(&meas, 0.0)
+        .unwrap_err()
+    {
+        SolveError::IntegrityFault { excluded, .. } => {
+            assert!(excluded.is_empty(), "budget 0 must never exclude");
+        }
+        other => panic!("expected IntegrityFault, got {other:?}"),
     }
 }
 

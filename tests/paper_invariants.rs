@@ -70,8 +70,8 @@ fn differenced_errors_are_correlated_as_theorem_41_predicts() {
             }
         }
     }
-    for i in 0..n {
-        mean[i] /= trials as f64;
+    for m in mean.iter_mut().take(n) {
+        *m /= trials as f64;
     }
     // E(Δβ) ≈ 0 (eq. 4-19). Scale: entries are ~σ·ρ ≈ 7e7, so the mean of
     // 30k trials has standard error ~4e5.
