@@ -11,7 +11,8 @@
 use gps_bench::fixture_epochs;
 use gps_bench::harness::Harness;
 use gps_core::{linearize, BaseSelection, Dlg};
-use gps_linalg::lstsq;
+use gps_linalg::lstsq::{self, GlsStrategy, LstsqScratch};
+use gps_linalg::Vector;
 use std::hint::black_box;
 
 fn bench_paths(h: &mut Harness) {
@@ -45,11 +46,13 @@ fn bench_paths(h: &mut Harness) {
                 }
             })
         });
+        // Both GLS paths now route through the one `gls_with` entry
+        // point; the strategy enum is the ablation knob.
         group.bench_with_input(&format!("gls_whitened/{m}"), &systems, |b, systems| {
             b.iter(|| {
                 for sys in systems {
                     let cov = dlg.covariance_matrix(sys);
-                    let _ = black_box(lstsq::gls(&sys.a, &sys.d, &cov));
+                    let _ = black_box(lstsq::gls_with(&sys.a, &sys.d, &cov, GlsStrategy::Whitened));
                 }
             })
         });
@@ -60,11 +63,36 @@ fn bench_paths(h: &mut Harness) {
                 b.iter(|| {
                     for sys in systems {
                         let cov = dlg.covariance_matrix(sys);
-                        let _ = black_box(lstsq::gls_explicit_inverse(&sys.a, &sys.d, &cov));
+                        let _ = black_box(lstsq::gls_with(
+                            &sys.a,
+                            &sys.d,
+                            &cov,
+                            GlsStrategy::ExplicitInverse,
+                        ));
                     }
                 })
             },
         );
+        // Caller-provided buffers: the same whitened estimator with all
+        // scratch reused across epochs (the `SolveContext` hot path).
+        group.bench_with_input(&format!("gls_whitened_into/{m}"), &systems, |b, systems| {
+            let mut scratch = LstsqScratch::default();
+            let mut x = Vector::zeros(3);
+            let mut cov = gps_linalg::Matrix::default();
+            b.iter(|| {
+                for sys in systems {
+                    dlg.covariance_matrix_into(sys, &mut cov);
+                    let _ = black_box(lstsq::gls_into(
+                        &sys.a,
+                        &sys.d,
+                        &cov,
+                        GlsStrategy::Whitened,
+                        &mut scratch,
+                        &mut x,
+                    ));
+                }
+            })
+        });
     }
     group.finish();
 }

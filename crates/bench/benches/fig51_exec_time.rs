@@ -6,10 +6,16 @@
 //! `DLO/NR` and `DLG/NR` of the reported times is the paper's
 //! `θ = τ_O/τ_NR × 100 %` (eq. 5-3); the full four-dataset series is
 //! printed by `cargo run --release --example reproduce_paper -- fig51`.
+//!
+//! Each algorithm is measured twice: through the simple allocating
+//! [`PositionSolver`] path (the `<ALGO>/{m}` ids, unchanged from before
+//! the `Solver` refactor) and through the zero-allocation
+//! [`gps_core::Solver`] + [`SolveContext`] path (`<ALGO>-ctx/{m}`). The
+//! ns/fix delta between the two is the refactor's per-epoch saving.
 
 use gps_bench::fixture_epochs;
 use gps_bench::harness::{Harness, Throughput};
-use gps_core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
+use gps_core::{Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, PositionSolver, SolveContext};
 use std::hint::black_box;
 
 fn bench_solvers(h: &mut Harness) {
@@ -26,6 +32,15 @@ fn bench_solvers(h: &mut Harness) {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(nr.solve(black_box(meas), 0.0));
+                }
+            })
+        });
+        group.bench_with_input(&format!("NR-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new();
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 0.0);
+                    let _ = black_box(gps_core::Solver::solve(&nr, &epoch, &mut ctx));
                 }
             })
         });
@@ -52,6 +67,15 @@ fn bench_solvers(h: &mut Harness) {
                 }
             })
         });
+        group.bench_with_input(&format!("DLO-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new();
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 12.0);
+                    let _ = black_box(gps_core::Solver::solve(&dlo, &epoch, &mut ctx));
+                }
+            })
+        });
 
         let dlg = Dlg::default();
         group.bench_with_input(&format!("DLG/{m}"), &epochs, |b, epochs| {
@@ -61,12 +85,41 @@ fn bench_solvers(h: &mut Harness) {
                 }
             })
         });
+        group.bench_with_input(&format!("DLG-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new();
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 12.0);
+                    let _ = black_box(gps_core::Solver::solve(&dlg, &epoch, &mut ctx));
+                }
+            })
+        });
 
         let bancroft = Bancroft;
         group.bench_with_input(&format!("Bancroft/{m}"), &epochs, |b, epochs| {
             b.iter(|| {
                 for meas in epochs {
                     let _ = black_box(bancroft.solve(black_box(meas), 0.0));
+                }
+            })
+        });
+        group.bench_with_input(&format!("Bancroft-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new();
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 0.0);
+                    let _ = black_box(gps_core::Solver::solve(&bancroft, &epoch, &mut ctx));
+                }
+            })
+        });
+
+        // All four lanes through the batched Engine (per-lane warm
+        // contexts, per-lane timing folded into the engine's own stats).
+        group.bench_with_input(&format!("Engine/{m}"), &epochs, |b, epochs| {
+            let mut engine = Engine::all_solvers();
+            b.iter(|| {
+                for meas in epochs {
+                    let _ = black_box(engine.run_epoch(black_box(meas), 12.0));
                 }
             })
         });

@@ -1,0 +1,143 @@
+//! Proof that the [`Solver`] + [`SolveContext`] hot path is
+//! allocation-free once warm.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc` made by
+//! the test binary. Each solver is run once to warm its context (the
+//! buffers grow to the epoch's dimensions on first use), then the
+//! counter is sampled around a batch of steady-state solves: the delta
+//! must be exactly zero. The same check covers the batched [`Engine`]
+//! and the RAIM happy path, which together form the per-epoch loop of
+//! every downstream consumer.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gps_bench::fixture_epochs;
+use gps_core::{Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, Raim, SolveContext, Solver};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during(mut f: impl FnMut()) -> u64 {
+    let before = allocation_count();
+    f();
+    allocation_count() - before
+}
+
+fn assert_zero_alloc_after_warmup(solver: &dyn Solver, bias: f64) {
+    // Epochs of varying size so buffer reuse is exercised across
+    // dimension changes, not just identical repeats.
+    let epochs: Vec<_> = [6usize, 8, 10, 7]
+        .iter()
+        .flat_map(|&m| fixture_epochs(m, 97).into_iter().take(4))
+        .collect();
+    assert!(!epochs.is_empty(), "fixture produced no epochs");
+
+    let mut ctx = SolveContext::new();
+    // Warm-up: lets every scratch buffer grow to the largest epoch.
+    for meas in &epochs {
+        let _ = solver.solve(&Epoch::new(meas, bias), &mut ctx);
+    }
+
+    let allocs = allocations_during(|| {
+        for meas in &epochs {
+            let result = solver.solve(&Epoch::new(meas, bias), &mut ctx);
+            assert!(result.is_ok(), "{} failed on clean epoch", solver.name());
+        }
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "{} allocated {allocs} time(s) after warm-up",
+        solver.name()
+    );
+}
+
+#[test]
+fn newton_raphson_is_allocation_free_when_warm() {
+    assert_zero_alloc_after_warmup(&NewtonRaphson::default(), 0.0);
+}
+
+#[test]
+fn dlo_is_allocation_free_when_warm() {
+    assert_zero_alloc_after_warmup(&Dlo::default(), 12.0);
+}
+
+#[test]
+fn dlg_is_allocation_free_when_warm() {
+    assert_zero_alloc_after_warmup(&Dlg::default(), 12.0);
+}
+
+#[test]
+fn bancroft_is_allocation_free_when_warm() {
+    assert_zero_alloc_after_warmup(&Bancroft, 0.0);
+}
+
+#[test]
+fn engine_epoch_loop_is_allocation_free_when_warm() {
+    let epochs: Vec<_> = [6usize, 8, 10]
+        .iter()
+        .flat_map(|&m| fixture_epochs(m, 101).into_iter().take(4))
+        .collect();
+    assert!(!epochs.is_empty(), "fixture produced no epochs");
+
+    let mut engine = Engine::all_solvers();
+    for meas in &epochs {
+        engine.run_epoch(meas, 12.0);
+    }
+
+    let allocs = allocations_during(|| {
+        for meas in &epochs {
+            let solved = engine.run_epoch(meas, 12.0);
+            assert_eq!(solved, engine.lanes().len(), "a lane failed a clean epoch");
+        }
+    });
+    assert_eq!(allocs, 0, "Engine allocated {allocs} time(s) after warm-up");
+}
+
+#[test]
+fn raim_happy_path_is_allocation_free_when_warm() {
+    let epochs = fixture_epochs(8, 103);
+    assert!(!epochs.is_empty(), "fixture produced no epochs");
+
+    // Generous threshold: clean fixtures never trigger an exclusion, so
+    // the wrapper should solve straight through on the caller's epoch.
+    let raim = Raim::new(NewtonRaphson::default(), 1.0e6);
+    let mut ctx = SolveContext::new();
+    for meas in &epochs {
+        let _ = raim.solve_with(&Epoch::new(meas, 0.0), &mut ctx);
+    }
+
+    let allocs = allocations_during(|| {
+        for meas in &epochs {
+            let result = raim.solve_with(&Epoch::new(meas, 0.0), &mut ctx);
+            assert!(result.is_ok(), "RAIM failed on clean epoch");
+        }
+    });
+    assert_eq!(allocs, 0, "RAIM allocated {allocs} time(s) after warm-up");
+}

@@ -1,8 +1,8 @@
 use gps_geodesy::Ecef;
-use gps_linalg::{lstsq, Matrix, Vector};
+use gps_linalg::lstsq;
 
 use crate::measurement::validate;
-use crate::{Measurement, PositionSolver, Solution, SolveError};
+use crate::{Measurement, Solution, SolveError};
 
 /// Bancroft's algebraic closed-form GPS solution (the paper's related work
 /// \[2\]: S. Bancroft, "An algebraic solution of the GPS equations", 1986).
@@ -72,18 +72,24 @@ impl Bancroft {
     }
 }
 
-impl PositionSolver for Bancroft {
+// Implemented without importing `Solver`, so `.solve(&meas, bias)` in
+// this module (and in `use super::*` tests) still resolves through
+// `PositionSolver` unambiguously.
+impl crate::Solver for Bancroft {
     fn solve(
         &self,
-        measurements: &[Measurement],
-        _predicted_receiver_bias_m: f64,
+        epoch: &crate::Epoch<'_>,
+        ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
-        validate(measurements, self.min_satellites())?;
+        let measurements = epoch.measurements;
+        validate(measurements, 4)?;
         let m = measurements.len();
 
         // B has rows (sᵢ, ρᵢ); r_i = ½⟨aᵢ,aᵢ⟩.
-        let mut b = Matrix::zeros(m, 4);
-        let mut r = Vector::zeros(m);
+        let b = &mut ctx.geometry;
+        let r = &mut ctx.rhs;
+        b.resize_zeroed(m, 4);
+        r.resize_zeroed(m);
         for (i, meas) in measurements.iter().enumerate() {
             let row = b.row_mut(i);
             row[0] = meas.position.x;
@@ -95,9 +101,13 @@ impl PositionSolver for Bancroft {
 
         // B⁺ applied to e and to r via least squares (exact inverse when
         // m = 4).
-        let ones = Vector::from_fn(m, |_| 1.0);
-        let bplus_e = lstsq::ols(&b, &ones)?;
-        let bplus_r = lstsq::ols(&b, &r)?;
+        let ones = &mut ctx.rhs_aux;
+        ones.resize_zeroed(m);
+        ones.as_mut_slice().fill(1.0);
+        lstsq::ols_into(b, ones, &mut ctx.lstsq, &mut ctx.step)?;
+        lstsq::ols_into(b, r, &mut ctx.lstsq, &mut ctx.step_aux)?;
+        let bplus_e = &ctx.step;
+        let bplus_r = &ctx.step_aux;
 
         // u = M B⁺ e, v = M B⁺ r (M = diag(1,1,1,−1)).
         let u = [bplus_e[0], bplus_e[1], bplus_e[2], -bplus_e[3]];
@@ -108,11 +118,14 @@ impl PositionSolver for Bancroft {
         let qb = 2.0 * (lorentz(&u, &v) - 1.0);
         let qc = lorentz(&v, &v);
 
-        let lambdas: Vec<f64> = if qa.abs() < 1e-18 {
+        // At most two candidate roots; kept on the stack.
+        let mut lambdas = [0.0_f64; 2];
+        let nroots = if qa.abs() < 1e-18 {
             if qb.abs() < 1e-30 {
                 return Err(SolveError::NoRealRoot);
             }
-            vec![-qc / qb]
+            lambdas[0] = -qc / qb;
+            1
         } else {
             let disc = qb * qb - 4.0 * qa * qc;
             if disc < 0.0 {
@@ -121,18 +134,20 @@ impl PositionSolver for Bancroft {
             let sq = disc.sqrt();
             // Numerically stable pair of roots.
             let q = -0.5 * (qb + sq.copysign(qb));
-            let mut roots = vec![q / qa];
+            lambdas[0] = q / qa;
             if q.abs() > 0.0 {
-                roots.push(qc / q);
+                lambdas[1] = qc / q;
+                2
+            } else {
+                1
             }
-            roots
         };
 
         // Evaluate each root; keep the candidate with the smallest post-fit
         // residual (the spurious root places the receiver far from the
         // measurements' consistent geometry).
         let mut best: Option<(Ecef, f64, f64)> = None;
-        for lambda in lambdas {
+        for &lambda in &lambdas[..nroots] {
             let y = [
                 lambda * u[0] + v[0],
                 lambda * u[1] + v[1],
@@ -162,11 +177,20 @@ impl PositionSolver for Bancroft {
     fn min_satellites(&self) -> usize {
         4
     }
+
+    fn estimates_bias(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn crate::Solver> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PositionSolver;
 
     fn sats() -> Vec<Ecef> {
         vec![

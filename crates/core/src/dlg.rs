@@ -1,9 +1,10 @@
 use gps_geodesy::Ecef;
-use gps_linalg::{lstsq, Matrix};
+use gps_linalg::lstsq::{self, GlsStrategy};
+use gps_linalg::Matrix;
 
-use crate::dlo::{linearize, system_residual_rms, LinearSystem};
+use crate::dlo::LinearSystem;
 use crate::instrument;
-use crate::{BaseSelection, Measurement, PositionSolver, Solution, SolveError};
+use crate::{BaseSelection, Solution, SolveError};
 use gps_telemetry::{Event, Level};
 
 /// Which covariance structure DLG feeds to the general least-squares
@@ -120,95 +121,154 @@ impl Dlg {
     /// Exposed for the GLS-covariance ablation and for tests.
     #[must_use]
     pub fn covariance_matrix(&self, sys: &LinearSystem) -> Matrix {
-        let m = sys.corrected_ranges.len();
-        let rho1 = sys.corrected_ranges[sys.base_index];
+        let mut out = Matrix::default();
+        self.covariance_into(
+            &sys.corrected_ranges,
+            &sys.elevations,
+            sys.base_index,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Dlg::covariance_matrix`] with a caller-provided buffer: fills
+    /// `out` in place without intermediate allocations (the
+    /// [`crate::SolveContext`] hot path; also the zero-allocation arm of
+    /// the linalg-path ablation bench).
+    pub fn covariance_matrix_into(&self, sys: &LinearSystem, out: &mut Matrix) {
+        self.covariance_into(&sys.corrected_ranges, &sys.elevations, sys.base_index, out);
+    }
+
+    /// Core of [`Dlg::covariance_matrix_into`], operating on the raw
+    /// linearization buffers. Row/column `r` corresponds to input
+    /// measurement `r` when `r < base_index`, else `r + 1` (the base row
+    /// is differenced away).
+    pub(crate) fn covariance_into(
+        &self,
+        corrected_ranges: &[f64],
+        elevations: &[Option<f64>],
+        base_index: usize,
+        out: &mut Matrix,
+    ) {
+        let m = corrected_ranges.len();
+        let rho1 = corrected_ranges[base_index];
         let rho1_sq = rho1 * rho1;
         // Scale Ψ by the squared mean range: GLS is scale-invariant, and
         // normalizing keeps the Cholesky well inside f64 range (raw
         // entries would be ~10¹⁴).
         let scale = 1.0 / rho1_sq.max(1.0);
-        let others: Vec<f64> = sys
-            .corrected_ranges
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != sys.base_index)
-            .map(|(_, r)| r * r * scale)
-            .collect();
         let rho1_scaled = rho1_sq * scale;
+        // Diagonal term for differenced row r, from the original input.
+        let other = |r: usize| {
+            let j = if r < base_index { r } else { r + 1 };
+            corrected_ranges[j] * corrected_ranges[j] * scale
+        };
+        out.resize_zeroed(m - 1, m - 1);
         match self.covariance {
-            CovarianceModel::Full => Matrix::from_fn(m - 1, m - 1, |r, c| {
-                if r == c {
-                    rho1_scaled + others[r]
-                } else {
-                    rho1_scaled
+            CovarianceModel::Full => {
+                for r in 0..m - 1 {
+                    let diag = rho1_scaled + other(r);
+                    let row = out.row_mut(r);
+                    for (c, entry) in row.iter_mut().enumerate() {
+                        *entry = if r == c { diag } else { rho1_scaled };
+                    }
                 }
-            }),
-            CovarianceModel::DiagonalOnly => Matrix::from_fn(m - 1, m - 1, |r, c| {
-                if r == c {
-                    rho1_scaled + others[r]
-                } else {
-                    0.0
+            }
+            CovarianceModel::DiagonalOnly => {
+                for r in 0..m - 1 {
+                    out.row_mut(r)[r] = rho1_scaled + other(r);
                 }
-            }),
-            CovarianceModel::Identity => Matrix::identity(m - 1),
+            }
+            CovarianceModel::Identity => {
+                for r in 0..m - 1 {
+                    out.row_mut(r)[r] = 1.0;
+                }
+            }
             CovarianceModel::ElevationScaled => {
                 // Per-satellite variance weight from the elevation budget
                 // (same 1/sin(el) shape as the receiver-noise model).
                 let weight = |el: Option<f64>| {
-                    el.map_or(1.0, |e| {
+                    el.map_or(1.0, |e: f64| {
                         let clamped = e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
                         1.0 / clamped.sin()
                     })
                 };
-                let w1 = weight(sys.elevations[sys.base_index]);
-                let w_others: Vec<f64> = sys
-                    .elevations
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != sys.base_index)
-                    .map(|(_, &el)| weight(el))
-                    .collect();
-                Matrix::from_fn(m - 1, m - 1, |r, c| {
-                    if r == c {
-                        w1 * rho1_scaled + w_others[r] * others[r]
-                    } else {
-                        w1 * rho1_scaled
+                let w1 = weight(elevations[base_index]);
+                for r in 0..m - 1 {
+                    let j = if r < base_index { r } else { r + 1 };
+                    let diag = w1 * rho1_scaled + weight(elevations[j]) * other(r);
+                    let row = out.row_mut(r);
+                    for (c, entry) in row.iter_mut().enumerate() {
+                        *entry = if r == c { diag } else { w1 * rho1_scaled };
                     }
-                })
+                }
             }
         }
     }
 }
 
-impl PositionSolver for Dlg {
+// Implemented without importing `Solver`, so `.solve(&meas, bias)` in
+// this module (and in `use super::*` tests) still resolves through
+// `PositionSolver` unambiguously.
+impl crate::Solver for Dlg {
     fn solve(
         &self,
-        measurements: &[Measurement],
-        predicted_receiver_bias_m: f64,
+        epoch: &crate::Epoch<'_>,
+        ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
-        let sys = linearize(measurements, predicted_receiver_bias_m, self.base)?;
+        let base_index = crate::dlo::linearize_into(
+            epoch.measurements,
+            epoch.predicted_receiver_bias_m,
+            self.base,
+            &mut ctx.geometry,
+            &mut ctx.rhs,
+            &mut ctx.corrected_ranges,
+            &mut ctx.elevations,
+        )?;
         // Covariance-assembly time and the design-matrix condition number
         // both cost more to observe than DLG costs to run; gate them.
         let detail = gps_telemetry::detail();
-        let m_cov = if detail {
+        if detail {
             let start = std::time::Instant::now();
-            let m_cov = self.covariance_matrix(&sys);
+            self.covariance_into(
+                &ctx.corrected_ranges,
+                &ctx.elevations,
+                base_index,
+                &mut ctx.covariance,
+            );
             instrument::dlg_cov_assembly().record(start.elapsed().as_secs_f64() * 1e6);
-            m_cov
         } else {
-            self.covariance_matrix(&sys)
-        };
-        let x = lstsq::gls(&sys.a, &sys.d, &m_cov)?;
-        let position = Ecef::new(x[0], x[1], x[2]);
-        let rms = system_residual_rms(&sys, position);
+            self.covariance_into(
+                &ctx.corrected_ranges,
+                &ctx.elevations,
+                base_index,
+                &mut ctx.covariance,
+            );
+        }
+        lstsq::gls_into(
+            &ctx.geometry,
+            &ctx.rhs,
+            &ctx.covariance,
+            GlsStrategy::Whitened,
+            &mut ctx.lstsq,
+            &mut ctx.step,
+        )?;
+        let position = Ecef::new(ctx.step[0], ctx.step[1], ctx.step[2]);
+        let rms = crate::dlo::residual_rms_scaled(
+            &ctx.geometry,
+            &ctx.rhs,
+            &ctx.corrected_ranges,
+            base_index,
+            position,
+        );
         instrument::dlg_solves().inc();
         if detail {
-            if let Some(kappa) = instrument::design_condition_number(&sys.a) {
+            if let Some(kappa) = instrument::design_condition_number(&ctx.geometry) {
                 instrument::dlg_condition().record(kappa);
                 if gps_telemetry::enabled(Level::Debug) {
                     Event::new(Level::Debug, "core.dlg", "solved")
                         .with("condition_number", kappa)
-                        .with("base_index", sys.base_index)
+                        .with("base_index", base_index)
                         .with("residual_rms_m", rms)
                         .emit();
                 }
@@ -224,12 +284,17 @@ impl PositionSolver for Dlg {
     fn min_satellites(&self) -> usize {
         4
     }
+
+    fn clone_box(&self) -> Box<dyn crate::Solver> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Dlo;
+    use crate::dlo::linearize;
+    use crate::{Dlo, Measurement, PositionSolver};
 
     fn sats() -> Vec<Ecef> {
         vec![

@@ -3,7 +3,7 @@ use gps_linalg::{lstsq, Matrix, Vector};
 
 use crate::instrument;
 use crate::measurement::validate;
-use crate::{BaseSelection, Measurement, PositionSolver, Solution, SolveError};
+use crate::{BaseSelection, Measurement, Solution, SolveError};
 use gps_telemetry::{Event, Level};
 
 /// The directly linearized trilateration system `A·Xᵉ = Dᵉ` of the paper's
@@ -48,6 +48,41 @@ pub fn linearize(
     predicted_receiver_bias_m: f64,
     base: BaseSelection,
 ) -> Result<LinearSystem, SolveError> {
+    let mut a = Matrix::default();
+    let mut d = Vector::default();
+    let mut corrected_ranges = Vec::new();
+    let mut elevations = Vec::new();
+    let base_index = linearize_into(
+        measurements,
+        predicted_receiver_bias_m,
+        base,
+        &mut a,
+        &mut d,
+        &mut corrected_ranges,
+        &mut elevations,
+    )?;
+    Ok(LinearSystem {
+        a,
+        d,
+        base_index,
+        corrected_ranges,
+        elevations,
+    })
+}
+
+/// [`linearize`] with caller-provided buffers: fills `a`, `d`,
+/// `corrected_ranges` and `elevations` in place (reusing their
+/// capacity) and returns the selected base index. The hot path behind
+/// both direct solvers' [`crate::Solver`] impls.
+pub(crate) fn linearize_into(
+    measurements: &[Measurement],
+    predicted_receiver_bias_m: f64,
+    base: BaseSelection,
+    a: &mut Matrix,
+    d: &mut Vector,
+    corrected_ranges: &mut Vec<f64>,
+    elevations: &mut Vec<Option<f64>>,
+) -> Result<usize, SolveError> {
     validate(measurements, 4)?;
     if !predicted_receiver_bias_m.is_finite() {
         return Err(SolveError::NonFinite);
@@ -58,19 +93,21 @@ pub fn linearize(
         instrument::base_index().record(base_index as f64);
     }
 
-    let corrected_ranges: Vec<f64> = measurements
-        .iter()
-        .map(|meas| meas.pseudorange - predicted_receiver_bias_m)
-        .collect();
-    let elevations: Vec<Option<f64>> = measurements.iter().map(|m| m.elevation).collect();
+    corrected_ranges.clear();
+    corrected_ranges.extend(
+        measurements
+            .iter()
+            .map(|meas| meas.pseudorange - predicted_receiver_bias_m),
+    );
+    elevations.clear();
+    elevations.extend(measurements.iter().map(|m| m.elevation));
 
-    let base_meas = &measurements[base_index];
-    let s1 = base_meas.position;
+    let s1 = measurements[base_index].position;
     let rho1 = corrected_ranges[base_index];
     let s1_norm_sq = s1.norm_squared();
 
-    let mut a = Matrix::zeros(m - 1, 3);
-    let mut d = Vector::zeros(m - 1);
+    a.resize_zeroed(m - 1, 3);
+    d.resize_zeroed(m - 1);
     let mut row = 0;
     for (j, meas) in measurements.iter().enumerate() {
         if j == base_index {
@@ -85,13 +122,7 @@ pub fn linearize(
         d[row] = 0.5 * ((sj.norm_squared() - s1_norm_sq) - (rhoj * rhoj - rho1 * rho1));
         row += 1;
     }
-    Ok(LinearSystem {
-        a,
-        d,
-        base_index,
-        corrected_ranges,
-        elevations,
-    })
+    Ok(base_index)
 }
 
 /// RMS of the linear-system residual `A·x − d`, normalized to a
@@ -105,22 +136,26 @@ pub fn linearize(
 /// pseudorange, making [`crate::Solution::residual_rms`] comparable
 /// across NR, Bancroft and the direct methods — which is what RAIM
 /// thresholds and validation gates assume.
-pub(crate) fn system_residual_rms(sys: &LinearSystem, x: Ecef) -> f64 {
-    let xv = Vector::from_slice(&[x.x, x.y, x.z]);
-    let r = lstsq::residual(&sys.a, &sys.d, &xv).expect("shapes match by construction");
-    let scales = sys
-        .corrected_ranges
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| *j != sys.base_index)
-        .map(|(_, rho)| rho.abs().max(1.0));
-    let sum: f64 = r
-        .as_slice()
-        .iter()
-        .zip(scales)
-        .map(|(component, scale)| (component / scale).powi(2))
-        .sum();
-    (sum / r.len() as f64).sqrt()
+/// Operates on the raw linearization buffers (row `r` of `a`/`d`
+/// corresponds to input measurement `r` when `r < base_index`, else
+/// `r + 1`) and performs no allocation.
+pub(crate) fn residual_rms_scaled(
+    a: &Matrix,
+    d: &Vector,
+    corrected_ranges: &[f64],
+    base_index: usize,
+    x: Ecef,
+) -> f64 {
+    let rows = a.rows();
+    let mut sum = 0.0;
+    for r in 0..rows {
+        let row = a.row(r);
+        let component = d[r] - (row[0] * x.x + row[1] * x.y + row[2] * x.z);
+        let j = if r < base_index { r } else { r + 1 };
+        let scale = corrected_ranges[j].abs().max(1.0);
+        sum += (component / scale).powi(2);
+    }
+    (sum / rows as f64).sqrt()
 }
 
 /// Algorithm **DLO**: Direct Linearization with the Ordinary Least Squares
@@ -167,26 +202,44 @@ impl Dlo {
     }
 }
 
-impl PositionSolver for Dlo {
+// Implemented without importing `Solver`, so `.solve(&meas, bias)` in
+// this module (and in `use super::*` tests) still resolves through
+// `PositionSolver` unambiguously.
+impl crate::Solver for Dlo {
     fn solve(
         &self,
-        measurements: &[Measurement],
-        predicted_receiver_bias_m: f64,
+        epoch: &crate::Epoch<'_>,
+        ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
-        let sys = linearize(measurements, predicted_receiver_bias_m, self.base)?;
-        let x = lstsq::ols(&sys.a, &sys.d)?;
-        let position = Ecef::new(x[0], x[1], x[2]);
-        let rms = system_residual_rms(&sys, position);
+        let base_index = linearize_into(
+            epoch.measurements,
+            epoch.predicted_receiver_bias_m,
+            self.base,
+            &mut ctx.geometry,
+            &mut ctx.rhs,
+            &mut ctx.corrected_ranges,
+            &mut ctx.elevations,
+        )?;
+        lstsq::ols_into(&ctx.geometry, &ctx.rhs, &mut ctx.lstsq, &mut ctx.step)?;
+        let position = Ecef::new(ctx.step[0], ctx.step[1], ctx.step[2]);
+        let rms = residual_rms_scaled(
+            &ctx.geometry,
+            &ctx.rhs,
+            &ctx.corrected_ranges,
+            base_index,
+            position,
+        );
         instrument::dlo_solves().inc();
         // The eigendecomposition behind the condition number costs more
-        // than the solve itself; only observe it when detail is on.
+        // than the solve itself (and allocates); only observe it when
+        // detail is on.
         if gps_telemetry::detail() {
-            if let Some(kappa) = instrument::design_condition_number(&sys.a) {
+            if let Some(kappa) = instrument::design_condition_number(&ctx.geometry) {
                 instrument::dlo_condition().record(kappa);
                 if gps_telemetry::enabled(Level::Debug) {
                     Event::new(Level::Debug, "core.dlo", "solved")
                         .with("condition_number", kappa)
-                        .with("base_index", sys.base_index)
+                        .with("base_index", base_index)
                         .with("residual_rms_m", rms)
                         .emit();
                 }
@@ -202,11 +255,16 @@ impl PositionSolver for Dlo {
     fn min_satellites(&self) -> usize {
         4
     }
+
+    fn clone_box(&self) -> Box<dyn crate::Solver> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PositionSolver;
 
     fn sats() -> Vec<Ecef> {
         vec![

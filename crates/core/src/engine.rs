@@ -1,0 +1,296 @@
+//! Batched epoch processing over the [`Solver`] trait.
+//!
+//! [`Engine`] owns one [`Lane`] per solver, and every lane owns its own
+//! [`SolveContext`]. Feeding a stream of epochs through
+//! [`Engine::run_epoch`] therefore reuses each solver's scratch buffers
+//! epoch after epoch: after the first (warm-up) epoch the steady-state
+//! hot path performs no heap allocation. This is the harness the
+//! benchmarks and the CLI `engine` smoke run drive; contrast it with
+//! [`crate::ResilientSolver`], which walks the same solvers as a
+//! *degradation ladder* (first acceptable fix wins) instead of running
+//! them all side by side.
+
+use std::time::{Duration, Instant};
+
+use crate::{
+    Bancroft, Dlg, Dlo, Epoch, Measurement, NewtonRaphson, Solution, SolveContext, SolveError,
+    Solver,
+};
+
+/// Running tallies for one [`Lane`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Epochs fed through the lane.
+    pub epochs: u64,
+    /// Epochs the solver returned `Ok`.
+    pub solved: u64,
+    /// Epochs the solver returned `Err`.
+    pub failed: u64,
+    /// Wall-clock time spent inside the solver across all epochs.
+    pub total_time: Duration,
+}
+
+impl LaneStats {
+    /// Mean time per epoch, or zero before the first epoch.
+    #[must_use]
+    pub fn mean_time(&self) -> Duration {
+        if self.epochs == 0 {
+            Duration::ZERO
+        } else {
+            // u32 saturation is unreachable for any realistic epoch count.
+            self.total_time / u32::try_from(self.epochs).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// One solver plus its private [`SolveContext`] and statistics.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    solver: Box<dyn Solver>,
+    ctx: SolveContext,
+    stats: LaneStats,
+    last: Option<Result<Solution, SolveError>>,
+}
+
+impl Lane {
+    /// Wraps a solver in a fresh lane.
+    #[must_use]
+    pub fn new(solver: Box<dyn Solver>) -> Self {
+        Lane {
+            solver,
+            ctx: SolveContext::new(),
+            stats: LaneStats::default(),
+            last: None,
+        }
+    }
+
+    /// The wrapped solver's report name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    /// Borrows the wrapped solver.
+    #[must_use]
+    pub fn solver(&self) -> &dyn Solver {
+        self.solver.as_ref()
+    }
+
+    /// This lane's running statistics.
+    #[must_use]
+    pub fn stats(&self) -> &LaneStats {
+        &self.stats
+    }
+
+    /// The most recent epoch's outcome, if any epoch ran yet.
+    #[must_use]
+    pub fn last(&self) -> Option<&Result<Solution, SolveError>> {
+        self.last.as_ref()
+    }
+
+    /// Runs one epoch through the lane; returns whether it solved.
+    fn run(&mut self, epoch: &Epoch<'_>) -> bool {
+        let start = Instant::now();
+        let result = self.solver.solve(epoch, &mut self.ctx);
+        self.stats.total_time += start.elapsed();
+        self.stats.epochs += 1;
+        let solved = result.is_ok();
+        if solved {
+            self.stats.solved += 1;
+        } else {
+            self.stats.failed += 1;
+        }
+        self.last = Some(result);
+        solved
+    }
+}
+
+/// Batched epoch processor: every added solver runs on every epoch with
+/// a reusable per-lane [`SolveContext`].
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{Engine, Measurement};
+/// use gps_geodesy::Ecef;
+///
+/// let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+///     Ecef::new(0.8e7, 1.4e7, 2.0e7),
+/// ];
+/// let meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth)))
+///     .collect();
+/// let mut engine = Engine::all_solvers();
+/// for _ in 0..10 {
+///     assert_eq!(engine.run_epoch(&meas, 0.0), 4); // all four lanes solve
+/// }
+/// for lane in engine.lanes() {
+///     assert_eq!(lane.stats().solved, 10);
+///     let fix = lane.last().unwrap().as_ref().unwrap();
+///     assert!(fix.position.distance_to(truth) < 1e-2, "{}", lane.name());
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    lanes: Vec<Lane>,
+    epochs: u64,
+}
+
+impl Engine {
+    /// Creates an engine with no lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Creates an engine with one lane per paper solver
+    /// (NR, DLO, DLG, Bancroft).
+    #[must_use]
+    pub fn all_solvers() -> Self {
+        Engine::new()
+            .with_solver(Box::new(NewtonRaphson::default()))
+            .with_solver(Box::new(Dlo::default()))
+            .with_solver(Box::new(Dlg::default()))
+            .with_solver(Box::new(Bancroft))
+    }
+
+    /// Adds a lane for `solver`.
+    #[must_use]
+    pub fn with_solver(mut self, solver: Box<dyn Solver>) -> Self {
+        self.lanes.push(Lane::new(solver));
+        self
+    }
+
+    /// Feeds one epoch to every lane; returns how many lanes solved.
+    ///
+    /// After each lane's first epoch its scratch buffers are warm, so
+    /// subsequent calls with the same satellite count do not allocate.
+    pub fn run_epoch(
+        &mut self,
+        measurements: &[Measurement],
+        predicted_receiver_bias_m: f64,
+    ) -> usize {
+        let epoch = Epoch::new(measurements, predicted_receiver_bias_m);
+        self.epochs += 1;
+        self.lanes
+            .iter_mut()
+            .map(|lane| usize::from(lane.run(&epoch)))
+            .sum()
+    }
+
+    /// The lanes, in insertion order.
+    #[must_use]
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Epochs fed through [`Engine::run_epoch`] so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_geodesy::Ecef;
+
+    fn truth() -> Ecef {
+        Ecef::new(6.371e6, 1.0e5, -2.0e5)
+    }
+
+    fn measurements(bias: f64) -> Vec<Measurement> {
+        [
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        ]
+        .iter()
+        .map(|&s| Measurement::new(s, s.distance_to(truth()) + bias))
+        .collect()
+    }
+
+    #[test]
+    fn all_lanes_solve_clean_epochs() {
+        let mut engine = Engine::all_solvers();
+        let meas = measurements(0.0);
+        for _ in 0..5 {
+            assert_eq!(engine.run_epoch(&meas, 0.0), 4);
+        }
+        assert_eq!(engine.epochs(), 5);
+        let names: Vec<&str> = engine.lanes().iter().map(Lane::name).collect();
+        assert_eq!(names, ["NR", "DLO", "DLG", "Bancroft"]);
+        for lane in engine.lanes() {
+            assert_eq!(lane.stats().epochs, 5);
+            assert_eq!(lane.stats().solved, 5);
+            assert_eq!(lane.stats().failed, 0);
+            let fix = lane.last().unwrap().as_ref().unwrap();
+            assert!(
+                fix.position.distance_to(truth()) < 1e-2,
+                "{} err {}",
+                lane.name(),
+                fix.position.distance_to(truth())
+            );
+        }
+    }
+
+    #[test]
+    fn failures_are_tallied_per_lane() {
+        let mut engine = Engine::all_solvers();
+        let few = &measurements(0.0)[..3]; // below every solver's minimum
+        assert_eq!(engine.run_epoch(few, 0.0), 0);
+        for lane in engine.lanes() {
+            assert_eq!(lane.stats().failed, 1);
+            assert!(lane.last().unwrap().is_err());
+        }
+        // A good epoch afterwards still solves: contexts recover.
+        assert_eq!(engine.run_epoch(&measurements(0.0), 0.0), 4);
+    }
+
+    #[test]
+    fn varying_satellite_counts_between_epochs() {
+        // Buffer shapes change between epochs; results must stay correct.
+        let mut engine = Engine::all_solvers();
+        let meas = measurements(0.0);
+        for n in [6, 4, 5, 6] {
+            assert_eq!(engine.run_epoch(&meas[..n], 0.0), 4, "n={n}");
+            for lane in engine.lanes() {
+                let fix = lane.last().unwrap().as_ref().unwrap();
+                assert!(fix.position.distance_to(truth()) < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_direct_trait_calls() {
+        let mut engine = Engine::new().with_solver(Box::new(Dlg::default()));
+        let meas = measurements(0.0);
+        engine.run_epoch(&meas, 0.0);
+        let via_engine = *engine.lanes()[0].last().unwrap().as_ref().unwrap();
+        let mut ctx = SolveContext::new();
+        let direct = Solver::solve(&Dlg::default(), &Epoch::new(&meas, 0.0), &mut ctx).unwrap();
+        assert_eq!(via_engine, direct);
+    }
+
+    #[test]
+    fn stats_report_mean_time() {
+        let mut engine = Engine::new().with_solver(Box::new(Dlo::default()));
+        assert_eq!(engine.lanes()[0].stats().mean_time(), Duration::ZERO);
+        let meas = measurements(0.0);
+        for _ in 0..3 {
+            engine.run_epoch(&meas, 0.0);
+        }
+        let stats = engine.lanes()[0].stats();
+        assert!(stats.mean_time() <= stats.total_time);
+    }
+}

@@ -53,6 +53,23 @@ cached_metric!(
     Counter,
     "core.resilient.raim_retries"
 );
+cached_metric!(
+    resilient_accepted_rung,
+    Histogram,
+    "core.resilient.accepted_rung"
+);
+
+/// Counter for a [`crate::FixQuality`] by its canonical name, so the
+/// ladder walk emits `core.resilient.{nominal,degraded,holdover,no_fix}`
+/// from one generic call site instead of per-quality branches.
+pub(crate) fn resilient_fix_quality(name: &'static str) -> &'static Counter {
+    match name {
+        "nominal" => resilient_nominal(),
+        "degraded" => resilient_degraded(),
+        "holdover" => resilient_holdover(),
+        _ => resilient_no_fix(),
+    }
+}
 
 /// 2-norm condition number of the design matrix `A`, via the symmetric
 /// eigendecomposition of its 3×3 Gram matrix: `κ₂(A) = √κ₂(AᵀA)`.

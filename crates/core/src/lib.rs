@@ -58,6 +58,7 @@ mod base;
 mod dlg;
 mod dlo;
 mod dop;
+mod engine;
 mod error;
 mod hatch;
 mod instrument;
@@ -69,6 +70,7 @@ mod raim;
 mod resilient;
 pub mod sagnac;
 mod solution;
+mod solver;
 mod trilateration;
 mod velocity;
 
@@ -77,6 +79,7 @@ pub use base::BaseSelection;
 pub use dlg::{CovarianceModel, Dlg};
 pub use dlo::{linearize, Dlo, LinearSystem};
 pub use dop::Dop;
+pub use engine::{Engine, Lane, LaneStats};
 pub use error::SolveError;
 pub use hatch::HatchFilter;
 pub use kinematic::PvFilter;
@@ -85,11 +88,17 @@ pub use nr::{NewtonRaphson, Weighting};
 pub use raim::{Raim, RaimSolution};
 pub use resilient::{FixQuality, ResilientFix, ResilientSolver, ValidationGates};
 pub use solution::Solution;
+pub use solver::{Epoch, SolveContext, Solver};
 pub use trilateration::{trilaterate3, TrilaterationRoots};
 pub use velocity::{solve_velocity, RateMeasurement, VelocitySolution};
 
 /// Common interface over the positioning algorithms, so harnesses and
 /// benches can sweep `{NR, DLO, DLG, Bancroft}` uniformly.
+///
+/// This is the *simple* API: every call allocates its own scratch
+/// buffers. It is derived automatically (via a blanket impl) from the
+/// hot-path [`Solver`] trait, which threads a reusable [`SolveContext`]
+/// instead — implement `Solver` once and both interfaces work.
 pub trait PositionSolver {
     /// Estimates the receiver position from one epoch of measurements.
     ///

@@ -1,9 +1,9 @@
 use gps_geodesy::Ecef;
-use gps_linalg::{lstsq, Matrix, Vector};
+use gps_linalg::lstsq;
 
 use crate::instrument;
 use crate::measurement::validate;
-use crate::{Measurement, PositionSolver, Solution, SolveError};
+use crate::{Solution, SolveError};
 use gps_telemetry::{Event, Level};
 
 /// The classic Newton–Raphson GPS solver (paper §3.4) — the baseline every
@@ -141,26 +141,30 @@ impl Default for NewtonRaphson {
     }
 }
 
-impl PositionSolver for NewtonRaphson {
+// Implemented without importing `Solver`, so `.solve(&meas, bias)` in
+// this module (and in `use super::*` tests) still resolves through
+// `PositionSolver` unambiguously.
+impl crate::Solver for NewtonRaphson {
     fn solve(
         &self,
-        measurements: &[Measurement],
-        predicted_receiver_bias_m: f64,
+        epoch: &crate::Epoch<'_>,
+        ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
-        validate(measurements, self.min_satellites())?;
+        let measurements = epoch.measurements;
+        validate(measurements, 4)?;
         let m = measurements.len();
 
         let mut pos = self.initial_position;
         // A caller-supplied bias prediction is a better initial guess than
         // zero; NR still refines it as an unknown.
-        let mut bias = if predicted_receiver_bias_m != 0.0 {
-            predicted_receiver_bias_m
+        let mut bias = if epoch.predicted_receiver_bias_m != 0.0 {
+            epoch.predicted_receiver_bias_m
         } else {
             self.initial_bias_m
         };
 
-        let mut jacobian = Matrix::zeros(m, 4);
-        let mut neg_residual = Vector::zeros(m);
+        ctx.geometry.resize_zeroed(m, 4);
+        ctx.rhs.resize_zeroed(m);
 
         for iteration in 1..=self.max_iterations {
             // Build P and the Jacobian at the current iterate (eq. 3-24 and
@@ -178,8 +182,8 @@ impl PositionSolver for NewtonRaphson {
                     });
                 }
                 let p_i = range - meas.pseudorange + bias;
-                neg_residual[i] = -p_i;
-                let row = jacobian.row_mut(i);
+                ctx.rhs[i] = -p_i;
+                let row = ctx.geometry.row_mut(i);
                 row[0] = delta.x / range;
                 row[1] = delta.y / range;
                 row[2] = delta.z / range;
@@ -188,22 +192,28 @@ impl PositionSolver for NewtonRaphson {
 
             // Step 4: solve eq. 3-26 by OLS (exact solve when m = 4), or
             // by weighted LS when elevation weighting is configured.
-            let step = match self.weighting {
-                Weighting::Uniform => lstsq::ols(&jacobian, &neg_residual)?,
-                Weighting::SinSquaredElevation => {
-                    let weights: Vec<f64> = measurements
-                        .iter()
-                        .map(|meas| {
-                            meas.elevation
-                                .map_or(1.0, |el| (el.sin() * el.sin()).max(1e-3))
-                        })
-                        .collect();
-                    lstsq::wls(&jacobian, &neg_residual, &weights)?
+            match self.weighting {
+                Weighting::Uniform => {
+                    lstsq::ols_into(&ctx.geometry, &ctx.rhs, &mut ctx.lstsq, &mut ctx.step)?;
                 }
-            };
+                Weighting::SinSquaredElevation => {
+                    ctx.weights.clear();
+                    ctx.weights.extend(measurements.iter().map(|meas| {
+                        meas.elevation
+                            .map_or(1.0, |el| (el.sin() * el.sin()).max(1e-3))
+                    }));
+                    lstsq::wls_into(
+                        &ctx.geometry,
+                        &ctx.rhs,
+                        &ctx.weights,
+                        &mut ctx.lstsq,
+                        &mut ctx.step,
+                    )?;
+                }
+            }
 
-            pos += Ecef::new(step[0], step[1], step[2]);
-            bias += step[3];
+            pos += Ecef::new(ctx.step[0], ctx.step[1], ctx.step[2]);
+            bias += ctx.step[3];
 
             if !pos.is_finite() || !bias.is_finite() {
                 instrument::nr_nonconvergence().inc();
@@ -213,7 +223,7 @@ impl PositionSolver for NewtonRaphson {
                 });
             }
 
-            if step.norm_inf() < self.tolerance_m {
+            if ctx.step.norm_inf() < self.tolerance_m {
                 // Converged: report the residual RMS at the accepted
                 // iterate.
                 let mut sum_sq = 0.0;
@@ -258,11 +268,24 @@ impl PositionSolver for NewtonRaphson {
     fn min_satellites(&self) -> usize {
         4
     }
+
+    fn estimates_bias(&self) -> bool {
+        true
+    }
+
+    fn is_iterative(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn crate::Solver> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Measurement, PositionSolver};
 
     fn sats() -> Vec<Ecef> {
         vec![

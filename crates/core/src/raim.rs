@@ -9,7 +9,7 @@
 //! measurement, and with `m ≥ 6` the faulty satellite can be identified
 //! and excluded.
 //!
-//! [`Raim`] wraps any [`PositionSolver`] with the classic
+//! [`Raim`] wraps any [`Solver`] with the classic
 //! residual-testing fault detection and exclusion (FDE) loop:
 //!
 //! 1. solve with all satellites, compute the residual RMS;
@@ -18,7 +18,7 @@
 //! 3. repeat until the test passes or too few satellites remain.
 
 use crate::instrument;
-use crate::{Measurement, PositionSolver, Solution, SolveError};
+use crate::{Epoch, Measurement, Solution, SolveContext, SolveError, Solver};
 use gps_telemetry::{Event, Level};
 
 /// Outcome of a RAIM-protected solve.
@@ -72,7 +72,7 @@ pub struct Raim<S> {
     max_exclusions: usize,
 }
 
-impl<S: PositionSolver> Raim<S> {
+impl<S: Solver> Raim<S> {
     /// Wraps `inner` with a residual-RMS detection threshold (metres).
     ///
     /// A sensible threshold is 3–5× the expected pseudorange noise sigma
@@ -120,12 +120,57 @@ impl<S: PositionSolver> Raim<S> {
         measurements: &[Measurement],
         predicted_receiver_bias_m: f64,
     ) -> Result<RaimSolution, SolveError> {
-        let mut active: Vec<usize> = (0..measurements.len()).collect();
+        let mut ctx = SolveContext::new();
+        self.solve_with(
+            &Epoch::new(measurements, predicted_receiver_bias_m),
+            &mut ctx,
+        )
+    }
+
+    /// [`Raim::solve`] with a caller-provided [`SolveContext`]: the index
+    /// and subset scratch buffers live in `ctx`, so a warm context makes
+    /// the no-fault path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Raim::solve`].
+    pub fn solve_with(
+        &self,
+        epoch: &Epoch<'_>,
+        ctx: &mut SolveContext,
+    ) -> Result<RaimSolution, SolveError> {
+        // Detach the RAIM scratch from the context so the inner solver can
+        // still borrow `ctx` mutably while subsets are staged in it.
+        let mut scratch = std::mem::take(&mut ctx.raim);
+        let result = self.solve_inner(epoch, ctx, &mut scratch);
+        ctx.raim = scratch;
+        result
+    }
+
+    fn solve_inner(
+        &self,
+        epoch: &Epoch<'_>,
+        ctx: &mut SolveContext,
+        scratch: &mut crate::solver::RaimScratch,
+    ) -> Result<RaimSolution, SolveError> {
+        let measurements = epoch.measurements;
+        let bias = epoch.predicted_receiver_bias_m;
+        scratch.active.clear();
+        scratch.active.extend(0..measurements.len());
         let mut excluded = Vec::new();
 
         loop {
-            let subset: Vec<Measurement> = active.iter().map(|&i| measurements[i]).collect();
-            let solution = self.inner.solve(&subset, predicted_receiver_bias_m)?;
+            let solution = if excluded.is_empty() {
+                // No exclusions yet: solve on the caller's slice directly
+                // (the empty `excluded` Vec has not allocated either).
+                self.inner.solve(epoch, ctx)?
+            } else {
+                scratch.subset.clear();
+                scratch
+                    .subset
+                    .extend(scratch.active.iter().map(|&i| measurements[i]));
+                self.inner.solve(&Epoch::new(&scratch.subset, bias), ctx)?
+            };
             if solution.residual_rms <= self.threshold_m {
                 return Ok(RaimSolution {
                     solution,
@@ -142,23 +187,26 @@ impl<S: PositionSolver> Raim<S> {
             }
             // Identification needs one satellite of redundancy after
             // removal: m−1 ≥ min+1.
-            if active.len() <= self.inner.min_satellites() + 1 {
+            if scratch.active.len() <= self.inner.min_satellites() + 1 {
                 return Err(SolveError::TooFewSatellites {
-                    got: active.len(),
+                    got: scratch.active.len(),
                     need: self.inner.min_satellites() + 2,
                 });
             }
             // Leave-one-out: adopt the exclusion with the smallest
             // residual.
             let mut best: Option<(usize, f64)> = None;
-            for (k, _) in active.iter().enumerate() {
-                let subset: Vec<Measurement> = active
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != k)
-                    .map(|(_, &i)| measurements[i])
-                    .collect();
-                if let Ok(sol) = self.inner.solve(&subset, predicted_receiver_bias_m) {
+            for k in 0..scratch.active.len() {
+                scratch.loo.clear();
+                scratch.loo.extend(
+                    scratch
+                        .active
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != k)
+                        .map(|(_, &i)| measurements[i]),
+                );
+                if let Ok(sol) = self.inner.solve(&Epoch::new(&scratch.loo, bias), ctx) {
                     if best.is_none_or(|(_, r)| sol.residual_rms < r) {
                         best = Some((k, sol.residual_rms));
                     }
@@ -166,7 +214,7 @@ impl<S: PositionSolver> Raim<S> {
             }
             match best {
                 Some((k, subset_residual)) => {
-                    let index = active.remove(k);
+                    let index = scratch.active.remove(k);
                     excluded.push(index);
                     instrument::raim_exclusions().inc();
                     if gps_telemetry::enabled(Level::Warn) {
@@ -174,7 +222,7 @@ impl<S: PositionSolver> Raim<S> {
                             .with("measurement_index", index)
                             .with("full_set_residual_m", solution.residual_rms)
                             .with("subset_residual_m", subset_residual)
-                            .with("remaining", active.len())
+                            .with("remaining", scratch.active.len())
                             .emit();
                     }
                 }

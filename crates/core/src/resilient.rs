@@ -34,8 +34,8 @@ use gps_telemetry::{Event, Level};
 
 use crate::instrument;
 use crate::{
-    Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver, PvFilter, Raim, Solution,
-    SolveError,
+    Bancroft, Dlg, Dlo, Dop, Epoch, Measurement, NewtonRaphson, PvFilter, Raim, Solution,
+    SolveContext, SolveError, Solver,
 };
 
 /// How much a [`ResilientFix`] should be trusted.
@@ -161,10 +161,11 @@ impl Default for ValidationGates {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResilientSolver {
-    dlg: Dlg,
-    dlo: Dlo,
-    nr: NewtonRaphson,
-    bancroft: Bancroft,
+    /// Degradation ladder, walked in order until a rung's fix passes the
+    /// gates. Default: DLG → DLO → NR → Bancroft.
+    ladder: Vec<Box<dyn Solver>>,
+    /// Reusable scratch for every rung (and its RAIM retry).
+    ctx: SolveContext,
     gates: ValidationGates,
     /// Residual-RMS threshold handed to the RAIM retry, metres.
     raim_threshold_m: f64,
@@ -192,10 +193,13 @@ impl ResilientSolver {
     #[must_use]
     pub fn new() -> Self {
         ResilientSolver {
-            dlg: Dlg::default(),
-            dlo: Dlo::default(),
-            nr: NewtonRaphson::default(),
-            bancroft: Bancroft,
+            ladder: vec![
+                Box::new(Dlg::default()),
+                Box::new(Dlo::default()),
+                Box::new(NewtonRaphson::default()),
+                Box::new(Bancroft),
+            ],
+            ctx: SolveContext::new(),
             gates: ValidationGates::default(),
             raim_threshold_m: 10.0,
             max_raim_exclusions: 2,
@@ -204,6 +208,19 @@ impl ResilientSolver {
             holdover_used: 0,
             since_fix_s: 0.0,
         }
+    }
+
+    /// Replaces the degradation ladder. Rungs are tried in order; rung 0
+    /// is the only one that can produce a [`FixQuality::Nominal`] fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ladder` is empty.
+    #[must_use]
+    pub fn with_ladder(mut self, ladder: Vec<Box<dyn Solver>>) -> Self {
+        assert!(!ladder.is_empty(), "ladder must have at least one rung");
+        self.ladder = ladder;
+        self
     }
 
     /// Replaces the validation gates.
@@ -283,12 +300,27 @@ impl ResilientSolver {
         }
         let dropped_non_finite = measurements.len() - clean.len();
 
-        // 2-4. The ladder, with gates and RAIM retry per rung.
+        // 2-4. The ladder, with gates and RAIM retry per rung. The walk
+        // is generic: every rung is a `&dyn Solver`, so adding or
+        // reordering solvers never touches this loop.
+        let cfg = RungConfig {
+            gates: &self.gates,
+            filter: &self.filter,
+            since_fix_s: self.since_fix_s,
+            raim_threshold_m: self.raim_threshold_m,
+            max_raim_exclusions: self.max_raim_exclusions,
+        };
         let mut first_error: Option<SolveError> = None;
         let mut accepted: Option<(Solution, &'static str, Vec<usize>, usize)> = None;
-        for rung in 0..4 {
-            let (name, result) = self.run_rung(rung, &clean, predicted_receiver_bias_m);
-            match result {
+        for (rung, solver) in self.ladder.iter().enumerate() {
+            let name = solver.name();
+            match attempt(
+                solver.as_ref(),
+                &clean,
+                predicted_receiver_bias_m,
+                &cfg,
+                &mut self.ctx,
+            ) {
                 Ok((solution, excluded_clean)) => {
                     let excluded: Vec<usize> =
                         excluded_clean.iter().map(|&k| original_index[k]).collect();
@@ -328,23 +360,29 @@ impl ResilientSolver {
             } else {
                 FixQuality::Degraded
             };
-            match quality {
-                FixQuality::Nominal => instrument::resilient_nominal().inc(),
-                _ => instrument::resilient_degraded().inc(),
-            }
+            // One generic emission point for every quality outcome — the
+            // counter name derives from `FixQuality::name`, never from a
+            // per-solver branch.
+            instrument::resilient_fix_quality(quality.name()).inc();
+            #[allow(clippy::cast_precision_loss)]
+            instrument::resilient_accepted_rung().record(rung as f64);
             // Feed the kinematic model and reset the holdover budget.
             // The innovation covariance cannot fail to factor for a
             // valid r_pos, so a filter error only skips the smoothing.
             let _ = self.filter.update(solution.position, self.since_fix_s);
             self.since_fix_s = 0.0;
             self.holdover_used = 0;
-            let used: Vec<Measurement> = clean
-                .iter()
-                .zip(&original_index)
-                .filter(|(_, &i)| !excluded.contains(&i))
-                .map(|(m, _)| *m)
-                .collect();
-            let gdop = Dop::compute(&used, solution.position).ok().map(|d| d.gdop);
+            let gdop = if excluded.is_empty() {
+                Dop::compute(&clean, solution.position).ok().map(|d| d.gdop)
+            } else {
+                let used: Vec<Measurement> = clean
+                    .iter()
+                    .zip(&original_index)
+                    .filter(|(_, &i)| !excluded.contains(&i))
+                    .map(|(m, _)| *m)
+                    .collect();
+                Dop::compute(&used, solution.position).ok().map(|d| d.gdop)
+            };
             return Ok(ResilientFix {
                 position: solution.position,
                 quality,
@@ -361,7 +399,7 @@ impl ResilientSolver {
         if self.holdover_used < self.max_holdover_epochs {
             if let Some(position) = self.filter.predict_position(self.since_fix_s) {
                 self.holdover_used += 1;
-                instrument::resilient_holdover().inc();
+                instrument::resilient_fix_quality(FixQuality::Holdover.name()).inc();
                 if gps_telemetry::enabled(Level::Warn) {
                     Event::new(Level::Warn, "core.resilient", "holdover")
                         .with("consecutive", self.holdover_used)
@@ -380,90 +418,89 @@ impl ResilientSolver {
                 });
             }
         }
-        instrument::resilient_no_fix().inc();
+        instrument::resilient_fix_quality("no_fix").inc();
+        let need = self
+            .ladder
+            .iter()
+            .map(|s| s.min_satellites())
+            .min()
+            .unwrap_or(4);
         Err(first_error.unwrap_or(SolveError::TooFewSatellites {
             got: measurements.len(),
-            need: 4,
+            need,
         }))
     }
+}
 
-    /// Runs one ladder rung: solve, validate, RAIM-retry on residual
-    /// failure. Returns the accepted solution plus exclusions as indices
-    /// into `clean`.
-    fn run_rung(
-        &self,
-        rung: usize,
-        clean: &[Measurement],
-        predicted_bias_m: f64,
-    ) -> (&'static str, Result<(Solution, Vec<usize>), SolveError>) {
-        match rung {
-            0 => ("DLG", self.attempt(&self.dlg, clean, predicted_bias_m)),
-            1 => ("DLO", self.attempt(&self.dlo, clean, predicted_bias_m)),
-            2 => ("NR", self.attempt(&self.nr, clean, predicted_bias_m)),
-            _ => (
-                "Bancroft",
-                self.attempt(&self.bancroft, clean, predicted_bias_m),
-            ),
-        }
-    }
+/// Per-rung slice of the pipeline configuration, so the ladder walk can
+/// borrow the solver list and the scratch context independently of the
+/// gate parameters.
+struct RungConfig<'a> {
+    gates: &'a ValidationGates,
+    filter: &'a PvFilter,
+    since_fix_s: f64,
+    raim_threshold_m: f64,
+    max_raim_exclusions: usize,
+}
 
-    /// Solve + gates + RAIM retry for one concrete solver.
-    fn attempt<S: PositionSolver + Copy>(
-        &self,
-        solver: &S,
-        clean: &[Measurement],
-        predicted_bias_m: f64,
-    ) -> Result<(Solution, Vec<usize>), SolveError> {
-        let solution = solver.solve(clean, predicted_bias_m)?;
-        match self.validate(&solution, clean) {
-            GateVerdict::Pass => Ok((solution, Vec::new())),
-            GateVerdict::Fail(gate) => {
-                instrument::resilient_gate_failures().inc();
-                // A residual failure with redundancy to spare is the RAIM
-                // case: one bad measurement may be poisoning the fix.
-                if gate == Gate::Residual && clean.len() >= solver.min_satellites() + 2 {
-                    instrument::resilient_raim_retries().inc();
-                    let raim = Raim::new(*solver, self.raim_threshold_m)
-                        .with_max_exclusions(self.max_raim_exclusions);
-                    let outcome = raim.solve(clean, predicted_bias_m)?;
-                    let kept: Vec<Measurement> = clean
-                        .iter()
-                        .enumerate()
-                        .filter(|(k, _)| !outcome.excluded.contains(k))
-                        .map(|(_, m)| *m)
-                        .collect();
-                    match self.validate(&outcome.solution, &kept) {
-                        GateVerdict::Pass => Ok((outcome.solution, outcome.excluded)),
-                        GateVerdict::Fail(_) => Err(SolveError::IntegrityFault {
-                            excluded: outcome.excluded,
-                            residual: outcome.solution.residual_rms,
-                        }),
-                    }
-                } else {
-                    Err(gate.as_error(&solution))
+/// Solve + gates + RAIM retry for one ladder rung.
+fn attempt(
+    solver: &dyn Solver,
+    clean: &[Measurement],
+    predicted_bias_m: f64,
+    cfg: &RungConfig<'_>,
+    ctx: &mut SolveContext,
+) -> Result<(Solution, Vec<usize>), SolveError> {
+    let epoch = Epoch::new(clean, predicted_bias_m);
+    let solution = solver.solve(&epoch, ctx)?;
+    match validate(&solution, clean, cfg) {
+        GateVerdict::Pass => Ok((solution, Vec::new())),
+        GateVerdict::Fail(gate) => {
+            instrument::resilient_gate_failures().inc();
+            // A residual failure with redundancy to spare is the RAIM
+            // case: one bad measurement may be poisoning the fix.
+            if gate == Gate::Residual && clean.len() >= solver.min_satellites() + 2 {
+                instrument::resilient_raim_retries().inc();
+                let raim = Raim::new(solver, cfg.raim_threshold_m)
+                    .with_max_exclusions(cfg.max_raim_exclusions);
+                let outcome = raim.solve_with(&epoch, ctx)?;
+                let kept: Vec<Measurement> = clean
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| !outcome.excluded.contains(k))
+                    .map(|(_, m)| *m)
+                    .collect();
+                match validate(&outcome.solution, &kept, cfg) {
+                    GateVerdict::Pass => Ok((outcome.solution, outcome.excluded)),
+                    GateVerdict::Fail(_) => Err(SolveError::IntegrityFault {
+                        excluded: outcome.excluded,
+                        residual: outcome.solution.residual_rms,
+                    }),
                 }
+            } else {
+                Err(gate.as_error(&solution))
             }
         }
     }
+}
 
-    /// Applies the residual / GDOP / position-innovation gates.
-    fn validate(&self, solution: &Solution, used: &[Measurement]) -> GateVerdict {
-        if solution.residual_rms > self.gates.max_residual_rms_m {
-            return GateVerdict::Fail(Gate::Residual);
-        }
-        match Dop::compute(used, solution.position) {
-            Ok(dop) if dop.gdop <= self.gates.max_gdop => {}
-            // Either the geometry is explicitly degenerate or GDOP blew
-            // through the ceiling — both mean "don't trust this fix".
-            _ => return GateVerdict::Fail(Gate::Geometry),
-        }
-        if let Some(predicted) = self.filter.predict_position(self.since_fix_s) {
-            if solution.position.distance_to(predicted) > self.gates.max_position_innovation_m {
-                return GateVerdict::Fail(Gate::Innovation);
-            }
-        }
-        GateVerdict::Pass
+/// Applies the residual / GDOP / position-innovation gates.
+fn validate(solution: &Solution, used: &[Measurement], cfg: &RungConfig<'_>) -> GateVerdict {
+    if solution.residual_rms > cfg.gates.max_residual_rms_m {
+        return GateVerdict::Fail(Gate::Residual);
     }
+    match Dop::compute(used, solution.position) {
+        Ok(dop) if dop.gdop <= cfg.gates.max_gdop => {}
+        // Either the geometry is explicitly degenerate or GDOP blew
+        // through the ceiling — both mean "don't trust this fix".
+        _ => return GateVerdict::Fail(Gate::Geometry),
+    }
+    if let Some(predicted) = cfg.filter.predict_position(cfg.since_fix_s) {
+        if solution.position.distance_to(predicted) > cfg.gates.max_position_innovation_m {
+            return GateVerdict::Fail(Gate::Innovation);
+        }
+    }
+    GateVerdict::Pass
 }
 
 /// Which gate a candidate fix failed.

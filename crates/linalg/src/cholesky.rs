@@ -42,6 +42,24 @@ impl Cholesky {
     /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
     /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
     pub fn new(a: &Matrix) -> crate::Result<Self> {
+        let mut l = a.clone();
+        Cholesky::factor_in_place(&mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Factors a symmetric positive-definite matrix **in place**: on
+    /// success `a` holds the lower-triangular factor `L` (strict upper
+    /// triangle zeroed).
+    ///
+    /// This is the allocation-free core of [`Cholesky::new`], exposed for
+    /// callers that keep a reusable scratch matrix across solves (the
+    /// `lstsq::*_into` entry points). Only the lower triangle of the input
+    /// is read. On error the contents of `a` are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::new`].
+    pub fn factor_in_place(a: &mut Matrix) -> crate::Result<()> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
@@ -52,29 +70,120 @@ impl Cholesky {
         if !a.is_finite() {
             return Err(LinalgError::NonFinite);
         }
-        let mut l = Matrix::zeros(n, n);
         for j in 0..n {
-            // Diagonal entry.
+            // Diagonal entry. Columns k < j of rows ≥ j already hold L.
             let mut d = a[(j, j)];
             for k in 0..j {
-                let v = l[(j, k)];
+                let v = a[(j, k)];
                 d -= v * v;
             }
             if d <= 0.0 || !d.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let dsqrt = d.sqrt();
-            l[(j, j)] = dsqrt;
+            a[(j, j)] = dsqrt;
             // Below-diagonal entries of column j.
             for i in (j + 1)..n {
                 let mut s = a[(i, j)];
                 for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+                    s -= a[(i, k)] * a[(j, k)];
                 }
-                l[(i, j)] = s / dsqrt;
+                a[(i, j)] = s / dsqrt;
+            }
+            // Zero the strict upper triangle of row j so the result is a
+            // genuine lower-triangular factor.
+            for c in (j + 1)..n {
+                a[(j, c)] = 0.0;
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
+    }
+
+    /// Forward-substitutes `L y = x` in place, overwriting `x` with `y`,
+    /// for a lower-triangular factor `l` (as produced by
+    /// [`Cholesky::factor_in_place`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != l.rows()`.
+    pub fn forward_substitute(l: &Matrix, x: &mut [f64]) -> crate::Result<()> {
+        let n = l.rows();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (x.len(), 1),
+                op: "cholesky forward_substitute",
+            });
+        }
+        for i in 0..n {
+            let row = l.row(i);
+            let mut s = x[i];
+            for (j, xv) in x[..i].iter().enumerate() {
+                s -= row[j] * xv;
+            }
+            x[i] = s / row[i];
+        }
+        Ok(())
+    }
+
+    /// Back-substitutes `Lᵀ x = y` in place, overwriting `y` with `x`.
+    ///
+    /// Combined with [`Cholesky::forward_substitute`] this solves
+    /// `L Lᵀ x = b` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != l.rows()`.
+    pub fn back_substitute(l: &Matrix, x: &mut [f64]) -> crate::Result<()> {
+        let n = l.rows();
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (x.len(), 1),
+                op: "cholesky back_substitute",
+            });
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= l[(j, i)] * x[j];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// Forward-substitutes `L Y = X` in place across every column of `x`
+    /// (the whitening transform `X ← L⁻¹ X` used by generalized least
+    /// squares), for a lower-triangular factor `l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.rows() != l.rows()`.
+    pub fn forward_substitute_matrix(l: &Matrix, x: &mut Matrix) -> crate::Result<()> {
+        let n = l.rows();
+        if x.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: x.shape(),
+                op: "cholesky forward_substitute_matrix",
+            });
+        }
+        let cols = x.cols();
+        for i in 0..n {
+            for j in 0..i {
+                let lij = l[(i, j)];
+                for c in 0..cols {
+                    let v = x[(j, c)];
+                    x[(i, c)] -= lij * v;
+                }
+            }
+            let d = l[(i, i)];
+            for c in 0..cols {
+                x[(i, c)] /= d;
+            }
+        }
+        Ok(())
     }
 
     /// Dimension of the factored matrix.

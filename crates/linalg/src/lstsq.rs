@@ -22,6 +22,50 @@
 
 use crate::{Cholesky, LinalgError, Matrix, QrDecomposition, Vector};
 
+/// Reusable scratch buffers for the `*_into` least-squares entry points.
+///
+/// A fresh `LstsqScratch` owns only empty buffers; the first solve sizes
+/// them and every later solve of the same (or smaller) dimensions reuses
+/// the allocations. One scratch may be shared freely across [`ols_into`],
+/// [`wls_into`] and [`gls_into`] calls of varying shapes — buffers are
+/// reshaped per call with [`Matrix::resize_zeroed`], which never shrinks
+/// capacity.
+#[derive(Debug, Clone, Default)]
+pub struct LstsqScratch {
+    /// `n × n` normal equations `AᵀA`, factored in place.
+    gram: Matrix,
+    /// `m × n` row-scaled / whitened copy of the design matrix.
+    scaled_a: Matrix,
+    /// Length-`m` row-scaled / whitened copy of the right-hand side.
+    scaled_b: Vector,
+    /// `m × m` covariance copy, factored in place (GLS only).
+    cov: Matrix,
+}
+
+impl LstsqScratch {
+    /// Creates a scratch with empty buffers (no heap allocation until the
+    /// first solve).
+    #[must_use]
+    pub fn new() -> Self {
+        LstsqScratch::default()
+    }
+}
+
+/// Strategy used by [`gls_with`] to apply the inverse error covariance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlsStrategy {
+    /// Whiten through a Cholesky half-solve (`Ã = L⁻¹A`, `b̃ = L⁻¹b`) and
+    /// run OLS on the transformed system. The default: one triangular
+    /// solve per column instead of a dense inverse.
+    #[default]
+    Whitened,
+    /// Materialize `M⁻¹` and evaluate `x = (AᵀM⁻¹A)⁻¹ AᵀM⁻¹ b` exactly as
+    /// the paper's eq. 4-21 writes it. Strictly more work; kept as the
+    /// faithful-to-the-text variant for the `ablation_linalg_path`
+    /// benchmark.
+    ExplicitInverse,
+}
+
 /// Validates common least-squares preconditions.
 fn check_system(a: &Matrix, b: &Vector, op: &'static str) -> crate::Result<()> {
     let (m, n) = a.shape();
@@ -72,16 +116,57 @@ fn check_system(a: &Matrix, b: &Vector, op: &'static str) -> crate::Result<()> {
 /// # }
 /// ```
 pub fn ols(a: &Matrix, b: &Vector) -> crate::Result<Vector> {
+    let mut scratch = LstsqScratch::new();
+    let mut x = Vector::default();
+    ols_into(a, b, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// [`ols`] with caller-provided buffers: writes the solution into `x` and
+/// keeps every intermediate in `scratch`, so repeated solves allocate
+/// nothing after the first call.
+///
+/// # Errors
+///
+/// Same conditions as [`ols`].
+pub fn ols_into(
+    a: &Matrix,
+    b: &Vector,
+    scratch: &mut LstsqScratch,
+    x: &mut Vector,
+) -> crate::Result<()> {
     // Three-unknown systems (the direct-linearization shape) take the
     // allocation-free specialized path; identical mathematics.
     if a.cols() == 3 && a.rows() >= 3 {
-        let x = ols3(a, b)?;
-        return Ok(Vector::from_slice(&x));
+        let sol = ols3(a, b)?;
+        x.copy_from_slice(&sol);
+        return Ok(());
     }
     check_system(a, b, "ols")?;
-    let gram = a.gram();
-    let rhs = a.transpose_matvec(b)?;
-    Cholesky::new(&gram)?.solve(&rhs)
+    ols_core(a, b, &mut scratch.gram, x)
+}
+
+/// Normal-equations core shared by the `*_into` paths: forms `AᵀA` in
+/// `gram`, `Aᵀb` in `x`, then factors and substitutes in place.
+fn ols_core(a: &Matrix, b: &Vector, gram: &mut Matrix, x: &mut Vector) -> crate::Result<()> {
+    let (m, n) = a.shape();
+    gram.resize_zeroed(n, n);
+    x.resize_zeroed(n);
+    for r in 0..m {
+        let row = a.row(r);
+        let bv = b[r];
+        for i in 0..n {
+            let ai = row[i];
+            x[i] += ai * bv;
+            // Lower triangle of AᵀA is all the factorization reads.
+            for j in 0..=i {
+                gram[(i, j)] += ai * row[j];
+            }
+        }
+    }
+    Cholesky::factor_in_place(gram)?;
+    Cholesky::forward_substitute(gram, x.as_mut_slice())?;
+    Cholesky::back_substitute(gram, x.as_mut_slice())
 }
 
 /// Ordinary least squares specialized to **three unknowns**: forms the
@@ -173,6 +258,26 @@ pub fn ols_qr(a: &Matrix, b: &Vector) -> crate::Result<Vector> {
 /// (pivot 0) if any weight is non-positive, and
 /// [`LinalgError::ShapeMismatch`] if `weights.len() != a.rows()`.
 pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
+    let mut scratch = LstsqScratch::new();
+    let mut x = Vector::default();
+    wls_into(a, b, weights, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// [`wls`] with caller-provided buffers: writes the solution into `x` and
+/// keeps the row-scaled system in `scratch`, so repeated solves allocate
+/// nothing after the first call.
+///
+/// # Errors
+///
+/// Same conditions as [`wls`].
+pub fn wls_into(
+    a: &Matrix,
+    b: &Vector,
+    weights: &[f64],
+    scratch: &mut LstsqScratch,
+    x: &mut Vector,
+) -> crate::Result<()> {
     check_system(a, b, "wls")?;
     let (m, n) = a.shape();
     if weights.len() != m {
@@ -186,9 +291,28 @@ pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
         return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
     }
     // Scale each row of A and entry of b by sqrt(w), then run OLS.
-    let aw = Matrix::from_fn(m, n, |r, c| a[(r, c)] * weights[r].sqrt());
-    let bw = Vector::from_fn(m, |r| b[r] * weights[r].sqrt());
-    ols(&aw, &bw)
+    let LstsqScratch {
+        gram,
+        scaled_a,
+        scaled_b,
+        ..
+    } = scratch;
+    scaled_a.resize_zeroed(m, n);
+    scaled_b.resize_zeroed(m);
+    for r in 0..m {
+        let s = weights[r].sqrt();
+        let (src, dst) = (a.row(r), scaled_a.row_mut(r));
+        for c in 0..n {
+            dst[c] = src[c] * s;
+        }
+        scaled_b[r] = b[r] * s;
+    }
+    if n == 3 && m >= 3 {
+        let sol = ols3(scaled_a, scaled_b)?;
+        x.copy_from_slice(&sol);
+        return Ok(());
+    }
+    ols_core(scaled_a, scaled_b, gram, x)
 }
 
 /// General least squares: minimizes `(A x − b)ᵀ M⁻¹ (A x − b)` for a
@@ -224,6 +348,50 @@ pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
 /// # }
 /// ```
 pub fn gls(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
+    gls_with(a, b, m, GlsStrategy::Whitened)
+}
+
+/// Single entry point for general least squares: solves the GLS problem
+/// with the requested [`GlsStrategy`].
+///
+/// [`gls`] and [`gls_explicit_inverse`] are thin wrappers around this
+/// function; the `ablation_linalg_path` benchmark calls it with both
+/// strategies to quantify the whitening optimization.
+///
+/// # Errors
+///
+/// Same conditions as [`gls`].
+pub fn gls_with(
+    a: &Matrix,
+    b: &Vector,
+    m: &Matrix,
+    strategy: GlsStrategy,
+) -> crate::Result<Vector> {
+    let mut scratch = LstsqScratch::new();
+    let mut x = Vector::default();
+    gls_into(a, b, m, strategy, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// [`gls_with`] with caller-provided buffers: writes the solution into `x`
+/// and keeps the covariance factor and whitened system in `scratch`.
+///
+/// With [`GlsStrategy::Whitened`] repeated solves allocate nothing after
+/// the first call; [`GlsStrategy::ExplicitInverse`] materializes `M⁻¹` and
+/// therefore allocates per call (it exists as an ablation reference, not a
+/// hot path).
+///
+/// # Errors
+///
+/// Same conditions as [`gls`].
+pub fn gls_into(
+    a: &Matrix,
+    b: &Vector,
+    m: &Matrix,
+    strategy: GlsStrategy,
+    scratch: &mut LstsqScratch,
+    x: &mut Vector,
+) -> crate::Result<()> {
     check_system(a, b, "gls")?;
     if m.rows() != a.rows() || m.cols() != a.rows() {
         return Err(LinalgError::ShapeMismatch {
@@ -232,10 +400,38 @@ pub fn gls(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
             op: "gls covariance",
         });
     }
-    let chol = Cholesky::new(m)?;
-    let a_w = chol.solve_lower_matrix(a)?;
-    let b_w = chol.solve_lower(b)?;
-    ols(&a_w, &b_w)
+    match strategy {
+        GlsStrategy::Whitened => {
+            let LstsqScratch {
+                gram,
+                scaled_a,
+                scaled_b,
+                cov,
+            } = scratch;
+            cov.copy_from(m);
+            Cholesky::factor_in_place(cov)?;
+            scaled_a.copy_from(a);
+            Cholesky::forward_substitute_matrix(cov, scaled_a)?;
+            scaled_b.copy_from(b);
+            Cholesky::forward_substitute(cov, scaled_b.as_mut_slice())?;
+            if a.cols() == 3 && a.rows() >= 3 {
+                let sol = ols3(scaled_a, scaled_b)?;
+                x.copy_from_slice(&sol);
+                return Ok(());
+            }
+            ols_core(scaled_a, scaled_b, gram, x)
+        }
+        GlsStrategy::ExplicitInverse => {
+            let m_inv = Cholesky::new(m)?.inverse()?;
+            let at = a.transpose();
+            let at_minv = at.matmul(&m_inv)?;
+            let lhs = at_minv.matmul(a)?; // AᵀM⁻¹A
+            let rhs = at_minv.matvec(b)?; // AᵀM⁻¹b
+            let sol = Cholesky::new(&lhs)?.solve(&rhs)?;
+            x.copy_from(&sol);
+            Ok(())
+        }
+    }
 }
 
 /// General least squares computed exactly as the paper's eq. 4-21 writes
@@ -250,20 +446,7 @@ pub fn gls(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
 ///
 /// Same conditions as [`gls`].
 pub fn gls_explicit_inverse(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
-    check_system(a, b, "gls_explicit_inverse")?;
-    if m.rows() != a.rows() || m.cols() != a.rows() {
-        return Err(LinalgError::ShapeMismatch {
-            left: a.shape(),
-            right: m.shape(),
-            op: "gls covariance",
-        });
-    }
-    let m_inv = Cholesky::new(m)?.inverse()?;
-    let at = a.transpose();
-    let at_minv = at.matmul(&m_inv)?;
-    let lhs = at_minv.matmul(a)?; // AᵀM⁻¹A
-    let rhs = at_minv.matvec(b)?; // AᵀM⁻¹b
-    Cholesky::new(&lhs)?.solve(&rhs)
+    gls_with(a, b, m, GlsStrategy::ExplicitInverse)
 }
 
 /// Residual vector `b − A x` for a candidate solution.
@@ -443,6 +626,91 @@ mod tests {
         // Covariance of wrong size.
         assert!(gls(&a, &Vector::zeros(3), &Matrix::identity(2)).is_err());
         assert!(gls_explicit_inverse(&a, &Vector::zeros(3), &Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_across_reuse() {
+        // One scratch reused across different shapes and estimators must
+        // reproduce the allocating entry points exactly.
+        let mut scratch = LstsqScratch::new();
+        let mut x = Vector::default();
+
+        let (a, mut b) = tall_system();
+        b[0] += 0.7;
+        ols_into(&a, &b, &mut scratch, &mut x).unwrap();
+        assert!((&x - &ols(&a, &b).unwrap()).norm_inf() == 0.0);
+
+        // Wider system (4 columns) takes the normal-equations path.
+        let a4 = Matrix::from_fn(6, 4, |r, c| {
+            ((r * 7 + c * 3) % 5) as f64 + if r == c { 4.0 } else { 0.0 }
+        });
+        let b4 = Vector::from_fn(6, |r| r as f64 - 2.0);
+        ols_into(&a4, &b4, &mut scratch, &mut x).unwrap();
+        assert!((&x - &ols(&a4, &b4).unwrap()).norm_inf() == 0.0);
+
+        let weights = [1.0, 2.0, 0.5, 4.0, 1.0];
+        wls_into(&a, &b, &weights, &mut scratch, &mut x).unwrap();
+        assert!((&x - &wls(&a, &b, &weights).unwrap()).norm_inf() == 0.0);
+
+        let m = Matrix::from_fn(5, 5, |r, c| if r == c { 2.0 } else { 1.0 });
+        gls_into(&a, &b, &m, GlsStrategy::Whitened, &mut scratch, &mut x).unwrap();
+        assert!((&x - &gls(&a, &b, &m).unwrap()).norm_inf() == 0.0);
+        gls_into(
+            &a,
+            &b,
+            &m,
+            GlsStrategy::ExplicitInverse,
+            &mut scratch,
+            &mut x,
+        )
+        .unwrap();
+        assert!((&x - &gls_explicit_inverse(&a, &b, &m).unwrap()).norm_inf() == 0.0);
+    }
+
+    #[test]
+    fn gls_with_strategies_agree() {
+        let (a, mut b) = tall_system();
+        b[1] -= 0.4;
+        let m = Matrix::from_fn(5, 5, |r, c| if r == c { 3.0 } else { 2.0 });
+        let x1 = gls_with(&a, &b, &m, GlsStrategy::Whitened).unwrap();
+        let x2 = gls_with(&a, &b, &m, GlsStrategy::ExplicitInverse).unwrap();
+        assert!((&x1 - &x2).norm_inf() < 1e-9);
+        assert_eq!(GlsStrategy::default(), GlsStrategy::Whitened);
+    }
+
+    #[test]
+    fn into_variants_propagate_errors() {
+        let mut scratch = LstsqScratch::new();
+        let mut x = Vector::default();
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            ols_into(&a, &Vector::zeros(2), &mut scratch, &mut x).unwrap_err(),
+            LinalgError::Underdetermined { .. }
+        ));
+        let id = Matrix::identity(3);
+        assert!(matches!(
+            wls_into(
+                &id,
+                &Vector::zeros(3),
+                &[1.0, -1.0, 1.0],
+                &mut scratch,
+                &mut x
+            )
+            .unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 0 }
+        ));
+        assert!(matches!(
+            gls_into(
+                &id,
+                &Vector::zeros(3),
+                &Matrix::identity(2),
+                GlsStrategy::Whitened,
+                &mut scratch,
+                &mut x
+            )
+            .unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

@@ -122,6 +122,31 @@ impl Matrix {
         m
     }
 
+    /// Reshapes the matrix in place to `rows × cols` with every entry set
+    /// to zero.
+    ///
+    /// Unlike [`Matrix::zeros`], the existing heap allocation is reused
+    /// whenever its capacity suffices, so resizing a scratch matrix inside
+    /// a hot loop is allocation-free after warm-up.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an entry-for-entry copy of `other`, reshaping as
+    /// needed.
+    ///
+    /// Reuses the existing allocation when possible (see
+    /// [`Matrix::resize_zeroed`]).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {
@@ -380,6 +405,14 @@ impl Matrix {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let (head, tail) = self.data.split_at_mut(hi * self.cols);
         head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+}
+
+/// The default matrix is empty (`0 × 0`) — a convenient initial value for
+/// reusable scratch buffers that are reshaped on first use.
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

@@ -63,6 +63,31 @@ impl Vector {
         }
     }
 
+    /// Resizes the vector in place to `n` entries, all set to zero.
+    ///
+    /// Reuses the existing heap allocation whenever its capacity suffices,
+    /// so resizing a scratch vector inside a hot loop is allocation-free
+    /// after warm-up.
+    pub fn resize_zeroed(&mut self, n: usize) {
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Makes `self` an entry-for-entry copy of `other`, resizing as needed.
+    ///
+    /// Reuses the existing allocation when possible (see
+    /// [`Vector::resize_zeroed`]).
+    pub fn copy_from(&mut self, other: &Vector) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Makes `self` an entry-for-entry copy of `slice`, resizing as needed.
+    pub fn copy_from_slice(&mut self, slice: &[f64]) {
+        self.data.clear();
+        self.data.extend_from_slice(slice);
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {

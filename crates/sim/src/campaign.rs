@@ -22,8 +22,7 @@ use std::fmt;
 
 use gps_core::metrics::Summary;
 use gps_core::{
-    Dlg, Dlo, FixQuality, Measurement, NewtonRaphson, Raim, RaimSolution, ResilientSolver,
-    SolveError,
+    Dlg, Dlo, Epoch, FixQuality, NewtonRaphson, Raim, ResilientSolver, SolveContext, Solver,
 };
 use gps_faults::{EpochFaults, FaultPlan, FaultedDataSet};
 use gps_obs::{DataSet, SatObservation};
@@ -260,15 +259,22 @@ pub fn run_campaign(data: &DataSet, plan: &FaultPlan, cfg: &ExperimentConfig) ->
     let calibration = ClockCalibration::bootstrap(&faulted, cfg);
 
     let mut resilient = ResilientSolver::new();
-    let raim_nr = Raim::new(NewtonRaphson::default(), 10.0).with_max_exclusions(2);
-    let raim_dlo = Raim::new(Dlo::default(), 10.0).with_max_exclusions(2);
-    let raim_dlg = Raim::new(Dlg::default(), 10.0).with_max_exclusions(2);
-    type RaimSolve<'a> = Box<dyn Fn(&[Measurement], f64) -> Result<RaimSolution, SolveError> + 'a>;
-    let algos: Vec<(&'static str, RaimSolve)> = vec![
-        ("NR", Box::new(move |m, b| raim_nr.solve(m, b))),
-        ("DLO", Box::new(move |m, b| raim_dlo.solve(m, b))),
-        ("DLG", Box::new(move |m, b| raim_dlg.solve(m, b))),
-    ];
+    // One FDE wrapper per solver, walked generically: the trait erases
+    // the concrete solver type, and the per-wrapper context keeps the
+    // RAIM happy path allocation-free across epochs.
+    let mut algos: Vec<(Raim<Box<dyn Solver>>, SolveContext)> = [
+        Box::new(NewtonRaphson::default()) as Box<dyn Solver>,
+        Box::new(Dlo::default()),
+        Box::new(Dlg::default()),
+    ]
+    .into_iter()
+    .map(|solver| {
+        (
+            Raim::new(solver, 10.0).with_max_exclusions(2),
+            SolveContext::new(),
+        )
+    })
+    .collect();
 
     let mut report = CampaignReport {
         station: faulted.station().id().to_owned(),
@@ -290,8 +296,8 @@ pub fn run_campaign(data: &DataSet, plan: &FaultPlan, cfg: &ExperimentConfig) ->
         error_holdover: Summary::new(),
         per_algorithm: algos
             .iter()
-            .map(|(name, _)| AlgoIntegrity {
-                name,
+            .map(|(raim, _)| AlgoIntegrity {
+                name: raim.inner().name(),
                 solved: 0,
                 failed: 0,
                 counts: IntegrityCounts::default(),
@@ -351,8 +357,8 @@ pub fn run_campaign(data: &DataSet, plan: &FaultPlan, cfg: &ExperimentConfig) ->
         }
 
         // --- Bare RAIM per algorithm ---
-        for ((_, solve), algo) in algos.iter().zip(report.per_algorithm.iter_mut()) {
-            match solve(&meas, predicted_bias) {
+        for ((raim, ctx), algo) in algos.iter_mut().zip(report.per_algorithm.iter_mut()) {
+            match raim.solve_with(&Epoch::new(&meas, predicted_bias), ctx) {
                 Ok(result) => {
                     algo.solved += 1;
                     score_exclusions(

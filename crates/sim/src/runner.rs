@@ -271,6 +271,13 @@ pub fn run_dataset_with(
 
     let mut calibration = ClockCalibration::bootstrap(data, cfg);
 
+    // One warm context per solver: after the first epoch the timed
+    // regions below run without heap allocation, so the θ (eq. 5-3)
+    // comparisons measure the algorithms, not the allocator.
+    let mut nr_ctx = gps_core::SolveContext::new();
+    let mut dlo_ctx = gps_core::SolveContext::new();
+    let mut dlg_ctx = gps_core::SolveContext::new();
+
     let mut result = RunResult {
         m,
         nr: AlgoStats::default(),
@@ -296,7 +303,7 @@ pub fn run_dataset_with(
         // --- NR (timed) ---
         result.nr.attempts += 1;
         let start = Instant::now();
-        let nr_fix = nr.solve(&meas, 0.0);
+        let nr_fix = gps_core::Solver::solve(&nr, &gps_core::Epoch::new(&meas, 0.0), &mut nr_ctx);
         result.nr.total_time += start.elapsed();
         // Receiver plausibility screen: from a cold start the 4-unknown
         // system occasionally converges to the spurious mirror root far
@@ -331,13 +338,21 @@ pub fn run_dataset_with(
         // --- DLO (timed; includes the eq. 4-1 correction) ---
         result.dlo.attempts += 1;
         let start = Instant::now();
-        let dlo_fix = dlo.solve(&meas, predicted_bias);
+        let dlo_fix = gps_core::Solver::solve(
+            &dlo,
+            &gps_core::Epoch::new(&meas, predicted_bias),
+            &mut dlo_ctx,
+        );
         result.dlo.total_time += start.elapsed();
 
         // --- DLG (timed; includes the eq. 4-26 covariance build) ---
         result.dlg.attempts += 1;
         let start = Instant::now();
-        let dlg_fix = dlg.solve(&meas, predicted_bias);
+        let dlg_fix = gps_core::Solver::solve(
+            &dlg,
+            &gps_core::Epoch::new(&meas, predicted_bias),
+            &mut dlg_ctx,
+        );
         result.dlg.total_time += start.elapsed();
 
         // Accuracy bookkeeping: only epochs where all three produced an

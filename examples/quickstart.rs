@@ -6,9 +6,13 @@
 //!
 //! Builds a small synthetic epoch (five satellites, a 300 m receiver
 //! clock error, metre-level measurement noise) and solves it with all
-//! four algorithms, printing the estimates and their errors.
+//! four algorithms through the [`Solver`] trait — one reusable
+//! [`SolveContext`] serves every call — then replays the epoch through
+//! the batched [`Engine`].
 
-use gps_core::{Bancroft, Dlg, Dlo, Dop, Measurement, NewtonRaphson, PositionSolver};
+use gps_core::{
+    Bancroft, Dlg, Dlo, Dop, Engine, Epoch, Measurement, NewtonRaphson, SolveContext, Solver,
+};
 use gps_geodesy::{Ecef, Geodetic};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,9 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("truth: {}", Geodetic::from_ecef(truth));
     println!("geometry: {}\n", Dop::compute(&measurements, truth)?);
 
+    // One scratch context serves every solver; its buffers are reused
+    // from call to call, so the hot path never re-allocates.
+    let mut ctx = SolveContext::new();
+
     // NR and Bancroft estimate the clock bias themselves.
-    for solver in [&NewtonRaphson::default() as &dyn PositionSolver, &Bancroft] {
-        let fix = solver.solve(&measurements, 0.0)?;
+    let epoch = Epoch::new(&measurements, 0.0);
+    for solver in [&NewtonRaphson::default() as &dyn Solver, &Bancroft] {
+        let fix = solver.solve(&epoch, &mut ctx)?;
         println!(
             "{:<8} error {:7.2} m, clock bias {:7.2} m, {} iteration(s)",
             solver.name(),
@@ -53,12 +62,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // DLO and DLG consume an external clock prediction (here: a prediction
     // that is 2 m off, as a real D + r·t model would be).
     let predicted_bias = clock_bias_m - 2.0;
-    for solver in [&Dlo::default() as &dyn PositionSolver, &Dlg::default()] {
-        let fix = solver.solve(&measurements, predicted_bias)?;
+    let epoch = Epoch::new(&measurements, predicted_bias);
+    for solver in [&Dlo::default() as &dyn Solver, &Dlg::default()] {
+        let fix = solver.solve(&epoch, &mut ctx)?;
         println!(
             "{:<8} error {:7.2} m, closed-form (predicted bias fed in)",
             solver.name(),
             fix.position.distance_to(truth),
+        );
+    }
+
+    // The batched Engine runs every solver side by side, each lane with
+    // its own warm context — the harness the benches and CLI smoke use.
+    let mut engine = Engine::all_solvers();
+    for _ in 0..100 {
+        engine.run_epoch(&measurements, predicted_bias);
+    }
+    println!("\nengine, 100 epochs:");
+    for lane in engine.lanes() {
+        println!(
+            "  {:<8} {}/{} solved, mean {:.2} µs/epoch",
+            lane.name(),
+            lane.stats().solved,
+            lane.stats().epochs,
+            lane.stats().mean_time().as_secs_f64() * 1e6,
         );
     }
     Ok(())

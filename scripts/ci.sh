@@ -19,6 +19,18 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> engine smoke (one epoch through every solver lane)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release --offline -q -- generate --station SRZN \
+    --epochs 1 --out "$tmpdir/smoke.gpsobs"
+out=$(cargo run --release --offline -q -- engine "$tmpdir/smoke.gpsobs" --epochs 1)
+echo "$out"
+echo "$out" | grep -q "engine: 1 epochs through 4 lanes" \
+    || { echo "smoke: engine did not run 4 lanes"; exit 1; }
+echo "$out" | grep "failed" | grep -vq "failed     0" \
+    && { echo "smoke: a lane failed the clean epoch"; exit 1; }
+
 echo "==> fault campaign smoke (dropout+ramp must degrade, not panic)"
 out=$(cargo run --release --offline -q -- experiment fault_campaign --quick --faults dropout,ramp)
 echo "$out"

@@ -12,7 +12,7 @@ use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
-use gps_repro::core::{Bancroft, Dlg, Dlo, NewtonRaphson, PositionSolver};
+use gps_repro::core::{Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, SolveContext, Solver};
 use gps_repro::faults::FaultPlan;
 use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
 use gps_repro::orbits::{yuma, Constellation};
@@ -28,6 +28,7 @@ USAGE:
                      [--seed N] [--mask DEG] --out <FILE>
   gps-repro info <FILE>
   gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
+  gps-repro engine <FILE> [--satellites M] [--epochs N]
   gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|all>
                        [--paper-scale|--quick] [--seed N]
   gps-repro almanac [--out <FILE>]
@@ -191,7 +192,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let algorithm = args.flag("algorithm").unwrap_or("dlg");
     let m: usize = args.flag_parse("satellites", usize::MAX)?;
 
-    let solver: Box<dyn PositionSolver> = match algorithm {
+    let solver: Box<dyn Solver> = match algorithm {
         "nr" => Box::new(NewtonRaphson::default()),
         "dlo" => Box::new(Dlo::default()),
         "dlg" => Box::new(Dlg::default()),
@@ -205,6 +206,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let truth = data.station().position();
     let mut errors = gps_repro::core::metrics::Summary::new();
     let mut failures = 0usize;
+    let mut ctx = SolveContext::new();
     for epoch in data.epochs() {
         let meas = to_measurements(&epoch.take_satellites(m));
         if meas.len() < solver.min_satellites() {
@@ -212,7 +214,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             continue;
         }
         let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
-        match solver.solve(&meas, bias) {
+        match solver.solve(&Epoch::new(&meas, bias), &mut ctx) {
             Ok(fix) => errors.push(fix.position.distance_to(truth)),
             Err(_) => failures += 1,
         }
@@ -229,6 +231,47 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
             errors.mean(),
             errors.rms(),
             errors.max()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_engine(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("engine needs a file argument")?;
+    let data = load_dataset(path)?;
+    let m: usize = args.flag_parse("satellites", usize::MAX)?;
+    let limit: usize = args.flag_parse("epochs", usize::MAX)?;
+
+    let truth = data.station().position();
+    let mut engine = Engine::all_solvers();
+    let mut errors = vec![gps_repro::core::metrics::Summary::new(); engine.lanes().len()];
+    for epoch in data.epochs().iter().take(limit) {
+        let meas = to_measurements(&epoch.take_satellites(m));
+        let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+        engine.run_epoch(&meas, bias);
+        for (lane, err) in engine.lanes().iter().zip(errors.iter_mut()) {
+            if let Some(Ok(fix)) = lane.last() {
+                err.push(fix.position.distance_to(truth));
+            }
+        }
+    }
+    println!(
+        "engine: {} epochs through {} lanes",
+        engine.epochs(),
+        engine.lanes().len()
+    );
+    for (lane, err) in engine.lanes().iter().zip(&errors) {
+        let stats = lane.stats();
+        println!(
+            "  {:<9} solved {:>5}  failed {:>5}  mean {:>8.1} µs  rms err {:.2} m",
+            lane.name(),
+            stats.solved,
+            stats.failed,
+            stats.mean_time().as_secs_f64() * 1e6,
+            err.rms()
         );
     }
     Ok(())
@@ -300,6 +343,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "info" => cmd_info(&args),
         "solve" => cmd_solve(&args),
+        "engine" => cmd_engine(&args),
         "experiment" => cmd_experiment(&args),
         "almanac" => cmd_almanac(&args),
         _ => return usage(),

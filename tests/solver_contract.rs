@@ -1,0 +1,212 @@
+//! Conformance suite for the [`Solver`] trait contract.
+//!
+//! Every solver behind the trait — NR, DLO, DLG, Bancroft — must uphold
+//! the same observable guarantees regardless of its internal algorithm:
+//!
+//! 1. a successful solve returns finite position, residual, and (when
+//!    claimed via `estimates_bias`) a finite clock-bias estimate;
+//! 2. `residual_rms` is normalized to pseudorange metres, so on
+//!    metre-noise epochs it lands in the metre range for every solver;
+//! 3. solving is deterministic: same epoch, same answer, bit for bit;
+//! 4. reusing one [`SolveContext`] across calls (the hot path) gives
+//!    the same answers as a fresh context per call;
+//! 5. the trait path agrees with the allocating `PositionSolver`
+//!    convenience path that wraps it.
+
+// `PositionSolver` is deliberately NOT imported: its blanket impl over
+// every `Solver` would make plain method calls ambiguous. The one compat
+// test below names it fully qualified instead.
+use gps_repro::core::{
+    Bancroft, Dlg, Dlo, Epoch, Measurement, NewtonRaphson, SolveContext, Solver,
+};
+use gps_repro::geodesy::{Ecef, Geodetic};
+
+/// Bit pattern of a position, for exact-equality assertions.
+fn bits(e: Ecef) -> [u64; 3] {
+    e.to_array().map(f64::to_bits)
+}
+
+/// Truth position used by the synthetic epochs.
+fn truth() -> Ecef {
+    Geodetic::from_deg(45.07, 7.69, 240.0).to_ecef()
+}
+
+/// Builds a clean epoch of `m` satellites with deterministic metre-level
+/// noise and a 300 m receiver clock bias.
+fn epoch(m: usize) -> Vec<Measurement> {
+    let truth = truth();
+    (0..m)
+        .map(|k| {
+            let az = (k as f64) * std::f64::consts::TAU / (m as f64);
+            let el = 0.3 + 0.08 * (k as f64);
+            let r = 2.2e7;
+            let sat = Ecef::new(
+                truth.x + r * el.cos() * az.cos(),
+                truth.y + r * el.cos() * az.sin(),
+                truth.z + r * el.sin(),
+            );
+            let noise = ((k as f64) - (m as f64) / 2.0) * 0.8;
+            Measurement::new(sat, sat.distance_to(truth) + 300.0 + noise)
+        })
+        .collect()
+}
+
+/// The four production solvers with the predicted bias each expects:
+/// NR and Bancroft estimate the bias themselves, DLO/DLG consume an
+/// external prediction (here 2 m off the truth, as a clock model's
+/// would be).
+fn solvers() -> Vec<(Box<dyn Solver>, f64)> {
+    vec![
+        (Box::new(NewtonRaphson::default()) as Box<dyn Solver>, 0.0),
+        (Box::new(Dlo::default()), 298.0),
+        (Box::new(Dlg::default()), 298.0),
+        (Box::new(Bancroft), 0.0),
+    ]
+}
+
+#[test]
+fn solutions_are_finite_and_accurate() {
+    let truth = truth();
+    for m in [4usize, 6, 10] {
+        let meas = epoch(m);
+        let mut ctx = SolveContext::new();
+        for (solver, bias) in solvers() {
+            if m < solver.min_satellites() {
+                continue;
+            }
+            let fix = Solver::solve(&solver, &Epoch::new(&meas, bias), &mut ctx)
+                .unwrap_or_else(|e| panic!("{} failed on m={m}: {e}", solver.name()));
+            assert!(
+                fix.position.x.is_finite()
+                    && fix.position.y.is_finite()
+                    && fix.position.z.is_finite(),
+                "{} returned non-finite position",
+                solver.name()
+            );
+            assert!(
+                fix.residual_rms.is_finite() && fix.residual_rms >= 0.0,
+                "{} returned invalid residual",
+                solver.name()
+            );
+            let err = fix.position.distance_to(truth);
+            assert!(
+                err < 50.0,
+                "{} error {err:.1} m on a metre-noise epoch (m={m})",
+                solver.name()
+            );
+            if solver.estimates_bias() {
+                let b = fix
+                    .receiver_bias_m
+                    .unwrap_or_else(|| panic!("{} claims estimates_bias", solver.name()));
+                assert!(
+                    (b - 300.0).abs() < 50.0,
+                    "{} bias estimate {b:.1} m far from 300 m",
+                    solver.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn residuals_are_normalized_to_pseudorange_metres() {
+    // The epochs carry sub-metre deterministic noise; a solver whose
+    // residual were left in squared-range units (Bancroft's natural
+    // domain) or in the differenced-observable domain scaled wrongly
+    // would be orders of magnitude away from the metre range.
+    let meas = epoch(8);
+    let mut ctx = SolveContext::new();
+    for (solver, bias) in solvers() {
+        let fix = Solver::solve(&solver, &Epoch::new(&meas, bias), &mut ctx)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+        assert!(
+            fix.residual_rms < 20.0,
+            "{} residual {:.3} not in pseudorange metres",
+            solver.name(),
+            fix.residual_rms
+        );
+    }
+}
+
+#[test]
+fn solving_is_deterministic() {
+    let meas = epoch(7);
+    for (solver, bias) in solvers() {
+        let mut ctx = SolveContext::new();
+        let a = Solver::solve(&solver, &Epoch::new(&meas, bias), &mut ctx).expect("solves");
+        let b = Solver::solve(&solver, &Epoch::new(&meas, bias), &mut ctx).expect("solves");
+        assert_eq!(
+            bits(a.position),
+            bits(b.position),
+            "{} is not bit-for-bit deterministic",
+            solver.name()
+        );
+        assert_eq!(a.residual_rms.to_bits(), b.residual_rms.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn context_reuse_matches_fresh_contexts() {
+    // Walk epochs of varying size through ONE context; every answer must
+    // equal the fresh-context answer, i.e. no stale-buffer leakage.
+    let mut shared = SolveContext::new();
+    for m in [10usize, 4, 8, 5] {
+        let meas = epoch(m);
+        for (solver, bias) in solvers() {
+            if m < solver.min_satellites() {
+                continue;
+            }
+            let reused =
+                Solver::solve(&solver, &Epoch::new(&meas, bias), &mut shared).expect("solves");
+            let mut fresh = SolveContext::new();
+            let clean =
+                Solver::solve(&solver, &Epoch::new(&meas, bias), &mut fresh).expect("solves");
+            assert_eq!(
+                bits(reused.position),
+                bits(clean.position),
+                "{} answer depends on context history (m={m})",
+                solver.name()
+            );
+            assert_eq!(reused.residual_rms.to_bits(), clean.residual_rms.to_bits());
+        }
+    }
+}
+
+#[test]
+fn trait_path_matches_position_solver_path() {
+    let meas = epoch(6);
+    let mut ctx = SolveContext::new();
+    for (solver, bias) in solvers() {
+        let via_trait = Solver::solve(&solver, &Epoch::new(&meas, bias), &mut ctx).expect("solves");
+        let via_compat =
+            gps_repro::core::PositionSolver::solve(&solver, &meas, bias).expect("solves");
+        assert_eq!(
+            bits(via_trait.position),
+            bits(via_compat.position),
+            "{} trait and PositionSolver paths disagree",
+            solver.name()
+        );
+        assert_eq!(
+            via_trait.residual_rms.to_bits(),
+            via_compat.residual_rms.to_bits()
+        );
+    }
+}
+
+#[test]
+fn metadata_is_consistent() {
+    for (solver, _) in solvers() {
+        assert!(!solver.name().is_empty());
+        assert!(
+            solver.min_satellites() >= 4,
+            "{} claims to need fewer than 4 satellites",
+            solver.name()
+        );
+        let clone = solver.clone_box();
+        assert_eq!(clone.name(), solver.name());
+        assert_eq!(clone.min_satellites(), solver.min_satellites());
+        assert_eq!(clone.estimates_bias(), solver.estimates_bias());
+        assert_eq!(clone.is_iterative(), solver.is_iterative());
+    }
+}
