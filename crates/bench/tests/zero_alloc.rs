@@ -13,7 +13,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use gps_bench::fixture_epochs;
-use gps_core::{Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, Raim, SolveContext, Solver};
+use gps_core::{
+    Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, ParallelEngine, Raim, SolveContext, Solver,
+    WorkerLanes,
+};
 
 struct CountingAlloc;
 
@@ -118,6 +121,38 @@ fn engine_epoch_loop_is_allocation_free_when_warm() {
         }
     });
     assert_eq!(allocs, 0, "Engine allocated {allocs} time(s) after warm-up");
+}
+
+#[test]
+fn parallel_worker_epoch_loop_is_allocation_free_when_warm() {
+    // A pool worker's steady state is WorkerLanes::solve_into with a
+    // reused outcome buffer; everything else (job boxing, the result
+    // channel) happens once per batch, not once per epoch. Varying
+    // epoch sizes exercise buffer reuse across dimension changes.
+    let epochs: Vec<_> = [6usize, 8, 10, 7]
+        .iter()
+        .flat_map(|&m| fixture_epochs(m, 107).into_iter().take(4))
+        .collect();
+    assert!(!epochs.is_empty(), "fixture produced no epochs");
+
+    let roster = ParallelEngine::all_solvers();
+    let mut worker = WorkerLanes::new(roster.solvers());
+    let mut out = Vec::new();
+    for meas in &epochs {
+        worker.solve_into(&Epoch::new(meas, 12.0), &mut out);
+    }
+
+    let allocs = allocations_during(|| {
+        for meas in &epochs {
+            worker.solve_into(&Epoch::new(meas, 12.0), &mut out);
+            assert_eq!(out.len(), worker.len(), "one outcome per lane");
+            assert!(out.iter().all(Result::is_ok), "a lane failed a clean epoch");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "worker lanes allocated {allocs} time(s) after warm-up"
+    );
 }
 
 #[test]

@@ -37,8 +37,10 @@ impl LaneStats {
         if self.epochs == 0 {
             Duration::ZERO
         } else {
-            // u32 saturation is unreachable for any realistic epoch count.
-            self.total_time / u32::try_from(self.epochs).unwrap_or(u32::MAX)
+            // Divide in u128 nanoseconds: `Duration / u32` would silently
+            // saturate the divisor at u32::MAX for huge epoch counts.
+            let nanos = self.total_time.as_nanos() / u128::from(self.epochs);
+            Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
         }
     }
 }
@@ -88,11 +90,11 @@ impl Lane {
         self.last.as_ref()
     }
 
-    /// Runs one epoch through the lane; returns whether it solved.
-    fn run(&mut self, epoch: &Epoch<'_>) -> bool {
-        let start = Instant::now();
+    /// Runs one epoch through the lane without touching the clock;
+    /// returns whether it solved. Timing is the engine's concern (see
+    /// [`Engine::run_epoch`]) so untimed runs pay zero `Instant` reads.
+    fn run_untimed(&mut self, epoch: &Epoch<'_>) -> bool {
         let result = self.solver.solve(epoch, &mut self.ctx);
-        self.stats.total_time += start.elapsed();
         self.stats.epochs += 1;
         let solved = result.is_ok();
         if solved {
@@ -136,10 +138,21 @@ impl Lane {
 ///     assert!(fix.position.distance_to(truth) < 1e-2, "{}", lane.name());
 /// }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     lanes: Vec<Lane>,
     epochs: u64,
+    timing: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            lanes: Vec::new(),
+            epochs: 0,
+            timing: true,
+        }
+    }
 }
 
 impl Engine {
@@ -167,10 +180,30 @@ impl Engine {
         self
     }
 
+    /// Enables or disables per-lane wall-clock accounting (on by
+    /// default). With timing off, [`Engine::run_epoch`] reads the clock
+    /// zero times per epoch and [`LaneStats::total_time`] stays zero —
+    /// use this when the engine runs inside an already-timed region
+    /// (parallel workers, benches measuring something else).
+    #[must_use]
+    pub fn with_timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Whether per-lane wall-clock accounting is enabled.
+    #[must_use]
+    pub fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
     /// Feeds one epoch to every lane; returns how many lanes solved.
     ///
     /// After each lane's first epoch its scratch buffers are warm, so
     /// subsequent calls with the same satellite count do not allocate.
+    /// With timing enabled, adjacent lanes share one timestamp (the end
+    /// of lane *i* is the start of lane *i+1*), so an epoch costs
+    /// `lanes + 1` clock reads instead of `2 × lanes`.
     pub fn run_epoch(
         &mut self,
         measurements: &[Measurement],
@@ -178,10 +211,21 @@ impl Engine {
     ) -> usize {
         let epoch = Epoch::new(measurements, predicted_receiver_bias_m);
         self.epochs += 1;
-        self.lanes
-            .iter_mut()
-            .map(|lane| usize::from(lane.run(&epoch)))
-            .sum()
+        let mut solved = 0;
+        if self.timing {
+            let mut stamp = Instant::now();
+            for lane in &mut self.lanes {
+                solved += usize::from(lane.run_untimed(&epoch));
+                let now = Instant::now();
+                lane.stats.total_time += now - stamp;
+                stamp = now;
+            }
+        } else {
+            for lane in &mut self.lanes {
+                solved += usize::from(lane.run_untimed(&epoch));
+            }
+        }
+        solved
     }
 
     /// The lanes, in insertion order.
@@ -280,6 +324,44 @@ mod tests {
         let mut ctx = SolveContext::new();
         let direct = Solver::solve(&Dlg::default(), &Epoch::new(&meas, 0.0), &mut ctx).unwrap();
         assert_eq!(via_engine, direct);
+    }
+
+    #[test]
+    fn mean_time_has_no_u32_saturation_cliff() {
+        // 2^33 epochs at 8 ns each: the old `Duration / u32` path would
+        // have divided by a saturated u32::MAX and reported ~16 ns·2 ≈ 0.
+        let stats = LaneStats {
+            epochs: 1 << 33,
+            solved: 1 << 33,
+            failed: 0,
+            total_time: Duration::from_nanos(8 << 33),
+        };
+        assert_eq!(stats.mean_time(), Duration::from_nanos(8));
+    }
+
+    #[test]
+    fn timing_can_be_disabled() {
+        let mut engine = Engine::all_solvers().with_timing(false);
+        assert!(!engine.timing_enabled());
+        let meas = measurements(0.0);
+        for _ in 0..3 {
+            assert_eq!(engine.run_epoch(&meas, 0.0), 4);
+        }
+        for lane in engine.lanes() {
+            assert_eq!(lane.stats().solved, 3);
+            assert_eq!(lane.stats().total_time, Duration::ZERO);
+            assert_eq!(lane.stats().mean_time(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn timing_default_accumulates_per_lane() {
+        let mut engine = Engine::all_solvers();
+        assert!(engine.timing_enabled());
+        engine.run_epoch(&measurements(0.0), 0.0);
+        for lane in engine.lanes() {
+            assert!(lane.stats().total_time > Duration::ZERO, "{}", lane.name());
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ mod kinematic;
 mod measurement;
 pub mod metrics;
 mod nr;
+mod parallel;
 mod raim;
 mod resilient;
 pub mod sagnac;
@@ -85,6 +86,7 @@ pub use hatch::HatchFilter;
 pub use kinematic::PvFilter;
 pub use measurement::Measurement;
 pub use nr::{NewtonRaphson, Weighting};
+pub use parallel::{EpochJob, ParallelEngine, ParallelRun, WorkerLanes, WorkerReport};
 pub use raim::{Raim, RaimSolution};
 pub use resilient::{FixQuality, ResilientFix, ResilientSolver, ValidationGates};
 pub use solution::Solution;

@@ -1,0 +1,530 @@
+//! Parallel batch positioning: an epoch stream sharded across a
+//! [`gps_pool::ThreadPool`].
+//!
+//! Epochs are independent — nothing a solver computes at epoch *i*
+//! feeds epoch *i+1* — so a batch of them is embarrassingly parallel.
+//! [`ParallelEngine`] exploits that while preserving the serial
+//! [`Engine`](crate::Engine)'s semantics exactly:
+//!
+//! * **Sharding.** `N` worker loops (one pool job each) pull epoch
+//!   indices from a shared atomic cursor. Dynamic pulling, not static
+//!   chunking: a slow epoch (NR needing extra iterations, a RAIM-ish
+//!   pathological geometry) delays only its own worker.
+//! * **Warm per-worker scratch.** Every worker owns one
+//!   [`WorkerLanes`]: a private clone of each solver plus one
+//!   [`SolveContext`] per lane. After a worker's first epoch its
+//!   buffers are warm, so the steady-state solve path allocates
+//!   nothing (pinned by `crates/bench/tests/zero_alloc.rs`).
+//! * **Deterministic merge.** Each result is stamped with its epoch
+//!   sequence number and sent over an `mpsc` channel; the caller
+//!   reassembles them into epoch order. Because the `Solver` contract
+//!   guarantees solves are deterministic and independent of context
+//!   history, the merged output is **bit-for-bit identical** to the
+//!   serial engine's for any worker count (pinned by
+//!   `tests/parallel_parity.rs`).
+//!
+//! Timing caveat: [`LaneStats::total_time`] aggregated from a parallel
+//! run sums *per-worker* wall-clock and therefore depends on
+//! scheduling; the solved/failed/epoch counts and every `Solution` do
+//! not.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use gps_pool::ThreadPool;
+
+use crate::{
+    Bancroft, Dlg, Dlo, Epoch, LaneStats, Measurement, NewtonRaphson, Solution, SolveContext,
+    SolveError, Solver,
+};
+
+/// One owned epoch of a batch stream: the measurements plus the
+/// predicted receiver range bias (metres) that a serial caller would
+/// pass to [`Engine::run_epoch`](crate::Engine::run_epoch).
+#[derive(Debug, Clone)]
+pub struct EpochJob {
+    /// Satellite positions and pseudoranges for this epoch.
+    pub measurements: Vec<Measurement>,
+    /// Externally predicted receiver range bias `ε̂ᴿ`, metres.
+    pub predicted_receiver_bias_m: f64,
+}
+
+impl EpochJob {
+    /// Bundles one epoch's measurements with its clock prediction.
+    #[must_use]
+    pub fn new(measurements: Vec<Measurement>, predicted_receiver_bias_m: f64) -> Self {
+        EpochJob {
+            measurements,
+            predicted_receiver_bias_m,
+        }
+    }
+}
+
+/// One worker's private solver state: a clone of every lane's solver
+/// plus a warm [`SolveContext`] per lane and per-lane accumulated
+/// solve time.
+///
+/// This is the unit the zero-allocation probe drives: once
+/// [`WorkerLanes::solve_into`] has run at the stream's maximum
+/// satellite count, subsequent calls perform no heap allocation
+/// (given an output buffer with warm capacity).
+#[derive(Debug)]
+pub struct WorkerLanes {
+    lanes: Vec<(Box<dyn Solver>, SolveContext)>,
+    lane_time: Vec<Duration>,
+}
+
+impl WorkerLanes {
+    /// Builds fresh per-worker state from a solver roster.
+    #[must_use]
+    pub fn new(solvers: &[Box<dyn Solver>]) -> Self {
+        WorkerLanes {
+            lanes: solvers
+                .iter()
+                .map(|s| (s.clone_box(), SolveContext::new()))
+                .collect(),
+            lane_time: vec![Duration::ZERO; solvers.len()],
+        }
+    }
+
+    /// Number of solver lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` when no solvers were configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Wall-clock spent inside each lane's solver so far, lane order.
+    #[must_use]
+    pub fn lane_time(&self) -> &[Duration] {
+        &self.lane_time
+    }
+
+    /// Runs one epoch through every lane, clearing `out` and pushing
+    /// one result per lane in lane order.
+    ///
+    /// Steady-state allocation-free: the contexts reuse their warm
+    /// buffers and `out` is only written within its existing capacity
+    /// once it has held a full lane set before. Per-lane timing uses
+    /// chained timestamps (`n + 1` clock reads for `n` lanes).
+    pub fn solve_into(&mut self, epoch: &Epoch<'_>, out: &mut Vec<Result<Solution, SolveError>>) {
+        out.clear();
+        let mut stamp = Instant::now();
+        for ((solver, ctx), time) in self.lanes.iter_mut().zip(self.lane_time.iter_mut()) {
+            out.push(solver.solve(epoch, ctx));
+            let now = Instant::now();
+            *time += now - stamp;
+            stamp = now;
+        }
+    }
+}
+
+/// What one worker did during a [`ParallelEngine::run`].
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index, `0..jobs`.
+    pub worker: usize,
+    /// Epochs this worker claimed and solved.
+    pub epochs: u64,
+    /// Wall-clock the worker spent solving (all lanes).
+    pub busy: Duration,
+    /// Busy time split per lane, lane order.
+    pub lane_time: Vec<Duration>,
+}
+
+impl WorkerReport {
+    /// Fraction of `elapsed` this worker spent solving, in `[0, 1]`-ish
+    /// (can exceed 1 marginally through clock granularity).
+    #[must_use]
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// The merged outcome of one parallel batch run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Per-epoch, per-lane results, in epoch order then lane order —
+    /// exactly what a serial [`Engine`](crate::Engine) would have
+    /// recorded epoch by epoch.
+    pub outcomes: Vec<Vec<Result<Solution, SolveError>>>,
+    /// Lane (solver) names, lane order.
+    pub lane_names: Vec<&'static str>,
+    /// Aggregated per-lane statistics. Counts are deterministic;
+    /// `total_time` sums per-worker clocks and is scheduling-dependent.
+    pub lane_stats: Vec<LaneStats>,
+    /// Per-worker activity, sorted by worker index.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock of the whole batch (shard + solve + merge).
+    pub elapsed: Duration,
+}
+
+impl ParallelRun {
+    /// Epochs in the batch.
+    #[must_use]
+    pub fn epochs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Successful fixes per second for one lane (lane solved count over
+    /// the batch wall-clock).
+    #[must_use]
+    pub fn lane_fixes_per_sec(&self, lane: usize) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.lane_stats[lane].solved as f64 / elapsed
+        }
+    }
+
+    /// Successful fixes per second across all lanes.
+    #[must_use]
+    pub fn total_fixes_per_sec(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.lane_stats.iter().map(|s| s.solved).sum::<u64>() as f64 / elapsed
+        }
+    }
+}
+
+/// Parallel counterpart of the batched [`Engine`](crate::Engine): the
+/// same solver roster, run over a whole epoch stream at once across a
+/// [`ThreadPool`].
+///
+/// # Example
+///
+/// ```
+/// use gps_core::{EpochJob, Measurement, ParallelEngine};
+/// use gps_geodesy::Ecef;
+/// use gps_pool::ThreadPool;
+///
+/// let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+/// let sats = [
+///     Ecef::new(2.0e7, 0.0, 1.7e7),
+///     Ecef::new(1.5e7, 1.8e7, 0.9e7),
+///     Ecef::new(1.6e7, -1.7e7, 1.0e7),
+///     Ecef::new(2.5e7, 0.4e7, -0.6e7),
+///     Ecef::new(0.8e7, 1.4e7, 2.0e7),
+/// ];
+/// let meas: Vec<Measurement> = sats
+///     .iter()
+///     .map(|&s| Measurement::new(s, s.distance_to(truth)))
+///     .collect();
+/// let stream: Vec<EpochJob> = (0..32).map(|_| EpochJob::new(meas.clone(), 0.0)).collect();
+///
+/// let pool = ThreadPool::new(2);
+/// let run = ParallelEngine::all_solvers().run(&pool, stream);
+/// assert_eq!(run.epochs(), 32);
+/// for stats in &run.lane_stats {
+///     assert_eq!(stats.solved, 32);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParallelEngine {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with no lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        ParallelEngine::default()
+    }
+
+    /// Creates an engine with one lane per paper solver
+    /// (NR, DLO, DLG, Bancroft) — the same roster as
+    /// [`Engine::all_solvers`](crate::Engine::all_solvers).
+    #[must_use]
+    pub fn all_solvers() -> Self {
+        ParallelEngine::new()
+            .with_solver(Box::new(NewtonRaphson::default()))
+            .with_solver(Box::new(Dlo::default()))
+            .with_solver(Box::new(Dlg::default()))
+            .with_solver(Box::new(Bancroft))
+    }
+
+    /// Adds a lane for `solver`.
+    #[must_use]
+    pub fn with_solver(mut self, solver: Box<dyn Solver>) -> Self {
+        self.solvers.push(solver);
+        self
+    }
+
+    /// The configured solver roster, lane order.
+    #[must_use]
+    pub fn solvers(&self) -> &[Box<dyn Solver>] {
+        &self.solvers
+    }
+
+    /// Runs the whole `stream` across `pool`, returning per-epoch
+    /// results merged back into epoch order plus aggregated lane and
+    /// worker statistics.
+    ///
+    /// Worker count is `min(pool.jobs(), stream.len())`; an empty
+    /// stream or empty roster returns an empty run without touching
+    /// the pool.
+    #[must_use]
+    pub fn run(&self, pool: &ThreadPool, stream: Vec<EpochJob>) -> ParallelRun {
+        self.run_shared(pool, Arc::new(stream))
+    }
+
+    /// Like [`ParallelEngine::run`] for an already-shared stream, so
+    /// repeated runs over the same batch (benchmarks, sweeps across
+    /// worker counts) pay no per-run copy of the epochs.
+    #[must_use]
+    pub fn run_shared(&self, pool: &ThreadPool, stream: Arc<Vec<EpochJob>>) -> ParallelRun {
+        let started = Instant::now();
+        let lane_names: Vec<&'static str> = self.solvers.iter().map(|s| s.name()).collect();
+        let total = stream.len();
+        if total == 0 || self.solvers.is_empty() {
+            return ParallelRun {
+                outcomes: stream.iter().map(|_| Vec::new()).collect(),
+                lane_names,
+                lane_stats: vec![LaneStats::default(); self.solvers.len()],
+                workers: Vec::new(),
+                elapsed: started.elapsed(),
+            };
+        }
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<Result<Solution, SolveError>>)>();
+        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        let jobs = pool.jobs().min(total);
+        for worker in 0..jobs {
+            let stream = Arc::clone(&stream);
+            let cursor = Arc::clone(&cursor);
+            let result_tx = result_tx.clone();
+            let report_tx = report_tx.clone();
+            let mut lanes = WorkerLanes::new(&self.solvers);
+            pool.submit(move || {
+                let mut processed = 0u64;
+                let mut busy = Duration::ZERO;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = stream.get(index) else { break };
+                    let epoch = Epoch::new(&job.measurements, job.predicted_receiver_bias_m);
+                    let mut out = Vec::with_capacity(lanes.len());
+                    let start = Instant::now();
+                    lanes.solve_into(&epoch, &mut out);
+                    busy += start.elapsed();
+                    processed += 1;
+                    // Sequence-stamped send; the receiver reorders.
+                    if result_tx.send((index, out)).is_err() {
+                        break; // collector bailed out — stop producing
+                    }
+                }
+                let _ = report_tx.send(WorkerReport {
+                    worker,
+                    epochs: processed,
+                    busy,
+                    lane_time: lanes.lane_time().to_vec(),
+                });
+            });
+        }
+        drop(result_tx);
+        drop(report_tx);
+
+        // Reassemble in epoch order: slot `seq` takes message `seq`.
+        let mut slots: Vec<Option<Vec<Result<Solution, SolveError>>>> =
+            (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (index, out) = result_rx
+                .recv()
+                .expect("a pool worker died before draining the stream");
+            slots[index] = Some(out);
+        }
+        let outcomes: Vec<Vec<Result<Solution, SolveError>>> = slots
+            .into_iter()
+            .map(|s| s.expect("every epoch index sent exactly once"))
+            .collect();
+
+        let mut workers: Vec<WorkerReport> = report_rx.iter().collect();
+        workers.sort_by_key(|w| w.worker);
+
+        // Aggregate lane statistics in deterministic epoch order;
+        // lane wall-clock comes from the per-worker clocks.
+        let mut lane_stats = vec![LaneStats::default(); self.solvers.len()];
+        for epoch in &outcomes {
+            for (stats, result) in lane_stats.iter_mut().zip(epoch) {
+                stats.epochs += 1;
+                if result.is_ok() {
+                    stats.solved += 1;
+                } else {
+                    stats.failed += 1;
+                }
+            }
+        }
+        for report in &workers {
+            for (stats, time) in lane_stats.iter_mut().zip(&report.lane_time) {
+                stats.total_time += *time;
+            }
+        }
+
+        let run = ParallelRun {
+            outcomes,
+            lane_names,
+            lane_stats,
+            workers,
+            elapsed: started.elapsed(),
+        };
+        if gps_telemetry::enabled(gps_telemetry::Level::Debug) {
+            gps_telemetry::Event::new(
+                gps_telemetry::Level::Debug,
+                "core.parallel",
+                "batch complete",
+            )
+            .with("epochs", run.epochs())
+            .with("workers", run.workers.len())
+            .with("elapsed_us", run.elapsed.as_secs_f64() * 1e6)
+            .emit();
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use gps_geodesy::Ecef;
+
+    fn truth() -> Ecef {
+        Ecef::new(6.371e6, 1.0e5, -2.0e5)
+    }
+
+    fn measurements(extra: f64) -> Vec<Measurement> {
+        [
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        ]
+        .iter()
+        .map(|&s| Measurement::new(s, s.distance_to(truth()) + extra))
+        .collect()
+    }
+
+    fn stream(n: usize) -> Vec<EpochJob> {
+        (0..n)
+            .map(|i| {
+                // Vary the noise slightly so every epoch is distinct and
+                // an ordering mistake cannot hide behind identical inputs.
+                EpochJob::new(measurements(1e-3 * i as f64), 1e-3 * i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_worker_count() {
+        let jobs_list = [1usize, 2, 4];
+        let input = stream(60);
+
+        // Serial reference: run the same epochs through Engine.
+        let mut engine = Engine::all_solvers();
+        let mut reference: Vec<Vec<Result<Solution, SolveError>>> = Vec::new();
+        for job in &input {
+            engine.run_epoch(&job.measurements, job.predicted_receiver_bias_m);
+            reference.push(
+                engine
+                    .lanes()
+                    .iter()
+                    .map(|lane| lane.last().unwrap().clone())
+                    .collect(),
+            );
+        }
+
+        for jobs in jobs_list {
+            let pool = ThreadPool::new(jobs);
+            let run = ParallelEngine::all_solvers().run(&pool, input.clone());
+            assert_eq!(run.epochs(), 60);
+            assert_eq!(run.outcomes, reference, "jobs={jobs}");
+            for (lane, stats) in run.lane_stats.iter().enumerate() {
+                assert_eq!(stats.epochs, 60, "lane {lane}");
+                assert_eq!(
+                    stats.solved,
+                    engine.lanes()[lane].stats().solved,
+                    "lane {lane}"
+                );
+                assert_eq!(
+                    stats.failed,
+                    engine.lanes()[lane].stats().failed,
+                    "lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_reports_cover_the_stream() {
+        let pool = ThreadPool::new(3);
+        let run = ParallelEngine::all_solvers().run(&pool, stream(40));
+        assert!(!run.workers.is_empty());
+        assert!(run.workers.len() <= 3);
+        let claimed: u64 = run.workers.iter().map(|w| w.epochs).sum();
+        assert_eq!(claimed, 40);
+        for w in &run.workers {
+            assert_eq!(w.lane_time.len(), 4);
+            assert!(w.utilization(run.elapsed) >= 0.0);
+        }
+        assert!(run.elapsed > Duration::ZERO);
+        assert!(run.total_fixes_per_sec() > 0.0);
+        assert!(run.lane_fixes_per_sec(1) > 0.0);
+    }
+
+    #[test]
+    fn failures_are_tallied_like_serial() {
+        // Three satellites: below every solver's minimum.
+        let few = EpochJob::new(measurements(0.0)[..3].to_vec(), 0.0);
+        let mut input = stream(10);
+        input.insert(5, few);
+        let pool = ThreadPool::new(2);
+        let run = ParallelEngine::all_solvers().run(&pool, input);
+        for stats in &run.lane_stats {
+            assert_eq!(stats.epochs, 11);
+            assert_eq!(stats.solved, 10);
+            assert_eq!(stats.failed, 1);
+        }
+        assert!(run.outcomes[5].iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn empty_stream_and_empty_roster_are_fine() {
+        let pool = ThreadPool::new(2);
+        let run = ParallelEngine::all_solvers().run(&pool, Vec::new());
+        assert_eq!(run.epochs(), 0);
+        assert!(run.workers.is_empty());
+
+        let run = ParallelEngine::new().run(&pool, stream(3));
+        assert_eq!(run.epochs(), 3);
+        assert!(run.lane_stats.is_empty());
+        assert!(run.outcomes.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn worker_lanes_report_names_and_times() {
+        let engine = ParallelEngine::all_solvers();
+        let mut lanes = WorkerLanes::new(engine.solvers());
+        assert_eq!(lanes.len(), 4);
+        assert!(!lanes.is_empty());
+        let meas = measurements(0.0);
+        let mut out = Vec::new();
+        lanes.solve_into(&Epoch::new(&meas, 0.0), &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(Result::is_ok));
+        assert!(lanes.lane_time().iter().all(|t| *t > Duration::ZERO));
+    }
+}

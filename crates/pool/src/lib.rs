@@ -1,0 +1,338 @@
+//! A zero-dependency (std-only) work-sharing thread pool.
+//!
+//! Positioning is a high-volume batch problem: epochs are independent,
+//! receivers are independent, and PR 3's caller-owned
+//! `SolveContext` means each worker thread can keep its own warm
+//! scratch — so the whole stack parallelizes without touching the
+//! solver hot path. This crate supplies the one missing primitive, a
+//! [`ThreadPool`], in the same spirit as the rest of the workspace:
+//! `std` only, fully offline, deterministic where it matters.
+//!
+//! Design:
+//!
+//! * **Work sharing, not work stealing.** One shared injector queue
+//!   (`Mutex<VecDeque>` + `Condvar`); idle workers sleep on the condvar
+//!   and *take* (steal) jobs from the shared queue. For coarse jobs —
+//!   a worker loop that drains an epoch stream via an atomic cursor,
+//!   or one campaign scenario — queue contention is a handful of lock
+//!   acquisitions per job, far below measurement noise.
+//! * **Panic isolation.** A panicking job is caught and counted
+//!   (`pool.job_panics`); the worker survives, so one poisoned epoch
+//!   cannot silently shrink the pool.
+//! * **Deterministic fan-out order.** [`ThreadPool::map`] stamps every
+//!   item with its input index and reassembles results in that order,
+//!   so callers see output identical to a serial loop no matter how
+//!   the scheduler interleaved the workers.
+//!
+//! Telemetry (`pool.*`, see docs/TELEMETRY.md): `pool.submitted` and
+//! `pool.stolen` counters, a `pool.queue_depth` gauge, and a
+//! `pool.worker_busy_us` histogram of per-job execution time.
+//!
+//! ```
+//! use gps_pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.map((0..100u64).collect(), |_, &n| n * n);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gps_telemetry::{Counter, Gauge, Histogram};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cached handles into the global telemetry registry; obtaining them
+/// once at pool construction keeps the per-job record path down to a
+/// few atomic operations.
+struct PoolMetrics {
+    submitted: Counter,
+    stolen: Counter,
+    panics: Counter,
+    queue_depth: Gauge,
+    busy_us: Histogram,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            submitted: gps_telemetry::counter("pool.submitted"),
+            stolen: gps_telemetry::counter("pool.stolen"),
+            panics: gps_telemetry::counter("pool.job_panics"),
+            queue_depth: gps_telemetry::gauge("pool.queue_depth"),
+            busy_us: gps_telemetry::histogram("pool.worker_busy_us"),
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    metrics: PoolMetrics,
+}
+
+impl Shared {
+    /// Blocks until a job is available or shutdown is signalled with an
+    /// empty queue. Returns `None` only at shutdown.
+    fn take_job(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = queue.pop_front() {
+                self.metrics.queue_depth.set(queue.len() as f64);
+                self.metrics.stolen.inc();
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self
+                .available
+                .wait(queue)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads sharing one injector queue.
+///
+/// Dropping the pool signals shutdown, drains the remaining queue, and
+/// joins every worker — submitted jobs are never silently discarded.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("jobs", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `jobs` workers (`jobs` is clamped to ≥ 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: PoolMetrics::new(),
+        });
+        let workers = (0..jobs)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gps-pool-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Spawns one worker per available hardware thread.
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        ThreadPool::new(available_parallelism())
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job; an idle worker picks it up immediately.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(Box::new(job));
+        self.shared.metrics.submitted.inc();
+        self.shared.metrics.queue_depth.set(queue.len() as f64);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+
+    /// Applies `f` to every item across the pool and returns the
+    /// results **in input order** — each in-flight result is stamped
+    /// with its input index, sent over a channel, and reassembled, so
+    /// the output is exactly what a serial `items.iter().map(..)` would
+    /// produce.
+    ///
+    /// Workers pull items dynamically from a shared cursor, so uneven
+    /// per-item cost load-balances automatically. The call blocks until
+    /// every item is processed. Panicking items are counted in
+    /// `pool.job_panics`; this call then panics too (results would be
+    /// incomplete).
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(usize, &I) -> T + Send + Sync + 'static,
+    {
+        let total = items.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let items = Arc::new(items);
+        let f = Arc::new(f);
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let lanes = self.jobs().min(total);
+        for _ in 0..lanes {
+            let items = Arc::clone(&items);
+            let f = Arc::clone(&f);
+            let cursor = Arc::clone(&cursor);
+            let tx = tx.clone();
+            self.submit(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                // A send only fails if the collector bailed out early
+                // (itself only on a panic); stop producing then.
+                if tx.send((index, f(index, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (index, value) = rx
+                .recv()
+                .expect("pool.map worker died before finishing (job panicked?)");
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index sent exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.take_job() {
+        let start = Instant::now();
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.metrics.panics.inc();
+        }
+        shared
+            .metrics
+            .busy_us
+            .record(start.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+/// The number of hardware threads, falling back to 1 where the OS
+/// cannot say.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_submitted_job() {
+        let pool = ThreadPool::new(3);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains the queue and joins
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map((0..500u64).collect(), |i, &n| {
+            assert_eq!(i as u64, n);
+            n * 3
+        });
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_fewer_items_than_workers() {
+        let pool = ThreadPool::new(8);
+        assert!(pool.map(Vec::<u8>::new(), |_, &b| b).is_empty());
+        assert_eq!(pool.map(vec![7u8], |_, &b| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ThreadPool::new(2);
+        for round in 0..5u64 {
+            let out = pool.map(vec![round; 10], |_, &r| r + 1);
+            assert!(out.iter().all(|&v| v == round + 1));
+        }
+    }
+
+    #[test]
+    fn jobs_clamped_to_at_least_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        assert_eq!(pool.map(vec![1, 2, 3], |_, &n| n), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_is_counted_and_pool_survives() {
+        let pool = ThreadPool::new(1);
+        let before = gps_telemetry::counter("pool.job_panics").value();
+        pool.submit(|| panic!("boom"));
+        // The next job must still run on the same (sole) worker.
+        let out = pool.map(vec![1u8], |_, &b| b * 2);
+        assert_eq!(out, vec![2]);
+        assert!(gps_telemetry::counter("pool.job_panics").value() > before);
+    }
+
+    #[test]
+    fn telemetry_counts_submissions_and_steals() {
+        let submitted = gps_telemetry::counter("pool.submitted").value();
+        let stolen = gps_telemetry::counter("pool.stolen").value();
+        let pool = ThreadPool::new(2);
+        let _ = pool.map((0..20u8).collect(), |_, &b| b);
+        drop(pool);
+        assert!(gps_telemetry::counter("pool.submitted").value() > submitted);
+        assert!(gps_telemetry::counter("pool.stolen").value() > stolen);
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

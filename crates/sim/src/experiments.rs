@@ -268,6 +268,29 @@ pub fn fault_campaign(
     crate::run_campaign(&data, plan, cfg)
 }
 
+/// Like [`fault_campaign`], but fanned across **all four** paper
+/// stations in parallel: each station's dataset is generated, paired
+/// with the same fault plan, and the four campaigns are sharded over a
+/// [`gps_pool::ThreadPool`] with `jobs` workers. Reports come back in
+/// station order regardless of the worker count.
+#[must_use]
+pub fn fault_campaign_fleet(
+    cfg: &ExperimentConfig,
+    plan: &gps_faults::FaultPlan,
+    jobs: usize,
+) -> Vec<(String, crate::CampaignReport)> {
+    let _span = gps_telemetry::span("fault_campaign_fleet");
+    let scenarios: Vec<crate::CampaignScenario> = generate_datasets(cfg)
+        .into_iter()
+        .map(|data| {
+            let label = data.station().id().to_owned();
+            crate::CampaignScenario::new(label, data, plan.clone())
+        })
+        .collect();
+    let pool = gps_pool::ThreadPool::new(jobs);
+    crate::run_campaigns(&pool, scenarios, cfg)
+}
+
 /// Sensitivity study: do the paper's accuracy rates survive a noisier (or
 /// cleaner) receiver? Re-runs the Fig 5.2 sweep on the YYR1 dataset with
 /// the whole error budget scaled by 0.5×, 1× and 2×. One "dataset" per

@@ -40,6 +40,7 @@
 mod campaign;
 mod config;
 pub mod experiments;
+mod parallel;
 mod report;
 mod runner;
 
@@ -47,6 +48,7 @@ pub use campaign::{
     run_campaign, AlgoIntegrity, CampaignReport, IntegrityCounts, DETECTION_FLOOR_M,
 };
 pub use config::ExperimentConfig;
+pub use parallel::{run_campaigns, CampaignScenario};
 pub use report::{FigureReport, SeriesPoint, Table51Report};
 pub use runner::{
     run_dataset, run_dataset_with, select_subset, to_measurements, to_rate_measurements, AlgoStats,

@@ -31,6 +31,14 @@ echo "$out" | grep -q "engine: 1 epochs through 4 lanes" \
 echo "$out" | grep "failed" | grep -vq "failed     0" \
     && { echo "smoke: a lane failed the clean epoch"; exit 1; }
 
+echo "==> throughput smoke (2 workers, quick stream, parity enforced)"
+out=$(cargo run --release --offline -q -- throughput --jobs 2 --quick)
+echo "$out"
+echo "$out" | grep -q "jobs 2" || { echo "smoke: pool did not run 2 workers"; exit 1; }
+echo "$out" | grep -q "per lane" || { echo "smoke: no per-lane table"; exit 1; }
+echo "$out" | grep "failed" | grep -vq "failed    0" \
+    && { echo "smoke: a lane failed on the clean stream"; exit 1; }
+
 echo "==> fault campaign smoke (dropout+ramp must degrade, not panic)"
 out=$(cargo run --release --offline -q -- experiment fault_campaign --quick --faults dropout,ramp)
 echo "$out"

@@ -13,5 +13,6 @@ pub use gps_geodesy as geodesy;
 pub use gps_linalg as linalg;
 pub use gps_obs as obs;
 pub use gps_orbits as orbits;
+pub use gps_pool as pool;
 pub use gps_sim as sim;
 pub use gps_time as time;

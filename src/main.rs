@@ -12,10 +12,14 @@ use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
-use gps_repro::core::{Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, SolveContext, Solver};
+use gps_repro::core::{
+    Bancroft, Dlg, Dlo, Engine, Epoch, EpochJob, NewtonRaphson, ParallelEngine, SolveContext,
+    Solver,
+};
 use gps_repro::faults::FaultPlan;
 use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
 use gps_repro::orbits::{yuma, Constellation};
+use gps_repro::pool::ThreadPool;
 use gps_repro::sim::{experiments, to_measurements, ExperimentConfig};
 use gps_telemetry::{FileFormat, FileSink, Level, StderrSink};
 
@@ -29,9 +33,18 @@ USAGE:
   gps-repro info <FILE>
   gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
   gps-repro engine <FILE> [--satellites M] [--epochs N]
+  gps-repro throughput [--jobs N] [--epochs N] [--satellites M] [--seed N]
+                       [--station <SRZN|YYR1|FAI1|KYCP>] [--quick]
   gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|all>
                        [--paper-scale|--quick] [--seed N]
   gps-repro almanac [--out <FILE>]
+
+THROUGHPUT (parallel batch positioning):
+  --jobs N              worker threads (default: available parallelism);
+                        the epoch stream is sharded across them and merged
+                        back in deterministic epoch order
+  --epochs N            stream length (default 2000; --quick: 240)
+  --satellites M        satellites per epoch (default 8)
 
 FAULT CAMPAIGN (experiment fault_campaign):
   --faults <spec>       comma-separated scenarios to inject (default
@@ -40,6 +53,8 @@ FAULT CAMPAIGN (experiment fault_campaign):
                         corrupt, stale-base
   --fault-seed N        fault-plan RNG seed (default 42), independent of
                         the dataset seed
+  --all-stations        fan the campaign across all four paper stations in
+                        parallel (--jobs N workers, default all cores)
 
 TELEMETRY (any command):
   --log-level <trace|debug|info|warn|error>   human-readable events on stderr
@@ -277,6 +292,116 @@ fn cmd_engine(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the throughput workload: a generated dataset reduced to
+/// owned per-epoch measurement batches with truth-channel clock
+/// predictions (the same inputs `cmd_engine` feeds serially).
+fn throughput_stream(station_id: &str, epochs: usize, m: usize, seed: u64) -> Vec<EpochJob> {
+    let stations = paper_stations();
+    let station = stations
+        .iter()
+        .find(|s| s.id() == station_id)
+        .expect("validated by caller");
+    let data = DatasetGenerator::new(seed)
+        .epoch_interval_s(30.0)
+        .epoch_count(epochs)
+        .elevation_mask_deg(5.0)
+        .generate(station);
+    data.epochs()
+        .iter()
+        .map(|epoch| {
+            let meas = to_measurements(&epoch.take_satellites(m));
+            let bias = epoch.truth().clock_bias * gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+            EpochJob::new(meas, bias)
+        })
+        .collect()
+}
+
+fn cmd_throughput(args: &Args) -> Result<(), String> {
+    let quick = args.has("quick");
+    let epochs: usize = args.flag_parse("epochs", if quick { 240 } else { 2_000 })?;
+    let m: usize = args.flag_parse("satellites", 8)?;
+    let seed: u64 = args.flag_parse("seed", 2_010)?;
+    let jobs: usize = args.flag_parse("jobs", gps_repro::pool::available_parallelism())?;
+    let station = args.flag("station").unwrap_or("SRZN");
+    if !["SRZN", "YYR1", "FAI1", "KYCP"].contains(&station) {
+        return Err(format!("unknown station `{station}` (SRZN|YYR1|FAI1|KYCP)"));
+    }
+    if epochs == 0 {
+        return Err("--epochs must be at least 1".to_owned());
+    }
+
+    println!("throughput: {epochs} epochs × {m} satellites from {station} (seed {seed})");
+    let stream = throughput_stream(station, epochs, m, seed);
+
+    // Serial baseline: the batched Engine, timing disabled so both
+    // paths run the identical per-epoch work and the wall clock is the
+    // only measurement.
+    let mut serial = Engine::all_solvers().with_timing(false);
+    let serial_start = std::time::Instant::now();
+    for job in &stream {
+        serial.run_epoch(&job.measurements, job.predicted_receiver_bias_m);
+    }
+    let serial_elapsed = serial_start.elapsed();
+
+    // Parallel run across the pool.
+    let pool = ThreadPool::new(jobs);
+    let run = ParallelEngine::all_solvers().run(&pool, stream);
+
+    // Determinism spot check: the parallel merge must agree with the
+    // serial engine on every lane's outcome tallies.
+    for (lane, stats) in serial.lanes().iter().zip(&run.lane_stats) {
+        if lane.stats().solved != stats.solved || lane.stats().failed != stats.failed {
+            return Err(format!(
+                "parallel/serial divergence on {}: serial {}/{} vs parallel {}/{}",
+                lane.name(),
+                lane.stats().solved,
+                lane.stats().failed,
+                stats.solved,
+                stats.failed
+            ));
+        }
+    }
+
+    let serial_s = serial_elapsed.as_secs_f64();
+    let parallel_s = run.elapsed.as_secs_f64();
+    let speedup = if parallel_s > 0.0 {
+        serial_s / parallel_s
+    } else {
+        0.0
+    };
+    println!(
+        "serial   : {serial_s:>8.3} s  ({:>10.0} fixes/s total)",
+        run.lane_stats.iter().map(|s| s.solved).sum::<u64>() as f64 / serial_s.max(1e-12)
+    );
+    println!(
+        "parallel : {parallel_s:>8.3} s  ({:>10.0} fixes/s total)  jobs {}  speedup {speedup:.2}x",
+        run.total_fixes_per_sec(),
+        run.workers.len()
+    );
+    println!("per lane (fixes/s = solved epochs / batch wall-clock):");
+    for (lane, stats) in run.lane_names.iter().zip(&run.lane_stats) {
+        let serial_rate = stats.solved as f64 / serial_s.max(1e-12);
+        let parallel_rate = stats.solved as f64 / parallel_s.max(1e-12);
+        println!(
+            "  {lane:<9} solved {:>6}  failed {:>4}  serial {serial_rate:>9.0}/s  parallel {parallel_rate:>9.0}/s  speedup {:>5.2}x",
+            stats.solved,
+            stats.failed,
+            parallel_rate / serial_rate.max(1e-12),
+        );
+    }
+    println!("per worker:");
+    for w in &run.workers {
+        println!(
+            "  worker {:<2} epochs {:>6}  busy {:>8.3} s  utilization {:>5.1}%",
+            w.worker,
+            w.epochs,
+            w.busy.as_secs_f64(),
+            100.0 * w.utilization(run.elapsed)
+        );
+    }
+    Ok(())
+}
+
 fn cmd_experiment(args: &Args) -> Result<(), String> {
     let which = args.positional.get(1).map(String::as_str).unwrap_or("all");
     let seed: u64 = args.flag_parse("seed", 2_010)?;
@@ -294,7 +419,16 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
                 Some(spec) => FaultPlan::from_spec(fault_seed, spec)?,
                 None => FaultPlan::default_campaign(fault_seed),
             };
-            println!("{}", experiments::fault_campaign(&cfg, &plan));
+            if args.has("all-stations") {
+                let jobs: usize =
+                    args.flag_parse("jobs", gps_repro::pool::available_parallelism())?;
+                for (label, report) in experiments::fault_campaign_fleet(&cfg, &plan, jobs) {
+                    println!("== {label} ==");
+                    println!("{report}");
+                }
+            } else {
+                println!("{}", experiments::fault_campaign(&cfg, &plan));
+            }
         }
         "table51" => println!("{}", experiments::table51(&cfg)),
         "fig51" => println!("{}", experiments::fig51(&cfg)),
@@ -344,6 +478,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "solve" => cmd_solve(&args),
         "engine" => cmd_engine(&args),
+        "throughput" => cmd_throughput(&args),
         "experiment" => cmd_experiment(&args),
         "almanac" => cmd_almanac(&args),
         _ => return usage(),

@@ -1,0 +1,97 @@
+//! Parallel-vs-serial determinism: the sharded [`ParallelEngine`] must
+//! be bit-for-bit identical to the serial [`Engine`] on the same epoch
+//! stream, for any worker count.
+//!
+//! The guarantee rests on the `Solver` contract (deterministic output,
+//! independent of `SolveContext` history) plus the pool's
+//! sequence-stamped merge, which reassembles results in epoch order no
+//! matter which worker claimed which epoch. `LaneStats.total_time` is
+//! explicitly scheduling-dependent, so only the outcome tallies are
+//! compared there.
+
+use gps_repro::core::{Engine, EpochJob, ParallelEngine, Solution, SolveError};
+use gps_repro::geodesy::wgs84::SPEED_OF_LIGHT;
+use gps_repro::obs::{paper_stations, DatasetGenerator};
+use gps_repro::pool::ThreadPool;
+use gps_repro::sim::to_measurements;
+
+const EPOCHS: usize = 500;
+const SATELLITES: usize = 8;
+const SEED: u64 = 4242;
+
+fn seeded_stream() -> Vec<EpochJob> {
+    let station = &paper_stations()[0];
+    let data = DatasetGenerator::new(SEED)
+        .epoch_interval_s(30.0)
+        .epoch_count(EPOCHS)
+        .elevation_mask_deg(5.0)
+        .generate(station);
+    data.epochs()
+        .iter()
+        .map(|epoch| {
+            EpochJob::new(
+                to_measurements(&epoch.take_satellites(SATELLITES)),
+                epoch.truth().clock_bias * SPEED_OF_LIGHT,
+            )
+        })
+        .collect()
+}
+
+/// Serial reference: per-epoch, per-lane outcomes from the batched
+/// [`Engine`], in lane order.
+#[allow(clippy::type_complexity)]
+fn serial_reference(stream: &[EpochJob]) -> (Vec<Vec<Result<Solution, SolveError>>>, Engine) {
+    let mut engine = Engine::all_solvers();
+    let mut outcomes = Vec::with_capacity(stream.len());
+    for job in stream {
+        engine.run_epoch(&job.measurements, job.predicted_receiver_bias_m);
+        outcomes.push(
+            engine
+                .lanes()
+                .iter()
+                .map(|lane| lane.last().expect("lane ran this epoch").clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    (outcomes, engine)
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_to_serial_engine() {
+    let stream = seeded_stream();
+    assert_eq!(stream.len(), EPOCHS, "generator yields one job per epoch");
+    let (reference, serial) = serial_reference(&stream);
+
+    for jobs in [1usize, 4] {
+        let pool = ThreadPool::new(jobs);
+        let run = ParallelEngine::all_solvers().run(&pool, stream.clone());
+
+        assert_eq!(run.epochs(), EPOCHS, "jobs={jobs}");
+        assert_eq!(
+            run.outcomes, reference,
+            "jobs={jobs}: per-epoch solutions diverge from serial engine"
+        );
+        for (lane, stats) in serial.lanes().iter().zip(&run.lane_stats) {
+            assert_eq!(
+                (stats.solved, stats.failed),
+                (lane.stats().solved, lane.stats().failed),
+                "jobs={jobs}: {} tallies diverge",
+                lane.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    // Cross-check jobs=1 against jobs=4 directly: both merged runs must
+    // agree epoch-for-epoch even though the sharding differs.
+    let stream = seeded_stream();
+    let engine = ParallelEngine::all_solvers();
+    let one = engine.run(&ThreadPool::new(1), stream.clone());
+    let four = engine.run(&ThreadPool::new(4), stream);
+    assert_eq!(one.outcomes, four.outcomes);
+    for (a, b) in one.lane_stats.iter().zip(&four.lane_stats) {
+        assert_eq!((a.solved, a.failed), (b.solved, b.failed));
+    }
+}
