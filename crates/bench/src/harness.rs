@@ -40,6 +40,7 @@ pub struct Sampled {
 }
 
 /// The timing callback handed to each benchmark closure.
+#[derive(Debug)]
 pub struct Bencher {
     sample_count: usize,
     result: Option<Sampled>,
@@ -86,6 +87,7 @@ impl Bencher {
 
 /// A named group of related benchmarks; prints a header on creation and
 /// one line per finished benchmark.
+#[derive(Debug)]
 pub struct BenchmarkGroup {
     name: String,
     sample_count: usize,
@@ -118,6 +120,7 @@ impl BenchmarkGroup {
             return self;
         };
         let metric = format!("bench.{}.{}", self.name, id.replace('/', "."));
+        // lint: metric bench.*
         gps_telemetry::histogram(&metric).record(s.median_ns);
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) => {

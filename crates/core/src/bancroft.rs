@@ -76,6 +76,7 @@ impl Bancroft {
 // this module (and in `use super::*` tests) still resolves through
 // `PositionSolver` unambiguously.
 impl crate::Solver for Bancroft {
+    // lint: no_alloc
     fn solve(
         &self,
         epoch: &crate::Epoch<'_>,

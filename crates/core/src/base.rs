@@ -92,30 +92,26 @@ impl BaseSelection {
                 .max_by(|(_, a), (_, b)| {
                     let ea = a.elevation.unwrap_or(f64::NEG_INFINITY);
                     let eb = b.elevation.unwrap_or(f64::NEG_INFINITY);
-                    ea.partial_cmp(&eb).expect("validated finite elevations")
+                    ea.total_cmp(&eb)
                 })
                 .map(|(i, _)| i)
-                .expect("non-empty"),
+                .unwrap_or(0),
             BaseSelection::LowestElevation => measurements
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
                     let ea = a.elevation.unwrap_or(f64::INFINITY);
                     let eb = b.elevation.unwrap_or(f64::INFINITY);
-                    ea.partial_cmp(&eb).expect("validated finite elevations")
+                    ea.total_cmp(&eb)
                 })
                 .map(|(i, _)| i)
-                .expect("non-empty"),
+                .unwrap_or(0),
             BaseSelection::ShortestRange => measurements
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.pseudorange
-                        .partial_cmp(&b.pseudorange)
-                        .expect("validated finite pseudoranges")
-                })
+                .min_by(|(_, a), (_, b)| a.pseudorange.total_cmp(&b.pseudorange))
                 .map(|(i, _)| i)
-                .expect("non-empty"),
+                .unwrap_or(0),
             BaseSelection::BestConditioned => {
                 if measurements.len() < 4 {
                     // Fewer rows than unknowns: every base is singular;
@@ -124,11 +120,9 @@ impl BaseSelection {
                 }
                 (0..measurements.len())
                     .min_by(|&a, &b| {
-                        base_condition(measurements, a)
-                            .partial_cmp(&base_condition(measurements, b))
-                            .expect("conditions are comparable")
+                        base_condition(measurements, a).total_cmp(&base_condition(measurements, b))
                     })
-                    .expect("non-empty")
+                    .unwrap_or(0)
             }
         }
     }

@@ -135,6 +135,7 @@ impl Dlg {
     /// `out` in place without intermediate allocations (the
     /// [`crate::SolveContext`] hot path; also the zero-allocation arm of
     /// the linalg-path ablation bench).
+    // lint: no_alloc
     pub fn covariance_matrix_into(&self, sys: &LinearSystem, out: &mut Matrix) {
         self.covariance_into(&sys.corrected_ranges, &sys.elevations, sys.base_index, out);
     }
@@ -143,6 +144,7 @@ impl Dlg {
     /// linearization buffers. Row/column `r` corresponds to input
     /// measurement `r` when `r < base_index`, else `r + 1` (the base row
     /// is differenced away).
+    // lint: no_alloc
     pub(crate) fn covariance_into(
         &self,
         corrected_ranges: &[f64],
@@ -211,6 +213,7 @@ impl Dlg {
 // this module (and in `use super::*` tests) still resolves through
 // `PositionSolver` unambiguously.
 impl crate::Solver for Dlg {
+    // lint: no_alloc
     fn solve(
         &self,
         epoch: &crate::Epoch<'_>,

@@ -206,6 +206,7 @@ impl Dlo {
 // this module (and in `use super::*` tests) still resolves through
 // `PositionSolver` unambiguously.
 impl crate::Solver for Dlo {
+    // lint: no_alloc
     fn solve(
         &self,
         epoch: &crate::Epoch<'_>,

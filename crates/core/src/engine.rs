@@ -204,6 +204,7 @@ impl Engine {
     /// With timing enabled, adjacent lanes share one timestamp (the end
     /// of lane *i* is the start of lane *i+1*), so an epoch costs
     /// `lanes + 1` clock reads instead of `2 × lanes`.
+    // lint: no_alloc
     pub fn run_epoch(
         &mut self,
         measurements: &[Measurement],

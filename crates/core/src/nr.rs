@@ -145,6 +145,7 @@ impl Default for NewtonRaphson {
 // this module (and in `use super::*` tests) still resolves through
 // `PositionSolver` unambiguously.
 impl crate::Solver for NewtonRaphson {
+    // lint: no_alloc
     fn solve(
         &self,
         epoch: &crate::Epoch<'_>,

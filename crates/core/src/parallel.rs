@@ -113,6 +113,7 @@ impl WorkerLanes {
     /// buffers and `out` is only written within its existing capacity
     /// once it has held a full lane set before. Per-lane timing uses
     /// chained timestamps (`n + 1` clock reads for `n` lanes).
+    // lint: no_alloc
     pub fn solve_into(&mut self, epoch: &Epoch<'_>, out: &mut Vec<Result<Solution, SolveError>>) {
         out.clear();
         let mut stamp = Instant::now();

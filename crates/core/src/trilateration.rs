@@ -113,7 +113,7 @@ pub fn trilaterate3(
         &[planes[1].0.x, planes[1].0.y, planes[1].0.z],
         &[dir.x, dir.y, dir.z],
     ])
-    .expect("3x3 by construction");
+    .map_err(SolveError::DegenerateGeometry)?;
     let b = Vector::from_slice(&[planes[0].1, planes[1].1, 0.0]);
     let p0 = match LuDecomposition::new(&a) {
         Ok(lu) => {

@@ -128,7 +128,7 @@ pub fn solve_velocity(
         b[i] = meas.range_rate - meas.velocity.dot(u);
     }
     let x = lstsq::ols(&a, &b)?;
-    let residual = lstsq::residual(&a, &b, &x).expect("shapes match by construction");
+    let residual = lstsq::residual(&a, &b, &x)?;
     Ok(VelocitySolution {
         velocity: Ecef::new(x[0], x[1], x[2]),
         clock_drift_m_s: x[3],

@@ -59,6 +59,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Same conditions as [`Cholesky::new`].
+    // lint: no_alloc
     pub fn factor_in_place(a: &mut Matrix) -> crate::Result<()> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
@@ -106,6 +107,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != l.rows()`.
+    // lint: no_alloc
     pub fn forward_substitute(l: &Matrix, x: &mut [f64]) -> crate::Result<()> {
         let n = l.rows();
         if x.len() != n {
@@ -134,6 +136,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != l.rows()`.
+    // lint: no_alloc
     pub fn back_substitute(l: &Matrix, x: &mut [f64]) -> crate::Result<()> {
         let n = l.rows();
         if x.len() != n {
@@ -160,6 +163,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `x.rows() != l.rows()`.
+    // lint: no_alloc
     pub fn forward_substitute_matrix(l: &Matrix, x: &mut Matrix) -> crate::Result<()> {
         let n = l.rows();
         if x.rows() != n {

@@ -129,6 +129,7 @@ pub fn ols(a: &Matrix, b: &Vector) -> crate::Result<Vector> {
 /// # Errors
 ///
 /// Same conditions as [`ols`].
+// lint: no_alloc
 pub fn ols_into(
     a: &Matrix,
     b: &Vector,
@@ -148,6 +149,7 @@ pub fn ols_into(
 
 /// Normal-equations core shared by the `*_into` paths: forms `AᵀA` in
 /// `gram`, `Aᵀb` in `x`, then factors and substitutes in place.
+// lint: no_alloc
 fn ols_core(a: &Matrix, b: &Vector, gram: &mut Matrix, x: &mut Vector) -> crate::Result<()> {
     let (m, n) = a.shape();
     gram.resize_zeroed(n, n);
@@ -271,6 +273,7 @@ pub fn wls(a: &Matrix, b: &Vector, weights: &[f64]) -> crate::Result<Vector> {
 /// # Errors
 ///
 /// Same conditions as [`wls`].
+// lint: no_alloc
 pub fn wls_into(
     a: &Matrix,
     b: &Vector,
@@ -384,6 +387,7 @@ pub fn gls_with(
 /// # Errors
 ///
 /// Same conditions as [`gls`].
+// lint: no_alloc
 pub fn gls_into(
     a: &Matrix,
     b: &Vector,

@@ -1,0 +1,280 @@
+//! The checked-in allowlist (`lint.allow`) and its application.
+//!
+//! Every pre-existing violation in the tree is *triaged*, not ignored:
+//! an allowlist entry names the rule, file and sub-pattern it suppresses,
+//! an explicit occurrence budget, and a mandatory justification. The
+//! budget is an upper bound — the file may have fewer occurrences (code
+//! shrinks under refactors) but never more, so any *new* violation in an
+//! allowlisted file still fails the gate. An entry whose file has zero
+//! remaining occurrences is reported as stale so the list cannot rot.
+//!
+//! Format, one entry per line (`#` starts a comment):
+//!
+//! ```text
+//! <rule_id> <path> <key> count=<n> -- <justification>
+//! panic_freedom crates/linalg/src/lu.rs index count=40 -- loop indices bounded by n
+//! ```
+
+use std::collections::HashMap;
+
+use crate::findings::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Finding key within the rule (`unwrap`, `index`, …).
+    pub key: String,
+    /// Maximum number of occurrences this entry may absorb.
+    pub count: usize,
+    /// Why these occurrences are acceptable. Never empty.
+    pub justification: String,
+    /// 1-based line in `lint.allow`, for stale-entry diagnostics.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+    /// Parse errors, reported as findings against the allowlist itself.
+    errors: Vec<Finding>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Malformed lines become `allowlist/invalid`
+    /// findings rather than aborting the run — the gate should fail
+    /// loudly on a bad entry, not silently skip it.
+    pub fn parse(text: &str, origin: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_entry(line, line_no) {
+                Ok(entry) => list.entries.push(entry),
+                Err(why) => list.errors.push(Finding {
+                    rule: "allowlist",
+                    key: "invalid",
+                    file: origin.to_string(),
+                    line: line_no,
+                    col: 1,
+                    message: why,
+                    snippet: line.to_string(),
+                }),
+            }
+        }
+        list
+    }
+
+    /// Number of well-formed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries parsed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply the allowlist to raw findings. Returns the surviving
+    /// violations (excess occurrences, stale entries, parse errors) and
+    /// the number of findings suppressed. Staleness is only judged for
+    /// entries whose rule is in `active_rules` — under a `--rule` filter
+    /// the other rules produced no findings, which proves nothing.
+    pub fn apply(
+        &self,
+        findings: Vec<Finding>,
+        origin: &str,
+        active_rules: &[&str],
+    ) -> (Vec<Finding>, usize) {
+        let mut budget: HashMap<(String, String, String), (usize, u32)> = HashMap::new();
+        for e in &self.entries {
+            budget.insert(
+                (e.rule.clone(), e.file.clone(), e.key.clone()),
+                (e.count, e.line),
+            );
+        }
+
+        let mut used: HashMap<(String, String, String), usize> = HashMap::new();
+        let mut surviving = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let coord = (f.rule.to_string(), f.file.clone(), f.key.to_string());
+            match budget.get(&coord) {
+                Some((count, entry_line)) => {
+                    let seen = used.entry(coord).or_insert(0);
+                    *seen += 1;
+                    if *seen <= *count {
+                        suppressed += 1;
+                    } else {
+                        let mut f = f;
+                        f.message = format!(
+                            "{} (exceeds allowlist budget count={} from {}:{})",
+                            f.message, count, origin, entry_line
+                        );
+                        surviving.push(f);
+                    }
+                }
+                None => surviving.push(f),
+            }
+        }
+
+        // Entries that matched nothing are stale: the code they excused
+        // is gone, so the entry must go too.
+        for e in &self.entries {
+            if !active_rules.contains(&e.rule.as_str()) {
+                continue;
+            }
+            let coord = (e.rule.clone(), e.file.clone(), e.key.clone());
+            if !used.contains_key(&coord) {
+                surviving.push(Finding {
+                    rule: "allowlist",
+                    key: "stale",
+                    file: origin.to_string(),
+                    line: e.line,
+                    col: 1,
+                    message: format!(
+                        "stale allowlist entry: no `{}/{}` findings remain in {}",
+                        e.rule, e.key, e.file
+                    ),
+                    snippet: format!("{} {} {} count={}", e.rule, e.file, e.key, e.count),
+                });
+            }
+        }
+
+        surviving.extend(self.errors.iter().cloned());
+        (surviving, suppressed)
+    }
+}
+
+fn parse_entry(line: &str, line_no: u32) -> Result<Entry, String> {
+    let (head, justification) = match line.split_once(" -- ") {
+        Some((h, j)) if !j.trim().is_empty() => (h.trim(), j.trim().to_string()),
+        _ => {
+            return Err(
+                "entry needs a justification: `<rule> <path> <key> count=<n> -- <why>`".into(),
+            )
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let rule = parts.next().unwrap_or_default().to_string();
+    let file = parts.next().unwrap_or_default().to_string();
+    let key = parts.next().unwrap_or_default().to_string();
+    if rule.is_empty() || file.is_empty() || key.is_empty() {
+        return Err("entry needs `<rule> <path> <key>` before ` -- `".into());
+    }
+    let mut count = 1usize;
+    for extra in parts {
+        match extra.strip_prefix("count=").map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => count = n,
+            _ => return Err(format!("unrecognized field `{extra}` (expected count=<n>)")),
+        }
+    }
+    Ok(Entry {
+        rule,
+        file,
+        key,
+        count,
+        justification,
+        line: line_no,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, key: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            key,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".into(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_requires_justification() {
+        let list = Allowlist::parse(
+            "# comment\n\
+             panic_freedom crates/a/src/lib.rs unwrap count=2 -- provably infallible\n\
+             panic_freedom crates/b/src/lib.rs index -- bounded\n\
+             bad_line_without_dashes\n",
+            "lint.allow",
+        );
+        assert_eq!(list.len(), 2);
+        let (out, _) = list.apply(Vec::new(), "lint.allow", &["panic_freedom"]);
+        // Two stale entries plus one parse error.
+        assert_eq!(out.iter().filter(|f| f.key == "stale").count(), 2);
+        assert_eq!(out.iter().filter(|f| f.key == "invalid").count(), 1);
+    }
+
+    #[test]
+    fn inactive_rules_are_not_stale_checked() {
+        let list = Allowlist::parse(
+            "panic_freedom crates/a/src/lib.rs unwrap count=2 -- fine\n\
+             no_alloc crates/a/src/lib.rs clone count=1 -- fine\n",
+            "lint.allow",
+        );
+        // Only no_alloc ran; the panic_freedom entry matched nothing,
+        // but that proves nothing — it must not be reported stale.
+        let raw = vec![finding("no_alloc", "clone", "crates/a/src/lib.rs", 1)];
+        let (out, suppressed) = list.apply(raw, "lint.allow", &["no_alloc"]);
+        assert_eq!(suppressed, 1);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn budget_suppresses_up_to_count_then_fails() {
+        let list = Allowlist::parse(
+            "panic_freedom crates/a/src/lib.rs unwrap count=2 -- fine\n",
+            "lint.allow",
+        );
+        let raw = vec![
+            finding("panic_freedom", "unwrap", "crates/a/src/lib.rs", 1),
+            finding("panic_freedom", "unwrap", "crates/a/src/lib.rs", 2),
+            finding("panic_freedom", "unwrap", "crates/a/src/lib.rs", 3),
+        ];
+        let (out, suppressed) = list.apply(raw, "lint.allow", &["panic_freedom"]);
+        assert_eq!(suppressed, 2);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("exceeds allowlist budget"));
+    }
+
+    #[test]
+    fn under_budget_is_fine_but_zero_is_stale() {
+        let list = Allowlist::parse(
+            "panic_freedom crates/a/src/lib.rs unwrap count=5 -- fine\n\
+             panic_freedom crates/gone/src/lib.rs unwrap count=1 -- was removed\n",
+            "lint.allow",
+        );
+        let raw = vec![finding("panic_freedom", "unwrap", "crates/a/src/lib.rs", 1)];
+        let (out, suppressed) = list.apply(raw, "lint.allow", &["panic_freedom"]);
+        assert_eq!(suppressed, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, "stale");
+        assert!(out[0].message.contains("crates/gone/src/lib.rs"));
+    }
+
+    #[test]
+    fn different_key_is_not_absorbed() {
+        let list = Allowlist::parse(
+            "panic_freedom crates/a/src/lib.rs unwrap count=9 -- fine\n",
+            "lint.allow",
+        );
+        let raw = vec![finding("panic_freedom", "expect", "crates/a/src/lib.rs", 1)];
+        let (out, suppressed) = list.apply(raw, "lint.allow", &["panic_freedom"]);
+        assert_eq!(suppressed, 0);
+        // The expect finding survives and the unwrap entry is stale.
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The file-walking driver: discover workspace sources, run rules,
+//! apply the allowlist, assemble the [`Report`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlist;
+use crate::file::FileView;
+use crate::findings::{Finding, Report};
+use crate::lexer;
+use crate::rules::{self, Rule};
+
+/// Driver configuration, normally built from CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root: the directory holding `crates/`, `docs/` and
+    /// `lint.allow`.
+    pub root: PathBuf,
+    /// Run only these rule ids; empty means all.
+    pub rule_filter: Vec<String>,
+    /// Allowlist path; defaults to `<root>/lint.allow`.
+    pub allowlist: Option<PathBuf>,
+}
+
+impl Options {
+    /// Default options rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Options {
+            root: root.into(),
+            rule_filter: Vec::new(),
+            allowlist: None,
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every `crates/<name>/src/**/*.rs` file under `root`, with the crate
+/// directory name attached, in stable order.
+fn workspace_sources(root: &Path) -> Vec<(String, PathBuf)> {
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return Vec::new();
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut out = Vec::new();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let mut files = Vec::new();
+        rust_files(&dir.join("src"), &mut files);
+        for f in files {
+            out.push((name.clone(), f));
+        }
+    }
+    out
+}
+
+/// Workspace-relative path with forward slashes.
+fn relativize(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run the lint pass. `Err` is reserved for unusable configuration
+/// (unknown rule id, unreadable root); findings are data, not errors.
+pub fn run(opts: &Options) -> Result<Report, String> {
+    let known = rules::ids();
+    for id in &opts.rule_filter {
+        if !known.contains(&id.as_str()) {
+            return Err(format!("unknown rule `{id}` (known: {})", known.join(", ")));
+        }
+    }
+    let mut active: Vec<Box<dyn Rule>> = rules::all()
+        .into_iter()
+        .filter(|r| opts.rule_filter.is_empty() || opts.rule_filter.iter().any(|f| f == r.id()))
+        .collect();
+    if active.is_empty() {
+        return Err("no rules selected".to_string());
+    }
+
+    let sources = workspace_sources(&opts.root);
+    if sources.is_empty() {
+        return Err(format!(
+            "no crates/*/src/**/*.rs files under {}",
+            opts.root.display()
+        ));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    for (krate, path) in &sources {
+        let Ok(src) = fs::read_to_string(path) else {
+            findings.push(Finding {
+                rule: "driver",
+                key: "unreadable",
+                file: relativize(&opts.root, path),
+                line: 1,
+                col: 1,
+                message: "file could not be read as UTF-8".to_string(),
+                snippet: String::new(),
+            });
+            continue;
+        };
+        files_scanned += 1;
+        let tokens = lexer::lex(&src);
+        let view = FileView::new(relativize(&opts.root, path), krate.clone(), &src, &tokens);
+        for rule in active.iter_mut() {
+            findings.extend(rule.check_file(&view));
+        }
+    }
+    for rule in active.iter_mut() {
+        findings.extend(rule.finish(&opts.root));
+    }
+
+    // Allowlist: absent file means an empty list.
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.allow"));
+    let origin = relativize(&opts.root, &allow_path);
+    let allow = match fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text, &origin),
+        Err(_) => Allowlist::default(),
+    };
+    let active_ids: Vec<&str> = active.iter().map(|r| r.id()).collect();
+    let (mut surviving, suppressed) = allow.apply(findings, &origin, &active_ids);
+    surviving.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+
+    Ok(Report {
+        rules: active.iter().map(|r| r.id()).collect(),
+        files_scanned,
+        findings: surviving,
+        suppressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_rule_is_a_config_error() {
+        let mut opts = Options::new("/nonexistent");
+        opts.rule_filter = vec!["definitely_not_a_rule".into()];
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn missing_root_is_a_config_error() {
+        let opts = Options::new("/nonexistent-gps-lint-root");
+        assert!(run(&opts).is_err());
+    }
+}

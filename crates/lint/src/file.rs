@@ -1,0 +1,260 @@
+//! Per-file analysis context shared by all rules.
+
+use crate::lexer::Token;
+
+/// Rust keywords that may legitimately precede a `[` without the
+/// bracket being an index expression (`let [a, b] = …`, `&mut [0; 4]`).
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// Everything a rule gets to see about one source file: the raw text,
+/// the token stream (comments included), a code-only index, and the
+/// line ranges occupied by `#[cfg(test)]` / `#[test]` items.
+#[derive(Debug)]
+pub struct FileView<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Crate directory name (`linalg`, `core`, …); empty outside crates.
+    pub krate: String,
+    /// Raw source text.
+    pub src: &'a str,
+    /// Full token stream, comments included.
+    pub tokens: &'a [Token<'a>],
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Inclusive line ranges of test-only items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> FileView<'a> {
+    /// Build the view: derive the code-token index and test regions.
+    pub fn new(rel: String, krate: String, src: &'a str, tokens: &'a [Token<'a>]) -> Self {
+        let code = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let test_regions = find_test_regions(tokens);
+        FileView {
+            rel,
+            krate,
+            src,
+            tokens,
+            code,
+            test_regions,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// The text of 1-based `line`, trimmed, or empty when out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// The code token at code-index `ci` (i.e. skipping comments).
+    pub fn code_token(&self, ci: usize) -> Option<&Token<'a>> {
+        self.code.get(ci).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// Text of the code token at `ci`, or `""` out of range.
+    pub fn code_text(&self, ci: usize) -> &str {
+        self.code_token(ci).map(|t| t.text).unwrap_or("")
+    }
+
+    /// Build a finding anchored at code token `ci`.
+    pub fn finding(
+        &self,
+        rule: &'static str,
+        key: &'static str,
+        ci: usize,
+        message: String,
+    ) -> crate::findings::Finding {
+        let (line, col) = self
+            .code_token(ci)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0));
+        crate::findings::Finding {
+            rule,
+            key,
+            file: self.rel.clone(),
+            line,
+            col,
+            message,
+            snippet: self.line_text(line).to_string(),
+        }
+    }
+}
+
+/// Locate items marked `#[cfg(test)]` or `#[test]` (attribute through
+/// the item's closing brace or semicolon) as inclusive line ranges.
+///
+/// This is attribute-driven, not scope-driven: a `mod tests` block gets
+/// one big range, a `#[test]` fn outside a module gets its own. Nested
+/// or overlapping ranges are harmless — membership is a line check.
+fn find_test_regions(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code.get(i).map(|t| t.text) == Some("#") && code.get(i + 1).map(|t| t.text) == Some("[")
+        {
+            let attr_line = code.get(i).map(|t| t.line).unwrap_or(1);
+            // Collect the attribute body up to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut body: Vec<&str> = Vec::new();
+            while j < code.len() && depth > 0 {
+                match code.get(j).map(|t| t.text) {
+                    Some("[") => depth += 1,
+                    Some("]") => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    body.push(code.get(j).map(|t| t.text).unwrap_or(""));
+                }
+                j += 1;
+            }
+            if is_test_attribute(&body) {
+                if let Some(end_line) = item_end_line(&code, j) {
+                    regions.push((attr_line, end_line));
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[tokio::test]`-
+/// style attributes all mark test items; the heuristic is the presence
+/// of a bare `test` identifier in the attribute body.
+fn is_test_attribute(body: &[&str]) -> bool {
+    body.contains(&"test")
+}
+
+/// The end line of the item starting at code index `start`: skip any
+/// further attributes, then match braces from the first `{`, or stop at
+/// a top-level `;` for brace-less items (`use`, `type`, `fn` in traits).
+fn item_end_line(code: &[&Token<'_>], start: usize) -> Option<u32> {
+    let mut i = start;
+    // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod t { … }`).
+    while code.get(i).map(|t| t.text) == Some("#") && code.get(i + 1).map(|t| t.text) == Some("[") {
+        let mut depth = 0i32;
+        i += 1;
+        while let Some(t) = code.get(i) {
+            match t.text {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut depth = 0i32;
+    while let Some(t) = code.get(i) {
+        match t.text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(t.line);
+                }
+            }
+            ";" if depth == 0 => return Some(t.line),
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated item: treat as running to the last token.
+    code.last().map(|t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn view<'a>(src: &'a str, tokens: &'a [Token<'a>]) -> FileView<'a> {
+        FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, tokens)
+    }
+
+    #[test]
+    fn cfg_test_module_becomes_one_region() {
+        let src = "fn real() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn also_real() {}\n";
+        let toks = lex(src);
+        let v = view(src, &toks);
+        assert!(!v.is_test_line(1));
+        assert!(v.is_test_line(2));
+        assert!(v.is_test_line(5));
+        assert!(v.is_test_line(6));
+        assert!(!v.is_test_line(7));
+    }
+
+    #[test]
+    fn standalone_test_fn_is_a_region() {
+        let src = "fn real() {}\n#[test]\nfn t() {\n  boom();\n}\nfn real2() {}\n";
+        let toks = lex(src);
+        let v = view(src, &toks);
+        assert!(!v.is_test_line(1));
+        assert!(v.is_test_line(3));
+        assert!(v.is_test_line(4));
+        assert!(!v.is_test_line(6));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n  fn t() {}\n}\nfn real() {}\n";
+        let toks = lex(src);
+        let v = view(src, &toks);
+        assert!(v.is_test_line(4));
+        assert!(!v.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(feature = \"extra\")]\nfn gated() {}\n";
+        let toks = lex(src);
+        let v = view(src, &toks);
+        assert!(!v.is_test_line(2));
+    }
+
+    #[test]
+    fn line_text_and_code_tokens() {
+        let src = "let a = 1; // trailing\n";
+        let toks = lex(src);
+        let v = view(src, &toks);
+        assert_eq!(v.line_text(1), "let a = 1; // trailing");
+        // Comment excluded from the code index.
+        assert_eq!(v.code.len(), 5);
+        assert_eq!(v.code_text(0), "let");
+    }
+}

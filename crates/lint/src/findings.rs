@@ -1,0 +1,151 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// One diagnostic produced by a rule.
+///
+/// `rule` and `key` together form the allowlist coordinate: an entry
+/// `panic_freedom crates/linalg/src/lu.rs index …` suppresses findings
+/// whose `(rule, file, key)` triple matches, up to the entry's count.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `panic_freedom`.
+    pub rule: &'static str,
+    /// Sub-pattern within the rule, e.g. `unwrap` or `index`.
+    pub key: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: [{}/{}] {}",
+            self.file, self.line, self.col, self.rule, self.key, self.message
+        )?;
+        if !self.snippet.is_empty() {
+            write!(f, "    {}", self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// Render this finding as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"key\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(self.key),
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+            json_escape(&self.snippet),
+        )
+    }
+}
+
+/// The full machine-readable report written to `lint-report.json`.
+#[derive(Debug)]
+pub struct Report {
+    /// Rule ids that ran, in execution order.
+    pub rules: Vec<&'static str>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived the allowlist (violations).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the tree is clean (no surviving findings).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the whole report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(r)))
+            .collect();
+        let findings: Vec<String> = self.findings.iter().map(|f| f.to_json()).collect();
+        format!(
+            "{{\n  \"clean\": {},\n  \"rules\": [{}],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"findings\": [\n    {}\n  ]\n}}\n",
+            self.clean(),
+            rules.join(", "),
+            self.files_scanned,
+            self.suppressed,
+            findings.join(",\n    "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = Report {
+            rules: vec!["panic_freedom"],
+            files_scanned: 3,
+            findings: vec![Finding {
+                rule: "panic_freedom",
+                key: "unwrap",
+                file: "crates/x/src/lib.rs".into(),
+                line: 10,
+                col: 5,
+                message: "call to unwrap()".into(),
+                snippet: "let v = x.unwrap();".into(),
+            }],
+            suppressed: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"rule\":\"panic_freedom\""));
+    }
+}

@@ -1,0 +1,556 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The lint rules never need a parse tree — they pattern-match short
+//! token sequences (`.` `unwrap` `(`, `Vec` `::` `new`, `==` next to a
+//! float literal). What they *do* need is for those sequences to never
+//! fire inside string literals, comments, char literals or raw strings,
+//! which is exactly where naive `grep`-style linting falls over. So
+//! this module tokenizes real Rust source faithfully enough that every
+//! downstream rule can treat the token stream as code-only:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments are kept as
+//!   tokens — annotation markers like `// lint: no_alloc` live there;
+//! * string, raw-string (`r#"…"#`), byte-string, char and byte literals
+//!   are single tokens, so a `"foo.unwrap()"` message can never be
+//!   mistaken for a call;
+//! * `'a` lifetimes are distinguished from `'a'` char literals;
+//! * multi-character operators (`==`, `!=`, `::`, `..=`, …) lex as one
+//!   token so comparison rules see the operator, not its pieces.
+//!
+//! Every token carries a 1-based line/column span for diagnostics. The
+//! lexer never panics: malformed input (unterminated strings, stray
+//! bytes) degrades to best-effort tokens that simply run to end of
+//! file, which is the right behavior for a linter that must keep
+//! walking the rest of the workspace.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `2.5e-3`, `1f64`).
+    Float,
+    /// Ordinary string literal, quotes included.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// Byte-string literal (`b"…"`).
+    ByteStr,
+    /// Raw byte-string literal (`br#"…"#`).
+    RawByteStr,
+    /// Char literal (`'x'`, `'\''`, `'"'`).
+    Char,
+    /// Byte literal (`b'x'`).
+    Byte,
+    /// Line comment, `//…` to end of line (doc comments included).
+    LineComment,
+    /// Block comment, `/*…*/`, nesting-aware.
+    BlockComment,
+    /// Punctuation or operator; multi-char operators are one token.
+    Punct,
+}
+
+/// One lexed token: classification, source text and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source slice, delimiters included.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for comment tokens (which rules usually skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True for string-ish literal tokens.
+    pub fn is_string(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Str | TokenKind::RawStr | TokenKind::ByteStr | TokenKind::RawByteStr
+        )
+    }
+
+    /// The payload of a string literal with delimiters stripped, or
+    /// `None` for non-string tokens. `r#"x"#` yields `x`.
+    pub fn str_contents(&self) -> Option<&str> {
+        if !self.is_string() {
+            return None;
+        }
+        let open = self.text.find('"')?;
+        let body = self.text.get(open + 1..)?;
+        let close = body.rfind('"')?;
+        body.get(..close)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Byte at `pos + ahead`, or 0 past end of input.
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advance one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn slice(&self, start: usize) -> &'a str {
+        self.src.get(start..self.pos).unwrap_or("")
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token<'a> {
+        Token {
+            kind,
+            text: self.slice(start),
+            line,
+            col,
+        }
+    }
+
+    /// Consume `//…` to (but not including) the trailing newline.
+    fn line_comment(&mut self) {
+        while !self.at_end() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+    }
+
+    /// Consume a nesting-aware `/* … */` comment.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // opening /*
+        let mut depth = 1usize;
+        while depth > 0 && !self.at_end() {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume a `"…"` body (opening quote already pending), honoring
+    /// backslash escapes. Stops after the closing quote or at EOF.
+    fn quoted(&mut self, quote: u8) {
+        self.bump(); // opening delimiter
+        while !self.at_end() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                c if c == quote => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume `r"…"` / `r#"…"#` with any number of hashes; `self.pos`
+    /// sits on the first `#` or `"` after the `r`/`br` prefix.
+    fn raw_quoted(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == b'#' {
+            hashes += 1;
+        }
+        self.bump_n(hashes + 1); // hashes plus opening quote
+        while !self.at_end() {
+            if self.peek(0) == b'"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(1 + n) == b'#' {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    fn ident_like(&mut self) {
+        while !self.at_end() {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number literal; returns the refined kind (Int or Float).
+    fn number(&mut self) -> TokenKind {
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X' | b'o' | b'O' | b'b' | b'B') {
+            self.bump_n(2);
+            self.ident_like(); // digits + suffix in one gulp
+            return TokenKind::Int;
+        }
+        let mut kind = TokenKind::Int;
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // Fractional part: `1.5`, `1.` — but not `1..3` or `1.max(2)`.
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            let dotted = after.is_ascii_digit()
+                || !(after == b'.'
+                    || after == b'_'
+                    || after.is_ascii_alphabetic()
+                    || after >= 0x80);
+            if dotted {
+                kind = TokenKind::Float;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent: `1e9`, `2.5E-3`.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (a, b) = (self.peek(1), self.peek(2));
+            if a.is_ascii_digit() || (matches!(a, b'+' | b'-') && b.is_ascii_digit()) {
+                kind = TokenKind::Float;
+                self.bump_n(2);
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix: `1u32`, `1.0f64`, `1f32` (float by suffix).
+        if self.peek(0) == b'f' && (self.peek(1) == b'3' || self.peek(1) == b'6') {
+            kind = TokenKind::Float;
+        }
+        if self.peek(0).is_ascii_alphabetic() || self.peek(0) == b'_' {
+            self.ident_like();
+        }
+        kind
+    }
+
+    /// Decide whether a `'` starts a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let c1 = self.peek(1);
+        // `'\…'` is always a char literal; `'x'` (any single byte then a
+        // quote) likewise. Otherwise an identifier-ish first char means
+        // a lifetime: `'a`, `'static`, `'_`.
+        if c1 == b'\\' || self.peek(2) == b'\'' {
+            self.quoted(b'\'');
+            TokenKind::Char
+        } else if c1 == b'_' || c1.is_ascii_alphabetic() || c1 >= 0x80 {
+            self.bump(); // the quote
+            self.ident_like();
+            TokenKind::Lifetime
+        } else {
+            // Degenerate (`'(` with no close) — treat as char-ish and
+            // scan to the closing quote or EOF.
+            self.quoted(b'\'');
+            TokenKind::Char
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token<'a>> {
+        // Skip whitespace between tokens.
+        while !self.at_end() && self.peek(0).is_ascii_whitespace() {
+            self.bump();
+        }
+        if self.at_end() {
+            return None;
+        }
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let c = self.peek(0);
+
+        // Comments.
+        if c == b'/' && self.peek(1) == b'/' {
+            self.line_comment();
+            return Some(self.token(TokenKind::LineComment, start, line, col));
+        }
+        if c == b'/' && self.peek(1) == b'*' {
+            self.block_comment();
+            return Some(self.token(TokenKind::BlockComment, start, line, col));
+        }
+
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident.
+        if c == b'r' && (self.peek(1) == b'"' || self.peek(1) == b'#') {
+            let mut h = 1;
+            while self.peek(h) == b'#' {
+                h += 1;
+            }
+            if self.peek(h) == b'"' {
+                self.bump(); // r
+                self.raw_quoted();
+                return Some(self.token(TokenKind::RawStr, start, line, col));
+            }
+            if self.peek(1) == b'#' {
+                self.bump_n(2); // r#
+                self.ident_like();
+                return Some(self.token(TokenKind::Ident, start, line, col));
+            }
+        }
+
+        // Byte strings and byte chars: b"…", br#"…"#, b'x'.
+        if c == b'b' {
+            if self.peek(1) == b'"' {
+                self.bump(); // b
+                self.quoted(b'"');
+                return Some(self.token(TokenKind::ByteStr, start, line, col));
+            }
+            if self.peek(1) == b'\'' {
+                self.bump(); // b
+                self.quoted(b'\'');
+                return Some(self.token(TokenKind::Byte, start, line, col));
+            }
+            if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') {
+                let mut h = 2;
+                while self.peek(h) == b'#' {
+                    h += 1;
+                }
+                if self.peek(h) == b'"' {
+                    self.bump_n(2); // br
+                    self.raw_quoted();
+                    return Some(self.token(TokenKind::RawByteStr, start, line, col));
+                }
+            }
+        }
+
+        // Ordinary strings, chars and lifetimes.
+        if c == b'"' {
+            self.quoted(b'"');
+            return Some(self.token(TokenKind::Str, start, line, col));
+        }
+        if c == b'\'' {
+            let kind = self.char_or_lifetime();
+            return Some(self.token(kind, start, line, col));
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let kind = self.number();
+            return Some(self.token(kind, start, line, col));
+        }
+
+        // Identifiers and keywords.
+        if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            self.ident_like();
+            return Some(self.token(TokenKind::Ident, start, line, col));
+        }
+
+        // Multi-char operators, then single punctuation.
+        let rest = self.src.get(self.pos..).unwrap_or("");
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.bump_n(op.len());
+                return Some(self.token(TokenKind::Punct, start, line, col));
+            }
+        }
+        self.bump();
+        Some(self.token(TokenKind::Punct, start, line, col))
+    }
+}
+
+/// Tokenize `src`, comments included. Never panics; malformed input
+/// produces best-effort tokens that run to end of file.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token() {
+        out.push(tok);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text.to_string()).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn main() { a.unwrap(); }");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["fn", "main", "a", "unwrap"]);
+    }
+
+    #[test]
+    fn multi_char_operators_lex_as_one_token() {
+        assert_eq!(
+            texts("a == b != c :: d ..= e"),
+            ["a", "==", "b", "!=", "c", "::", "d", "..=", "e"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "a.unwrap() // not a comment";"#);
+        assert!(toks.iter().all(|t| t.kind != TokenKind::LineComment));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].str_contents(), Some("a.unwrap() // not a comment"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#"("a\"b", c)"#);
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, r#""a\"b""#);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"contains "quotes" and // slashes"#;"###);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(
+            raw[0].str_contents(),
+            Some(r#"contains "quotes" and // slashes"#)
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            kinds("a /* outer /* inner */ still outer */ b"),
+            [TokenKind::Ident, TokenKind::BlockComment, TokenKind::Ident]
+        );
+        assert_eq!(toks[2].text, "b");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), [TokenKind::Char]);
+        assert_eq!(kinds("'a"), [TokenKind::Lifetime]);
+        assert_eq!(kinds("'static"), [TokenKind::Lifetime]);
+        assert_eq!(kinds("'_"), [TokenKind::Lifetime]);
+        assert_eq!(kinds("'_'"), [TokenKind::Char]);
+        assert_eq!(kinds(r"'\''"), [TokenKind::Char]);
+        assert_eq!(kinds(r#"'"'"#), [TokenKind::Char]);
+        // A char literal holding a quote or comment-opener swallows it.
+        let toks = lex(r#"let c = '"'; let d = '/';"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(kinds(r#"b"bytes""#), [TokenKind::ByteStr]);
+        assert_eq!(kinds("b'x'"), [TokenKind::Byte]);
+        assert_eq!(
+            kinds(r##"br#"raw bytes "q" here"#"##),
+            [TokenKind::RawByteStr]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#match = 1;");
+        assert_eq!(toks[1].kind, TokenKind::Ident);
+        assert_eq!(toks[1].text, "r#match");
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(kinds("1"), [TokenKind::Int]);
+        assert_eq!(kinds("1.0"), [TokenKind::Float]);
+        assert_eq!(kinds("2.5e-3"), [TokenKind::Float]);
+        assert_eq!(kinds("1e9"), [TokenKind::Float]);
+        assert_eq!(kinds("1f64"), [TokenKind::Float]);
+        assert_eq!(kinds("0xff_u64"), [TokenKind::Int]);
+        assert_eq!(kinds("1_000"), [TokenKind::Int]);
+        // `1..3` is Int Punct Int, and `1.max(2)` keeps the dot a Punct.
+        assert_eq!(
+            kinds("1..3"),
+            [TokenKind::Int, TokenKind::Punct, TokenKind::Int]
+        );
+        assert_eq!(
+            kinds("1.max(2)")[..3],
+            [TokenKind::Int, TokenKind::Punct, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_and_track_lines() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = lex(r#"let s = "never closed"#);
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+
+    #[test]
+    fn line_comment_token_keeps_text() {
+        let toks = lex("x // lint: no_alloc\ny");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].text, "// lint: no_alloc");
+    }
+}

@@ -1,0 +1,30 @@
+//! `gps-lint` — the workspace's own static-analysis pass.
+//!
+//! Zero dependencies, like everything else in this repo: a hand-rolled
+//! [`lexer`] tokenizes each `crates/*/src/**/*.rs` file (comment-,
+//! string-, raw-string- and char-literal-aware, so rules never fire on
+//! text that is not code), and a set of repo-specific [`rules`] walks
+//! the token streams looking for invariant violations:
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `panic_freedom` | no `unwrap`/`expect`/panicking macros/bare indexing in non-test library code |
+//! | `no_alloc` | no allocating constructs inside `// lint: no_alloc` regions |
+//! | `telemetry_sync` | metric/span names in code ⇔ `docs/TELEMETRY.md` inventory |
+//! | `float_cmp` | no exact float `==`/`!=` in `crates/linalg` + `crates/core` |
+//! | `lock_discipline` | poison-tolerant locking in `gps-telemetry`/`gps-pool` |
+//!
+//! Pre-existing violations are triaged through the checked-in
+//! [`allowlist`] (`lint.allow`), every entry of which carries an
+//! occurrence budget and a mandatory justification. The
+//! [`driver`] assembles everything into a [`findings::Report`] that the
+//! `gps-lint` binary renders as human-readable text and machine-readable
+//! `lint-report.json`; `scripts/ci.sh` fails the gate on any finding.
+//! See `docs/STATIC_ANALYSIS.md` for the workflow.
+
+pub mod allowlist;
+pub mod driver;
+pub mod file;
+pub mod findings;
+pub mod lexer;
+pub mod rules;

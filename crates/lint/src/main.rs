@@ -1,0 +1,144 @@
+//! `gps-lint` binary: run the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p gps-lint                      # all rules, text output
+//! cargo run -p gps-lint -- --rule no_alloc   # one rule
+//! cargo run -p gps-lint -- --format json     # JSON report on stdout
+//! cargo run -p gps-lint -- --root <dir>      # lint another tree (fixtures)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 configuration error. Unless
+//! `--no-report` is given, the full report is also written to
+//! `<root>/lint-report.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gps_lint::driver::{self, Options};
+use gps_lint::rules;
+
+const USAGE: &str = "\
+gps-lint: static analysis for the gps-repro workspace
+
+USAGE:
+    gps-lint [--root <dir>] [--rule <id>[,<id>…]] [--format text|json]
+             [--report <path>] [--no-report] [--allowlist <path>]
+             [--list-rules] [--help]
+
+Exit codes: 0 clean, 1 findings, 2 configuration error.";
+
+#[derive(Debug)]
+struct Cli {
+    opts: Options,
+    format_json: bool,
+    report_path: Option<PathBuf>,
+    no_report: bool,
+}
+
+fn default_root() -> PathBuf {
+    // The binary lives in crates/lint; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        opts: Options::new(default_root()),
+        format_json: false,
+        report_path: None,
+        no_report: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-rules" => {
+                for rule in rules::all() {
+                    println!("{:<16} {}", rule.id(), rule.description());
+                }
+                return Ok(None);
+            }
+            "--root" => cli.opts.root = PathBuf::from(value("--root")?),
+            "--rule" => {
+                let ids = value("--rule")?;
+                cli.opts
+                    .rule_filter
+                    .extend(ids.split(',').map(|s| s.trim().to_string()));
+            }
+            "--format" => match value("--format")?.as_str() {
+                "json" => cli.format_json = true,
+                "text" => cli.format_json = false,
+                other => return Err(format!("unknown format `{other}` (text|json)")),
+            },
+            "--report" => cli.report_path = Some(PathBuf::from(value("--report")?)),
+            "--no-report" => cli.no_report = true,
+            "--allowlist" => cli.opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Some(cli))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gps-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match driver::run(&cli.opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("gps-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.format_json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "gps-lint: {} finding(s), {} suppressed by allowlist, {} file(s) scanned, rules: {}",
+            report.findings.len(),
+            report.suppressed,
+            report.files_scanned,
+            report.rules.join(",")
+        );
+    }
+
+    if !cli.no_report {
+        let path = cli
+            .report_path
+            .clone()
+            .unwrap_or_else(|| cli.opts.root.join("lint-report.json"));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("gps-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

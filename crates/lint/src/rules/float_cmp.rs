@@ -1,0 +1,162 @@
+//! `float_cmp`: no exact float equality in solver-critical crates.
+//!
+//! Boutin & Kemper's solvability analysis (PAPERS.md) shows the GPS
+//! algebraic solution set collapsing near degenerate geometry — exactly
+//! where accumulated rounding makes `==` on an `f64` a coin flip. In
+//! `crates/linalg` and `crates/core`, `==`/`!=` where either operand is
+//! visibly a float (a float literal, possibly negated, or an `f64::`/
+//! `f32::` associated constant) is denied outside tests; comparisons
+//! must use a tolerance (`(a - b).abs() < EPS`) or be allowlisted with
+//! a justification (e.g. comparing against an exact sentinel that was
+//! stored, never computed).
+//!
+//! The check is token-local and typeless: `a == b` between two float
+//! *variables* is invisible to it. That is the accepted trade-off for a
+//! lexer-level pass; the rule documents the floor, clippy's
+//! `float_cmp` (type-aware) would be the ceiling.
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct FloatCmp;
+
+/// Crates whose solver kernels get the exact-comparison ban.
+const SCOPED_CRATES: &[&str] = &["linalg", "core"];
+
+const FLOAT_CONSTS: &[&str] = &[
+    "INFINITY",
+    "NEG_INFINITY",
+    "NAN",
+    "EPSILON",
+    "MAX",
+    "MIN",
+    "MIN_POSITIVE",
+];
+
+fn is_float_ty(text: &str) -> bool {
+    text == "f64" || text == "f32"
+}
+
+impl Rule for FloatCmp {
+    fn id(&self) -> &'static str {
+        "float_cmp"
+    }
+
+    fn description(&self) -> &'static str {
+        "deny ==/!= against float operands in crates/linalg and crates/core"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        if !SCOPED_CRATES.contains(&file.krate.as_str()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+                continue;
+            }
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+
+            // Right operand: `== 1.0`, `== -1.0`, `== f64::INFINITY`.
+            let next = file.code_token(ci + 1);
+            let right_float = match next.map(|t| (t.kind, t.text)) {
+                Some((TokenKind::Float, _)) => true,
+                Some((TokenKind::Punct, "-")) => file
+                    .code_token(ci + 2)
+                    .map(|t| t.kind == TokenKind::Float)
+                    .unwrap_or(false),
+                Some((TokenKind::Ident, t)) if is_float_ty(t) => file.code_text(ci + 2) == "::",
+                _ => false,
+            };
+
+            // Left operand: `1.0 ==`, `f64::NAN ==`.
+            let prev = file.code_token(ci.wrapping_sub(1));
+            let left_float = match prev.map(|t| (t.kind, t.text)) {
+                Some((TokenKind::Float, _)) => true,
+                Some((TokenKind::Ident, t)) if FLOAT_CONSTS.contains(&t) => {
+                    file.code_text(ci.wrapping_sub(2)) == "::"
+                        && is_float_ty(file.code_text(ci.wrapping_sub(3)))
+                }
+                _ => false,
+            };
+
+            if right_float || left_float {
+                out.push(file.finding(
+                    self.id(),
+                    "float_eq",
+                    ci,
+                    format!(
+                        "exact `{}` against a float; compare with a tolerance instead",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_in(krate: &str, src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new(
+            format!("crates/{krate}/src/lib.rs"),
+            krate.into(),
+            src,
+            &toks,
+        );
+        FloatCmp.check_file(&view)
+    }
+
+    #[test]
+    fn flags_literal_and_const_comparisons() {
+        let src = "fn f(x: f64) -> bool {\n\
+                   if x == 0.0 { return true; }\n\
+                   if 1.5 != x { return true; }\n\
+                   if x == -2.5 { return true; }\n\
+                   if x == f64::INFINITY { return true; }\n\
+                   if f64::NAN == x { return true; }\n\
+                   false\n\
+                   }\n";
+        let found = run_in("linalg", src);
+        assert_eq!(found.len(), 5);
+        assert!(found.iter().all(|f| f.key == "float_eq"));
+    }
+
+    #[test]
+    fn integer_comparisons_are_fine() {
+        let src = "fn f(n: usize) -> bool { n == 0 || n != 3 }";
+        assert!(run_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert!(run_in("sim", src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(x: f64) -> bool { x == 1.0 }\n}\n";
+        assert!(run_in("linalg", src).is_empty());
+    }
+
+    #[test]
+    fn tolerance_comparison_passes() {
+        let src = "fn close(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 }";
+        assert!(run_in("linalg", src).is_empty());
+    }
+}

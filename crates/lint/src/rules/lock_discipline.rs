@@ -1,0 +1,131 @@
+//! `lock_discipline`: poison-tolerant locking in shared-state crates.
+//!
+//! `gps-telemetry` and `gps-pool` are the two crates whose mutexes are
+//! reachable from worker threads that catch job panics (PR 4's
+//! per-job panic isolation). A panic caught *while a lock was held*
+//! poisons the mutex; the repo's rule since PR 2 is that observability
+//! and pool bookkeeping must survive poisoning — a metrics registry
+//! that panics on `lock().unwrap()` turns one caught job panic into a
+//! process-wide outage on the next `counter()` call.
+//!
+//! So in those crates, `.lock()`, `.read()` or `.write()` immediately
+//! followed by `.unwrap()`/`.expect(…)` is denied; the blessed idiom is
+//!
+//! ```text
+//! mutex.lock().unwrap_or_else(PoisonError::into_inner)
+//! ```
+//!
+//! which takes the guard whether or not a previous holder panicked.
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct LockDiscipline;
+
+/// Crates whose locks must tolerate poisoning.
+const SCOPED_CRATES: &[&str] = &["telemetry", "pool"];
+
+const ACQUIRERS: &[&str] = &["lock", "read", "write"];
+
+impl Rule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock_discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "deny .lock().unwrap() in gps-telemetry/gps-pool; poison-tolerant helper required"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        if !SCOPED_CRATES.contains(&file.krate.as_str()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            // `.` acquirer `(` `)` `.` (`unwrap`|`expect`)
+            if file.code_text(ci) != "." {
+                continue;
+            }
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            if !ACQUIRERS.contains(&file.code_text(ci + 1))
+                || file.code_text(ci + 2) != "("
+                || file.code_text(ci + 3) != ")"
+                || file.code_text(ci + 4) != "."
+            {
+                continue;
+            }
+            let follow = file.code_text(ci + 5);
+            if follow == "unwrap" || follow == "expect" {
+                out.push(file.finding(
+                    self.id(),
+                    "lock_unwrap",
+                    ci + 5,
+                    format!(
+                        "`.{}().{}(…)` panics on a poisoned lock; use \
+                         `.{}().unwrap_or_else(PoisonError::into_inner)`",
+                        file.code_text(ci + 1),
+                        follow,
+                        file.code_text(ci + 1),
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_in(krate: &str, src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new(
+            format!("crates/{krate}/src/lib.rs"),
+            krate.into(),
+            src,
+            &toks,
+        );
+        LockDiscipline.check_file(&view)
+    }
+
+    #[test]
+    fn flags_lock_unwrap_and_expect() {
+        let src = "fn f(m: &Mutex<u32>) {\n\
+                   let a = m.lock().unwrap();\n\
+                   let b = m.lock().expect(\"poisoned\");\n\
+                   let c = rw.read().unwrap();\n\
+                   }\n";
+        let found = run_in("telemetry", src);
+        assert_eq!(found.len(), 3);
+        assert!(found.iter().all(|f| f.key == "lock_unwrap"));
+    }
+
+    #[test]
+    fn poison_tolerant_idiom_passes() {
+        let src = "fn f(m: &Mutex<u32>) {\n\
+                   let a = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   let b = m.lock().unwrap_or_else(|e| e.into_inner());\n\
+                   }\n";
+        assert!(run_in("pool", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        assert!(run_in("core", "fn f() { m.lock().unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn unrelated_unwraps_are_left_to_panic_freedom() {
+        assert!(run_in("pool", "fn f() { opt.unwrap(); }").is_empty());
+    }
+}

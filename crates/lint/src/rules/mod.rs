@@ -1,0 +1,60 @@
+//! The rule registry: every repo invariant the linter enforces.
+//!
+//! A rule is a small state machine fed one [`FileView`] per workspace
+//! source file, then given a chance to emit cross-file findings in
+//! [`Rule::finish`] (the telemetry-sync rule diffs code against docs
+//! there). Adding a rule is one file implementing this trait plus a
+//! line in [`all`].
+
+use std::path::Path;
+
+use crate::file::FileView;
+use crate::findings::Finding;
+
+mod float_cmp;
+mod lock_discipline;
+mod no_alloc;
+mod panic_freedom;
+mod telemetry_sync;
+
+pub use float_cmp::FloatCmp;
+pub use lock_discipline::LockDiscipline;
+pub use no_alloc::NoAlloc;
+pub use panic_freedom::PanicFreedom;
+pub use telemetry_sync::TelemetrySync;
+
+/// One invariant checker.
+pub trait Rule {
+    /// Stable rule id used in findings, `--rule` filters and allowlist
+    /// entries.
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+
+    /// Inspect one file; return any findings anchored in it.
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding>;
+
+    /// Called once after every file has been seen; cross-file rules
+    /// emit their diff findings here. `root` is the workspace root.
+    fn finish(&mut self, root: &Path) -> Vec<Finding> {
+        let _ = root;
+        Vec::new()
+    }
+}
+
+/// All rules, in execution order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFreedom),
+        Box::new(NoAlloc),
+        Box::new(TelemetrySync::default()),
+        Box::new(FloatCmp),
+        Box::new(LockDiscipline),
+    ]
+}
+
+/// The ids of every registered rule.
+pub fn ids() -> Vec<&'static str> {
+    all().iter().map(|r| r.id()).collect()
+}

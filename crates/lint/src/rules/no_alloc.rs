@@ -1,0 +1,244 @@
+//! `no_alloc`: statically deny heap allocation in marked hot regions.
+//!
+//! The zero-alloc solve paths (PR 3) are guarded at runtime by a
+//! counting global allocator in `crates/bench/tests/zero_alloc.rs`, but
+//! that probe only sees the code paths the test happens to drive. This
+//! rule is the static complement: a region annotated
+//!
+//! ```text
+//! // lint: no_alloc
+//! pub fn solve_into(&self, ctx: &mut SolveContext) -> … { … }
+//! ```
+//!
+//! extends from the marker comment through the end of the next item
+//! (brace-matched, attributes skipped; for brace-less items, through
+//! the terminating `;`). Inside it, any token sequence that allocates —
+//! `Vec::new`/`with_capacity`/`from`, `vec![…]`, `.to_vec()`,
+//! `Box::new`, `format!`, `String::from`/`new`/`with_capacity`,
+//! `.to_string()`, `.to_owned()`, `.clone()`, `.collect()` — is a
+//! finding. `.clone()` is included deliberately: on the hot structs it
+//! means a deep copy, and a `Copy` type should be copied, not cloned.
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoAlloc;
+
+/// Parse a `// lint: <directive> [arg]` marker comment.
+pub(crate) fn lint_directive(comment: &str) -> Option<(&str, Option<&str>)> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim();
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let directive = parts.next()?;
+    Some((directive, parts.next().map(str::trim)))
+}
+
+/// Inclusive line range of the item following code index `start`:
+/// brace-matched, stacked attributes skipped, `;` ends brace-less items.
+fn item_end_line(file: &FileView<'_>, start: usize) -> Option<u32> {
+    let mut i = start;
+    while file.code_text(i) == "#" && file.code_text(i + 1) == "[" {
+        let mut depth = 0i32;
+        i += 1;
+        loop {
+            match file.code_text(i) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                "" => return None,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut depth = 0i32;
+    loop {
+        let tok = file.code_token(i)?;
+        match tok.text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(tok.line);
+                }
+            }
+            ";" if depth == 0 => return Some(tok.line),
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// The `no_alloc` regions of a file, as inclusive line ranges.
+pub(crate) fn regions(file: &FileView<'_>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for tok in file.tokens.iter().filter(|t| t.is_comment()) {
+        let Some(("no_alloc", _)) = lint_directive(tok.text) else {
+            continue;
+        };
+        // First code token positioned after the marker.
+        let start = file
+            .code
+            .iter()
+            .position(|&i| {
+                file.tokens
+                    .get(i)
+                    .map(|t| (t.line, t.col) > (tok.line, tok.col))
+                    .unwrap_or(false)
+            })
+            .unwrap_or(file.code.len());
+        if let Some(end) = item_end_line(file, start) {
+            out.push((tok.line, end));
+        }
+    }
+    out
+}
+
+/// (key, message) when the code token at `ci` starts an allocating
+/// construct.
+fn alloc_site(file: &FileView<'_>, ci: usize) -> Option<(&'static str, &'static str)> {
+    let text = file.code_text(ci);
+    let prev = file.code_text(ci.wrapping_sub(1));
+    let next = file.code_text(ci + 1);
+    let next2 = file.code_text(ci + 2);
+    match text {
+        "Vec" if next == "::" && matches!(next2, "new" | "with_capacity" | "from") => {
+            Some(("vec_alloc", "`Vec` construction allocates"))
+        }
+        "String" if next == "::" && matches!(next2, "new" | "with_capacity" | "from") => {
+            Some(("string_alloc", "`String` construction allocates"))
+        }
+        "Box" if next == "::" && matches!(next2, "new" | "leak") => {
+            Some(("box_new", "`Box` construction allocates"))
+        }
+        "vec" if next == "!" => Some(("vec_macro", "`vec![…]` allocates")),
+        "format" if next == "!" => Some(("format", "`format!` allocates a `String`")),
+        "to_vec" | "to_string" | "to_owned" | "clone" | "collect" if prev == "." && next == "(" => {
+            match text {
+                "to_vec" => Some(("to_vec", "`.to_vec()` allocates")),
+                "to_string" => Some(("to_string", "`.to_string()` allocates")),
+                "to_owned" => Some(("to_owned", "`.to_owned()` allocates")),
+                "collect" => Some(("collect", "`.collect()` usually allocates")),
+                _ => Some(("clone", "`.clone()` deep-copies; hot paths reuse buffers")),
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Rule for NoAlloc {
+    fn id(&self) -> &'static str {
+        "no_alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "deny allocating constructs inside `// lint: no_alloc` regions"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        let regions = regions(file);
+        if regions.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            let in_region = regions.iter().any(|&(s, e)| tok.line >= s && tok.line <= e);
+            if !in_region || file.is_test_line(tok.line) {
+                continue;
+            }
+            if let Some((key, message)) = alloc_site(file, ci) {
+                out.push(file.finding(
+                    self.id(),
+                    key,
+                    ci,
+                    format!("{message} inside a `// lint: no_alloc` region"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        NoAlloc.check_file(&view)
+    }
+
+    #[test]
+    fn directive_parsing() {
+        assert_eq!(
+            lint_directive("// lint: no_alloc"),
+            Some(("no_alloc", None))
+        );
+        assert_eq!(
+            lint_directive("//lint: metric bench.*"),
+            Some(("metric", Some("bench.*")))
+        );
+        assert_eq!(lint_directive("// just a comment"), None);
+    }
+
+    #[test]
+    fn allocations_inside_region_are_flagged() {
+        let src = "// lint: no_alloc\n\
+                   fn hot(&self) {\n\
+                   let v = Vec::new();\n\
+                   let w = vec![1, 2];\n\
+                   let s = format!(\"x\");\n\
+                   let t = other.clone();\n\
+                   let u = slice.to_vec();\n\
+                   }\n";
+        let keys: Vec<_> = run(src).iter().map(|f| f.key).collect();
+        assert_eq!(
+            keys,
+            ["vec_alloc", "vec_macro", "format", "clone", "to_vec"]
+        );
+    }
+
+    #[test]
+    fn region_ends_at_item_close() {
+        let src = "// lint: no_alloc\n\
+                   fn hot() { let x = 1; }\n\
+                   fn cold() { let v = Vec::new(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn attributes_between_marker_and_item_are_skipped() {
+        let src = "// lint: no_alloc\n\
+                   #[inline]\n\
+                   fn hot() { buf.push(x.clone()); }\n\
+                   fn cold() { y.clone(); }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn unannotated_files_report_nothing() {
+        assert!(run("fn f() { let v = vec![1]; }").is_empty());
+    }
+
+    #[test]
+    fn clone_in_string_or_comment_is_ignored() {
+        let src = "// lint: no_alloc\n\
+                   fn hot() { let m = \"x.clone()\"; /* y.clone() */ }\n";
+        assert!(run(src).is_empty());
+    }
+}

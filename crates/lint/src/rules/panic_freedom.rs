@@ -1,0 +1,172 @@
+//! `panic_freedom`: no panicking constructs in non-test library code.
+//!
+//! The positioning service's availability contract (ROBUSTNESS.md) is
+//! that degraded geometry degrades the *fix quality*, never the
+//! process. A stray `unwrap()` deep in a linear-algebra kernel converts
+//! a recoverable `SolveError` into an outage, so panicking constructs
+//! are denied outside tests and must be either converted to `Result`
+//! propagation or allowlisted with a proof of infallibility:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls (keys `unwrap`, `expect`);
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` macro
+//!   invocations (key = the macro name);
+//! * bare slice/array indexing `a[i]` (key `index`) — `Index` panics on
+//!   out-of-range, so hot kernels must justify their bounds reasoning.
+//!
+//! The index heuristic is token-shaped: a `[` directly after an
+//! identifier, `)` or `]` is an index expression; after a keyword
+//! (`let [a, b] = …`), `#`, or other punctuation it is a pattern,
+//! attribute, array literal or type and is ignored.
+
+use crate::file::{FileView, KEYWORDS};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct PanicFreedom;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic_freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "deny unwrap/expect, panicking macros and bare indexing in non-test library code"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            match tok.kind {
+                TokenKind::Ident => {
+                    let prev = file.code_text(ci.wrapping_sub(1));
+                    let next = file.code_text(ci + 1);
+                    // `.unwrap()` / `.expect(` method calls only — a
+                    // field or fn named `unwrap` without the leading
+                    // dot is not a panic site.
+                    if (tok.text == "unwrap" || tok.text == "expect") && prev == "." && next == "("
+                    {
+                        let key = if tok.text == "unwrap" {
+                            "unwrap"
+                        } else {
+                            "expect"
+                        };
+                        out.push(file.finding(
+                            self.id(),
+                            key,
+                            ci,
+                            format!("call to `.{}()` can panic; propagate an error instead", key),
+                        ));
+                    } else if PANIC_MACROS.contains(&tok.text) && next == "!" {
+                        let key = PANIC_MACROS
+                            .iter()
+                            .find(|&&m| m == tok.text)
+                            .copied()
+                            .unwrap_or("panic");
+                        out.push(file.finding(
+                            self.id(),
+                            key,
+                            ci,
+                            format!("`{}!` in library code; return an error instead", tok.text),
+                        ));
+                    }
+                }
+                TokenKind::Punct if tok.text == "[" => {
+                    let Some(prev) = (ci > 0).then(|| file.code_token(ci - 1)).flatten() else {
+                        continue;
+                    };
+                    let indexes = match prev.kind {
+                        TokenKind::Ident => !KEYWORDS.contains(&prev.text),
+                        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                        _ => false,
+                    };
+                    if indexes {
+                        out.push(
+                            file.finding(
+                                self.id(),
+                                "index",
+                                ci,
+                                "bare indexing can panic; use `.get()` or justify the bound"
+                                    .to_string(),
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileView;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        PanicFreedom.check_file(&view)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() {\n\
+                   let a = x.unwrap();\n\
+                   let b = y.expect(\"msg\");\n\
+                   panic!(\"boom\");\n\
+                   unreachable!();\n\
+                   todo!();\n\
+                   }\n";
+        let keys: Vec<_> = run(src).iter().map(|f| f.key).collect();
+        assert_eq!(keys, ["unwrap", "expect", "panic", "unreachable", "todo"]);
+    }
+
+    #[test]
+    fn flags_bare_indexing_but_not_patterns_or_attrs() {
+        let src = "#[derive(Debug)]\n\
+                   fn f(v: &[f64]) -> f64 {\n\
+                   let [a, b] = [1.0, 2.0];\n\
+                   let arr = [0u8; 4];\n\
+                   v[3] + a + b + arr.len() as f64\n\
+                   }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "index");
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_is_flagged() {
+        let found = run("fn f() { let x = g()[0]; let y = m[0][1]; }");
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn test_code_and_strings_and_comments_are_ignored() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // a[0].unwrap()\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { x.unwrap(); v[0]; panic!(); }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_without_dot_or_call_is_ignored() {
+        // A fn named unwrap, or a path mention, is not a call site.
+        assert!(run("fn unwrap() {} fn g() { let f = Self::unwrap; }").is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! `telemetry_sync`: code and `docs/TELEMETRY.md` must agree on names.
+//!
+//! The metric inventory in TELEMETRY.md is the operator's contract:
+//! dashboards and alerts are built against it. This rule extracts every
+//! metric/span name constructed in `crates/*/src` and diffs it *both
+//! ways* against the inventory table:
+//!
+//! * a name recorded in code but missing from the docs is
+//!   `undocumented` (anchored at the call site);
+//! * a documented name no code records any more is `stale` (anchored
+//!   at the table row).
+//!
+//! Extraction understands three shapes:
+//!
+//! * direct literals — `gps_telemetry::counter("pool.submitted")`,
+//!   `span("epoch")` (span literals are prefixed `span.`);
+//! * formatted names — `counter(&format!("faults.injected.{}", k))`
+//!   normalizes `{…}` to a `*` wildcard segment;
+//! * the `cached_metric!(fn_name, Kind, "name")` macro in
+//!   `gps-core::instrument`.
+//!
+//! Dynamically assembled names the lexer cannot see (a name built far
+//! from its `histogram(…)` call) are declared next to the call with a
+//! `// lint: metric <name>` marker comment.
+//!
+//! Doc-side wildcards `<kind>` and `*` match one trailing segment (or
+//! all remaining segments in last position), so `faults.injected.<kind>`
+//! covers `faults.injected.dropout` and `span.*` covers every span path.
+
+use std::path::Path;
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct TelemetrySync {
+    /// (normalized name, file, line, col) for every recorded name.
+    seen: Vec<(String, String, u32, u32)>,
+}
+
+const RECORDERS: &[&str] = &["counter", "gauge", "histogram", "span"];
+
+/// Replace `{…}` format captures with `*` wildcard markers.
+fn normalize_code_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut depth = 0usize;
+    for c in raw.chars() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    out.push('*');
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Replace `<…>` doc placeholders with `*` wildcard markers.
+fn normalize_doc_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut depth = 0usize;
+    for c in raw.chars() {
+        match c {
+            '<' => {
+                if depth == 0 {
+                    out.push('*');
+                }
+                depth += 1;
+            }
+            '>' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Segment-wise wildcard match. A `*` segment matches one segment, or
+/// any remainder when it is the pattern's last segment; a `*` on either
+/// side matches. Trailing `/`-joined span paths count as one segment.
+fn name_matches(pattern: &str, name: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('.').collect();
+    let segs: Vec<&str> = name.split('.').collect();
+    let mut pi = 0usize;
+    let mut si = 0usize;
+    loop {
+        match (pat.get(pi), segs.get(si)) {
+            (None, None) => return true,
+            (Some(&"*"), _) if pi + 1 == pat.len() => return si < segs.len(),
+            (Some(&p), Some(&s)) => {
+                if p != s && p != "*" && s != "*" {
+                    return false;
+                }
+                pi += 1;
+                si += 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Whether a candidate string looks like a metric name at all (dotted,
+/// lowercase-ish) — filters out messages accidentally passed through.
+fn plausible_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '*' | '/' | '-'))
+}
+
+impl TelemetrySync {
+    fn record(&mut self, file: &FileView<'_>, name: String, line: u32, col: u32) {
+        if plausible_name(&name) {
+            self.seen.push((name, file.rel.clone(), line, col));
+        }
+    }
+
+    /// First string literal inside the call whose `(` sits at code
+    /// index `open`, or None if the call has no literal argument.
+    fn literal_arg<'a>(file: &FileView<'a>, open: usize) -> Option<(String, u32, u32)> {
+        let mut depth = 0i32;
+        let mut ci = open;
+        loop {
+            let tok = file.code_token(ci)?;
+            match tok.text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+            if tok.kind == TokenKind::Str {
+                let contents = tok.str_contents().unwrap_or("").to_string();
+                return Some((contents, tok.line, tok.col));
+            }
+            ci += 1;
+        }
+    }
+}
+
+impl Rule for TelemetrySync {
+    fn id(&self) -> &'static str {
+        "telemetry_sync"
+    }
+
+    fn description(&self) -> &'static str {
+        "metric/span names in code and docs/TELEMETRY.md must match both ways"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        // The linter's own sources mention recorder idents in rule
+        // logic; they record nothing.
+        if file.krate == "lint" {
+            return Vec::new();
+        }
+        // `// lint: metric <name>` declarations.
+        for tok in file.tokens.iter().filter(|t| t.is_comment()) {
+            if let Some(("metric", Some(name))) = super::no_alloc::lint_directive(tok.text) {
+                if !file.is_test_line(tok.line) {
+                    self.record(file, name.to_string(), tok.line, tok.col);
+                }
+            }
+        }
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+                continue;
+            }
+            let prev = file.code_text(ci.wrapping_sub(1));
+            let next = file.code_text(ci + 1);
+            if RECORDERS.contains(&tok.text) && next == "(" && prev != "fn" {
+                if let Some((raw, line, col)) = Self::literal_arg(file, ci + 1) {
+                    let name = normalize_code_name(&raw);
+                    let name = if tok.text == "span" {
+                        format!("span.{name}")
+                    } else {
+                        name
+                    };
+                    self.record(file, name, line, col);
+                }
+            }
+            if tok.text == "cached_metric" && next == "!" && file.code_text(ci + 2) == "(" {
+                if let Some((raw, line, col)) = Self::literal_arg(file, ci + 2) {
+                    self.record(file, normalize_code_name(&raw), line, col);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn finish(&mut self, root: &Path) -> Vec<Finding> {
+        let docs_rel = "docs/TELEMETRY.md";
+        let docs_path = root.join(docs_rel);
+        let text = match std::fs::read_to_string(&docs_path) {
+            Ok(t) => t,
+            Err(e) => {
+                return vec![Finding {
+                    rule: self.id(),
+                    key: "missing_docs",
+                    file: docs_rel.to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!("cannot read {docs_rel}: {e}"),
+                    snippet: String::new(),
+                }]
+            }
+        };
+        let doc_names = inventory_names(&text);
+        let mut out = Vec::new();
+
+        // Code → docs: every recorded name must be documented.
+        let mut reported = std::collections::HashSet::new();
+        for (name, file, line, col) in &self.seen {
+            let documented = doc_names
+                .iter()
+                .any(|(d, _)| name_matches(d, name) || d == name);
+            if !documented && reported.insert(name.clone()) {
+                out.push(Finding {
+                    rule: self.id(),
+                    key: "undocumented",
+                    file: file.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "metric `{name}` is recorded here but missing from {docs_rel}"
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+
+        // Docs → code: every documented name must still be recorded.
+        for (doc, line) in &doc_names {
+            let recorded = self
+                .seen
+                .iter()
+                .any(|(n, _, _, _)| name_matches(doc, n) || name_matches(n, doc));
+            if !recorded {
+                out.push(Finding {
+                    rule: self.id(),
+                    key: "stale",
+                    file: docs_rel.to_string(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "documented metric `{doc}` is no longer recorded anywhere in crates/*/src"
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Parse the `## Metric inventory` table: every backticked span in the
+/// first column is a documented name. Returns (normalized name, line).
+fn inventory_names(docs: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in docs.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        if line.starts_with("## ") {
+            in_section = line.trim() == "## Metric inventory";
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let first_cell = line.trim_start().trim_start_matches('|');
+        let first_cell = first_cell.split('|').next().unwrap_or("");
+        if first_cell.trim_start().starts_with('-') || first_cell.contains("Name") {
+            continue;
+        }
+        let mut rest = first_cell;
+        while let Some(open) = rest.find('`') {
+            let Some(tail) = rest.get(open + 1..) else {
+                break;
+            };
+            let Some(close) = tail.find('`') else { break };
+            let raw = tail.get(..close).unwrap_or("");
+            if plausible_name(&normalize_doc_name(raw)) {
+                out.push((normalize_doc_name(raw), line_no));
+            }
+            rest = tail.get(close + 1..).unwrap_or("");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn collect(src: &str) -> Vec<String> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        let mut rule = TelemetrySync::default();
+        rule.check_file(&view);
+        rule.seen.into_iter().map(|(n, _, _, _)| n).collect()
+    }
+
+    #[test]
+    fn extracts_direct_and_formatted_and_macro_names() {
+        let src = r#"
+            fn f() {
+                let c = gps_telemetry::counter("app.solves");
+                let g = reg.gauge("app.depth");
+                let h = gps_telemetry::histogram(&format!("app.kind.{}", k));
+                let _s = gps_telemetry::span("epoch");
+            }
+            cached_metric!(nr_solves, Counter, "core.nr.solves");
+        "#;
+        assert_eq!(
+            collect(src),
+            [
+                "app.solves",
+                "app.depth",
+                "app.kind.*",
+                "span.epoch",
+                "core.nr.solves"
+            ]
+        );
+    }
+
+    #[test]
+    fn declaration_comments_and_fn_defs() {
+        let src = "
+            // lint: metric bench.*
+            fn record(metric: &str) { gps_telemetry::histogram(metric).record(1.0); }
+            pub fn counter(name: &str) -> Counter { registry().counter(name) }
+        ";
+        // The declaration registers; the literal-less calls do not.
+        assert_eq!(collect(src), ["bench.*"]);
+    }
+
+    #[test]
+    fn test_regions_do_not_register_names() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { gps_telemetry::counter(\"test.only\"); }
+            }
+        ";
+        assert!(collect(src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        assert!(name_matches("span.*", "span.epoch"));
+        assert!(name_matches("span.*", "span.fig51/epoch"));
+        assert!(name_matches("faults.injected.*", "faults.injected.dropout"));
+        assert!(!name_matches("faults.injected.*", "faults.injected"));
+        assert!(name_matches("core.nr.solves", "core.nr.solves"));
+        assert!(!name_matches("core.nr.solves", "core.nr.iterations"));
+        assert!(name_matches("faults.injected.*", "faults.injected.*"));
+        assert!(!name_matches("pool.*", "core.nr.solves"));
+    }
+
+    #[test]
+    fn doc_table_parsing_normalizes_placeholders() {
+        let docs = "\
+# Telemetry
+
+## Metric inventory
+
+| Name | Kind | Meaning |
+|---|---|---|
+| `core.nr.solves` | counter | NR outcomes |
+| `faults.injected.<kind>` | counter | injections |
+| `span.*` | histogram | spans |
+
+## CLI
+| `not.in.inventory` | x | y |
+";
+        let names: Vec<String> = inventory_names(docs).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["core.nr.solves", "faults.injected.*", "span.*"]);
+    }
+
+    #[test]
+    fn finish_reports_both_directions() {
+        let dir = std::env::temp_dir().join(format!(
+            "gps-lint-sync-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::create_dir_all(dir.join("docs"));
+        let docs = "## Metric inventory\n\n| Name | Kind |\n|---|---|\n| `app.known` | counter |\n| `app.ghost` | counter |\n";
+        std::fs::write(dir.join("docs/TELEMETRY.md"), docs).ok();
+
+        let src = "fn f() { gps_telemetry::counter(\"app.known\"); gps_telemetry::counter(\"app.rogue\"); }";
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        let mut rule = TelemetrySync::default();
+        rule.check_file(&view);
+        let findings = rule.finish(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let keys: Vec<_> = findings
+            .iter()
+            .map(|f| (f.key, f.message.clone()))
+            .collect();
+        assert_eq!(findings.len(), 2, "{keys:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.key == "undocumented" && f.message.contains("app.rogue")));
+        assert!(findings
+            .iter()
+            .any(|f| f.key == "stale" && f.message.contains("app.ghost")));
+    }
+}

@@ -1,0 +1,102 @@
+//! Drive the full lint pass over the checked-in fixture trees: the
+//! violating tree must trigger every rule (with the expected keys), the
+//! clean tree must produce zero findings, and the fixture allowlist must
+//! suppress the violating tree completely without going stale.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use gps_lint::driver::{run, Options};
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+#[test]
+fn violating_tree_triggers_every_rule() {
+    let report = run(&Options::new(fixture_root("violating"))).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.suppressed, 0);
+
+    let keys: HashSet<(&str, &str)> = report.findings.iter().map(|f| (f.rule, f.key)).collect();
+    for expected in [
+        ("panic_freedom", "unwrap"),
+        ("panic_freedom", "expect"),
+        ("panic_freedom", "panic"),
+        ("panic_freedom", "index"),
+        ("no_alloc", "vec_macro"),
+        ("no_alloc", "to_vec"),
+        ("no_alloc", "clone"),
+        ("float_cmp", "float_eq"),
+        ("telemetry_sync", "undocumented"),
+        ("telemetry_sync", "stale"),
+        ("lock_discipline", "lock_unwrap"),
+    ] {
+        assert!(keys.contains(&expected), "missing {expected:?} in {keys:?}");
+    }
+
+    // Test-module code must not be reported: the fixture's #[cfg(test)]
+    // block repeats several violations on purpose.
+    let test_block_hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/core/src/lib.rs" && f.line >= 28)
+        .collect();
+    assert!(test_block_hits.is_empty(), "{test_block_hits:?}");
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = run(&Options::new(fixture_root("clean"))).unwrap();
+    assert!(report.clean(), "{:#?}", report.findings);
+    assert!(report.files_scanned >= 1);
+}
+
+#[test]
+fn rule_filter_scopes_findings() {
+    let mut opts = Options::new(fixture_root("violating"));
+    opts.rule_filter = vec!["lock_discipline".into()];
+    let report = run(&opts).unwrap();
+    assert!(!report.findings.is_empty());
+    assert!(report.findings.iter().all(|f| f.rule == "lock_discipline"));
+}
+
+#[test]
+fn fixture_allowlist_suppresses_everything_without_staleness() {
+    let mut opts = Options::new(fixture_root("violating"));
+    opts.allowlist =
+        Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violating.allow"));
+    let report = run(&opts).unwrap();
+    assert!(
+        report.clean(),
+        "allowlist should cover every fixture finding: {:#?}",
+        report.findings
+    );
+    assert!(report.suppressed > 0);
+}
+
+#[test]
+fn findings_are_span_accurate() {
+    let report = run(&Options::new(fixture_root("violating"))).unwrap();
+    let unwrap = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic_freedom" && f.key == "unwrap")
+        .unwrap();
+    // `let a = opt.unwrap();` is line 5 of the fixture lib.rs.
+    assert_eq!(unwrap.file, "crates/core/src/lib.rs");
+    assert_eq!(unwrap.line, 5);
+    assert!(unwrap.col > 1);
+    assert!(unwrap.snippet.contains("opt.unwrap()"));
+}
+
+#[test]
+fn json_report_round_trips_the_findings() {
+    let report = run(&Options::new(fixture_root("violating"))).unwrap();
+    let json = report.to_json();
+    assert!(json.contains("\"rule\":\"lock_discipline\""));
+    assert!(json.contains("\"key\":\"lock_unwrap\""));
+    assert!(json.contains("\"files_scanned\""));
+}

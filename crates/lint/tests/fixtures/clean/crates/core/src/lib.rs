@@ -1,0 +1,22 @@
+//! Fixture tree: idiomatic code that every rule accepts.
+
+pub fn safe(opt: Option<u32>, xs: &[u32]) -> u32 {
+    let a = opt.unwrap_or(0);
+    let b = xs.first().copied().unwrap_or(0);
+    a + b
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+// lint: no_alloc
+pub fn hot(acc: &mut [f64]) {
+    for v in acc.iter_mut() {
+        *v += 1.0;
+    }
+}
+
+pub fn observe() {
+    gps_telemetry::counter("fixture.known").inc();
+}

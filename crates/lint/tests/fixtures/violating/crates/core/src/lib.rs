@@ -1,0 +1,37 @@
+//! Fixture tree: one violation of every rule gps-lint knows about.
+//! Never compiled — walked by the driver integration tests.
+
+pub fn panics(opt: Option<u32>, res: Result<u32, String>, xs: &[u32]) -> u32 {
+    let a = opt.unwrap();
+    let b = res.expect("fixture");
+    if xs.is_empty() {
+        panic!("empty");
+    }
+    a + b + xs[0]
+}
+
+pub fn exact(x: f64) -> bool {
+    x == 0.0
+}
+
+// lint: no_alloc
+pub fn hot(other: &[u32]) -> Vec<u32> {
+    let mut v = vec![1, 2, 3];
+    v.extend_from_slice(&other.to_vec());
+    v.clone()
+}
+
+pub fn observe() {
+    gps_telemetry::counter("fixture.rogue").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn exempt() {
+        let xs = [1u32];
+        assert_eq!(xs[0], Some(1).unwrap());
+        assert!(super::exact(0.0));
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: poison-intolerant locking in a scoped crate.
+
+use std::sync::Mutex;
+
+pub fn bad_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn bad_read(rw: &std::sync::RwLock<u32>) -> u32 {
+    *rw.read().expect("poisoned")
+}

@@ -144,11 +144,7 @@ impl Constellation {
                 }
             })
             .collect();
-        visible.sort_by(|a, b| {
-            b.elevation
-                .partial_cmp(&a.elevation)
-                .expect("elevations are finite")
-        });
+        visible.sort_by(|a, b| b.elevation.total_cmp(&a.elevation));
         visible
     }
 }

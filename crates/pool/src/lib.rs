@@ -123,6 +123,13 @@ impl std::fmt::Debug for ThreadPool {
 
 impl ThreadPool {
     /// Spawns a pool of `jobs` workers (`jobs` is clamped to ≥ 1).
+    ///
+    /// Thread spawning can fail when the OS is out of resources; a
+    /// failed spawn shrinks the pool rather than panicking. If *no*
+    /// worker could be spawned the pool still functions: [`submit`]
+    /// falls back to running jobs inline on the caller's thread.
+    ///
+    /// [`submit`]: ThreadPool::submit
     #[must_use]
     pub fn new(jobs: usize) -> Self {
         let jobs = jobs.max(1);
@@ -132,13 +139,13 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             metrics: PoolMetrics::new(),
         });
-        let workers = (0..jobs)
-            .map(|index| {
+        let workers: Vec<JoinHandle<()>> = (0..jobs)
+            .filter_map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gps-pool-{index}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
+                    .ok()
             })
             .collect();
         ThreadPool { shared, workers }
@@ -157,7 +164,17 @@ impl ThreadPool {
     }
 
     /// Enqueues one job; an idle worker picks it up immediately.
+    ///
+    /// Degraded mode: if every worker thread failed to spawn (OS
+    /// resource exhaustion), the job runs inline on the caller's thread
+    /// instead of queueing forever — serial, but never stuck.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if self.workers.is_empty() {
+            self.shared.metrics.submitted.inc();
+            self.shared.metrics.stolen.inc();
+            job();
+            return;
+        }
         let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         queue.push_back(Box::new(job));
         self.shared.metrics.submitted.inc();

@@ -212,7 +212,7 @@ pub fn select_subset(station: gps_geodesy::Ecef, epoch: &Epoch, m: usize) -> Vec
         .collect();
     let mut chosen: Vec<usize> = vec![0]; // obs are elevation-sorted
     while chosen.len() < m {
-        let next = (0..obs.len())
+        let candidate = (0..obs.len())
             .filter(|i| !chosen.contains(i))
             .max_by(|&a, &b| {
                 let spread = |i: usize| {
@@ -221,11 +221,11 @@ pub fn select_subset(station: gps_geodesy::Ecef, epoch: &Epoch, m: usize) -> Vec
                         .map(|&c| 1.0 - los[i].dot(los[c])) // monotone in angle
                         .fold(f64::INFINITY, f64::min)
                 };
-                spread(a)
-                    .partial_cmp(&spread(b))
-                    .expect("finite unit-vector dots")
-            })
-            .expect("candidates remain while chosen < m <= obs.len()");
+                spread(a).total_cmp(&spread(b))
+            });
+        // Candidates remain while chosen < m <= obs.len(); if the
+        // invariant is ever broken, stop with what we have.
+        let Some(next) = candidate else { break };
         chosen.push(next);
     }
     chosen.into_iter().map(|i| obs[i]).collect()

@@ -23,11 +23,13 @@ pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Adds 1.
+    // lint: no_alloc
     pub fn inc(&self) {
         self.add(1);
     }
 
     /// Adds `n`.
+    // lint: no_alloc
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
@@ -45,6 +47,7 @@ pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
     /// Overwrites the gauge with `v`.
+    // lint: no_alloc
     pub fn set(&self, v: f64) {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
@@ -100,6 +103,7 @@ pub(crate) fn bin_lower(i: usize) -> f64 {
     }
 }
 
+// lint: no_alloc
 fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
@@ -123,6 +127,7 @@ impl Histogram {
     }
 
     /// Records one sample. Atomics only — no locks, no allocation.
+    // lint: no_alloc
     pub fn record(&self, v: f64) {
         let core = &*self.0;
         core.count.fetch_add(1, Ordering::Relaxed);

@@ -64,6 +64,14 @@ pub struct FileSink {
     format: FileFormat,
 }
 
+impl std::fmt::Debug for FileSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSink")
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FileSink {
     /// Creates (truncating) `path` and, for CSV, writes the header row.
     pub fn create(path: &Path, format: FileFormat) -> io::Result<Self> {

@@ -26,16 +26,19 @@ fn note_allocation() {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         note_allocation();
-        System.alloc(layout)
+        // SAFETY: same contract as ours; layout is forwarded unchanged.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: same contract as ours; ptr/layout forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         note_allocation();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same contract as ours; arguments forwarded unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

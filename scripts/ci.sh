@@ -19,6 +19,20 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> gps-lint (workspace static analysis)"
+if ! cargo run --release --offline -q -p gps-lint; then
+    echo "gps-lint: non-allowlisted findings (full report follows)"
+    cat lint-report.json
+    exit 1
+fi
+
+echo "==> gps-lint negative check (violating fixture must fail)"
+if cargo run --release --offline -q -p gps-lint -- \
+    --root crates/lint/tests/fixtures/violating --no-report >/dev/null 2>&1; then
+    echo "gps-lint: violating fixture unexpectedly passed — the gate is broken"
+    exit 1
+fi
+
 echo "==> engine smoke (one epoch through every solver lane)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
