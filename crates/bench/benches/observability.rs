@@ -1,0 +1,83 @@
+//! Observability hot-path overhead.
+//!
+//! The flight recorder and the HDR histograms sit inside the solver
+//! loop, so their per-record cost is a standing tax on every epoch.
+//! This bench pins that tax down in ns/record:
+//!
+//! * `ring_record` — one packed record into a worker ring (the
+//!   `// lint: no_alloc` path the parallel lanes hit per solve);
+//! * `record_current` — same, but routed through the thread-local
+//!   attachment lookup (what instrumented code actually calls);
+//! * `record_current_detached` — the disabled-path cost when no ring
+//!   is attached (every non-pool thread pays this);
+//! * `histogram_record` — one sample into an HDR sub-bucketed
+//!   histogram (bin index + two atomic min/max updates);
+//! * `span_guard` — a full span enter/exit round trip (two ring
+//!   records + one histogram record + the clock reads).
+//!
+//! Each measured iteration performs `BATCH` operations, so divide the
+//! printed per-iteration time by 10 000 for ns/record.
+
+use std::hint::black_box;
+
+use gps_bench::harness::{Harness, Throughput};
+use gps_telemetry::recorder::{self, RecordKind};
+
+/// Records per measured iteration; the harness's elements/s column is
+/// therefore records/s directly.
+const BATCH: u64 = 10_000;
+
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.benchmark_group("observability");
+    group
+        .sample_size(15)
+        .throughput(Throughput::Elements(BATCH));
+
+    let ring = recorder::recorder().ring(9_000);
+    group.bench_function("ring_record", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                ring.record(RecordKind::LaneSolve, 0, i as u32, black_box(i), i * 3);
+            }
+        })
+    });
+
+    recorder::recorder().attach(9_001);
+    group.bench_function("record_current", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                recorder::record_current(RecordKind::LaneSolve, 0, i as u32, black_box(i), i * 3);
+            }
+        })
+    });
+    recorder::recorder().detach();
+
+    group.bench_function("record_current_detached", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                recorder::record_current(RecordKind::Marker, 0, 0, black_box(i), 0);
+            }
+        })
+    });
+
+    let histogram = gps_telemetry::histogram("bench.observability.probe_us");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                histogram.record(black_box(0.5 + (i % 997) as f64));
+            }
+        })
+    });
+
+    group.bench_function("span_guard", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let guard = gps_telemetry::span("obsbench");
+                black_box(&guard);
+            }
+        })
+    });
+
+    group.finish();
+}

@@ -52,17 +52,22 @@ pub struct Lane {
     ctx: SolveContext,
     stats: LaneStats,
     last: Option<Result<Solution, SolveError>>,
+    /// Cached handle to `core.lane_solve_us.<solver>` — obtained once
+    /// here so the timed epoch path records with atomics only.
+    latency_us: gps_telemetry::Histogram,
 }
 
 impl Lane {
     /// Wraps a solver in a fresh lane.
     #[must_use]
     pub fn new(solver: Box<dyn Solver>) -> Self {
+        let latency_us = gps_telemetry::histogram(&format!("core.lane_solve_us.{}", solver.name()));
         Lane {
             solver,
             ctx: SolveContext::new(),
             stats: LaneStats::default(),
             last: None,
+            latency_us,
         }
     }
 
@@ -218,7 +223,9 @@ impl Engine {
             for lane in &mut self.lanes {
                 solved += usize::from(lane.run_untimed(&epoch));
                 let now = Instant::now();
-                lane.stats.total_time += now - stamp;
+                let took = now - stamp;
+                lane.stats.total_time += took;
+                lane.latency_us.record(took.as_secs_f64() * 1e6);
                 stamp = now;
             }
         } else {

@@ -42,6 +42,37 @@ pub enum SolveError {
     },
 }
 
+impl SolveError {
+    /// Compact wire code for flight-recorder records (stable across
+    /// releases; new variants append).
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            SolveError::TooFewSatellites { .. } => 1,
+            SolveError::DegenerateGeometry(_) => 2,
+            SolveError::NonFinite => 3,
+            SolveError::NonConvergence { .. } => 4,
+            SolveError::NoRealRoot => 5,
+            SolveError::IntegrityFault { .. } => 6,
+        }
+    }
+
+    /// Short stable name for a [`SolveError::code`] read back from a
+    /// flight-recorder dump; `None` for unknown codes.
+    #[must_use]
+    pub fn code_name(code: u16) -> Option<&'static str> {
+        match code {
+            1 => Some("too_few_satellites"),
+            2 => Some("degenerate_geometry"),
+            3 => Some("non_finite"),
+            4 => Some("non_convergence"),
+            5 => Some("no_real_root"),
+            6 => Some("integrity_fault"),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -146,6 +177,32 @@ mod tests {
         }
         .source()
         .is_none());
+    }
+
+    #[test]
+    fn codes_are_distinct_and_named() {
+        let errors = [
+            SolveError::TooFewSatellites { got: 2, need: 4 },
+            SolveError::DegenerateGeometry(LinalgError::Singular),
+            SolveError::NonFinite,
+            SolveError::NonConvergence {
+                iterations: 25,
+                residual: 1.5,
+            },
+            SolveError::NoRealRoot,
+            SolveError::IntegrityFault {
+                excluded: vec![],
+                residual: 1.0,
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &errors {
+            let code = e.code();
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(SolveError::code_name(code).is_some(), "unnamed code {code}");
+        }
+        assert_eq!(SolveError::code_name(0), None);
+        assert_eq!(SolveError::code_name(999), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use gps_pool::ThreadPool;
+use gps_telemetry::recorder::{self, RecordKind};
 
 use crate::{
     Bancroft, Dlg, Dlo, Epoch, LaneStats, Measurement, NewtonRaphson, Solution, SolveContext,
@@ -73,6 +74,17 @@ impl EpochJob {
 pub struct WorkerLanes {
     lanes: Vec<(Box<dyn Solver>, SolveContext)>,
     lane_time: Vec<Duration>,
+    /// Per-lane observability handles, cached at construction so the
+    /// solve path records with atomics only.
+    lane_meta: Vec<LaneMeta>,
+}
+
+/// Cached per-lane telemetry handles: the exact-tail latency histogram
+/// `core.lane_solve_us.<solver>` plus the flight-recorder name tag.
+#[derive(Debug)]
+struct LaneMeta {
+    latency_us: gps_telemetry::Histogram,
+    tag: u64,
 }
 
 impl WorkerLanes {
@@ -85,6 +97,16 @@ impl WorkerLanes {
                 .map(|s| (s.clone_box(), SolveContext::new()))
                 .collect(),
             lane_time: vec![Duration::ZERO; solvers.len()],
+            lane_meta: solvers
+                .iter()
+                .map(|s| LaneMeta {
+                    latency_us: gps_telemetry::histogram(&format!(
+                        "core.lane_solve_us.{}",
+                        s.name()
+                    )),
+                    tag: recorder::tag(s.name()),
+                })
+                .collect(),
         }
     }
 
@@ -107,20 +129,58 @@ impl WorkerLanes {
     }
 
     /// Runs one epoch through every lane, clearing `out` and pushing
-    /// one result per lane in lane order.
-    ///
-    /// Steady-state allocation-free: the contexts reuse their warm
-    /// buffers and `out` is only written within its existing capacity
-    /// once it has held a full lane set before. Per-lane timing uses
-    /// chained timestamps (`n + 1` clock reads for `n` lanes).
+    /// one result per lane in lane order. Epoch id 0 in flight records;
+    /// see [`WorkerLanes::solve_epoch_into`] for id-stamped streams.
     // lint: no_alloc
     pub fn solve_into(&mut self, epoch: &Epoch<'_>, out: &mut Vec<Result<Solution, SolveError>>) {
+        self.solve_epoch_into(epoch, 0, out);
+    }
+
+    /// Like [`WorkerLanes::solve_into`] with the stream position
+    /// stamped into every flight record for this epoch.
+    ///
+    /// Steady-state allocation-free: the contexts reuse their warm
+    /// buffers, `out` is only written within its existing capacity once
+    /// it has held a full lane set before, and every observability hook
+    /// (the `core.lane_solve_us.*` exact-tail histograms, the
+    /// flight-recorder lane records) touches atomics only. Per-lane
+    /// timing uses chained timestamps (`n + 1` clock reads for `n`
+    /// lanes).
+    // lint: no_alloc
+    pub fn solve_epoch_into(
+        &mut self,
+        epoch: &Epoch<'_>,
+        epoch_id: u32,
+        out: &mut Vec<Result<Solution, SolveError>>,
+    ) {
         out.clear();
+        recorder::record_current(RecordKind::EpochStart, epoch.len() as u16, epoch_id, 0, 0);
         let mut stamp = Instant::now();
-        for ((solver, ctx), time) in self.lanes.iter_mut().zip(self.lane_time.iter_mut()) {
-            out.push(solver.solve(epoch, ctx));
+        for (((solver, ctx), time), meta) in self
+            .lanes
+            .iter_mut()
+            .zip(self.lane_time.iter_mut())
+            .zip(self.lane_meta.iter())
+        {
+            let result = solver.solve(epoch, ctx);
             let now = Instant::now();
-            *time += now - stamp;
+            let took = now - stamp;
+            *time += took;
+            meta.latency_us.record(took.as_secs_f64() * 1e6);
+            let took_ns = took.as_nanos() as u64;
+            match &result {
+                Ok(_) => {
+                    recorder::record_current(RecordKind::LaneSolve, 0, epoch_id, meta.tag, took_ns)
+                }
+                Err(e) => recorder::record_current(
+                    RecordKind::LaneError,
+                    e.code(),
+                    epoch_id,
+                    meta.tag,
+                    took_ns,
+                ),
+            }
+            out.push(result);
             stamp = now;
         }
     }
@@ -318,7 +378,7 @@ impl ParallelEngine {
                     let epoch = Epoch::new(&job.measurements, job.predicted_receiver_bias_m);
                     let mut out = Vec::with_capacity(lanes.len());
                     let start = Instant::now();
-                    lanes.solve_into(&epoch, &mut out);
+                    lanes.solve_epoch_into(&epoch, index as u32, &mut out);
                     busy += start.elapsed();
                     processed += 1;
                     // Sequence-stamped send; the receiver reorders.

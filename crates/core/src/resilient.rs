@@ -30,6 +30,7 @@
 use std::fmt;
 
 use gps_geodesy::Ecef;
+use gps_telemetry::recorder::{self, RecordKind};
 use gps_telemetry::{Event, Level};
 
 use crate::instrument;
@@ -62,6 +63,30 @@ impl FixQuality {
             FixQuality::Nominal => "nominal",
             FixQuality::Degraded => "degraded",
             FixQuality::Holdover => "holdover",
+        }
+    }
+
+    /// Compact wire code for flight-recorder records (0 is reserved
+    /// for "no fix").
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            FixQuality::Nominal => 1,
+            FixQuality::Degraded => 2,
+            FixQuality::Holdover => 3,
+        }
+    }
+
+    /// Name for a [`FixQuality::code`] read back from a flight-recorder
+    /// dump; `None` for unknown codes.
+    #[must_use]
+    pub fn code_name(code: u16) -> Option<&'static str> {
+        match code {
+            0 => Some("no_fix"),
+            1 => Some("nominal"),
+            2 => Some("degraded"),
+            3 => Some("holdover"),
+            _ => None,
         }
     }
 }
@@ -364,6 +389,13 @@ impl ResilientSolver {
             // counter name derives from `FixQuality::name`, never from a
             // per-solver branch.
             instrument::resilient_fix_quality(quality.name()).inc();
+            recorder::record_current(
+                RecordKind::FixQuality,
+                quality.code(),
+                0,
+                recorder::tag(source),
+                rung as u64,
+            );
             #[allow(clippy::cast_precision_loss)]
             instrument::resilient_accepted_rung().record(rung as f64);
             // Feed the kinematic model and reset the holdover budget.
@@ -400,6 +432,13 @@ impl ResilientSolver {
             if let Some(position) = self.filter.predict_position(self.since_fix_s) {
                 self.holdover_used += 1;
                 instrument::resilient_fix_quality(FixQuality::Holdover.name()).inc();
+                recorder::record_current(
+                    RecordKind::FixQuality,
+                    FixQuality::Holdover.code(),
+                    0,
+                    recorder::tag("holdover"),
+                    0,
+                );
                 if gps_telemetry::enabled(Level::Warn) {
                     Event::new(Level::Warn, "core.resilient", "holdover")
                         .with("consecutive", self.holdover_used)
@@ -419,6 +458,7 @@ impl ResilientSolver {
             }
         }
         instrument::resilient_fix_quality("no_fix").inc();
+        recorder::record_current(RecordKind::FixQuality, 0, 0, 0, 0);
         let need = self
             .ladder
             .iter()

@@ -25,8 +25,16 @@
 //!   the scheduler interleaved the workers.
 //!
 //! Telemetry (`pool.*`, see docs/TELEMETRY.md): `pool.submitted` and
-//! `pool.stolen` counters, a `pool.queue_depth` gauge, and a
+//! `pool.stolen` counters, a `pool.queue_depth` gauge (last observed
+//! depth), a `pool.queue_depth_at_dequeue` histogram (depth
+//! *distribution* as workers drain the queue), and a
 //! `pool.worker_busy_us` histogram of per-job execution time.
+//!
+//! Each worker also attaches to a flight-recorder ring
+//! (`gps_telemetry::recorder`) keyed by its worker index and records
+//! job start/end/panic markers; on a caught panic the recorder dumps
+//! every ring to its configured path, so the failing worker's last
+//! records survive for `gps-repro inspect`.
 //!
 //! ```
 //! use gps_pool::ThreadPool;
@@ -47,6 +55,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use gps_telemetry::recorder::{self, RecordKind};
 use gps_telemetry::{Counter, Gauge, Histogram};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -59,6 +68,7 @@ struct PoolMetrics {
     stolen: Counter,
     panics: Counter,
     queue_depth: Gauge,
+    queue_depth_at_dequeue: Histogram,
     busy_us: Histogram,
 }
 
@@ -69,6 +79,7 @@ impl PoolMetrics {
             stolen: gps_telemetry::counter("pool.stolen"),
             panics: gps_telemetry::counter("pool.job_panics"),
             queue_depth: gps_telemetry::gauge("pool.queue_depth"),
+            queue_depth_at_dequeue: gps_telemetry::histogram("pool.queue_depth_at_dequeue"),
             busy_us: gps_telemetry::histogram("pool.worker_busy_us"),
         }
     }
@@ -89,7 +100,13 @@ impl Shared {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = queue.pop_front() {
+                // Gauge: point-in-time depth for dashboards. Histogram:
+                // the depth *distribution* across dequeues, so reports
+                // can see sustained backlog rather than the last value.
                 self.metrics.queue_depth.set(queue.len() as f64);
+                self.metrics
+                    .queue_depth_at_dequeue
+                    .record(queue.len() as f64);
                 self.metrics.stolen.inc();
                 return Some(job);
             }
@@ -144,7 +161,7 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gps-pool-{index}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, index as u32))
                     .ok()
             })
             .collect();
@@ -249,17 +266,41 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: u32) {
+    // Attach this worker to its flight-recorder ring: every record made
+    // while a job runs (spans, lane solves, the job markers below)
+    // lands in the ring for worker `index`.
+    let ring = recorder::recorder().attach(index);
+    let mut job_seq = 0u64;
     while let Some(job) = shared.take_job() {
         let start = Instant::now();
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        ring.record(RecordKind::JobStart, 0, 0, job_seq, 0);
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let busy_us = start.elapsed().as_secs_f64() * 1e6;
+        if outcome.is_err() {
             shared.metrics.panics.inc();
+            ring.record(RecordKind::JobPanic, 0, 0, job_seq, busy_us as u64);
+            // Drain every ring while the evidence is fresh: the dump
+            // ends with this worker's JobStart→JobPanic trail. A
+            // best-effort write — an IO failure must not take down the
+            // worker that just survived a job panic.
+            if let Some((path, Err(err))) = recorder::recorder().dump_now() {
+                gps_telemetry::Event::new(
+                    gps_telemetry::Level::Warn,
+                    "pool.recorder",
+                    "flight-recorder dump failed",
+                )
+                .with("path", path.display().to_string())
+                .with("error", err.to_string())
+                .emit();
+            }
+        } else {
+            ring.record(RecordKind::JobEnd, 0, 0, job_seq, busy_us as u64);
         }
-        shared
-            .metrics
-            .busy_us
-            .record(start.elapsed().as_secs_f64() * 1e6);
+        shared.metrics.busy_us.record(busy_us);
+        job_seq += 1;
     }
+    recorder::recorder().detach();
 }
 
 /// The number of hardware threads, falling back to 1 where the OS
@@ -351,5 +392,59 @@ mod tests {
     #[test]
     fn available_parallelism_is_positive() {
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn dequeue_depth_histogram_sees_the_backlog() {
+        let h = gps_telemetry::histogram("pool.queue_depth_at_dequeue");
+        let before = h.count();
+        let pool = ThreadPool::new(2);
+        let _ = pool.map((0..50u8).collect(), |_, &b| b);
+        drop(pool);
+        assert!(h.count() > before, "dequeues must feed the depth histogram");
+    }
+
+    #[test]
+    fn workers_leave_job_records_in_their_rings() {
+        let pool = ThreadPool::new(1);
+        let _ = pool.map(vec![1u8, 2, 3], |_, &b| b);
+        drop(pool); // quiesce before reading the ring
+        let ring = recorder::recorder().ring(0);
+        let timeline = ring.capture();
+        let kinds: Vec<_> = timeline.records.iter().filter_map(|r| r.kind()).collect();
+        assert!(
+            kinds.contains(&RecordKind::JobStart) && kinds.contains(&RecordKind::JobEnd),
+            "worker ring missing job lifecycle records: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn panic_drains_the_flight_recorder_to_the_dump_path() {
+        let path =
+            std::env::temp_dir().join(format!("gps_pool_panic_dump_{}.bin", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        recorder::recorder().set_dump_path(Some(path.clone()));
+        let pool = ThreadPool::new(1);
+        pool.submit(|| panic!("flight recorder drain test"));
+        drop(pool); // join: the panic has been caught and dumped
+        recorder::recorder().set_dump_path(None);
+
+        let bytes = std::fs::read(&path).expect("panic must write the dump file");
+        let dump = gps_telemetry::FlightDump::from_bytes(&bytes).expect("dump must decode");
+        assert!(dump.total_records() > 0);
+        let panicked: Vec<_> = dump
+            .workers
+            .iter()
+            .filter(|w| {
+                w.records
+                    .iter()
+                    .any(|r| r.kind() == Some(RecordKind::JobPanic))
+            })
+            .collect();
+        assert!(
+            !panicked.is_empty(),
+            "the failing worker's ring must contain its JobPanic record"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -11,10 +11,17 @@
 //!   [`Registry`]. Handles are `Arc`s obtained once (amortized; cache
 //!   them in a `OnceLock` on hot paths); recording is a handful of
 //!   atomic operations with **no heap allocation**, cheap enough for
-//!   per-epoch and per-solve call sites. Histograms are log₂-binned.
+//!   per-epoch and per-solve call sites. Histograms are HDR-style
+//!   sub-bucketed: 64 linear sub-buckets per power of two, so
+//!   p50/p90/p95/p99/p999 estimates carry ≤ ~1 % relative error.
 //! * **Spans** ([`span`]) — monotonic timers on a thread-local stack,
 //!   so nested solver stages produce `span.epoch/nr`-style histograms
-//!   and (at `Debug` level) duration events.
+//!   and (at `Debug` level) duration events. [`profile::render_folded`]
+//!   re-encodes the span histograms as flamegraph folded-stack text.
+//! * **Flight recorder** ([`recorder`]) — per-worker binary ring
+//!   buffers of packed fixed-width records (span enter/exit, job
+//!   lifecycle, lane outcomes), drained on demand, on job panic, and
+//!   at shutdown into a dump `gps-repro inspect` decodes.
 //! * **Events** ([`Event`]) — structured records with a severity
 //!   [`Level`], a target, a message, and typed fields, fanned out to
 //!   pluggable [`Sink`]s: a human-readable [`StderrSink`] and a
@@ -43,6 +50,8 @@ mod event;
 mod json;
 mod level;
 mod metrics;
+pub mod profile;
+pub mod recorder;
 mod sink;
 mod snapshot;
 mod span;
@@ -51,6 +60,8 @@ mod value;
 pub use event::Event;
 pub use level::Level;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use profile::{folded_stacks, render_folded, FoldedStack};
+pub use recorder::{recorder, FlightDump, FlightRecord, FlightRecorder, RecordKind, WorkerRing};
 pub use sink::{FileFormat, FileSink, MemorySink, Sink, StderrSink};
 pub use snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 pub use span::{span, SpanGuard};

@@ -1,0 +1,106 @@
+//! Self-timing profiler output: folds the span tree into flamegraph
+//! folded-stack text.
+//!
+//! Spans already record their full slash-joined path (`span.fig51/epoch/nr`)
+//! into per-path histograms, so the registry *is* a sampling profile of
+//! wall time by stack — all that is left is to re-encode it in the
+//! folded-stack format flamegraph tooling consumes: one line per stack,
+//! frames joined by `;`, followed by an integer weight. We use the
+//! span's total recorded microseconds as the weight.
+
+use crate::snapshot::Snapshot;
+
+/// Prefix under which span histograms live in the registry.
+const SPAN_PREFIX: &str = "span.";
+
+/// One folded stack: frames root-first plus a weight in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// `;`-joined frame path, root first (e.g. `fig51;epoch;nr`).
+    pub stack: String,
+    /// Total wall time attributed to this exact stack, µs.
+    pub total_us: u64,
+    /// Number of times this stack was recorded.
+    pub count: u64,
+}
+
+/// Extracts every `span.*` histogram from `snap` as a folded stack,
+/// sorted by stack name. Non-span metrics are ignored.
+#[must_use]
+pub fn folded_stacks(snap: &Snapshot) -> Vec<FoldedStack> {
+    let mut out: Vec<FoldedStack> = snap
+        .histograms
+        .iter()
+        .filter_map(|h| {
+            let path = h.name.strip_prefix(SPAN_PREFIX)?;
+            Some(FoldedStack {
+                stack: path.replace('/', ";"),
+                total_us: h.sum.round().max(0.0) as u64,
+                count: h.count,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.stack.cmp(&b.stack));
+    out
+}
+
+/// Renders `snap`'s spans as flamegraph folded-stack text: one
+/// `stack;frames weight` line per span path (weight = total µs), ready
+/// for `flamegraph.pl` / `inferno-flamegraph`.
+#[must_use]
+pub fn render_folded(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for s in folded_stacks(snap) {
+        out.push_str(&s.stack);
+        out.push(' ');
+        out.push_str(&s.total_us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSnapshot;
+
+    fn hist(name: &str, count: u64, sum: f64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count,
+            sum,
+            min: 0.0,
+            max: sum,
+            p50: 0.0,
+            p90: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            p999: 0.0,
+        }
+    }
+
+    #[test]
+    fn folds_span_paths_and_ignores_other_metrics() {
+        let snap = Snapshot {
+            histograms: vec![
+                hist("core.nr.iterations", 10, 60.0),
+                hist("span.fig51", 1, 5000.4),
+                hist("span.fig51/epoch", 120, 4800.0),
+                hist("span.fig51/epoch/nr", 120, 1700.6),
+            ],
+            ..Snapshot::default()
+        };
+        let folded = render_folded(&snap);
+        assert_eq!(
+            folded,
+            "fig51 5000\nfig51;epoch 4800\nfig51;epoch;nr 1701\n"
+        );
+        assert!(!folded.contains("core.nr"));
+    }
+
+    #[test]
+    fn empty_snapshot_folds_to_nothing() {
+        assert!(render_folded(&Snapshot::default()).is_empty());
+        assert!(folded_stacks(&Snapshot::default()).is_empty());
+    }
+}

@@ -3,6 +3,11 @@
 
 use crate::json;
 
+/// Header row of [`Snapshot::to_csv`].
+const CSV_HEADER: &str = "kind,name,value,count,sum,min,max,p50,p90,p95,p99,p999";
+/// Cells per CSV row (the header's column count).
+const CSV_CELLS: usize = 12;
+
 /// Snapshot of one counter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterSnapshot {
@@ -34,10 +39,17 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest sample (`-inf` when empty).
     pub max: f64,
-    /// Approximate median (bin-midpoint estimate; `NaN` when empty).
+    /// Median estimate (sub-bucket midpoint, ≤ ~1 % relative error;
+    /// `NaN` when empty).
     pub p50: f64,
-    /// Approximate 95th percentile (`NaN` when empty).
+    /// 90th-percentile estimate (`NaN` when empty).
+    pub p90: f64,
+    /// 95th-percentile estimate (`NaN` when empty).
     pub p95: f64,
+    /// 99th-percentile estimate (`NaN` when empty).
+    pub p99: f64,
+    /// 99.9th-percentile estimate (`NaN` when empty).
+    pub p999: f64,
 }
 
 impl HistogramSnapshot {
@@ -89,18 +101,19 @@ impl Snapshot {
         }
         if !self.histograms.is_empty() {
             out.push_str(&format!(
-                "histograms:\n  {:<44} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
-                "name", "count", "mean", "min", "p50", "p95", "max"
+                "histograms:\n  {:<44} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "name", "count", "mean", "min", "p50", "p95", "p99", "max"
             ));
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<44} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}\n",
+                    "  {:<44} {:>8} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}\n",
                     h.name,
                     h.count,
                     h.mean(),
                     h.min,
                     h.p50,
                     h.p95,
+                    h.p99,
                     h.max
                 ));
             }
@@ -140,7 +153,10 @@ impl Snapshot {
                 ("min", h.min),
                 ("max", h.max),
                 ("p50", h.p50),
+                ("p90", h.p90),
                 ("p95", h.p95),
+                ("p99", h.p99),
+                ("p999", h.p999),
             ] {
                 out.push_str(",\"");
                 out.push_str(key);
@@ -154,21 +170,28 @@ impl Snapshot {
 
     /// CSV with a header row. Floats use Rust's shortest round-trip
     /// formatting, so [`Snapshot::from_csv`] reproduces this snapshot
-    /// exactly.
+    /// exactly. A never-recorded histogram writes *empty* stat cells
+    /// (rather than `NaN`/`inf` text that poisons downstream parsers);
+    /// `from_csv` restores the empty-histogram sentinels from them.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,value,count,sum,min,max,p50,p95\n");
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
         for c in &self.counters {
-            out.push_str(&format!("counter,{},{},,,,,,\n", c.name, c.value));
+            out.push_str(&format!("counter,{},{},,,,,,,,,\n", c.name, c.value));
         }
         for g in &self.gauges {
-            out.push_str(&format!("gauge,{},{},,,,,,\n", g.name, g.value));
+            out.push_str(&format!("gauge,{},{},,,,,,,,,\n", g.name, g.value));
         }
         for h in &self.histograms {
-            out.push_str(&format!(
-                "histogram,{},,{},{},{},{},{},{}\n",
-                h.name, h.count, h.sum, h.min, h.max, h.p50, h.p95
-            ));
+            if h.count == 0 {
+                out.push_str(&format!("histogram,{},,0,{},,,,,,,\n", h.name, h.sum));
+            } else {
+                out.push_str(&format!(
+                    "histogram,{},,{},{},{},{},{},{},{},{},{}\n",
+                    h.name, h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p95, h.p99, h.p999
+                ));
+            }
         }
         out
     }
@@ -178,7 +201,7 @@ impl Snapshot {
         let mut snap = Snapshot::default();
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty snapshot CSV")?;
-        if header != "kind,name,value,count,sum,min,max,p50,p95" {
+        if header != CSV_HEADER {
             return Err(format!("unexpected snapshot CSV header `{header}`"));
         }
         for (lineno, line) in lines.enumerate() {
@@ -186,38 +209,52 @@ impl Snapshot {
                 continue;
             }
             let cells: Vec<&str> = line.split(',').collect();
-            if cells.len() != 9 {
+            if cells.len() != CSV_CELLS {
                 return Err(format!(
-                    "line {}: expected 9 cells, got {}",
+                    "line {}: expected {CSV_CELLS} cells, got {}",
                     lineno + 2,
                     cells.len()
                 ));
             }
-            let f = |cell: &str| -> Result<f64, String> {
-                cell.parse::<f64>()
+            let cell = |i: usize| -> &str { cells.get(i).copied().unwrap_or("") };
+            let f = |i: usize| -> Result<f64, String> {
+                cell(i)
+                    .parse::<f64>()
                     .map_err(|e| format!("line {}: {e}", lineno + 2))
             };
-            match cells[0] {
+            // Empty stat cells are the empty-histogram encoding; map
+            // them back to the documented in-memory sentinels.
+            let f_or = |i: usize, empty: f64| -> Result<f64, String> {
+                if cell(i).is_empty() {
+                    Ok(empty)
+                } else {
+                    f(i)
+                }
+            };
+            match cell(0) {
                 "counter" => snap.counters.push(CounterSnapshot {
-                    name: cells[1].to_owned(),
-                    value: cells[2]
+                    name: cell(1).to_owned(),
+                    value: cell(2)
                         .parse()
                         .map_err(|e| format!("line {}: {e}", lineno + 2))?,
                 }),
                 "gauge" => snap.gauges.push(GaugeSnapshot {
-                    name: cells[1].to_owned(),
-                    value: f(cells[2])?,
+                    name: cell(1).to_owned(),
+                    value: f(2)?,
                 }),
                 "histogram" => snap.histograms.push(HistogramSnapshot {
-                    name: cells[1].to_owned(),
-                    count: cells[3]
+                    name: cell(1).to_owned(),
+                    count: cell(3)
                         .parse()
                         .map_err(|e| format!("line {}: {e}", lineno + 2))?,
-                    sum: f(cells[4])?,
-                    min: f(cells[5])?,
-                    max: f(cells[6])?,
-                    p50: f(cells[7])?,
-                    p95: f(cells[8])?,
+                    sum: f(4)?,
+                    min: f_or(5, f64::INFINITY)?,
+                    max: f_or(6, f64::NEG_INFINITY)?,
+                    p50: f_or(7, f64::NAN)?,
+                    p90: f_or(8, f64::NAN)?,
+                    p95: f_or(9, f64::NAN)?,
+                    p99: f_or(10, f64::NAN)?,
+                    p999: f_or(11, f64::NAN)?,
                 }),
                 other => return Err(format!("line {}: unknown kind `{other}`", lineno + 2)),
             }
@@ -264,18 +301,67 @@ mod tests {
             assert_eq!(a.min.to_bits(), b.min.to_bits());
             assert_eq!(a.max.to_bits(), b.max.to_bits());
             assert_eq!(a.p50.to_bits(), b.p50.to_bits());
+            assert_eq!(a.p90.to_bits(), b.p90.to_bits());
             assert_eq!(a.p95.to_bits(), b.p95.to_bits());
+            assert_eq!(a.p99.to_bits(), b.p99.to_bits());
+            assert_eq!(a.p999.to_bits(), b.p999.to_bits());
         }
+    }
+
+    #[test]
+    fn one_sample_and_saturated_histograms_round_trip() {
+        let r = Registry::new();
+        r.histogram("one").record(42.5);
+        r.histogram("saturated").record(1e300); // top clamping bin
+        let snap = r.snapshot();
+        let back = Snapshot::from_csv(&snap.to_csv()).unwrap();
+        assert_eq!(back.histograms, snap.histograms);
+        let one = back.histograms.iter().find(|h| h.name == "one").unwrap();
+        assert_eq!(one.count, 1);
+        assert_eq!(one.min, 42.5);
+        assert_eq!(one.max, 42.5);
+        // A single sample pins every quantile to it exactly (clamped).
+        assert_eq!(one.p50, 42.5);
+        assert_eq!(one.p999, 42.5);
+        let sat = back
+            .histograms
+            .iter()
+            .find(|h| h.name == "saturated")
+            .unwrap();
+        assert_eq!(sat.p999, 1e300);
+    }
+
+    #[test]
+    fn empty_histogram_writes_empty_cells_not_nan() {
+        // Regression: NaN/±inf text in the CSV poisoned downstream
+        // parsers; an empty histogram must emit empty stat cells.
+        let snap = populated();
+        let row = snap
+            .to_csv()
+            .lines()
+            .find(|l| l.starts_with("histogram,empty,"))
+            .map(str::to_owned)
+            .unwrap();
+        assert_eq!(row, "histogram,empty,,0,0,,,,,,,");
+        assert!(!snap.to_csv().contains("NaN"), "{}", snap.to_csv());
+        assert!(!snap.to_csv().contains("inf"), "{}", snap.to_csv());
+        // And the empty cells restore the in-memory sentinels.
+        let back = Snapshot::from_csv(&snap.to_csv()).unwrap();
+        let empty = back.histograms.iter().find(|h| h.name == "empty").unwrap();
+        assert_eq!(empty.count, 0);
+        assert!(empty.min.is_infinite() && empty.min > 0.0);
+        assert!(empty.max.is_infinite() && empty.max < 0.0);
+        assert!(empty.p50.is_nan() && empty.p999.is_nan());
     }
 
     #[test]
     fn from_csv_rejects_malformed_input() {
         assert!(Snapshot::from_csv("").is_err());
         assert!(Snapshot::from_csv("bogus,header\n").is_err());
-        assert!(
-            Snapshot::from_csv("kind,name,value,count,sum,min,max,p50,p95\nwidget,x,,,,,,,\n")
-                .is_err()
-        );
+        let bad_kind = format!("{CSV_HEADER}\nwidget,x,,,,,,,,,,\n");
+        assert!(Snapshot::from_csv(&bad_kind).is_err());
+        let short_row = format!("{CSV_HEADER}\nhistogram,x,,0,0\n");
+        assert!(Snapshot::from_csv(&short_row).is_err());
     }
 
     #[test]
@@ -284,8 +370,20 @@ mod tests {
         let jsonl = snap.to_jsonl();
         assert_eq!(jsonl.lines().count(), 4);
         assert!(jsonl.contains("{\"type\":\"counter\",\"name\":\"runs\",\"value\":12}"));
-        // The never-recorded histogram has ±inf min/max → JSON null.
+        // The never-recorded histogram has ±inf min/max and NaN
+        // quantiles → explicit JSON nulls, never bare NaN text.
         assert!(jsonl.contains("\"name\":\"empty\",\"count\":0,\"sum\":0,\"min\":null"));
+        let empty_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"name\":\"empty\""))
+            .unwrap();
+        for key in ["max", "p50", "p90", "p95", "p99", "p999"] {
+            assert!(
+                empty_line.contains(&format!("\"{key}\":null")),
+                "{empty_line}"
+            );
+        }
+        assert!(!jsonl.contains("NaN"), "{jsonl}");
     }
 
     #[test]

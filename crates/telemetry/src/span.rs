@@ -3,6 +3,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::recorder::{self, RecordKind};
 use crate::{Event, Level};
 
 thread_local! {
@@ -19,6 +20,9 @@ thread_local! {
 #[derive(Debug)]
 pub struct SpanGuard {
     path: String,
+    /// Flight-recorder tag of the span name, precomputed so the drop
+    /// path stays allocation-free when a worker ring is attached.
+    tag: u64,
     start: Instant,
 }
 
@@ -37,8 +41,11 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(name.to_owned());
         stack.join("/")
     });
+    let tag = recorder::tag(name);
+    recorder::record_current(RecordKind::SpanEnter, 0, 0, tag, 0);
     SpanGuard {
         path,
+        tag,
         start: Instant::now(),
     }
 }
@@ -57,6 +64,7 @@ impl Drop for SpanGuard {
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
+        recorder::record_current(RecordKind::SpanExit, 0, 0, self.tag, duration_us as u64);
         crate::histogram(&format!("span.{}", self.path)).record(duration_us);
         if crate::enabled(Level::Debug) {
             Event::new(Level::Debug, "span", self.path.clone())

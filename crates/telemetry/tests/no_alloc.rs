@@ -69,3 +69,30 @@ fn record_path_does_not_allocate() {
         "record path must be allocation-free, saw {allocations} allocations"
     );
 }
+
+#[test]
+fn flight_recorder_record_path_does_not_allocate() {
+    use gps_telemetry::recorder::{self, RecordKind};
+
+    // Ring creation and thread attachment allocate; do them up front.
+    let ring = recorder::recorder().attach(90);
+    ring.record(RecordKind::Marker, 0, 0, 0, 0);
+    recorder::record_current(RecordKind::Marker, 0, 0, 0, 0);
+    let solver_tag = recorder::tag("NR");
+
+    COUNTING.with(|c| c.set(true));
+    for i in 0..10_000u32 {
+        // Direct ring writes and the thread-attached path, past the
+        // wrap-around point (the default ring holds 1024 records).
+        ring.record(RecordKind::LaneSolve, 0, i, solver_tag, u64::from(i));
+        recorder::record_current(RecordKind::EpochStart, 8, i, 0, 0);
+    }
+    COUNTING.with(|c| c.set(false));
+
+    recorder::recorder().detach();
+    let allocations = ALLOCATIONS.with(Cell::get);
+    assert_eq!(
+        allocations, 0,
+        "flight-recorder record path must be allocation-free, saw {allocations} allocations"
+    );
+}

@@ -53,6 +53,40 @@ echo "$out" | grep -q "per lane" || { echo "smoke: no per-lane table"; exit 1; }
 echo "$out" | grep "failed" | grep -vq "failed    0" \
     && { echo "smoke: a lane failed on the clean stream"; exit 1; }
 
+echo "==> flight recorder smoke (record one epoch, decode the dump)"
+out=$(cargo run --release --offline -q -- throughput --jobs 1 --epochs 1 \
+    --flight-recorder "$tmpdir/flight.bin" 2>&1)
+echo "$out" | grep -q "flight recorder: wrote" \
+    || { echo "smoke: no flight-recorder dump written"; exit 1; }
+out=$(cargo run --release --offline -q -- inspect "$tmpdir/flight.bin")
+echo "$out" | head -n 8
+echo "$out" | grep -q "worker 0:" || { echo "smoke: inspect shows no worker"; exit 1; }
+echo "$out" | grep -q "lane_solve" || { echo "smoke: inspect shows no lane records"; exit 1; }
+
+echo "==> throughput tail-latency smoke (exact p50/p99 per lane)"
+out=$(cargo run --release --offline -q -- throughput --jobs 1 --quick)
+echo "$out" | grep -q "lane latency" || { echo "smoke: no lane-latency table"; exit 1; }
+echo "$out" | grep -q "p99" || { echo "smoke: no p99 column"; exit 1; }
+
+echo "==> benchdiff gate (release build, loose tolerance for CI noise)"
+cargo run --release --offline -q -- benchdiff --jobs 1 --tolerance 90 \
+    || { echo "benchdiff: throughput regressed >90% vs BENCH_throughput.json"; exit 1; }
+
+echo "==> benchdiff negative check (synthetic regression must fail)"
+cat > "$tmpdir/fake_baseline.json" <<'EOF'
+{
+  "bench": "throughput",
+  "results": [
+    {"solver": "DLO", "jobs": 1, "ns_per_stream": 1, "fixes_per_sec": 1e12, "speedup_vs_jobs1": 1.0}
+  ]
+}
+EOF
+if cargo run --release --offline -q -- benchdiff --quick \
+    --baseline "$tmpdir/fake_baseline.json" --tolerance 50 >/dev/null 2>&1; then
+    echo "benchdiff: synthetic regression unexpectedly passed — the gate is broken"
+    exit 1
+fi
+
 echo "==> fault campaign smoke (dropout+ramp must degrade, not panic)"
 out=$(cargo run --release --offline -q -- experiment fault_campaign --quick --faults dropout,ramp)
 echo "$out"

@@ -37,6 +37,11 @@ USAGE:
                        [--station <SRZN|YYR1|FAI1|KYCP>] [--quick]
   gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|all>
                        [--paper-scale|--quick] [--seed N]
+  gps-repro profile [<table51|fig51|fig52|extensions|all>] [--folded]
+                    [--out <FILE>] [--seed N] [--paper-scale|--full]
+  gps-repro inspect <DUMP> [--tail N] [--format text|json]
+  gps-repro benchdiff [--baseline <FILE>] [--tolerance PCT] [--epochs N]
+                      [--jobs N] [--quick]
   gps-repro almanac [--out <FILE>]
 
 THROUGHPUT (parallel batch positioning):
@@ -56,11 +61,32 @@ FAULT CAMPAIGN (experiment fault_campaign):
   --all-stations        fan the campaign across all four paper stations in
                         parallel (--jobs N workers, default all cores)
 
+PROFILE (sampling profiler over the span tree):
+  runs the named experiment (default fig51, quick scale) and prints the
+  span aggregate: per-stack count, total time and exact-tail latency
+  --folded              flamegraph folded-stack lines (stack weight_µs)
+  --out FILE            write the profile to FILE instead of stdout
+
+INSPECT (decode a flight-recorder dump):
+  --tail N              only the last N records per worker
+  --format text|json    per-worker timeline (default text) or JSON lines
+
+BENCHDIFF (throughput regression gate):
+  re-measures the committed BENCH_throughput.json workload and exits
+  nonzero when any lane regresses beyond tolerance
+  --baseline FILE       baseline JSON (default BENCH_throughput.json)
+  --tolerance PCT       allowed fixes/s drop vs baseline (default 25)
+  --epochs N            epochs per measured stream (default 960; --quick 240)
+  --jobs N              only measure baseline cells with jobs <= N
+
 TELEMETRY (any command):
   --log-level <trace|debug|info|warn|error>   human-readable events on stderr
   --telemetry-out <FILE>                      structured events + final metrics
                                               snapshot (enables detailed metrics)
-  --metrics-format <jsonl|csv>                --telemetry-out format (default jsonl)"
+  --metrics-format <jsonl|csv>                --telemetry-out format (default jsonl)
+  --flight-recorder <FILE>                    dump per-worker flight-recorder
+                                              rings to FILE at exit (and on any
+                                              worker panic)"
     );
     ExitCode::FAILURE
 }
@@ -116,10 +142,18 @@ impl Args {
 /// sinks. Returns whether any sink was registered (so `main` knows to
 /// write the final metrics snapshot).
 fn init_telemetry(args: &Args) -> Result<bool, String> {
-    for name in ["log-level", "telemetry-out", "metrics-format"] {
+    for name in [
+        "log-level",
+        "telemetry-out",
+        "metrics-format",
+        "flight-recorder",
+    ] {
         if args.has(name) && args.flag(name).is_none() {
             return Err(format!("--{name} requires a value"));
         }
+    }
+    if let Some(path) = args.flag("flight-recorder") {
+        gps_telemetry::recorder::recorder().set_dump_path(Some(Path::new(path).to_path_buf()));
     }
     let mut active = false;
     if let Some(level) = args.flag("log-level") {
@@ -399,6 +433,23 @@ fn cmd_throughput(args: &Args) -> Result<(), String> {
             100.0 * w.utilization(run.elapsed)
         );
     }
+    // Exact-tail lane latency from the HDR histograms the parallel
+    // lanes feed (core.lane_solve_us.<solver>, ≤ ~1 % relative error).
+    let snap = gps_telemetry::snapshot();
+    println!("lane latency, parallel solves (µs, exact-tail histogram):");
+    for lane in &run.lane_names {
+        let metric = format!("core.lane_solve_us.{lane}");
+        let Some(h) = snap.histograms.iter().find(|h| h.name == metric) else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {lane:<9} p50 {:>8.1}  p90 {:>8.1}  p99 {:>8.1}  p999 {:>8.1}  max {:>8.1}",
+            h.p50, h.p90, h.p99, h.p999, h.max
+        );
+    }
     Ok(())
 }
 
@@ -449,6 +500,368 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Tabular span aggregate: one row per distinct span stack, with HDR
+/// exact-tail quantiles in microseconds.
+fn render_span_table(snap: &gps_telemetry::Snapshot) -> String {
+    let mut out = String::from(
+        "stack                                 count   total ms    mean µs     p50 µs     p99 µs\n",
+    );
+    let mut any = false;
+    for h in &snap.histograms {
+        let Some(stack) = h.name.strip_prefix("span.") else {
+            continue;
+        };
+        any = true;
+        let mean = if h.count > 0 {
+            h.sum / h.count as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<36} {:>6} {:>10.2} {:>10.1} {:>10.1} {:>10.1}\n",
+            stack,
+            h.count,
+            h.sum / 1e3,
+            mean,
+            h.p50,
+            h.p99
+        ));
+    }
+    if !any {
+        out.push_str("(no spans recorded)\n");
+    }
+    out
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("fig51");
+    let seed: u64 = args.flag_parse("seed", 2_010)?;
+    // Quick scale by default: the profile wants the span *shape*, not
+    // paper-grade statistics.
+    let cfg = if args.has("paper-scale") {
+        ExperimentConfig::paper_scale(seed)
+    } else if args.has("full") {
+        ExperimentConfig::new(seed)
+    } else {
+        ExperimentConfig::quick(seed)
+    };
+    // Run the workload for its spans; the report itself is discarded
+    // (use `experiment` for the numbers).
+    let _report = match which {
+        "table51" => experiments::table51(&cfg).to_string(),
+        "fig51" => experiments::fig51(&cfg).to_string(),
+        "fig52" => experiments::fig52(&cfg).to_string(),
+        "extensions" => format!(
+            "{}{}",
+            experiments::ext_base_selection(&cfg),
+            experiments::ext_gls_covariance(&cfg)
+        ),
+        "all" => format!(
+            "{}{}{}{}{}",
+            experiments::table51(&cfg),
+            experiments::fig51(&cfg),
+            experiments::fig52(&cfg),
+            experiments::ext_base_selection(&cfg),
+            experiments::ext_gls_covariance(&cfg)
+        ),
+        other => return Err(format!("unknown experiment `{other}`")),
+    };
+    let snap = gps_telemetry::snapshot();
+    let rendered = if args.has("folded") {
+        gps_telemetry::render_folded(&snap)
+    } else {
+        render_span_table(&snap)
+    };
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {which} profile to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// One human-readable clause per flight record, decoding tags and the
+/// error/quality code tables.
+fn describe_record(r: &gps_telemetry::FlightRecord) -> String {
+    use gps_repro::core::{FixQuality, SolveError};
+    use gps_telemetry::recorder::tag_text;
+    use gps_telemetry::RecordKind as K;
+    match r.kind() {
+        Some(K::SpanEnter) => format!("span_enter  {}", tag_text(r.a)),
+        Some(K::SpanExit) => format!("span_exit   {} ({} µs)", tag_text(r.a), r.b),
+        Some(K::JobStart) => format!("job_start   seq {}", r.a),
+        Some(K::JobEnd) => format!("job_end     seq {} (busy {} µs)", r.a, r.b),
+        Some(K::JobPanic) => format!("job_panic   seq {}", r.a),
+        Some(K::EpochStart) => format!("epoch_start {} satellites", r.code),
+        Some(K::LaneSolve) => format!("lane_solve  {} ({} ns)", tag_text(r.a), r.b),
+        Some(K::LaneError) => format!(
+            "lane_error  {} {} ({} ns)",
+            tag_text(r.a),
+            SolveError::code_name(r.code).unwrap_or("unknown_error"),
+            r.b
+        ),
+        Some(K::FixQuality) => format!(
+            "fix_quality {} via {} (rung {})",
+            FixQuality::code_name(r.code).unwrap_or("unknown_quality"),
+            tag_text(r.a),
+            r.b
+        ),
+        Some(K::Marker) => format!("marker      {}", tag_text(r.a)),
+        None => format!("kind {} code {} a {} b {}", r.kind, r.code, r.a, r.b),
+    }
+}
+
+/// Minimal JSON string escaper for inspect's `--format json` output
+/// (tags and kind names are ASCII, but stay safe on unknown input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    use gps_telemetry::FlightDump;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("inspect needs a dump file argument")?;
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let dump = FlightDump::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let tail: usize = args.flag_parse("tail", usize::MAX)?;
+    match args.flag("format").unwrap_or("text") {
+        "json" => {
+            for w in &dump.workers {
+                let skip = w.records.len().saturating_sub(tail);
+                for r in w.records.iter().skip(skip) {
+                    let kind = r
+                        .kind()
+                        .map(|k| k.name().to_owned())
+                        .unwrap_or_else(|| r.kind.to_string());
+                    println!(
+                        "{{\"worker\":{},\"t_us\":{},\"kind\":\"{}\",\"code\":{},\"epoch_id\":{},\"a\":{},\"b\":{},\"detail\":\"{}\"}}",
+                        w.worker,
+                        r.t_us,
+                        json_escape(&kind),
+                        r.code,
+                        r.epoch_id,
+                        r.a,
+                        r.b,
+                        json_escape(&describe_record(r))
+                    );
+                }
+            }
+        }
+        "text" => {
+            println!(
+                "flight recorder dump {path}: {} worker(s), {} record(s), {} dropped",
+                dump.workers.len(),
+                dump.total_records(),
+                dump.total_dropped()
+            );
+            for w in &dump.workers {
+                println!(
+                    "worker {}: {} record(s), {} dropped",
+                    w.worker,
+                    w.records.len(),
+                    w.dropped
+                );
+                let skip = w.records.len().saturating_sub(tail);
+                if skip > 0 {
+                    println!("  … {skip} earlier record(s) hidden by --tail");
+                }
+                for r in w.records.iter().skip(skip) {
+                    println!(
+                        "  [{:>10} µs] epoch {:<5} {}",
+                        r.t_us,
+                        r.epoch_id,
+                        describe_record(r)
+                    );
+                }
+            }
+        }
+        other => return Err(format!("unknown --format `{other}` (text|json)")),
+    }
+    Ok(())
+}
+
+/// One (solver, jobs) cell parsed from the baseline JSON.
+struct BaselineCell {
+    solver: String,
+    jobs: usize,
+    fixes_per_sec: f64,
+}
+
+/// Hand-rolled scanner for `BENCH_throughput.json` (no JSON dependency):
+/// pulls `solver`, `jobs` and `fixes_per_sec` out of each object in the
+/// `results` array. Tolerates reordered fields and extra keys; the
+/// objects must not nest (the bench writer never nests them).
+fn parse_baseline(text: &str) -> Result<Vec<BaselineCell>, String> {
+    let results = text
+        .split("\"results\"")
+        .nth(1)
+        .ok_or("baseline has no \"results\" array")?;
+    let mut cells = Vec::new();
+    for obj in results.split('{').skip(1) {
+        let Some(body) = obj.split('}').next() else {
+            continue;
+        };
+        let field = |key: &str| -> Option<&str> {
+            let rest = body.split(&format!("\"{key}\"")).nth(1)?;
+            rest.trim_start().strip_prefix(':').map(str::trim_start)
+        };
+        let solver = field("solver")
+            .and_then(|v| v.strip_prefix('"'))
+            .and_then(|v| v.split('"').next())
+            .ok_or("result cell missing \"solver\"")?;
+        let num = |key: &str| -> Result<f64, String> {
+            let v = field(key).ok_or_else(|| format!("result cell missing \"{key}\""))?;
+            let lit: String = v
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+                .collect();
+            lit.parse()
+                .map_err(|_| format!("cannot parse \"{key}\" value `{lit}`"))
+        };
+        let jobs = num("jobs")? as usize;
+        cells.push(BaselineCell {
+            solver: solver.to_owned(),
+            jobs,
+            fixes_per_sec: num("fixes_per_sec")?,
+        });
+    }
+    if cells.is_empty() {
+        return Err("baseline contains no result cells".to_owned());
+    }
+    Ok(cells)
+}
+
+fn cmd_benchdiff(args: &Args) -> Result<(), String> {
+    use gps_repro::sim::select_subset;
+    use std::sync::Arc;
+
+    let baseline_path = args.flag("baseline").unwrap_or("BENCH_throughput.json");
+    let tolerance: f64 = args.flag_parse("tolerance", 25.0)?;
+    let quick = args.has("quick");
+    let epochs: usize = args.flag_parse("epochs", if quick { 240 } else { 960 })?;
+    let jobs_cap: usize = args.flag_parse("jobs", usize::MAX)?;
+    if epochs == 0 {
+        return Err("--epochs must be at least 1".to_owned());
+    }
+    if !(0.0..100.0).contains(&tolerance) {
+        return Err("--tolerance must be in [0, 100)".to_owned());
+    }
+    let text = fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let cells: Vec<BaselineCell> = parse_baseline(&text)?
+        .into_iter()
+        .filter(|c| c.jobs <= jobs_cap)
+        .collect();
+    if cells.is_empty() {
+        return Err(format!("no baseline cells with jobs <= {jobs_cap}"));
+    }
+
+    // Rebuild the committed bench workload (crates/bench/benches/
+    // throughput.rs): the SRZN fixture — 120 epochs at 30 s cadence,
+    // 5° mask, 8 satellites, seed 2010 — cycled to the stream length
+    // with zero predicted bias. fixes/s is a rate, so a shorter
+    // `--epochs` stream stays comparable to the 960-epoch baseline.
+    let stations = paper_stations();
+    let data = DatasetGenerator::new(2_010)
+        .epoch_interval_s(30.0)
+        .epoch_count(120)
+        .elevation_mask_deg(5.0)
+        .generate(&stations[0]);
+    let station = data.station().position();
+    let base: Vec<Vec<gps_repro::core::Measurement>> = data
+        .epochs()
+        .iter()
+        .filter(|e| e.observations().len() >= 8)
+        .map(|e| to_measurements(&select_subset(station, e, 8)))
+        .collect();
+    if base.is_empty() {
+        return Err("bench fixture yielded no epochs".to_owned());
+    }
+    let stream: Arc<Vec<EpochJob>> = Arc::new(
+        (0..epochs)
+            .map(|i| EpochJob::new(base[i % base.len()].clone(), 0.0))
+            .collect(),
+    );
+
+    let roster = ParallelEngine::all_solvers();
+    println!(
+        "benchdiff vs {baseline_path}: {} cell(s), tolerance {tolerance}%, {epochs}-epoch streams",
+        cells.len()
+    );
+    let mut regressions = 0usize;
+    let mut measured_cells = 0usize;
+    for cell in &cells {
+        let Some(solver) = roster.solvers().iter().find(|s| s.name() == cell.solver) else {
+            println!(
+                "  {:<9} jobs {:<2} unknown solver in baseline — skipped",
+                cell.solver, cell.jobs
+            );
+            continue;
+        };
+        let engine = ParallelEngine::new().with_solver(solver.clone_box());
+        let pool = ThreadPool::new(cell.jobs);
+        // One warm-up pass, then best-of-three: min is the least-noisy
+        // estimator for a fixed workload on a shared machine.
+        let mut best = f64::INFINITY;
+        for i in 0..4 {
+            let start = std::time::Instant::now();
+            let run = engine.run_shared(&pool, Arc::clone(&stream));
+            let elapsed = start.elapsed().as_secs_f64();
+            if run.outcomes.len() != stream.len() {
+                return Err(format!(
+                    "benchdiff: {} produced {} results for {} epochs",
+                    cell.solver,
+                    run.outcomes.len(),
+                    stream.len()
+                ));
+            }
+            if i > 0 {
+                best = best.min(elapsed);
+            }
+        }
+        let measured = epochs as f64 / best.max(1e-12);
+        measured_cells += 1;
+        let floor = cell.fixes_per_sec * (1.0 - tolerance / 100.0);
+        let verdict = if measured < floor {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<9} jobs {:<2} baseline {:>12.0}/s  measured {:>12.0}/s  ({:>+7.1}%)  {verdict}",
+            cell.solver,
+            cell.jobs,
+            cell.fixes_per_sec,
+            measured,
+            100.0 * (measured / cell.fixes_per_sec.max(1e-12) - 1.0)
+        );
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "benchdiff: {regressions} of {measured_cells} cell(s) regressed more than {tolerance}% below {baseline_path}"
+        ));
+    }
+    println!("benchdiff: {measured_cells} cell(s) within {tolerance}% of baseline");
+    Ok(())
+}
+
 fn cmd_almanac(args: &Args) -> Result<(), String> {
     let text = yuma::write(&Constellation::gps_nominal());
     match args.flag("out") {
@@ -480,12 +893,24 @@ fn main() -> ExitCode {
         "engine" => cmd_engine(&args),
         "throughput" => cmd_throughput(&args),
         "experiment" => cmd_experiment(&args),
+        "profile" => cmd_profile(&args),
+        "inspect" => cmd_inspect(&args),
+        "benchdiff" => cmd_benchdiff(&args),
         "almanac" => cmd_almanac(&args),
         _ => return usage(),
     };
     if telemetry {
         gps_telemetry::snapshot().write_to_sinks();
         gps_telemetry::flush();
+    }
+    // Final flight-recorder dump: a no-op unless --flight-recorder set
+    // a dump path (a panic mid-run may already have written one; this
+    // overwrites it with the complete picture).
+    if let Some((path, io)) = gps_telemetry::recorder::recorder().dump_now() {
+        match io {
+            Ok(()) => eprintln!("flight recorder: wrote {}", path.display()),
+            Err(e) => eprintln!("flight recorder: writing {} failed: {e}", path.display()),
+        }
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
