@@ -40,6 +40,14 @@ pub enum SolveError {
         /// Residual RMS of the last full-set solve, metres.
         residual: f64,
     },
+    /// The epoch's deadline budget expired before a solver ran: the
+    /// service dropped the job rather than block its shard, and the
+    /// session fell to holdover (or reported no fix when holdover was
+    /// exhausted).
+    DeadlineExceeded {
+        /// The deadline budget that expired, microseconds.
+        budget_us: u64,
+    },
 }
 
 impl SolveError {
@@ -54,6 +62,7 @@ impl SolveError {
             SolveError::NonConvergence { .. } => 4,
             SolveError::NoRealRoot => 5,
             SolveError::IntegrityFault { .. } => 6,
+            SolveError::DeadlineExceeded { .. } => 7,
         }
     }
 
@@ -68,6 +77,7 @@ impl SolveError {
             4 => Some("non_convergence"),
             5 => Some("no_real_root"),
             6 => Some("integrity_fault"),
+            7 => Some("deadline_exceeded"),
             _ => None,
         }
     }
@@ -98,6 +108,9 @@ impl fmt::Display for SolveError {
                 "integrity fault: residual {residual:.3} m still fails the test after excluding {} satellite(s) {excluded:?}",
                 excluded.len()
             ),
+            SolveError::DeadlineExceeded { budget_us } => {
+                write!(f, "deadline exceeded: {budget_us} µs budget expired")
+            }
         }
     }
 }
@@ -148,6 +161,7 @@ mod tests {
                 },
                 "integrity",
             ),
+            (SolveError::DeadlineExceeded { budget_us: 500 }, "deadline"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");
@@ -194,6 +208,7 @@ mod tests {
                 excluded: vec![],
                 residual: 1.0,
             },
+            SolveError::DeadlineExceeded { budget_us: 500 },
         ];
         let mut seen = std::collections::HashSet::new();
         for e in &errors {

@@ -70,6 +70,8 @@ mod parallel;
 mod raim;
 mod resilient;
 pub mod sagnac;
+mod service;
+mod session;
 mod solution;
 mod solver;
 mod trilateration;
@@ -89,6 +91,11 @@ pub use nr::{NewtonRaphson, Weighting};
 pub use parallel::{EpochJob, ParallelEngine, ParallelRun, WorkerLanes, WorkerReport};
 pub use raim::{Raim, RaimSolution};
 pub use resilient::{FixQuality, ResilientFix, ResilientSolver, ValidationGates};
+pub use service::{
+    fleet_digest, replay_journal, ChaosOp, Disposition, EpochOutcome, IngestResult,
+    PositioningService, ReplayReport, RoundResult, ServiceConfig, SessionEpoch,
+};
+pub use session::Session;
 pub use solution::Solution;
 pub use solver::{Epoch, SolveContext, Solver};
 pub use trilateration::{trilaterate3, TrilaterationRoots};

@@ -1,0 +1,411 @@
+//! Per-receiver session state for the long-running positioning
+//! service.
+//!
+//! A batch run owns one solver for one dataset; a *service* keeps one
+//! warm [`Session`] per receiver across its whole connection lifetime:
+//! the [`ResilientSolver`] (and through it the warm `SolveContext` and
+//! `PvFilter`), a per-receiver clock-bias model in the paper's
+//! eq. 4-3 form (`Δt̂ = D + r·tᵉ`, scaled to metres), and the running
+//! outcome digest the crash-safe journal verifies replays against.
+//!
+//! Sessions are also where the service's load-shedding policy gets its
+//! signal: [`Session::shed_priority`] scores how much accuracy the
+//! fleet loses by dropping this receiver's next epoch, combining the
+//! last fix quality with a DOP penalty — the Bayesian-DOP idea
+//! (Koulouri et al., PAPERS.md) of treating dilution-of-precision as a
+//! posterior quality weight rather than a hard gate. Under overload
+//! the service sheds the *lowest* score first: receivers already in
+//! holdover with poor geometry lose little by missing one more epoch,
+//! receivers tracking nominally keep their stream.
+
+use crate::error::SolveError;
+use crate::measurement::Measurement;
+use crate::nr::NewtonRaphson;
+use crate::resilient::{FixQuality, ResilientFix, ResilientSolver};
+use crate::solver::{Epoch, SolveContext, Solver};
+use gps_telemetry::journal::fnv1a_words;
+
+/// Clock-model correction gains: the fraction of each epoch's bias
+/// innovation folded into the offset `D` and (time-normalized) drift
+/// `r`. Small enough to smooth measurement noise, large enough to
+/// track the generator's ~1e-7 s/s drifts within a few epochs.
+const CLOCK_OFFSET_GAIN: f64 = 0.5;
+const CLOCK_DRIFT_GAIN: f64 = 0.1;
+
+/// Epochs spent calibrating the clock model with an NR pre-solve
+/// (paper §4: the direct solvers need `D`/`r` fitted before their
+/// bias prediction is trustworthy).
+const CALIBRATION_EPOCHS: u64 = 8;
+
+/// One receiver's warm state inside the positioning service.
+///
+/// Deterministic by construction: the same epoch stream fed in the
+/// same order produces bit-identical fixes, clock-model states, and
+/// [`Session::digest`] chains — which is exactly what `replay` checks
+/// after a crash.
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: u64,
+    solver: ResilientSolver,
+    /// NR used for the calibration pre-solve (it estimates its own
+    /// bias, so it works before the clock model exists).
+    calibrator: NewtonRaphson,
+    cal_ctx: SolveContext,
+    /// First calibration sample `(t, bias_m)`; the drift slope is
+    /// fitted against it as the baseline grows.
+    cal_anchor: Option<(f64, f64)>,
+    /// Clock offset `D`, metres of range bias.
+    d_m: f64,
+    /// Clock drift `r`, metres of range bias per second.
+    r_mps: f64,
+    /// Session-relative time, seconds since the first epoch.
+    t_s: f64,
+    last_quality: Option<FixQuality>,
+    last_gdop: Option<f64>,
+    seq: u64,
+    last_active_round: u64,
+    digest: u64,
+}
+
+impl Session {
+    /// Fresh session state for receiver `id` with the default
+    /// resilient pipeline and a zero clock model.
+    #[must_use]
+    pub fn new(id: u64) -> Self {
+        Session {
+            id,
+            solver: ResilientSolver::new(),
+            calibrator: NewtonRaphson::default(),
+            cal_ctx: SolveContext::new(),
+            cal_anchor: None,
+            d_m: 0.0,
+            r_mps: 0.0,
+            t_s: 0.0,
+            last_quality: None,
+            last_gdop: None,
+            seq: 0,
+            last_active_round: 0,
+            digest: 0,
+        }
+    }
+
+    /// Receiver id this session serves.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Epochs absorbed so far (processed + deadline-expired).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The running FNV-1a digest over every outcome this session
+    /// produced. Two sessions fed the same stream with the same
+    /// dispositions end at the same digest — the journal's bit-for-bit
+    /// replay check.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Predicted receiver range bias at the session's current time,
+    /// `D + r·t` (paper eq. 4-3, metres).
+    #[must_use]
+    pub fn predicted_bias_m(&self) -> f64 {
+        self.d_m + self.r_mps * self.t_s
+    }
+
+    /// Quality of the most recent outcome (`None` before the first
+    /// epoch or after a failed one).
+    #[must_use]
+    pub fn last_quality(&self) -> Option<FixQuality> {
+        self.last_quality
+    }
+
+    /// Round stamp of the last epoch this session absorbed; the
+    /// service's idle-eviction clock.
+    #[must_use]
+    pub fn last_active_round(&self) -> u64 {
+        self.last_active_round
+    }
+
+    /// Marks the session active in `round` (for idle eviction).
+    pub fn touch(&mut self, round: u64) {
+        self.last_active_round = round;
+    }
+
+    /// Load-shedding score: **lower sheds first**. The fix-quality
+    /// term dominates (no-fix 0 < holdover 1 < degraded 2 < nominal
+    /// 3); the fractional DOP penalty orders sessions inside one
+    /// quality tier, so among two degraded receivers the one with the
+    /// worse geometry — whose next fix carries the least information —
+    /// is dropped first.
+    #[must_use]
+    pub fn shed_priority(&self) -> f64 {
+        let quality = match self.last_quality {
+            Some(FixQuality::Nominal) => 3.0,
+            Some(FixQuality::Degraded) => 2.0,
+            Some(FixQuality::Holdover) => 1.0,
+            None => 0.0,
+        };
+        // GDOP ≥ 30 is already unusable geometry; clamp so the penalty
+        // stays inside the unit gap between quality tiers.
+        let dop_penalty = self.last_gdop.map_or(0.5, |g| g.clamp(0.0, 30.0) / 30.0);
+        quality - 0.9 * dop_penalty
+    }
+
+    /// Runs one epoch through the session's resilient pipeline with
+    /// its own clock prediction, then folds the solved bias back into
+    /// the `D`/`r` model (deterministic fixed-gain update).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pipeline error when every rung fails and
+    /// holdover is unavailable or exhausted.
+    pub fn process(
+        &mut self,
+        measurements: &[Measurement],
+        dt_s: f64,
+    ) -> Result<ResilientFix, SolveError> {
+        let dt_s = sanitize_dt(dt_s);
+        self.t_s += dt_s;
+        // Calibration phase (paper §4): an NR pre-solve estimates the
+        // receiver bias directly, fitting `D` and the drift slope `r`
+        // before the ladder's direct solvers consume the prediction.
+        // Deterministic, so replay reproduces the same model states.
+        if self.seq < CALIBRATION_EPOCHS && !measurements.is_empty() {
+            let epoch = Epoch::new(measurements, self.predicted_bias_m());
+            if let Ok(solution) = self.calibrator.solve(&epoch, &mut self.cal_ctx) {
+                if let Some(bias) = solution.receiver_bias_m {
+                    self.calibrate(bias);
+                }
+            }
+        }
+        let predicted = self.predicted_bias_m();
+        let result = self.solver.solve_epoch(measurements, predicted, dt_s);
+        match &result {
+            Ok(fix) => {
+                if let Some(solved) = fix.receiver_bias_m {
+                    let innovation = solved - predicted;
+                    self.d_m += CLOCK_OFFSET_GAIN * innovation;
+                    self.r_mps += CLOCK_DRIFT_GAIN * innovation / self.t_s.max(1.0);
+                }
+                self.last_quality = Some(fix.quality);
+                if fix.gdop.is_some() {
+                    self.last_gdop = fix.gdop;
+                }
+                self.absorb_fix(fix);
+            }
+            Err(e) => {
+                self.last_quality = None;
+                self.absorb_error(e.code());
+            }
+        }
+        self.seq += 1;
+        result
+    }
+
+    /// The deadline path: the epoch's budget expired before a solver
+    /// could run, so the measurements are dropped and the session
+    /// falls to holdover — the kinematic model propagates the last
+    /// good state. When holdover is exhausted too, the outcome is
+    /// [`SolveError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DeadlineExceeded`] when no holdover fix
+    /// is available.
+    pub fn expire_deadline(
+        &mut self,
+        dt_s: f64,
+        budget_us: u64,
+    ) -> Result<ResilientFix, SolveError> {
+        let dt_s = sanitize_dt(dt_s);
+        self.t_s += dt_s;
+        let predicted = self.predicted_bias_m();
+        // An empty measurement set walks the ladder (instant
+        // too-few-satellites per rung) straight into the holdover
+        // path, reusing its budget accounting and telemetry.
+        let outcome = match self.solver.solve_epoch(&[], predicted, dt_s) {
+            Ok(fix) => {
+                self.last_quality = Some(fix.quality);
+                self.absorb_fix(&fix);
+                Ok(fix)
+            }
+            Err(_) => {
+                self.last_quality = None;
+                let err = SolveError::DeadlineExceeded { budget_us };
+                self.absorb_error(err.code());
+                Err(err)
+            }
+        };
+        self.seq += 1;
+        outcome
+    }
+
+    /// Folds one calibration bias sample into the `D`/`r` model: the
+    /// first sample anchors the offset; later samples fit the drift
+    /// slope against the anchor and re-anchor the offset on the
+    /// freshest estimate.
+    fn calibrate(&mut self, bias_m: f64) {
+        match self.cal_anchor {
+            None => {
+                self.cal_anchor = Some((self.t_s, bias_m));
+                self.d_m = bias_m - self.r_mps * self.t_s;
+            }
+            Some((t0, b0)) if self.t_s > t0 => {
+                self.r_mps = (bias_m - b0) / (self.t_s - t0);
+                self.d_m = bias_m - self.r_mps * self.t_s;
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn absorb_fix(&mut self, fix: &ResilientFix) {
+        self.digest = fnv1a_words(
+            self.digest,
+            &[
+                1,
+                u64::from(fix.quality.code()),
+                fix.position.x.to_bits(),
+                fix.position.y.to_bits(),
+                fix.position.z.to_bits(),
+            ],
+        );
+    }
+
+    fn absorb_error(&mut self, code: u16) {
+        self.digest = fnv1a_words(self.digest, &[0, u64::from(code)]);
+    }
+}
+
+/// The solver asserts `dt > 0`; a service fed a zero/negative/NaN
+/// inter-epoch gap must degrade, not die.
+fn sanitize_dt(dt_s: f64) -> f64 {
+    if dt_s.is_finite() && dt_s > 0.0 {
+        dt_s
+    } else {
+        1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_geodesy::Ecef;
+
+    fn good_epoch(truth: Ecef, bias_m: f64) -> Vec<Measurement> {
+        let sats = [
+            Ecef::new(2.0e7, 0.0, 1.7e7),
+            Ecef::new(1.5e7, 1.8e7, 0.9e7),
+            Ecef::new(1.6e7, -1.7e7, 1.0e7),
+            Ecef::new(2.5e7, 0.4e7, -0.6e7),
+            Ecef::new(1.9e7, 0.9e7, 1.6e7),
+            Ecef::new(0.8e7, 1.4e7, 2.0e7),
+        ];
+        sats.iter()
+            .map(|&s| Measurement::new(s, s.distance_to(truth) + bias_m))
+            .collect()
+    }
+
+    const TRUTH: Ecef = Ecef {
+        x: 6.371e6,
+        y: 1.0e5,
+        z: -2.0e5,
+    };
+
+    #[test]
+    fn tracks_a_clean_stream_and_learns_the_clock() {
+        let mut session = Session::new(42);
+        for epoch in 0..10 {
+            let bias = 120.0 + 0.4 * epoch as f64; // D = 120 m, r = 0.4 m/s at 1 Hz
+            let fix = session.process(&good_epoch(TRUTH, bias), 1.0).expect("fix");
+            assert!(fix.position.distance_to(TRUTH) < 1.0);
+        }
+        assert_eq!(session.seq(), 10);
+        // The fixed-gain model converges towards the injected ramp.
+        let predicted = session.predicted_bias_m();
+        assert!(
+            (predicted - 124.0).abs() < 5.0,
+            "clock model should track the ramp, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_falls_to_holdover_then_errors_out() {
+        let mut session = Session::new(7);
+        session
+            .process(&good_epoch(TRUTH, 50.0), 1.0)
+            .expect("warmup");
+        // Holdover budget (default 5) absorbs the first expiries…
+        for _ in 0..5 {
+            let fix = session.expire_deadline(1.0, 2_000).expect("holdover");
+            assert_eq!(fix.quality, FixQuality::Holdover);
+            assert!(fix.position.distance_to(TRUTH) < 10.0);
+        }
+        // …then the session reports the typed deadline error.
+        let err = session.expire_deadline(1.0, 2_000).expect_err("exhausted");
+        assert_eq!(err, SolveError::DeadlineExceeded { budget_us: 2_000 });
+        assert_eq!(err.code(), 7);
+    }
+
+    #[test]
+    fn deadline_expiry_without_prior_fix_is_a_deadline_error() {
+        let mut session = Session::new(9);
+        let err = session.expire_deadline(1.0, 500).expect_err("no prior fix");
+        assert!(matches!(err, SolveError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn shed_priority_orders_quality_tiers() {
+        let fresh = Session::new(1); // never fixed: shed first
+        let mut holdover = Session::new(2);
+        holdover.process(&good_epoch(TRUTH, 0.0), 1.0).expect("fix");
+        let _ = holdover.expire_deadline(1.0, 100);
+        let mut nominal = Session::new(3);
+        nominal.process(&good_epoch(TRUTH, 0.0), 1.0).expect("fix");
+
+        assert!(fresh.shed_priority() < holdover.shed_priority());
+        assert!(holdover.shed_priority() < nominal.shed_priority());
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_digests() {
+        let mut a = Session::new(5);
+        let mut b = Session::new(5);
+        for epoch in 0..6 {
+            let meas = good_epoch(TRUTH, 30.0 + epoch as f64);
+            if epoch == 3 {
+                let _ = a.expire_deadline(1.0, 1_000);
+                let _ = b.expire_deadline(1.0, 1_000);
+            } else {
+                let _ = a.process(&meas, 1.0);
+                let _ = b.process(&meas, 1.0);
+            }
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), 0);
+        // A diverging disposition diverges the digest.
+        let mut c = Session::new(5);
+        for epoch in 0..6 {
+            let _ = c.process(&good_epoch(TRUTH, 30.0 + epoch as f64), 1.0);
+        }
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn pathological_dt_is_sanitized_not_fatal() {
+        let mut session = Session::new(11);
+        let meas = good_epoch(TRUTH, 0.0);
+        session.process(&meas, 0.0).expect("dt=0 must not panic");
+        session
+            .process(&meas, f64::NAN)
+            .expect("NaN dt must not panic");
+        session
+            .process(&meas, -5.0)
+            .expect("negative dt must not panic");
+        assert_eq!(session.seq(), 3);
+    }
+}

@@ -47,8 +47,13 @@
 
 mod log;
 mod plan;
+mod runtime;
 mod scenario;
 
 pub use log::{EpochFaults, FaultLog};
 pub use plan::{FaultPlan, FaultedDataSet};
+pub use runtime::{
+    emit_runtime_injection, RoundFaults, RuntimeFault, RuntimeFaultKind, RuntimeFaultPlan,
+    RuntimeSchedule,
+};
 pub use scenario::{FaultKind, FaultScenario};

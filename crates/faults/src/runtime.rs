@@ -1,0 +1,503 @@
+//! Seeded runtime fault plans for the service chaos campaign.
+//!
+//! [`FaultPlan`](crate::FaultPlan) perturbs *signals* — pseudoranges,
+//! satellite visibility, receiver clocks. A [`RuntimeFaultPlan`]
+//! perturbs the *runtime* the service runs on: worker panics, worker
+//! kills, stall (sleep) injection into shard jobs, ingest burst
+//! overload, and a SIGKILL-style journal truncation. The chaos
+//! campaign layers both, because the paper's availability claim only
+//! holds in production if the solver ladder's graceful degradation
+//! survives an ungraceful runtime.
+//!
+//! The same two properties as the signal plans:
+//!
+//! 1. **Determinism** — [`RuntimeFaultPlan::schedule`] resolves the
+//!    plan against a round count and shard count with a private RNG
+//!    seeded from the plan seed, so a chaos run is reproducible
+//!    fault-for-fault.
+//! 2. **Ground truth** — every injection the campaign performs is
+//!    counted under `faults.runtime.<kind>` (via
+//!    [`emit_runtime_injection`]), so the report can state exactly
+//!    what the service survived.
+
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+use gps_rng::{rngs::StdRng, Rng, SeedableRng};
+use gps_telemetry::{Counter, Event, Level};
+
+/// One class of runtime fault. Fractions are positions in the run
+/// (0 = first round, 1 = last), mirroring the signal scenarios'
+/// `start_frac` convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuntimeFault {
+    /// Panic `per_round` shard jobs in each round of the window.
+    PanicStorm {
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, rounds.
+        rounds: usize,
+        /// Shard jobs panicked per in-window round.
+        per_round: usize,
+    },
+    /// Make `workers` pool workers exit at one point in the run
+    /// (supervised pools respawn them; that is the point).
+    WorkerKill {
+        /// Kill position as a fraction of the run.
+        at_frac: f64,
+        /// Workers to kill.
+        workers: usize,
+    },
+    /// Sleep-inject shard jobs for a window, driving epochs into
+    /// their deadline budget.
+    StallInjection {
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, rounds.
+        rounds: usize,
+        /// Injected sleep per stalled shard job, milliseconds.
+        stall_ms: u64,
+    },
+    /// Multiply ingest volume for a window, driving the bounded
+    /// queues into shedding.
+    BurstOverload {
+        /// Window start as a fraction of the run.
+        start_frac: f64,
+        /// Window length, rounds.
+        rounds: usize,
+        /// Ingest multiplier during the window (≥ 1).
+        multiplier: usize,
+    },
+    /// Chop this many bytes off the journal tail after the run — a
+    /// SIGKILL mid-append, which replay must absorb as a torn write.
+    JournalTruncation {
+        /// Bytes to cut from the end of the journal file.
+        cut_bytes: u64,
+    },
+}
+
+/// Stable kind labels for telemetry and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFaultKind {
+    /// Shard-job panic.
+    PanicStorm,
+    /// Worker exit.
+    WorkerKill,
+    /// Shard-job sleep injection.
+    StallInjection,
+    /// Ingest burst.
+    BurstOverload,
+    /// Journal tail truncation.
+    JournalTruncation,
+}
+
+impl RuntimeFaultKind {
+    /// Lowercase snake-case label (telemetry suffix, report key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeFaultKind::PanicStorm => "panic_storm",
+            RuntimeFaultKind::WorkerKill => "worker_kill",
+            RuntimeFaultKind::StallInjection => "stall",
+            RuntimeFaultKind::BurstOverload => "burst",
+            RuntimeFaultKind::JournalTruncation => "journal_truncation",
+        }
+    }
+}
+
+impl RuntimeFault {
+    /// Default-parameter fault for a kind name (the `from_spec`
+    /// vocabulary): `panic_storm`, `worker_kill`, `stall`, `burst`,
+    /// `journal_truncation`.
+    fn from_name(name: &str) -> Result<Self, String> {
+        match name.trim() {
+            "panic_storm" => Ok(RuntimeFault::PanicStorm {
+                start_frac: 0.25,
+                rounds: 4,
+                per_round: 1,
+            }),
+            "worker_kill" => Ok(RuntimeFault::WorkerKill {
+                at_frac: 0.4,
+                workers: 2,
+            }),
+            "stall" => Ok(RuntimeFault::StallInjection {
+                start_frac: 0.55,
+                rounds: 3,
+                stall_ms: 20,
+            }),
+            "burst" => Ok(RuntimeFault::BurstOverload {
+                start_frac: 0.7,
+                rounds: 4,
+                multiplier: 4,
+            }),
+            "journal_truncation" => Ok(RuntimeFault::JournalTruncation { cut_bytes: 37 }),
+            other => Err(format!(
+                "unknown runtime fault '{other}' (expected panic_storm, worker_kill, stall, burst, journal_truncation)"
+            )),
+        }
+    }
+
+    /// The fault's kind label.
+    #[must_use]
+    pub fn kind(&self) -> RuntimeFaultKind {
+        match self {
+            RuntimeFault::PanicStorm { .. } => RuntimeFaultKind::PanicStorm,
+            RuntimeFault::WorkerKill { .. } => RuntimeFaultKind::WorkerKill,
+            RuntimeFault::StallInjection { .. } => RuntimeFaultKind::StallInjection,
+            RuntimeFault::BurstOverload { .. } => RuntimeFaultKind::BurstOverload,
+            RuntimeFault::JournalTruncation { .. } => RuntimeFaultKind::JournalTruncation,
+        }
+    }
+}
+
+impl FromStr for RuntimeFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RuntimeFault::from_name(s)
+    }
+}
+
+/// A seeded set of runtime faults, resolved against a concrete run
+/// shape by [`RuntimeFaultPlan::schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeFaultPlan {
+    seed: u64,
+    faults: Vec<RuntimeFault>,
+}
+
+impl RuntimeFaultPlan {
+    /// Creates an empty plan with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RuntimeFaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: RuntimeFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Parses a comma-separated fault list (e.g. `"panic_storm,burst"`)
+    /// into a plan of default-parameter faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown fault name, or of an
+    /// empty specification.
+    pub fn from_spec(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut plan = RuntimeFaultPlan::new(seed);
+        for name in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            plan.faults.push(RuntimeFault::from_name(name)?);
+        }
+        if plan.faults.is_empty() {
+            return Err("runtime fault specification selects no faults".to_owned());
+        }
+        Ok(plan)
+    }
+
+    /// The default chaos mix the `experiment chaos` campaign runs:
+    /// a worker-panic storm, a worker kill, stall injection, burst
+    /// overload, and a journal truncation — ISSUE 7's acceptance
+    /// scenario.
+    #[must_use]
+    pub fn default_chaos(seed: u64) -> Self {
+        RuntimeFaultPlan::new(seed)
+            .with(RuntimeFault::PanicStorm {
+                start_frac: 0.25,
+                rounds: 4,
+                per_round: 1,
+            })
+            .with(RuntimeFault::WorkerKill {
+                at_frac: 0.4,
+                workers: 2,
+            })
+            .with(RuntimeFault::StallInjection {
+                start_frac: 0.55,
+                rounds: 3,
+                stall_ms: 20,
+            })
+            .with(RuntimeFault::BurstOverload {
+                start_frac: 0.7,
+                rounds: 4,
+                multiplier: 4,
+            })
+            .with(RuntimeFault::JournalTruncation { cut_bytes: 37 })
+    }
+
+    /// The faults in application order.
+    #[must_use]
+    pub fn faults(&self) -> &[RuntimeFault] {
+        &self.faults
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolves the plan against a run of `rounds` rounds over
+    /// `shards` shards into a concrete per-round schedule. Seeded and
+    /// deterministic: the same plan and run shape always produce the
+    /// same schedule (shard victims included).
+    #[must_use]
+    pub fn schedule(&self, rounds: usize, shards: usize) -> RuntimeSchedule {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let shards = shards.max(1);
+        let mut per_round = vec![RoundFaults::default(); rounds];
+        let mut journal_cut_bytes = None;
+        let resolve = |frac: f64| -> usize {
+            ((frac.clamp(0.0, 1.0) * rounds as f64) as usize).min(rounds.saturating_sub(1))
+        };
+        for fault in &self.faults {
+            match *fault {
+                RuntimeFault::PanicStorm {
+                    start_frac,
+                    rounds: len,
+                    per_round: storm,
+                } => {
+                    let start = resolve(start_frac);
+                    for round in start..(start + len).min(rounds) {
+                        let Some(entry) = per_round.get_mut(round) else {
+                            continue;
+                        };
+                        for _ in 0..storm {
+                            let shard = rng.gen_range(0..shards);
+                            if !entry.panic_shards.contains(&shard) {
+                                entry.panic_shards.push(shard);
+                            }
+                        }
+                    }
+                }
+                RuntimeFault::WorkerKill { at_frac, workers } => {
+                    let round = resolve(at_frac);
+                    if let Some(entry) = per_round.get_mut(round) {
+                        entry.worker_kills += workers;
+                    }
+                }
+                RuntimeFault::StallInjection {
+                    start_frac,
+                    rounds: len,
+                    stall_ms,
+                } => {
+                    let start = resolve(start_frac);
+                    for round in start..(start + len).min(rounds) {
+                        let Some(entry) = per_round.get_mut(round) else {
+                            continue;
+                        };
+                        let shard = rng.gen_range(0..shards);
+                        entry.stalls.push((shard, stall_ms));
+                    }
+                }
+                RuntimeFault::BurstOverload {
+                    start_frac,
+                    rounds: len,
+                    multiplier,
+                } => {
+                    let start = resolve(start_frac);
+                    for round in start..(start + len).min(rounds) {
+                        if let Some(entry) = per_round.get_mut(round) {
+                            entry.ingest_multiplier = entry.ingest_multiplier.max(multiplier);
+                        }
+                    }
+                }
+                RuntimeFault::JournalTruncation { cut_bytes } => {
+                    journal_cut_bytes = Some(cut_bytes);
+                }
+            }
+        }
+        RuntimeSchedule {
+            per_round,
+            journal_cut_bytes,
+        }
+    }
+}
+
+/// The faults to inject in one round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundFaults {
+    /// Shards whose job should panic this round.
+    pub panic_shards: Vec<usize>,
+    /// Pool workers to make exit before this round.
+    pub worker_kills: usize,
+    /// `(shard, stall_ms)` sleep injections for this round.
+    pub stalls: Vec<(usize, u64)>,
+    /// Ingest multiplier for this round (1 = nominal).
+    pub ingest_multiplier: usize,
+}
+
+impl RoundFaults {
+    /// Whether this round injects anything (a multiplier of 0 or 1 is
+    /// nominal ingest).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.panic_shards.is_empty()
+            && self.worker_kills == 0
+            && self.stalls.is_empty()
+            && self.ingest_multiplier <= 1
+    }
+}
+
+/// A resolved chaos schedule: what to inject in each round, plus the
+/// post-run journal cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeSchedule {
+    /// Per-round injections, indexed by 0-based round.
+    pub per_round: Vec<RoundFaults>,
+    /// Bytes to chop off the journal after the run, if any.
+    pub journal_cut_bytes: Option<u64>,
+}
+
+impl RuntimeSchedule {
+    /// The injections for a 0-based round (quiet default past the
+    /// end).
+    #[must_use]
+    pub fn round(&self, round: usize) -> RoundFaults {
+        self.per_round.get(round).cloned().unwrap_or_default()
+    }
+
+    /// Total injections across the schedule (journal cut included).
+    #[must_use]
+    pub fn total_injections(&self) -> usize {
+        self.per_round
+            .iter()
+            .map(|r| {
+                r.panic_shards.len()
+                    + r.worker_kills
+                    + r.stalls.len()
+                    + usize::from(r.ingest_multiplier > 1)
+            })
+            .sum::<usize>()
+            + usize::from(self.journal_cut_bytes.is_some())
+    }
+}
+
+/// Cached telemetry counters, one per runtime fault kind (hot loop:
+/// one registry lookup per process).
+fn runtime_counter(kind: RuntimeFaultKind) -> Option<&'static Counter> {
+    static HANDLES: OnceLock<Vec<(RuntimeFaultKind, Counter)>> = OnceLock::new();
+    let all = HANDLES.get_or_init(|| {
+        [
+            RuntimeFaultKind::PanicStorm,
+            RuntimeFaultKind::WorkerKill,
+            RuntimeFaultKind::StallInjection,
+            RuntimeFaultKind::BurstOverload,
+            RuntimeFaultKind::JournalTruncation,
+        ]
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                gps_telemetry::counter(&format!("faults.runtime.{}", k.name())),
+            )
+        })
+        .collect()
+    });
+    // The list is complete by construction above, so this always hits.
+    all.iter().find(|(k, _)| *k == kind).map(|(_, c)| c)
+}
+
+/// Records one performed runtime injection: bumps the
+/// `faults.runtime.<kind>` counter and (at debug) emits an event.
+/// Call this when the campaign *acts*, not when it schedules.
+pub fn emit_runtime_injection(kind: RuntimeFaultKind, round: u64, detail: f64) {
+    if let Some(counter) = runtime_counter(kind) {
+        counter.inc();
+    }
+    if gps_telemetry::enabled(Level::Debug) {
+        Event::new(Level::Debug, "faults.runtime", kind.name())
+            .with("round", round)
+            .with("detail", detail)
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chaos_covers_every_kind() {
+        let plan = RuntimeFaultPlan::default_chaos(42);
+        let kinds: Vec<RuntimeFaultKind> = plan.faults().iter().map(RuntimeFault::kind).collect();
+        assert!(kinds.contains(&RuntimeFaultKind::PanicStorm));
+        assert!(kinds.contains(&RuntimeFaultKind::WorkerKill));
+        assert!(kinds.contains(&RuntimeFaultKind::StallInjection));
+        assert!(kinds.contains(&RuntimeFaultKind::BurstOverload));
+        assert!(kinds.contains(&RuntimeFaultKind::JournalTruncation));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = RuntimeFaultPlan::default_chaos(7).schedule(40, 4);
+        let b = RuntimeFaultPlan::default_chaos(7).schedule(40, 4);
+        assert_eq!(a, b);
+        let c = RuntimeFaultPlan::default_chaos(8).schedule(40, 4);
+        // Different seeds move the shard victims (vanishingly unlikely
+        // to coincide across the whole schedule).
+        assert!(a != c || a.total_injections() == c.total_injections());
+    }
+
+    #[test]
+    fn schedule_lands_faults_in_their_windows() {
+        let plan = RuntimeFaultPlan::new(3)
+            .with(RuntimeFault::PanicStorm {
+                start_frac: 0.5,
+                rounds: 2,
+                per_round: 1,
+            })
+            .with(RuntimeFault::BurstOverload {
+                start_frac: 0.0,
+                rounds: 3,
+                multiplier: 5,
+            });
+        let schedule = plan.schedule(10, 4);
+        assert!(!schedule.round(5).panic_shards.is_empty());
+        assert!(!schedule.round(6).panic_shards.is_empty());
+        assert!(schedule.round(4).panic_shards.is_empty());
+        assert_eq!(schedule.round(0).ingest_multiplier, 5);
+        assert_eq!(schedule.round(2).ingest_multiplier, 5);
+        assert!(schedule.round(3).ingest_multiplier <= 1);
+        assert!(schedule.round(9).is_quiet());
+        assert_eq!(schedule.journal_cut_bytes, None);
+    }
+
+    #[test]
+    fn shard_victims_stay_in_range() {
+        let schedule = RuntimeFaultPlan::default_chaos(99).schedule(50, 3);
+        for round in &schedule.per_round {
+            assert!(round.panic_shards.iter().all(|&s| s < 3));
+            assert!(round.stalls.iter().all(|&(s, _)| s < 3));
+        }
+        assert_eq!(schedule.journal_cut_bytes, Some(37));
+    }
+
+    #[test]
+    fn from_spec_parses_and_rejects() {
+        let plan = RuntimeFaultPlan::from_spec(1, "panic_storm,burst").expect("spec");
+        assert_eq!(plan.faults().len(), 2);
+        assert!(RuntimeFaultPlan::from_spec(1, "").is_err());
+        assert!(RuntimeFaultPlan::from_spec(1, "meteor_strike").is_err());
+    }
+
+    #[test]
+    fn injections_feed_the_runtime_counters() {
+        let counter = gps_telemetry::counter("faults.runtime.worker_kill");
+        let before = counter.value();
+        emit_runtime_injection(RuntimeFaultKind::WorkerKill, 3, 2.0);
+        assert_eq!(counter.value(), before + 1);
+    }
+
+    #[test]
+    fn empty_run_produces_empty_schedule() {
+        let schedule = RuntimeFaultPlan::default_chaos(5).schedule(0, 4);
+        assert!(schedule.per_round.is_empty());
+        assert!(schedule.round(0).is_quiet());
+    }
+}

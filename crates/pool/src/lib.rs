@@ -1,4 +1,5 @@
-//! A zero-dependency (std-only) work-sharing thread pool.
+//! A zero-dependency (std-only) work-sharing thread pool with
+//! supervision.
 //!
 //! Positioning is a high-volume batch problem: epochs are independent,
 //! receivers are independent, and PR 3's caller-owned
@@ -19,16 +20,27 @@
 //! * **Panic isolation.** A panicking job is caught and counted
 //!   (`pool.job_panics`); the worker survives, so one poisoned epoch
 //!   cannot silently shrink the pool.
+//! * **Supervision.** A pool built with [`ThreadPool::supervised`]
+//!   runs a supervisor thread that watches per-worker heartbeats:
+//!   a worker that exited (chaos injection, escaped teardown) is
+//!   respawned into its slot with per-slot exponential backoff, and a
+//!   worker stuck inside one job past the stall timeout is replaced
+//!   (the stale thread retires itself at the next generation check).
+//!   Every recovery increments `pool.worker_restarts` and emits a
+//!   warn event — a degraded pool is loud, never silent.
 //! * **Deterministic fan-out order.** [`ThreadPool::map`] stamps every
 //!   item with its input index and reassembles results in that order,
 //!   so callers see output identical to a serial loop no matter how
-//!   the scheduler interleaved the workers.
+//!   the scheduler interleaved the workers. A worker lost mid-map
+//!   surfaces as a typed [`PoolError`] instead of a panic.
 //!
 //! Telemetry (`pool.*`, see docs/TELEMETRY.md): `pool.submitted` and
 //! `pool.stolen` counters, a `pool.queue_depth` gauge (last observed
 //! depth), a `pool.queue_depth_at_dequeue` histogram (depth
-//! *distribution* as workers drain the queue), and a
-//! `pool.worker_busy_us` histogram of per-job execution time.
+//! *distribution* as workers drain the queue), a
+//! `pool.worker_busy_us` histogram of per-job execution time, and the
+//! supervision counters `pool.worker_restarts` and
+//! `pool.spawn_failures`.
 //!
 //! Each worker also attaches to a flight-recorder ring
 //! (`gps_telemetry::recorder`) keyed by its worker index and records
@@ -40,7 +52,7 @@
 //! use gps_pool::ThreadPool;
 //!
 //! let pool = ThreadPool::new(4);
-//! let squares = pool.map((0..100u64).collect(), |_, &n| n * n);
+//! let squares = pool.map((0..100u64).collect(), |_, &n| n * n).unwrap();
 //! assert_eq!(squares[7], 49);
 //! ```
 
@@ -50,15 +62,51 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gps_telemetry::recorder::{self, RecordKind};
 use gps_telemetry::{Counter, Gauge, Histogram};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One unit of queued work: a job to run, or an instruction for the
+/// taking worker to leave its loop (chaos injection / targeted
+/// shrink). An exited worker's slot is what supervision repairs.
+enum Task {
+    Run(Job),
+    Exit,
+}
+
+/// Error returned by [`ThreadPool::map`] when the fan-out could not
+/// complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// A worker stopped (job panic, injected exit) before every item's
+    /// result was delivered; `completed` of `total` results arrived.
+    WorkerLost {
+        /// Results received before the channel went dead.
+        completed: usize,
+        /// Items submitted to the fan-out.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerLost { completed, total } => write!(
+                f,
+                "pool.map worker lost before finishing: {completed}/{total} results delivered"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Cached handles into the global telemetry registry; obtaining them
 /// once at pool construction keeps the per-job record path down to a
@@ -70,6 +118,8 @@ struct PoolMetrics {
     queue_depth: Gauge,
     queue_depth_at_dequeue: Histogram,
     busy_us: Histogram,
+    worker_restarts: Counter,
+    spawn_failures: Counter,
 }
 
 impl PoolMetrics {
@@ -81,25 +131,55 @@ impl PoolMetrics {
             queue_depth: gps_telemetry::gauge("pool.queue_depth"),
             queue_depth_at_dequeue: gps_telemetry::histogram("pool.queue_depth_at_dequeue"),
             busy_us: gps_telemetry::histogram("pool.worker_busy_us"),
+            worker_restarts: gps_telemetry::counter("pool.worker_restarts"),
+            spawn_failures: gps_telemetry::counter("pool.spawn_failures"),
         }
     }
 }
 
-/// State shared between the pool handle and its worker threads.
+/// Liveness state for one worker slot, stamped by the worker and read
+/// by the supervisor. `heartbeat_us`/`busy` say what the worker is
+/// doing *now*; `generation` lets the supervisor retire a stalled
+/// thread (a worker whose stamped generation is stale exits after its
+/// current job).
+struct WorkerState {
+    heartbeat_us: AtomicU64,
+    busy: AtomicBool,
+    generation: AtomicU64,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        WorkerState {
+            heartbeat_us: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// State shared between the pool handle, its worker threads, and the
+/// supervisor.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<Task>>,
     available: Condvar,
     shutdown: AtomicBool,
     metrics: PoolMetrics,
+    epoch: Instant,
+    states: Vec<WorkerState>,
 }
 
 impl Shared {
-    /// Blocks until a job is available or shutdown is signalled with an
-    /// empty queue. Returns `None` only at shutdown.
-    fn take_job(&self) -> Option<Job> {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Blocks until a task is available or shutdown is signalled with
+    /// an empty queue. Returns `None` only at shutdown.
+    fn take_task(&self) -> Option<Task> {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(job) = queue.pop_front() {
+            if let Some(task) = queue.pop_front() {
                 // Gauge: point-in-time depth for dashboards. Histogram:
                 // the depth *distribution* across dequeues, so reports
                 // can see sustained backlog rather than the last value.
@@ -108,7 +188,7 @@ impl Shared {
                     .queue_depth_at_dequeue
                     .record(queue.len() as f64);
                 self.metrics.stolen.inc();
-                return Some(job);
+                return Some(task);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
@@ -121,51 +201,105 @@ impl Shared {
     }
 }
 
+/// Supervisor tuning: how often to poll worker liveness, when a busy
+/// worker counts as stalled, and the respawn backoff ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Liveness poll interval.
+    pub poll: Duration,
+    /// A worker busy on one job for longer than this is replaced.
+    pub stall_timeout: Duration,
+    /// First-respawn delay for a slot; doubles per consecutive restart.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            poll: Duration::from_millis(10),
+            stall_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+}
+
 /// A fixed-size pool of worker threads sharing one injector queue.
 ///
 /// Dropping the pool signals shutdown, drains the remaining queue, and
 /// joins every worker — submitted jobs are never silently discarded.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    slots: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
-            .field("jobs", &self.workers.len())
+            .field("jobs", &self.shared.states.len())
+            .field("supervised", &self.supervisor.is_some())
             .finish()
     }
 }
 
 impl ThreadPool {
-    /// Spawns a pool of `jobs` workers (`jobs` is clamped to ≥ 1).
+    /// Spawns a pool of `jobs` workers (`jobs` is clamped to ≥ 1)
+    /// without a supervisor: a worker that exits stays gone until the
+    /// pool is dropped. Use [`ThreadPool::supervised`] for
+    /// self-healing pools.
     ///
     /// Thread spawning can fail when the OS is out of resources; a
-    /// failed spawn shrinks the pool rather than panicking. If *no*
-    /// worker could be spawned the pool still functions: [`submit`]
-    /// falls back to running jobs inline on the caller's thread.
+    /// failed spawn is counted (`pool.spawn_failures`) and reported
+    /// with a warn event rather than panicking. If *no* worker could
+    /// be spawned the pool still functions: [`submit`] falls back to
+    /// running jobs inline on the caller's thread.
     ///
     /// [`submit`]: ThreadPool::submit
     #[must_use]
     pub fn new(jobs: usize) -> Self {
+        Self::build(jobs, None)
+    }
+
+    /// Spawns a supervised pool: a supervisor thread polls worker
+    /// liveness per `config` and respawns dead or stalled workers into
+    /// their slots with exponential backoff, counting
+    /// `pool.worker_restarts`.
+    #[must_use]
+    pub fn supervised(jobs: usize, config: SupervisorConfig) -> Self {
+        Self::build(jobs, Some(config))
+    }
+
+    fn build(jobs: usize, config: Option<SupervisorConfig>) -> Self {
         let jobs = jobs.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: PoolMetrics::new(),
+            epoch: Instant::now(),
+            states: (0..jobs).map(|_| WorkerState::new()).collect(),
         });
-        let workers: Vec<JoinHandle<()>> = (0..jobs)
-            .filter_map(|index| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gps-pool-{index}"))
-                    .spawn(move || worker_loop(&shared, index as u32))
-                    .ok()
-            })
-            .collect();
-        ThreadPool { shared, workers }
+        let slots: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..jobs)
+                .map(|index| spawn_worker(&shared, index, 0))
+                .collect(),
+        ));
+        let supervisor = config.map(|cfg| {
+            let shared = Arc::clone(&shared);
+            let slots = Arc::clone(&slots);
+            std::thread::Builder::new()
+                .name("gps-pool-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &slots, cfg))
+                .ok()
+        });
+        ThreadPool {
+            shared,
+            slots,
+            supervisor: supervisor.flatten(),
+        }
     }
 
     /// Spawns one worker per available hardware thread.
@@ -174,28 +308,51 @@ impl ThreadPool {
         ThreadPool::new(available_parallelism())
     }
 
-    /// Number of worker threads in the pool.
+    /// Number of worker slots in the pool (configured size; a slot may
+    /// be momentarily vacant between a worker death and its respawn).
     #[must_use]
     pub fn jobs(&self) -> usize {
-        self.workers.len()
+        self.shared.states.len()
+    }
+
+    /// Whether any live worker thread currently occupies a slot.
+    fn has_workers(&self) -> bool {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .any(|slot| slot.as_ref().is_some_and(|h| !h.is_finished()))
     }
 
     /// Enqueues one job; an idle worker picks it up immediately.
     ///
-    /// Degraded mode: if every worker thread failed to spawn (OS
-    /// resource exhaustion), the job runs inline on the caller's thread
-    /// instead of queueing forever — serial, but never stuck.
+    /// Degraded mode: if every worker slot is vacant (OS resource
+    /// exhaustion at spawn, unsupervised exits), the job runs inline
+    /// on the caller's thread instead of queueing forever — serial,
+    /// but never stuck.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
-        if self.workers.is_empty() {
+        if !self.has_workers() {
             self.shared.metrics.submitted.inc();
             self.shared.metrics.stolen.inc();
             job();
             return;
         }
         let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        queue.push_back(Box::new(job));
+        queue.push_back(Task::Run(Box::new(job)));
         self.shared.metrics.submitted.inc();
         self.shared.metrics.queue_depth.set(queue.len() as f64);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+
+    /// Chaos hook: enqueues an exit instruction — the next worker to
+    /// take from the queue leaves its loop and its thread finishes.
+    /// On a supervised pool this is a deterministic "worker death"
+    /// that exercises the respawn path end to end; on an unsupervised
+    /// pool it permanently shrinks the pool.
+    pub fn inject_worker_exit(&self) {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(Task::Exit);
         drop(queue);
         self.shared.available.notify_one();
     }
@@ -208,10 +365,15 @@ impl ThreadPool {
     ///
     /// Workers pull items dynamically from a shared cursor, so uneven
     /// per-item cost load-balances automatically. The call blocks until
-    /// every item is processed. Panicking items are counted in
-    /// `pool.job_panics`; this call then panics too (results would be
-    /// incomplete).
-    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    /// every item is processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::WorkerLost`] when a worker stopped before
+    /// delivering every result — a panicking item (also counted in
+    /// `pool.job_panics`) or an injected exit mid-fan-out. The
+    /// completed count in the error says how far the batch got.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Result<Vec<T>, PoolError>
     where
         I: Send + Sync + 'static,
         T: Send + 'static,
@@ -219,7 +381,7 @@ impl ThreadPool {
     {
         let total = items.len();
         if total == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let items = Arc::new(items);
         let f = Arc::new(f);
@@ -235,7 +397,7 @@ impl ThreadPool {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(index) else { break };
                 // A send only fails if the collector bailed out early
-                // (itself only on a panic); stop producing then.
+                // (itself only on an error return); stop producing then.
                 if tx.send((index, f(index, item))).is_err() {
                     break;
                 }
@@ -243,16 +405,29 @@ impl ThreadPool {
         }
         drop(tx);
         let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
-        for _ in 0..total {
-            let (index, value) = rx
-                .recv()
-                .expect("pool.map worker died before finishing (job panicked?)");
-            slots[index] = Some(value);
+        let mut completed = 0usize;
+        while completed < total {
+            // The channel goes dead when every lane closure is gone —
+            // all items done (loop already exited) or a lane died with
+            // its item unsent. The former can't reach this recv, so a
+            // dead channel here is a lost worker, reported as data.
+            let Ok((index, value)) = rx.recv() else {
+                return Err(PoolError::WorkerLost { completed, total });
+            };
+            if let Some(slot) = slots.get_mut(index) {
+                if slot.replace(value).is_none() {
+                    completed += 1;
+                }
+            }
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every index sent exactly once"))
-            .collect()
+        let mut out = Vec::with_capacity(total);
+        for slot in slots {
+            match slot {
+                Some(value) => out.push(value),
+                None => return Err(PoolError::WorkerLost { completed, total }),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -260,23 +435,150 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // Stop the supervisor first so it cannot respawn into slots
+        // that are being joined.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in slots.iter_mut() {
+            if let Some(worker) = slot.take() {
+                let _ = worker.join();
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared, index: u32) {
+/// Spawns a worker thread for `index` at `generation`, reporting (not
+/// panicking on) OS-level spawn failure.
+fn spawn_worker(shared: &Arc<Shared>, index: usize, generation: u64) -> Option<JoinHandle<()>> {
+    let worker_shared = Arc::clone(shared);
+    match std::thread::Builder::new()
+        .name(format!("gps-pool-{index}"))
+        .spawn(move || worker_loop(&worker_shared, index, generation))
+    {
+        Ok(handle) => Some(handle),
+        Err(err) => {
+            shared.metrics.spawn_failures.inc();
+            gps_telemetry::Event::new(
+                gps_telemetry::Level::Warn,
+                "pool.supervisor",
+                "worker spawn failed; pool degraded",
+            )
+            .with("worker", index as i64)
+            .with("error", err.to_string())
+            .emit();
+            None
+        }
+    }
+}
+
+/// Polls worker liveness and repairs slots: a finished thread (exited
+/// worker) is respawned after its backoff window; a thread busy on one
+/// job past the stall timeout is retired via a generation bump and
+/// replaced immediately. Exits when the pool shuts down.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    slots: &Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    cfg: SupervisorConfig,
+) {
+    let jobs = shared.states.len();
+    // Per-slot backoff bookkeeping, local to the supervisor thread.
+    let mut consecutive = vec![0u32; jobs];
+    let mut not_before_us = vec![0u64; jobs];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(cfg.poll);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now_us = shared.now_us();
+        let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+        for index in 0..jobs {
+            let Some(state) = shared.states.get(index) else {
+                continue;
+            };
+            let (Some(slot), Some(consecutive), Some(not_before)) = (
+                slots.get_mut(index),
+                consecutive.get_mut(index),
+                not_before_us.get_mut(index),
+            ) else {
+                continue;
+            };
+            let dead = slot.as_ref().is_none_or(JoinHandle::is_finished);
+            let stalled = !dead
+                && state.busy.load(Ordering::Acquire)
+                && now_us.saturating_sub(state.heartbeat_us.load(Ordering::Acquire))
+                    > cfg.stall_timeout.as_micros() as u64;
+            if !dead && !stalled {
+                // Healthy: heartbeat progress resets the backoff ladder.
+                *consecutive = 0;
+                continue;
+            }
+            if now_us < *not_before {
+                continue; // still inside this slot's backoff window
+            }
+            // Retire the old thread: a bumped generation makes a
+            // stalled worker exit after its current job instead of
+            // competing with its replacement for queue items.
+            let generation = state.generation.fetch_add(1, Ordering::AcqRel) + 1;
+            let old = slot.take();
+            if let Some(handle) = old {
+                if dead {
+                    let _ = handle.join(); // finished; reap immediately
+                } // stalled: detach — it retires itself post-job
+            }
+            *slot = spawn_worker(shared, index, generation);
+            shared.metrics.worker_restarts.inc();
+            let exp = (*consecutive).min(16);
+            *consecutive += 1;
+            let backoff = cfg
+                .backoff_base
+                .saturating_mul(1u32 << exp)
+                .min(cfg.backoff_max);
+            *not_before = now_us + backoff.as_micros() as u64;
+            gps_telemetry::Event::new(
+                gps_telemetry::Level::Warn,
+                "pool.supervisor",
+                if dead {
+                    "worker exited; respawned"
+                } else {
+                    "worker stalled; replaced"
+                },
+            )
+            .with("worker", index as i64)
+            .with("generation", generation as i64)
+            .with("backoff_ms", backoff.as_millis() as i64)
+            .emit();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize, generation: u64) {
     // Attach this worker to its flight-recorder ring: every record made
     // while a job runs (spans, lane solves, the job markers below)
     // lands in the ring for worker `index`.
-    let ring = recorder::recorder().attach(index);
+    let ring = recorder::recorder().attach(index as u32);
     let mut job_seq = 0u64;
-    while let Some(job) = shared.take_job() {
+    while let Some(task) = shared.take_task() {
+        let job = match task {
+            Task::Run(job) => job,
+            Task::Exit => break,
+        };
         let start = Instant::now();
+        if let Some(state) = shared.states.get(index) {
+            state.heartbeat_us.store(shared.now_us(), Ordering::Release);
+            state.busy.store(true, Ordering::Release);
+        }
         ring.record(RecordKind::JobStart, 0, 0, job_seq, 0);
         let outcome = catch_unwind(AssertUnwindSafe(job));
         let busy_us = start.elapsed().as_secs_f64() * 1e6;
+        if let Some(state) = shared.states.get(index) {
+            state.heartbeat_us.store(shared.now_us(), Ordering::Release);
+            state.busy.store(false, Ordering::Release);
+        }
         if outcome.is_err() {
             shared.metrics.panics.inc();
             ring.record(RecordKind::JobPanic, 0, 0, job_seq, busy_us as u64);
@@ -299,6 +601,14 @@ fn worker_loop(shared: &Shared, index: u32) {
         }
         shared.metrics.busy_us.record(busy_us);
         job_seq += 1;
+        // A supervisor that declared this worker stalled has already
+        // spawned a replacement; retire quietly instead of competing
+        // with it for queue items.
+        if let Some(state) = shared.states.get(index) {
+            if state.generation.load(Ordering::Acquire) != generation {
+                break;
+            }
+        }
     }
     recorder::recorder().detach();
 }
@@ -334,10 +644,12 @@ mod tests {
     #[test]
     fn map_preserves_input_order() {
         let pool = ThreadPool::new(4);
-        let out = pool.map((0..500u64).collect(), |i, &n| {
-            assert_eq!(i as u64, n);
-            n * 3
-        });
+        let out = pool
+            .map((0..500u64).collect(), |i, &n| {
+                assert_eq!(i as u64, n);
+                n * 3
+            })
+            .expect("map");
         assert_eq!(out.len(), 500);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3);
@@ -347,15 +659,18 @@ mod tests {
     #[test]
     fn map_handles_empty_and_fewer_items_than_workers() {
         let pool = ThreadPool::new(8);
-        assert!(pool.map(Vec::<u8>::new(), |_, &b| b).is_empty());
-        assert_eq!(pool.map(vec![7u8], |_, &b| b + 1), vec![8]);
+        assert!(pool
+            .map(Vec::<u8>::new(), |_, &b| b)
+            .expect("map")
+            .is_empty());
+        assert_eq!(pool.map(vec![7u8], |_, &b| b + 1).expect("map"), vec![8]);
     }
 
     #[test]
     fn pool_is_reusable_across_batches() {
         let pool = ThreadPool::new(2);
         for round in 0..5u64 {
-            let out = pool.map(vec![round; 10], |_, &r| r + 1);
+            let out = pool.map(vec![round; 10], |_, &r| r + 1).expect("map");
             assert!(out.iter().all(|&v| v == round + 1));
         }
     }
@@ -364,7 +679,10 @@ mod tests {
     fn jobs_clamped_to_at_least_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.jobs(), 1);
-        assert_eq!(pool.map(vec![1, 2, 3], |_, &n| n), vec![1, 2, 3]);
+        assert_eq!(
+            pool.map(vec![1, 2, 3], |_, &n| n).expect("map"),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -373,9 +691,105 @@ mod tests {
         let before = gps_telemetry::counter("pool.job_panics").value();
         pool.submit(|| panic!("boom"));
         // The next job must still run on the same (sole) worker.
-        let out = pool.map(vec![1u8], |_, &b| b * 2);
+        let out = pool.map(vec![1u8], |_, &b| b * 2).expect("map");
         assert_eq!(out, vec![2]);
         assert!(gps_telemetry::counter("pool.job_panics").value() > before);
+    }
+
+    #[test]
+    fn map_reports_worker_lost_instead_of_panicking() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .map((0..8u64).collect(), |_, &n| {
+                if n == 3 {
+                    panic!("poisoned item");
+                }
+                n
+            })
+            .expect_err("a panicking item must fail the map");
+        let PoolError::WorkerLost { completed, total } = err;
+        assert_eq!(total, 8);
+        assert!(completed < total, "the panicked item never delivered");
+        // The pool itself survives for the next batch.
+        assert_eq!(pool.map(vec![5u8], |_, &b| b).expect("map"), vec![5]);
+    }
+
+    #[test]
+    fn injected_exit_shrinks_unsupervised_pool() {
+        let pool = ThreadPool::new(2);
+        pool.inject_worker_exit();
+        pool.inject_worker_exit();
+        // Let both workers take their exit tasks.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.has_workers() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!pool.has_workers(), "both workers should have exited");
+        // Degraded mode: submit still works, inline.
+        assert_eq!(pool.map(vec![9u8], |_, &b| b).expect("map"), vec![9]);
+    }
+
+    #[test]
+    fn supervisor_respawns_exited_workers() {
+        let restarts = gps_telemetry::counter("pool.worker_restarts");
+        let before = restarts.value();
+        let cfg = SupervisorConfig {
+            poll: Duration::from_millis(2),
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let pool = ThreadPool::supervised(2, cfg);
+        // A panic storm with injected exits: every worker death must be
+        // repaired by the supervisor.
+        for _ in 0..3 {
+            pool.inject_worker_exit();
+            pool.submit(|| panic!("storm"));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while restarts.value() < before + 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            restarts.value() >= before + 3,
+            "supervisor must respawn every exited worker (restarts: {} -> {})",
+            before,
+            restarts.value()
+        );
+        // The healed pool still completes work across all slots.
+        let out = pool.map((0..100u64).collect(), |_, &n| n + 1).expect("map");
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn supervisor_replaces_stalled_worker() {
+        let restarts = gps_telemetry::counter("pool.worker_restarts");
+        let before = restarts.value();
+        let cfg = SupervisorConfig {
+            poll: Duration::from_millis(2),
+            stall_timeout: Duration::from_millis(30),
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let pool = ThreadPool::supervised(1, cfg);
+        let release = Arc::new(AtomicBool::new(false));
+        let hold = Arc::clone(&release);
+        // Stall the only worker far past the timeout (bounded, so the
+        // detached thread always finishes before the process exits).
+        pool.submit(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !hold.load(Ordering::Acquire) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while restarts.value() == before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(restarts.value() > before, "stalled worker must be replaced");
+        // The replacement serves traffic while the old thread is stuck.
+        let out = pool.map(vec![1u8, 2, 3], |_, &b| b * 2).expect("map");
+        assert_eq!(out, vec![2, 4, 6]);
+        release.store(true, Ordering::Release);
     }
 
     #[test]

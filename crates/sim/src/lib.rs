@@ -43,6 +43,7 @@ pub mod experiments;
 mod parallel;
 mod report;
 mod runner;
+mod service;
 
 pub use campaign::{
     run_campaign, AlgoIntegrity, CampaignReport, IntegrityCounts, DETECTION_FLOOR_M,
@@ -53,4 +54,8 @@ pub use report::{FigureReport, SeriesPoint, Table51Report};
 pub use runner::{
     run_dataset, run_dataset_with, select_subset, to_measurements, to_rate_measurements, AlgoStats,
     ClockCalibration, RunResult, SolverSet,
+};
+pub use service::{
+    run_service_campaign, JournalVerdict, ServiceCampaignConfig, ServiceCampaignReport,
+    MISSED_INTEGRITY_FLOOR_M,
 };

@@ -55,12 +55,31 @@ pub fn run_campaigns(
     cfg: &ExperimentConfig,
 ) -> Vec<(String, CampaignReport)> {
     let cfg = *cfg;
-    pool.map(scenarios, move |_, scenario| {
+    // Scenarios are kept for the degraded path: if a worker is lost
+    // mid-fan-out the fleet falls back to a serial loop instead of
+    // dropping reports — slower, never lossy.
+    let fallback = scenarios.clone();
+    match pool.map(scenarios, move |_, scenario| {
         (
             scenario.label.clone(),
             run_campaign(&scenario.data, &scenario.plan, &cfg),
         )
-    })
+    }) {
+        Ok(reports) => reports,
+        Err(err) => {
+            gps_telemetry::Event::new(
+                gps_telemetry::Level::Warn,
+                "sim.fleet",
+                "parallel fleet lost a worker; rerunning serially",
+            )
+            .with("error", err.to_string())
+            .emit();
+            fallback
+                .iter()
+                .map(|s| (s.label.clone(), run_campaign(&s.data, &s.plan, &cfg)))
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]

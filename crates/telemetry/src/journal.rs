@@ -1,0 +1,422 @@
+//! Crash-safe append-only binary journal (`GPSJRNL1`).
+//!
+//! The positioning service journals every epoch it processes so that a
+//! killed process can rebuild its per-receiver session state by
+//! replaying the log. The format follows the flight recorder's packing
+//! discipline (little-endian `u64` words, fixed framing, no
+//! variable-length text), but where the recorder is a lossy ring, the
+//! journal is a durable stream with explicit torn-write recovery:
+//!
+//! ```text
+//! file   := magic            8 bytes  b"GPSJRNL1"
+//!           record*
+//! record := len              u64   payload length in words
+//!           seq              u64   record sequence number (0-based)
+//!           payload          len × u64
+//!           checksum         u64   FNV-1a over len, seq and payload
+//! ```
+//!
+//! * **Append-only, fsync-batched.** [`JournalWriter::append`] writes
+//!   the framed record immediately (so an OS-level crash loses at most
+//!   the page cache) and issues `sync_data` every `fsync_every`
+//!   records, amortizing durability cost across the batch.
+//! * **Torn writes cannot poison a replay.** [`JournalReader`] walks
+//!   the frames in one pass over a single read buffer (no per-record
+//!   copies) and stops cleanly at the first incomplete or
+//!   checksum-corrupt record — a process killed mid-`append` costs the
+//!   tail record, never a panic and never a misparse of the bytes that
+//!   follow.
+//! * **Self-verifying.** The sequence word must increase by exactly one
+//!   per record, so a seek into the middle of an unrelated file cannot
+//!   masquerade as a valid journal suffix.
+//!
+//! ```
+//! use gps_telemetry::journal::{JournalReader, JournalWriter};
+//!
+//! let path = std::env::temp_dir().join(format!("jrnl_doc_{}.bin", std::process::id()));
+//! let mut w = JournalWriter::create(&path, 8).unwrap();
+//! w.append(&[1, 2, 3]).unwrap();
+//! w.append(&[4]).unwrap();
+//! drop(w);
+//! let read = JournalReader::open(&path).unwrap();
+//! assert_eq!(read.records().len(), 2);
+//! assert_eq!(read.records()[1], vec![4]);
+//! assert!(!read.truncated());
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic of a version-1 journal.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"GPSJRNL1";
+
+/// Largest accepted payload, in words — a plausibility bound so a
+/// corrupt length word cannot make the reader attempt a giant slice.
+const MAX_RECORD_WORDS: u64 = 1 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a word stream; the journal's frame checksum and the
+/// digest primitive service sessions chain their outcomes with.
+#[must_use]
+pub fn fnv1a_words(seed: u64, words: &[u64]) -> u64 {
+    let mut hash = if seed == 0 { FNV_OFFSET } else { seed };
+    for w in words {
+        for shift in (0..64).step_by(8) {
+            hash ^= (w >> shift) & 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+fn frame_checksum(len: u64, seq: u64, payload: &[u64]) -> u64 {
+    fnv1a_words(fnv1a_words(0, &[len, seq]), payload)
+}
+
+/// Appends framed records to a journal file with batched fsync.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+    fsync_every: usize,
+    unsynced: usize,
+    bytes_written: u64,
+    scratch: Vec<u8>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path`, writing the magic
+    /// header. `fsync_every` is the durability batch: a `sync_data`
+    /// is issued after every that-many appended records (clamped ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation / header write errors.
+    pub fn create(path: &Path, fsync_every: usize) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            seq: 0,
+            fsync_every: fsync_every.max(1),
+            unsynced: 0,
+            bytes_written: JOURNAL_MAGIC.len() as u64,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bytes written so far (header included).
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Appends one record. The frame (length, sequence, payload,
+    /// checksum) reaches the OS before this returns; it reaches the
+    /// disk at the next fsync batch boundary or [`JournalWriter::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write / sync error; the journal is
+    /// unusable for further appends after an error (the tail may be
+    /// torn, which the reader tolerates).
+    pub fn append(&mut self, payload: &[u64]) -> io::Result<()> {
+        let len = payload.len() as u64;
+        let seq = self.seq;
+        let checksum = frame_checksum(len, seq, payload);
+        self.scratch.clear();
+        self.scratch.reserve((payload.len() + 3) * 8);
+        self.scratch.extend_from_slice(&len.to_le_bytes());
+        self.scratch.extend_from_slice(&seq.to_le_bytes());
+        for w in payload {
+            self.scratch.extend_from_slice(&w.to_le_bytes());
+        }
+        self.scratch.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&self.scratch)?;
+        self.bytes_written += self.scratch.len() as u64;
+        self.seq += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.fsync_every {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Forces the outstanding batch to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `sync_data` error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+/// A decoded journal: every complete record, plus whether the file
+/// ended in a torn (incomplete or corrupt) tail.
+#[derive(Debug, Clone)]
+pub struct JournalReader {
+    records: Vec<Vec<u64>>,
+    truncated: bool,
+    bytes_read: u64,
+}
+
+impl JournalReader {
+    /// Reads and verifies a journal file in one pass.
+    ///
+    /// Decoding stops cleanly at the first incomplete frame, checksum
+    /// mismatch or out-of-order sequence number — everything before
+    /// that point is returned and [`JournalReader::truncated`] reports
+    /// that a tail was dropped. A torn write therefore costs exactly
+    /// the records it tore, never the journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for IO failures or a missing/forged magic
+    /// header; tail corruption is *not* an error.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Like [`JournalReader::open`] over an in-memory image.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when the magic header is absent.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.get(..JOURNAL_MAGIC.len()) != Some(JOURNAL_MAGIC.as_slice()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a GPSJRNL1 journal (bad magic)",
+            ));
+        }
+        let mut cursor = JOURNAL_MAGIC.len();
+        let word = |at: usize| -> Option<u64> {
+            let end = at.checked_add(8)?;
+            let chunk = bytes.get(at..end)?;
+            let mut le = [0u8; 8];
+            le.copy_from_slice(chunk);
+            Some(u64::from_le_bytes(le))
+        };
+        let mut records = Vec::new();
+        let mut truncated = false;
+        let mut expect_seq = 0u64;
+        while cursor < bytes.len() {
+            let frame = (|| {
+                let len = word(cursor)?;
+                if len > MAX_RECORD_WORDS {
+                    return None;
+                }
+                let seq = word(cursor + 8)?;
+                if seq != expect_seq {
+                    return None;
+                }
+                let words = len as usize;
+                let mut payload = Vec::with_capacity(words);
+                for i in 0..words {
+                    payload.push(word(cursor + 16 + 8 * i)?);
+                }
+                let checksum = word(cursor + 16 + 8 * words)?;
+                if checksum != frame_checksum(len, seq, &payload) {
+                    return None;
+                }
+                Some((payload, 24 + 8 * words))
+            })();
+            match frame {
+                Some((payload, advance)) => {
+                    records.push(payload);
+                    cursor += advance;
+                    expect_seq += 1;
+                }
+                None => {
+                    // Torn or corrupt tail: stop at the last complete
+                    // record rather than guessing at resynchronization.
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        Ok(JournalReader {
+            records,
+            truncated,
+            bytes_read: cursor as u64,
+        })
+    }
+
+    /// The complete records, in append order.
+    #[must_use]
+    pub fn records(&self) -> &[Vec<u64>] {
+        &self.records
+    }
+
+    /// Whether a torn/corrupt tail was dropped during decoding.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Bytes consumed before decoding stopped (header included).
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gps_journal_{name}_{}.bin", std::process::id()))
+    }
+
+    fn write_sample(path: &Path, records: usize) -> u64 {
+        let mut w = JournalWriter::create(path, 4).expect("create");
+        for i in 0..records {
+            let i = i as u64;
+            w.append(&[i, i * 10, i * 100]).expect("append");
+        }
+        w.sync().expect("sync");
+        w.bytes_written()
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let path = temp("roundtrip");
+        write_sample(&path, 17);
+        let r = JournalReader::open(&path).expect("open");
+        assert_eq!(r.records().len(), 17);
+        assert!(!r.truncated());
+        for (i, rec) in r.records().iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(rec, &vec![i, i * 10, i * 100]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_journal_is_valid() {
+        let path = temp("empty");
+        drop(JournalWriter::create(&path, 1).expect("create"));
+        let r = JournalReader::open(&path).expect("open");
+        assert!(r.records().is_empty());
+        assert!(!r.truncated());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        assert!(JournalReader::from_bytes(b"NOTAJRNL....").is_err());
+        assert!(JournalReader::from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_stops_cleanly() {
+        // The torn-write contract, exhaustively: chop the file after
+        // every possible byte count; decoding must never error, never
+        // panic, and must return only records whose frames are intact.
+        let path = temp("torn");
+        let total = write_sample(&path, 6);
+        let full = std::fs::read(&path).expect("read");
+        assert_eq!(full.len() as u64, total);
+        let intact = JournalReader::from_bytes(&full).expect("full decode");
+        assert_eq!(intact.records().len(), 6);
+        for cut in 0..full.len() {
+            let Ok(r) = JournalReader::from_bytes(&full[..cut]) else {
+                // Only header-less prefixes may error.
+                assert!(cut < JOURNAL_MAGIC.len(), "cut {cut} errored past magic");
+                continue;
+            };
+            assert!(r.records().len() <= 6);
+            for (i, rec) in r.records().iter().enumerate() {
+                assert_eq!(rec, &intact.records()[i], "cut {cut} record {i}");
+            }
+            // A cut exactly on a frame boundary yields a valid shorter
+            // journal; anywhere else the torn tail must be reported.
+            let frame_boundary = cut >= 8 && (cut - 8) % 48 == 0;
+            if r.records().len() < 6 && !frame_boundary {
+                assert!(r.truncated(), "cut {cut}: dropped tail not reported");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_byte_drops_the_tail() {
+        let path = temp("corrupt");
+        write_sample(&path, 5);
+        let mut bytes = std::fs::read(&path).expect("read");
+        // Flip one byte inside record 2's payload (file header 8 + two
+        // full 48-byte frames + frame header 16 + 3 bytes in).
+        let offset = 8 + 2 * 48 + 16 + 3;
+        bytes[offset] ^= 0xff;
+        let r = JournalReader::from_bytes(&bytes).expect("decode");
+        assert_eq!(r.records().len(), 2, "records before the corruption");
+        assert!(r.truncated());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequence_discontinuity_is_rejected() {
+        // Splice record 0's frame after itself: duplicated seq 0 must
+        // terminate decoding rather than double-count.
+        let path = temp("seq");
+        write_sample(&path, 2);
+        let bytes = std::fs::read(&path).expect("read");
+        let frame0 = bytes[8..56].to_vec();
+        let mut spliced = bytes[..56].to_vec();
+        spliced.extend_from_slice(&frame0);
+        let r = JournalReader::from_bytes(&spliced).expect("decode");
+        assert_eq!(r.records().len(), 1);
+        assert!(r.truncated());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let a = fnv1a_words(0, &[1, 2, 3]);
+        let b = fnv1a_words(0, &[3, 2, 1]);
+        assert_ne!(a, b);
+        // Chaining equals one-shot over the concatenation.
+        let chained = fnv1a_words(fnv1a_words(0, &[1, 2]), &[3]);
+        assert_eq!(chained, a);
+    }
+
+    #[test]
+    fn writer_reports_byte_and_record_counts() {
+        let path = temp("counts");
+        let mut w = JournalWriter::create(&path, 100).expect("create");
+        assert_eq!(w.records(), 0);
+        w.append(&[7; 4]).expect("append");
+        assert_eq!(w.records(), 1);
+        // 8 magic + (8 len + 8 seq + 32 payload + 8 checksum).
+        assert_eq!(w.bytes_written(), 8 + 56);
+        w.sync().expect("sync");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -47,6 +47,7 @@
 #![deny(unsafe_code)]
 
 mod event;
+pub mod journal;
 mod json;
 mod level;
 mod metrics;
@@ -58,6 +59,7 @@ mod span;
 mod value;
 
 pub use event::Event;
+pub use journal::{fnv1a_words, JournalReader, JournalWriter, JOURNAL_MAGIC};
 pub use level::Level;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use profile::{folded_stacks, render_folded, FoldedStack};

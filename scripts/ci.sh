@@ -95,4 +95,37 @@ echo "$out" | grep -q "availability 100.0%" && { echo "smoke: expected availabil
 echo "$out" | grep -q "degraded 0 " && { echo "smoke: expected degraded > 0"; exit 1; }
 echo "$out" | grep -q "holdover 0 " && { echo "smoke: expected the holdover fallback path"; exit 1; }
 
+echo "==> service smoke (serve -> kill -> replay parity in a fresh process)"
+out=$(cargo run --release --offline -q -- serve --quick --seed 2010 \
+    --journal "$tmpdir/fleet.jrnl")
+echo "$out"
+digest=$(echo "$out" | sed -n 's/^fleet digest \([0-9a-f]\{16\}\)$/\1/p' | head -n 1)
+[ -n "$digest" ] || { echo "smoke: serve printed no fleet digest"; exit 1; }
+cargo run --release --offline -q -- replay "$tmpdir/fleet.jrnl" \
+    --verify-digest "$digest" \
+    || { echo "smoke: journal replay lost digest parity"; exit 1; }
+
+echo "==> torn-journal smoke (kill mid-run + torn tail must replay clean)"
+cargo run --release --offline -q -- serve --quick --seed 7 --kill-after 7 \
+    --truncate-tail 41 --journal "$tmpdir/torn.jrnl" >/dev/null
+out=$(cargo run --release --offline -q -- replay "$tmpdir/torn.jrnl")
+echo "$out"
+echo "$out" | grep -q "torn tail true" || { echo "smoke: torn tail not detected"; exit 1; }
+echo "$out" | grep -q "mismatches 0" || { echo "smoke: torn journal replay mismatched"; exit 1; }
+
+echo "==> chaos campaign smoke (SLO gate: availability >= 95%, honest fixes, clean replay)"
+out=$(cargo run --release --offline -q -- experiment chaos --quick --seed 2010) \
+    || { echo "chaos: SLO gate failed"; exit 1; }
+echo "$out"
+echo "$out" | grep -q "worker restarts" || { echo "chaos: no restart accounting"; exit 1; }
+echo "$out" | grep -q "SLOs met" || { echo "chaos: SLO line missing"; exit 1; }
+
+echo "==> BENCH_service.json is committed and well-formed"
+grep -q '"bench": "service"' BENCH_service.json \
+    || { echo "BENCH_service.json missing or malformed"; exit 1; }
+grep -q '"missed_integrity": 0' BENCH_service.json \
+    || { echo "BENCH_service.json records missed-integrity events"; exit 1; }
+grep -q '"replay_verified": true' BENCH_service.json \
+    || { echo "BENCH_service.json records a failed replay"; exit 1; }
+
 echo "CI gate passed."

@@ -9,18 +9,21 @@
 //! ```
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use gps_repro::core::{
-    Bancroft, Dlg, Dlo, Engine, Epoch, EpochJob, NewtonRaphson, ParallelEngine, SolveContext,
-    Solver,
+    fleet_digest, replay_journal, Bancroft, Dlg, Dlo, Engine, Epoch, EpochJob, NewtonRaphson,
+    ParallelEngine, SolveContext, Solver,
 };
-use gps_repro::faults::FaultPlan;
+use gps_repro::faults::{FaultPlan, RuntimeFault, RuntimeFaultPlan};
 use gps_repro::obs::{format, paper_stations, DataSet, DatasetGenerator};
 use gps_repro::orbits::{yuma, Constellation};
 use gps_repro::pool::ThreadPool;
-use gps_repro::sim::{experiments, to_measurements, ExperimentConfig};
+use gps_repro::sim::{
+    experiments, run_service_campaign, to_measurements, ExperimentConfig, ServiceCampaignConfig,
+};
 use gps_telemetry::{FileFormat, FileSink, Level, StderrSink};
 
 fn usage() -> ExitCode {
@@ -35,7 +38,11 @@ USAGE:
   gps-repro engine <FILE> [--satellites M] [--epochs N]
   gps-repro throughput [--jobs N] [--epochs N] [--satellites M] [--seed N]
                        [--station <SRZN|YYR1|FAI1|KYCP>] [--quick]
-  gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|all>
+  gps-repro serve [--sessions N] [--rounds N] [--jobs N] [--deadline-us N]
+                  [--queue-cap N] [--journal FILE] [--kill-after N]
+                  [--truncate-tail BYTES] [--bench-out FILE] [--seed N] [--quick]
+  gps-repro replay <JOURNAL> [--verify-digest HEX]
+  gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|chaos|all>
                        [--paper-scale|--quick] [--seed N]
   gps-repro profile [<table51|fig51|fig52|extensions|all>] [--folded]
                     [--out <FILE>] [--seed N] [--paper-scale|--full]
@@ -50,6 +57,40 @@ THROUGHPUT (parallel batch positioning):
                         back in deterministic epoch order
   --epochs N            stream length (default 2000; --quick: 240)
   --satellites M        satellites per epoch (default 8)
+
+SERVE (fleet-scale positioning service):
+  runs a supervised multi-receiver service round by round: per-receiver
+  sessions with warm clock state, deadline budgets, bounded shard queues
+  with quality-ordered shedding, and an optional crash-safe journal
+  --sessions N          receivers in the fleet (default 16; --quick 8)
+  --rounds N            ingest rounds (default 48; --quick 16)
+  --jobs N              pool workers (default 4)
+  --deadline-us N       per-epoch deadline budget, µs (default 250000)
+  --queue-cap N         per-shard queue capacity (default 64)
+  --journal FILE        append every served epoch to a GPSJRNL1 journal
+  --kill-after N        stop serving after round N (simulated crash; the
+                        journal keeps whatever was durable at that point)
+  --truncate-tail BYTES chop BYTES off the journal tail after the run
+                        (simulated torn write from a SIGKILL mid-append)
+  --bench-out FILE      write the campaign report as JSON
+
+REPLAY (post-crash journal recovery):
+  rebuilds every receiver session from a GPSJRNL1 journal, re-running each
+  journaled epoch and checking outcome bits and digest chains record by
+  record; exits nonzero on any mismatch or malformed frame
+  --verify-digest HEX   also require the replayed fleet digest to equal HEX
+
+CHAOS (experiment chaos):
+  the serve fleet under a seeded chaos schedule — worker panic storms,
+  worker kills, stall injection, ingest burst overload, journal tail
+  truncation — layered over signal faults; exits nonzero below the SLOs
+  --slo-availability PCT  fix-availability floor (default 95)
+  --sessions/--rounds N   fleet shape (default 16 x 40; --quick 8 x 24)
+  --runtime-faults <spec> comma-separated runtime faults (default all:
+                          panic_storm,worker_kill,stall,burst,
+                          journal_truncation)
+  --journal FILE          keep the journal at FILE (default: temp file)
+  --bench-out FILE        write the campaign report as JSON
 
 FAULT CAMPAIGN (experiment fault_campaign):
   --faults <spec>       comma-separated scenarios to inject (default
@@ -453,6 +494,153 @@ fn cmd_throughput(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let quick = args.has("quick");
+    let seed: u64 = args.flag_parse("seed", 2_010)?;
+    let mut cfg = ServiceCampaignConfig::quick(seed);
+    cfg.sessions = args.flag_parse("sessions", if quick { 8 } else { 16 })?;
+    cfg.rounds = args.flag_parse("rounds", if quick { 16 } else { 48 })?;
+    cfg.service.workers = args.flag_parse("jobs", cfg.service.workers)?;
+    cfg.service.queue_capacity = args.flag_parse("queue-cap", cfg.service.queue_capacity)?;
+    let deadline_us: u64 = args.flag_parse("deadline-us", 250_000)?;
+    if deadline_us == 0 {
+        return Err("--deadline-us must be at least 1".to_owned());
+    }
+    cfg.service.deadline = Duration::from_micros(deadline_us);
+    if cfg.sessions == 0 || cfg.rounds == 0 {
+        return Err("--sessions and --rounds must be at least 1".to_owned());
+    }
+    if cfg.service.workers == 0 || cfg.service.queue_capacity == 0 {
+        return Err("--jobs and --queue-cap must be at least 1".to_owned());
+    }
+    let kill_after: usize = args.flag_parse("kill-after", usize::MAX)?;
+    if kill_after == 0 {
+        return Err("--kill-after must be at least 1".to_owned());
+    }
+    if kill_after < cfg.rounds {
+        println!(
+            "serve: simulated crash — service killed after round {kill_after} of {}",
+            cfg.rounds
+        );
+        cfg.rounds = kill_after;
+    }
+    cfg.journal = args.flag("journal").map(PathBuf::from);
+    let truncate_tail: u64 = args.flag_parse("truncate-tail", 0)?;
+    if truncate_tail > 0 {
+        if cfg.journal.is_none() {
+            return Err("--truncate-tail requires --journal".to_owned());
+        }
+        cfg.runtime_faults = Some(RuntimeFaultPlan::new(seed).with(
+            RuntimeFault::JournalTruncation {
+                cut_bytes: truncate_tail,
+            },
+        ));
+    }
+    let report = run_service_campaign(&cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("{report}");
+    println!("fleet digest {:016x}", report.fleet_digest);
+    if let Some(out) = args.flag("bench-out") {
+        fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("replay needs a journal file argument")?;
+    let report = replay_journal(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "replay {path}: {} record(s), {} receiver(s), torn tail {}, malformed {}, mismatches {}",
+        report.records,
+        report.digests.len(),
+        report.truncated,
+        report.malformed,
+        report.mismatches
+    );
+    let digest = fleet_digest(&report.digests);
+    println!("fleet digest {digest:016x}");
+    if let Some(expected) = args.flag("verify-digest") {
+        let want = u64::from_str_radix(expected.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("--verify-digest: `{expected}` is not a hex digest"))?;
+        if want != digest {
+            return Err(format!(
+                "fleet digest mismatch: journal replays to {digest:016x}, expected {want:016x}"
+            ));
+        }
+        println!("fleet digest parity verified");
+    }
+    if !report.verified() {
+        return Err(format!(
+            "replay failed verification: {} mismatch(es), {} malformed record(s)",
+            report.mismatches, report.malformed
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_chaos(args: &Args, seed: u64) -> Result<(), String> {
+    let slo: f64 = args.flag_parse("slo-availability", 95.0)?;
+    if !(0.0..=100.0).contains(&slo) {
+        return Err("--slo-availability must be in [0, 100]".to_owned());
+    }
+    let mut cfg = ServiceCampaignConfig::chaos(seed);
+    if args.has("quick") {
+        cfg.sessions = 8;
+        cfg.rounds = 24;
+    }
+    cfg.sessions = args.flag_parse("sessions", cfg.sessions)?;
+    cfg.rounds = args.flag_parse("rounds", cfg.rounds)?;
+    if cfg.sessions == 0 || cfg.rounds == 0 {
+        return Err("--sessions and --rounds must be at least 1".to_owned());
+    }
+    if let Some(spec) = args.flag("runtime-faults") {
+        cfg.runtime_faults = Some(RuntimeFaultPlan::from_spec(seed.wrapping_add(1), spec)?);
+    }
+    let keep_journal = args.flag("journal").is_some();
+    let journal_path = args.flag("journal").map_or_else(
+        || {
+            std::env::temp_dir()
+                .join(format!("gps-chaos-{}.jrnl", std::process::id()))
+                .display()
+                .to_string()
+        },
+        str::to_owned,
+    );
+    cfg.journal = Some(PathBuf::from(&journal_path));
+    let report = run_service_campaign(&cfg).map_err(|e| format!("chaos: {e}"))?;
+    println!("{report}");
+    if let Some(out) = args.flag("bench-out") {
+        fs::write(out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if !keep_journal {
+        let _ = fs::remove_file(&journal_path);
+    }
+    if !report.meets_slo(slo) {
+        return Err(format!(
+            "chaos SLO failed: availability {:.2}% (floor {slo}%), missed integrity {}, replay {}",
+            report.availability_pct(),
+            report.missed_integrity,
+            report
+                .journal
+                .as_ref()
+                .map_or("not run", |j| if j.replay_verified {
+                    "verified"
+                } else {
+                    "FAILED"
+                })
+        ));
+    }
+    println!(
+        "chaos SLOs met: availability {:.2}% >= {slo}%, zero missed integrity, replay verified",
+        report.availability_pct()
+    );
+    Ok(())
+}
+
 fn cmd_experiment(args: &Args) -> Result<(), String> {
     let which = args.positional.get(1).map(String::as_str).unwrap_or("all");
     let seed: u64 = args.flag_parse("seed", 2_010)?;
@@ -464,6 +652,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         ExperimentConfig::new(seed)
     };
     match which {
+        "chaos" => cmd_chaos(args, seed)?,
         "fault_campaign" => {
             let fault_seed: u64 = args.flag_parse("fault-seed", 42)?;
             let plan = match args.flag("faults") {
@@ -892,6 +1081,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&args),
         "engine" => cmd_engine(&args),
         "throughput" => cmd_throughput(&args),
+        "serve" => cmd_serve(&args),
+        "replay" => cmd_replay(&args),
         "experiment" => cmd_experiment(&args),
         "profile" => cmd_profile(&args),
         "inspect" => cmd_inspect(&args),
