@@ -7,11 +7,15 @@
 //! `θ = τ_O/τ_NR × 100 %` (eq. 5-3); the full four-dataset series is
 //! printed by `cargo run --release --example reproduce_paper -- fig51`.
 //!
-//! Each algorithm is measured twice: through the simple allocating
+//! Each algorithm is measured three ways: through the simple allocating
 //! [`PositionSolver`] path (the `<ALGO>/{m}` ids, unchanged from before
-//! the `Solver` refactor) and through the zero-allocation
-//! [`gps_core::Solver`] + [`SolveContext`] path (`<ALGO>-ctx/{m}`). The
-//! ns/fix delta between the two is the refactor's per-epoch saving.
+//! the `Solver` refactor), through the zero-allocation
+//! [`gps_core::Solver`] + [`SolveContext`] path pinned to the **heap**
+//! buffers (`<ALGO>-ctx/{m}`, preserving the meaning of the pre-stack
+//! numbers), and through the same path on the default const-generic
+//! **stack** kernel lane (`<ALGO>-stk/{m}`). `ctx` minus the simple path
+//! is the context refactor's per-epoch saving; `stk` minus `ctx` is the
+//! stack-kernel lane's.
 
 use gps_bench::fixture_epochs;
 use gps_bench::harness::{Harness, Throughput};
@@ -36,6 +40,16 @@ fn bench_solvers(h: &mut Harness) {
             })
         });
         group.bench_with_input(&format!("NR-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new().with_stack_kernels(false);
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 0.0);
+                    let _ = black_box(gps_core::Solver::solve(&nr, &epoch, &mut ctx));
+                }
+            })
+        });
+
+        group.bench_with_input(&format!("NR-stk/{m}"), &epochs, |b, epochs| {
             let mut ctx = SolveContext::new();
             b.iter(|| {
                 for meas in epochs {
@@ -68,6 +82,16 @@ fn bench_solvers(h: &mut Harness) {
             })
         });
         group.bench_with_input(&format!("DLO-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new().with_stack_kernels(false);
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 12.0);
+                    let _ = black_box(gps_core::Solver::solve(&dlo, &epoch, &mut ctx));
+                }
+            })
+        });
+
+        group.bench_with_input(&format!("DLO-stk/{m}"), &epochs, |b, epochs| {
             let mut ctx = SolveContext::new();
             b.iter(|| {
                 for meas in epochs {
@@ -86,6 +110,16 @@ fn bench_solvers(h: &mut Harness) {
             })
         });
         group.bench_with_input(&format!("DLG-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new().with_stack_kernels(false);
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 12.0);
+                    let _ = black_box(gps_core::Solver::solve(&dlg, &epoch, &mut ctx));
+                }
+            })
+        });
+
+        group.bench_with_input(&format!("DLG-stk/{m}"), &epochs, |b, epochs| {
             let mut ctx = SolveContext::new();
             b.iter(|| {
                 for meas in epochs {
@@ -104,6 +138,16 @@ fn bench_solvers(h: &mut Harness) {
             })
         });
         group.bench_with_input(&format!("Bancroft-ctx/{m}"), &epochs, |b, epochs| {
+            let mut ctx = SolveContext::new().with_stack_kernels(false);
+            b.iter(|| {
+                for meas in epochs {
+                    let epoch = Epoch::new(black_box(meas), 0.0);
+                    let _ = black_box(gps_core::Solver::solve(&bancroft, &epoch, &mut ctx));
+                }
+            })
+        });
+
+        group.bench_with_input(&format!("Bancroft-stk/{m}"), &epochs, |b, epochs| {
             let mut ctx = SolveContext::new();
             b.iter(|| {
                 for meas in epochs {

@@ -7,6 +7,12 @@
 //! so the derived elements/s column is positioning fixes per second for
 //! that lane.
 //!
+//! A second, serial sweep varies the SoA block size — the batched
+//! single-thread [`Engine`] fed through `run_blocked` with 1, 4 and 8
+//! epochs lock-step — so the committed numbers separate the
+//! const-generic/SoA lane win (pure single-core solve rate) from thread
+//! scaling and parallel plumbing.
+//!
 //! Besides the usual harness output, the run distils a machine-readable
 //! summary to `BENCH_throughput.json` at the repository root —
 //! ns-per-stream, fixes/s and speedup-vs-one-worker per cell — so future
@@ -18,7 +24,7 @@ use std::sync::Arc;
 
 use gps_bench::fixture_epochs;
 use gps_bench::harness::{Harness, Throughput};
-use gps_core::{EpochJob, ParallelEngine};
+use gps_core::{Engine, EpochJob, ParallelEngine};
 use gps_pool::ThreadPool;
 
 /// Epochs per measured stream run (the fixture's 120 epochs, cycled).
@@ -28,10 +34,20 @@ const SATELLITES: usize = 8;
 /// Dataset seed (the paper's publication year, same as the CLI default).
 const SEED: u64 = 2010;
 
+/// The swept block sizes for the single-worker SoA lane:
+/// `run_blocked` with 1 (degenerate blocks), 4 and 8 epochs lock-step.
+const BLOCK_SWEEP: [usize; 3] = [1, 4, 8];
+
 /// One summary cell for the JSON report.
 struct Cell {
     solver: &'static str,
+    /// `"parallel"` = `ParallelEngine` across a pool (shard + channel +
+    /// merge included); `"serial"` = the batched single-thread `Engine`,
+    /// the pure single-core solve rate.
+    mode: &'static str,
     jobs: usize,
+    /// Epochs per lock-step block; 1 = per-epoch feeding.
+    block_size: usize,
     ns_per_stream: f64,
     fixes_per_sec: f64,
     speedup_vs_jobs1: f64,
@@ -76,6 +92,21 @@ fn main() {
             });
         }
     }
+    // Serial block-size sweep: the batched single-thread `Engine` fed
+    // through lock-step EpochBlocks. No pool, no channels, no merge —
+    // the SoA lane's pure single-core solve rate, isolated from both
+    // thread scaling and parallel plumbing.
+    for &bs in &BLOCK_SWEEP {
+        for (lane, name) in lane_names.iter().enumerate() {
+            let mut engine = Engine::new()
+                .with_solver(roster.solvers()[lane].clone_box())
+                .with_timing(false);
+            let s = Arc::clone(&stream);
+            group.bench_function(&format!("{name}/serial-block-{bs}"), |b| {
+                b.iter(|| engine.run_blocked(&s, bs))
+            });
+        }
+    }
     group.finish();
 
     let cells = collect_cells(&sweep, &lane_names, stream.len());
@@ -90,8 +121,8 @@ fn main() {
 /// `min` is that sample, exact) and derives rates and speedups.
 fn collect_cells(sweep: &[usize], lane_names: &[&'static str], epochs: usize) -> Vec<Cell> {
     let snap = gps_telemetry::snapshot();
-    let lookup = |name: &str, jobs: usize| -> f64 {
-        let metric = format!("bench.throughput.{name}.jobs-{jobs}");
+    let lookup = |id: String| -> f64 {
+        let metric = format!("bench.throughput.{id}");
         snap.histograms
             .iter()
             .find(|h| h.name == metric)
@@ -100,15 +131,32 @@ fn collect_cells(sweep: &[usize], lane_names: &[&'static str], epochs: usize) ->
     };
     let mut cells = Vec::new();
     for &name in lane_names {
-        let baseline_ns = lookup(name, 1);
+        let baseline_ns = lookup(format!("{name}.jobs-1"));
         for &jobs in sweep {
-            let ns = lookup(name, jobs);
+            let ns = lookup(format!("{name}.jobs-{jobs}"));
             cells.push(Cell {
                 solver: name,
+                mode: "parallel",
                 jobs,
+                block_size: 1,
                 ns_per_stream: ns,
                 fixes_per_sec: epochs as f64 / (ns * 1e-9),
                 speedup_vs_jobs1: baseline_ns / ns,
+            });
+        }
+        // Serial block cells are normalized to the serial block-1 cell,
+        // so their speedup column reads as the SoA win directly.
+        let serial_baseline_ns = lookup(format!("{name}.serial-block-1"));
+        for &bs in &BLOCK_SWEEP {
+            let ns = lookup(format!("{name}.serial-block-{bs}"));
+            cells.push(Cell {
+                solver: name,
+                mode: "serial",
+                jobs: 1,
+                block_size: bs,
+                ns_per_stream: ns,
+                fixes_per_sec: epochs as f64 / (ns * 1e-9),
+                speedup_vs_jobs1: serial_baseline_ns / ns,
             });
         }
     }
@@ -130,9 +178,16 @@ fn render_json(cells: &[Cell], epochs: usize) -> String {
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"solver\": \"{}\", \"jobs\": {}, \"ns_per_stream\": {:.0}, \
-             \"fixes_per_sec\": {:.1}, \"speedup_vs_jobs1\": {:.3}}}{comma}\n",
-            c.solver, c.jobs, c.ns_per_stream, c.fixes_per_sec, c.speedup_vs_jobs1
+            "    {{\"solver\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"block_size\": {}, \
+             \"ns_per_stream\": {:.0}, \"fixes_per_sec\": {:.1}, \
+             \"speedup_vs_jobs1\": {:.3}}}{comma}\n",
+            c.solver,
+            c.mode,
+            c.jobs,
+            c.block_size,
+            c.ns_per_stream,
+            c.fixes_per_sec,
+            c.speedup_vs_jobs1
         ));
     }
     out.push_str("  ]\n}\n");

@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use gps_bench::fixture_epochs;
 use gps_core::{
-    Bancroft, Dlg, Dlo, Engine, Epoch, NewtonRaphson, ParallelEngine, Raim, SolveContext, Solver,
-    WorkerLanes,
+    Bancroft, Dlg, Dlo, Engine, Epoch, EpochBlock, EpochJob, NewtonRaphson, ParallelEngine, Raim,
+    SolveContext, Solver, WorkerLanes, BLOCK_LANES,
 };
 
 struct CountingAlloc;
@@ -152,6 +152,99 @@ fn parallel_worker_epoch_loop_is_allocation_free_when_warm() {
     assert_eq!(
         allocs, 0,
         "worker lanes allocated {allocs} time(s) after warm-up"
+    );
+}
+
+/// A uniform-shape job stream for block feeding: `count` epochs of
+/// `m` satellites each.
+fn block_stream(m: usize, count: usize, seed: u64) -> Vec<EpochJob> {
+    fixture_epochs(m, seed)
+        .into_iter()
+        .cycle()
+        .take(count)
+        .map(|meas| EpochJob::new(meas, 12.0))
+        .collect()
+}
+
+#[test]
+fn dlo_soa_block_path_is_allocation_free_when_warm() {
+    // The SoA kernel works entirely in stack arrays; the only heap
+    // touched is the caller's reused `out` vector, which warm-up grows
+    // to BLOCK_LANES once.
+    let jobs = block_stream(6, 2 * BLOCK_LANES, 109);
+    let solver = Dlo::default();
+    let mut ctx = SolveContext::new();
+    let mut out = Vec::new();
+
+    let mut feed = |out: &mut Vec<_>| {
+        let mut rest = jobs.as_slice();
+        let mut solved = 0usize;
+        while let Some((block, tail)) = EpochBlock::split_first(rest, BLOCK_LANES) {
+            out.clear();
+            solver.solve_block(&block, &mut ctx, out);
+            solved += out.iter().filter(|r| r.is_ok()).count();
+            rest = tail;
+        }
+        solved
+    };
+    let warm = feed(&mut out);
+    assert_eq!(warm, jobs.len(), "a lane failed a clean epoch");
+
+    let allocs = allocations_during(|| {
+        assert_eq!(feed(&mut out), jobs.len());
+    });
+    assert_eq!(
+        allocs, 0,
+        "DLO block path allocated {allocs} time(s) after warm-up"
+    );
+}
+
+#[test]
+fn engine_blocked_loop_is_allocation_free_when_warm() {
+    let jobs = block_stream(8, 3 * BLOCK_LANES, 113);
+    let mut engine = Engine::all_solvers();
+    // Warm-up grows every lane's context and block scratch.
+    let warm = engine.run_blocked(&jobs, BLOCK_LANES);
+    assert_eq!(warm, jobs.len() * engine.lanes().len());
+
+    let allocs = allocations_during(|| {
+        let solved = engine.run_blocked(&jobs, BLOCK_LANES);
+        assert_eq!(solved, jobs.len() * engine.lanes().len());
+    });
+    assert_eq!(
+        allocs, 0,
+        "Engine block mode allocated {allocs} time(s) after warm-up"
+    );
+}
+
+#[test]
+fn parallel_worker_block_loop_is_allocation_free_when_warm() {
+    // A blocked pool worker's steady state: solve_block_into with the
+    // reused per-lane outcome buffers. (The per-epoch channel sends
+    // clone the results; that cost is per-batch plumbing outside the
+    // solve loop and outside this probe.)
+    let jobs = block_stream(6, 2 * BLOCK_LANES, 127);
+    let roster = ParallelEngine::all_solvers();
+    let mut worker = WorkerLanes::new(roster.solvers());
+    let mut per_lane: Vec<Vec<_>> = (0..worker.len()).map(|_| Vec::new()).collect();
+
+    let feed = |worker: &mut WorkerLanes, per_lane: &mut [Vec<_>]| {
+        let mut rest = jobs.as_slice();
+        let mut offset = 0u32;
+        while let Some((block, tail)) = EpochBlock::split_first(rest, BLOCK_LANES) {
+            worker.solve_block_into(&block, offset, per_lane);
+            offset += block.lanes() as u32;
+            rest = tail;
+        }
+    };
+    feed(&mut worker, &mut per_lane);
+
+    let allocs = allocations_during(|| {
+        feed(&mut worker, &mut per_lane);
+    });
+    assert_eq!(
+        allocs, 0,
+        "worker block lanes allocated {allocs} time(s) after warm-up"
     );
 }
 

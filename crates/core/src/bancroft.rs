@@ -1,5 +1,7 @@
 use gps_geodesy::Ecef;
 use gps_linalg::lstsq;
+use gps_linalg::stack::{self, SMat, SVec};
+use gps_linalg::STACK_M_CAP;
 
 use crate::measurement::validate;
 use crate::{Measurement, Solution, SolveError};
@@ -70,6 +72,96 @@ impl Bancroft {
             .sum();
         (sum / measurements.len() as f64).sqrt()
     }
+
+    /// Stack-kernel fast lane: the same closed-form solution with `B`, `r`
+    /// and `e` in stack storage and the two pseudo-inverse applications
+    /// solved by `stack::ols4`. Bit-identical to the heap lane.
+    // lint: no_alloc
+    fn solve_stack(&self, epoch: &crate::Epoch<'_>) -> Result<Solution, SolveError> {
+        let measurements = epoch.measurements;
+        validate(measurements, 4)?;
+        let m = measurements.len();
+
+        // B has rows (sᵢ, ρᵢ); r_i = ½⟨aᵢ,aᵢ⟩.
+        let mut b = SMat::<STACK_M_CAP, 4>::zeroed(m);
+        let mut r = SVec::<STACK_M_CAP>::zeroed(m);
+        for (i, meas) in measurements.iter().enumerate() {
+            let row = b.row_mut(i);
+            row[0] = meas.position.x;
+            row[1] = meas.position.y;
+            row[2] = meas.position.z;
+            row[3] = meas.pseudorange;
+            r.as_mut_slice()[i] =
+                0.5 * (meas.position.norm_squared() - meas.pseudorange * meas.pseudorange);
+        }
+
+        // B⁺ applied to e and to r via least squares (exact inverse when
+        // m = 4).
+        let mut ones = SVec::<STACK_M_CAP>::zeroed(m);
+        ones.as_mut_slice().fill(1.0);
+        let bplus_e = stack::ols4(&b, &ones)?;
+        let bplus_r = stack::ols4(&b, &r)?;
+
+        // u = M B⁺ e, v = M B⁺ r (M = diag(1,1,1,−1)).
+        let u = [bplus_e[0], bplus_e[1], bplus_e[2], -bplus_e[3]];
+        let v = [bplus_r[0], bplus_r[1], bplus_r[2], -bplus_r[3]];
+
+        // Quadratic ⟨u,u⟩Λ² + 2(⟨u,v⟩ − 1)Λ + ⟨v,v⟩ = 0.
+        let qa = lorentz(&u, &u);
+        let qb = 2.0 * (lorentz(&u, &v) - 1.0);
+        let qc = lorentz(&v, &v);
+
+        // At most two candidate roots; kept on the stack.
+        let mut lambdas = [0.0_f64; 2];
+        let nroots = if qa.abs() < 1e-18 {
+            if qb.abs() < 1e-30 {
+                return Err(SolveError::NoRealRoot);
+            }
+            lambdas[0] = -qc / qb;
+            1
+        } else {
+            let disc = qb * qb - 4.0 * qa * qc;
+            if disc < 0.0 {
+                return Err(SolveError::NoRealRoot);
+            }
+            let sq = disc.sqrt();
+            // Numerically stable pair of roots.
+            let q = -0.5 * (qb + sq.copysign(qb));
+            lambdas[0] = q / qa;
+            if q.abs() > 0.0 {
+                lambdas[1] = qc / q;
+                2
+            } else {
+                1
+            }
+        };
+
+        // Evaluate each root; keep the candidate with the smallest post-fit
+        // residual (the spurious root places the receiver far from the
+        // measurements' consistent geometry).
+        let mut best: Option<(Ecef, f64, f64)> = None;
+        for &lambda in &lambdas[..nroots] {
+            let y = [
+                lambda * u[0] + v[0],
+                lambda * u[1] + v[1],
+                lambda * u[2] + v[2],
+                lambda * u[3] + v[3],
+            ];
+            let pos = Ecef::new(y[0], y[1], y[2]);
+            let bias = y[3];
+            if !pos.is_finite() || !bias.is_finite() {
+                continue;
+            }
+            let rms = Bancroft::residual_rms(measurements, pos, bias);
+            if best.as_ref().is_none_or(|(_, _, best_rms)| rms < *best_rms) {
+                best = Some((pos, bias, rms));
+            }
+        }
+        match best {
+            Some((pos, bias, rms)) => Ok(Solution::new(pos, Some(bias), 1, rms)),
+            None => Err(SolveError::NoRealRoot),
+        }
+    }
 }
 
 // Implemented without importing `Solver`, so `.solve(&meas, bias)` in
@@ -82,6 +174,9 @@ impl crate::Solver for Bancroft {
         epoch: &crate::Epoch<'_>,
         ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
+        if crate::solver::stack_lane(ctx, epoch.len()) {
+            return self.solve_stack(epoch);
+        }
         let measurements = epoch.measurements;
         validate(measurements, 4)?;
         let m = measurements.len();

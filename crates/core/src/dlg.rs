@@ -1,6 +1,7 @@
 use gps_geodesy::Ecef;
 use gps_linalg::lstsq::{self, GlsStrategy};
-use gps_linalg::Matrix;
+use gps_linalg::stack::{self, SMat};
+use gps_linalg::{Matrix, STACK_M_CAP};
 
 use crate::dlo::LinearSystem;
 use crate::instrument;
@@ -207,6 +208,97 @@ impl Dlg {
             }
         }
     }
+
+    /// Stack mirror of [`Dlg::covariance_into`]: same entry formulas and
+    /// fill order on an [`SMat`] with `m − 1` active rows.
+    // lint: no_alloc
+    fn covariance_stack(
+        &self,
+        corrected_ranges: &[f64],
+        elevations: &[Option<f64>],
+        base_index: usize,
+    ) -> SMat<STACK_M_CAP, STACK_M_CAP> {
+        let m = corrected_ranges.len();
+        let rho1 = corrected_ranges[base_index];
+        let rho1_sq = rho1 * rho1;
+        // Scale Ψ by the squared mean range: GLS is scale-invariant, and
+        // normalizing keeps the Cholesky well inside f64 range (raw
+        // entries would be ~10¹⁴).
+        let scale = 1.0 / rho1_sq.max(1.0);
+        let rho1_scaled = rho1_sq * scale;
+        // Diagonal term for differenced row r, from the original input.
+        let other = |r: usize| {
+            let j = if r < base_index { r } else { r + 1 };
+            corrected_ranges[j] * corrected_ranges[j] * scale
+        };
+        let mut out = SMat::zeroed(m - 1);
+        match self.covariance {
+            CovarianceModel::Full => {
+                for r in 0..m - 1 {
+                    let diag = rho1_scaled + other(r);
+                    let row = out.row_mut(r);
+                    for (c, entry) in row[..m - 1].iter_mut().enumerate() {
+                        *entry = if r == c { diag } else { rho1_scaled };
+                    }
+                }
+            }
+            CovarianceModel::DiagonalOnly => {
+                for r in 0..m - 1 {
+                    out.row_mut(r)[r] = rho1_scaled + other(r);
+                }
+            }
+            CovarianceModel::Identity => {
+                for r in 0..m - 1 {
+                    out.row_mut(r)[r] = 1.0;
+                }
+            }
+            CovarianceModel::ElevationScaled => {
+                // Per-satellite variance weight from the elevation budget
+                // (same 1/sin(el) shape as the receiver-noise model).
+                let weight = |el: Option<f64>| {
+                    el.map_or(1.0, |e: f64| {
+                        let clamped = e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
+                        1.0 / clamped.sin()
+                    })
+                };
+                let w1 = weight(elevations[base_index]);
+                for r in 0..m - 1 {
+                    let j = if r < base_index { r } else { r + 1 };
+                    let diag = w1 * rho1_scaled + weight(elevations[j]) * other(r);
+                    let row = out.row_mut(r);
+                    for (c, entry) in row[..m - 1].iter_mut().enumerate() {
+                        *entry = if r == c { diag } else { w1 * rho1_scaled };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stack-kernel fast lane: linearize, build Ψ, and whiten-solve with
+    /// every intermediate on the stack. Bit-identical to the heap lane.
+    // lint: no_alloc
+    fn solve_stack(&self, epoch: &crate::Epoch<'_>) -> Result<Solution, SolveError> {
+        let m = epoch.len();
+        let sys = crate::dlo::linearize_stack(
+            epoch.measurements,
+            epoch.predicted_receiver_bias_m,
+            self.base,
+        )?;
+        let mut cov =
+            self.covariance_stack(&sys.corrected[..m], &sys.elevations[..m], sys.base_index);
+        let step = stack::gls3(&sys.a, &sys.d, &mut cov)?;
+        let position = Ecef::new(step[0], step[1], step[2]);
+        let rms = crate::dlo::residual_rms_scaled_stack(
+            &sys.a,
+            &sys.d,
+            &sys.corrected[..m],
+            sys.base_index,
+            position,
+        );
+        instrument::dlg_solves().inc();
+        Ok(Solution::new(position, None, 1, rms))
+    }
 }
 
 // Implemented without importing `Solver`, so `.solve(&meas, bias)` in
@@ -219,6 +311,9 @@ impl crate::Solver for Dlg {
         epoch: &crate::Epoch<'_>,
         ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
+        if crate::solver::stack_lane(ctx, epoch.len()) {
+            return self.solve_stack(epoch);
+        }
         let base_index = crate::dlo::linearize_into(
             epoch.measurements,
             epoch.predicted_receiver_bias_m,

@@ -55,6 +55,7 @@
 
 mod bancroft;
 mod base;
+mod block;
 mod dlg;
 mod dlo;
 mod dop;
@@ -79,6 +80,7 @@ mod velocity;
 
 pub use bancroft::Bancroft;
 pub use base::BaseSelection;
+pub use block::{EpochBlock, BLOCK_LANES};
 pub use dlg::{CovarianceModel, Dlg};
 pub use dlo::{linearize, Dlo, LinearSystem};
 pub use dop::Dop;

@@ -1,5 +1,7 @@
 use gps_geodesy::Ecef;
 use gps_linalg::lstsq;
+use gps_linalg::stack::{self, SMat, SVec};
+use gps_linalg::STACK_M_CAP;
 
 use crate::instrument;
 use crate::measurement::validate;
@@ -131,6 +133,118 @@ impl NewtonRaphson {
     pub fn tolerance_m(&self) -> f64 {
         self.tolerance_m
     }
+
+    /// Stack-kernel fast lane: the same Newton iteration with the
+    /// Jacobian, right-hand side and weights in stack storage and each
+    /// step solved by the const-generic kernels. Bit-identical to the
+    /// heap lane iterate for iterate.
+    // lint: no_alloc
+    fn solve_stack(&self, epoch: &crate::Epoch<'_>) -> Result<Solution, SolveError> {
+        let measurements = epoch.measurements;
+        validate(measurements, 4)?;
+        let m = measurements.len();
+
+        let mut pos = self.initial_position;
+        // A caller-supplied bias prediction is a better initial guess than
+        // zero; NR still refines it as an unknown.
+        let mut bias = if epoch.predicted_receiver_bias_m != 0.0 {
+            epoch.predicted_receiver_bias_m
+        } else {
+            self.initial_bias_m
+        };
+
+        let mut geometry = SMat::<STACK_M_CAP, 4>::zeroed(m);
+        let mut rhs = SVec::<STACK_M_CAP>::zeroed(m);
+        let mut weights = [0.0_f64; STACK_M_CAP];
+
+        for iteration in 1..=self.max_iterations {
+            // Build P and the Jacobian at the current iterate (eq. 3-24 and
+            // 3-20..3-23: ∂Pᵢ/∂x = (xᵉ−xᵢ)/ℜᵢ, ∂Pᵢ/∂εᴿ = 1).
+            for (i, meas) in measurements.iter().enumerate() {
+                let delta = pos - meas.position;
+                let range = delta.norm();
+                if range < 1.0 {
+                    // Iterate collided with a satellite: geometry is
+                    // hopeless from this start.
+                    instrument::nr_nonconvergence().inc();
+                    return Err(SolveError::NonConvergence {
+                        iterations: iteration,
+                        residual: f64::INFINITY,
+                    });
+                }
+                let p_i = range - meas.pseudorange + bias;
+                rhs.as_mut_slice()[i] = -p_i;
+                let row = geometry.row_mut(i);
+                row[0] = delta.x / range;
+                row[1] = delta.y / range;
+                row[2] = delta.z / range;
+                row[3] = 1.0;
+            }
+
+            // Step 4: solve eq. 3-26 by OLS (exact solve when m = 4), or
+            // by weighted LS when elevation weighting is configured.
+            let step = match self.weighting {
+                Weighting::Uniform => stack::ols4(&geometry, &rhs)?,
+                Weighting::SinSquaredElevation => {
+                    for (w, meas) in weights[..m].iter_mut().zip(measurements) {
+                        *w = meas
+                            .elevation
+                            .map_or(1.0, |el| (el.sin() * el.sin()).max(1e-3));
+                    }
+                    stack::wls4(&geometry, &rhs, &weights[..m])?
+                }
+            };
+
+            pos += Ecef::new(step[0], step[1], step[2]);
+            bias += step[3];
+
+            if !pos.is_finite() || !bias.is_finite() {
+                instrument::nr_nonconvergence().inc();
+                return Err(SolveError::NonConvergence {
+                    iterations: iteration,
+                    residual: f64::INFINITY,
+                });
+            }
+
+            // Same fold as `Vector::norm_inf`, NaN semantics included.
+            let step_norm_inf = step.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()));
+            if step_norm_inf < self.tolerance_m {
+                // Converged: report the residual RMS at the accepted
+                // iterate.
+                let mut sum_sq = 0.0;
+                for meas in measurements {
+                    let r = (pos - meas.position).norm() - meas.pseudorange + bias;
+                    sum_sq += r * r;
+                }
+                let residual_rms = (sum_sq / m as f64).sqrt();
+                instrument::nr_solves().inc();
+                instrument::nr_iterations().record(iteration as f64);
+                instrument::nr_residual_rms().record(residual_rms);
+                return Ok(Solution::new(pos, Some(bias), iteration, residual_rms));
+            }
+        }
+
+        let residual = measurements
+            .iter()
+            .map(|meas| {
+                let r = (pos - meas.position).norm() - meas.pseudorange + bias;
+                r * r
+            })
+            .sum::<f64>()
+            .sqrt();
+        instrument::nr_nonconvergence().inc();
+        if gps_telemetry::enabled(Level::Warn) {
+            Event::new(Level::Warn, "core.nr", "did not converge")
+                .with("iterations", self.max_iterations)
+                .with("residual_m", residual)
+                .with("satellites", m)
+                .emit();
+        }
+        Err(SolveError::NonConvergence {
+            iterations: self.max_iterations,
+            residual,
+        })
+    }
 }
 
 impl Default for NewtonRaphson {
@@ -151,6 +265,9 @@ impl crate::Solver for NewtonRaphson {
         epoch: &crate::Epoch<'_>,
         ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
+        if crate::solver::stack_lane(ctx, epoch.len()) {
+            return self.solve_stack(epoch);
+        }
         let measurements = epoch.measurements;
         validate(measurements, 4)?;
         let m = measurements.len();

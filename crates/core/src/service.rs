@@ -202,6 +202,7 @@ struct ServiceMetrics {
     round_failures: Counter,
     journal_records: Counter,
     journal_bytes: Gauge,
+    batch_drains: Counter,
     latency_us: Histogram,
 }
 
@@ -215,6 +216,7 @@ impl ServiceMetrics {
             round_failures: gps_telemetry::counter("service.round_failures"),
             journal_records: gps_telemetry::counter("service.journal_records"),
             journal_bytes: gps_telemetry::gauge("service.journal_bytes"),
+            batch_drains: gps_telemetry::counter("service.batch_drains"),
             latency_us: gps_telemetry::histogram("service.latency_us"),
         }
     }
@@ -504,9 +506,30 @@ enum RoundMessage {
     ShardDone,
 }
 
+/// One dequeued epoch, fully processed inside the shard lock and
+/// carried out to the lock-free journaling/report phase of
+/// [`run_shard_round`]'s batch drain.
+struct DrainedEpoch {
+    receiver: u64,
+    seq: u64,
+    disposition: Disposition,
+    dt_s: f64,
+    predicted_bias_m: f64,
+    measurements: Vec<Measurement>,
+    result: Result<ResilientFix, SolveError>,
+    digest: u64,
+    enqueued: Instant,
+}
+
 /// One shard's work for one round: drain the queue, route each epoch
-/// by deadline, journal, and report. Runs inside a pool job; the
-/// queue lock is taken per epoch so `ingest` interleaves cleanly.
+/// by deadline, journal, and report. Runs inside a pool job. With a
+/// shallow queue the lock is taken per epoch so `ingest` interleaves
+/// cleanly; once the queue is at least [`crate::BLOCK_LANES`] deep the
+/// round drains a block's worth per lock acquisition instead —
+/// latency is backlog-dominated at that point, so amortizing the lock
+/// (and feeding the solvers back-to-back epochs) is pure win. Epoch
+/// outcomes are identical either way: FIFO order and per-epoch session
+/// processing are preserved, only the lock cadence changes.
 fn run_shard_round(
     shard: &Mutex<Shard>,
     round: u64,
@@ -527,64 +550,95 @@ fn run_shard_round(
         }
         None => {}
     }
+    // Reused batch scratch: epochs processed under one lock hold,
+    // journaled and reported after it drops.
+    let mut drained: Vec<DrainedEpoch> = Vec::with_capacity(crate::BLOCK_LANES);
     loop {
         let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(queued) = guard.queue.pop_front() else {
+        let depth = guard.queue.len();
+        if depth == 0 {
             break;
-        };
-        let Queued { epoch, enqueued } = queued;
-        let waited = enqueued.elapsed();
-        let session = guard
-            .sessions
-            .entry(epoch.receiver)
-            .or_insert_with(|| Session::new(epoch.receiver));
-        session.touch(round);
-        let seq = session.seq();
-        let predicted_bias_m = session.predicted_bias_m();
-        let (disposition, result) = if waited > deadline {
-            metrics.deadline_expired.inc();
-            (
-                Disposition::DeadlineExpired,
-                session.expire_deadline(epoch.dt_s, deadline.as_micros() as u64),
-            )
+        }
+        // Deep queue → batch drain (see fn docs); shallow → one epoch
+        // per lock so ingest interleaves.
+        let batch = if depth >= crate::BLOCK_LANES {
+            metrics.batch_drains.inc();
+            crate::BLOCK_LANES
         } else {
-            (
-                Disposition::Solved,
-                session.process(&epoch.measurements, epoch.dt_s),
-            )
+            1
         };
-        let digest = session.digest();
-        drop(guard);
-
-        if let Some(journal) = journal {
-            let record = JournalRecord {
+        drained.clear();
+        for _ in 0..batch {
+            let Some(queued) = guard.queue.pop_front() else {
+                break;
+            };
+            let Queued { epoch, enqueued } = queued;
+            let waited = enqueued.elapsed();
+            let session = guard
+                .sessions
+                .entry(epoch.receiver)
+                .or_insert_with(|| Session::new(epoch.receiver));
+            session.touch(round);
+            let seq = session.seq();
+            let predicted_bias_m = session.predicted_bias_m();
+            let (disposition, result) = if waited > deadline {
+                metrics.deadline_expired.inc();
+                (
+                    Disposition::DeadlineExpired,
+                    session.expire_deadline(epoch.dt_s, deadline.as_micros() as u64),
+                )
+            } else {
+                (
+                    Disposition::Solved,
+                    session.process(&epoch.measurements, epoch.dt_s),
+                )
+            };
+            let digest = session.digest();
+            drained.push(DrainedEpoch {
                 receiver: epoch.receiver,
                 seq,
                 disposition,
                 dt_s: epoch.dt_s,
                 predicted_bias_m,
                 measurements: epoch.measurements,
-                outcome: OutcomeBits::from_result(&result),
+                result,
                 digest,
-            };
-            let mut writer = journal.lock().unwrap_or_else(|e| e.into_inner());
-            if writer.append(&record.encode()).is_ok() {
-                metrics.journal_records.inc();
-                metrics.journal_bytes.set(writer.bytes_written() as f64);
-            }
+                enqueued,
+            });
         }
+        drop(guard);
 
-        let latency_us = enqueued.elapsed().as_micros() as u64;
-        metrics.latency_us.record(latency_us as f64);
-        let outcome = EpochOutcome {
-            receiver: epoch.receiver,
-            seq,
-            disposition,
-            result,
-            latency_us,
-        };
-        if tx.send(RoundMessage::Outcome(outcome)).is_err() {
-            return; // collector gave up on this round
+        for epoch in drained.drain(..) {
+            if let Some(journal) = journal {
+                let record = JournalRecord {
+                    receiver: epoch.receiver,
+                    seq: epoch.seq,
+                    disposition: epoch.disposition,
+                    dt_s: epoch.dt_s,
+                    predicted_bias_m: epoch.predicted_bias_m,
+                    measurements: epoch.measurements,
+                    outcome: OutcomeBits::from_result(&epoch.result),
+                    digest: epoch.digest,
+                };
+                let mut writer = journal.lock().unwrap_or_else(|e| e.into_inner());
+                if writer.append(&record.encode()).is_ok() {
+                    metrics.journal_records.inc();
+                    metrics.journal_bytes.set(writer.bytes_written() as f64);
+                }
+            }
+
+            let latency_us = epoch.enqueued.elapsed().as_micros() as u64;
+            metrics.latency_us.record(latency_us as f64);
+            let outcome = EpochOutcome {
+                receiver: epoch.receiver,
+                seq: epoch.seq,
+                disposition: epoch.disposition,
+                result: epoch.result,
+                latency_us,
+            };
+            if tx.send(RoundMessage::Outcome(outcome)).is_err() {
+                return; // collector gave up on this round
+            }
         }
     }
     let _ = tx.send(RoundMessage::ShardDone);
@@ -914,6 +968,32 @@ mod tests {
         // from a never-fixed receiver sheds itself.
         let shed = service.ingest(good_epoch(5, 0.0));
         assert_eq!(shed, IngestResult::Shed { receiver: 5 });
+    }
+
+    #[test]
+    fn deep_queue_batch_drain_preserves_fifo_sessions() {
+        // A queue deeper than BLOCK_LANES triggers the batch drain path;
+        // outcomes must be indistinguishable from per-epoch draining:
+        // every epoch solved, per-receiver seqs strictly in order.
+        let mut config = quick_config();
+        config.shards = 1;
+        config.queue_capacity = 2 * crate::BLOCK_LANES + 4;
+        let mut service = PositioningService::new(config);
+        let total = 2 * crate::BLOCK_LANES + 3; // odd tail exercises batch=1
+        for i in 0..total as u64 {
+            assert_eq!(service.ingest(good_epoch(i % 3, 5.0)), IngestResult::Queued);
+        }
+        let round = service.process_round();
+        assert_eq!(round.completed_shards, 1);
+        assert_eq!(round.outcomes.len(), total);
+        let mut next_seq = [0u64; 3];
+        for outcome in &round.outcomes {
+            assert_eq!(outcome.disposition, Disposition::Solved);
+            assert!(outcome.result.is_ok());
+            let r = outcome.receiver as usize;
+            assert_eq!(outcome.seq, next_seq[r], "per-receiver FIFO broken");
+            next_seq[r] += 1;
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::fmt;
 use gps_linalg::lstsq::LstsqScratch;
 use gps_linalg::{Matrix, Vector};
 
+use crate::block::EpochBlock;
 use crate::{Measurement, PositionSolver, Solution, SolveError};
 
 /// One epoch of solver input: a borrowed slice of satellite
@@ -125,6 +126,10 @@ pub struct SolveContext {
     pub(crate) lstsq: LstsqScratch,
     /// RAIM fault-exclusion workspaces.
     pub(crate) raim: RaimScratch,
+    /// When set, solves take the heap lane even under the stack kernels'
+    /// m-cap. Default unset: the stack lane is on (the two lanes are
+    /// bit-identical, so this is purely a performance/measurement knob).
+    heap_only: bool,
 }
 
 impl SolveContext {
@@ -133,6 +138,42 @@ impl SolveContext {
     pub fn new() -> Self {
         SolveContext::default()
     }
+
+    /// Whether the stack-kernel fast lane is enabled (default: yes).
+    ///
+    /// With the lane enabled, solvers route epochs of at most
+    /// [`gps_linalg::STACK_M_CAP`] measurements through the
+    /// const-generic stack kernels of [`gps_linalg::stack`] — no heap
+    /// traffic at all, not even warm-up — and fall back to the heap
+    /// scratch buffers above the cap. Results are bit-for-bit identical
+    /// either way; disabling the lane exists for benchmarks that measure
+    /// the heap path and for parity tests.
+    #[must_use]
+    pub fn stack_kernels(&self) -> bool {
+        !self.heap_only
+    }
+
+    /// Enables or disables the stack-kernel fast lane.
+    pub fn set_stack_kernels(&mut self, enabled: bool) {
+        self.heap_only = !enabled;
+    }
+
+    /// Builder-style [`SolveContext::set_stack_kernels`].
+    #[must_use]
+    pub fn with_stack_kernels(mut self, enabled: bool) -> Self {
+        self.set_stack_kernels(enabled);
+        self
+    }
+}
+
+/// Lane dispatch shared by the four solvers: the stack fast lane runs
+/// when the context allows it, the epoch fits under the
+/// [`gps_linalg::STACK_M_CAP`] cap, and detail telemetry is off (the
+/// detail observations — condition numbers, covariance-assembly timing —
+/// are wired to the heap buffers; both lanes are bit-identical, so
+/// falling back costs nothing but speed).
+pub(crate) fn stack_lane(ctx: &SolveContext, m: usize) -> bool {
+    ctx.stack_kernels() && m <= gps_linalg::STACK_M_CAP && !gps_telemetry::detail()
 }
 
 /// Common hot-path interface over the positioning algorithms.
@@ -153,6 +194,28 @@ pub trait Solver: fmt::Debug + Send + Sync {
     /// geometry is degenerate, the input is non-finite, or (iterative
     /// solvers) the iteration fails to converge.
     fn solve(&self, epoch: &Epoch<'_>, ctx: &mut SolveContext) -> Result<Solution, SolveError>;
+
+    /// Solves every lane of a same-shape [`EpochBlock`], appending one
+    /// result per lane to `out` in lane order (callers clear `out`).
+    ///
+    /// The default implementation loops [`Solver::solve`], so every
+    /// solver accepts block feeding; solvers with a structure-of-arrays
+    /// lock-step kernel ([`crate::Dlo`]) override it. Either way each
+    /// lane's result is **bit-for-bit identical** to a per-epoch
+    /// [`Solver::solve`] of the same lane — block mode is a throughput
+    /// knob, never a semantics knob.
+    // lint: no_alloc
+    fn solve_block(
+        &self,
+        block: &EpochBlock<'_>,
+        ctx: &mut SolveContext,
+        out: &mut Vec<Result<Solution, SolveError>>,
+    ) {
+        crate::instrument::block_fallback().inc();
+        for epoch in block.epochs() {
+            out.push(self.solve(&epoch, ctx));
+        }
+    }
 
     /// Short algorithm name for reports ("NR", "DLO", "DLG", "Bancroft").
     fn name(&self) -> &'static str;
@@ -187,6 +250,17 @@ impl<S: Solver + ?Sized> Solver for &S {
         (**self).solve(epoch, ctx)
     }
 
+    // Forwarded explicitly: the provided default would loop `solve` and
+    // silently bypass the inner solver's SoA override.
+    fn solve_block(
+        &self,
+        block: &EpochBlock<'_>,
+        ctx: &mut SolveContext,
+        out: &mut Vec<Result<Solution, SolveError>>,
+    ) {
+        (**self).solve_block(block, ctx, out);
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -211,6 +285,17 @@ impl<S: Solver + ?Sized> Solver for &S {
 impl<S: Solver + ?Sized> Solver for Box<S> {
     fn solve(&self, epoch: &Epoch<'_>, ctx: &mut SolveContext) -> Result<Solution, SolveError> {
         (**self).solve(epoch, ctx)
+    }
+
+    // Forwarded explicitly: the provided default would loop `solve` and
+    // silently bypass the inner solver's SoA override.
+    fn solve_block(
+        &self,
+        block: &EpochBlock<'_>,
+        ctx: &mut SolveContext,
+        out: &mut Vec<Result<Solution, SolveError>>,
+    ) {
+        (**self).solve_block(block, ctx, out);
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,155 @@
+//! Parallel-engine parity: any worker count, any claim order, and —
+//! since the SoA refactor — any `block_size` must produce outcomes
+//! bit-for-bit identical to a serial sweep of the same stream.
+
+use gps_core::{
+    Bancroft, Dlg, Dlo, Epoch, EpochJob, Measurement, NewtonRaphson, ParallelEngine, SolveContext,
+    Solver,
+};
+use gps_geodesy::Geodetic;
+use gps_pool::ThreadPool;
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_epoch(rng: &mut StdRng, m: usize) -> Vec<Measurement> {
+    let receiver = Geodetic::from_deg(
+        rng.gen_range(-60.0..60.0),
+        rng.gen_range(-179.0..179.0),
+        rng.gen_range(-100.0..9_000.0),
+    )
+    .to_ecef();
+    let frame = gps_geodesy::LocalFrame::new(receiver);
+    (0..m)
+        .map(|k| {
+            let jitter = rng.gen_range(0.0..1.0);
+            let el: f64 = rng.gen_range(10.0..85.0).to_radians();
+            let az = (k as f64 + jitter) / m as f64 * std::f64::consts::TAU;
+            let range = 2.2e7;
+            let enu = gps_geodesy::Enu::new(
+                range * el.cos() * az.sin(),
+                range * el.cos() * az.cos(),
+                range * el.sin(),
+            );
+            let sat = frame.to_ecef(enu);
+            let noise = rng.gen_range(-3.0..3.0);
+            Measurement::new(sat, sat.distance_to(receiver) + noise).with_elevation(el)
+        })
+        .collect()
+}
+
+/// A mixed-shape stream: runs of m=6 broken up by m=5, m=4 and one
+/// under-determined m=3 epoch, so blocks split mid-stream and the
+/// fallback + error paths are all exercised.
+fn mixed_stream(len: usize) -> Vec<EpochJob> {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0001);
+    (0..len)
+        .map(|i| {
+            let m = match i % 11 {
+                3 => 5,
+                7 => 3,
+                9 => 4,
+                _ => 6,
+            };
+            EpochJob::new(random_epoch(&mut rng, m), rng.gen_range(-5.0..5.0))
+        })
+        .collect()
+}
+
+#[test]
+fn blocked_run_is_bit_identical_to_serial_and_shared() {
+    let engine = ParallelEngine::all_solvers();
+    let stream = Arc::new(mixed_stream(33));
+
+    // Serial reference: one context per lane, epoch by epoch.
+    let mut ctxs: Vec<SolveContext> = engine
+        .solvers()
+        .iter()
+        .map(|_| SolveContext::new())
+        .collect();
+    let serial: Vec<Vec<_>> = stream
+        .iter()
+        .map(|job| {
+            let epoch = Epoch::new(&job.measurements, job.predicted_receiver_bias_m);
+            engine
+                .solvers()
+                .iter()
+                .zip(ctxs.iter_mut())
+                .map(|(s, ctx)| s.solve(&epoch, ctx))
+                .collect()
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::new(workers);
+        let shared = engine.run_shared(&pool, Arc::clone(&stream));
+        assert_eq!(shared.outcomes, serial, "run_shared, {workers} workers");
+        for block_size in [1usize, 4, 8, 13] {
+            let blocked = engine.run_blocked(&pool, Arc::clone(&stream), block_size);
+            assert_eq!(
+                blocked.outcomes, serial,
+                "run_blocked bs={block_size}, {workers} workers"
+            );
+            for (lane, (b, s)) in blocked
+                .lane_stats
+                .iter()
+                .zip(shared.lane_stats.iter())
+                .enumerate()
+            {
+                assert_eq!(b.epochs, s.epochs, "lane {lane} epochs");
+                assert_eq!(b.solved, s.solved, "lane {lane} solved");
+                assert_eq!(b.failed, s.failed, "lane {lane} failed");
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_run_with_heap_only_lanes_matches_stack_lanes() {
+    // The block path must not change results even when the SoA kernel
+    // is unavailable (heap-only m above the cap would fall back the
+    // same way): compare stack-lane block run against a heap-lane
+    // serial sweep.
+    let stream = Arc::new(mixed_stream(22));
+    let engine = ParallelEngine::new()
+        .with_solver(Box::new(Dlo::default()))
+        .with_solver(Box::new(Dlg::default()))
+        .with_solver(Box::new(NewtonRaphson::default()))
+        .with_solver(Box::new(Bancroft));
+    let pool = ThreadPool::new(2);
+    let blocked = engine.run_blocked(&pool, Arc::clone(&stream), 8);
+
+    let mut heap_ctxs: Vec<SolveContext> = engine
+        .solvers()
+        .iter()
+        .map(|_| SolveContext::new().with_stack_kernels(false))
+        .collect();
+    for (i, job) in stream.iter().enumerate() {
+        let epoch = Epoch::new(&job.measurements, job.predicted_receiver_bias_m);
+        for (lane, solver) in engine.solvers().iter().enumerate() {
+            let heap = solver.solve(&epoch, &mut heap_ctxs[lane]);
+            assert_eq!(blocked.outcomes[i][lane], heap, "epoch {i} lane {lane}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_streams_are_safe_in_block_mode() {
+    let engine = ParallelEngine::all_solvers();
+    let pool = ThreadPool::new(2);
+
+    // Empty stream.
+    let empty = engine.run_blocked(&pool, Arc::new(Vec::new()), 8);
+    assert!(empty.outcomes.is_empty());
+
+    // Every epoch under-determined.
+    let mut rng = StdRng::seed_from_u64(0xB10C_0002);
+    let bad: Vec<EpochJob> = (0..9)
+        .map(|_| EpochJob::new(random_epoch(&mut rng, 2), 0.0))
+        .collect();
+    let run = engine.run_blocked(&pool, Arc::new(bad), 4);
+    assert_eq!(run.outcomes.len(), 9);
+    for per_epoch in &run.outcomes {
+        assert!(per_epoch.iter().all(|r| r.is_err()));
+    }
+}

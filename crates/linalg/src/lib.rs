@@ -42,6 +42,7 @@ pub mod lstsq;
 mod lu;
 mod matrix;
 mod qr;
+pub mod stack;
 mod vector;
 
 pub use cholesky::Cholesky;
@@ -50,6 +51,7 @@ pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use qr::QrDecomposition;
+pub use stack::{SMat, SVec, STACK_M_CAP};
 pub use vector::Vector;
 
 /// Convenience alias for results returned by this crate.

@@ -1,0 +1,625 @@
+//! Stack-allocated const-generic kernels for the hot solve shapes.
+//!
+//! The paper's positioning systems are tiny — `m ≤ ~12` pseudorange rows,
+//! 3–4 unknowns — so the general heap-backed [`crate::Matrix`] path spends
+//! a measurable share of every fix on pointer chasing and runtime-dimension
+//! bookkeeping. This module provides the same least-squares kernels on
+//! fixed-capacity, `Copy`, stack-resident types:
+//!
+//! * [`SMat<M, N>`] / [`SVec<N>`] — `M`/`N` are **capacities**; the active
+//!   row count is a runtime field bounded by the capacity, so one
+//!   monomorphization (capacity [`STACK_M_CAP`]) serves every satellite
+//!   count the solvers meet.
+//! * [`ols3`] / [`ols4`] — normal-equation OLS for the two hot column
+//!   counts (direct linearization: 3 unknowns; NR/Bancroft: 4).
+//! * [`wls4`] — row-scaled weighted least squares (NR elevation weighting).
+//! * [`gls3`] — whitened general least squares (DLG's correlated Ψ).
+//! * [`cholesky_factor`] and the substitution kernels underneath them.
+//!
+//! # Bit-for-bit parity with the heap path
+//!
+//! Every kernel here performs **the same floating-point operations in the
+//! same order** as its heap counterpart in [`crate::lstsq`] /
+//! [`crate::Cholesky`] ([`ols3`] mirrors `lstsq::ols3`, [`ols4`] mirrors
+//! `ols_into`'s gram + Cholesky chain, [`wls4`] mirrors `wls_into`,
+//! [`gls3`] mirrors `gls_into` with [`crate::lstsq::GlsStrategy::Whitened`]).
+//! IEEE-754 arithmetic is deterministic, so on identical inputs the stack
+//! and heap lanes return bit-identical results and identical errors — a
+//! property pinned by the `stack_parity` test suite and relied on by
+//! `gps-core`'s solver dispatch (stack lane under the m-cap, heap lane
+//! above it, callers can't tell which one ran).
+
+use crate::LinalgError;
+
+/// Maximum row count (satellites) the stack kernels accept. Epochs with
+/// more measurements take the heap lane; the cap is sized so a full
+/// [`SMat<STACK_M_CAP, 4>`] plus the DLG covariance stay comfortably
+/// within a couple of KiB of stack.
+pub const STACK_M_CAP: usize = 16;
+
+/// Fixed-capacity row-major matrix: `M` rows × `N` columns of storage,
+/// with a runtime active-row count `rows ≤ M`. Columns are always fully
+/// active (the hot shapes have exactly 3 or 4 columns, so the column
+/// capacity *is* the column count).
+///
+/// `Copy`: ≤ `16 × 16 × 8` bytes at the largest instantiation used by the
+/// solvers, cheap to pass by value and trivially reusable without any
+/// warm-up allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SMat<const M: usize, const N: usize> {
+    rows: usize,
+    data: [[f64; N]; M],
+}
+
+impl<const M: usize, const N: usize> SMat<M, N> {
+    /// A zeroed matrix with `rows` active rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > M` (capacity overflow is a caller bug; the
+    /// solvers gate on [`STACK_M_CAP`] before building one).
+    #[must_use]
+    pub fn zeroed(rows: usize) -> Self {
+        assert!(rows <= M, "SMat: {rows} rows exceed capacity {M}");
+        SMat {
+            rows,
+            data: [[0.0; N]; M],
+        }
+    }
+
+    /// Number of active rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (always the full capacity `N`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        N
+    }
+
+    /// Borrows active row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64; N] {
+        assert!(r < self.rows, "SMat: row {r} out of {} active", self.rows);
+        &self.data[r]
+    }
+
+    /// Mutably borrows active row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64; N] {
+        assert!(r < self.rows, "SMat: row {r} out of {} active", self.rows);
+        &mut self.data[r]
+    }
+
+    /// Borrows the active rows as a slice (bounds-check-free iteration).
+    #[must_use]
+    pub fn active_rows(&self) -> &[[f64; N]] {
+        &self.data[..self.rows]
+    }
+}
+
+/// Fixed-capacity vector: `N` slots of storage with a runtime active
+/// length `len ≤ N`. The stack counterpart of [`crate::Vector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SVec<const N: usize> {
+    len: usize,
+    data: [f64; N],
+}
+
+impl<const N: usize> SVec<N> {
+    /// A zeroed vector with `len` active entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > N`.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len <= N, "SVec: length {len} exceeds capacity {N}");
+        SVec {
+            len,
+            data: [0.0; N],
+        }
+    }
+
+    /// Number of active entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no entries are active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows the active entries.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data[..self.len]
+    }
+
+    /// Mutably borrows the active entries.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data[..self.len]
+    }
+}
+
+/// Mirror of `lstsq::check_system` on the stack types: same checks, same
+/// order, same error values, so the two lanes reject identical inputs
+/// identically.
+fn check_kernel<const M: usize, const N: usize>(
+    a: &SMat<M, N>,
+    b: &SVec<M>,
+    op: &'static str,
+) -> crate::Result<()> {
+    let (m, n) = (a.rows, N);
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyDimension);
+    }
+    if m < n {
+        return Err(LinalgError::Underdetermined { rows: m, cols: n });
+    }
+    if b.len != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (b.len, 1),
+            op,
+        });
+    }
+    let finite_a = a
+        .active_rows()
+        .iter()
+        .all(|row| row.iter().all(|v| v.is_finite()));
+    let finite_b = b.as_slice().iter().all(|v| v.is_finite());
+    if !finite_a || !finite_b {
+        return Err(LinalgError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Stack mirror of [`crate::lstsq::ols3`]: 3-unknown OLS through scalar
+/// normal-equation accumulators and Cramer's rule. Bit-identical results
+/// and errors on identical inputs.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::lstsq::ols3`] ([`LinalgError::Singular`]
+/// for rank-deficient geometry).
+// lint: no_alloc
+pub fn ols3<const M: usize>(a: &SMat<M, 3>, b: &SVec<M>) -> crate::Result<[f64; 3]> {
+    check_kernel(a, b, "ols3")?;
+    // Accumulate AᵀA (symmetric) and Aᵀb — the same statement order as the
+    // heap kernel, so every rounding step matches.
+    let (mut g00, mut g01, mut g02, mut g11, mut g12, mut g22) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut c0, mut c1, mut c2) = (0.0, 0.0, 0.0);
+    for (row, &w) in a.active_rows().iter().zip(b.as_slice()) {
+        let (x, y, z) = (row[0], row[1], row[2]);
+        g00 += x * x;
+        g01 += x * y;
+        g02 += x * z;
+        g11 += y * y;
+        g12 += y * z;
+        g22 += z * z;
+        c0 += x * w;
+        c1 += y * w;
+        c2 += z * w;
+    }
+    // Cramer's rule on the symmetric 3×3 system.
+    let det = g00 * (g11 * g22 - g12 * g12) - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02);
+    let scale = [g00, g11, g22].into_iter().fold(0.0f64, f64::max);
+    if det.abs() <= 1e-13 * scale * scale * scale.max(f64::MIN_POSITIVE) {
+        return Err(LinalgError::Singular);
+    }
+    let x0 = (c0 * (g11 * g22 - g12 * g12) - g01 * (c1 * g22 - g12 * c2)
+        + g02 * (c1 * g12 - g11 * c2))
+        / det;
+    let x1 = (g00 * (c1 * g22 - c2 * g12) - c0 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * c2 - c1 * g02))
+        / det;
+    let x2 = (g00 * (g11 * c2 - g12 * c1) - g01 * (g01 * c2 - c1 * g02)
+        + c0 * (g01 * g12 - g11 * g02))
+        / det;
+    Ok([x0, x1, x2])
+}
+
+/// Stack mirror of `lstsq::ols_core` for 4 unknowns: forms the 4×4 normal
+/// equations (lower triangle) and `Aᵀb`, then factors and substitutes via
+/// the stack Cholesky kernels — the exact operation sequence of the heap
+/// `ols_into` path at `n = 4`.
+// lint: no_alloc
+fn ols4_core<const M: usize>(a: &SMat<M, 4>, b: &SVec<M>) -> crate::Result<[f64; 4]> {
+    let mut gram = SMat::<4, 4>::zeroed(4);
+    let mut x = [0.0f64; 4];
+    for (row, &bv) in a.active_rows().iter().zip(b.as_slice()) {
+        for i in 0..4 {
+            let ai = row[i];
+            x[i] += ai * bv;
+            // Lower triangle of AᵀA is all the factorization reads.
+            for (gij, &rj) in gram.data[i][..=i].iter_mut().zip(row) {
+                *gij += ai * rj;
+            }
+        }
+    }
+    cholesky_factor(&mut gram)?;
+    cholesky_forward(&gram, &mut x);
+    cholesky_back(&gram, &mut x);
+    Ok(x)
+}
+
+/// Stack mirror of [`crate::lstsq::ols_into`] for the 4-unknown shape
+/// (NR Jacobian and Bancroft `B`). Bit-identical results and errors on
+/// identical inputs.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::lstsq::ols`]
+/// ([`LinalgError::NotPositiveDefinite`] for rank-deficient geometry).
+// lint: no_alloc
+pub fn ols4<const M: usize>(a: &SMat<M, 4>, b: &SVec<M>) -> crate::Result<[f64; 4]> {
+    check_kernel(a, b, "ols")?;
+    ols4_core(a, b)
+}
+
+/// Stack mirror of [`crate::lstsq::wls_into`] for the 4-unknown shape:
+/// scales each row of `A` and entry of `b` by `√wᵢ`, then runs the OLS
+/// core. Bit-identical results and errors on identical inputs.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::lstsq::wls`]: non-positive or non-finite
+/// weights surface as [`LinalgError::NotPositiveDefinite`] (pivot 0), a
+/// weight-count mismatch as [`LinalgError::ShapeMismatch`].
+// lint: no_alloc
+pub fn wls4<const M: usize>(
+    a: &SMat<M, 4>,
+    b: &SVec<M>,
+    weights: &[f64],
+) -> crate::Result<[f64; 4]> {
+    check_kernel(a, b, "wls")?;
+    let m = a.rows;
+    if weights.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, 4),
+            right: (weights.len(), 1),
+            op: "wls weights",
+        });
+    }
+    if weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
+        return Err(LinalgError::NotPositiveDefinite { pivot: 0 });
+    }
+    // Scale each row of A and entry of b by sqrt(w), then run OLS.
+    let mut scaled_a = SMat::<M, 4>::zeroed(m);
+    let mut scaled_b = SVec::<M>::zeroed(m);
+    for (r, &w) in weights.iter().enumerate() {
+        let s = w.sqrt();
+        let (src, dst) = (&a.data[r], &mut scaled_a.data[r]);
+        for c in 0..4 {
+            dst[c] = src[c] * s;
+        }
+        scaled_b.data[r] = b.data[r] * s;
+    }
+    ols4_core(&scaled_a, &scaled_b)
+}
+
+/// Stack mirror of [`crate::lstsq::gls_into`] with the whitening strategy
+/// for the 3-unknown shape (DLG): factors the covariance in place,
+/// half-solves `A` and `b` through the factor, and runs [`ols3`] on the
+/// whitened system. Bit-identical results and errors on identical inputs.
+///
+/// `cov` must carry `a.rows()` active rows; it is overwritten with its
+/// Cholesky factor (the same in-place consumption as the heap scratch).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::lstsq::gls`]
+/// ([`LinalgError::NotPositiveDefinite`] when `cov` is not SPD).
+// lint: no_alloc
+pub fn gls3<const M: usize, const C: usize>(
+    a: &SMat<M, 3>,
+    b: &SVec<M>,
+    cov: &mut SMat<C, C>,
+) -> crate::Result<[f64; 3]> {
+    check_kernel(a, b, "gls")?;
+    let m = a.rows;
+    if cov.rows != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, 3),
+            right: (cov.rows, cov.rows),
+            op: "gls covariance",
+        });
+    }
+    cholesky_factor(cov)?;
+    let mut whitened_a = *a;
+    cholesky_forward_columns(cov, &mut whitened_a);
+    let mut whitened_b = *b;
+    cholesky_forward(cov, whitened_b.as_mut_slice());
+    // The heap path re-runs ols3's input checks on the whitened system
+    // (overflow during whitening surfaces as NonFinite there); keep that.
+    ols3(&whitened_a, &whitened_b)
+}
+
+/// Stack mirror of [`crate::Cholesky::factor_in_place`] over the active
+/// `rows × rows` block: on success the lower triangle holds `L` and the
+/// strict upper triangle is zeroed. Same pivot tests, same error values,
+/// same operation order as the heap kernel.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::Cholesky::factor_in_place`] (the
+/// not-square case is impossible by construction here).
+// lint: no_alloc
+pub fn cholesky_factor<const N: usize>(a: &mut SMat<N, N>) -> crate::Result<()> {
+    let n = a.rows;
+    if n == 0 {
+        return Err(LinalgError::EmptyDimension);
+    }
+    let finite = a.data[..n]
+        .iter()
+        .all(|row| row[..n].iter().all(|v| v.is_finite()));
+    if !finite {
+        return Err(LinalgError::NonFinite);
+    }
+    for j in 0..n {
+        // Diagonal entry. Columns k < j of rows ≥ j already hold L.
+        let mut d = a.data[j][j];
+        for k in 0..j {
+            let v = a.data[j][k];
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let dsqrt = d.sqrt();
+        a.data[j][j] = dsqrt;
+        // Below-diagonal entries of column j.
+        for i in (j + 1)..n {
+            let mut s = a.data[i][j];
+            for k in 0..j {
+                s -= a.data[i][k] * a.data[j][k];
+            }
+            a.data[i][j] = s / dsqrt;
+        }
+        // Zero the strict upper triangle of row j so the result is a
+        // genuine lower-triangular factor.
+        for c in (j + 1)..n {
+            a.data[j][c] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Stack mirror of [`crate::Cholesky::forward_substitute`]: solves
+/// `L y = x` in place over the factor's active dimension. The caller
+/// guarantees `x.len() == l.rows()` (enforced by construction in every
+/// kernel above; debug-checked here), so the heap path's shape error
+/// cannot arise.
+// lint: no_alloc
+pub fn cholesky_forward<const N: usize>(l: &SMat<N, N>, x: &mut [f64]) {
+    let n = l.rows;
+    debug_assert!(x.len() >= n, "cholesky_forward: rhs shorter than factor");
+    for i in 0..n {
+        let row = &l.data[i];
+        let mut s = x[i];
+        for (j, xv) in x[..i].iter().enumerate() {
+            s -= row[j] * xv;
+        }
+        x[i] = s / row[i];
+    }
+}
+
+/// Stack mirror of [`crate::Cholesky::back_substitute`]: solves
+/// `Lᵀ x = y` in place over the factor's active dimension. Shape
+/// preconditions as for [`cholesky_forward`].
+// lint: no_alloc
+pub fn cholesky_back<const N: usize>(l: &SMat<N, N>, x: &mut [f64]) {
+    let n = l.rows;
+    debug_assert!(x.len() >= n, "cholesky_back: rhs shorter than factor");
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+            s -= l.data[j][i] * xj;
+        }
+        x[i] = s / l.data[i][i];
+    }
+}
+
+/// Stack mirror of [`crate::Cholesky::forward_substitute_matrix`]: the
+/// whitening transform `X ← L⁻¹X` across every column of `x`. The caller
+/// guarantees `x.rows() == l.rows()` (debug-checked).
+// lint: no_alloc
+pub fn cholesky_forward_columns<const C: usize, const M: usize, const N: usize>(
+    l: &SMat<C, C>,
+    x: &mut SMat<M, N>,
+) {
+    let n = l.rows;
+    debug_assert!(x.rows == n, "cholesky_forward_columns: row mismatch");
+    for i in 0..n {
+        for j in 0..i {
+            let lij = l.data[i][j];
+            for c in 0..N {
+                let v = x.data[j][c];
+                x.data[i][c] -= lij * v;
+            }
+        }
+        let d = l.data[i][i];
+        for c in 0..N {
+            x.data[i][c] /= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smat3(rows: &[[f64; 3]]) -> SMat<STACK_M_CAP, 3> {
+        let mut a = SMat::zeroed(rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            a.row_mut(r).copy_from_slice(row);
+        }
+        a
+    }
+
+    fn svec(vals: &[f64]) -> SVec<STACK_M_CAP> {
+        let mut v = SVec::zeroed(vals.len());
+        v.as_mut_slice().copy_from_slice(vals);
+        v
+    }
+
+    #[test]
+    fn accessors_and_capacity() {
+        let a = SMat::<8, 3>::zeroed(5);
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.active_rows().len(), 5);
+        let v = SVec::<8>::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_overflow_panics() {
+        let _ = SMat::<4, 3>::zeroed(5);
+    }
+
+    #[test]
+    fn ols3_solves_exact_system() {
+        // x = (1, -2, 3) through an overdetermined consistent system.
+        let rows = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ];
+        let truth = [1.0, -2.0, 3.0];
+        let b: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * truth[0] + r[1] * truth[1] + r[2] * truth[2])
+            .collect();
+        let x = ols3(&smat3(&rows), &svec(&b)).unwrap();
+        for (got, want) in x.iter().zip(truth) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ols4_solves_exact_system() {
+        let mut a = SMat::<STACK_M_CAP, 4>::zeroed(5);
+        let truth = [2.0, -1.0, 0.5, 4.0];
+        let mut b = SVec::<STACK_M_CAP>::zeroed(5);
+        let rows = [
+            [1.0, 0.0, 0.0, 1.0],
+            [0.0, 1.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0, 1.0],
+            [1.0, 1.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0, 1.0],
+        ];
+        for (r, row) in rows.iter().enumerate() {
+            a.row_mut(r).copy_from_slice(row);
+            b.as_mut_slice()[r] = row.iter().zip(truth).map(|(c, t)| c * t).sum();
+        }
+        let x = ols4(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(truth) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn error_paths_match_heap_semantics() {
+        // Underdetermined.
+        let a = smat3(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]);
+        let b = svec(&[1.0, 2.0]);
+        assert_eq!(
+            ols3(&a, &b).unwrap_err(),
+            LinalgError::Underdetermined { rows: 2, cols: 3 }
+        );
+        // Length mismatch.
+        let a = smat3(&[[1.0; 3]; 4]);
+        assert!(matches!(
+            ols3(&a, &svec(&[1.0; 3])).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        // Non-finite.
+        let mut a = smat3(&[[1.0; 3]; 4]);
+        a.row_mut(2)[1] = f64::NAN;
+        assert_eq!(
+            ols3(&a, &svec(&[1.0; 4])).unwrap_err(),
+            LinalgError::NonFinite
+        );
+        // Singular geometry.
+        let a = smat3(&[[1.0, 0.0, 0.0]; 4]);
+        assert_eq!(
+            ols3(&a, &svec(&[1.0; 4])).unwrap_err(),
+            LinalgError::Singular
+        );
+        // Bad weights.
+        let mut a4 = SMat::<STACK_M_CAP, 4>::zeroed(4);
+        for r in 0..4 {
+            a4.row_mut(r)[r] = 1.0;
+        }
+        let b4 = SVec::<STACK_M_CAP>::zeroed(4);
+        assert_eq!(
+            wls4(&a4, &b4, &[1.0, -1.0, 1.0, 1.0]).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 0 }
+        );
+        assert!(matches!(
+            wls4(&a4, &b4, &[1.0; 3]).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn gls3_identity_covariance_matches_ols3() {
+        let rows = [
+            [2.0, 1.0, 0.5],
+            [0.3, 1.5, -0.2],
+            [-1.0, 0.4, 2.0],
+            [0.8, -0.6, 1.1],
+        ];
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let a = smat3(&rows);
+        let bv = svec(&b);
+        let mut cov = SMat::<STACK_M_CAP, STACK_M_CAP>::zeroed(4);
+        for r in 0..4 {
+            cov.row_mut(r)[r] = 1.0;
+        }
+        let via_gls = gls3(&a, &bv, &mut cov).unwrap();
+        let via_ols = ols3(&a, &bv).unwrap();
+        for (g, o) in via_gls.iter().zip(via_ols) {
+            assert!((g - o).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_rejects_bad_input() {
+        assert_eq!(
+            cholesky_factor(&mut SMat::<4, 4>::zeroed(0)).unwrap_err(),
+            LinalgError::EmptyDimension
+        );
+        let mut indefinite = SMat::<4, 4>::zeroed(2);
+        indefinite.row_mut(0).copy_from_slice(&[1.0, 2.0, 0.0, 0.0]);
+        indefinite.row_mut(1).copy_from_slice(&[2.0, 1.0, 0.0, 0.0]);
+        assert!(matches!(
+            cholesky_factor(&mut indefinite).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+        let mut nan = SMat::<4, 4>::zeroed(1);
+        nan.row_mut(0)[0] = f64::NAN;
+        assert_eq!(
+            cholesky_factor(&mut nan).unwrap_err(),
+            LinalgError::NonFinite
+        );
+    }
+}

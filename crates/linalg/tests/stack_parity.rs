@@ -1,0 +1,204 @@
+//! Bit-for-bit parity between the stack const-generic kernels and the
+//! heap `*_into` path.
+//!
+//! The stack kernels promise to perform the same floating-point operations
+//! in the same order as the heap kernels, so on identical inputs the two
+//! lanes must agree **to the last ULP** — not merely to a tolerance. Every
+//! assertion here compares `f64::to_bits`, across seeded random
+//! well-conditioned systems for all hot `(M, N)` shapes (`N ∈ {3, 4}`,
+//! `M ≤ 16`), plus the error paths (both lanes must reject identically).
+
+use gps_linalg::lstsq::{self, GlsStrategy, LstsqScratch};
+use gps_linalg::stack::{self, SMat, SVec, STACK_M_CAP};
+use gps_linalg::{Matrix, Vector};
+use gps_rng::rngs::StdRng;
+use gps_rng::{Rng, SeedableRng};
+
+const CASES: usize = 64;
+
+/// A heap matrix and its stack mirror built from the same draws.
+fn paired_system<const N: usize>(
+    rng: &mut StdRng,
+    m: usize,
+) -> (Matrix, Vector, SMat<STACK_M_CAP, N>, SVec<STACK_M_CAP>) {
+    let mut sa = SMat::<STACK_M_CAP, N>::zeroed(m);
+    let mut sb = SVec::<STACK_M_CAP>::zeroed(m);
+    let a = Matrix::from_fn(m, N, |r, c| {
+        let v = rng.gen_range(-10.0..10.0);
+        sa.row_mut(r)[c] = v;
+        v
+    });
+    let b = Vector::from(
+        (0..m)
+            .map(|r| {
+                let v: f64 = rng.gen_range(-10.0..10.0);
+                sb.as_mut_slice()[r] = v;
+                v
+            })
+            .collect::<Vec<f64>>(),
+    );
+    (a, b, sa, sb)
+}
+
+fn assert_bits_eq(heap: &[f64], stk: &[f64], what: &str) {
+    assert_eq!(heap.len(), stk.len(), "{what}: length mismatch");
+    for (i, (h, s)) in heap.iter().zip(stk).enumerate() {
+        assert_eq!(
+            h.to_bits(),
+            s.to_bits(),
+            "{what}: component {i} differs: heap {h:e} vs stack {s:e}"
+        );
+    }
+}
+
+#[test]
+fn ols3_matches_heap_to_the_last_ulp() {
+    let mut rng = StdRng::seed_from_u64(0x57AC_0301);
+    for m in 3..=STACK_M_CAP {
+        for _ in 0..CASES {
+            let (a, b, sa, sb) = paired_system::<3>(&mut rng, m);
+            let mut scratch = LstsqScratch::new();
+            let mut x = Vector::default();
+            let heap = lstsq::ols_into(&a, &b, &mut scratch, &mut x);
+            let stk = stack::ols3(&sa, &sb);
+            match (heap, stk) {
+                (Ok(()), Ok(sol)) => assert_bits_eq(x.as_slice(), &sol, "ols3"),
+                (Err(he), Err(se)) => assert_eq!(he, se, "ols3 error parity (m={m})"),
+                (h, s) => panic!("ols3 lanes disagree on success (m={m}): {h:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn ols4_matches_heap_to_the_last_ulp() {
+    let mut rng = StdRng::seed_from_u64(0x57AC_0401);
+    for m in 4..=STACK_M_CAP {
+        for _ in 0..CASES {
+            let (a, b, sa, sb) = paired_system::<4>(&mut rng, m);
+            let mut scratch = LstsqScratch::new();
+            let mut x = Vector::default();
+            let heap = lstsq::ols_into(&a, &b, &mut scratch, &mut x);
+            let stk = stack::ols4(&sa, &sb);
+            match (heap, stk) {
+                (Ok(()), Ok(sol)) => assert_bits_eq(x.as_slice(), &sol, "ols4"),
+                (Err(he), Err(se)) => assert_eq!(he, se, "ols4 error parity (m={m})"),
+                (h, s) => panic!("ols4 lanes disagree on success (m={m}): {h:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn wls4_matches_heap_to_the_last_ulp() {
+    let mut rng = StdRng::seed_from_u64(0x57AC_0402);
+    for m in 4..=STACK_M_CAP {
+        for _ in 0..CASES {
+            let (a, b, sa, sb) = paired_system::<4>(&mut rng, m);
+            let weights: Vec<f64> = (0..m).map(|_| rng.gen_range(0.05..4.0)).collect();
+            let mut scratch = LstsqScratch::new();
+            let mut x = Vector::default();
+            let heap = lstsq::wls_into(&a, &b, &weights, &mut scratch, &mut x);
+            let stk = stack::wls4(&sa, &sb, &weights);
+            match (heap, stk) {
+                (Ok(()), Ok(sol)) => assert_bits_eq(x.as_slice(), &sol, "wls4"),
+                (Err(he), Err(se)) => assert_eq!(he, se, "wls4 error parity (m={m})"),
+                (h, s) => panic!("wls4 lanes disagree on success (m={m}): {h:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn gls3_matches_heap_to_the_last_ulp() {
+    let mut rng = StdRng::seed_from_u64(0x57AC_0302);
+    for m in 3..=STACK_M_CAP {
+        for _ in 0..CASES {
+            let (a, b, sa, sb) = paired_system::<3>(&mut rng, m);
+            // SPD covariance with the DLG structure: common off-diagonal
+            // term plus a strictly larger random diagonal.
+            let common = rng.gen_range(0.2..2.0);
+            let diag: Vec<f64> = (0..m).map(|_| common + rng.gen_range(0.1..3.0)).collect();
+            let mut scov = SMat::<STACK_M_CAP, STACK_M_CAP>::zeroed(m);
+            let cov = Matrix::from_fn(m, m, |r, c| {
+                let v = if r == c { diag[r] } else { common };
+                scov.row_mut(r)[c] = v;
+                v
+            });
+            let mut scratch = LstsqScratch::new();
+            let mut x = Vector::default();
+            let heap = lstsq::gls_into(&a, &b, &cov, GlsStrategy::Whitened, &mut scratch, &mut x);
+            let stk = stack::gls3(&sa, &sb, &mut scov);
+            match (heap, stk) {
+                (Ok(()), Ok(sol)) => assert_bits_eq(x.as_slice(), &sol, "gls3"),
+                (Err(he), Err(se)) => assert_eq!(he, se, "gls3 error parity (m={m})"),
+                (h, s) => panic!("gls3 lanes disagree on success (m={m}): {h:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cholesky_factor_matches_heap_to_the_last_ulp() {
+    let mut rng = StdRng::seed_from_u64(0x57AC_C401);
+    for n in 1..=STACK_M_CAP {
+        for _ in 0..CASES {
+            // SPD input built as BᵀB + εI from shared draws.
+            let k = n + 1;
+            let bmat = Matrix::from_fn(k, n, |_, _| rng.gen_range(-3.0..3.0));
+            let mut heap = &bmat.gram() + &Matrix::identity(n).scaled(0.5);
+            let mut stk = SMat::<STACK_M_CAP, STACK_M_CAP>::zeroed(n);
+            for r in 0..n {
+                for c in 0..n {
+                    stk.row_mut(r)[c] = heap[(r, c)];
+                }
+            }
+            gps_linalg::Cholesky::factor_in_place(&mut heap).unwrap();
+            stack::cholesky_factor(&mut stk).unwrap();
+            for r in 0..n {
+                for c in 0..n {
+                    assert_eq!(
+                        heap[(r, c)].to_bits(),
+                        stk.row(r)[c].to_bits(),
+                        "cholesky factor differs at ({r},{c}), n={n}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_and_degenerate_inputs_reject_identically() {
+    // NaN in the design matrix.
+    let mut sa = SMat::<STACK_M_CAP, 3>::zeroed(4);
+    let a = Matrix::from_fn(4, 3, |r, c| {
+        let v = if (r, c) == (2, 1) {
+            f64::NAN
+        } else {
+            1.0 + r as f64 + c as f64
+        };
+        sa.row_mut(r)[c] = v;
+        v
+    });
+    let b = Vector::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+    let mut sb = SVec::<STACK_M_CAP>::zeroed(4);
+    sb.as_mut_slice().copy_from_slice(b.as_slice());
+    let mut scratch = LstsqScratch::new();
+    let mut x = Vector::default();
+    let heap = lstsq::ols_into(&a, &b, &mut scratch, &mut x).unwrap_err();
+    let stk = stack::ols3(&sa, &sb).unwrap_err();
+    assert_eq!(heap, stk);
+
+    // Rank-deficient geometry: all rows identical.
+    let mut sa = SMat::<STACK_M_CAP, 3>::zeroed(4);
+    let a = Matrix::from_fn(4, 3, |_, c| c as f64 + 1.0);
+    for r in 0..4 {
+        for c in 0..3 {
+            sa.row_mut(r)[c] = a[(r, c)];
+        }
+    }
+    let heap = lstsq::ols_into(&a, &b, &mut scratch, &mut x).unwrap_err();
+    let stk = stack::ols3(&sa, &sb).unwrap_err();
+    assert_eq!(heap, stk);
+}

@@ -37,7 +37,7 @@ USAGE:
   gps-repro solve <FILE> [--algorithm nr|dlo|dlg|bancroft] [--satellites M]
   gps-repro engine <FILE> [--satellites M] [--epochs N]
   gps-repro throughput [--jobs N] [--epochs N] [--satellites M] [--seed N]
-                       [--station <SRZN|YYR1|FAI1|KYCP>] [--quick]
+                       [--block-size N] [--station <SRZN|YYR1|FAI1|KYCP>] [--quick]
   gps-repro serve [--sessions N] [--rounds N] [--jobs N] [--deadline-us N]
                   [--queue-cap N] [--journal FILE] [--kill-after N]
                   [--truncate-tail BYTES] [--bench-out FILE] [--seed N] [--quick]
@@ -57,6 +57,9 @@ THROUGHPUT (parallel batch positioning):
                         back in deterministic epoch order
   --epochs N            stream length (default 2000; --quick: 240)
   --satellites M        satellites per epoch (default 8)
+  --block-size N        solve N same-shape epochs lock-step per lane via the
+                        SoA EpochBlock path (default 1 = per-epoch feeding;
+                        results are bit-identical at any block size)
 
 SERVE (fleet-scale positioning service):
   runs a supervised multi-receiver service round by round: per-receiver
@@ -397,6 +400,7 @@ fn cmd_throughput(args: &Args) -> Result<(), String> {
     let m: usize = args.flag_parse("satellites", 8)?;
     let seed: u64 = args.flag_parse("seed", 2_010)?;
     let jobs: usize = args.flag_parse("jobs", gps_repro::pool::available_parallelism())?;
+    let block_size: usize = args.flag_parse("block-size", 1)?;
     let station = args.flag("station").unwrap_or("SRZN");
     if !["SRZN", "YYR1", "FAI1", "KYCP"].contains(&station) {
         return Err(format!("unknown station `{station}` (SRZN|YYR1|FAI1|KYCP)"));
@@ -404,23 +408,39 @@ fn cmd_throughput(args: &Args) -> Result<(), String> {
     if epochs == 0 {
         return Err("--epochs must be at least 1".to_owned());
     }
+    if block_size == 0 {
+        return Err("--block-size must be at least 1".to_owned());
+    }
 
-    println!("throughput: {epochs} epochs × {m} satellites from {station} (seed {seed})");
+    println!(
+        "throughput: {epochs} epochs × {m} satellites from {station} \
+         (seed {seed}, block size {block_size})"
+    );
     let stream = throughput_stream(station, epochs, m, seed);
 
     // Serial baseline: the batched Engine, timing disabled so both
     // paths run the identical per-epoch work and the wall clock is the
-    // only measurement.
+    // only measurement. Block mode feeds the same engine through
+    // lock-step EpochBlocks instead of epoch-by-epoch.
     let mut serial = Engine::all_solvers().with_timing(false);
     let serial_start = std::time::Instant::now();
-    for job in &stream {
-        serial.run_epoch(&job.measurements, job.predicted_receiver_bias_m);
+    if block_size > 1 {
+        serial.run_blocked(&stream, block_size);
+    } else {
+        for job in &stream {
+            serial.run_epoch(&job.measurements, job.predicted_receiver_bias_m);
+        }
     }
     let serial_elapsed = serial_start.elapsed();
 
     // Parallel run across the pool.
     let pool = ThreadPool::new(jobs);
-    let run = ParallelEngine::all_solvers().run(&pool, stream);
+    let engine = ParallelEngine::all_solvers();
+    let run = if block_size > 1 {
+        engine.run_blocked(&pool, std::sync::Arc::new(stream), block_size)
+    } else {
+        engine.run(&pool, stream)
+    };
 
     // Determinism spot check: the parallel merge must agree with the
     // serial engine on every lane's outcome tallies.
@@ -889,7 +909,14 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
 /// One (solver, jobs) cell parsed from the baseline JSON.
 struct BaselineCell {
     solver: String,
+    /// `"parallel"` = `ParallelEngine` across a pool, `"serial"` = the
+    /// batched single-thread `Engine`. Baselines written before the SoA
+    /// lane omit the key; they read back as parallel.
+    mode: String,
     jobs: usize,
+    /// Epochs per lock-step block (1 = per-epoch feeding). Missing key
+    /// reads back as 1.
+    block_size: usize,
     fixes_per_sec: f64,
 }
 
@@ -925,9 +952,20 @@ fn parse_baseline(text: &str) -> Result<Vec<BaselineCell>, String> {
                 .map_err(|_| format!("cannot parse \"{key}\" value `{lit}`"))
         };
         let jobs = num("jobs")? as usize;
+        let block_size = if field("block_size").is_some() {
+            (num("block_size")? as usize).max(1)
+        } else {
+            1
+        };
+        let mode = field("mode")
+            .and_then(|v| v.strip_prefix('"'))
+            .and_then(|v| v.split('"').next())
+            .unwrap_or("parallel");
         cells.push(BaselineCell {
             solver: solver.to_owned(),
+            mode: mode.to_owned(),
             jobs,
+            block_size,
             fixes_per_sec: num("fixes_per_sec")?,
         });
     }
@@ -1003,25 +1041,52 @@ fn cmd_benchdiff(args: &Args) -> Result<(), String> {
             );
             continue;
         };
-        let engine = ParallelEngine::new().with_solver(solver.clone_box());
-        let pool = ThreadPool::new(cell.jobs);
         // One warm-up pass, then best-of-three: min is the least-noisy
-        // estimator for a fixed workload on a shared machine.
+        // estimator for a fixed workload on a shared machine. Serial
+        // cells re-measure the single-thread Engine (block feeding);
+        // parallel cells re-measure the pool path.
         let mut best = f64::INFINITY;
-        for i in 0..4 {
-            let start = std::time::Instant::now();
-            let run = engine.run_shared(&pool, Arc::clone(&stream));
-            let elapsed = start.elapsed().as_secs_f64();
-            if run.outcomes.len() != stream.len() {
-                return Err(format!(
-                    "benchdiff: {} produced {} results for {} epochs",
-                    cell.solver,
-                    run.outcomes.len(),
-                    stream.len()
-                ));
+        if cell.mode == "serial" {
+            let mut engine = Engine::new()
+                .with_solver(solver.clone_box())
+                .with_timing(false);
+            for i in 0..4 {
+                let start = std::time::Instant::now();
+                let fed = engine.run_blocked(&stream, cell.block_size);
+                let elapsed = start.elapsed().as_secs_f64();
+                if fed != stream.len() {
+                    return Err(format!(
+                        "benchdiff: {} solved {fed} of {} epochs",
+                        cell.solver,
+                        stream.len()
+                    ));
+                }
+                if i > 0 {
+                    best = best.min(elapsed);
+                }
             }
-            if i > 0 {
-                best = best.min(elapsed);
+        } else {
+            let engine = ParallelEngine::new().with_solver(solver.clone_box());
+            let pool = ThreadPool::new(cell.jobs);
+            for i in 0..4 {
+                let start = std::time::Instant::now();
+                let run = if cell.block_size > 1 {
+                    engine.run_blocked(&pool, Arc::clone(&stream), cell.block_size)
+                } else {
+                    engine.run_shared(&pool, Arc::clone(&stream))
+                };
+                let elapsed = start.elapsed().as_secs_f64();
+                if run.outcomes.len() != stream.len() {
+                    return Err(format!(
+                        "benchdiff: {} produced {} results for {} epochs",
+                        cell.solver,
+                        run.outcomes.len(),
+                        stream.len()
+                    ));
+                }
+                if i > 0 {
+                    best = best.min(elapsed);
+                }
             }
         }
         let measured = epochs as f64 / best.max(1e-12);
@@ -1034,9 +1099,11 @@ fn cmd_benchdiff(args: &Args) -> Result<(), String> {
             "ok"
         };
         println!(
-            "  {:<9} jobs {:<2} baseline {:>12.0}/s  measured {:>12.0}/s  ({:>+7.1}%)  {verdict}",
+            "  {:<9} {:<8} jobs {:<2} bs {:<2} baseline {:>12.0}/s  measured {:>12.0}/s  ({:>+7.1}%)  {verdict}",
             cell.solver,
+            cell.mode,
             cell.jobs,
+            cell.block_size,
             cell.fixes_per_sec,
             measured,
             100.0 * (measured / cell.fixes_per_sec.max(1e-12) - 1.0)
