@@ -1,15 +1,22 @@
 //! Ablation — the DLG covariance structure (paper Theorems 4.1/4.2).
 //!
-//! How much of DLG's accuracy edge comes from modeling the *correlation*
-//! (the `ρ₁²` off-diagonals of eq. 4-26) versus merely the unequal
-//! variances? Prints the accuracy of DLG under Full / DiagonalOnly /
-//! Identity covariances, then benchmarks each (Identity ≡ DLO, so the
-//! timing also brackets the GLS overhead).
+//! Two sweeps:
+//!
+//! 1. **Model** (accuracy + time, m = 10): how much of DLG's accuracy
+//!    edge comes from modeling the *correlation* (the `ρ₁²`
+//!    off-diagonals of eq. 4-26) versus merely the unequal variances?
+//!    Identity ≡ DLO, so the timing also brackets the GLS overhead.
+//! 2. **GLS path** (time, m ∈ {4, 6, 8, 10, 20, 40} over the multi-GNSS
+//!    segment): the same full-Ψ solve through the O(m·n) Sherman–Morrison
+//!    kernel versus the dense O(m³) whitened-Cholesky and
+//!    explicit-inverse lanes. This is the tentpole number for the
+//!    structured-covariance work: identical fixes, and the per-fix gap
+//!    must *widen* with m.
 
 use gps_bench::harness::Harness;
-use gps_bench::{fixture_dataset, fixture_epochs};
+use gps_bench::{fixture_dataset, fixture_epochs, fixture_epochs_multi};
 use gps_core::metrics::Summary;
-use gps_core::{CovarianceModel, Dlg, PositionSolver};
+use gps_core::{CovarianceModel, Dlg, Epoch, GlsPath, Measurement, PositionSolver, SolveContext};
 use std::hint::black_box;
 
 const MODELS: [(&str, CovarianceModel); 4] = [
@@ -51,6 +58,9 @@ fn bench_covariances(h: &mut Harness) {
 
     let epochs = fixture_epochs(10, 64);
     let mut group = h.benchmark_group("ablation_gls_cov");
+    if quick() {
+        group.sample_size(3);
+    }
     for (name, model) in MODELS {
         let dlg = Dlg::new().with_covariance_model(model);
         group.bench_with_input(&format!("dlg/{name}"), &epochs, |b, epochs| {
@@ -64,7 +74,61 @@ fn bench_covariances(h: &mut Harness) {
     group.finish();
 }
 
+/// `GPS_BENCH_QUICK=1` trims both sweeps to a smoke run — 3 samples per
+/// cell, a few epochs per shape — so `scripts/ci.sh` can exercise the
+/// full path × m matrix without bench-grade runtimes. Committed numbers
+/// must come from a run without the variable.
+fn quick() -> bool {
+    std::env::var_os("GPS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+const PATHS: [(&str, GlsPath); 3] = [
+    ("structured", GlsPath::Structured),
+    ("whitened", GlsPath::DenseWhitened),
+    ("explicit-inv", GlsPath::DenseExplicit),
+];
+
+const SWEEP_M: [usize; 6] = [4, 6, 8, 10, 20, 40];
+
+/// One warm-context pass over every epoch (the throughput-style inner
+/// loop: no allocation inside the timed region after warmup).
+fn solve_all(dlg: &Dlg, epochs: &[Vec<Measurement>], ctx: &mut SolveContext) {
+    for meas in epochs {
+        let _ = black_box(gps_core::Solver::solve(
+            dlg,
+            &Epoch::new(black_box(meas), 12.0),
+            ctx,
+        ));
+    }
+}
+
+fn bench_gls_paths(h: &mut Harness) {
+    let mut group = h.benchmark_group("ablation_gls_path");
+    if quick() {
+        group.sample_size(3);
+    }
+    for m in SWEEP_M {
+        let mut epochs = fixture_epochs_multi(m, 64);
+        assert!(!epochs.is_empty(), "no multi-GNSS epoch reached m = {m}");
+        if quick() {
+            epochs.truncate(4);
+        }
+        for (name, path) in PATHS {
+            let dlg = Dlg::new().with_gls_path(path);
+            let mut ctx = SolveContext::new();
+            // Warm the context so resize-to-shape allocations happen
+            // outside the timed region.
+            solve_all(&dlg, &epochs, &mut ctx);
+            group.bench_with_input(&format!("dlg/{name}/m{m}"), &epochs, |b, epochs| {
+                b.iter(|| solve_all(&dlg, epochs, &mut ctx))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn main() {
     let mut harness = Harness::new();
     bench_covariances(&mut harness);
+    bench_gls_paths(&mut harness);
 }

@@ -35,6 +35,25 @@ pub fn fixture_epochs(m: usize, seed: u64) -> Vec<Vec<Measurement>> {
         .collect()
 }
 
+/// Like [`fixture_epochs`], but over the multi-GNSS space segment so
+/// `m` can reach ≈ 40 (the GPS-only fixture tops out near 14 visible).
+/// Used by the large-constellation sweeps of the GLS ablation.
+#[must_use]
+pub fn fixture_epochs_multi(m: usize, seed: u64) -> Vec<Vec<Measurement>> {
+    let data = DatasetGenerator::new(seed)
+        .epoch_interval_s(30.0)
+        .epoch_count(120)
+        .elevation_mask_deg(5.0)
+        .constellation(gps_orbits::Constellation::multi_gnss_nominal())
+        .generate(&paper_stations()[0]);
+    let station = data.station().position();
+    data.epochs()
+        .iter()
+        .filter(|e| e.observations().len() >= m)
+        .map(|e| to_measurements(&select_subset(station, e, m)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,6 +63,13 @@ mod tests {
         let epochs = fixture_epochs(8, 1);
         assert!(!epochs.is_empty());
         assert!(epochs.iter().all(|e| e.len() == 8));
+    }
+
+    #[test]
+    fn multi_gnss_fixture_reaches_m_40() {
+        let epochs = fixture_epochs_multi(40, 1);
+        assert!(!epochs.is_empty(), "no epoch reached m = 40");
+        assert!(epochs.iter().all(|e| e.len() == 40));
     }
 
     #[test]

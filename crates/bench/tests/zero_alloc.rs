@@ -12,10 +12,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use gps_bench::fixture_epochs;
+use gps_bench::{fixture_epochs, fixture_epochs_multi};
 use gps_core::{
-    Bancroft, Dlg, Dlo, Engine, Epoch, EpochBlock, EpochJob, NewtonRaphson, ParallelEngine, Raim,
-    SolveContext, Solver, WorkerLanes, BLOCK_LANES,
+    Bancroft, Dlg, Dlo, Engine, Epoch, EpochBlock, EpochJob, GlsPath, NewtonRaphson,
+    ParallelEngine, Raim, SolveContext, Solver, WorkerLanes, BLOCK_LANES,
 };
 
 struct CountingAlloc;
@@ -94,6 +94,52 @@ fn dlo_is_allocation_free_when_warm() {
 #[test]
 fn dlg_is_allocation_free_when_warm() {
     assert_zero_alloc_after_warmup(&Dlg::default(), 12.0);
+}
+
+/// Heap-lane probe at m > 16: epochs this large bypass the stack
+/// kernels, so the warm loop exercises the solver's heap path
+/// specifically. (The explicit-inverse DLG lane is excluded: it is the
+/// deliberately allocating faithful-to-the-text ablation reference.)
+fn assert_zero_alloc_large_m(solver: &dyn Solver, label: &str) {
+    let epochs: Vec<_> = [20usize, 40, 28]
+        .iter()
+        .flat_map(|&m| fixture_epochs_multi(m, 97).into_iter().take(3))
+        .collect();
+    assert!(!epochs.is_empty(), "multi-GNSS fixture produced no epochs");
+
+    let mut ctx = SolveContext::new();
+    for meas in &epochs {
+        let _ = solver.solve(&Epoch::new(meas, 12.0), &mut ctx);
+    }
+
+    let allocs = allocations_during(|| {
+        for meas in &epochs {
+            let result = solver.solve(&Epoch::new(meas, 12.0), &mut ctx);
+            assert!(result.is_ok(), "{label} failed on clean epoch");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "{label} allocated {allocs} time(s) after warm-up"
+    );
+}
+
+#[test]
+fn dlg_structured_gls_large_m_is_allocation_free_when_warm() {
+    // The heap Sherman–Morrison path: covariance_rank1_into filling the
+    // reused cov_diag buffer plus gls_rank1_into with the caller's
+    // scratch. Varying m exercises the diag/scratch resize-reuse.
+    assert_zero_alloc_large_m(&Dlg::default(), "structured-GLS DLG");
+}
+
+#[test]
+fn dlg_dense_whitened_large_m_is_allocation_free_when_warm() {
+    // The dense ablation baseline must stay zero-alloc too, so the
+    // θ-vs-m comparison measures the O(m³) factorization, not malloc.
+    assert_zero_alloc_large_m(
+        &Dlg::default().with_gls_path(GlsPath::DenseWhitened),
+        "dense-whitened DLG",
+    );
 }
 
 #[test]

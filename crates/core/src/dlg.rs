@@ -36,6 +36,37 @@ pub enum CovarianceModel {
     ElevationScaled,
 }
 
+/// How DLG applies the inverse covariance `Ψ⁻¹` — the subject of the
+/// structured-vs-dense sweep in the `ablation_gls_cov` benchmark.
+///
+/// Every [`CovarianceModel`] is rank-one-plus-diagonal
+/// (`Ψ = ρ₁²·𝟙𝟙ᵀ + D`; the diagonal-only models just have a zero
+/// rank-one weight), so the structured path applies to all of them. The
+/// three variants are algebraically identical — they differ only in how
+/// much arithmetic they spend per fix (`O(m)` vs `O(m³)`): solutions
+/// agree to ULP-level rounding, and degenerate inputs produce the same
+/// [`SolveError`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum GlsPath {
+    /// Exploit the rank-one-plus-diagonal structure of Ψ via the
+    /// Sherman–Morrison identity (`gps_linalg::lstsq::gls_rank1_into`):
+    /// `O(m)` flops and scratch, no m×m matrix ever materialized or
+    /// factored. The default — this is the paper's §6 "optimize the
+    /// matrix operations" extension taken to its conclusion.
+    #[default]
+    Structured,
+    /// Materialize the dense Ψ and whiten through its Cholesky factor
+    /// (`O(m³)`). The pre-structured hot path, kept as the ablation
+    /// baseline.
+    DenseWhitened,
+    /// Materialize Ψ **and** its explicit inverse, evaluating eq. 4-21
+    /// literally. Strictly more work than whitening; the
+    /// faithful-to-the-text ablation reference (allocates per solve, and
+    /// always runs on the heap lane).
+    DenseExplicit,
+}
+
 /// Algorithm **DLG**: Direct Linearization with the General Least Squares
 /// method (paper §4.4, 4.5).
 ///
@@ -85,11 +116,12 @@ pub enum CovarianceModel {
 pub struct Dlg {
     base: BaseSelection,
     covariance: CovarianceModel,
+    gls: GlsPath,
 }
 
 impl Dlg {
     /// Creates a DLG solver with the paper's defaults (first-satellite
-    /// base, full Ψ covariance).
+    /// base, full Ψ covariance) on the structured `O(m)` GLS path.
     #[must_use]
     pub fn new() -> Self {
         Dlg::default()
@@ -114,6 +146,21 @@ impl Dlg {
     #[must_use]
     pub fn covariance_model(&self) -> CovarianceModel {
         self.covariance
+    }
+
+    /// Sets how the inverse covariance is applied (ablation hook; the
+    /// default [`GlsPath::Structured`] is the fast path, the dense
+    /// variants are kept as baselines).
+    #[must_use]
+    pub fn with_gls_path(mut self, gls: GlsPath) -> Self {
+        self.gls = gls;
+        self
+    }
+
+    /// The configured GLS application path.
+    #[must_use]
+    pub fn gls_path(&self) -> GlsPath {
+        self.gls
     }
 
     /// Builds the covariance matrix `M ∝ Ψ` of eq. 4-26 for a linearized
@@ -209,6 +256,94 @@ impl Dlg {
         }
     }
 
+    /// The structured decomposition of the covariance:
+    /// `Ψ = rank1·𝟙𝟙ᵀ + diag(d)`, returned as the rank-one weight plus
+    /// the diagonal vector — the `(ρ₁², diag)` pair the Sherman–Morrison
+    /// GLS kernel consumes directly, skipping the `O(m²)` matrix fill.
+    ///
+    /// Every [`CovarianceModel`] fits this shape (the diagonal-only models
+    /// have `rank1 = 0`), and `rank1 + dᵣ` / `rank1` reproduce exactly the
+    /// entries [`Dlg::covariance_matrix`] would write. Exposed for the
+    /// GLS-path ablation and for tests.
+    #[must_use]
+    pub fn covariance_rank1(&self, sys: &LinearSystem) -> (f64, Vec<f64>) {
+        let mut diag = vec![0.0; sys.corrected_ranges.len() - 1];
+        let rank1 = self.covariance_rank1_into(
+            &sys.corrected_ranges,
+            &sys.elevations,
+            sys.base_index,
+            &mut diag,
+        );
+        (rank1, diag)
+    }
+
+    /// Core of [`Dlg::covariance_rank1`], operating on the raw
+    /// linearization buffers: fills `diag` (length `m − 1`, row order as
+    /// in [`Dlg::covariance_into`]) and returns the rank-one weight.
+    /// Shared verbatim by the heap and stack lanes, so the two compute
+    /// bit-identical decompositions.
+    // lint: no_alloc
+    pub(crate) fn covariance_rank1_into(
+        &self,
+        corrected_ranges: &[f64],
+        elevations: &[Option<f64>],
+        base_index: usize,
+        diag: &mut [f64],
+    ) -> f64 {
+        let m = corrected_ranges.len();
+        debug_assert_eq!(
+            diag.len(),
+            m - 1,
+            "diag must hold one entry per differenced row"
+        );
+        let rho1 = corrected_ranges[base_index];
+        let rho1_sq = rho1 * rho1;
+        // Scale Ψ by the squared mean range: GLS is scale-invariant, and
+        // normalizing keeps the arithmetic well inside f64 range (raw
+        // entries would be ~10¹⁴).
+        let scale = 1.0 / rho1_sq.max(1.0);
+        let rho1_scaled = rho1_sq * scale;
+        // Diagonal term for differenced row r, from the original input.
+        let other = |r: usize| {
+            let j = if r < base_index { r } else { r + 1 };
+            corrected_ranges[j] * corrected_ranges[j] * scale
+        };
+        match self.covariance {
+            CovarianceModel::Full => {
+                for (r, d) in diag.iter_mut().enumerate() {
+                    *d = other(r);
+                }
+                rho1_scaled
+            }
+            CovarianceModel::DiagonalOnly => {
+                for (r, d) in diag.iter_mut().enumerate() {
+                    *d = rho1_scaled + other(r);
+                }
+                0.0
+            }
+            CovarianceModel::Identity => {
+                diag.fill(1.0);
+                0.0
+            }
+            CovarianceModel::ElevationScaled => {
+                // Per-satellite variance weight from the elevation budget
+                // (same 1/sin(el) shape as the receiver-noise model).
+                let weight = |el: Option<f64>| {
+                    el.map_or(1.0, |e: f64| {
+                        let clamped = e.clamp(3.0f64.to_radians(), std::f64::consts::FRAC_PI_2);
+                        1.0 / clamped.sin()
+                    })
+                };
+                let w1 = weight(elevations[base_index]);
+                for (r, d) in diag.iter_mut().enumerate() {
+                    let j = if r < base_index { r } else { r + 1 };
+                    *d = weight(elevations[j]) * other(r);
+                }
+                w1 * rho1_scaled
+            }
+        }
+    }
+
     /// Stack mirror of [`Dlg::covariance_into`]: same entry formulas and
     /// fill order on an [`SMat`] with `m − 1` active rows.
     // lint: no_alloc
@@ -275,8 +410,11 @@ impl Dlg {
         out
     }
 
-    /// Stack-kernel fast lane: linearize, build Ψ, and whiten-solve with
-    /// every intermediate on the stack. Bit-identical to the heap lane.
+    /// Stack-kernel fast lane: linearize, decompose (or build) Ψ, and
+    /// solve with every intermediate on the stack. Bit-identical to the
+    /// heap lane. [`GlsPath::DenseExplicit`] never routes here (it is an
+    /// allocating ablation reference; the dispatch in [`crate::Solver`]
+    /// keeps it on the heap lane).
     // lint: no_alloc
     fn solve_stack(&self, epoch: &crate::Epoch<'_>) -> Result<Solution, SolveError> {
         let m = epoch.len();
@@ -285,9 +423,26 @@ impl Dlg {
             epoch.predicted_receiver_bias_m,
             self.base,
         )?;
-        let mut cov =
-            self.covariance_stack(&sys.corrected[..m], &sys.elevations[..m], sys.base_index);
-        let step = stack::gls3(&sys.a, &sys.d, &mut cov)?;
+        let step = match self.gls {
+            GlsPath::Structured => {
+                let mut diag = [0.0f64; STACK_M_CAP];
+                let rank1 = self.covariance_rank1_into(
+                    &sys.corrected[..m],
+                    &sys.elevations[..m],
+                    sys.base_index,
+                    &mut diag[..m - 1],
+                );
+                stack::gls3_rank1(&sys.a, &sys.d, rank1, &diag[..m - 1])?
+            }
+            GlsPath::DenseWhitened | GlsPath::DenseExplicit => {
+                let mut cov = self.covariance_stack(
+                    &sys.corrected[..m],
+                    &sys.elevations[..m],
+                    sys.base_index,
+                );
+                stack::gls3(&sys.a, &sys.d, &mut cov)?
+            }
+        };
         let position = Ecef::new(step[0], step[1], step[2]);
         let rms = crate::dlo::residual_rms_scaled_stack(
             &sys.a,
@@ -311,7 +466,9 @@ impl crate::Solver for Dlg {
         epoch: &crate::Epoch<'_>,
         ctx: &mut crate::SolveContext,
     ) -> Result<Solution, SolveError> {
-        if crate::solver::stack_lane(ctx, epoch.len()) {
+        // DenseExplicit is the allocating faithful-to-the-text ablation
+        // reference; it has no stack mirror and always runs the heap lane.
+        if crate::solver::stack_lane(ctx, epoch.len()) && self.gls != GlsPath::DenseExplicit {
             return self.solve_stack(epoch);
         }
         let base_index = crate::dlo::linearize_into(
@@ -326,31 +483,62 @@ impl crate::Solver for Dlg {
         // Covariance-assembly time and the design-matrix condition number
         // both cost more to observe than DLG costs to run; gate them.
         let detail = gps_telemetry::detail();
-        if detail {
-            let start = std::time::Instant::now();
-            self.covariance_into(
-                &ctx.corrected_ranges,
-                &ctx.elevations,
-                base_index,
-                &mut ctx.covariance,
-            );
-            instrument::dlg_cov_assembly().record(start.elapsed().as_secs_f64() * 1e6);
-        } else {
-            self.covariance_into(
-                &ctx.corrected_ranges,
-                &ctx.elevations,
-                base_index,
-                &mut ctx.covariance,
-            );
+        match self.gls {
+            GlsPath::Structured => {
+                // The structured lane never assembles Ψ: the O(m²) fill
+                // (and the core.dlg.cov_assembly_us metric that timed it)
+                // is dense-lane-only now.
+                let m = ctx.corrected_ranges.len();
+                ctx.cov_diag.clear();
+                ctx.cov_diag.resize(m - 1, 0.0);
+                let rank1 = self.covariance_rank1_into(
+                    &ctx.corrected_ranges,
+                    &ctx.elevations,
+                    base_index,
+                    &mut ctx.cov_diag,
+                );
+                lstsq::gls_rank1_into(
+                    &ctx.geometry,
+                    &ctx.rhs,
+                    rank1,
+                    &ctx.cov_diag,
+                    &mut ctx.lstsq,
+                    &mut ctx.step,
+                )?;
+            }
+            GlsPath::DenseWhitened | GlsPath::DenseExplicit => {
+                if detail {
+                    let start = std::time::Instant::now();
+                    self.covariance_into(
+                        &ctx.corrected_ranges,
+                        &ctx.elevations,
+                        base_index,
+                        &mut ctx.covariance,
+                    );
+                    instrument::dlg_cov_assembly().record(start.elapsed().as_secs_f64() * 1e6);
+                } else {
+                    self.covariance_into(
+                        &ctx.corrected_ranges,
+                        &ctx.elevations,
+                        base_index,
+                        &mut ctx.covariance,
+                    );
+                }
+                let strategy = if self.gls == GlsPath::DenseWhitened {
+                    GlsStrategy::Whitened
+                } else {
+                    GlsStrategy::ExplicitInverse
+                };
+                lstsq::gls_into(
+                    &ctx.geometry,
+                    &ctx.rhs,
+                    &ctx.covariance,
+                    strategy,
+                    &mut ctx.lstsq,
+                    &mut ctx.step,
+                )?;
+            }
         }
-        lstsq::gls_into(
-            &ctx.geometry,
-            &ctx.rhs,
-            &ctx.covariance,
-            GlsStrategy::Whitened,
-            &mut ctx.lstsq,
-            &mut ctx.step,
-        )?;
         let position = Ecef::new(ctx.step[0], ctx.step[1], ctx.step[2]);
         let rms = crate::dlo::residual_rms_scaled(
             &ctx.geometry,
@@ -588,5 +776,104 @@ mod tests {
         assert_eq!(dlg.name(), "DLG");
         assert_eq!(dlg.min_satellites(), 4);
         assert_eq!(dlg.covariance_model(), CovarianceModel::Full);
+        assert_eq!(dlg.gls_path(), GlsPath::Structured);
+        assert_eq!(
+            dlg.with_gls_path(GlsPath::DenseExplicit).gls_path(),
+            GlsPath::DenseExplicit
+        );
+    }
+
+    /// Noisy (inconsistent) measurements so the GLS paths actually have
+    /// residual structure to disagree on.
+    fn noisy(truth: Ecef, n: usize) -> Vec<Measurement> {
+        let mut meas = exact(truth, 13.0, n);
+        for (k, m) in meas.iter_mut().enumerate() {
+            // Deterministic ±few-metre perturbation, different per row.
+            m.pseudorange += ((k * 7 + 3) % 11) as f64 - 5.0;
+        }
+        meas
+    }
+
+    #[test]
+    fn structured_path_matches_dense_paths_all_models() {
+        let truth = Ecef::new(6.371e6, -2.0e5, 3.0e5);
+        for model in [
+            CovarianceModel::Full,
+            CovarianceModel::DiagonalOnly,
+            CovarianceModel::Identity,
+            CovarianceModel::ElevationScaled,
+        ] {
+            let meas = noisy(truth, 8);
+            let fix = |path: GlsPath| {
+                Dlg::new()
+                    .with_covariance_model(model)
+                    .with_gls_path(path)
+                    .solve(&meas, 0.0)
+                    .unwrap()
+            };
+            let structured = fix(GlsPath::Structured);
+            let whitened = fix(GlsPath::DenseWhitened);
+            let explicit = fix(GlsPath::DenseExplicit);
+            // Sherman–Morrison is algebraically exact; only association
+            // order differs, so agreement is at far-sub-micrometre level.
+            for dense in [&whitened, &explicit] {
+                assert!(
+                    structured.position.distance_to(dense.position) < 1e-6,
+                    "{model:?}: paths diverged by {}",
+                    structured.position.distance_to(dense.position)
+                );
+            }
+            assert!((structured.residual_rms - whitened.residual_rms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_rank1_reconstructs_dense_matrix_bitwise() {
+        let truth = Ecef::new(6.371e6, 1.0e5, -2.0e5);
+        let meas = noisy(truth, 8);
+        for model in [
+            CovarianceModel::Full,
+            CovarianceModel::DiagonalOnly,
+            CovarianceModel::Identity,
+            CovarianceModel::ElevationScaled,
+        ] {
+            let dlg = Dlg::new().with_covariance_model(model);
+            let sys = linearize(&meas, 0.0, dlg.base).unwrap();
+            let dense = dlg.covariance_matrix(&sys);
+            let (rank1, diag) = dlg.covariance_rank1(&sys);
+            let m1 = meas.len() - 1;
+            assert_eq!(diag.len(), m1);
+            for r in 0..m1 {
+                for c in 0..m1 {
+                    let rebuilt = if r == c { rank1 + diag[r] } else { rank1 };
+                    assert_eq!(
+                        dense[(r, c)].to_bits(),
+                        rebuilt.to_bits(),
+                        "{model:?}: entry ({r},{c}) mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_and_dense_error_identically_on_degenerate_ranges() {
+        // Zero corrected ranges give zero covariance diagonal entries.
+        // One zero leaves Ψ (barely) positive definite through the
+        // rank-one term, but two make it genuinely singular: both lanes
+        // must reject with the same degenerate-geometry taxonomy (the
+        // dense Cholesky via NotPositiveDefinite, the structured lane via
+        // its d ≤ 0 guard), not silently divide by zero.
+        let truth = Ecef::new(6.371e6, 0.0, 0.0);
+        let mut meas = exact(truth, 0.0, 6);
+        meas[3].pseudorange = 0.0;
+        meas[4].pseudorange = 0.0;
+        for path in [GlsPath::Structured, GlsPath::DenseWhitened] {
+            let err = Dlg::new().with_gls_path(path).solve(&meas, 0.0);
+            assert!(
+                matches!(err, Err(SolveError::DegenerateGeometry(_))),
+                "{path:?}: expected degenerate-covariance rejection, got {err:?}"
+            );
+        }
     }
 }

@@ -81,7 +81,7 @@ mod velocity;
 pub use bancroft::Bancroft;
 pub use base::BaseSelection;
 pub use block::{EpochBlock, BLOCK_LANES};
-pub use dlg::{CovarianceModel, Dlg};
+pub use dlg::{CovarianceModel, Dlg, GlsPath};
 pub use dlo::{linearize, Dlo, LinearSystem};
 pub use dop::Dop;
 pub use engine::{Engine, Lane, LaneStats};

@@ -120,8 +120,12 @@ pub struct SolveContext {
     pub(crate) corrected_ranges: Vec<f64>,
     /// Elevation annotations, input order.
     pub(crate) elevations: Vec<Option<f64>>,
-    /// DLG covariance `Ψ` (eq. 4-26), factored in place by GLS.
+    /// DLG covariance `Ψ` (eq. 4-26), factored in place by GLS
+    /// (dense ablation lanes only — the structured default never builds it).
     pub(crate) covariance: Matrix,
+    /// Diagonal part of the structured Ψ decomposition
+    /// `Ψ = ρ₁²·𝟙𝟙ᵀ + diag(d)` (DLG's Sherman–Morrison lane).
+    pub(crate) cov_diag: Vec<f64>,
     /// Normal equations / whitening scratch for `gps_linalg::lstsq`.
     pub(crate) lstsq: LstsqScratch,
     /// RAIM fault-exclusion workspaces.

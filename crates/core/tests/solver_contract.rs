@@ -7,8 +7,8 @@
 //! Seeded xoshiro256++ loops (no proptest in the offline build).
 
 use gps_core::{
-    Bancroft, Dlg, Dlo, Epoch, EpochBlock, EpochJob, Measurement, NewtonRaphson, Solution,
-    SolveContext, SolveError, Solver,
+    Bancroft, CovarianceModel, Dlg, Dlo, Epoch, EpochBlock, EpochJob, GlsPath, Measurement,
+    NewtonRaphson, Solution, SolveContext, SolveError, Solver,
 };
 use gps_geodesy::{Ecef, Geodetic};
 use gps_rng::rngs::StdRng;
@@ -70,7 +70,15 @@ fn solvers() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(NewtonRaphson::default()),
         Box::new(Dlo::default()),
+        // Dlg::default() is the structured Sherman–Morrison lane; the two
+        // dense GLS paths and the non-default covariance shapes are
+        // contract-bound too (DenseExplicit has no stack mirror, so for
+        // it the toggle must be a no-op on every shape).
         Box::new(Dlg::default()),
+        Box::new(Dlg::default().with_gls_path(GlsPath::DenseWhitened)),
+        Box::new(Dlg::default().with_gls_path(GlsPath::DenseExplicit)),
+        Box::new(Dlg::default().with_covariance_model(CovarianceModel::DiagonalOnly)),
+        Box::new(Dlg::default().with_covariance_model(CovarianceModel::ElevationScaled)),
         Box::new(Bancroft),
     ]
 }

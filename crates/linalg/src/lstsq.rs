@@ -40,6 +40,9 @@ pub struct LstsqScratch {
     scaled_b: Vector,
     /// `m × m` covariance copy, factored in place (GLS only).
     cov: Matrix,
+    /// Length-`n` rank-one correction vector `u = AᵀD⁻¹𝟙`
+    /// ([`gls_rank1_into`] only).
+    rank1_u: Vector,
 }
 
 impl LstsqScratch {
@@ -411,6 +414,7 @@ pub fn gls_into(
                 scaled_a,
                 scaled_b,
                 cov,
+                ..
             } = scratch;
             cov.copy_from(m);
             Cholesky::factor_in_place(cov)?;
@@ -451,6 +455,236 @@ pub fn gls_into(
 /// Same conditions as [`gls`].
 pub fn gls_explicit_inverse(a: &Matrix, b: &Vector, m: &Matrix) -> crate::Result<Vector> {
     gls_with(a, b, m, GlsStrategy::ExplicitInverse)
+}
+
+/// Structured general least squares for a **rank-one-plus-diagonal**
+/// covariance `M = rank1·𝟙𝟙ᵀ + diag(d)` — the exact shape of the paper's
+/// Ψ (eq. 4-25/4-26), where `rank1 = ρ₁²` and `dᵢ = ρᵢ₊₁²`.
+///
+/// Instead of materializing and factoring the dense m×m matrix, the kernel
+/// applies the Sherman–Morrison identity
+///
+/// `M⁻¹ = D⁻¹ − (D⁻¹𝟙)(𝟙ᵀD⁻¹)·rank1 / (1 + rank1·𝟙ᵀD⁻¹𝟙)`
+///
+/// so `AᵀM⁻¹A` and `AᵀM⁻¹b` assemble in `O(m·n)` flops with `O(n)` scratch
+/// (one pass of diagonal-weighted accumulators plus one rank-one
+/// correction), and only the tiny `n×n` normal system is factored. The
+/// algebra is exact: results agree with [`gls`] on the equivalent dense
+/// matrix to rounding (ULP-level, not bit-level — the operations associate
+/// differently).
+///
+/// `M` is positive definite **iff** every `dᵢ > 0` and the Sherman–Morrison
+/// denominator `t = 1 + rank1·Σ(1/dᵢ) > 0` (eigendecomposition:
+/// `M = D^½(I + rank1·vvᵀ)D^½` with `v = D^{−½}𝟙` has eigenvalues 1 and
+/// `t`, and `det M = det D · t`). Both conditions are tested exactly;
+/// `rank1` may be negative as long as `t` stays positive.
+///
+/// # Errors
+///
+/// * All conditions of [`ols`].
+/// * [`LinalgError::ShapeMismatch`] if `diag.len() != a.rows()`.
+/// * [`LinalgError::NonFinite`] if `rank1` is NaN/∞.
+/// * [`LinalgError::NotPositiveDefinite`] if any `dᵢ ≤ 0` (pivot = its
+///   index) or `t ≤ 0` (pivot = `m − 1`, where the dense factorization
+///   would generically fail).
+///
+/// # Example
+///
+/// ```
+/// use gps_linalg::{lstsq, Matrix, Vector};
+///
+/// # fn main() -> Result<(), gps_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let b = Vector::from_slice(&[6.0, 9.0, 12.0]);
+/// // rank1 = 0 with unit diagonal is plain OLS.
+/// let x = lstsq::gls_rank1(&a, &b, 0.0, &[1.0, 1.0, 1.0])?;
+/// assert!((x[0] - 3.0).abs() < 1e-10);
+/// assert!((x[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gls_rank1(a: &Matrix, b: &Vector, rank1: f64, diag: &[f64]) -> crate::Result<Vector> {
+    let mut scratch = LstsqScratch::new();
+    let mut x = Vector::default();
+    gls_rank1_into(a, b, rank1, diag, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// [`gls_rank1`] with caller-provided buffers: writes the solution into
+/// `x` and keeps the `n×n` normal equations and the rank-one correction
+/// vector in `scratch`, so repeated solves allocate nothing after the
+/// first call (and the three-unknown shape allocates nothing at all).
+///
+/// # Errors
+///
+/// Same conditions as [`gls_rank1`].
+// lint: no_alloc
+pub fn gls_rank1_into(
+    a: &Matrix,
+    b: &Vector,
+    rank1: f64,
+    diag: &[f64],
+    scratch: &mut LstsqScratch,
+    x: &mut Vector,
+) -> crate::Result<()> {
+    check_system(a, b, "gls_rank1")?;
+    let (m, n) = a.shape();
+    if diag.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, n),
+            right: (diag.len(), 1),
+            op: "gls_rank1 diagonal",
+        });
+    }
+    if !rank1.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    // Positive-definiteness of M = rank1·𝟙𝟙ᵀ + D, tested exactly: D ≻ 0
+    // entry by entry, then the Sherman–Morrison denominator t > 0.
+    let mut inv_sum = 0.0;
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: i });
+        }
+        inv_sum += 1.0 / d;
+    }
+    let t = 1.0 + rank1 * inv_sum;
+    if t <= 0.0 || !t.is_finite() {
+        return Err(LinalgError::NotPositiveDefinite { pivot: m - 1 });
+    }
+    let gamma = rank1 / t;
+    if n == 3 {
+        let sol = gls3_rank1_core(a, b, gamma, diag)?;
+        x.copy_from_slice(&sol);
+        return Ok(());
+    }
+    gls_rank1_core(a, b, gamma, diag, scratch, x)
+}
+
+/// Three-unknown core of [`gls_rank1_into`] (the DLG hot shape): scalar
+/// accumulators for `AᵀD⁻¹A`, `AᵀD⁻¹b`, `u = AᵀD⁻¹𝟙` and `s = 𝟙ᵀD⁻¹b`,
+/// one rank-one correction, then the same Cramer tail as [`ols3`].
+///
+/// The statement order here is mirrored exactly by
+/// `stack::gls3_rank1`, so the two lanes stay bit-identical.
+// lint: no_alloc
+fn gls3_rank1_core(a: &Matrix, b: &Vector, gamma: f64, diag: &[f64]) -> crate::Result<[f64; 3]> {
+    let m = a.rows();
+    // Accumulate AᵀD⁻¹A (symmetric), AᵀD⁻¹b, AᵀD⁻¹𝟙 and 𝟙ᵀD⁻¹b.
+    let (mut g00, mut g01, mut g02, mut g11, mut g12, mut g22) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut c0, mut c1, mut c2) = (0.0, 0.0, 0.0);
+    let (mut u0, mut u1, mut u2) = (0.0, 0.0, 0.0);
+    let mut s = 0.0;
+    for r in 0..m {
+        let row = a.row(r);
+        let (x, y, z) = (row[0], row[1], row[2]);
+        let bv = b[r];
+        let w = 1.0 / diag[r];
+        g00 += x * x * w;
+        g01 += x * y * w;
+        g02 += x * z * w;
+        g11 += y * y * w;
+        g12 += y * z * w;
+        g22 += z * z * w;
+        c0 += x * bv * w;
+        c1 += y * bv * w;
+        c2 += z * bv * w;
+        u0 += x * w;
+        u1 += y * w;
+        u2 += z * w;
+        s += bv * w;
+    }
+    // Sherman–Morrison rank-one correction: G −= γ·uuᵀ, c −= γ·s·u.
+    g00 -= gamma * u0 * u0;
+    g01 -= gamma * u0 * u1;
+    g02 -= gamma * u0 * u2;
+    g11 -= gamma * u1 * u1;
+    g12 -= gamma * u1 * u2;
+    g22 -= gamma * u2 * u2;
+    c0 -= gamma * s * u0;
+    c1 -= gamma * s * u1;
+    c2 -= gamma * s * u2;
+    // On the dense path an accumulation overflow surfaces as NonFinite
+    // (ols3 re-checks the whitened system); keep that error surface.
+    let finite = [g00, g01, g02, g11, g12, g22, c0, c1, c2]
+        .iter()
+        .all(|v| v.is_finite());
+    if !finite {
+        return Err(LinalgError::NonFinite);
+    }
+    // Cramer's rule on the symmetric 3×3 system (same tail as ols3).
+    let det = g00 * (g11 * g22 - g12 * g12) - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02);
+    let scale = [g00, g11, g22].into_iter().fold(0.0f64, f64::max);
+    if det.abs() <= 1e-13 * scale * scale * scale.max(f64::MIN_POSITIVE) {
+        return Err(LinalgError::Singular);
+    }
+    let x0 = (c0 * (g11 * g22 - g12 * g12) - g01 * (c1 * g22 - g12 * c2)
+        + g02 * (c1 * g12 - g11 * c2))
+        / det;
+    let x1 = (g00 * (c1 * g22 - c2 * g12) - c0 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * c2 - c1 * g02))
+        / det;
+    let x2 = (g00 * (g11 * c2 - g12 * c1) - g01 * (g01 * c2 - c1 * g02)
+        + c0 * (g01 * g12 - g11 * g02))
+        / det;
+    Ok([x0, x1, x2])
+}
+
+/// General-width core of [`gls_rank1_into`]: the same one-pass assembly
+/// with the `n×n` lower-triangle gram in scratch, then Cholesky — the
+/// structured analogue of [`ols_core`].
+// lint: no_alloc
+fn gls_rank1_core(
+    a: &Matrix,
+    b: &Vector,
+    gamma: f64,
+    diag: &[f64],
+    scratch: &mut LstsqScratch,
+    x: &mut Vector,
+) -> crate::Result<()> {
+    let (m, n) = a.shape();
+    let LstsqScratch { gram, rank1_u, .. } = scratch;
+    gram.resize_zeroed(n, n);
+    rank1_u.resize_zeroed(n);
+    x.resize_zeroed(n);
+    let mut s = 0.0;
+    for r in 0..m {
+        let row = a.row(r);
+        let bv = b[r];
+        let w = 1.0 / diag[r];
+        for i in 0..n {
+            let ai = row[i];
+            x[i] += ai * bv * w;
+            rank1_u[i] += ai * w;
+            // Lower triangle of AᵀD⁻¹A is all the factorization reads.
+            for j in 0..=i {
+                gram[(i, j)] += ai * row[j] * w;
+            }
+        }
+        s += bv * w;
+    }
+    // Sherman–Morrison rank-one correction on the lower triangle.
+    for i in 0..n {
+        let ui = rank1_u[i];
+        for j in 0..=i {
+            gram[(i, j)] -= gamma * ui * rank1_u[j];
+        }
+        x[i] -= gamma * s * ui;
+    }
+    let mut finite = true;
+    for i in 0..n {
+        finite &= x[i].is_finite();
+        for j in 0..=i {
+            finite &= gram[(i, j)].is_finite();
+        }
+    }
+    if !finite {
+        return Err(LinalgError::NonFinite);
+    }
+    Cholesky::factor_in_place(gram)?;
+    Cholesky::forward_substitute(gram, x.as_mut_slice())?;
+    Cholesky::back_substitute(gram, x.as_mut_slice())
 }
 
 /// Residual vector `b − A x` for a candidate solution.
@@ -714,6 +948,114 @@ mod tests {
             )
             .unwrap_err(),
             LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    /// Dense rank-one-plus-diagonal covariance for cross-checking.
+    fn rank1_dense(rank1: f64, diag: &[f64]) -> Matrix {
+        Matrix::from_fn(diag.len(), diag.len(), |r, c| {
+            rank1 + if r == c { diag[r] } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn gls_rank1_matches_dense_gls() {
+        let (a, mut b) = tall_system();
+        b[0] += 2.0;
+        b[3] -= 0.9;
+        let diag = [1.0, 2.5, 0.7, 4.0, 1.3];
+        for rank1 in [0.0, 0.8, 3.0, -0.1] {
+            let dense = gls(&a, &b, &rank1_dense(rank1, &diag)).unwrap();
+            let fast = gls_rank1(&a, &b, rank1, &diag).unwrap();
+            assert!(
+                (&dense - &fast).norm_inf() < 1e-9,
+                "rank1={rank1}: {:?}",
+                (&dense - &fast).norm_inf()
+            );
+        }
+    }
+
+    #[test]
+    fn gls_rank1_general_width_matches_dense_gls() {
+        // 4-column system exercises the gram/Cholesky core, not Cramer.
+        let a4 = Matrix::from_fn(7, 4, |r, c| {
+            ((r * 5 + c * 3) % 7) as f64 + if r == c { 5.0 } else { 0.0 }
+        });
+        let b4 = Vector::from_fn(7, |r| r as f64 - 3.0);
+        let diag: Vec<f64> = (0..7).map(|i| 0.5 + 0.3 * i as f64).collect();
+        let dense = gls(&a4, &b4, &rank1_dense(1.7, &diag)).unwrap();
+        let fast = gls_rank1(&a4, &b4, 1.7, &diag).unwrap();
+        assert!((&dense - &fast).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn gls_rank1_zero_rank1_unit_diag_is_bit_identical_to_ols() {
+        // γ = 0 and w = 1 leave every accumulator product untouched, so
+        // the structured kernel degenerates to ols3 bit-for-bit.
+        let (a, mut b) = tall_system();
+        b[2] += 0.3;
+        let via_ols = ols3(&a, &b).unwrap();
+        let via_rank1 = gls_rank1(&a, &b, 0.0, &[1.0; 5]).unwrap();
+        for k in 0..3 {
+            assert_eq!(via_rank1[k].to_bits(), via_ols[k].to_bits(), "x[{k}]");
+        }
+    }
+
+    #[test]
+    fn gls_rank1_into_matches_allocating_path_across_reuse() {
+        let mut scratch = LstsqScratch::new();
+        let mut x = Vector::default();
+        let (a, mut b) = tall_system();
+        b[1] -= 1.1;
+        let diag = [2.0, 1.0, 3.0, 0.5, 1.5];
+        gls_rank1_into(&a, &b, 0.6, &diag, &mut scratch, &mut x).unwrap();
+        assert!((&x - &gls_rank1(&a, &b, 0.6, &diag).unwrap()).norm_inf() == 0.0);
+        // Reuse the same scratch on a wider system.
+        let a4 = Matrix::from_fn(6, 4, |r, c| {
+            ((r * 7 + c * 3) % 5) as f64 + if r == c { 4.0 } else { 0.0 }
+        });
+        let b4 = Vector::from_fn(6, |r| r as f64 - 2.0);
+        let diag4 = [1.0, 2.0, 1.0, 3.0, 1.0, 2.0];
+        gls_rank1_into(&a4, &b4, 0.4, &diag4, &mut scratch, &mut x).unwrap();
+        assert!((&x - &gls_rank1(&a4, &b4, 0.4, &diag4).unwrap()).norm_inf() == 0.0);
+    }
+
+    #[test]
+    fn gls_rank1_rejects_degenerate_input() {
+        let (a, b) = tall_system();
+        // Wrong diagonal length.
+        assert!(matches!(
+            gls_rank1(&a, &b, 1.0, &[1.0; 4]).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        // Non-finite rank-one weight.
+        assert_eq!(
+            gls_rank1(&a, &b, f64::NAN, &[1.0; 5]).unwrap_err(),
+            LinalgError::NonFinite
+        );
+        // A non-positive diagonal entry pinpoints its index.
+        assert_eq!(
+            gls_rank1(&a, &b, 1.0, &[1.0, 1.0, 0.0, 1.0, 1.0]).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 2 }
+        );
+        assert_eq!(
+            gls_rank1(&a, &b, 1.0, &[1.0, 1.0, 1.0, f64::NAN, 1.0]).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 3 }
+        );
+        // Sherman–Morrison denominator t = 1 + rank1·Σ(1/dᵢ) ≤ 0: the
+        // matrix is indefinite even though every diagonal entry is fine.
+        // Here Σ(1/dᵢ) = 5, so rank1 = -0.25 gives t = -0.25.
+        let err = gls_rank1(&a, &b, -0.25, &[1.0; 5]).unwrap_err();
+        assert_eq!(err, LinalgError::NotPositiveDefinite { pivot: 4 });
+        // The dense path agrees the matrix is not PD.
+        assert!(matches!(
+            gls(&a, &b, &rank1_dense(-0.25, &[1.0; 5])).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+        // Underdetermined surfaces before any covariance checks.
+        assert!(matches!(
+            gls_rank1(&Matrix::zeros(2, 3), &Vector::zeros(2), 1.0, &[1.0; 2]).unwrap_err(),
+            LinalgError::Underdetermined { .. }
         ));
     }
 

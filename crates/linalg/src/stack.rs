@@ -14,6 +14,9 @@
 //!   counts (direct linearization: 3 unknowns; NR/Bancroft: 4).
 //! * [`wls4`] — row-scaled weighted least squares (NR elevation weighting).
 //! * [`gls3`] — whitened general least squares (DLG's correlated Ψ).
+//! * [`gls3_rank1`] — structured general least squares for the
+//!   rank-one-plus-diagonal Ψ via Sherman–Morrison (DLG's `O(m)` lane;
+//!   no covariance matrix is built at all).
 //! * [`cholesky_factor`] and the substitution kernels underneath them.
 //!
 //! # Bit-for-bit parity with the heap path
@@ -349,6 +352,114 @@ pub fn gls3<const M: usize, const C: usize>(
     ols3(&whitened_a, &whitened_b)
 }
 
+/// Stack mirror of [`crate::lstsq::gls_rank1_into`] for the 3-unknown
+/// shape: structured GLS for a rank-one-plus-diagonal covariance
+/// `M = rank1·𝟙𝟙ᵀ + diag(d)` via the Sherman–Morrison identity — `O(m)`
+/// work and scratch, no covariance matrix materialized at all.
+/// Bit-identical results and errors on identical inputs (the heap kernel's
+/// validation sequence, accumulator statement order and Cramer tail are
+/// reproduced exactly).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::lstsq::gls_rank1`]
+/// ([`LinalgError::NotPositiveDefinite`] on a non-positive diagonal entry
+/// or a non-positive Sherman–Morrison denominator).
+// lint: no_alloc
+pub fn gls3_rank1<const M: usize>(
+    a: &SMat<M, 3>,
+    b: &SVec<M>,
+    rank1: f64,
+    diag: &[f64],
+) -> crate::Result<[f64; 3]> {
+    check_kernel(a, b, "gls_rank1")?;
+    let m = a.rows;
+    if diag.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            left: (m, 3),
+            right: (diag.len(), 1),
+            op: "gls_rank1 diagonal",
+        });
+    }
+    if !rank1.is_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    // Positive-definiteness of M = rank1·𝟙𝟙ᵀ + D, tested exactly: D ≻ 0
+    // entry by entry, then the Sherman–Morrison denominator t > 0.
+    let mut inv_sum = 0.0;
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: i });
+        }
+        inv_sum += 1.0 / d;
+    }
+    let t = 1.0 + rank1 * inv_sum;
+    if t <= 0.0 || !t.is_finite() {
+        return Err(LinalgError::NotPositiveDefinite { pivot: m - 1 });
+    }
+    let gamma = rank1 / t;
+    // Accumulate AᵀD⁻¹A (symmetric), AᵀD⁻¹b, AᵀD⁻¹𝟙 and 𝟙ᵀD⁻¹b — the
+    // same statement order as the heap kernel, so every rounding matches.
+    let (mut g00, mut g01, mut g02, mut g11, mut g12, mut g22) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut c0, mut c1, mut c2) = (0.0, 0.0, 0.0);
+    let (mut u0, mut u1, mut u2) = (0.0, 0.0, 0.0);
+    let mut s = 0.0;
+    for (r, &dv) in diag.iter().enumerate() {
+        let row = &a.data[r];
+        let (x, y, z) = (row[0], row[1], row[2]);
+        let bv = b.data[r];
+        let w = 1.0 / dv;
+        g00 += x * x * w;
+        g01 += x * y * w;
+        g02 += x * z * w;
+        g11 += y * y * w;
+        g12 += y * z * w;
+        g22 += z * z * w;
+        c0 += x * bv * w;
+        c1 += y * bv * w;
+        c2 += z * bv * w;
+        u0 += x * w;
+        u1 += y * w;
+        u2 += z * w;
+        s += bv * w;
+    }
+    // Sherman–Morrison rank-one correction: G −= γ·uuᵀ, c −= γ·s·u.
+    g00 -= gamma * u0 * u0;
+    g01 -= gamma * u0 * u1;
+    g02 -= gamma * u0 * u2;
+    g11 -= gamma * u1 * u1;
+    g12 -= gamma * u1 * u2;
+    g22 -= gamma * u2 * u2;
+    c0 -= gamma * s * u0;
+    c1 -= gamma * s * u1;
+    c2 -= gamma * s * u2;
+    // On the dense path an accumulation overflow surfaces as NonFinite
+    // (ols3 re-checks the whitened system); keep that error surface.
+    let finite = [g00, g01, g02, g11, g12, g22, c0, c1, c2]
+        .iter()
+        .all(|v| v.is_finite());
+    if !finite {
+        return Err(LinalgError::NonFinite);
+    }
+    // Cramer's rule on the symmetric 3×3 system (same tail as ols3).
+    let det = g00 * (g11 * g22 - g12 * g12) - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02);
+    let scale = [g00, g11, g22].into_iter().fold(0.0f64, f64::max);
+    if det.abs() <= 1e-13 * scale * scale * scale.max(f64::MIN_POSITIVE) {
+        return Err(LinalgError::Singular);
+    }
+    let x0 = (c0 * (g11 * g22 - g12 * g12) - g01 * (c1 * g22 - g12 * c2)
+        + g02 * (c1 * g12 - g11 * c2))
+        / det;
+    let x1 = (g00 * (c1 * g22 - c2 * g12) - c0 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * c2 - c1 * g02))
+        / det;
+    let x2 = (g00 * (g11 * c2 - g12 * c1) - g01 * (g01 * c2 - c1 * g02)
+        + c0 * (g01 * g12 - g11 * g02))
+        / det;
+    Ok([x0, x1, x2])
+}
+
 /// Stack mirror of [`crate::Cholesky::factor_in_place`] over the active
 /// `rows × rows` block: on success the lower triangle holds `L` and the
 /// strict upper triangle is zeroed. Same pivot tests, same error values,
@@ -600,6 +711,78 @@ mod tests {
         for (g, o) in via_gls.iter().zip(via_ols) {
             assert!((g - o).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn gls3_rank1_zero_rank1_unit_diag_matches_ols3() {
+        let rows = [
+            [2.0, 1.0, 0.5],
+            [0.3, 1.5, -0.2],
+            [-1.0, 0.4, 2.0],
+            [0.8, -0.6, 1.1],
+        ];
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let a = smat3(&rows);
+        let bv = svec(&b);
+        let via_rank1 = gls3_rank1(&a, &bv, 0.0, &[1.0; 4]).unwrap();
+        let via_ols = ols3(&a, &bv).unwrap();
+        for (g, o) in via_rank1.iter().zip(via_ols) {
+            assert_eq!(g.to_bits(), o.to_bits());
+        }
+    }
+
+    #[test]
+    fn gls3_rank1_matches_dense_gls3() {
+        let rows = [
+            [2.0, 1.0, 0.5],
+            [0.3, 1.5, -0.2],
+            [-1.0, 0.4, 2.0],
+            [0.8, -0.6, 1.1],
+            [0.2, 2.2, 0.9],
+        ];
+        let b = [1.0, -2.0, 0.5, 3.0, -0.7];
+        let diag = [1.0, 2.0, 0.5, 1.5, 3.0];
+        let rank1 = 0.8;
+        let a = smat3(&rows);
+        let bv = svec(&b);
+        let mut cov = SMat::<STACK_M_CAP, STACK_M_CAP>::zeroed(5);
+        for (r, &d) in diag.iter().enumerate() {
+            for c in 0..5 {
+                cov.row_mut(r)[c] = rank1 + if r == c { d } else { 0.0 };
+            }
+        }
+        let dense = gls3(&a, &bv, &mut cov).unwrap();
+        let fast = gls3_rank1(&a, &bv, rank1, &diag).unwrap();
+        for (d, f) in dense.iter().zip(fast) {
+            assert!((d - f).abs() < 1e-12, "dense {d} vs structured {f}");
+        }
+    }
+
+    #[test]
+    fn gls3_rank1_rejects_degenerate_covariance() {
+        let a = smat3(&[
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+        ]);
+        let b = svec(&[1.0; 4]);
+        assert_eq!(
+            gls3_rank1(&a, &b, 1.0, &[1.0, -1.0, 1.0, 1.0]).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 1 }
+        );
+        assert_eq!(
+            gls3_rank1(&a, &b, -0.5, &[1.0; 4]).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 3 }
+        );
+        assert!(matches!(
+            gls3_rank1(&a, &b, 1.0, &[1.0; 3]).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        assert_eq!(
+            gls3_rank1(&a, &b, f64::INFINITY, &[1.0; 4]).unwrap_err(),
+            LinalgError::NonFinite
+        );
     }
 
     #[test]

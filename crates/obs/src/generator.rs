@@ -52,6 +52,7 @@ pub struct DatasetGenerator {
     steering_template: SteeringClock,
     threshold_template: ThresholdClock,
     extended_observables: bool,
+    constellation: Constellation,
 }
 
 impl DatasetGenerator {
@@ -73,7 +74,18 @@ impl DatasetGenerator {
             steering_template: SteeringClock::default(),
             threshold_template: ThresholdClock::default(),
             extended_observables: false,
+            constellation: Constellation::gps_nominal_at(GpsTime::EPOCH),
         }
+    }
+
+    /// Replaces the simulated space segment (default: the 31-vehicle
+    /// nominal GPS constellation). Pass
+    /// [`Constellation::multi_gnss_nominal`] for the ~40-visible
+    /// large-constellation regime of the `theta_vs_m` experiment.
+    #[must_use]
+    pub fn constellation(mut self, constellation: Constellation) -> Self {
+        self.constellation = constellation;
+        self
     }
 
     /// Also generates the extended observables (satellite velocity,
@@ -152,7 +164,7 @@ impl DatasetGenerator {
         let mut rng = StdRng::seed_from_u64(station_seed);
 
         let start = GpsTime::from_date(station.date());
-        let constellation = Constellation::gps_nominal_at(GpsTime::EPOCH);
+        let constellation = &self.constellation;
         let station_geo = station.geodetic();
         let station_pos = station.position();
 
@@ -315,6 +327,28 @@ mod tests {
             let (min, max) = data.satellite_count_range();
             assert!(min >= 5, "{}: min {min}", station.id());
             assert!(max <= 15, "{}: max {max}", station.id());
+        }
+    }
+
+    #[test]
+    fn multi_gnss_constellation_reaches_large_m() {
+        let station = &paper_stations()[0];
+        let data = quick(9)
+            .epoch_interval_s(900.0)
+            .epoch_count(96)
+            .elevation_mask_deg(5.0)
+            .constellation(Constellation::multi_gnss_nominal())
+            .generate(station);
+        let (min, max) = data.satellite_count_range();
+        assert!(min >= 25, "min visible {min}");
+        assert!(max >= 40, "max visible {max} never reaches the m=40 regime");
+        assert!(max <= 55, "max visible {max}");
+        // Per-epoch ids stay unique across the three PRN blocks.
+        for e in data.epochs() {
+            let mut ids: Vec<u8> = e.observations().iter().map(|o| o.sat.prn()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), e.observations().len());
         }
     }
 

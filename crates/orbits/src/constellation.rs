@@ -48,6 +48,19 @@ const PLANE_SLOTS: [&[f64]; 6] = [
     &[30.0, 100.0, 170.0, 240.0, 310.0],
 ];
 
+/// Parameters of one Walker-style shell for
+/// [`Constellation::push_walker_shell`]: a PRN block starting at
+/// `first_prn`, `planes × per_plane` vehicles, and the shell's orbit
+/// geometry.
+struct WalkerShell {
+    first_prn: u8,
+    planes: u8,
+    per_plane: u8,
+    semi_major_axis: f64,
+    inclination_deg: f64,
+    raan0_deg: f64,
+}
+
 impl Constellation {
     /// Builds the nominal 31-vehicle GPS constellation: 6 planes at 60°
     /// RAAN spacing, 55° inclination, near-circular 26 560 km orbits, with
@@ -73,6 +86,89 @@ impl Constellation {
             }
         }
         Constellation { satellites }
+    }
+
+    /// Builds a GPS+Galileo+BeiDou-scale multi-GNSS constellation
+    /// (~118 vehicles) for the large-`m` experiments of ROADMAP item 4:
+    /// the 31-vehicle GPS layout plus a Galileo-like Walker shell
+    /// (3 planes × 15 at 56°, 29 600 km) and a BeiDou-MEO-like shell
+    /// (3 planes × 14 at 55°, 27 906 km).
+    ///
+    /// A mid-latitude station sees ≈ 36–44 of these above a 5° mask —
+    /// the m ≈ 40 regime where O(m³) dense-covariance solvers fall off a
+    /// cliff ("Satellite Positioning with Large Constellations",
+    /// PAPERS.md). Inter-system clock offsets are deliberately not
+    /// modelled: every shell shares the GPS timescale, so the epochs
+    /// exercise dense-`m` *geometry* only, as ROADMAP item 4 scopes it.
+    ///
+    /// PRN blocks: GPS 1–31, Galileo-like 33–77, BeiDou-like 81–122
+    /// (gaps left between blocks so ids read as system membership).
+    #[must_use]
+    pub fn multi_gnss_nominal_at(epoch: GpsTime) -> Self {
+        let mut c = Self::gps_nominal_at(epoch);
+        c.push_walker_shell(
+            // Galileo-like shell: 56° inclination, 29 600 km semi-major axis.
+            WalkerShell {
+                first_prn: 33,
+                planes: 3,
+                per_plane: 15,
+                semi_major_axis: 29_600_000.0,
+                inclination_deg: 56.0,
+                raan0_deg: 20.0,
+            },
+            epoch,
+        );
+        c.push_walker_shell(
+            // BeiDou-MEO-like shell: 55° inclination, 27 906 km.
+            WalkerShell {
+                first_prn: 81,
+                planes: 3,
+                per_plane: 14,
+                semi_major_axis: 27_906_100.0,
+                inclination_deg: 55.0,
+                raan0_deg: 50.0,
+            },
+            epoch,
+        );
+        c
+    }
+
+    /// [`Constellation::multi_gnss_nominal_at`] at [`GpsTime::EPOCH`].
+    #[must_use]
+    pub fn multi_gnss_nominal() -> Self {
+        Self::multi_gnss_nominal_at(GpsTime::EPOCH)
+    }
+
+    /// Appends a Walker-style shell: `planes` equally-spaced orbital
+    /// planes (RAAN step `360°/planes` from `raan0_deg`) of `per_plane`
+    /// equally-phased near-circular satellites, with the conventional
+    /// inter-plane phase stagger of one slot fraction.
+    fn push_walker_shell(&mut self, shell: WalkerShell, epoch: GpsTime) {
+        let slot_deg = 360.0 / f64::from(shell.per_plane);
+        let mut prn = shell.first_prn;
+        for plane in 0..shell.planes {
+            let raan =
+                (shell.raan0_deg + f64::from(plane) * 360.0 / f64::from(shell.planes)).to_radians();
+            // Stagger planes by a third of a slot so no two shells'
+            // satellites bunch at the same argument of latitude.
+            let phase0 = f64::from(plane) * slot_deg / f64::from(shell.planes);
+            for slot in 0..shell.per_plane {
+                let phase = (phase0 + f64::from(slot) * slot_deg).to_radians();
+                self.satellites.push((
+                    SatId::new(prn),
+                    KeplerianElements {
+                        semi_major_axis: shell.semi_major_axis,
+                        eccentricity: 0.003,
+                        inclination: shell.inclination_deg.to_radians(),
+                        raan,
+                        argument_of_perigee: 0.0,
+                        mean_anomaly: phase,
+                        epoch,
+                    },
+                ));
+                prn += 1;
+            }
+        }
     }
 
     /// Builds a constellation from explicit `(id, elements)` pairs.
@@ -240,6 +336,50 @@ mod tests {
             .visible_from(pole, GpsTime::EPOCH, 10.0f64.to_radians())
             .len();
         assert!(n >= 4, "polar visibility {n}");
+    }
+
+    #[test]
+    fn multi_gnss_has_unique_prns_and_three_shells() {
+        let c = Constellation::multi_gnss_nominal();
+        assert_eq!(c.len(), 31 + 45 + 42);
+        let mut prns: Vec<u8> = c.iter().map(|(id, _)| id.prn()).collect();
+        prns.sort_unstable();
+        prns.dedup();
+        assert_eq!(prns.len(), c.len(), "duplicate PRNs");
+        // Three distinct orbital radii — one per system.
+        let mut radii: Vec<i64> = c.iter().map(|(_, el)| el.semi_major_axis as i64).collect();
+        radii.sort_unstable();
+        radii.dedup();
+        assert_eq!(radii.len(), 3);
+    }
+
+    #[test]
+    fn multi_gnss_visibility_reaches_forty() {
+        // The whole point of the multi-GNSS layout: a mid-latitude
+        // station should routinely see ~40 satellites above a 5° mask
+        // (the large-constellation regime of ROADMAP item 4), and never
+        // dip anywhere near the GPS-only 8-12 band.
+        let c = Constellation::multi_gnss_nominal();
+        let station = station_mid_latitude();
+        let mask = 5.0f64.to_radians();
+        let mut min_seen = usize::MAX;
+        let mut max_seen = 0;
+        let mut epochs_at_40 = 0;
+        for step in 0..96 {
+            let t = GpsTime::EPOCH + Duration::from_minutes(15.0 * step as f64);
+            let n = c.visible_from(station, t, mask).len();
+            min_seen = min_seen.min(n);
+            max_seen = max_seen.max(n);
+            if n >= 40 {
+                epochs_at_40 += 1;
+            }
+        }
+        assert!(min_seen >= 30, "min visible {min_seen}");
+        assert!(max_seen <= 52, "max visible {max_seen}");
+        assert!(
+            epochs_at_40 >= 24,
+            "only {epochs_at_40}/96 epochs reach m = 40"
+        );
     }
 
     #[test]

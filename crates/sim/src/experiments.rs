@@ -247,6 +247,63 @@ pub fn ext_gls_covariance(cfg: &ExperimentConfig) -> FigureReport {
     }
 }
 
+/// Satellite counts swept by [`theta_vs_m`]: the paper's 4–10 band plus
+/// the multi-constellation extension out to m = 40 (ROADMAP item 4).
+pub const THETA_VS_M_COUNTS: [usize; 9] = [4, 6, 8, 10, 14, 20, 28, 34, 40];
+
+/// ROADMAP items 2+4 experiment: the paper's Figure 5.1 execution-time
+/// rate `θ = τ/τ_NR × 100 %` re-plotted to large satellite counts with
+/// **both DLG GLS paths** — the structured Sherman–Morrison lane (`dlo`
+/// column) versus the dense-Ψ Cholesky lane (`dlg` column).
+///
+/// The SRZN dataset is regenerated over the
+/// [`gps_orbits::Constellation::multi_gnss_nominal`] space segment so
+/// epochs reach m ≈ 40 visible, and the sweep uses the fixed
+/// [`THETA_VS_M_COUNTS`] grid instead of `cfg`'s 4–10 band (counts no
+/// epoch reaches are skipped). The paper's dense DLG grows like O(m³)
+/// and falls off a cliff here; the structured path stays O(m·n) and
+/// bends the curve back down.
+#[must_use]
+pub fn theta_vs_m(cfg: &ExperimentConfig) -> FigureReport {
+    use gps_core::{Dlg, GlsPath};
+    let _span = gps_telemetry::span("theta_vs_m");
+    let station = paper_stations().remove(0); // SRZN, the steering station
+    let data = DatasetGenerator::new(cfg.seed)
+        .epoch_interval_s(cfg.epoch_interval_s)
+        .epoch_count(cfg.epoch_count)
+        .elevation_mask_deg(cfg.elevation_mask_deg)
+        .constellation(gps_orbits::Constellation::multi_gnss_nominal())
+        .generate(&station);
+    let structured = crate::SolverSet::default(); // Dlg defaults to Structured
+    let dense = crate::SolverSet {
+        dlg: Dlg::new().with_gls_path(GlsPath::DenseWhitened),
+        ..crate::SolverSet::default()
+    };
+    let series: Vec<SeriesPoint> = THETA_VS_M_COUNTS
+        .iter()
+        .filter_map(|&m| {
+            let r_structured = crate::run_dataset_with(&data, m, cfg, &structured);
+            let r_dense = crate::run_dataset_with(&data, m, cfg, &dense);
+            if r_structured.nr.solves == 0 || r_dense.nr.solves == 0 {
+                return None; // no epoch reached this satellite count
+            }
+            Some(SeriesPoint {
+                m,
+                dlo: r_structured.theta_dlg(),
+                dlg: r_dense.theta_dlg(),
+                epochs: r_structured.epochs_used,
+            })
+        })
+        .collect();
+    FigureReport {
+        title: "θ vs m to 40 satellites: structured vs dense-Ψ DLG (SRZN, multi-GNSS)".to_owned(),
+        rate_legend:
+            "θ = τ/τ_NR × 100% (eq. 5-3); DLO column = DLG w/ Sherman–Morrison GLS, DLG column = DLG w/ dense Ψ Cholesky"
+                .to_owned(),
+        datasets: vec![("SRZN @ multi-GNSS".to_owned(), series)],
+    }
+}
+
 /// Robustness experiment: applies a [`gps_faults::FaultPlan`] to the
 /// SRZN dataset and reports availability, degradation and integrity of
 /// the [`gps_core::ResilientSolver`] pipeline (plus per-algorithm bare
@@ -401,6 +458,39 @@ mod tests {
                     assert!(p.dlg.is_finite() && p.dlg > 0.0, "{label}: {p:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn theta_vs_m_reaches_large_counts() {
+        let mut cfg = ExperimentConfig::quick(37);
+        cfg.epoch_count = 40;
+        cfg.calibration_epochs = 8;
+        let report = theta_vs_m(&cfg);
+        assert_eq!(report.datasets.len(), 1);
+        let series = &report.datasets[0].1;
+        assert!(!series.is_empty());
+        // The multi-GNSS segment must carry the sweep well past the
+        // GPS-only m ≤ 14 ceiling.
+        let max_m = series.iter().map(|p| p.m).max().unwrap();
+        assert!(max_m >= 28, "sweep topped out at m = {max_m}");
+        for p in series {
+            assert!(p.dlo.is_finite() && p.dlo > 0.0, "{p:?}");
+            assert!(p.dlg.is_finite() && p.dlg > 0.0, "{p:?}");
+        }
+        // In optimized builds the structured path must not be slower
+        // than dense at the largest swept count (the whole point of the
+        // Sherman–Morrison lane); debug builds distort timing too much
+        // to pin.
+        if !cfg!(debug_assertions) {
+            let top = series.last().unwrap();
+            assert!(
+                top.dlo <= top.dlg,
+                "structured θ {} > dense θ {} at m = {}",
+                top.dlo,
+                top.dlg,
+                top.m
+            );
         }
     }
 

@@ -97,6 +97,22 @@ if cargo run --release --offline -q -- benchdiff --quick \
     exit 1
 fi
 
+echo "==> theta-vs-m smoke (structured vs dense-cov DLG out to m = 40)"
+out=$(cargo run --release --offline -q -- experiment theta_vs_m --quick)
+echo "$out"
+echo "$out" | grep -q "to 40 satellites" \
+    || { echo "smoke: theta_vs_m did not run the large-constellation sweep"; exit 1; }
+echo "$out" | grep -Eq "^ +40 " \
+    || { echo "smoke: theta_vs_m produced no m = 40 row"; exit 1; }
+
+echo "==> GLS-path ablation smoke (structured/whitened/explicit sweep, quick samples)"
+out=$(GPS_BENCH_QUICK=1 cargo bench --offline -q -p gps-bench --bench ablation_gls_cov 2>&1)
+echo "$out" | grep "dlg/structured" || { echo "smoke: ablation ran no structured cells"; exit 1; }
+echo "$out" | grep -q "dlg/structured/m40" \
+    || { echo "smoke: ablation did not reach m = 40"; exit 1; }
+echo "$out" | grep -q "dlg/explicit-inv/m40" \
+    || { echo "smoke: ablation skipped the explicit-inverse lane"; exit 1; }
+
 echo "==> fault campaign smoke (dropout+ramp must degrade, not panic)"
 out=$(cargo run --release --offline -q -- experiment fault_campaign --quick --faults dropout,ramp)
 echo "$out"

@@ -42,7 +42,7 @@ USAGE:
                   [--queue-cap N] [--journal FILE] [--kill-after N]
                   [--truncate-tail BYTES] [--bench-out FILE] [--seed N] [--quick]
   gps-repro replay <JOURNAL> [--verify-digest HEX]
-  gps-repro experiment <table51|fig51|fig52|extensions|fault_campaign|chaos|all>
+  gps-repro experiment <table51|fig51|fig52|theta_vs_m|extensions|fault_campaign|chaos|all>
                        [--paper-scale|--quick] [--seed N]
   gps-repro profile [<table51|fig51|fig52|extensions|all>] [--folded]
                     [--out <FILE>] [--seed N] [--paper-scale|--full]
@@ -693,6 +693,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         "table51" => println!("{}", experiments::table51(&cfg)),
         "fig51" => println!("{}", experiments::fig51(&cfg)),
         "fig52" => println!("{}", experiments::fig52(&cfg)),
+        "theta_vs_m" => println!("{}", experiments::theta_vs_m(&cfg)),
         "extensions" => {
             println!("{}", experiments::ext_base_selection(&cfg));
             println!("{}", experiments::ext_gls_covariance(&cfg));
@@ -701,6 +702,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
             println!("{}", experiments::table51(&cfg));
             println!("{}", experiments::fig51(&cfg));
             println!("{}", experiments::fig52(&cfg));
+            println!("{}", experiments::theta_vs_m(&cfg));
             println!("{}", experiments::ext_base_selection(&cfg));
             println!("{}", experiments::ext_gls_covariance(&cfg));
         }
@@ -920,6 +922,23 @@ struct BaselineCell {
     fixes_per_sec: f64,
 }
 
+/// The `hardware_threads` count from the baseline header, if present.
+/// Only the text before the `results` array is scanned so a result-cell
+/// key can never shadow the header; baselines written before the field
+/// existed read back as `None`.
+fn parse_baseline_threads(text: &str) -> Option<usize> {
+    let header = text.split("\"results\"").next()?;
+    let rest = header.split("\"hardware_threads\"").nth(1)?;
+    let lit: String = rest
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    lit.parse().ok()
+}
+
 /// Hand-rolled scanner for `BENCH_throughput.json` (no JSON dependency):
 /// pulls `solver`, `jobs` and `fixes_per_sec` out of each object in the
 /// `results` array. Tolerates reordered fields and extra keys; the
@@ -1031,6 +1050,28 @@ fn cmd_benchdiff(args: &Args) -> Result<(), String> {
         "benchdiff vs {baseline_path}: {} cell(s), tolerance {tolerance}%, {epochs}-epoch streams",
         cells.len()
     );
+    // Surface the baseline-vs-runner hardware mismatch in the header:
+    // fixes/s cells recorded on a different core count are informational,
+    // not regression-gate material, and the reader should see that before
+    // the per-cell verdicts.
+    let runner_threads = gps_repro::pool::available_parallelism();
+    match parse_baseline_threads(&text) {
+        Some(base_threads) if base_threads == runner_threads => {
+            println!("  baseline and runner both have {runner_threads} hardware thread(s)");
+        }
+        Some(base_threads) => {
+            println!(
+                "  WARNING: baseline recorded on {base_threads} hardware thread(s), runner has \
+                 {runner_threads} — parallel-cell deltas reflect the machine, not the code"
+            );
+        }
+        None => {
+            println!(
+                "  baseline predates the hardware_threads field; runner has {runner_threads} \
+                 hardware thread(s)"
+            );
+        }
+    }
     let mut regressions = 0usize;
     let mut measured_cells = 0usize;
     for cell in &cells {

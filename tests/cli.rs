@@ -168,7 +168,6 @@ fn telemetry_out_captures_events_and_snapshot() {
         "core.nr.iterations",
         "core.dlo.condition_number",
         "core.dlg.condition_number",
-        "core.dlg.cov_assembly_us",
     ] {
         assert!(
             text.lines()
@@ -176,6 +175,13 @@ fn telemetry_out_captures_events_and_snapshot() {
             "snapshot missing histogram {metric}"
         );
     }
+    // The default DLG lane is the structured Sherman–Morrison path, which
+    // never assembles the dense Ψ — so its assembly timer must be absent
+    // (it records only on the dense GlsPath ablation lanes; TELEMETRY.md).
+    assert!(
+        !text.contains("core.dlg.cov_assembly_us"),
+        "structured DLG lane unexpectedly assembled a dense covariance"
+    );
     assert!(
         text.lines()
             .any(|l| l.contains("\"type\":\"counter\"") && l.contains("core.nr.solves")),
