@@ -689,8 +689,10 @@ struct JournalRecord {
 }
 
 impl JournalRecord {
+    // lint: wire_format
     fn encode(&self) -> Vec<u64> {
-        let mut words = Vec::with_capacity(12 + 5 * self.measurements.len());
+        let mut words =
+            Vec::with_capacity(self.measurements.len().saturating_mul(5).saturating_add(12));
         words.push(self.receiver);
         words.push(self.seq);
         words.push(self.disposition.to_word());
@@ -713,6 +715,7 @@ impl JournalRecord {
         words
     }
 
+    // lint: wire_format
     fn decode(words: &[u64]) -> Option<Self> {
         let mut it = words.iter().copied();
         let receiver = it.next()?;
@@ -721,7 +724,10 @@ impl JournalRecord {
         let dt_s = f64::from_bits(it.next()?);
         let predicted_bias_m = f64::from_bits(it.next()?);
         let n = it.next()? as usize;
-        if words.len() != 12 + 5 * n {
+        // `n` comes off the wire: checked math so a hostile count
+        // cannot overflow the expected-length comparison.
+        let expected = n.checked_mul(5).and_then(|w| w.checked_add(12))?;
+        if words.len() != expected {
             return None;
         }
         let mut measurements = Vec::with_capacity(n);

@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use crate::allowlist::Allowlist;
 use crate::file::FileView;
 use crate::findings::{Finding, Report};
+use crate::graph::{self, Workspace};
 use crate::lexer;
 use crate::rules::{self, Rule};
 
@@ -50,30 +51,57 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Every `crates/<name>/src/**/*.rs` file under `root`, with the crate
-/// directory name attached, in stable order.
-fn workspace_sources(root: &Path) -> Vec<(String, PathBuf)> {
-    let crates_dir = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates_dir) else {
-        return Vec::new();
-    };
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.join("src").is_dir())
-        .collect();
-    crate_dirs.sort();
+/// One discovered source file: crate name (empty outside `crates/`),
+/// path, and whether the whole file is test/example code.
+struct Source {
+    krate: String,
+    path: PathBuf,
+    is_test: bool,
+}
+
+/// Every workspace source under `root`, in stable order:
+/// `crates/<name>/src/**/*.rs` (library code), then the root binary's
+/// `src/**`, then `tests/**` and `examples/**` (whole-file test code —
+/// the panic_freedom exemption applies throughout). Crate-level
+/// `crates/*/tests` trees are deliberately *not* walked: the lint
+/// crate's own fixture trees live there and must only be linted when a
+/// fixture root is passed explicitly.
+fn workspace_sources(root: &Path) -> Vec<Source> {
     let mut out = Vec::new();
-    for dir in crate_dirs {
-        let name = dir
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_string();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let mut files = Vec::new();
+            rust_files(&dir.join("src"), &mut files);
+            for f in files {
+                out.push(Source {
+                    krate: name.clone(),
+                    path: f,
+                    is_test: false,
+                });
+            }
+        }
+    }
+    for (dir, is_test) in [("src", false), ("tests", true), ("examples", true)] {
         let mut files = Vec::new();
-        rust_files(&dir.join("src"), &mut files);
+        rust_files(&root.join(dir), &mut files);
         for f in files {
-            out.push((name.clone(), f));
+            out.push(Source {
+                krate: String::new(),
+                path: f,
+                is_test,
+            });
         }
     }
     out
@@ -114,12 +142,13 @@ pub fn run(opts: &Options) -> Result<Report, String> {
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut files_scanned = 0usize;
-    for (krate, path) in &sources {
-        let Ok(src) = fs::read_to_string(path) else {
+    let mut workspace = Workspace::default();
+    for source in &sources {
+        let Ok(src) = fs::read_to_string(&source.path) else {
             findings.push(Finding {
                 rule: "driver",
                 key: "unreadable",
-                file: relativize(&opts.root, path),
+                file: relativize(&opts.root, &source.path),
                 line: 1,
                 col: 1,
                 message: "file could not be read as UTF-8".to_string(),
@@ -129,12 +158,22 @@ pub fn run(opts: &Options) -> Result<Report, String> {
         };
         files_scanned += 1;
         let tokens = lexer::lex(&src);
-        let view = FileView::new(relativize(&opts.root, path), krate.clone(), &src, &tokens);
+        let mut view = FileView::new(
+            relativize(&opts.root, &source.path),
+            source.krate.clone(),
+            &src,
+            &tokens,
+        );
+        if source.is_test {
+            view = view.mark_test_file();
+        }
         for rule in active.iter_mut() {
             findings.extend(rule.check_file(&view));
         }
+        graph::summarise(&mut workspace, &view);
     }
     for rule in active.iter_mut() {
+        findings.extend(rule.check_workspace(&workspace));
         findings.extend(rule.finish(&opts.root));
     }
 

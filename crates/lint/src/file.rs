@@ -28,6 +28,10 @@ pub struct FileView<'a> {
     pub code: Vec<usize>,
     /// Inclusive line ranges of test-only items.
     pub test_regions: Vec<(u32, u32)>,
+    /// Whole file is test/example code (`tests/**`, `examples/**`):
+    /// every line counts as a test line, so the test-code exemptions
+    /// (panic_freedom and friends) apply throughout.
+    pub is_test_file: bool,
 }
 
 impl<'a> FileView<'a> {
@@ -47,14 +51,25 @@ impl<'a> FileView<'a> {
             tokens,
             code,
             test_regions,
+            is_test_file: false,
         }
     }
 
-    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    /// Mark the whole file as test/example code (see
+    /// [`FileView::is_test_file`]).
+    pub fn mark_test_file(mut self) -> Self {
+        self.is_test_file = true;
+        self
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item,
+    /// or the whole file is test/example code.
     pub fn is_test_line(&self, line: u32) -> bool {
-        self.test_regions
-            .iter()
-            .any(|&(start, end)| line >= start && line <= end)
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(start, end)| line >= start && line <= end)
     }
 
     /// The text of 1-based `line`, trimmed, or empty when out of range.

@@ -1,0 +1,1183 @@
+//! Workspace-level summaries: the approximate intra-crate call graph
+//! plus the lock, atomic and allocation facts the interprocedural
+//! rules consume.
+//!
+//! The driver builds one [`Workspace`] during its per-file pass (while
+//! each [`FileView`] is alive) and hands it to
+//! [`crate::rules::Rule::check_workspace`] afterwards. Everything in
+//! here is *owned* — no borrows into file contents survive.
+//!
+//! Resolution is name-based and deliberately approximate, biased so
+//! that a missed edge (weaker check) is preferred over a false edge
+//! (false positive on a clean tree):
+//!
+//! * `Type::name(…)` resolves to impls of `Type`, any crate.
+//! * `module::name(…)` resolves to free fns in the named crate
+//!   (`gps_linalg::solve`) or the file whose stem matches the module
+//!   (`lstsq::gls`), preferring the caller's crate.
+//! * `.name(…)` resolves within the caller's own impl type first,
+//!   then to same-crate methods only; names that collide with
+//!   ubiquitous std methods are not chased at all.
+//! * `name(…)` resolves to free fns in the caller's own file first,
+//!   then via the file's `use` imports (std/core/alloc imports
+//!   resolve to nothing), then to the caller's crate.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::file::{FileView, KEYWORDS};
+use crate::parser::{self, Item, ItemKind};
+use crate::rules::no_alloc_facts;
+
+/// An owned source location, usable after the per-file pass.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub rel: String,
+    pub line: u32,
+    pub col: u32,
+    pub snippet: String,
+}
+
+/// A direct allocation inside a function body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    pub site: Site,
+    pub message: &'static str,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    /// `Foo::bar(…)` → `Some("Foo")`; `bar(…)` and `.bar(…)` → `None`.
+    pub qualifier: Option<String>,
+    /// `.bar(…)` — a method call on some receiver.
+    pub is_method: bool,
+    /// For method calls, the receiver name when it is a simple ident
+    /// (`self.bar(…)` → `Some("self")`, `sink.bar(…)` →
+    /// `Some("sink")`, `foo().bar(…)` → `None`).
+    pub receiver: Option<String>,
+    pub site: Site,
+    /// Lock names held at the call site (for interprocedural
+    /// acquisition-order edges).
+    pub holding: Vec<String>,
+    /// The call sits on a non-test line inside a `// lint: no_alloc`
+    /// region.
+    pub in_no_alloc: bool,
+}
+
+/// One `.lock()` / `.read()` / `.write()` acquisition.
+#[derive(Debug, Clone)]
+pub struct LockAcquire {
+    /// Receiver name: `self.journal.lock()` → `journal`.
+    pub name: String,
+    pub site: Site,
+    /// Lock names already held here.
+    pub holding: Vec<String>,
+}
+
+/// One function in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    pub krate: String,
+    pub rel: String,
+    /// File stem (`lstsq` for `crates/linalg/src/lstsq.rs`) — the
+    /// module-name hint used to disambiguate free-fn calls.
+    pub stem: String,
+    pub name: String,
+    /// Impl self-type head for methods.
+    pub self_ty: Option<String>,
+    pub line: u32,
+    pub is_test: bool,
+    /// The fn starts inside a `// lint: no_alloc` region.
+    pub no_alloc: bool,
+    pub allocs: Vec<AllocSite>,
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockAcquire>,
+}
+
+/// A struct field whose type mentions an atomic.
+#[derive(Debug, Clone)]
+pub struct AtomicField {
+    pub krate: String,
+    pub struct_name: String,
+    pub name: String,
+    pub ty: String,
+    pub site: Site,
+}
+
+/// One atomic operation (`receiver.load(Ordering::…)`, …).
+#[derive(Debug, Clone)]
+pub struct AtomicUse {
+    pub krate: String,
+    /// Receiver name the op was invoked on (field name for
+    /// `self.cursor.load(…)`).
+    pub field: String,
+    pub op: String,
+    pub orderings: Vec<String>,
+    pub site: Site,
+    pub is_test: bool,
+}
+
+/// Where a `use` statement says an in-scope name comes from.
+#[derive(Debug, Clone)]
+pub struct ImportHint {
+    /// First path segment (`crate`, `super`, `std`, `gps_linalg`, …).
+    pub root: String,
+    /// Penultimate segment — the defining module's name, if any.
+    pub module: Option<String>,
+}
+
+/// Everything the workspace-level rules see.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<FnNode>,
+    pub atomic_fields: Vec<AtomicField>,
+    pub atomic_ops: Vec<AtomicUse>,
+    /// `(self_ty, fn name)` → fn indices.
+    by_method: HashMap<(String, String), Vec<usize>>,
+    /// method name → fn indices (fns with a self type).
+    methods_by_name: HashMap<String, Vec<usize>>,
+    /// free fn name → fn indices.
+    free_by_name: HashMap<String, Vec<usize>>,
+    /// `(file rel, in-scope name)` → where the `use` brought it from.
+    imports: HashMap<(String, String), ImportHint>,
+    /// Crate directory names seen so far.
+    krates: BTreeSet<String>,
+}
+
+/// Methods so ubiquitous on std types that chasing a same-named
+/// workspace method would mostly produce false edges.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "and_then",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "copy_from_slice",
+    "default",
+    "drain",
+    "drop",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "len",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "next",
+    "partial_cmp",
+    "pop",
+    "powi",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "rev",
+    "send",
+    "spawn",
+    "sqrt",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "write",
+    "zip",
+];
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+impl Workspace {
+    /// Fold one parsed file into the workspace summaries.
+    pub fn add_file(&mut self, file: &FileView<'_>, items: &[Item]) {
+        let no_alloc_regions = no_alloc_facts::regions(file);
+        for item in items {
+            self.add_items(file, item, &no_alloc_regions);
+        }
+        self.collect_atomic_ops(file);
+        self.collect_imports(file);
+    }
+
+    fn add_items(&mut self, file: &FileView<'_>, item: &Item, regions: &[(u32, u32)]) {
+        match item.kind {
+            ItemKind::Fn => {
+                self.add_fn(file, item, regions);
+            }
+            ItemKind::Struct => {
+                for f in &item.fields {
+                    if f.ty.contains("Atomic") {
+                        self.atomic_fields.push(AtomicField {
+                            krate: file.krate.clone(),
+                            struct_name: item.name.clone(),
+                            name: f.name.clone(),
+                            ty: f.ty.clone(),
+                            site: site_at(file, f.line, 1),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        for child in &item.children {
+            self.add_items(file, child, regions);
+        }
+    }
+
+    fn add_fn(&mut self, file: &FileView<'_>, item: &Item, regions: &[(u32, u32)]) {
+        let idx = self.fns.len();
+        let is_test = file.is_test_line(item.line);
+        let no_alloc = regions
+            .iter()
+            .any(|&(s, e)| item.line >= s && item.line <= e);
+        if !file.krate.is_empty() {
+            self.krates.insert(file.krate.clone());
+        }
+        let stem = file
+            .rel
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or_default()
+            .to_string();
+        let mut node = FnNode {
+            krate: file.krate.clone(),
+            rel: file.rel.clone(),
+            stem,
+            name: item.name.clone(),
+            self_ty: item.self_ty.clone(),
+            line: item.line,
+            is_test,
+            no_alloc,
+            allocs: Vec::new(),
+            calls: Vec::new(),
+            locks: Vec::new(),
+        };
+        if let Some((open, close)) = item.body {
+            extract_body(file, open, close, regions, &mut node);
+        }
+        if let Some(ty) = &node.self_ty {
+            self.by_method
+                .entry((ty.clone(), node.name.clone()))
+                .or_default()
+                .push(idx);
+            self.methods_by_name
+                .entry(node.name.clone())
+                .or_default()
+                .push(idx);
+        } else {
+            self.free_by_name
+                .entry(node.name.clone())
+                .or_default()
+                .push(idx);
+        }
+        self.fns.push(node);
+    }
+
+    /// Scan the whole file for atomic operations (they always live in
+    /// fn bodies; a flat scan keeps receiver attribution uniform).
+    fn collect_atomic_ops(&mut self, file: &FileView<'_>) {
+        for ci in 2..file.code.len() {
+            let text = file.code_text(ci);
+            if !ATOMIC_OPS.contains(&text)
+                || file.code_text(ci.wrapping_sub(1)) != "."
+                || file.code_text(ci + 1) != "("
+            {
+                continue;
+            }
+            let recv = file.code_text(ci - 2);
+            if !is_ident(recv) {
+                continue;
+            }
+            // Collect `Ordering::X` idents inside the call's parens.
+            let mut orderings = Vec::new();
+            let mut depth = 0i32;
+            let mut k = ci + 1;
+            loop {
+                match file.code_text(k) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "" => break,
+                    t if depth > 0
+                        && file.code_text(k.wrapping_sub(2)) == "Ordering"
+                        && file.code_text(k.wrapping_sub(1)) == "::" =>
+                    {
+                        orderings.push(t.to_string());
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let tok = file.code_token(ci);
+            let (line, col) = tok.map(|t| (t.line, t.col)).unwrap_or((0, 0));
+            self.atomic_ops.push(AtomicUse {
+                krate: file.krate.clone(),
+                field: recv.to_string(),
+                op: text.to_string(),
+                orderings,
+                site: site_at(file, line, col),
+                is_test: file.is_test_line(line),
+            });
+        }
+    }
+
+    /// Record every `use` declaration's leaf names for this file.
+    fn collect_imports(&mut self, file: &FileView<'_>) {
+        let mut ci = 0usize;
+        while ci < file.code.len() {
+            if file.code_text(ci) == "use" {
+                ci = self.parse_use_tree(file, ci + 1, &mut Vec::new());
+            } else {
+                ci += 1;
+            }
+        }
+    }
+
+    /// Parse one `use` tree starting at code index `ci`, recording
+    /// leaf names into [`Workspace::imports`]; returns the index just
+    /// past the tree. Globs record nothing; malformed input stops.
+    fn parse_use_tree(
+        &mut self,
+        file: &FileView<'_>,
+        mut ci: usize,
+        path: &mut Vec<String>,
+    ) -> usize {
+        let base = path.len();
+        loop {
+            let t = file.code_text(ci);
+            if t == "{" {
+                ci += 1;
+                loop {
+                    ci = self.parse_use_tree(file, ci, path);
+                    match file.code_text(ci) {
+                        "," => ci += 1,
+                        "}" => {
+                            ci += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                break;
+            }
+            if t == "*" {
+                ci += 1;
+                break;
+            }
+            if is_ident(t) || matches!(t, "crate" | "super" | "self") {
+                path.push(t.to_string());
+                ci += 1;
+                if file.code_text(ci) == "::" {
+                    ci += 1;
+                    continue;
+                }
+                let mut name = path.last().cloned().unwrap_or_default();
+                if file.code_text(ci) == "as" {
+                    name = file.code_text(ci + 1).to_string();
+                    ci += 2;
+                }
+                self.record_import(file, name, path);
+                break;
+            }
+            break;
+        }
+        path.truncate(base);
+        ci
+    }
+
+    fn record_import(&mut self, file: &FileView<'_>, name: String, segs: &[String]) {
+        let mut segs = segs.to_vec();
+        let mut name = name;
+        if name == "self" {
+            // `use crate::sink::{self, …}` imports the module itself.
+            segs.pop();
+            name = match segs.last() {
+                Some(s) => s.clone(),
+                None => return,
+            };
+        }
+        if segs.is_empty() || name.is_empty() {
+            return;
+        }
+        let root = segs[0].clone();
+        let module = (segs.len() >= 3).then(|| segs[segs.len() - 2].clone());
+        self.imports
+            .insert((file.rel.clone(), name), ImportHint { root, module });
+    }
+
+    /// Resolve a call site to candidate workspace functions. Test
+    /// functions are never candidates (`#[test]` fns are not callable
+    /// from real code). See the module docs for the resolution policy.
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let live = |ids: Option<&Vec<usize>>| -> Vec<usize> {
+            ids.map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| !self.fns[i].is_test)
+                    .collect()
+            })
+            .unwrap_or_default()
+        };
+        let me = &self.fns[caller];
+        if let Some(q) = &call.qualifier {
+            let ty = if q == "Self" {
+                me.self_ty.clone().unwrap_or_default()
+            } else {
+                q.clone()
+            };
+            if ty.chars().next().map(char::is_uppercase) == Some(true) {
+                return live(self.by_method.get(&(ty, call.name.clone())));
+            }
+            // Lowercase qualifier: a module path. Narrow to the named
+            // crate or the file whose stem matches the module.
+            let mut out = live(self.free_by_name.get(&call.name));
+            if matches!(q.as_str(), "crate" | "self" | "super") {
+                out.retain(|&i| self.fns[i].krate == me.krate);
+                return out;
+            }
+            let kq = q.strip_prefix("gps_").unwrap_or(q);
+            if self.krates.contains(kq) {
+                out.retain(|&i| self.fns[i].krate == kq);
+                return out;
+            }
+            out.retain(|&i| self.fns[i].stem == *q);
+            let same: Vec<usize> = out
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].krate == me.krate)
+                .collect();
+            return if same.is_empty() { out } else { same };
+        }
+        if call.is_method {
+            // A `self.name(…)` call resolves within the caller's own
+            // impl type; otherwise chase same-crate methods by name
+            // unless the name is a std staple. Cross-crate
+            // method-name matching produced more false edges than
+            // real ones.
+            if call.receiver.as_deref() == Some("self") {
+                if let Some(ty) = &me.self_ty {
+                    let own = live(self.by_method.get(&(ty.clone(), call.name.clone())));
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+            }
+            if STD_METHODS.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            let mut out = live(self.methods_by_name.get(&call.name));
+            out.retain(|&i| self.fns[i].krate == me.krate);
+            return out;
+        }
+        // Bare call: same file first, then the file's `use` imports,
+        // then the caller's crate.
+        let mut out = live(self.free_by_name.get(&call.name));
+        let same_file: Vec<usize> = out
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].rel == me.rel)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        if let Some(hint) = self.imports.get(&(me.rel.clone(), call.name.clone())) {
+            if matches!(hint.root.as_str(), "std" | "core" | "alloc") {
+                return Vec::new();
+            }
+            let hk = match hint.root.as_str() {
+                "crate" | "self" | "super" => me.krate.clone(),
+                s => s.strip_prefix("gps_").unwrap_or(s).to_string(),
+            };
+            out.retain(|&i| self.fns[i].krate == hk);
+            if let Some(module) = &hint.module {
+                let in_module: Vec<usize> = out
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].stem == *module)
+                    .collect();
+                if !in_module.is_empty() {
+                    return in_module;
+                }
+            }
+            return out;
+        }
+        out.retain(|&i| self.fns[i].krate == me.krate);
+        out
+    }
+
+    /// `Some(reason)` when calling `fns[idx]` may allocate, where the
+    /// reason chain names the first allocation found depth-first.
+    /// Memoised; cycles resolve to "no evidence of allocation".
+    pub fn may_alloc(&self, idx: usize, memo: &mut Vec<AllocVerdict>) -> Option<String> {
+        match &memo[idx] {
+            AllocVerdict::Known(r) => return r.clone(),
+            AllocVerdict::Visiting => return None,
+            AllocVerdict::Unknown => {}
+        }
+        memo[idx] = AllocVerdict::Visiting;
+        let node = &self.fns[idx];
+        let mut verdict = None;
+        if let Some(a) = node.allocs.first() {
+            verdict = Some(format!("{} at {}:{}", a.message, a.site.rel, a.site.line));
+        } else {
+            'calls: for call in &node.calls {
+                for callee in self.resolve(idx, call) {
+                    if callee == idx {
+                        continue;
+                    }
+                    if let Some(inner) = self.may_alloc(callee, memo) {
+                        verdict = Some(format!(
+                            "calls `{}` ({}:{}), which {}",
+                            call.name, call.site.rel, call.site.line, inner
+                        ));
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        memo[idx] = AllocVerdict::Known(verdict.clone());
+        verdict
+    }
+
+    /// All lock names transitively acquired by `fns[idx]`.
+    pub fn transitive_locks(&self, idx: usize, memo: &mut Vec<Option<Vec<String>>>) -> Vec<String> {
+        if let Some(cached) = &memo[idx] {
+            return cached.clone();
+        }
+        // Cycle guard: mark with the direct set first.
+        let mut out: Vec<String> = self.fns[idx].locks.iter().map(|l| l.name.clone()).collect();
+        memo[idx] = Some(out.clone());
+        for call in &self.fns[idx].calls {
+            for callee in self.resolve(idx, call) {
+                if callee == idx {
+                    continue;
+                }
+                for name in self.transitive_locks(callee, memo) {
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+            }
+        }
+        memo[idx] = Some(out.clone());
+        out
+    }
+}
+
+/// Memo cell for [`Workspace::may_alloc`].
+#[derive(Debug, Clone, Default)]
+pub enum AllocVerdict {
+    #[default]
+    Unknown,
+    Visiting,
+    Known(Option<String>),
+}
+
+fn is_ident(t: &str) -> bool {
+    !t.is_empty()
+        && t.chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && !KEYWORDS.contains(&t)
+}
+
+fn site_at(file: &FileView<'_>, line: u32, col: u32) -> Site {
+    Site {
+        rel: file.rel.clone(),
+        line,
+        col,
+        snippet: file.line_text(line).to_string(),
+    }
+}
+
+fn site_of(file: &FileView<'_>, ci: usize) -> Site {
+    let (line, col) = file
+        .code_token(ci)
+        .map(|t| (t.line, t.col))
+        .unwrap_or((0, 0));
+    site_at(file, line, col)
+}
+
+/// A lock-guard hold range inside one body, in code indices.
+struct Hold {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Extract calls, direct allocations and lock acquisitions from one fn
+/// body (code indices `open..=close`, the braces included).
+fn extract_body(
+    file: &FileView<'_>,
+    open: usize,
+    close: usize,
+    no_alloc_regions: &[(u32, u32)],
+    node: &mut FnNode,
+) {
+    // Brace depth before each token, relative to the body.
+    let mut depth_at = vec![0i32; close + 1 - open];
+    {
+        let mut depth = 0i32;
+        for k in open..=close {
+            let t = file.code_text(k);
+            if t == "}" {
+                depth -= 1;
+            }
+            depth_at[k - open] = depth;
+            if t == "{" {
+                depth += 1;
+            }
+        }
+    }
+    let depth = |k: usize| -> i32 {
+        if (open..=close).contains(&k) {
+            depth_at[k - open]
+        } else {
+            0
+        }
+    };
+
+    // Pass 1: lock acquisitions and their hold ranges.
+    let mut holds: Vec<Hold> = Vec::new();
+    let mut acquires: Vec<(usize, String)> = Vec::new();
+    for ci in open + 1..close {
+        let text = file.code_text(ci);
+        if !matches!(text, "lock" | "read" | "write")
+            || file.code_text(ci.wrapping_sub(1)) != "."
+            || file.code_text(ci + 1) != "("
+            || file.code_text(ci + 2) != ")"
+        {
+            continue;
+        }
+        let recv = file.code_text(ci.wrapping_sub(2));
+        if !is_ident(recv) {
+            continue;
+        }
+        acquires.push((ci, recv.to_string()));
+        holds.push(hold_range(file, ci, close, recv, &depth));
+    }
+
+    for (ci, name) in &acquires {
+        let holding = holding_at(&holds, *ci);
+        node.locks.push(LockAcquire {
+            name: name.clone(),
+            site: site_of(file, *ci),
+            holding,
+        });
+    }
+
+    // Pass 2: calls and allocations.
+    for ci in open + 1..close {
+        let tok = match file.code_token(ci) {
+            Some(t) => t,
+            None => continue,
+        };
+        let line = tok.line;
+        let in_test = file.is_test_line(line);
+        if !in_test {
+            if let Some((_key, message)) = no_alloc_facts::alloc_site(file, ci) {
+                node.allocs.push(AllocSite {
+                    site: site_of(file, ci),
+                    message,
+                });
+            }
+        }
+        let text = tok.text;
+        if !is_ident(text) || file.code_text(ci + 1) != "(" {
+            continue;
+        }
+        let prev = file.code_text(ci.wrapping_sub(1));
+        if prev == "fn" {
+            continue; // declaration, not a call
+        }
+        let (qualifier, is_method, receiver) = match prev {
+            "." => {
+                let r = file.code_text(ci.wrapping_sub(2));
+                let receiver = (is_ident(r) || r == "self").then(|| r.to_string());
+                (None, true, receiver)
+            }
+            "::" => {
+                let q = file.code_text(ci.wrapping_sub(2));
+                if is_ident(q) || q == "Self" {
+                    (Some(q.to_string()), false, None)
+                } else {
+                    (None, false, None)
+                }
+            }
+            _ => (None, false, None),
+        };
+        // Skip obvious non-calls: enum-variant style constructors are
+        // harmless (they resolve to nothing), but macro bangs never
+        // reach here (`name !` fails the `(` check).
+        let in_no_alloc = !in_test
+            && no_alloc_regions
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e);
+        node.calls.push(CallSite {
+            name: text.to_string(),
+            qualifier,
+            is_method,
+            receiver,
+            site: site_of(file, ci),
+            holding: holding_at(&holds, ci),
+            in_no_alloc,
+        });
+    }
+}
+
+/// Compute the hold range for the lock call at `ci`.
+///
+/// The guard is *bound* (held to the end of the enclosing block) only
+/// when the statement is `let name = recv.lock()<poison-chain>;` where
+/// the chain is at most `?` / `.unwrap()` / `.expect(…)` /
+/// `.unwrap_or_else(…)`. Anything else chained on the guard makes it a
+/// temporary, dropped at the statement's `;`. An explicit
+/// `drop(binding)` inside the range releases early.
+fn hold_range(
+    file: &FileView<'_>,
+    ci: usize,
+    close: usize,
+    name: &str,
+    depth: &dyn Fn(usize) -> i32,
+) -> Hold {
+    let d = depth(ci);
+    // Walk the poison-handler chain after `lock()`.
+    let mut j = ci + 3;
+    loop {
+        match file.code_text(j) {
+            "?" => j += 1,
+            "." if matches!(
+                file.code_text(j + 1),
+                "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "unwrap_or_default"
+            ) =>
+            {
+                j += 2;
+                if file.code_text(j) == "(" {
+                    let mut pd = 0i32;
+                    loop {
+                        match file.code_text(j) {
+                            "(" => pd += 1,
+                            ")" => {
+                                pd -= 1;
+                                if pd == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            "" => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let clean_chain = file.code_text(j) == ";";
+
+    // Statement start: walk back to the previous `;` / `{` / `}`.
+    let mut s = ci.saturating_sub(2);
+    while s > 0 && !matches!(file.code_text(s - 1), ";" | "{" | "}") {
+        s -= 1;
+    }
+    let binding = if clean_chain && file.code_text(s) == "let" {
+        let b = if file.code_text(s + 1) == "mut" {
+            file.code_text(s + 2)
+        } else {
+            file.code_text(s + 1)
+        };
+        is_ident(b).then(|| b.to_string())
+    } else {
+        None
+    };
+
+    let mut end = close;
+    if binding.is_some() {
+        // Held to the end of the enclosing block.
+        for k in ci..=close {
+            if file.code_text(k) == "}" && depth(k) == d - 1 {
+                end = k;
+                break;
+            }
+        }
+        // … unless released early by `drop(binding)`.
+        let b = binding.as_deref().unwrap_or("");
+        for k in ci..end {
+            if file.code_text(k) == "drop"
+                && file.code_text(k + 1) == "("
+                && file.code_text(k + 2) == b
+                && file.code_text(k + 3) == ")"
+            {
+                end = k;
+                break;
+            }
+        }
+    } else {
+        // Temporary guard: dropped at the statement's `;` — except a
+        // scrutinee temporary (`if let … = x.lock()… {`, `match`,
+        // `for … in x.read()…`), which lives through the block it
+        // introduces and is dropped at that block's `}`.
+        for k in ci..=close {
+            let t = file.code_text(k);
+            if t == ";" && depth(k) == d {
+                end = k;
+                break;
+            }
+            if t == "{" && depth(k) == d {
+                end = close;
+                for k2 in k + 1..=close {
+                    if file.code_text(k2) == "}" && depth(k2) == d {
+                        end = k2;
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    Hold {
+        name: name.to_string(),
+        start: ci,
+        end,
+    }
+}
+
+/// Lock names held at code index `ci`. An acquisition's own hold
+/// starts *at* its `ci`, so `h.start < ci` excludes it naturally.
+fn holding_at(holds: &[Hold], ci: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for h in holds {
+        if h.start < ci && ci <= h.end && !out.contains(&h.name) {
+            out.push(h.name.clone());
+        }
+    }
+    out
+}
+
+/// Convenience for the driver: parse + summarise one file.
+pub fn summarise(ws: &mut Workspace, file: &FileView<'_>) {
+    let items = parser::parse_items(file);
+    ws.add_file(file, &items);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn workspace(files: &[(&str, &str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, krate, src) in files {
+            let toks = lex(src);
+            let view = FileView::new(rel.to_string(), krate.to_string(), src, &toks);
+            summarise(&mut ws, &view);
+        }
+        ws
+    }
+
+    #[test]
+    fn calls_and_allocs_are_extracted() {
+        let ws = workspace(&[(
+            "crates/x/src/lib.rs",
+            "x",
+            "// lint: no_alloc\n\
+             fn hot() { helper(3); }\n\
+             fn helper(n: u32) -> Vec<u32> { Vec::new() }\n",
+        )]);
+        assert_eq!(ws.fns.len(), 2);
+        let hot = &ws.fns[0];
+        assert!(hot.no_alloc);
+        assert_eq!(hot.calls.len(), 1);
+        assert_eq!(hot.calls[0].name, "helper");
+        assert!(hot.calls[0].in_no_alloc);
+        let helper = &ws.fns[1];
+        assert!(!helper.no_alloc);
+        assert_eq!(helper.allocs.len(), 1);
+    }
+
+    #[test]
+    fn one_call_deep_allocation_is_found() {
+        let ws = workspace(&[(
+            "crates/x/src/lib.rs",
+            "x",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { let v = vec![1]; }\n",
+        )]);
+        let mut memo = vec![AllocVerdict::Unknown; ws.fns.len()];
+        let reason = ws.may_alloc(0, &mut memo).expect("a() allocates via c()");
+        assert!(reason.contains("`b`"), "chain mentions b: {reason}");
+        let mut memo2 = vec![AllocVerdict::Unknown; ws.fns.len()];
+        assert!(ws.may_alloc(2, &mut memo2).is_some());
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let ws = workspace(&[(
+            "crates/x/src/lib.rs",
+            "x",
+            "fn a() { b(); }\nfn b() { a(); }\n",
+        )]);
+        let mut memo = vec![AllocVerdict::Unknown; ws.fns.len()];
+        assert!(ws.may_alloc(0, &mut memo).is_none());
+    }
+
+    #[test]
+    fn bound_guard_holds_to_block_end_and_drop_releases() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn f(&self) {\n\
+                       let mut g = self.queue.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       g.push(1);\n\
+                       drop(g);\n\
+                       let h = self.journal.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        let f = &ws.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert_eq!(f.locks[0].name, "queue");
+        assert!(f.locks[0].holding.is_empty());
+        // `drop(g)` released the queue guard before journal.lock().
+        assert_eq!(f.locks[1].name, "journal");
+        assert!(f.locks[1].holding.is_empty());
+    }
+
+    #[test]
+    fn nested_bound_guards_produce_holding_sets() {
+        let src = "fn f(a: &M, b: &M) {\n\
+                       let g = a.lock().unwrap();\n\
+                       let h = b.lock().unwrap();\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        let f = &ws.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert!(f.locks[0].holding.is_empty());
+        assert_eq!(f.locks[1].holding, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn temporary_guard_releases_at_statement_end() {
+        let src = "fn f(a: &M, b: &M) {\n\
+                       let empty = a.lock().unwrap().is_empty();\n\
+                       let h = b.lock().unwrap();\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        let f = &ws.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        // The `a` guard was a temporary inside the first statement.
+        assert!(f.locks[1].holding.is_empty());
+    }
+
+    #[test]
+    fn scrutinee_temporary_holds_through_the_block_only() {
+        // Double-checked locking: the `read()` temporary in the if-let
+        // scrutinee dies at the if-block's `}`, so the later `write()`
+        // is NOT nested inside it.
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn get_or_insert(&self) -> u32 {\n\
+                       if let Some(v) = self.map.read().unwrap().get(0) {\n\
+                           return *v;\n\
+                       }\n\
+                       let mut w = self.map.write().unwrap();\n\
+                       w.insert(0)\n\
+                   }\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        let f = &ws.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert!(
+            f.locks[1].holding.is_empty(),
+            "write() must not see the read() guard held: {:?}",
+            f.locks[1].holding
+        );
+    }
+
+    #[test]
+    fn bare_calls_prefer_the_same_file() {
+        let ws = workspace(&[
+            (
+                "crates/x/src/a.rs",
+                "x",
+                "fn go() { helper(); }\nfn helper() {}\n",
+            ),
+            (
+                "crates/x/src/b.rs",
+                "x",
+                "fn helper() { let v = vec![1]; }\n",
+            ),
+        ]);
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        let callees = ws.resolve(go, &ws.fns[go].calls[0]);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ws.fns[callees[0]].rel, "crates/x/src/a.rs");
+    }
+
+    #[test]
+    fn bare_calls_follow_use_imports() {
+        let ws = workspace(&[
+            (
+                "crates/x/src/a.rs",
+                "x",
+                "use crate::good::helper;\nfn go() { helper(); }\n",
+            ),
+            ("crates/x/src/good.rs", "x", "fn helper() {}\n"),
+            (
+                "crates/x/src/bad.rs",
+                "x",
+                "fn helper() { let v = vec![1]; }\n",
+            ),
+        ]);
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        let callees = ws.resolve(go, &ws.fns[go].calls[0]);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ws.fns[callees[0]].rel, "crates/x/src/good.rs");
+    }
+
+    #[test]
+    fn std_imports_resolve_to_nothing() {
+        let ws = workspace(&[
+            (
+                "crates/x/src/a.rs",
+                "x",
+                "use std::mem::take;\nfn go() { take(); }\n",
+            ),
+            ("crates/x/src/b.rs", "x", "fn take() { let v = vec![1]; }\n"),
+        ]);
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        assert!(ws.resolve(go, &ws.fns[go].calls[0]).is_empty());
+    }
+
+    #[test]
+    fn crate_qualified_calls_resolve_cross_crate() {
+        let ws = workspace(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "fn go() { gps_telemetry::enabled(); }\n",
+            ),
+            (
+                "crates/telemetry/src/lib.rs",
+                "telemetry",
+                "fn enabled() {}\n",
+            ),
+            ("crates/lint/src/x.rs", "lint", "fn enabled() {}\n"),
+        ]);
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        let callees = ws.resolve(go, &ws.fns[go].calls[0]);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ws.fns[callees[0]].krate, "telemetry");
+    }
+
+    #[test]
+    fn methods_do_not_resolve_cross_crate() {
+        let ws = workspace(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "struct A;\nimpl A { fn go(&self, r: &R) { r.record(1); } }\n",
+            ),
+            (
+                "crates/telemetry/src/r.rs",
+                "telemetry",
+                "struct R;\nimpl R { fn record(&self, x: u32) {} }\n",
+            ),
+        ]);
+        let go = ws.fns.iter().position(|f| f.name == "go").unwrap();
+        assert!(ws.resolve(go, &ws.fns[go].calls[0]).is_empty());
+    }
+
+    #[test]
+    fn atomic_fields_and_ops_are_collected() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   struct Ring { cursor: AtomicU64 }\n\
+                   impl Ring {\n\
+                       fn bump(&self) { self.cursor.fetch_add(1, Ordering::Relaxed); }\n\
+                       fn read(&self) -> u64 { self.cursor.load(Ordering::Acquire) }\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        assert_eq!(ws.atomic_fields.len(), 1);
+        assert_eq!(ws.atomic_fields[0].name, "cursor");
+        assert_eq!(ws.atomic_ops.len(), 2);
+        assert_eq!(ws.atomic_ops[0].op, "fetch_add");
+        assert_eq!(ws.atomic_ops[0].orderings, vec!["Relaxed".to_string()]);
+        assert_eq!(ws.atomic_ops[1].op, "load");
+        assert_eq!(ws.atomic_ops[1].orderings, vec!["Acquire".to_string()]);
+    }
+
+    #[test]
+    fn transitive_locks_cross_functions() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn outer(&self) {\n\
+                       let g = self.a.lock().unwrap();\n\
+                       self.inner_locker();\n\
+                   }\n\
+                   fn inner_locker(&self) {\n\
+                       let h = self.b.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        let ws = workspace(&[("crates/x/src/lib.rs", "x", src)]);
+        let outer = ws
+            .fns
+            .iter()
+            .position(|f| f.name == "outer")
+            .expect("outer exists");
+        let mut memo = vec![None; ws.fns.len()];
+        let locks = ws.transitive_locks(outer, &mut memo);
+        assert!(locks.contains(&"a".to_string()));
+        assert!(locks.contains(&"b".to_string()));
+        // And the call site records that `a` was held.
+        let call = ws.fns[outer]
+            .calls
+            .iter()
+            .find(|c| c.name == "inner_locker")
+            .expect("call recorded");
+        assert_eq!(call.holding, vec!["a".to_string()]);
+    }
+}

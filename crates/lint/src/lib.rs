@@ -1,18 +1,25 @@
 //! `gps-lint` — the workspace's own static-analysis pass.
 //!
 //! Zero dependencies, like everything else in this repo: a hand-rolled
-//! [`lexer`] tokenizes each `crates/*/src/**/*.rs` file (comment-,
-//! string-, raw-string- and char-literal-aware, so rules never fire on
-//! text that is not code), and a set of repo-specific [`rules`] walks
-//! the token streams looking for invariant violations:
+//! [`lexer`] tokenizes every workspace `.rs` file (comment-, string-,
+//! raw-string- and char-literal-aware, so rules never fire on text
+//! that is not code), a recursive-descent [`parser`] recovers the item
+//! tree (fns, impls, mods with spans), and a [`graph`] pass distils
+//! per-function summaries — calls, lock acquisitions, atomic ops,
+//! allocation sites — into an approximate intra-crate call graph. The
+//! repo-specific [`rules`] consume both layers:
 //!
 //! | rule id | invariant |
 //! |---|---|
 //! | `panic_freedom` | no `unwrap`/`expect`/panicking macros/bare indexing in non-test library code |
-//! | `no_alloc` | no allocating constructs inside `// lint: no_alloc` regions |
+//! | `no_alloc` | no allocating constructs inside `// lint: no_alloc` regions — including transitively through callees |
 //! | `telemetry_sync` | metric/span names in code ⇔ `docs/TELEMETRY.md` inventory |
 //! | `float_cmp` | no exact float `==`/`!=` in `crates/linalg` + `crates/core` |
 //! | `lock_discipline` | poison-tolerant locking in `gps-telemetry`/`gps-pool` |
+//! | `lock_order` | no cycles in the Mutex/RwLock acquisition-order graph |
+//! | `atomic_discipline` | coherent store/load `Ordering` pairs per atomic field |
+//! | `cast_truncation` | no silent narrowing casts / unchecked length arithmetic in `// lint: wire_format` paths |
+//! | `bounded_loop` | loops in `no_alloc`/`wire_format` regions have a derivable bound |
 //!
 //! Pre-existing violations are triaged through the checked-in
 //! [`allowlist`] (`lint.allow`), every entry of which carries an
@@ -26,5 +33,7 @@ pub mod allowlist;
 pub mod driver;
 pub mod file;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;

@@ -1,0 +1,861 @@
+//! A hand-rolled recursive-descent *item* parser on top of the lexer.
+//!
+//! gps-lint v1 worked purely on token patterns; the interprocedural
+//! rules (transitive `no_alloc`, `lock_order`, `atomic_discipline`)
+//! need to know where functions begin and end, which impl a method
+//! belongs to, and which struct fields hold atomics. This parser
+//! recovers exactly that: an item tree with line spans and code-index
+//! body ranges. It is *approximate* by design — expressions are never
+//! parsed, unknown constructs are skipped token-by-token, and a parse
+//! hiccup degrades coverage instead of failing the lint pass.
+//!
+//! Grammar subset recognised (everything else is tolerated and
+//! skipped): `mod` (inline and file-level), `fn` with modifier
+//! prefixes (`pub(…)`, `const`, `async`, `unsafe`, `extern "C"`),
+//! `impl Type` / `impl Trait for Type` blocks, `struct` with named
+//! fields, `trait` blocks, and brace-less items terminated by `;`.
+
+use crate::file::{FileView, KEYWORDS};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Mod,
+    Fn,
+    Impl,
+    Struct,
+    Trait,
+}
+
+/// One named field of a struct (used by `atomic_discipline` to find
+/// `AtomicU64`-typed fields).
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    /// The field's type as space-joined tokens, e.g. `Atomic U64` is
+    /// never split — tokens join to `AtomicU64`-adjacent text like
+    /// `Arc < AtomicU64 >`.
+    pub ty: String,
+    pub line: u32,
+}
+
+/// One parsed item with its span and (for braced items) the
+/// code-index range of its body.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name; for `impl` blocks this is the self type head.
+    pub name: String,
+    /// For `fn` items inside an `impl`: the impl's self-type head
+    /// (`WorkerRing` for `impl WorkerRing { … }` and
+    /// `impl Drop for WorkerRing { … }` alike).
+    pub self_ty: Option<String>,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// 1-based line of the closing brace / terminating `;`.
+    pub end_line: u32,
+    /// Code-token indices of the `{` and `}` delimiting the body.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (mod/impl/trait contents; fns nested in fns).
+    pub children: Vec<Item>,
+    /// Named struct fields (empty for everything but `struct`).
+    pub fields: Vec<Field>,
+}
+
+impl Item {
+    /// Depth-first walk over this item and all children.
+    pub fn walk<'s>(&'s self, f: &mut impl FnMut(&'s Item)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+}
+
+/// Parse the item tree of one file. Never fails: unparseable stretches
+/// are skipped a token at a time.
+pub fn parse_items(file: &FileView<'_>) -> Vec<Item> {
+    let mut p = Parser { file, i: 0 };
+    p.items(file.code.len(), None)
+}
+
+/// Every `fn` item in the tree, flattened depth-first.
+pub fn all_fns(items: &[Item]) -> Vec<&Item> {
+    let mut out = Vec::new();
+    for item in items {
+        item.walk(&mut |it| {
+            if it.kind == ItemKind::Fn {
+                out.push(it);
+            }
+        });
+    }
+    out
+}
+
+struct Parser<'a, 'b> {
+    file: &'b FileView<'a>,
+    i: usize,
+}
+
+impl Parser<'_, '_> {
+    fn text(&self, k: usize) -> &str {
+        self.file.code_text(k)
+    }
+
+    fn line(&self, k: usize) -> u32 {
+        self.file
+            .code_token(k)
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.file.src.lines().count().max(1) as u32)
+    }
+
+    fn is_ident(&self, k: usize) -> bool {
+        let t = self.text(k);
+        !t.is_empty()
+            && t.chars()
+                .next()
+                .map(|c| c.is_alphabetic() || c == '_')
+                .unwrap_or(false)
+            && !KEYWORDS.contains(&t)
+    }
+
+    /// Skip `#[…]` / `#![…]` attribute groups at `self.i`.
+    fn skip_attrs(&mut self) {
+        loop {
+            let j = if self.text(self.i) == "#" && self.text(self.i + 1) == "[" {
+                self.i + 1
+            } else if self.text(self.i) == "#"
+                && self.text(self.i + 1) == "!"
+                && self.text(self.i + 2) == "["
+            {
+                self.i + 2
+            } else {
+                return;
+            };
+            let mut depth = 0i32;
+            let mut k = j;
+            loop {
+                match self.text(k) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    "" => {
+                        self.i = k;
+                        return;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            self.i = k;
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in …)`.
+    fn skip_visibility(&mut self) {
+        if self.text(self.i) == "pub" {
+            self.i += 1;
+            if self.text(self.i) == "(" {
+                self.skip_balanced("(", ")");
+            }
+        }
+    }
+
+    /// Skip a balanced `open … close` group starting at `self.i`
+    /// (which must sit on `open`).
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0i32;
+        while self.i < self.file.code.len() {
+            let t = self.text(self.i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skip a generics group `<…>` if present. `<<`/`>>` lex as one
+    /// token, so depth is counted per angle character; `->` is not an
+    /// angle.
+    fn skip_generics(&mut self) {
+        if self.text(self.i) != "<" && self.text(self.i) != "<<" {
+            return;
+        }
+        let mut depth = 0i32;
+        while self.i < self.file.code.len() {
+            match self.text(self.i) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            self.i += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Advance to the first `{` or terminating `;` at the current
+    /// nesting, then consume the braced body. Returns the body range
+    /// and the item's end line.
+    fn finish_item(&mut self) -> (Option<(usize, usize)>, u32) {
+        while self.i < self.file.code.len() {
+            match self.text(self.i) {
+                "{" => {
+                    let open = self.i;
+                    self.skip_balanced("{", "}");
+                    let close = self.i.saturating_sub(1);
+                    return (Some((open, close)), self.line(close));
+                }
+                ";" => {
+                    let end = self.line(self.i);
+                    self.i += 1;
+                    return (None, end);
+                }
+                // `impl Iterator<Item = …>` in a return type.
+                "<" | "<<" => self.skip_generics(),
+                "" => break,
+                _ => self.i += 1,
+            }
+        }
+        (None, self.line(self.i.saturating_sub(1)))
+    }
+
+    /// Parse items until `limit` (exclusive code index).
+    fn items(&mut self, limit: usize, self_ty: Option<&str>) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.i < limit && self.i < self.file.code.len() {
+            let before = self.i;
+            self.skip_attrs();
+            self.skip_visibility();
+            if let Some(item) = self.item(self_ty) {
+                out.push(item);
+            }
+            if self.i <= before {
+                // Error tolerance: always make progress.
+                self.i = before + 1;
+            }
+        }
+        out
+    }
+
+    /// Try to parse one item at `self.i`; `None` skips a construct we
+    /// do not model (advancing past it).
+    fn item(&mut self, self_ty: Option<&str>) -> Option<Item> {
+        let start = self.i;
+        let line = self.line(start);
+        match self.text(self.i) {
+            "mod" => {
+                let name = self.text(self.i + 1).to_string();
+                self.i += 2;
+                if self.text(self.i) == ";" {
+                    let end = self.line(self.i);
+                    self.i += 1;
+                    return Some(self.node(ItemKind::Mod, name, None, line, end, None));
+                }
+                if self.text(self.i) != "{" {
+                    return None;
+                }
+                let open = self.i;
+                self.skip_balanced("{", "}");
+                let close = self.i.saturating_sub(1);
+                let save = self.i;
+                self.i = open + 1;
+                let children = self.items(close, None);
+                self.i = save;
+                let mut item = self.node(
+                    ItemKind::Mod,
+                    name,
+                    None,
+                    line,
+                    self.line(close),
+                    Some((open, close)),
+                );
+                item.children = children;
+                Some(item)
+            }
+            "const" if self.text(self.i + 1) != "fn" => {
+                // `const NAME: T = …;` — skip to `;` outside braces.
+                self.skip_to_semi();
+                None
+            }
+            "static" | "use" | "type" => {
+                self.skip_to_semi();
+                None
+            }
+            "extern" if self.text(self.i + 1) == "crate" => {
+                self.skip_to_semi();
+                None
+            }
+            "macro_rules" => {
+                // `macro_rules ! name { … }`
+                self.i += 3;
+                if self.text(self.i) == "{" || self.text(self.i) == "(" || self.text(self.i) == "["
+                {
+                    let close = match self.text(self.i) {
+                        "{" => "}",
+                        "(" => ")",
+                        _ => "]",
+                    };
+                    let open = self.text(self.i).to_string();
+                    self.skip_balanced(&open, close);
+                }
+                None
+            }
+            "const" | "async" | "unsafe" | "extern" if self.sees_fn_ahead() => {
+                self.skip_fn_modifiers();
+                self.fn_item(self_ty, line)
+            }
+            "fn" => self.fn_item(self_ty, line),
+            "impl" => {
+                self.i += 1;
+                self.skip_generics();
+                // Path until `{` / `for` / `where`; on `for`, re-read
+                // the self type after it.
+                let mut head = self.path_head();
+                while self.i < self.file.code.len()
+                    && !matches!(self.text(self.i), "{" | "for" | "where" | "")
+                {
+                    if self.text(self.i) == "<" || self.text(self.i) == "<<" {
+                        self.skip_generics();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                if self.text(self.i) == "for" {
+                    self.i += 1;
+                    head = self.path_head();
+                }
+                while self.i < self.file.code.len() && self.text(self.i) != "{" {
+                    if self.text(self.i).is_empty() {
+                        return None;
+                    }
+                    if self.text(self.i) == "<" || self.text(self.i) == "<<" {
+                        self.skip_generics();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                if self.text(self.i) != "{" {
+                    return None;
+                }
+                let open = self.i;
+                self.skip_balanced("{", "}");
+                let close = self.i.saturating_sub(1);
+                let save = self.i;
+                self.i = open + 1;
+                let children = self.items(close, Some(&head));
+                self.i = save;
+                let mut item = self.node(
+                    ItemKind::Impl,
+                    head,
+                    None,
+                    line,
+                    self.line(close),
+                    Some((open, close)),
+                );
+                item.children = children;
+                Some(item)
+            }
+            "struct" => {
+                let name = self.text(self.i + 1).to_string();
+                self.i += 2;
+                self.skip_generics();
+                if self.text(self.i) == "where" {
+                    while self.i < self.file.code.len()
+                        && !matches!(self.text(self.i), "{" | ";" | "")
+                    {
+                        if self.text(self.i) == "<" || self.text(self.i) == "<<" {
+                            self.skip_generics();
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                }
+                if self.text(self.i) == "(" {
+                    // Tuple struct: no named fields to record.
+                    self.skip_balanced("(", ")");
+                    self.skip_to_semi();
+                    let end = self.line(self.i.saturating_sub(1));
+                    return Some(self.node(ItemKind::Struct, name, None, line, end, None));
+                }
+                if self.text(self.i) != "{" {
+                    self.skip_to_semi();
+                    let end = self.line(self.i.saturating_sub(1));
+                    return Some(self.node(ItemKind::Struct, name, None, line, end, None));
+                }
+                let open = self.i;
+                self.skip_balanced("{", "}");
+                let close = self.i.saturating_sub(1);
+                let mut item = self.node(
+                    ItemKind::Struct,
+                    name,
+                    None,
+                    line,
+                    self.line(close),
+                    Some((open, close)),
+                );
+                item.fields = self.struct_fields(open, close);
+                Some(item)
+            }
+            "trait" => {
+                let name = self.text(self.i + 1).to_string();
+                self.i += 2;
+                self.skip_generics();
+                while self.i < self.file.code.len() && !matches!(self.text(self.i), "{" | ";" | "")
+                {
+                    if self.text(self.i) == "<" || self.text(self.i) == "<<" {
+                        self.skip_generics();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                if self.text(self.i) != "{" {
+                    self.skip_to_semi();
+                    return None;
+                }
+                let open = self.i;
+                self.skip_balanced("{", "}");
+                let close = self.i.saturating_sub(1);
+                let save = self.i;
+                self.i = open + 1;
+                let children = self.items(close, Some(&name));
+                self.i = save;
+                let mut item = self.node(
+                    ItemKind::Trait,
+                    name,
+                    None,
+                    line,
+                    self.line(close),
+                    Some((open, close)),
+                );
+                item.children = children;
+                Some(item)
+            }
+            _ => None,
+        }
+    }
+
+    /// True when a `fn` keyword follows the modifier run starting at
+    /// `self.i` (`const`, `async`, `unsafe`, `extern "C"` in any
+    /// plausible order).
+    fn sees_fn_ahead(&self) -> bool {
+        let mut k = self.i;
+        for _ in 0..5 {
+            match self.text(k) {
+                "fn" => return true,
+                "const" | "async" | "unsafe" => k += 1,
+                "extern" => {
+                    k += 1;
+                    if self.file.code_token(k).map(|t| t.text.starts_with('"')) == Some(true) {
+                        k += 1;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn skip_fn_modifiers(&mut self) {
+        while matches!(self.text(self.i), "const" | "async" | "unsafe" | "extern") {
+            if self.text(self.i) == "extern" {
+                self.i += 1;
+                if self
+                    .file
+                    .code_token(self.i)
+                    .map(|t| t.text.starts_with('"'))
+                    == Some(true)
+                {
+                    self.i += 1;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Parse a `fn` item; `self.i` sits on the `fn` keyword.
+    fn fn_item(&mut self, self_ty: Option<&str>, line: u32) -> Option<Item> {
+        debug_assert_eq!(self.text(self.i), "fn");
+        let name = self.text(self.i + 1).to_string();
+        if name.is_empty() {
+            return None;
+        }
+        self.i += 2;
+        self.skip_generics();
+        if self.text(self.i) == "(" {
+            self.skip_balanced("(", ")");
+        }
+        let (body, end) = self.finish_item();
+        let mut item = self.node(
+            ItemKind::Fn,
+            name,
+            self_ty.map(str::to_string),
+            line,
+            end,
+            body,
+        );
+        if let Some((open, close)) = body {
+            // Nested fns (closures are not items; `fn` inside a body
+            // is rare but real in test helpers).
+            let save = self.i;
+            self.i = open + 1;
+            item.children = self.nested_fns(close, self_ty);
+            self.i = save;
+        }
+        Some(item)
+    }
+
+    /// Scan a fn body for nested `fn` items only (no full item parse:
+    /// statements would confuse the item grammar).
+    fn nested_fns(&mut self, limit: usize, self_ty: Option<&str>) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.i < limit {
+            if self.text(self.i) == "fn" && self.is_ident(self.i + 1) {
+                let line = self.line(self.i);
+                if let Some(f) = self.fn_item(self_ty, line) {
+                    out.push(f);
+                    continue;
+                }
+            }
+            self.i += 1;
+        }
+        out
+    }
+
+    /// The head identifier of a type path at `self.i`
+    /// (`telemetry :: recorder :: WorkerRing < T >` → `WorkerRing`):
+    /// the last identifier before generics/end-of-path.
+    fn path_head(&mut self) -> String {
+        let mut head = String::new();
+        while self.i < self.file.code.len() {
+            let t = self.text(self.i);
+            if self.is_ident(self.i) {
+                head = t.to_string();
+                self.i += 1;
+            } else if t == "::" || t == "&" || t == "'" || t.starts_with('\'') || t == "dyn" {
+                self.i += 1;
+            } else if t == "<" || t == "<<" {
+                self.skip_generics();
+                break;
+            } else {
+                break;
+            }
+        }
+        head
+    }
+
+    /// Skip to just past the next `;` at brace depth 0 (handles
+    /// `use x::{a, b};` and `const X: [u8; 4] = […];`).
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while self.i < self.file.code.len() {
+            match self.text(self.i) {
+                "{" | "[" | "(" => depth += 1,
+                "}" | "]" | ")" => depth -= 1,
+                ";" if depth <= 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Named fields between the struct braces `open..close`.
+    fn struct_fields(&self, open: usize, close: usize) -> Vec<Field> {
+        let mut out = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            // Skip attributes and visibility on the field.
+            while self.text(k) == "#" && self.text(k + 1) == "[" {
+                let mut depth = 0i32;
+                k += 1;
+                while k < close {
+                    match self.text(k) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            if self.text(k) == "pub" {
+                k += 1;
+                if self.text(k) == "(" {
+                    let mut depth = 0i32;
+                    while k < close {
+                        match self.text(k) {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            if !self.is_ident(k) || self.text(k + 1) != ":" {
+                k += 1;
+                continue;
+            }
+            let name = self.text(k).to_string();
+            let field_line = self.line(k);
+            k += 2;
+            // Type runs to the next `,` at bracket depth 0.
+            let mut ty = String::new();
+            let mut depth = 0i32;
+            while k < close {
+                match self.text(k) {
+                    "<" | "(" | "[" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" | ")" | "]" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                if !ty.is_empty() {
+                    ty.push(' ');
+                }
+                ty.push_str(self.text(k));
+                k += 1;
+            }
+            out.push(Field {
+                name,
+                ty,
+                line: field_line,
+            });
+            k += 1; // past the comma
+        }
+        out
+    }
+
+    fn node(
+        &self,
+        kind: ItemKind,
+        name: String,
+        self_ty: Option<String>,
+        line: u32,
+        end_line: u32,
+        body: Option<(usize, usize)>,
+    ) -> Item {
+        Item {
+            kind,
+            name,
+            self_ty,
+            line,
+            end_line,
+            body,
+            children: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        parse_items(&view)
+    }
+
+    #[test]
+    fn free_fn_span_and_body() {
+        let src = "pub fn solve(a: u32) -> u32 {\n    a + 1\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        let f = &items[0];
+        assert_eq!(f.kind, ItemKind::Fn);
+        assert_eq!(f.name, "solve");
+        assert_eq!((f.line, f.end_line), (1, 3));
+        assert!(f.body.is_some());
+        assert!(f.self_ty.is_none());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_ty() {
+        let src = "struct Ring;\n\
+                   impl Ring {\n\
+                       pub fn record(&self) {}\n\
+                       const fn cap() -> usize { 8 }\n\
+                   }\n\
+                   impl Drop for Ring {\n\
+                       fn drop(&mut self) {}\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 3);
+        let inherent = &items[1];
+        assert_eq!(inherent.kind, ItemKind::Impl);
+        assert_eq!(inherent.name, "Ring");
+        assert_eq!(inherent.children.len(), 2);
+        assert_eq!(inherent.children[0].name, "record");
+        assert_eq!(inherent.children[0].self_ty.as_deref(), Some("Ring"));
+        assert_eq!(inherent.children[1].name, "cap");
+        let trait_impl = &items[2];
+        assert_eq!(trait_impl.name, "Ring");
+        assert_eq!(trait_impl.children[0].name, "drop");
+        assert_eq!(trait_impl.children[0].self_ty.as_deref(), Some("Ring"));
+    }
+
+    #[test]
+    fn generic_impl_and_fn_are_parsed() {
+        let src = "impl<const N: usize> Kernel<N> {\n\
+                       pub fn solve_into<T: Copy>(&self, out: &mut [T; N]) -> Option<u32> {\n\
+                           None\n\
+                       }\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "Kernel");
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].name, "solve_into");
+        assert_eq!(items[0].children[0].end_line, 4);
+    }
+
+    #[test]
+    fn mod_nesting_and_fn_spans() {
+        let src = "mod outer {\n\
+                       pub mod inner {\n\
+                           pub fn leaf() {}\n\
+                       }\n\
+                       fn side() {\n\
+                           let x = 1;\n\
+                       }\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        let outer = &items[0];
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].children[0].name, "leaf");
+        assert_eq!(outer.children[1].name, "side");
+        assert_eq!((outer.children[1].line, outer.children[1].end_line), (5, 7));
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let src = "pub struct Ring {\n\
+                       #[allow(dead_code)]\n\
+                       pub cursor: AtomicU64,\n\
+                       slots: Vec<Slot<u64>>,\n\
+                       pub(crate) dropped: AtomicU32,\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        let fields = &items[0].fields;
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].name, "cursor");
+        assert_eq!(fields[0].ty, "AtomicU64");
+        assert_eq!(fields[1].name, "slots");
+        assert!(fields[1].ty.contains("Vec"));
+        assert_eq!(fields[2].name, "dropped");
+        assert_eq!(fields[2].ty, "AtomicU32");
+    }
+
+    #[test]
+    fn tuple_struct_and_const_are_tolerated() {
+        let src = "const CAP: usize = 1 << 20;\n\
+                   struct Pair(u32, u32);\n\
+                   pub fn after() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "Pair");
+        assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn shift_in_const_generic_default_does_not_derail() {
+        let src = "pub fn next(cap: usize) -> usize { cap << 1 }\n\
+                   pub fn also() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "also");
+    }
+
+    #[test]
+    fn trait_with_default_and_required_methods() {
+        let src = "pub trait Rule {\n\
+                       fn id(&self) -> &'static str;\n\
+                       fn run(&self) -> u32 { 0 }\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        let kids = &items[0].children;
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].name, "id");
+        assert!(kids[0].body.is_none());
+        assert_eq!(kids[1].name, "run");
+        assert!(kids[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fn_inside_fn_body() {
+        let src = "fn outer() {\n\
+                       fn helper(v: u32) -> u32 { v }\n\
+                       let _ = helper(1);\n\
+                   }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].name, "helper");
+    }
+
+    #[test]
+    fn all_fns_flattens_depth_first() {
+        let src = "mod m {\n\
+                       impl T {\n\
+                           fn a(&self) {}\n\
+                       }\n\
+                       fn b() {}\n\
+                   }\n\
+                   fn c() {}\n";
+        let items = parse(src);
+        let fns = all_fns(&items);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn macro_rules_and_use_do_not_confuse_the_parser() {
+        let src = "use std::sync::{Arc, Mutex};\n\
+                   macro_rules! boom {\n\
+                       ($x:expr) => { fn not_an_item() {} };\n\
+                   }\n\
+                   pub fn real() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+}

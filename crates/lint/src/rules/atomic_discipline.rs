@@ -1,0 +1,262 @@
+//! `atomic_discipline`: coherent publish patterns per atomic field.
+//!
+//! The flight-recorder rings and the pool's cursors/flags communicate
+//! across threads through individual atomic fields. Each field's
+//! store/load `Ordering` pairs must form one coherent pattern:
+//!
+//! * a `load(Acquire)` is only meaningful when some write side uses
+//!   `Release` (or `AcqRel`/`SeqCst`) — an Acquire that can only ever
+//!   observe `Relaxed` writes synchronises with nothing and usually
+//!   marks a misunderstood protocol;
+//! * a `store(Release)` publish is wasted when every observer loads
+//!   `Relaxed` — either the loads need upgrading or the store is
+//!   over-synchronised;
+//! * `SeqCst` is banned outright in the scoped crates: the rings are
+//!   single-writer by construction and the pool uses paired
+//!   Release/Acquire — `SeqCst` here is a red flag that someone is
+//!   papering over a protocol they cannot articulate.
+//!
+//! Attribution is by receiver name (`self.cursor.load(…)` → field
+//! `cursor` of the same crate), matched against struct fields whose
+//! type mentions `Atomic`. Ops through local bindings (`slot.store`)
+//! are invisible — a documented approximation; the fields that carry
+//! cross-thread protocols are addressed directly in this codebase.
+
+use std::path::Path;
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::graph::{AtomicUse, Workspace};
+use crate::rules::Rule;
+
+/// Crates whose atomics are held to the discipline.
+const SCOPED_CRATES: &[&str] = &["pool", "telemetry", "core"];
+
+/// Write-side operations: anything that can publish a value.
+const STORE_OPS: &[&str] = &[
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct AtomicDiscipline;
+
+fn has(op: &AtomicUse, ordering: &str) -> bool {
+    op.orderings.iter().any(|o| o == ordering)
+}
+
+fn releases(op: &AtomicUse) -> bool {
+    has(op, "Release") || has(op, "AcqRel") || has(op, "SeqCst")
+}
+
+impl Rule for AtomicDiscipline {
+    fn id(&self) -> &'static str {
+        "atomic_discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "store/load Ordering pairs per atomic field must form a coherent publish pattern"
+    }
+
+    fn check_file(&mut self, _file: &FileView<'_>) -> Vec<Finding> {
+        Vec::new()
+    }
+
+    fn check_workspace(&mut self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for field in &ws.atomic_fields {
+            if !SCOPED_CRATES.contains(&field.krate.as_str()) {
+                continue;
+            }
+            let ops: Vec<&AtomicUse> = ws
+                .atomic_ops
+                .iter()
+                .filter(|op| op.krate == field.krate && op.field == field.name && !op.is_test)
+                .collect();
+            if ops.is_empty() {
+                continue;
+            }
+            // SeqCst anywhere on a scoped field.
+            for op in &ops {
+                if has(op, "SeqCst") {
+                    out.push(Finding {
+                        rule: self.id(),
+                        key: "seqcst",
+                        file: op.site.rel.clone(),
+                        line: op.site.line,
+                        col: op.site.col,
+                        message: format!(
+                            "`SeqCst` on `{}.{}`: the {} protocols use paired Release/Acquire \
+                             (single-writer rings, shutdown flags); SeqCst hides a protocol bug",
+                            field.struct_name, field.name, field.krate
+                        ),
+                        snippet: op.site.snippet.clone(),
+                    });
+                }
+            }
+            let stores: Vec<&AtomicUse> = ops
+                .iter()
+                .copied()
+                .filter(|op| STORE_OPS.contains(&op.op.as_str()))
+                .collect();
+            let loads: Vec<&AtomicUse> = ops.iter().copied().filter(|op| op.op == "load").collect();
+
+            // Acquire load with no releasing write side.
+            if !stores.is_empty() && !stores.iter().any(|op| releases(op)) {
+                if let Some(acq) = loads
+                    .iter()
+                    .find(|op| has(op, "Acquire") || has(op, "SeqCst"))
+                {
+                    out.push(Finding {
+                        rule: self.id(),
+                        key: "acquire_without_release",
+                        file: acq.site.rel.clone(),
+                        line: acq.site.line,
+                        col: acq.site.col,
+                        message: format!(
+                            "`{}.{}` is loaded with Acquire but every write side is Relaxed \
+                             (e.g. {}:{}); the load synchronises with nothing — pair it with a \
+                             Release write or make the load Relaxed and document the external \
+                             happens-before",
+                            field.struct_name, field.name, stores[0].site.rel, stores[0].site.line,
+                        ),
+                        snippet: acq.site.snippet.clone(),
+                    });
+                }
+            }
+
+            // Release store that every observer reads Relaxed.
+            if !loads.is_empty()
+                && loads.iter().all(|op| has(op, "Relaxed"))
+                && stores.iter().any(|op| releases(op))
+            {
+                if let Some(rel) = stores.iter().find(|op| releases(op)) {
+                    out.push(Finding {
+                        rule: self.id(),
+                        key: "release_without_acquire",
+                        file: rel.site.rel.clone(),
+                        line: rel.site.line,
+                        col: rel.site.col,
+                        message: format!(
+                            "`{}.{}` is published with Release but every load is Relaxed \
+                             (e.g. {}:{}); the publish is unobserved — upgrade a load to \
+                             Acquire or relax the store",
+                            field.struct_name, field.name, loads[0].site.rel, loads[0].site.line,
+                        ),
+                        snippet: rel.site.snippet.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self, _root: &Path) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+    use crate::lexer::lex;
+
+    fn run(krate: &str, src: &str) -> Vec<Finding> {
+        let mut ws = Workspace::default();
+        let toks = lex(src);
+        let rel = format!("crates/{krate}/src/lib.rs");
+        let view = FileView::new(rel, krate.to_string(), src, &toks);
+        graph::summarise(&mut ws, &view);
+        AtomicDiscipline.check_workspace(&ws)
+    }
+
+    #[test]
+    fn relaxed_store_observed_by_acquire_load_is_flagged() {
+        let src = "struct Ring { cursor: AtomicU64 }\n\
+                   impl Ring {\n\
+                       fn bump(&self) { self.cursor.fetch_add(1, Ordering::Relaxed); }\n\
+                       fn snap(&self) -> u64 { self.cursor.load(Ordering::Acquire) }\n\
+                   }\n";
+        let found = run("telemetry", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "acquire_without_release");
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let src = "struct Flag { done: AtomicBool }\n\
+                   impl Flag {\n\
+                       fn set(&self) { self.done.store(true, Ordering::Release); }\n\
+                       fn get(&self) -> bool { self.done.load(Ordering::Acquire) }\n\
+                   }\n";
+        assert!(run("pool", src).is_empty());
+    }
+
+    #[test]
+    fn all_relaxed_counter_is_clean() {
+        let src = "struct C { hits: AtomicU64 }\n\
+                   impl C {\n\
+                       fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }\n\
+                       fn get(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n\
+                   }\n";
+        assert!(run("telemetry", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_is_flagged() {
+        let src = "struct Ring { head: AtomicU64 }\n\
+                   impl Ring {\n\
+                       fn push(&self) { self.head.store(1, Ordering::SeqCst); }\n\
+                       fn get(&self) -> u64 { self.head.load(Ordering::Acquire) }\n\
+                   }\n";
+        let keys: Vec<_> = run("telemetry", src).iter().map(|f| f.key).collect();
+        assert!(keys.contains(&"seqcst"));
+    }
+
+    #[test]
+    fn release_store_with_only_relaxed_loads_is_flagged() {
+        let src = "struct F { ready: AtomicBool }\n\
+                   impl F {\n\
+                       fn set(&self) { self.ready.store(true, Ordering::Release); }\n\
+                       fn get(&self) -> bool { self.ready.load(Ordering::Relaxed) }\n\
+                   }\n";
+        let found = run("core", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "release_without_acquire");
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_ignored() {
+        let src = "struct Ring { cursor: AtomicU64 }\n\
+                   impl Ring {\n\
+                       fn bump(&self) { self.cursor.fetch_add(1, Ordering::SeqCst); }\n\
+                   }\n";
+        assert!(run("linalg", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_ops_are_ignored() {
+        let src = "struct Ring { cursor: AtomicU64 }\n\
+                   impl Ring {\n\
+                       fn bump(&self) { self.cursor.fetch_add(1, Ordering::Relaxed); }\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn probe(r: &super::Ring) { r.cursor.load(Ordering::Acquire); }\n\
+                   }\n";
+        assert!(run("telemetry", src).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! `bounded_loop`: every loop in a hot region must have a visible
+//! bound.
+//!
+//! A `no_alloc` region is a promise about the record path: it runs to
+//! completion without touching the allocator — and, implicitly, that
+//! it *runs to completion*. An unbounded `loop`/`while` inside one
+//! (or inside a `wire_format` decode path fed by untrusted bytes)
+//! turns a corrupt input or a logic slip into a hang instead of a
+//! degraded fix. This rule demands a bound that is derivable from the
+//! loop header itself:
+//!
+//! * `for` loops are bounded by their iterator (finite in this
+//!   codebase: ranges, slices, `chunks`, …) — never flagged;
+//! * `while let` drains an iterator/queue — treated as bounded;
+//! * `while cond` is bounded when the condition compares against a
+//!   literal, an `UPPER_CASE` const, or a `.len()`/`.rows()`/
+//!   `.cols()`/`.capacity()` of something in scope;
+//! * bare `loop { … }` has no derivable bound — always flagged
+//!   (a CAS retry loop that is lock-free by argument, not by bound,
+//!   belongs in `lint.allow` with that argument written down).
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::rules::no_alloc_facts;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct BoundedLoop;
+
+/// Does the `while` condition starting after code index `ci` (the
+/// `while` token) contain a comparison against something bounded?
+fn while_condition_bounded(file: &FileView<'_>, ci: usize) -> bool {
+    let mut has_cmp = false;
+    let mut has_bound = false;
+    let mut depth = 0i32;
+    let mut k = ci + 1;
+    loop {
+        let t = file.code_text(k);
+        match t {
+            "" => break,
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            "<" | "<=" | ">" | ">=" | "==" | "!=" => has_cmp = true,
+            "len" | "rows" | "cols" | "capacity" | "is_empty" => has_bound = true,
+            _ => {
+                let numeric = t.chars().next().map(char::is_numeric) == Some(true);
+                let upper_const = t.len() > 1
+                    && t.chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit());
+                if numeric || upper_const {
+                    has_bound = true;
+                }
+            }
+        }
+        k += 1;
+    }
+    has_cmp && has_bound
+}
+
+impl Rule for BoundedLoop {
+    fn id(&self) -> &'static str {
+        "bounded_loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "loops in `no_alloc`/`wire_format` regions need a derivable bound"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        let mut regions = no_alloc_facts::regions(file);
+        regions.extend(no_alloc_facts::regions_for(file, "wire_format"));
+        if regions.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            let line = tok.line;
+            if !regions.iter().any(|&(s, e)| line >= s && line <= e) || file.is_test_line(line) {
+                continue;
+            }
+            match tok.text {
+                "loop" if file.code_text(ci + 1) == "{" => {
+                    out.push(
+                        file.finding(
+                            self.id(),
+                            "bare_loop",
+                            ci,
+                            "bare `loop` in a hot region has no derivable bound; restructure as a \
+                         bounded `while`/`for`, or allowlist it with a termination argument"
+                                .to_string(),
+                        ),
+                    );
+                }
+                "while" => {
+                    if file.code_text(ci + 1) == "let" {
+                        continue; // draining an iterator/queue
+                    }
+                    if while_condition_bounded(file, ci) {
+                        continue;
+                    }
+                    out.push(
+                        file.finding(
+                            self.id(),
+                            "unbounded_while",
+                            ci,
+                            "`while` condition in a hot region compares against nothing bounded \
+                         (literal, UPPER_CASE const, or `.len()`-like); derive a bound or \
+                         allowlist with a termination argument"
+                                .to_string(),
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        BoundedLoop.check_file(&view)
+    }
+
+    #[test]
+    fn bare_loop_in_region_is_flagged() {
+        let src = "// lint: no_alloc\n\
+                   fn hot(&self) {\n\
+                       loop {\n\
+                           if self.try_once() { break; }\n\
+                       }\n\
+                   }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "bare_loop");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn bounded_while_and_for_are_clean() {
+        let src = "// lint: no_alloc\n\
+                   fn hot(xs: &[f64]) {\n\
+                       let mut i = 0;\n\
+                       while i < xs.len() {\n\
+                           i += 1;\n\
+                       }\n\
+                       for x in xs { let _ = x; }\n\
+                       let mut k = 0;\n\
+                       while k < MAX_ITERS { k += 1; }\n\
+                       let mut j = 0;\n\
+                       while j < 40 { j += 1; }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn while_let_is_treated_as_bounded() {
+        let src = "// lint: no_alloc\n\
+                   fn hot(mut rest: &[u8]) {\n\
+                       while let Some((block, tail)) = split_first(rest) {\n\
+                           rest = tail;\n\
+                       }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_while_is_flagged() {
+        let src = "// lint: no_alloc\n\
+                   fn hot(&self) {\n\
+                       while self.running() {\n\
+                           self.step();\n\
+                       }\n\
+                   }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "unbounded_while");
+    }
+
+    #[test]
+    fn wire_format_regions_are_covered_too() {
+        let src = "// lint: wire_format\n\
+                   fn decode(&self) {\n\
+                       loop {\n\
+                           if self.next_frame().is_none() { break; }\n\
+                       }\n\
+                   }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "bare_loop");
+    }
+
+    #[test]
+    fn loops_outside_regions_are_ignored() {
+        assert!(run("fn cold() { loop { break; } }\n").is_empty());
+    }
+}

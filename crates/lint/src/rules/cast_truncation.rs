@@ -1,0 +1,324 @@
+//! `cast_truncation`: audit the binary wire-format paths.
+//!
+//! The `GPSFREC1` flight-recorder dump and the `GPSJRNL1` journal are
+//! length-prefixed binary formats. A silently truncating `as` cast on
+//! a length or an overflowing `cursor + …` offset computation corrupts
+//! the stream in a way that only surfaces as a torn-tail or checksum
+//! mismatch much later. Encode/decode functions are annotated
+//!
+//! ```text
+//! // lint: wire_format
+//! fn to_bytes(&self) -> Vec<u8> { … }
+//! ```
+//!
+//! (same region semantics as `no_alloc`: marker through the end of the
+//! next item). Inside a region this rule flags
+//!
+//! * `expr as u8|u16|u32|i8|i16|i32` — narrowing casts that drop high
+//!   bits silently. Exempt when the source is visibly masked
+//!   (`(x & 0xffff) as u16` with a mask that fits the target) or
+//!   shifted down from a u64 so only target-width bits remain
+//!   (`(meta >> 48) as u16`). Everything else needs `try_from` or an
+//!   allowlist entry arguing the value's range.
+//! * `+`/`-`/`*` on length/offset-ish operands (`len`, `count`,
+//!   `words`, `cursor`, `offset`, `at`, or `*_len`-style names) —
+//!   unchecked arithmetic that can overflow on adversarial input;
+//!   decode paths must use `checked_*`/`saturating_*` instead.
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::rules::no_alloc_facts;
+use crate::rules::Rule;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct CastTruncation;
+
+/// Max value representable by each flagged narrow target.
+fn target_bits(ty: &str) -> Option<u32> {
+    match ty {
+        "u8" | "i8" => Some(8),
+        "u16" | "i16" => Some(16),
+        "u32" | "i32" => Some(32),
+        _ => None,
+    }
+}
+
+/// Parse an integer literal token (`255`, `0xffff`, `0xffff_ffff`).
+fn int_literal(text: &str) -> Option<u128> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    if let Some(hex) = clean
+        .strip_prefix("0x")
+        .or_else(|| clean.strip_prefix("0X"))
+    {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        u128::from_str_radix(bin, 2).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+/// Identifier names that mark a value as a length/offset in the wire
+/// paths.
+fn lengthish(name: &str) -> bool {
+    matches!(
+        name,
+        "len" | "count" | "words" | "cursor" | "offset" | "at" | "pos" | "idx"
+    ) || name.ends_with("_len")
+        || name.ends_with("_count")
+        || name.ends_with("_words")
+        || name.ends_with("_offset")
+}
+
+/// True when the expression feeding `as` (ending at code index
+/// `ci - 1`, where `ci` is the `as` token) is visibly range-limited
+/// for a `bits`-wide target: a `& mask` with `mask < 2^bits`, or a
+/// `>> shift` leaving at most `bits` live bits of a 64-bit source.
+fn masked_or_shifted(file: &FileView<'_>, ci: usize, bits: u32) -> bool {
+    // Window to inspect: either the parenthesised group just before
+    // `as`, or a handful of preceding tokens.
+    let (lo, hi) = if file.code_text(ci.wrapping_sub(1)) == ")" {
+        let mut depth = 0i32;
+        let mut k = ci - 1;
+        loop {
+            match file.code_text(k) {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+        }
+        (k, ci - 1)
+    } else {
+        (ci.saturating_sub(4), ci)
+    };
+    let mut k = lo;
+    while k + 1 < hi {
+        let t = file.code_text(k);
+        if t == "&" {
+            if let Some(mask) = int_literal(file.code_text(k + 1)) {
+                if bits >= 128 || mask < (1u128 << bits) {
+                    return true;
+                }
+            }
+        }
+        if t == ">>" {
+            if let Some(shift) = int_literal(file.code_text(k + 1)) {
+                if shift as u32 >= 64u32.saturating_sub(bits) {
+                    return true;
+                }
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+/// True when `ci` sits on a binary `+`/`-`/`*` (not unary/deref).
+fn is_binary_op(file: &FileView<'_>, ci: usize) -> bool {
+    let prev = file.code_text(ci.wrapping_sub(1));
+    let next = file.code_text(ci + 1);
+    let operand = |t: &str| -> bool {
+        !t.is_empty()
+            && (t.chars().next().map(|c| c.is_alphanumeric() || c == '_') == Some(true)
+                || t == ")"
+                || t == "]")
+    };
+    let next_operand = |t: &str| -> bool {
+        !t.is_empty()
+            && (t.chars().next().map(|c| c.is_alphanumeric() || c == '_') == Some(true) || t == "(")
+    };
+    operand(prev) && next_operand(next)
+}
+
+/// Identifiers adjacent to the operator at `ci` (a few tokens each
+/// way, stopping at statement-ish boundaries).
+fn nearby_idents<'a>(file: &'a FileView<'_>, ci: usize) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let stop = |t: &str| matches!(t, ";" | "{" | "}" | "," | "=" | "let");
+    let mut k = ci;
+    for _ in 0..6 {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        let t = file.code_text(k);
+        if stop(t) {
+            break;
+        }
+        out.push(t);
+    }
+    for k in ci + 1..ci + 7 {
+        let t = file.code_text(k);
+        if t.is_empty() || stop(t) {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+impl Rule for CastTruncation {
+    fn id(&self) -> &'static str {
+        "cast_truncation"
+    }
+
+    fn description(&self) -> &'static str {
+        "no silent narrowing casts or unchecked length arithmetic in `// lint: wire_format` paths"
+    }
+
+    fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding> {
+        let regions = no_alloc_facts::regions_for(file, "wire_format");
+        if regions.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ci in 0..file.code.len() {
+            let Some(tok) = file.code_token(ci) else {
+                continue;
+            };
+            let line = tok.line;
+            if !regions.iter().any(|&(s, e)| line >= s && line <= e) || file.is_test_line(line) {
+                continue;
+            }
+            match tok.text {
+                "as" => {
+                    let ty = file.code_text(ci + 1);
+                    let Some(bits) = target_bits(ty) else {
+                        continue;
+                    };
+                    if masked_or_shifted(file, ci, bits) {
+                        continue;
+                    }
+                    out.push(file.finding(
+                        self.id(),
+                        "truncating_cast",
+                        ci,
+                        format!(
+                            "`as {ty}` silently drops high bits in a wire-format path; mask the \
+                             source (`& 0x…`), shift it into range, or use `try_from` with an \
+                             explicit failure"
+                        ),
+                    ));
+                }
+                "+" | "-" | "*" => {
+                    if !is_binary_op(file, ci) {
+                        continue;
+                    }
+                    if !nearby_idents(file, ci).iter().any(|t| lengthish(t)) {
+                        continue;
+                    }
+                    out.push(file.finding(
+                        self.id(),
+                        "unchecked_arith",
+                        ci,
+                        format!(
+                            "unchecked `{}` on a length/offset in a wire-format path can \
+                             overflow on adversarial input; use `checked_{}` or bound the \
+                             operands first",
+                            tok.text,
+                            match tok.text {
+                                "+" => "add",
+                                "-" => "sub",
+                                _ => "mul",
+                            },
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        CastTruncation.check_file(&view)
+    }
+
+    #[test]
+    fn unannotated_file_is_ignored() {
+        assert!(run("fn f(len: usize) -> u32 { len as u32 }\n").is_empty());
+    }
+
+    #[test]
+    fn truncating_length_cast_is_flagged() {
+        let src = "// lint: wire_format\n\
+                   fn encode(len: usize) -> u32 {\n\
+                       len as u32\n\
+                   }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "truncating_cast");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn masked_and_shifted_casts_are_exempt() {
+        let src = "// lint: wire_format\n\
+                   fn decode(meta: u64) -> (u16, u16, u32) {\n\
+                       let a = (meta & 0xffff) as u16;\n\
+                       let b = (meta >> 48) as u16;\n\
+                       let c = (meta >> 32) as u32;\n\
+                       (a, b, c)\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let src = "// lint: wire_format\n\
+                   fn encode(n: u16) -> u64 { n as u64 }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_offset_arithmetic_is_flagged() {
+        let src = "// lint: wire_format\n\
+                   fn frame(cursor: usize, words: usize) -> usize {\n\
+                       cursor + 16 + 8 * words\n\
+                   }\n";
+        let found = run(src);
+        assert!(found.iter().all(|f| f.key == "unchecked_arith"));
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_without_lengthish_operands_is_fine() {
+        let src = "// lint: wire_format\n\
+                   fn mix(a: u64, b: u64) -> u64 { a * 31 + b }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn region_ends_at_item_close() {
+        let src = "// lint: wire_format\n\
+                   fn encode(len: usize) -> u64 { len as u64 }\n\
+                   fn unrelated(len: usize) -> u32 { len as u32 }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn literal_parsing_handles_underscores_and_hex() {
+        assert_eq!(int_literal("0xffff_ffff"), Some(0xffff_ffff));
+        assert_eq!(int_literal("255"), Some(255));
+        assert_eq!(int_literal("0b1111"), Some(15));
+        assert_eq!(int_literal("abc"), None);
+    }
+}

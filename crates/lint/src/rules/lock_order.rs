@@ -1,0 +1,276 @@
+//! `lock_order`: deadlock detection via the acquisition-order graph.
+//!
+//! The fleet service (PR 6) holds a shard mutex while producing work,
+//! the pool holds its queue mutex around the condvar, and the metric
+//! sinks take registry `RwLock`s from inside worker code. A deadlock
+//! needs two threads acquiring the same two locks in opposite orders —
+//! invisible to the per-file `lock_discipline` rule, which only checks
+//! poison handling.
+//!
+//! This rule builds a global digraph over *lock names* (the receiver
+//! field/binding a `.lock()` / `.read()` / `.write()` is invoked on):
+//! an edge `a → b` means some function acquires `b` while a guard for
+//! `a` is live — directly, or by calling (transitively) a function
+//! that acquires `b`. Guard liveness follows the workspace summaries:
+//! bound guards live to the end of their block unless `drop(guard)`
+//! releases them early; chained temporaries die at their statement.
+//! Any cycle in the graph (including a self-edge, i.e. re-acquiring a
+//! lock of the same name while holding one) is a finding.
+//!
+//! Names are merged across the workspace, so two unrelated `state`
+//! mutexes in different crates would share a node. That
+//! over-approximates — acceptable for a deadlock check, and the repo's
+//! lock names are distinct in practice.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::file::FileView;
+use crate::findings::Finding;
+use crate::graph::{Site, Workspace};
+use crate::rules::Rule;
+
+/// Crates whose locks participate in the graph (the concurrent core;
+/// linalg and bench hold no locks worth modelling).
+const SCOPED_CRATES: &[&str] = &["pool", "telemetry", "core"];
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock_order"
+    }
+
+    fn description(&self) -> &'static str {
+        "fail on cycles in the Mutex/RwLock acquisition-order graph"
+    }
+
+    fn check_file(&mut self, _file: &FileView<'_>) -> Vec<Finding> {
+        Vec::new()
+    }
+
+    fn check_workspace(&mut self, ws: &Workspace) -> Vec<Finding> {
+        // Edge set with one representative site per edge.
+        let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+        let mut lock_memo: Vec<Option<Vec<String>>> = vec![None; ws.fns.len()];
+        for (idx, f) in ws.fns.iter().enumerate() {
+            if f.is_test || !SCOPED_CRATES.contains(&f.krate.as_str()) {
+                continue;
+            }
+            // Direct nesting: acquire `b` while holding `a`.
+            for acq in &f.locks {
+                for held in &acq.holding {
+                    edges
+                        .entry((held.clone(), acq.name.clone()))
+                        .or_insert_with(|| acq.site.clone());
+                }
+            }
+            // Interprocedural: call out while holding `a`; the callee
+            // (transitively) acquires `b`.
+            for call in &f.calls {
+                if call.holding.is_empty() {
+                    continue;
+                }
+                for callee in ws.resolve(idx, call) {
+                    // A call resolving back to the caller itself is a
+                    // resolution artefact (e.g. `.flush()` on a guard
+                    // inside `fn flush`), not recursion evidence.
+                    if callee == idx {
+                        continue;
+                    }
+                    for target in ws.transitive_locks(callee, &mut lock_memo) {
+                        for held in &call.holding {
+                            edges
+                                .entry((held.clone(), target.clone()))
+                                .or_insert_with(|| call.site.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection: iteratively strip nodes with no outgoing or
+        // no incoming edges; whatever survives lies on a cycle.
+        let mut live: BTreeSet<(String, String)> = edges.keys().cloned().collect();
+        loop {
+            let froms: BTreeSet<String> = live.iter().map(|(a, _)| a.clone()).collect();
+            let tos: BTreeSet<String> = live.iter().map(|(_, b)| b.clone()).collect();
+            let before = live.len();
+            live.retain(|(a, b)| tos.contains(a) && froms.contains(b));
+            if live.len() == before {
+                break;
+            }
+        }
+        if live.is_empty() {
+            return Vec::new();
+        }
+
+        // Group the surviving edges into one finding per connected
+        // cluster (a cheap stand-in for per-SCC grouping: clusters
+        // share lock names).
+        let mut clusters: Vec<BTreeSet<(String, String)>> = Vec::new();
+        for edge in &live {
+            let mut joined = false;
+            for cluster in clusters.iter_mut() {
+                if cluster
+                    .iter()
+                    .any(|(a, b)| *a == edge.0 || *b == edge.0 || *a == edge.1 || *b == edge.1)
+                {
+                    cluster.insert(edge.clone());
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                clusters.push([edge.clone()].into_iter().collect());
+            }
+        }
+
+        let mut out = Vec::new();
+        for cluster in clusters {
+            let parts: Vec<String> = cluster
+                .iter()
+                .map(|e| {
+                    let s = &edges[e];
+                    format!("`{}` → `{}` ({}:{})", e.0, e.1, s.rel, s.line)
+                })
+                .collect();
+            let anchor = cluster
+                .iter()
+                .next()
+                .map(|e| edges[e].clone())
+                .unwrap_or(Site {
+                    rel: String::new(),
+                    line: 0,
+                    col: 0,
+                    snippet: String::new(),
+                });
+            out.push(Finding {
+                rule: self.id(),
+                key: "cycle",
+                file: anchor.rel,
+                line: anchor.line,
+                col: anchor.col,
+                message: format!(
+                    "lock acquisition-order cycle (potential deadlock): {}",
+                    parts.join(", ")
+                ),
+                snippet: anchor.snippet,
+            });
+        }
+        out
+    }
+
+    fn finish(&mut self, _root: &Path) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+    use crate::lexer::lex;
+
+    fn run(files: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let mut ws = Workspace::default();
+        for (rel, krate, src) in files {
+            let toks = lex(src);
+            let view = FileView::new(rel.to_string(), krate.to_string(), src, &toks);
+            graph::summarise(&mut ws, &view);
+        }
+        LockOrder.check_workspace(&ws)
+    }
+
+    #[test]
+    fn opposite_order_in_two_fns_is_a_cycle() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   fn ba(&self) {\n\
+                       let h = self.beta.lock().unwrap();\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        let found = run(&[("crates/pool/src/lib.rs", "pool", src)]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "cycle");
+        assert!(found[0].message.contains("`alpha` → `beta`"));
+        assert!(found[0].message.contains("`beta` → `alpha`"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   fn ab2(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        assert!(run(&[("crates/pool/src/lib.rs", "pool", src)]).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_is_found() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       self.take_beta();\n\
+                   }\n\
+                   fn take_beta(&self) {\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   fn ba(&self) {\n\
+                       let h = self.beta.lock().unwrap();\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        let found = run(&[("crates/core/src/service.rs", "core", src)]);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn drop_breaks_the_nesting() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       drop(g);\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   fn ba(&self) {\n\
+                       let h = self.beta.lock().unwrap();\n\
+                       drop(h);\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        assert!(run(&[("crates/pool/src/lib.rs", "pool", src)]).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let src = "struct S;\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                       let h = self.beta.lock().unwrap();\n\
+                   }\n\
+                   fn ba(&self) {\n\
+                       let h = self.beta.lock().unwrap();\n\
+                       let g = self.alpha.lock().unwrap();\n\
+                   }\n\
+                   }\n";
+        assert!(run(&[("crates/linalg/src/lib.rs", "linalg", src)]).is_empty());
+    }
+}

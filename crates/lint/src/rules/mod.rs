@@ -10,18 +10,33 @@ use std::path::Path;
 
 use crate::file::FileView;
 use crate::findings::Finding;
+use crate::graph::Workspace;
 
+mod atomic_discipline;
+mod bounded_loop;
+mod cast_truncation;
 mod float_cmp;
 mod lock_discipline;
+mod lock_order;
 mod no_alloc;
 mod panic_freedom;
 mod telemetry_sync;
 
+pub use atomic_discipline::AtomicDiscipline;
+pub use bounded_loop::BoundedLoop;
+pub use cast_truncation::CastTruncation;
 pub use float_cmp::FloatCmp;
 pub use lock_discipline::LockDiscipline;
+pub use lock_order::LockOrder;
 pub use no_alloc::NoAlloc;
 pub use panic_freedom::PanicFreedom;
 pub use telemetry_sync::TelemetrySync;
+
+/// Region/allocation facts shared between the `no_alloc` rule, the
+/// workspace call graph and the region-scoped v2 rules.
+pub(crate) mod no_alloc_facts {
+    pub(crate) use super::no_alloc::{alloc_site, regions, regions_for};
+}
 
 /// One invariant checker.
 pub trait Rule {
@@ -34,6 +49,14 @@ pub trait Rule {
 
     /// Inspect one file; return any findings anchored in it.
     fn check_file(&mut self, file: &FileView<'_>) -> Vec<Finding>;
+
+    /// Called once after every file has been seen, with the parsed
+    /// workspace summaries. The interprocedural rules (transitive
+    /// `no_alloc`, `lock_order`, `atomic_discipline`) live here.
+    fn check_workspace(&mut self, ws: &Workspace) -> Vec<Finding> {
+        let _ = ws;
+        Vec::new()
+    }
 
     /// Called once after every file has been seen; cross-file rules
     /// emit their diff findings here. `root` is the workspace root.
@@ -51,6 +74,10 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(TelemetrySync::default()),
         Box::new(FloatCmp),
         Box::new(LockDiscipline),
+        Box::new(LockOrder),
+        Box::new(AtomicDiscipline),
+        Box::new(CastTruncation),
+        Box::new(BoundedLoop),
     ]
 }
 

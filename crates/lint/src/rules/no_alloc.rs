@@ -21,6 +21,7 @@
 
 use crate::file::FileView;
 use crate::findings::Finding;
+use crate::graph::{AllocVerdict, Workspace};
 use crate::rules::Rule;
 
 /// See module docs.
@@ -79,9 +80,17 @@ fn item_end_line(file: &FileView<'_>, start: usize) -> Option<u32> {
 
 /// The `no_alloc` regions of a file, as inclusive line ranges.
 pub(crate) fn regions(file: &FileView<'_>) -> Vec<(u32, u32)> {
+    regions_for(file, "no_alloc")
+}
+
+/// The regions marked `// lint: <directive>`, as inclusive line ranges
+/// (marker comment through the end of the next item). Shared by
+/// `no_alloc`, `cast_truncation` (`wire_format`) and `bounded_loop`.
+pub(crate) fn regions_for(file: &FileView<'_>, directive: &str) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     for tok in file.tokens.iter().filter(|t| t.is_comment()) {
-        let Some(("no_alloc", _)) = lint_directive(tok.text) else {
+        let matches = lint_directive(tok.text).map(|(d, _)| d == directive) == Some(true);
+        if !matches {
             continue;
         };
         // First code token positioned after the marker.
@@ -103,8 +112,10 @@ pub(crate) fn regions(file: &FileView<'_>) -> Vec<(u32, u32)> {
 }
 
 /// (key, message) when the code token at `ci` starts an allocating
-/// construct.
-fn alloc_site(file: &FileView<'_>, ci: usize) -> Option<(&'static str, &'static str)> {
+/// construct. Shared with the workspace call graph, which records the
+/// direct allocation sites of *every* function so the transitive check
+/// can chase them through calls.
+pub(crate) fn alloc_site(file: &FileView<'_>, ci: usize) -> Option<(&'static str, &'static str)> {
     let text = file.code_text(ci);
     let prev = file.code_text(ci.wrapping_sub(1));
     let next = file.code_text(ci + 1);
@@ -164,6 +175,47 @@ impl Rule for NoAlloc {
                     ci,
                     format!("{message} inside a `// lint: no_alloc` region"),
                 ));
+            }
+        }
+        out
+    }
+
+    /// The transitive obligation: a call *from* a `no_alloc` region
+    /// must not reach an allocating function, however many hops away.
+    /// Direct allocations in the region itself are already reported by
+    /// [`Rule::check_file`]; this pass only chases calls.
+    fn check_workspace(&mut self, ws: &Workspace) -> Vec<Finding> {
+        let mut memo = vec![AllocVerdict::Unknown; ws.fns.len()];
+        let mut out = Vec::new();
+        for (idx, f) in ws.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for call in &f.calls {
+                if !call.in_no_alloc {
+                    continue;
+                }
+                for callee in ws.resolve(idx, call) {
+                    if callee == idx {
+                        continue;
+                    }
+                    if let Some(reason) = ws.may_alloc(callee, &mut memo) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            key: "transitive",
+                            file: call.site.rel.clone(),
+                            line: call.site.line,
+                            col: call.site.col,
+                            message: format!(
+                                "call to `{}` inside a `// lint: no_alloc` region may \
+                                 allocate: {reason}",
+                                call.name
+                            ),
+                            snippet: call.site.snippet.clone(),
+                        });
+                        break; // one finding per call site
+                    }
+                }
             }
         }
         out
@@ -240,5 +292,52 @@ mod tests {
         let src = "// lint: no_alloc\n\
                    fn hot() { let m = \"x.clone()\"; /* y.clone() */ }\n";
         assert!(run(src).is_empty());
+    }
+
+    fn run_transitive(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let view = FileView::new("crates/x/src/lib.rs".into(), "x".into(), src, &toks);
+        let mut ws = Workspace::default();
+        crate::graph::summarise(&mut ws, &view);
+        NoAlloc.check_workspace(&ws)
+    }
+
+    #[test]
+    fn one_call_deep_allocation_is_flagged_transitively() {
+        let src = "// lint: no_alloc\n\
+                   fn hot() { helper(); }\n\
+                   fn helper() { let v = Vec::new(); }\n";
+        let found = run_transitive(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].key, "transitive");
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("`helper`"));
+    }
+
+    #[test]
+    fn two_calls_deep_reports_the_chain() {
+        let src = "// lint: no_alloc\n\
+                   fn hot() { mid(); }\n\
+                   fn mid() { deep(); }\n\
+                   fn deep() { let s = format!(\"x\"); }\n";
+        let found = run_transitive(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("`mid`"));
+        assert!(found[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn clean_callees_stay_clean() {
+        let src = "// lint: no_alloc\n\
+                   fn hot() { helper(3); }\n\
+                   fn helper(n: u32) -> u32 { n * 2 }\n";
+        assert!(run_transitive(src).is_empty());
+    }
+
+    #[test]
+    fn calls_outside_regions_are_not_chased() {
+        let src = "fn cold() { helper(); }\n\
+                   fn helper() { let v = Vec::new(); }\n";
+        assert!(run_transitive(src).is_empty());
     }
 }

@@ -100,3 +100,99 @@ fn json_report_round_trips_the_findings() {
     assert!(json.contains("\"key\":\"lock_unwrap\""));
     assert!(json.contains("\"files_scanned\""));
 }
+
+/// Root of one `v2/<rule>/{clean,violating}` fixture pair.
+fn v2_root(rule_dir: &str, which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/v2")
+        .join(rule_dir)
+        .join(which)
+}
+
+/// Run a single rule over one v2 fixture tree.
+fn run_v2(rule_dir: &str, which: &str, rule: &str) -> gps_lint::findings::Report {
+    let mut opts = Options::new(v2_root(rule_dir, which));
+    opts.rule_filter = vec![rule.into()];
+    run(&opts).unwrap()
+}
+
+/// Every v2 rule: the violating tree must produce exactly the expected
+/// keys and the clean mirror must produce none.
+#[test]
+fn v2_fixture_pairs_split_on_their_rule() {
+    let cases: &[(&str, &str, &[&str])] = &[
+        ("no_alloc_transitive", "no_alloc", &["transitive"]),
+        ("lock_order", "lock_order", &["cycle"]),
+        (
+            "atomic_discipline",
+            "atomic_discipline",
+            &[
+                "acquire_without_release",
+                "release_without_acquire",
+                "seqcst",
+            ],
+        ),
+        (
+            "cast_truncation",
+            "cast_truncation",
+            &["truncating_cast", "unchecked_arith"],
+        ),
+        (
+            "bounded_loop",
+            "bounded_loop",
+            &["bare_loop", "unbounded_while"],
+        ),
+    ];
+    for (dir, rule, expected_keys) in cases {
+        let violating = run_v2(dir, "violating", rule);
+        let keys: HashSet<&str> = violating.findings.iter().map(|f| f.key).collect();
+        let expected: HashSet<&str> = expected_keys.iter().copied().collect();
+        assert_eq!(keys, expected, "keys for {dir}");
+        assert!(violating.findings.iter().all(|f| f.rule == *rule));
+
+        let clean = run_v2(dir, "clean", rule);
+        assert!(clean.clean(), "{dir} clean tree: {:#?}", clean.findings);
+        assert!(clean.files_scanned >= 1);
+    }
+}
+
+/// The transitive finding names the allocating callee chain and is
+/// anchored at the call site inside the region, not at the allocation.
+#[test]
+fn transitive_finding_is_span_accurate_and_explains_the_chain() {
+    let report = run_v2("no_alloc_transitive", "violating", "no_alloc");
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.file, "crates/core/src/lib.rs");
+    assert_eq!(f.line, 6, "anchored at the `helper(n)` call");
+    assert!(f.message.contains("`helper`"), "{}", f.message);
+    assert!(f.snippet.contains("helper(n)"));
+}
+
+/// The lock-order cycle message names both edges of the inversion.
+#[test]
+fn lock_order_finding_lists_both_edges() {
+    let report = run_v2("lock_order", "violating", "lock_order");
+    assert_eq!(report.findings.len(), 1);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("`alpha` → `beta`"), "{msg}");
+    assert!(msg.contains("`beta` → `alpha`"), "{msg}");
+}
+
+/// JSON report round-trip for the v2 finding kinds: every new
+/// rule/key pair survives rendering.
+#[test]
+fn json_report_round_trips_v2_finding_kinds() {
+    for (dir, rule, key) in [
+        ("no_alloc_transitive", "no_alloc", "transitive"),
+        ("lock_order", "lock_order", "cycle"),
+        ("atomic_discipline", "atomic_discipline", "seqcst"),
+        ("cast_truncation", "cast_truncation", "truncating_cast"),
+        ("bounded_loop", "bounded_loop", "bare_loop"),
+    ] {
+        let json = run_v2(dir, "violating", rule).to_json();
+        assert!(json.contains(&format!("\"rule\":\"{rule}\"")), "{dir}");
+        assert!(json.contains(&format!("\"key\":\"{key}\"")), "{dir}");
+        assert!(json.contains("\"clean\": false"), "{dir}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean mirror of the atomic-discipline fixture: one coherent
+//! Release-publish / Acquire-observe pattern per field.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ring {
+    cursor: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Ring {
+    pub fn bump(&self) -> u64 {
+        self.cursor.fetch_add(1, Ordering::Release)
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    pub fn publish_epoch(&self, e: u64) {
+        self.epoch.store(e, Ordering::Release);
+    }
+
+    pub fn peek_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,41 @@
+//! Atomic-discipline fixture: three incoherent publish patterns on
+//! three fields of one ring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ring {
+    cursor: AtomicU64,
+    epoch: AtomicU64,
+    mode: AtomicU64,
+}
+
+impl Ring {
+    /// `cursor` is written Relaxed everywhere but read Acquire: the
+    /// Acquire synchronises with nothing.
+    pub fn bump(&self) -> u64 {
+        self.cursor.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// `epoch` is published with Release but every observer loads
+    /// Relaxed: the Release synchronises with nothing.
+    pub fn publish_epoch(&self, e: u64) {
+        self.epoch.store(e, Ordering::Release);
+    }
+
+    pub fn peek_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// `mode` uses SeqCst, banned in the scoped crates.
+    pub fn set_mode(&self, m: u64) {
+        self.mode.store(m, Ordering::SeqCst);
+    }
+
+    pub fn mode(&self) -> u64 {
+        self.mode.load(Ordering::SeqCst)
+    }
+}

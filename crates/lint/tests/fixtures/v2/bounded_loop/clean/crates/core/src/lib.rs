@@ -1,0 +1,20 @@
+//! Clean mirror of the bounded-loop fixture: every hot-region loop
+//! has a derivable bound.
+
+// lint: no_alloc
+pub fn fill(out: &mut [f64]) {
+    let mut i = 0;
+    while i < out.len() {
+        out[i] = 0.0;
+        i += 1;
+    }
+}
+
+// lint: no_alloc
+pub fn sum(values: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for v in values {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! Bounded-loop fixture: a bare `loop` and an unbounded `while` in a
+//! `// lint: no_alloc` hot region.
+
+// lint: no_alloc
+pub fn spin(flag: &std::sync::atomic::AtomicBool) {
+    loop {
+        if flag.load(std::sync::atomic::Ordering::Acquire) {
+            break;
+        }
+    }
+}
+
+// lint: no_alloc
+pub fn wait(done: &dyn Fn() -> bool) {
+    while !done() {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,9 @@
+//! Clean mirror of the wire-format cast fixture: the cast is masked
+//! into range and the cursor math is checked.
+
+// lint: wire_format
+pub fn encode(len: usize, cursor: usize) -> u64 {
+    let words = (len & 0xffff_ffff) as u32;
+    let advance = cursor.checked_add(8).unwrap_or(usize::MAX);
+    u64::from(words) | (advance as u64) << 32
+}

@@ -1,0 +1,9 @@
+//! Wire-format cast fixture: a silent truncation and unchecked cursor
+//! arithmetic inside a `// lint: wire_format` region.
+
+// lint: wire_format
+pub fn encode(len: usize, cursor: usize) -> u64 {
+    let words = len as u32;
+    let advance = cursor + 8;
+    u64::from(words) | (advance as u64) << 32
+}

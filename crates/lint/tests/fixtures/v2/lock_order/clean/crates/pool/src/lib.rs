@@ -1,0 +1,26 @@
+//! Clean mirror of the lock-order fixture: every path acquires
+//! `alpha` before `beta`, so the acquisition graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    pub fn push_both(&self, v: u64) {
+        let mut a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let mut b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        a.push(v);
+        b.push(v);
+    }
+
+    pub fn drain_both(&self) -> usize {
+        let mut a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let mut b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        b.clear();
+        a.clear();
+        0
+    }
+}

@@ -1,0 +1,11 @@
+//! Clean mirror of the transitive no_alloc fixture: the region's
+//! callee chain never allocates.
+
+// lint: no_alloc
+pub fn hot(n: usize) -> f64 {
+    helper(n)
+}
+
+fn helper(n: usize) -> f64 {
+    (n as f64) * 0.5
+}

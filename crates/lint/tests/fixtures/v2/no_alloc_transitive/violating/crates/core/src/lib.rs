@@ -1,0 +1,12 @@
+//! Transitive no_alloc fixture: the marked region is locally clean,
+//! but its callee allocates — only the call-graph pass can see it.
+
+// lint: no_alloc
+pub fn hot(n: usize) -> f64 {
+    helper(n)
+}
+
+fn helper(n: usize) -> f64 {
+    let v = vec![0.0; n];
+    v.iter().sum()
+}

@@ -138,12 +138,14 @@ impl JournalWriter {
     /// Propagates the underlying write / sync error; the journal is
     /// unusable for further appends after an error (the tail may be
     /// torn, which the reader tolerates).
+    // lint: wire_format
     pub fn append(&mut self, payload: &[u64]) -> io::Result<()> {
         let len = payload.len() as u64;
         let seq = self.seq;
         let checksum = frame_checksum(len, seq, payload);
         self.scratch.clear();
-        self.scratch.reserve((payload.len() + 3) * 8);
+        self.scratch
+            .reserve(payload.len().saturating_add(3).saturating_mul(8));
         self.scratch.extend_from_slice(&len.to_le_bytes());
         self.scratch.extend_from_slice(&seq.to_le_bytes());
         for w in payload {
@@ -208,6 +210,7 @@ impl JournalReader {
     /// # Errors
     ///
     /// Returns `InvalidData` when the magic header is absent.
+    // lint: wire_format
     pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
         if bytes.get(..JOURNAL_MAGIC.len()) != Some(JOURNAL_MAGIC.as_slice()) {
             return Err(io::Error::new(
@@ -232,20 +235,25 @@ impl JournalReader {
                 if len > MAX_RECORD_WORDS {
                     return None;
                 }
-                let seq = word(cursor + 8)?;
+                let seq = word(cursor.checked_add(8)?)?;
                 if seq != expect_seq {
                     return None;
                 }
                 let words = len as usize;
                 let mut payload = Vec::with_capacity(words);
-                for i in 0..words {
-                    payload.push(word(cursor + 16 + 8 * i)?);
+                // Checked cursor walk: `at` steps one word at a time,
+                // so a hostile length can never wrap the arithmetic.
+                let mut at = cursor.checked_add(16)?;
+                for _ in 0..words {
+                    payload.push(word(at)?);
+                    at = at.checked_add(8)?;
                 }
-                let checksum = word(cursor + 16 + 8 * words)?;
+                let checksum = word(at)?;
                 if checksum != frame_checksum(len, seq, &payload) {
                     return None;
                 }
-                Some((payload, 24 + 8 * words))
+                let advance = at.checked_add(8)?.checked_sub(cursor)?;
+                Some((payload, advance))
             })();
             match frame {
                 Some((payload, advance)) => {

@@ -153,12 +153,14 @@ pub struct FlightRecord {
 }
 
 impl FlightRecord {
+    // lint: wire_format
     fn to_words(self) -> [u64; RECORD_WORDS] {
         let meta =
             u64::from(self.kind) | u64::from(self.code) << 16 | u64::from(self.epoch_id) << 32;
         [self.t_us, meta, self.a, self.b]
     }
 
+    // lint: wire_format
     fn from_words(w: [u64; RECORD_WORDS]) -> FlightRecord {
         let [t_us, meta, a, b] = w;
         FlightRecord {
@@ -238,7 +240,14 @@ impl WorkerRing {
     /// older records the ring has already overwritten.
     #[must_use]
     pub fn capture(&self) -> WorkerTimeline {
-        let cursor = self.cursor.load(Ordering::Acquire);
+        // Relaxed matches the store side: every write to `cursor` and
+        // `slots` is Relaxed, so an Acquire here would synchronise
+        // with nothing. Capture is only coherent for records whose
+        // writes happened-before this call by external means (the
+        // worker has quiesced, or the caller joined it); torn reads
+        // of in-flight records are an accepted property of the
+        // single-writer ring.
+        let cursor = self.cursor.load(Ordering::Relaxed);
         let len = cursor.min(self.capacity as u64);
         let dropped = cursor - len;
         let mut records = Vec::with_capacity(len as usize);
@@ -287,21 +296,29 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+// lint: wire_format
 fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
+    let end = at
+        .checked_add(4)
+        .ok_or_else(|| format!("cursor overflow at byte {}", *at))?;
     let slice = bytes
-        .get(*at..*at + 4)
+        .get(*at..end)
         .ok_or_else(|| format!("truncated dump at byte {}", *at))?;
-    *at += 4;
+    *at = end;
     let mut buf = [0u8; 4];
     buf.copy_from_slice(slice);
     Ok(u32::from_le_bytes(buf))
 }
 
+// lint: wire_format
 fn take_u64(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
+    let end = at
+        .checked_add(8)
+        .ok_or_else(|| format!("cursor overflow at byte {}", *at))?;
     let slice = bytes
-        .get(*at..*at + 8)
+        .get(*at..end)
         .ok_or_else(|| format!("truncated dump at byte {}", *at))?;
-    *at += 8;
+    *at = end;
     let mut buf = [0u8; 8];
     buf.copy_from_slice(slice);
     Ok(u64::from_le_bytes(buf))
@@ -324,6 +341,7 @@ impl FlightDump {
     /// dropped count, record count and packed records (all
     /// little-endian).
     #[must_use]
+    // lint: wire_format
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(DUMP_MAGIC);
@@ -342,6 +360,7 @@ impl FlightDump {
     }
 
     /// Decodes the output of [`FlightDump::to_bytes`].
+    // lint: wire_format
     pub fn from_bytes(bytes: &[u8]) -> Result<FlightDump, String> {
         if bytes.get(..8) != Some(DUMP_MAGIC.as_slice()) {
             return Err("not a flight-recorder dump (bad magic)".to_owned());
@@ -370,7 +389,7 @@ impl FlightDump {
         if at != bytes.len() {
             return Err(format!(
                 "{} trailing bytes after dump body",
-                bytes.len() - at
+                bytes.len().saturating_sub(at)
             ));
         }
         Ok(FlightDump { workers })

@@ -19,10 +19,16 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
-echo "==> gps-lint (workspace static analysis)"
-if ! cargo run --release --offline -q -p gps-lint; then
-    echo "gps-lint: non-allowlisted findings (full report follows)"
-    cat lint-report.json
+echo "==> gps-lint (workspace static analysis, 10s wall-clock budget)"
+lint_start=$(date +%s)
+if ! cargo run --release --offline -q -p gps-lint -- --no-report; then
+    echo "gps-lint: non-allowlisted findings (re-run without --no-report for JSON)"
+    exit 1
+fi
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "gps-lint: workspace pass took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 10 ]; then
+    echo "gps-lint: workspace pass exceeded the 10s wall-clock budget"
     exit 1
 fi
 
@@ -32,6 +38,27 @@ if cargo run --release --offline -q -p gps-lint -- \
     echo "gps-lint: violating fixture unexpectedly passed — the gate is broken"
     exit 1
 fi
+
+echo "==> gps-lint v2 negative checks (each violating fixture must trip its rule)"
+for pair in \
+    no_alloc_transitive:no_alloc \
+    lock_order:lock_order \
+    atomic_discipline:atomic_discipline \
+    cast_truncation:cast_truncation \
+    bounded_loop:bounded_loop; do
+    dir=${pair%%:*}
+    rule=${pair##*:}
+    if cargo run --release --offline -q -p gps-lint -- --no-report --rule "$rule" \
+        --root "crates/lint/tests/fixtures/v2/$dir/violating" >/dev/null 2>&1; then
+        echo "gps-lint: v2 fixture $dir unexpectedly passed rule $rule — the gate is broken"
+        exit 1
+    fi
+    if ! cargo run --release --offline -q -p gps-lint -- --no-report --rule "$rule" \
+        --root "crates/lint/tests/fixtures/v2/$dir/clean" >/dev/null 2>&1; then
+        echo "gps-lint: v2 clean mirror $dir failed rule $rule — false positive"
+        exit 1
+    fi
+done
 
 echo "==> engine smoke (one epoch through every solver lane)"
 tmpdir=$(mktemp -d)
